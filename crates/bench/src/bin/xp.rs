@@ -1,0 +1,159 @@
+//! `xp` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! xp <command> [--seed N] [--apps-per-point N] [--exact-count N] [--out DIR]
+//!
+//! commands:
+//!   table1        Table 1  (StreamIt characteristics)
+//!   fig8          Figure 8 (StreamIt, 4x4, normalised energy)
+//!   fig9          Figure 9 (StreamIt, 6x6, normalised energy)
+//!   table2        Table 2  (StreamIt failures; runs fig8+fig9 campaigns)
+//!   fig10         Figure 10 (random SPGs, n=50,  4x4)
+//!   fig11         Figure 11 (random SPGs, n=50,  6x6)
+//!   fig12         Figure 12 (random SPGs, n=150, 4x4)
+//!   fig13         Figure 13 (random SPGs, n=150, 6x6)
+//!   table3        Table 3  (random-SPG failures; fig10's campaign)
+//!   exact         Exact-vs-heuristics on 2x2 (ILP substitute, §4.4)
+//!   ablation-routing | ablation-downgrade | ablation-ebit
+//!   all           Everything above, in order
+//! ```
+//!
+//! Text reports go to stdout; CSV data lands in `--out` (default
+//! `results/`).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use ea_bench::random_xp::{self, RandomXpConfig};
+use ea_bench::streamit_xp::{self, CAMPAIGN_CSV_HEADERS};
+use ea_bench::{ablation, exact_xp, report};
+
+struct Opts {
+    seed: u64,
+    apps_per_point: usize,
+    exact_count: usize,
+    out: PathBuf,
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        eprintln!("usage: xp <command> [--seed N] [--apps-per-point N] [--exact-count N] [--out DIR]");
+        std::process::exit(2);
+    };
+    let mut opts = Opts {
+        seed: 2011,
+        apps_per_point: 100,
+        exact_count: 30,
+        out: PathBuf::from("results"),
+    };
+    let rest: Vec<String> = args.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--seed" => {
+                opts.seed = rest[i + 1].parse().expect("--seed N");
+                i += 2;
+            }
+            "--apps-per-point" => {
+                opts.apps_per_point = rest[i + 1].parse().expect("--apps-per-point N");
+                i += 2;
+            }
+            "--exact-count" => {
+                opts.exact_count = rest[i + 1].parse().expect("--exact-count N");
+                i += 2;
+            }
+            "--out" => {
+                opts.out = PathBuf::from(&rest[i + 1]);
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let started = Instant::now();
+    match cmd.as_str() {
+        "table1" => table1(&opts),
+        "fig8" => fig_streamit(&opts, 4, 4, "fig8", "Figure 8: normalised energy, 4x4 CMP"),
+        "fig9" => fig_streamit(&opts, 6, 6, "fig9", "Figure 9: normalised energy, 6x6 CMP"),
+        "table2" => table2(&opts),
+        "fig10" => fig_random(&opts, 50, 4, 4, "fig10", "Figure 10: random SPGs, 50 nodes, 4x4"),
+        "fig11" => fig_random(&opts, 50, 6, 6, "fig11", "Figure 11: random SPGs, 50 nodes, 6x6"),
+        "fig12" => fig_random(&opts, 150, 4, 4, "fig12", "Figure 12: random SPGs, 150 nodes, 4x4"),
+        "fig13" => fig_random(&opts, 150, 6, 6, "fig13", "Figure 13: random SPGs, 150 nodes, 6x6"),
+        "table3" => table3(&opts),
+        "exact" => exact_cmd(&opts),
+        "ablation-routing" => println!("{}", ablation::routing_text(12, opts.seed)),
+        "ablation-downgrade" => println!("{}", ablation::downgrade_text(12, opts.seed)),
+        "ablation-ebit" => println!("{}", ablation::ebit_text(12, opts.seed)),
+        "ablation-speedrule" => println!("{}", ablation::speedrule_text(12, opts.seed)),
+        "ablation-refine" => println!("{}", ablation::refine_text(8, opts.seed)),
+        "all" => {
+            table1(&opts);
+            fig_streamit(&opts, 4, 4, "fig8", "Figure 8: normalised energy, 4x4 CMP");
+            fig_streamit(&opts, 6, 6, "fig9", "Figure 9: normalised energy, 6x6 CMP");
+            table2(&opts);
+            fig_random(&opts, 50, 4, 4, "fig10", "Figure 10: random SPGs, 50 nodes, 4x4");
+            fig_random(&opts, 50, 6, 6, "fig11", "Figure 11: random SPGs, 50 nodes, 6x6");
+            fig_random(&opts, 150, 4, 4, "fig12", "Figure 12: random SPGs, 150 nodes, 4x4");
+            fig_random(&opts, 150, 6, 6, "fig13", "Figure 13: random SPGs, 150 nodes, 6x6");
+            table3(&opts);
+            exact_cmd(&opts);
+            println!("{}", ablation::routing_text(12, opts.seed));
+            println!("{}", ablation::downgrade_text(12, opts.seed));
+            println!("{}", ablation::ebit_text(12, opts.seed));
+        }
+        other => {
+            eprintln!("unknown command {other}");
+            std::process::exit(2);
+        }
+    }
+    eprintln!("[xp] {cmd} done in {:.1}s", started.elapsed().as_secs_f64());
+}
+
+fn table1(opts: &Opts) {
+    println!("{}", streamit_xp::table1_text(opts.seed));
+}
+
+fn fig_streamit(opts: &Opts, p: u32, q: u32, name: &str, title: &str) {
+    let campaign = streamit_xp::streamit_campaign(p, q, opts.seed);
+    println!("{}", streamit_xp::figure_text(&campaign, title));
+    let rows = streamit_xp::campaign_csv_rows(&campaign, &format!("{p}x{q}"));
+    if let Err(e) = report::write_csv(&opts.out, name, &CAMPAIGN_CSV_HEADERS, &rows) {
+        eprintln!("[xp] csv write failed: {e}");
+    }
+}
+
+fn table2(opts: &Opts) {
+    let c44 = streamit_xp::streamit_campaign(4, 4, opts.seed);
+    let c66 = streamit_xp::streamit_campaign(6, 6, opts.seed);
+    println!("{}", streamit_xp::table2_text(&c44, &c66));
+}
+
+fn fig_random(opts: &Opts, n: usize, p: u32, q: u32, name: &str, title: &str) {
+    let cfg = RandomXpConfig::paper(n, p, q, opts.apps_per_point, opts.seed);
+    let data = random_xp::random_campaign(&cfg);
+    println!("{}", random_xp::figure_text(&data, title));
+    if name == "fig10" {
+        // Table 3 is the failure count of exactly this campaign
+        // (n = 50, 4x4 grid).
+        println!("{}", random_xp::table3_text(&data));
+    }
+    if let Err(e) = report::write_csv(&opts.out, name, &random_xp::CSV_HEADERS, &random_xp::csv_rows(&data)) {
+        eprintln!("[xp] csv write failed: {e}");
+    }
+}
+
+fn table3(opts: &Opts) {
+    let cfg = RandomXpConfig::paper(50, 4, 4, opts.apps_per_point, opts.seed);
+    let data = random_xp::random_campaign(&cfg);
+    println!("{}", random_xp::table3_text(&data));
+}
+
+fn exact_cmd(opts: &Opts) {
+    let instances = exact_xp::exact_campaign(opts.exact_count, opts.seed);
+    println!("{}", exact_xp::exact_text(&instances));
+}

@@ -1,0 +1,128 @@
+//! Exact-vs-heuristics comparison on a 2×2 CMP (paper §4.4).
+//!
+//! The paper reports that its CPLEX formulation "was unable to obtain
+//! results on a platform larger than a 2×2 CMP"; this experiment runs our
+//! exhaustive solver at that same scale and reports each heuristic's energy
+//! as a ratio to the optimum, giving the "absolute measure of the quality
+//! of the various heuristics" the paper asks for in its conclusion.
+
+use cmp_platform::Platform;
+use ea_core::{exact, ExactConfig, ALL_HEURISTICS};
+use rayon::prelude::*;
+use spg::{random_spg, SpgGenConfig};
+
+use crate::probe::probe_period;
+use crate::report::{fmt_norm, fmt_table};
+use crate::runner::run_all_heuristics;
+
+/// One instance's optimal energy and per-heuristic ratios to it.
+#[derive(Debug, Clone)]
+pub struct ExactInstance {
+    /// Instance index.
+    pub idx: usize,
+    /// Stage count.
+    pub n: usize,
+    /// Elevation.
+    pub elevation: u32,
+    /// Probed period.
+    pub period: f64,
+    /// Optimal energy from the exhaustive solver.
+    pub optimal: f64,
+    /// Per-heuristic `E_h / E_opt` (plot order), `None` on failure.
+    pub ratios: Vec<Option<f64>>,
+}
+
+/// Runs the comparison: `count` random SPGs of 6–9 stages on a 2×2 CMP.
+pub fn exact_campaign(count: usize, seed: u64) -> Vec<ExactInstance> {
+    let pf = Platform::paper(2, 2);
+    (0..count)
+        .into_par_iter()
+        .filter_map(|idx| {
+            use rand::{Rng, SeedableRng};
+            let mut rng =
+                rand_chacha::ChaCha8Rng::seed_from_u64(seed.wrapping_add(idx as u64 * 7919));
+            let n = rng.gen_range(6..=9);
+            let elevation = rng.gen_range(1..=3u32);
+            let cfg = SpgGenConfig {
+                n,
+                elevation,
+                ccr: Some([10.0, 1.0, 0.1][idx % 3]),
+                ..Default::default()
+            };
+            let g = random_spg(&cfg, &mut rng);
+            let t = probe_period(&g, &pf, seed)?;
+            let opt = exact(&g, &pf, t, &ExactConfig::default()).ok()?;
+            let outcomes = run_all_heuristics(&g, &pf, t, seed);
+            let ratios = outcomes
+                .iter()
+                .map(|o| o.energy().map(|e| e / opt.energy()))
+                .collect();
+            Some(ExactInstance {
+                idx,
+                n,
+                elevation,
+                period: t,
+                optimal: opt.energy(),
+                ratios,
+            })
+        })
+        .collect()
+}
+
+/// Text report: one row per instance plus a mean row.
+pub fn exact_text(instances: &[ExactInstance]) -> String {
+    let headers: Vec<&str> = ["#", "n", "ymax", "T(s)", "E_opt(J)"]
+        .into_iter()
+        .chain(ALL_HEURISTICS.iter().map(|h| h.name()))
+        .collect();
+    let mut rows: Vec<Vec<String>> = instances
+        .iter()
+        .map(|i| {
+            let mut row = vec![
+                i.idx.to_string(),
+                i.n.to_string(),
+                i.elevation.to_string(),
+                format!("{:.0e}", i.period),
+                format!("{:.3e}", i.optimal),
+            ];
+            row.extend(i.ratios.iter().map(|r| fmt_norm(*r)));
+            row
+        })
+        .collect();
+    // Mean ratio over successes per heuristic.
+    let mut mean = vec!["mean".into(), "".into(), "".into(), "".into(), "".into()];
+    for k in 0..ALL_HEURISTICS.len() {
+        let vals: Vec<f64> = instances.iter().filter_map(|i| i.ratios[k]).collect();
+        mean.push(if vals.is_empty() {
+            "-".into()
+        } else {
+            format!("{:.3}", vals.iter().sum::<f64>() / vals.len() as f64)
+        });
+    }
+    rows.push(mean);
+    fmt_table(
+        "Exact (ILP substitute) vs heuristics on a 2x2 CMP — E_h / E_opt",
+        &headers,
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_heuristic_beats_exact() {
+        let instances = exact_campaign(6, 2011);
+        assert!(!instances.is_empty());
+        for i in &instances {
+            for r in i.ratios.iter().flatten() {
+                assert!(
+                    *r >= 1.0 - 1e-9,
+                    "heuristic beat the exact solver: ratio {r} on instance {}",
+                    i.idx
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # ea-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§6):
+//!
+//! | Artifact | Module | `xp` subcommand |
+//! |---|---|---|
+//! | Table 1 — StreamIt characteristics | [`streamit_xp`] | `table1` |
+//! | Figure 8 — normalised energy, StreamIt, 4×4 | [`streamit_xp`] | `fig8` |
+//! | Figure 9 — normalised energy, StreamIt, 6×6 | [`streamit_xp`] | `fig9` |
+//! | Table 2 — StreamIt failure counts | [`streamit_xp`] | `table2` |
+//! | Figures 10–13 — 1/E vs elevation, random SPGs | [`random_xp`] | `fig10..fig13` |
+//! | Table 3 — random-SPG failure counts | [`random_xp`] | `table3` |
+//! | §4.4 exact-vs-heuristics check on 2×2 | [`exact_xp`] | `exact` |
+//! | Ablations (routing, downgrade, E_bit) | [`ablation`] | `ablation-*` |
+//!
+//! The period bound per workload follows §6.1.3 exactly ([`probe`]): start
+//! at `T = 1 s`, divide by ten until every heuristic fails, keep the
+//! penultimate value.
+
+pub mod ablation;
+pub mod exact_xp;
+pub mod probe;
+pub mod random_xp;
+pub mod report;
+pub mod runner;
+pub mod streamit_xp;
+
+pub use probe::probe_period;
+pub use runner::{run_all_heuristics, HeuristicOutcome};

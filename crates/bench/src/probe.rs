@@ -1,0 +1,103 @@
+//! Period-bound selection (paper §6.1.3).
+//!
+//! > "We choose T as follows: for each workflow, we start with T = 1 s.
+//! > With such a period, we observe that at least one heuristic succeeds.
+//! > Then we iteratively divide the period by a factor of 10 and run all
+//! > heuristics under this new value until all heuristics fail. We retain
+//! > the period as the penultimate value."
+//!
+//! A defensive upward search (multiplying by 10, a few steps) covers
+//! workloads where even `T = 1 s` is infeasible — the paper never hits this
+//! case, and with the XScale platform neither do our workloads.
+
+use cmp_platform::Platform;
+use ea_core::{run_heuristic, HeuristicKind};
+use spg::Spg;
+
+/// Maximum upward decades tried when `T = 1 s` already fails everywhere.
+const MAX_UP_DECADES: u32 = 6;
+/// Maximum downward decades (safety stop; never reached in practice).
+const MAX_DOWN_DECADES: u32 = 12;
+
+/// Heuristics ordered cheapest-first for the probe's short-circuit
+/// evaluation: the probe only needs "at least one succeeds", so the
+/// expensive dynamic programs (whose budget-exhaustion failure paths are
+/// the costly case at loose periods) run only when the cheap ones fail.
+const PROBE_ORDER: [HeuristicKind; 5] = [
+    HeuristicKind::Greedy,
+    HeuristicKind::Random,
+    HeuristicKind::Dpa2d1d,
+    HeuristicKind::Dpa2d,
+    HeuristicKind::Dpa1d,
+];
+
+/// Probes the period bound for one workload: the smallest decade value of
+/// `T` at which at least one heuristic still succeeds. Returns `None` when
+/// no heuristic succeeds at any probed period.
+pub fn probe_period(spg: &Spg, pf: &Platform, seed: u64) -> Option<f64> {
+    let succeeds = |t: f64| {
+        PROBE_ORDER
+            .iter()
+            .any(|&k| run_heuristic(k, spg, pf, t, seed).is_ok())
+    };
+
+    let mut t = 1.0f64;
+    if !succeeds(t) {
+        // Defensive upward search.
+        for _ in 0..MAX_UP_DECADES {
+            t *= 10.0;
+            if succeeds(t) {
+                break;
+            }
+        }
+        if !succeeds(t) {
+            return None;
+        }
+    }
+    // Downward decade search: keep the last value where somebody succeeds.
+    for _ in 0..MAX_DOWN_DECADES {
+        let next = t / 10.0;
+        if succeeds(next) {
+            t = next;
+        } else {
+            return Some(t);
+        }
+    }
+    Some(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spg::chain;
+
+    #[test]
+    fn probe_finds_tight_decade_for_chain() {
+        let pf = Platform::paper(2, 2);
+        // 4 stages of 1e8 cycles: at T = 1 everything fits one slow core;
+        // the binding constraint is 4e8 cycles over at most 4 cores at
+        // 1 GHz -> T >= 0.1 s succeeds, T = 0.01 s needs 1e8 cycles in
+        // 1e-2 s = 10 GHz per stage -> fails.
+        let g = chain(&[1e8; 4], &[1e3; 3]);
+        let t = probe_period(&g, &pf, 0).unwrap();
+        assert!((t - 0.1).abs() < 1e-12, "probed {t}");
+    }
+
+    #[test]
+    fn probe_none_when_hopeless() {
+        // A stage heavier than fastest-speed capacity at the largest probed
+        // period.
+        let pf = Platform::paper(1, 1);
+        let g = chain(&[1e17, 1.0], &[0.0]);
+        assert!(probe_period(&g, &pf, 0).is_none());
+    }
+
+    #[test]
+    fn probe_upward_search() {
+        // 4e9 cycles on one core: T = 1 fails (needs 4 GHz), T = 10 works.
+        let pf = Platform::paper(1, 1);
+        let g = chain(&[2e9, 2e9], &[0.0]);
+        let t = probe_period(&g, &pf, 0).unwrap();
+        assert!((t - 10.0).abs() < 1e-9, "probed {t}");
+    }
+}

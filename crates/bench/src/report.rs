@@ -1,0 +1,102 @@
+//! Plain-text table formatting and CSV output for the experiment binaries.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Formats a fixed-width text table with a header rule.
+pub fn fmt_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        debug_assert_eq!(row.len(), ncols, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(line, "{h:>w$}  ", w = w);
+    }
+    let _ = writeln!(out, "{}", line.trim_end());
+    let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len()));
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(line, "{cell:>w$}  ", w = w);
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+    }
+    out
+}
+
+/// Writes rows as CSV under `dir/name.csv`, creating `dir` if needed.
+pub fn write_csv(
+    dir: &Path,
+    name: &str,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let mut out = String::new();
+    out.push_str(&headers.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    fs::write(dir.join(format!("{name}.csv")), out)
+}
+
+/// Formats an energy value normalised to the best heuristic, or a failure
+/// marker.
+pub fn fmt_norm(value: Option<f64>) -> String {
+    match value {
+        Some(v) => format!("{v:.3}"),
+        None => "fail".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = fmt_table(
+            "demo",
+            &["a", "long-header"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["333".into(), "4".into()],
+            ],
+        );
+        assert!(t.contains("== demo =="));
+        let lines: Vec<&str> = t.lines().collect();
+        // All data lines share the header line's width bound.
+        assert!(lines[3].len() <= lines[1].len() + 2);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("ea-bench-test-csv");
+        write_csv(
+            &dir,
+            "t",
+            &["x", "y"],
+            &[vec!["1".into(), "2".into()]],
+        )
+        .unwrap();
+        let s = std::fs::read_to_string(dir.join("t.csv")).unwrap();
+        assert_eq!(s, "x,y\n1,2\n");
+    }
+
+    #[test]
+    fn norm_formatting() {
+        assert_eq!(fmt_norm(Some(1.0)), "1.000");
+        assert_eq!(fmt_norm(None), "fail");
+    }
+}

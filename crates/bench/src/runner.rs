@@ -1,0 +1,65 @@
+//! Runs the heuristic portfolio on one instance.
+
+use cmp_platform::Platform;
+use ea_core::{run_heuristic, Failure, HeuristicKind, Solution, ALL_HEURISTICS};
+use spg::Spg;
+
+/// Outcome of one heuristic on one instance.
+#[derive(Debug, Clone)]
+pub struct HeuristicOutcome {
+    /// Which heuristic ran.
+    pub kind: HeuristicKind,
+    /// Its energy, or the failure reason.
+    pub result: Result<f64, Failure>,
+}
+
+impl HeuristicOutcome {
+    /// The energy if the heuristic succeeded.
+    pub fn energy(&self) -> Option<f64> {
+        self.result.as_ref().ok().copied()
+    }
+}
+
+/// Runs all five heuristics at the given period; returns one outcome per
+/// heuristic, in the paper's plot order.
+pub fn run_all_heuristics(
+    spg: &Spg,
+    pf: &Platform,
+    period: f64,
+    seed: u64,
+) -> Vec<HeuristicOutcome> {
+    ALL_HEURISTICS
+        .iter()
+        .map(|&kind| HeuristicOutcome {
+            kind,
+            result: run_heuristic(kind, spg, pf, period, seed).map(|s: Solution| s.energy()),
+        })
+        .collect()
+}
+
+/// The minimum energy over the successful heuristics, if any.
+pub fn best_energy(outcomes: &[HeuristicOutcome]) -> Option<f64> {
+    outcomes
+        .iter()
+        .filter_map(HeuristicOutcome::energy)
+        .min_by(|a, b| a.partial_cmp(b).unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spg::chain;
+
+    #[test]
+    fn portfolio_runs_all_five() {
+        let pf = Platform::paper(2, 2);
+        let g = chain(&[1e6; 5], &[1e3; 4]);
+        let out = run_all_heuristics(&g, &pf, 1.0, 0);
+        assert_eq!(out.len(), 5);
+        // Loose period: every heuristic should succeed on a small chain.
+        for o in &out {
+            assert!(o.result.is_ok(), "{:?} failed: {:?}", o.kind, o.result);
+        }
+        assert!(best_energy(&out).unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! StreamIt experiments: Table 1, Figures 8–9, Table 2 (paper §6.2.1).
+//!
+//! For each of the 12 workflows and each CCR variant (original, 10, 1, 0.1)
+//! the harness probes the period bound (§6.1.3) and runs the five
+//! heuristics. Figures 8 and 9 report per-heuristic energy normalised by
+//! the best heuristic on each instance (best = 1.000, larger is worse,
+//! `fail` where a heuristic finds no mapping); Table 2 counts failures over
+//! the 48 instances of each grid size.
+
+use cmp_platform::Platform;
+use ea_core::ALL_HEURISTICS;
+use rayon::prelude::*;
+use spg::{streamit_workflow, StreamItSpec, STREAMIT_SPECS};
+
+use crate::probe::probe_period;
+use crate::report::{fmt_norm, fmt_table};
+use crate::runner::{best_energy, run_all_heuristics, HeuristicOutcome};
+
+/// The four CCR variants of §6.1.1, in plot order.
+pub const CCR_VARIANTS: [(&str, Option<f64>); 4] =
+    [("original", None), ("10", Some(10.0)), ("1", Some(1.0)), ("0.1", Some(0.1))];
+
+/// One (workflow, CCR) instance's results.
+#[derive(Debug, Clone)]
+pub struct StreamItInstance {
+    /// The workflow's published characteristics.
+    pub spec: StreamItSpec,
+    /// CCR variant label ("original", "10", "1", "0.1").
+    pub ccr_label: &'static str,
+    /// Probed period bound, when any heuristic succeeded at any decade.
+    pub period: Option<f64>,
+    /// One outcome per heuristic (plot order); empty if `period` is None.
+    pub outcomes: Vec<HeuristicOutcome>,
+}
+
+/// Runs the full StreamIt campaign on a `p × q` grid: 12 workflows × 4 CCR
+/// variants = 48 instances.
+pub fn streamit_campaign(p: u32, q: u32, seed: u64) -> Vec<StreamItInstance> {
+    let pf = Platform::paper(p, q);
+    let cases: Vec<(&StreamItSpec, usize)> = STREAMIT_SPECS
+        .iter()
+        .flat_map(|spec| (0..CCR_VARIANTS.len()).map(move |ci| (spec, ci)))
+        .collect();
+    cases
+        .into_par_iter()
+        .map(|(spec, ci)| {
+            let (ccr_label, ccr) = CCR_VARIANTS[ci];
+            let mut g = streamit_workflow(spec, seed);
+            if let Some(c) = ccr {
+                g.scale_to_ccr(c);
+            }
+            let period = probe_period(&g, &pf, seed);
+            let outcomes = period
+                .map(|t| run_all_heuristics(&g, &pf, t, seed))
+                .unwrap_or_default();
+            StreamItInstance { spec: *spec, ccr_label, period, outcomes }
+        })
+        .collect()
+}
+
+/// Table 1: the characteristics of the (synthetic) StreamIt workflows.
+pub fn table1_text(seed: u64) -> String {
+    let rows: Vec<Vec<String>> = STREAMIT_SPECS
+        .iter()
+        .map(|spec| {
+            let g = streamit_workflow(spec, seed);
+            vec![
+                spec.index.to_string(),
+                spec.name.to_string(),
+                g.n().to_string(),
+                g.elevation().to_string(),
+                g.xmax().to_string(),
+                format!("{:.0}", g.ccr()),
+            ]
+        })
+        .collect();
+    fmt_table(
+        "Table 1: Characteristics of the StreamIt workflows (synthetic suite)",
+        &["Index", "Name", "n", "ymax", "xmax", "CCR"],
+        &rows,
+    )
+}
+
+/// Figures 8/9: normalised energy per workflow, one block per CCR variant.
+pub fn figure_text(campaign: &[StreamItInstance], title: &str) -> String {
+    let mut out = String::new();
+    for (label, _) in CCR_VARIANTS {
+        let mut rows = Vec::new();
+        for inst in campaign.iter().filter(|i| i.ccr_label == label) {
+            let mut row = vec![inst.spec.index.to_string(), inst.spec.name.to_string()];
+            match inst.period {
+                Some(t) => {
+                    row.push(format!("{t:.0e}"));
+                    let best = best_energy(&inst.outcomes);
+                    for o in &inst.outcomes {
+                        row.push(fmt_norm(o.energy().zip(best).map(|(e, b)| e / b)));
+                    }
+                }
+                None => {
+                    row.push("-".into());
+                    row.extend(std::iter::repeat_n("fail".to_string(), ALL_HEURISTICS.len()));
+                }
+            }
+            rows.push(row);
+        }
+        rows.sort_by_key(|r| r[0].parse::<usize>().unwrap());
+        let headers: Vec<&str> = ["#", "Workflow", "T(s)"]
+            .into_iter()
+            .chain(ALL_HEURISTICS.iter().map(|h| h.name()))
+            .collect();
+        out.push_str(&fmt_table(&format!("{title} — CCR = {label}"), &headers, &rows));
+        out.push('\n');
+    }
+    out
+}
+
+/// Table 2: per-heuristic failure counts over one grid's 48 instances.
+pub fn count_failures(campaign: &[StreamItInstance]) -> Vec<usize> {
+    let mut fails = vec![0usize; ALL_HEURISTICS.len()];
+    for inst in campaign {
+        if inst.outcomes.is_empty() {
+            for f in fails.iter_mut() {
+                *f += 1;
+            }
+            continue;
+        }
+        for (k, o) in inst.outcomes.iter().enumerate() {
+            if o.result.is_err() {
+                fails[k] += 1;
+            }
+        }
+    }
+    fails
+}
+
+/// Table 2 text from the two grid campaigns.
+pub fn table2_text(c44: &[StreamItInstance], c66: &[StreamItInstance]) -> String {
+    let headers: Vec<&str> = ["Platform"]
+        .into_iter()
+        .chain(ALL_HEURISTICS.iter().map(|h| h.name()))
+        .collect();
+    let row = |label: &str, c: &[StreamItInstance]| {
+        let mut r = vec![label.to_string()];
+        r.extend(count_failures(c).iter().map(|f| f.to_string()));
+        r
+    };
+    fmt_table(
+        "Table 2: Number of failures per heuristic (48 instances per grid size)",
+        &headers,
+        &[row("4x4", c44), row("6x6", c66)],
+    )
+}
+
+/// CSV rows for a campaign (one row per instance × heuristic).
+pub fn campaign_csv_rows(campaign: &[StreamItInstance], grid: &str) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    for inst in campaign {
+        let best = best_energy(&inst.outcomes);
+        for o in &inst.outcomes {
+            rows.push(vec![
+                grid.to_string(),
+                inst.spec.index.to_string(),
+                inst.spec.name.to_string(),
+                inst.ccr_label.to_string(),
+                inst.period.map_or("-".into(), |t| format!("{t:e}")),
+                o.kind.name().to_string(),
+                o.energy().map_or("fail".into(), |e| format!("{e:e}")),
+                o.energy()
+                    .zip(best)
+                    .map_or("-".into(), |(e, b)| format!("{:.4}", e / b)),
+            ]);
+        }
+    }
+    rows
+}
+
+/// CSV header matching [`campaign_csv_rows`].
+pub const CAMPAIGN_CSV_HEADERS: [&str; 8] =
+    ["grid", "index", "workflow", "ccr", "period_s", "heuristic", "energy_j", "normalized"];

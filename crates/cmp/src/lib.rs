@@ -1,0 +1,23 @@
+//! # cmp-platform — chip-multiprocessor platform substrate
+//!
+//! Models the target platform of the paper (§3.2): a `p × q` grid of
+//! homogeneous DVFS cores connected by bidirectional mesh links of bandwidth
+//! `BW` per direction, with per-bit link energy `E_bit`.
+//!
+//! * [`power`] — the DVFS speed/power model, with the Intel XScale defaults
+//!   used in §6.1.2;
+//! * [`grid`] — the platform description and core coordinates;
+//! * [`routing`] — dimension-ordered XY routes, the snake embedding that
+//!   turns the grid into a uni-line CMP (§5.4), and directed link ids.
+//!
+//! Coordinates are **0-based** internally (`u ∈ 0..p` rows, `v ∈ 0..q`
+//! columns); the paper's `C_{u,v}` with 1-based indices maps to
+//! `CoreId { u: u-1, v: v-1 }`.
+
+pub mod grid;
+pub mod power;
+pub mod routing;
+
+pub use grid::{CoreId, Platform};
+pub use power::{PowerModel, Speed};
+pub use routing::{snake_core, snake_index, snake_route, xy_route, DirLink, RouteOrder};

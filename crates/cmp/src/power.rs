@@ -1,0 +1,201 @@
+//! DVFS speed/power model (paper §3.5, §6.1.2).
+//!
+//! Each core can run at one of `m` speeds (frequencies); executing `w`
+//! cycles at speed `s` takes `w / s` seconds and dissipates the dynamic
+//! power `P(s)` for that duration. Every *enrolled* core additionally leaks
+//! `P_leak_comp` for the entire period `T`. Because `P(s)/s` is increasing
+//! in `s` for realistic (superlinear) power curves, the energy-minimal speed
+//! for a fixed workload and period bound is always the **slowest feasible**
+//! speed — [`PowerModel::min_speed_for`] implements exactly that selection,
+//! used by every heuristic ("downgrade" post-pass of §5.2, `Ecal` of
+//! Theorem 1 and §5.3).
+
+use serde::{Deserialize, Serialize};
+
+/// One DVFS operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Speed {
+    /// Frequency in Hz (cycles per second).
+    pub freq: f64,
+    /// Dynamic power at this frequency, in watts.
+    pub power: f64,
+}
+
+/// The per-core speed set and leakage power.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Available speeds, sorted by increasing frequency.
+    speeds: Vec<Speed>,
+    /// Leakage power of an enrolled core, in watts (`P_leak^(comp)`).
+    pub p_leak: f64,
+}
+
+impl PowerModel {
+    /// Builds a model from explicit operating points (sorted internally).
+    ///
+    /// # Panics
+    /// Panics on an empty speed list or non-positive frequencies.
+    pub fn new(mut speeds: Vec<Speed>, p_leak: f64) -> Self {
+        assert!(!speeds.is_empty(), "at least one speed required");
+        assert!(speeds.iter().all(|s| s.freq > 0.0 && s.power >= 0.0));
+        assert!(p_leak >= 0.0);
+        speeds.sort_by(|a, b| a.freq.partial_cmp(&b.freq).unwrap());
+        PowerModel { speeds, p_leak }
+    }
+
+    /// The Intel XScale model used throughout the paper's evaluation
+    /// (§6.1.2): `{0.15, 0.4, 0.6, 0.8, 1.0} GHz` at
+    /// `{80, 170, 400, 900, 1600} mW`, `P_leak = 80 mW`.
+    pub fn xscale() -> Self {
+        PowerModel::new(
+            vec![
+                Speed { freq: 0.15e9, power: 0.080 },
+                Speed { freq: 0.40e9, power: 0.170 },
+                Speed { freq: 0.60e9, power: 0.400 },
+                Speed { freq: 0.80e9, power: 0.900 },
+                Speed { freq: 1.00e9, power: 1.600 },
+            ],
+            0.080,
+        )
+    }
+
+    /// A single-speed model (used by the NP-completeness gadgets of §4,
+    /// where cores "can operate only at a unique speed s = 1").
+    pub fn single(freq: f64, power: f64, p_leak: f64) -> Self {
+        PowerModel::new(vec![Speed { freq, power }], p_leak)
+    }
+
+    /// The speed set, sorted by increasing frequency.
+    #[inline]
+    pub fn speeds(&self) -> &[Speed] {
+        &self.speeds
+    }
+
+    /// Number of operating points `m`.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.speeds.len()
+    }
+
+    /// One operating point by index.
+    #[inline]
+    pub fn speed(&self, k: usize) -> Speed {
+        self.speeds[k]
+    }
+
+    /// The fastest available frequency.
+    #[inline]
+    pub fn max_freq(&self) -> f64 {
+        self.speeds.last().unwrap().freq
+    }
+
+    /// Index of the slowest speed that executes `work` cycles within
+    /// `period` seconds (`work / s ≤ period`), or `None` if even the fastest
+    /// speed misses the bound. A small relative tolerance absorbs the usual
+    /// floating-point dust on equality cases.
+    pub fn min_speed_for(&self, work: f64, period: f64) -> Option<usize> {
+        debug_assert!(work >= 0.0 && period > 0.0);
+        let needed = work / period;
+        self.speeds
+            .iter()
+            .position(|s| s.freq >= needed * (1.0 - 1e-12))
+    }
+
+    /// Index of the *energy-optimal* feasible speed: the feasible speed
+    /// minimising the per-cycle dynamic energy `P(s)/s`. With a power curve
+    /// whose `P(s)/s` is non-decreasing this coincides with
+    /// [`PowerModel::min_speed_for`]; with the paper's XScale table it does
+    /// not (0.4 GHz spends 0.425 nJ/cycle vs 0.533 nJ/cycle at 0.15 GHz — a
+    /// "critical speed" effect at the leakage-dominated low end). The
+    /// paper's algorithms prescribe the *minimum* speed, which this crate
+    /// follows by default; this variant backs the speed-rule ablation.
+    pub fn best_speed_for(&self, work: f64, period: f64) -> Option<usize> {
+        let first = self.min_speed_for(work, period)?;
+        (first..self.m()).min_by(|&a, &b| {
+            let ea = self.speeds[a].power / self.speeds[a].freq;
+            let eb = self.speeds[b].power / self.speeds[b].freq;
+            ea.partial_cmp(&eb).unwrap()
+        })
+    }
+
+    /// Energy consumed by one enrolled core over one period: leakage for the
+    /// whole period plus dynamic energy `(w / s) · P(s)` (paper §3.5).
+    ///
+    /// # Panics
+    /// Panics (debug) if the speed index is out of range.
+    pub fn compute_energy(&self, work: f64, speed_idx: usize, period: f64) -> f64 {
+        let s = self.speeds[speed_idx];
+        self.p_leak * period + (work / s.freq) * s.power
+    }
+
+    /// Convenience: energy of one enrolled core at the slowest feasible
+    /// speed, or `None` if the workload cannot meet the period.
+    pub fn best_compute_energy(&self, work: f64, period: f64) -> Option<f64> {
+        self.min_speed_for(work, period)
+            .map(|k| self.compute_energy(work, k, period))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xscale_matches_paper_numbers() {
+        let m = PowerModel::xscale();
+        assert_eq!(m.m(), 5);
+        let freqs: Vec<f64> = m.speeds().iter().map(|s| s.freq / 1e9).collect();
+        assert_eq!(freqs, vec![0.15, 0.4, 0.6, 0.8, 1.0]);
+        let powers: Vec<f64> = m.speeds().iter().map(|s| s.power * 1e3).collect();
+        assert_eq!(powers, vec![80.0, 170.0, 400.0, 900.0, 1600.0]);
+        assert_eq!(m.p_leak * 1e3, 80.0);
+    }
+
+    #[test]
+    fn min_speed_selection() {
+        let m = PowerModel::xscale();
+        // 1e8 cycles in 1 s needs >= 0.1 GHz -> slowest (0.15 GHz) works.
+        assert_eq!(m.min_speed_for(1e8, 1.0), Some(0));
+        // 5e8 cycles in 1 s needs >= 0.5 GHz -> 0.6 GHz (index 2).
+        assert_eq!(m.min_speed_for(5e8, 1.0), Some(2));
+        // Exactly 0.4 GHz worth of work picks 0.4 GHz despite rounding.
+        assert_eq!(m.min_speed_for(0.4e9, 1.0), Some(1));
+        // Infeasible.
+        assert_eq!(m.min_speed_for(2e9, 1.0), None);
+        // Zero work runs at the slowest speed.
+        assert_eq!(m.min_speed_for(0.0, 1.0), Some(0));
+    }
+
+    #[test]
+    fn energy_accounting() {
+        let m = PowerModel::xscale();
+        // 0.15e9 cycles at 0.15 GHz for T = 2 s: leak 0.08*2 + 1.0 s * 0.08 W.
+        let e = m.compute_energy(0.15e9, 0, 2.0);
+        assert!((e - (0.16 + 0.08)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowest_feasible_is_energy_minimal() {
+        // P(s)/s increasing -> picking any faster speed costs more energy.
+        let m = PowerModel::xscale();
+        let (work, period) = (3e8, 1.0);
+        let k = m.min_speed_for(work, period).unwrap();
+        let best = m.compute_energy(work, k, period);
+        for faster in k + 1..m.m() {
+            assert!(m.compute_energy(work, faster, period) > best);
+        }
+    }
+
+    #[test]
+    fn speeds_sorted_on_construction() {
+        let m = PowerModel::new(
+            vec![
+                Speed { freq: 2.0, power: 4.0 },
+                Speed { freq: 1.0, power: 1.0 },
+            ],
+            0.0,
+        );
+        assert_eq!(m.speed(0).freq, 1.0);
+        assert_eq!(m.speed(1).freq, 2.0);
+    }
+}

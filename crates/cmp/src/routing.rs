@@ -1,0 +1,214 @@
+//! Routing on the CMP grid.
+//!
+//! * **XY (dimension-ordered) routes** — the paper's heuristics route each
+//!   inter-core communication along one dimension, then the other (§5.1 for
+//!   `Random`; `DPA2D`'s "horizontal then redistribute vertically" is the
+//!   row-first variant). The paper's §5.1 wording is self-contradictory
+//!   (see DESIGN.md §3); we implement both dimension orders explicitly.
+//! * **Snake embedding** — the 1D heuristics (§5.4) configure the `p × q`
+//!   grid as a uni-line CMP of `r = p·q` cores by snaking through the rows;
+//!   consecutive snake positions are physically adjacent, so a uni-line
+//!   route from position `a` to position `b` crosses `|b − a|` links.
+
+use serde::{Deserialize, Serialize};
+
+use crate::grid::{CoreId, Platform};
+
+/// A directed link between two *adjacent* cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DirLink {
+    /// Transmitting core.
+    pub from: CoreId,
+    /// Receiving core (grid neighbour of `from`).
+    pub to: CoreId,
+}
+
+/// Which dimension an XY route traverses first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouteOrder {
+    /// Move along the row to the destination column, then along the column.
+    RowFirst,
+    /// Move along the column to the destination row, then along the row.
+    ColFirst,
+}
+
+/// The XY route from `from` to `to` as a list of directed links
+/// (empty when `from == to`).
+pub fn xy_route(from: CoreId, to: CoreId, order: RouteOrder) -> Vec<DirLink> {
+    let mut path = Vec::with_capacity(from.manhattan(to) as usize);
+    let mut cur = from;
+    let step_col = |cur: &mut CoreId, path: &mut Vec<DirLink>| {
+        while cur.v != to.v {
+            let next = CoreId {
+                u: cur.u,
+                v: if to.v > cur.v { cur.v + 1 } else { cur.v - 1 },
+            };
+            path.push(DirLink { from: *cur, to: next });
+            *cur = next;
+        }
+    };
+    let step_row = |cur: &mut CoreId, path: &mut Vec<DirLink>| {
+        while cur.u != to.u {
+            let next = CoreId {
+                u: if to.u > cur.u { cur.u + 1 } else { cur.u - 1 },
+                v: cur.v,
+            };
+            path.push(DirLink { from: *cur, to: next });
+            *cur = next;
+        }
+    };
+    match order {
+        RouteOrder::RowFirst => {
+            step_col(&mut cur, &mut path);
+            step_row(&mut cur, &mut path);
+        }
+        RouteOrder::ColFirst => {
+            step_row(&mut cur, &mut path);
+            step_col(&mut cur, &mut path);
+        }
+    }
+    path
+}
+
+/// Snake position of a core: row 0 runs left→right, row 1 right→left, …
+/// (§5.4's embedding of the uni-line CMP into the grid).
+pub fn snake_index(pf: &Platform, c: CoreId) -> usize {
+    debug_assert!(pf.contains(c));
+    let row_base = (c.u * pf.q) as usize;
+    if c.u.is_multiple_of(2) {
+        row_base + c.v as usize
+    } else {
+        row_base + (pf.q - 1 - c.v) as usize
+    }
+}
+
+/// The core at a snake position (inverse of [`snake_index`]).
+pub fn snake_core(pf: &Platform, idx: usize) -> CoreId {
+    debug_assert!(idx < pf.n_cores());
+    let u = idx as u32 / pf.q;
+    let off = idx as u32 % pf.q;
+    let v = if u.is_multiple_of(2) { off } else { pf.q - 1 - off };
+    CoreId { u, v }
+}
+
+/// The route along the snake between two snake positions, as directed
+/// links. Forward (`a < b`) and backward (`a > b`) both follow the snake;
+/// uni-directional uni-line configurations simply never ask for backward
+/// routes.
+pub fn snake_route(pf: &Platform, a: usize, b: usize) -> Vec<DirLink> {
+    let mut path = Vec::with_capacity(a.abs_diff(b));
+    if a <= b {
+        for i in a..b {
+            path.push(DirLink { from: snake_core(pf, i), to: snake_core(pf, i + 1) });
+        }
+    } else {
+        for i in (b..a).rev() {
+            path.push(DirLink { from: snake_core(pf, i + 1), to: snake_core(pf, i) });
+        }
+    }
+    path
+}
+
+/// Checks that a path is a well-formed route on the platform: consecutive,
+/// adjacent, cycle-free, from `from` to `to`.
+pub fn validate_route(pf: &Platform, from: CoreId, to: CoreId, path: &[DirLink]) -> Result<(), String> {
+    let mut cur = from;
+    let mut visited = std::collections::HashSet::new();
+    visited.insert(cur);
+    for l in path {
+        if l.from != cur {
+            return Err(format!("discontinuous route at {:?}", l));
+        }
+        if !pf.contains(l.to) || l.from.manhattan(l.to) != 1 {
+            return Err(format!("non-adjacent hop {:?}", l));
+        }
+        cur = l.to;
+        if !visited.insert(cur) {
+            return Err(format!("route revisits core {:?}", cur));
+        }
+    }
+    if cur != to {
+        return Err(format!("route ends at {:?}, expected {:?}", cur, to));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xy_routes_have_manhattan_length() {
+        let pf = Platform::paper(4, 4);
+        let a = CoreId { u: 0, v: 0 };
+        let b = CoreId { u: 3, v: 2 };
+        for order in [RouteOrder::RowFirst, RouteOrder::ColFirst] {
+            let r = xy_route(a, b, order);
+            assert_eq!(r.len(), 5);
+            validate_route(&pf, a, b, &r).unwrap();
+        }
+        assert!(xy_route(a, a, RouteOrder::RowFirst).is_empty());
+    }
+
+    #[test]
+    fn row_first_goes_horizontal_first() {
+        let a = CoreId { u: 0, v: 0 };
+        let b = CoreId { u: 1, v: 1 };
+        let r = xy_route(a, b, RouteOrder::RowFirst);
+        assert_eq!(r[0].to, CoreId { u: 0, v: 1 });
+        let r = xy_route(a, b, RouteOrder::ColFirst);
+        assert_eq!(r[0].to, CoreId { u: 1, v: 0 });
+    }
+
+    #[test]
+    fn snake_roundtrip_and_adjacency() {
+        let pf = Platform::paper(4, 5);
+        for i in 0..pf.n_cores() {
+            assert_eq!(snake_index(&pf, snake_core(&pf, i)), i);
+        }
+        // Consecutive snake positions are grid-adjacent.
+        for i in 0..pf.n_cores() - 1 {
+            assert_eq!(snake_core(&pf, i).manhattan(snake_core(&pf, i + 1)), 1);
+        }
+    }
+
+    #[test]
+    fn snake_layout_matches_paper_sketch() {
+        // §5.4: C11 -> C12 -> ... -> C1q ; down ; C2q -> ... -> C21 ; down...
+        let pf = Platform::paper(3, 3);
+        let order: Vec<CoreId> = (0..9).map(|i| snake_core(&pf, i)).collect();
+        let expect = [
+            (0, 0), (0, 1), (0, 2),
+            (1, 2), (1, 1), (1, 0),
+            (2, 0), (2, 1), (2, 2),
+        ];
+        for (c, &(u, v)) in order.iter().zip(&expect) {
+            assert_eq!(*c, CoreId { u, v });
+        }
+    }
+
+    #[test]
+    fn snake_route_lengths_and_direction() {
+        let pf = Platform::paper(2, 4);
+        let fwd = snake_route(&pf, 1, 5);
+        assert_eq!(fwd.len(), 4);
+        validate_route(&pf, snake_core(&pf, 1), snake_core(&pf, 5), &fwd).unwrap();
+        let back = snake_route(&pf, 5, 1);
+        assert_eq!(back.len(), 4);
+        validate_route(&pf, snake_core(&pf, 5), snake_core(&pf, 1), &back).unwrap();
+        assert!(snake_route(&pf, 3, 3).is_empty());
+    }
+
+    #[test]
+    fn validate_route_catches_errors() {
+        let pf = Platform::paper(2, 2);
+        let a = CoreId { u: 0, v: 0 };
+        let b = CoreId { u: 1, v: 1 };
+        // Teleporting hop.
+        let bad = vec![DirLink { from: a, to: b }];
+        assert!(validate_route(&pf, a, b, &bad).is_err());
+        // Wrong endpoint.
+        let partial = xy_route(a, CoreId { u: 0, v: 1 }, RouteOrder::RowFirst);
+        assert!(validate_route(&pf, a, b, &partial).is_err());
+    }
+}

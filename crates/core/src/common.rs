@@ -1,0 +1,153 @@
+//! Shared heuristic interface: solutions, failures, and small helpers used
+//! by several algorithms.
+
+use cmp_platform::Platform;
+use cmp_mapping::{evaluate, Evaluation, Mapping};
+use spg::Spg;
+
+/// The five heuristics of paper §5, in the order plotted in Figures 8–13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HeuristicKind {
+    /// §5.1 — random DAG-partition and placement, best of ten draws.
+    Random,
+    /// §5.2 — greedy wavefront growth, one pass per speed, downgrade.
+    Greedy,
+    /// §5.3 — two-dimensional nested dynamic program.
+    Dpa2d,
+    /// §5.4 — optimal uni-directional uni-line DP on the snake.
+    Dpa1d,
+    /// §5.4 — `DPA2D` on a virtual `1 × pq` CMP, mapped along the snake.
+    Dpa2d1d,
+}
+
+/// All five heuristics, in plot order.
+pub const ALL_HEURISTICS: [HeuristicKind; 5] = [
+    HeuristicKind::Random,
+    HeuristicKind::Greedy,
+    HeuristicKind::Dpa2d,
+    HeuristicKind::Dpa1d,
+    HeuristicKind::Dpa2d1d,
+];
+
+impl HeuristicKind {
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            HeuristicKind::Random => "Random",
+            HeuristicKind::Greedy => "Greedy",
+            HeuristicKind::Dpa2d => "DPA2D",
+            HeuristicKind::Dpa1d => "DPA1D",
+            HeuristicKind::Dpa2d1d => "DPA2D1D",
+        }
+    }
+}
+
+impl std::fmt::Display for HeuristicKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A validated mapping together with its evaluation.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// The mapping (allocation, speeds, routes).
+    pub mapping: Mapping,
+    /// Its validated evaluation at the requested period.
+    pub eval: Evaluation,
+}
+
+impl Solution {
+    /// Total energy, the optimization objective.
+    #[inline]
+    pub fn energy(&self) -> f64 {
+        self.eval.energy
+    }
+}
+
+/// Why a heuristic produced no mapping. Both variants count as "failures"
+/// in the paper's Tables 2 and 3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Failure {
+    /// The search completed but found no valid mapping for this period.
+    NoValidMapping(String),
+    /// The search exceeded its complexity budget (e.g. `DPA1D`'s ideal
+    /// lattice explosion on high-elevation graphs, paper §6.2.1).
+    TooExpensive(String),
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Failure::NoValidMapping(why) => write!(f, "no valid mapping: {why}"),
+            Failure::TooExpensive(why) => write!(f, "budget exceeded: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for Failure {}
+
+/// Validates a candidate mapping and wraps it into a [`Solution`].
+pub fn validated(
+    spg: &Spg,
+    pf: &Platform,
+    mapping: Mapping,
+    period: f64,
+) -> Result<Solution, Failure> {
+    match evaluate(spg, pf, &mapping, period) {
+        Ok(eval) => Ok(Solution { mapping, eval }),
+        Err(e) => Err(Failure::NoValidMapping(e.to_string())),
+    }
+}
+
+/// Keeps the lower-energy of two optional solutions.
+pub fn better(a: Option<Solution>, b: Option<Solution>) -> Option<Solution> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(if x.energy() <= y.energy() { x } else { y }),
+        (Some(x), None) => Some(x),
+        (None, y) => y,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmp_platform::CoreId;
+    use cmp_mapping::assign_min_speeds;
+    use spg::chain;
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<&str> = ALL_HEURISTICS.iter().map(|h| h.name()).collect();
+        assert_eq!(names, vec!["Random", "Greedy", "DPA2D", "DPA1D", "DPA2D1D"]);
+    }
+
+    #[test]
+    fn validated_accepts_good_and_rejects_bad() {
+        let pf = Platform::paper(2, 2);
+        let g = chain(&[1e6, 1e6], &[10.0]);
+        let mut m = Mapping::all_on(&pf, 2, CoreId { u: 0, v: 0 });
+        m.speed = assign_min_speeds(&g, &pf, &m.alloc, 1.0).unwrap();
+        assert!(validated(&g, &pf, m.clone(), 1.0).is_ok());
+        // Far too tight a period.
+        assert!(matches!(
+            validated(&g, &pf, m, 1e-9),
+            Err(Failure::NoValidMapping(_))
+        ));
+    }
+
+    #[test]
+    fn better_picks_lower_energy() {
+        let pf = Platform::paper(1, 1);
+        let g = chain(&[1e6, 1e6], &[0.0]);
+        let mut m = Mapping::all_on(&pf, 2, CoreId { u: 0, v: 0 });
+        m.speed = vec![Some(0)];
+        let slow = validated(&g, &pf, m.clone(), 1.0).unwrap();
+        m.speed = vec![Some(4)];
+        let fast = validated(&g, &pf, m, 1.0).unwrap();
+        assert!(slow.energy() < fast.energy());
+        let picked = better(Some(fast), Some(slow.clone())).unwrap();
+        assert_eq!(picked.energy(), slow.energy());
+        assert!(better(None::<Solution>, None).is_none());
+    }
+}

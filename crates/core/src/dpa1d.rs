@@ -1,0 +1,366 @@
+//! The `DPA1D` heuristic (paper Theorem 1 + §5.4).
+//!
+//! Configures the CMP as a uni-directional uni-line of `r = p·q` cores by
+//! snaking through the grid, and computes the **optimal** uni-line
+//! DAG-partition mapping with the dynamic program of Theorem 1:
+//!
+//! > `E(G, k) = min over admissible G' ⊆ G of
+//! >            E(G', k−1) ⊕ Ecal(G \ G')`,
+//! > subject to `Cout(G') ≤ BW·T`,
+//!
+//! where admissible subgraphs are the order ideals of the SPG. Clusters are
+//! the successive differences of a chain of ideals, so the quotient graph is
+//! automatically acyclic, and on the uni-directional line the traffic on the
+//! link between cores `k` and `k+1` is exactly the cut volume of the ideal
+//! covering the first `k` clusters.
+//!
+//! Implementation: the ideal lattice is enumerated once (capped — a cap hit
+//! is a heuristic *failure*, mirroring the paper's observation that `DPA1D`
+//! cannot handle the high-elevation StreamIt graphs); every `(ideal,
+//! extended ideal)` cluster transition with feasible work is materialised
+//! once (also capped); a layered relaxation over at most `r` layers then
+//! finds the optimum, and the cluster chain is laid along the snake.
+//!
+//! On a platform with a single row (`p = 1`) this *is* Theorem 1's exact
+//! algorithm, which the test-suite cross-checks against the exhaustive
+//! solver.
+
+use cmp_platform::{snake_core, CoreId, Platform};
+use cmp_mapping::{Mapping, RouteSpec, REL_TOL};
+use spg::ideal::{enumerate_ideals, IdealLattice};
+use spg::{NodeSet, Spg, StageId};
+
+use crate::common::{validated, Failure, Solution};
+
+/// Complexity budgets for `DPA1D`.
+#[derive(Debug, Clone)]
+pub struct Dpa1dConfig {
+    /// Maximum number of order ideals to enumerate before failing.
+    pub ideal_cap: usize,
+    /// Maximum number of materialised cluster transitions before failing.
+    pub edge_cap: usize,
+}
+
+impl Default for Dpa1dConfig {
+    fn default() -> Self {
+        Dpa1dConfig { ideal_cap: 60_000, edge_cap: 1_000_000 }
+    }
+}
+
+/// One materialised DP transition: extending ideal `from` to ideal `to` by
+/// one cluster of compute energy `ecal`.
+struct Transition {
+    from: u32,
+    to: u32,
+    ecal: f64,
+}
+
+/// Runs `DPA1D` on the snake embedding of `pf`.
+pub fn dpa1d(
+    spg: &Spg,
+    pf: &Platform,
+    period: f64,
+    cfg: &Dpa1dConfig,
+) -> Result<Solution, Failure> {
+    let chain = solve_chain(spg, pf, period, cfg)?;
+    build_snake_solution(spg, pf, period, &chain)
+}
+
+/// The optimal chain of clusters (at most `pf.n_cores()` of them) for the
+/// uni-directional uni-line configuration. Exposed crate-internally for
+/// cross-checks.
+pub(crate) fn solve_chain(
+    spg: &Spg,
+    pf: &Platform,
+    period: f64,
+    cfg: &Dpa1dConfig,
+) -> Result<Vec<Vec<StageId>>, Failure> {
+    let r = pf.n_cores();
+    let lattice = enumerate_ideals(spg, cfg.ideal_cap)
+        .map_err(|e| Failure::TooExpensive(e.to_string()))?;
+    let n_ideals = lattice.len();
+    let tol = 1.0 + REL_TOL;
+    // Strictly *below* the evaluator's tolerance band so every enumerated
+    // cluster is guaranteed to admit a feasible speed (no rounding gap
+    // between the pruning threshold and `min_speed_for`'s acceptance).
+    let cap_work = period * pf.power.max_freq();
+    let bw_cap = period * pf.bw * tol;
+
+    // Per-ideal cut volumes (traffic on the uni-line link right after the
+    // ideal) and feasibility.
+    let cuts: Vec<f64> = lattice.ideals.iter().map(|s| spg.cut_volume(s)).collect();
+
+    let transitions = materialize_transitions(spg, pf, period, &lattice, cap_work, cfg.edge_cap)?;
+
+    // Layered relaxation: layer k holds the best energy of covering each
+    // ideal with exactly k clusters. Cluster k+1's incoming link carries
+    // cut(I_k), paying one hop of energy and one bandwidth check.
+    let full = lattice.full_index() as usize;
+    let mut e_prev = vec![f64::INFINITY; n_ideals];
+    e_prev[0] = 0.0;
+    let mut parents: Vec<Vec<u32>> = Vec::new();
+    let mut best: Option<(f64, usize)> = None; // (energy, #clusters)
+
+    for layer in 1..=r {
+        let mut e_curr = vec![f64::INFINITY; n_ideals];
+        let mut par = vec![u32::MAX; n_ideals];
+        let mut any = false;
+        for t in &transitions {
+            let base = e_prev[t.from as usize];
+            if !base.is_finite() {
+                continue;
+            }
+            let hop = if t.from == 0 {
+                0.0
+            } else {
+                if cuts[t.from as usize] > bw_cap {
+                    continue;
+                }
+                pf.hop_energy(cuts[t.from as usize])
+            };
+            let cand = base + hop + t.ecal;
+            let slot = t.to as usize;
+            if cand < e_curr[slot] {
+                e_curr[slot] = cand;
+                par[slot] = t.from;
+                any = true;
+            }
+        }
+        parents.push(par);
+        if e_curr[full].is_finite() && best.is_none_or(|(b, _)| e_curr[full] < b) {
+            best = Some((e_curr[full], layer));
+        }
+        if !any {
+            break;
+        }
+        e_prev = e_curr;
+    }
+
+    let Some((_, k_best)) = best else {
+        return Err(Failure::NoValidMapping(
+            "no feasible cluster chain within the core count".into(),
+        ));
+    };
+
+    // Walk parents back from (full, k_best) to (empty, 0).
+    let mut chain: Vec<Vec<StageId>> = Vec::with_capacity(k_best);
+    let mut j = full;
+    for layer in (0..k_best).rev() {
+        let i = parents[layer][j] as usize;
+        debug_assert_ne!(i, u32::MAX as usize, "broken parent chain");
+        let members: Vec<StageId> = lattice.ideals[j]
+            .difference(&lattice.ideals[i])
+            .iter()
+            .map(|x| StageId(x as u32))
+            .collect();
+        chain.push(members);
+        j = i;
+    }
+    debug_assert_eq!(j, 0, "chain must end at the empty ideal");
+    chain.reverse();
+    Ok(chain)
+}
+
+/// Lays a cluster chain along the snake and validates it.
+pub(crate) fn build_snake_solution(
+    spg: &Spg,
+    pf: &Platform,
+    period: f64,
+    chain: &[Vec<StageId>],
+) -> Result<Solution, Failure> {
+    let mut alloc = vec![CoreId { u: 0, v: 0 }; spg.n()];
+    for (pos, cluster) in chain.iter().enumerate() {
+        let core = snake_core(pf, pos);
+        for &s in cluster {
+            alloc[s.idx()] = core;
+        }
+    }
+    let speed = cmp_mapping::assign_min_speeds(spg, pf, &alloc, period)
+        .ok_or_else(|| Failure::NoValidMapping("cluster exceeds fastest speed".into()))?;
+    let mapping = Mapping { alloc, speed, routes: RouteSpec::Snake };
+    validated(spg, pf, mapping, period)
+}
+
+/// Enumerates every (ideal, one-cluster extension) pair with cluster work
+/// within `cap_work`, visiting each extension exactly once via
+/// include/exclude branching on ready stages.
+fn materialize_transitions(
+    spg: &Spg,
+    pf: &Platform,
+    period: f64,
+    lattice: &IdealLattice,
+    cap_work: f64,
+    edge_cap: usize,
+) -> Result<Vec<Transition>, Failure> {
+    let mut transitions: Vec<Transition> = Vec::new();
+    for (i_idx, ideal) in lattice.ideals.iter().enumerate() {
+        if ideal.len() == spg.n() {
+            continue; // full ideal has no extensions
+        }
+        let ready = spg::ideal::ready_stages(spg, ideal);
+        let mut j = ideal.clone();
+        let ok = extend(
+            spg,
+            &mut j,
+            0.0,
+            &ready,
+            cap_work,
+            &mut |set: &NodeSet, w: f64| -> bool {
+                if transitions.len() >= edge_cap {
+                    return false;
+                }
+                let to = lattice
+                    .index_of(set)
+                    .expect("extension of an ideal must be in the lattice");
+                // The work pruning guarantees a feasible speed exists; be
+                // defensive about rounding anyway and drop the transition
+                // rather than panic.
+                if let Some(ecal) = pf.power.best_compute_energy(w, period) {
+                    transitions.push(Transition { from: i_idx as u32, to, ecal });
+                }
+                true
+            },
+        );
+        if !ok {
+            return Err(Failure::TooExpensive(format!(
+                "more than {edge_cap} cluster transitions"
+            )));
+        }
+    }
+    Ok(transitions)
+}
+
+/// Include/exclude DFS over ready stages. `visit` is called once per
+/// distinct non-empty extension; returning `false` aborts the enumeration.
+fn extend(
+    spg: &Spg,
+    j: &mut NodeSet,
+    w: f64,
+    ready: &[StageId],
+    cap_work: f64,
+    visit: &mut impl FnMut(&NodeSet, f64) -> bool,
+) -> bool {
+    let Some((&s, rest)) = ready.split_first() else {
+        return true;
+    };
+    // Exclude branch: extensions without `s`.
+    if !extend(spg, j, w, rest, cap_work, visit) {
+        return false;
+    }
+    // Include branch: extensions with `s` (pruned by cluster work).
+    let w2 = w + spg.weight(s);
+    if w2 > cap_work {
+        return true;
+    }
+    j.insert(s.idx());
+    if !visit(j, w2) {
+        j.remove(s.idx());
+        return false;
+    }
+    // Stages that become ready once `s` is in.
+    let mut next_ready: Vec<StageId> = rest.to_vec();
+    for (_, e) in spg.out_edges(s) {
+        let d = e.dst;
+        if !j.contains(d.idx())
+            && !next_ready.contains(&d)
+            && spg.predecessors(d).all(|p| j.contains(p.idx()))
+        {
+            next_ready.push(d);
+        }
+    }
+    let ok = extend(spg, j, w2, &next_ready, cap_work, visit);
+    j.remove(s.idx());
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spg::{chain, parallel_many};
+
+    #[test]
+    fn single_core_when_period_is_loose() {
+        let pf = Platform::paper(4, 4);
+        let g = chain(&[1e6; 10], &[1e3; 9]);
+        let sol = dpa1d(&g, &pf, 1.0, &Dpa1dConfig::default()).unwrap();
+        assert_eq!(sol.eval.active_cores, 1);
+        let expect = 0.08 + (1e7 / 0.15e9) * 0.08;
+        assert!((sol.energy() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn splits_when_period_forces_it() {
+        let pf = Platform::paper(2, 2);
+        // 4 stages of 0.9e9 cycles: one per core at 1 GHz for T = 1.
+        let g = chain(&[0.9e9; 4], &[1e3; 3]);
+        let sol = dpa1d(&g, &pf, 1.0, &Dpa1dConfig::default()).unwrap();
+        assert_eq!(sol.eval.active_cores, 4);
+    }
+
+    #[test]
+    fn fails_when_chain_needs_too_many_cores() {
+        let pf = Platform::paper(1, 2);
+        let g = chain(&[0.9e9; 3], &[1e3; 2]);
+        assert!(matches!(
+            dpa1d(&g, &pf, 1.0, &Dpa1dConfig::default()),
+            Err(Failure::NoValidMapping(_))
+        ));
+    }
+
+    #[test]
+    fn fails_on_lattice_explosion() {
+        // Elevation-10 fork-join: ~6^10 ideals, way past a tiny cap.
+        let branches: Vec<Spg> = (0..10).map(|_| chain(&[1e5; 7], &[1e2; 6])).collect();
+        let g = parallel_many(&branches);
+        let pf = Platform::paper(4, 4);
+        let cfg = Dpa1dConfig { ideal_cap: 1000, ..Default::default() };
+        assert!(matches!(
+            dpa1d(&g, &pf, 1.0, &cfg),
+            Err(Failure::TooExpensive(_))
+        ));
+    }
+
+    #[test]
+    fn respects_bandwidth_on_the_snake() {
+        // Two heavy stages forced onto different cores with an edge too fat
+        // for the link: DPA1D must fail rather than emit an invalid mapping.
+        let pf = Platform::paper(1, 2);
+        let g = chain(&[0.9e9, 0.9e9], &[25e9]);
+        assert!(dpa1d(&g, &pf, 1.0, &Dpa1dConfig::default()).is_err());
+    }
+
+    #[test]
+    fn chain_clusters_are_contiguous_prefix_partition() {
+        let pf = Platform::paper(1, 4);
+        let g = chain(&[0.5e9; 6], &[1e3; 5]);
+        let chain_sol = solve_chain(&g, &pf, 1.0, &Dpa1dConfig::default()).unwrap();
+        // Union of clusters in order must walk the chain front to back.
+        let topo = g.topo_order();
+        let flat: Vec<StageId> = chain_sol
+            .iter()
+            .flat_map(|c| {
+                let mut c = c.clone();
+                c.sort_by_key(|s| topo.iter().position(|t| t == s).unwrap());
+                c
+            })
+            .collect();
+        assert_eq!(flat, topo);
+    }
+
+    #[test]
+    fn dp_energy_matches_evaluator() {
+        // The DP's internal cost model must agree with the shared evaluator.
+        let pf = Platform::paper(2, 3);
+        let g = chain(&[0.5e9, 0.3e9, 0.7e9, 0.2e9], &[1e6, 5e6, 2e6]);
+        let sol = dpa1d(&g, &pf, 1.0, &Dpa1dConfig::default()).unwrap();
+        // Recompute through the evaluator (already done inside validated);
+        // here we just sanity-check decomposition adds up.
+        let e = &sol.eval;
+        assert!(
+            (e.energy - (e.compute_dynamic + e.compute_leak + e.comm_dynamic + e.comm_leak)).abs()
+                < 1e-12
+        );
+    }
+
+    use spg::Spg;
+}

@@ -1,0 +1,57 @@
+//! # ea-core — energy-aware SPG→CMP mapping algorithms
+//!
+//! The paper's primary contribution (§5): five polynomial-time heuristics
+//! for the NP-hard `MinEnergy(T)` problem, plus an exhaustive exact solver
+//! standing in for the §4.4 integer linear program.
+//!
+//! | Algorithm | Paper | Module |
+//! |---|---|---|
+//! | `Random` — random DAG-partition chain, random placement, best of 10 | §5.1 | [`random`] |
+//! | `Greedy` — wavefront growth from `C_{1,1}` at each speed, downgrade | §5.2 | [`greedy`] |
+//! | `DPA2D` — nested column/row dynamic programs on the label grid | §5.3 | [`dpa2d`] |
+//! | `DPA1D` — optimal uni-line DP over order ideals (Theorem 1), snaked | §5.4 | [`dpa1d`] |
+//! | `DPA2D1D` — `DPA2D` on a virtual `1 × pq` CMP, snaked | §5.4 | [`dpa2d1d`] |
+//! | exact — exhaustive DAG-partitions × placements × XY routes | §4.4 | [`exact`] |
+//!
+//! Every algorithm returns a [`Solution`] whose mapping has been
+//! re-validated by `cmp_mapping::evaluate`, or a [`Failure`] explaining why
+//! no valid mapping was produced (the paper's "heuristic fails" outcomes,
+//! counted in Tables 2 and 3).
+
+pub mod common;
+pub mod dpa1d;
+pub mod dpa2d;
+pub mod dpa2d1d;
+pub mod exact;
+pub mod greedy;
+pub mod random;
+pub mod refine;
+
+pub use common::{Failure, HeuristicKind, Solution, ALL_HEURISTICS};
+pub use dpa1d::{dpa1d, Dpa1dConfig};
+pub use dpa2d::dpa2d;
+pub use dpa2d1d::dpa2d1d;
+pub use exact::{exact, ExactConfig, PartitionRule};
+pub use greedy::{greedy, greedy_opts};
+pub use random::random_heuristic;
+pub use refine::{refine, RefineConfig};
+
+use cmp_platform::Platform;
+use spg::Spg;
+
+/// Runs one heuristic by kind. `seed` only affects [`HeuristicKind::Random`].
+pub fn run_heuristic(
+    kind: HeuristicKind,
+    spg: &Spg,
+    pf: &Platform,
+    period: f64,
+    seed: u64,
+) -> Result<Solution, Failure> {
+    match kind {
+        HeuristicKind::Random => random_heuristic(spg, pf, period, seed),
+        HeuristicKind::Greedy => greedy(spg, pf, period),
+        HeuristicKind::Dpa2d => dpa2d(spg, pf, period),
+        HeuristicKind::Dpa1d => dpa1d(spg, pf, period, &Dpa1dConfig::default()),
+        HeuristicKind::Dpa2d1d => dpa2d1d(spg, pf, period),
+    }
+}

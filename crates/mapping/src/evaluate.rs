@@ -1,0 +1,314 @@
+//! Mapping evaluation: validity (period, DAG-partition) and energy.
+//!
+//! This is the single source of truth for the paper's cost model
+//! (§3.4–§3.5). Every heuristic re-validates its output here, so any
+//! bookkeeping approximation inside a heuristic is caught before a mapping
+//! is ever reported as feasible.
+
+use std::collections::HashMap;
+
+use cmp_platform::{CoreId, DirLink, Platform};
+use spg::{EdgeId, Spg};
+
+use crate::mapping::Mapping;
+use crate::partition::is_dag_partition;
+
+/// Relative tolerance on period comparisons, absorbing floating-point dust
+/// on exact-fit cases (e.g. a cut that equals `T·BW`).
+pub const REL_TOL: f64 = 1e-9;
+
+/// Why a mapping is invalid.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MappingError {
+    /// The allocation references a core outside the grid.
+    CoreOutOfRange {
+        /// The offending stage index.
+        stage: usize,
+    },
+    /// An enrolled core has no speed selected.
+    SpeedMissing {
+        /// The offending core.
+        core: CoreId,
+    },
+    /// The cluster quotient graph has a cycle (violates §3.3).
+    NotDagPartition,
+    /// A core's computation cycle-time exceeds the period.
+    ComputeOverload {
+        /// The offending core.
+        core: CoreId,
+        /// Its cycle-time `w/s` in seconds.
+        cycle_time: f64,
+    },
+    /// A directed link's communication cycle-time exceeds the period.
+    LinkOverload {
+        /// The offending link.
+        link: DirLink,
+        /// Its cycle-time `b/BW` in seconds.
+        cycle_time: f64,
+    },
+    /// A route is missing or malformed.
+    BadRoute {
+        /// The offending application edge.
+        edge: EdgeId,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for MappingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MappingError::CoreOutOfRange { stage } => write!(f, "stage {stage} mapped off-grid"),
+            MappingError::SpeedMissing { core } => write!(f, "no speed for enrolled core {core:?}"),
+            MappingError::NotDagPartition => write!(f, "cluster quotient graph has a cycle"),
+            MappingError::ComputeOverload { core, cycle_time } => {
+                write!(f, "core {core:?} compute cycle-time {cycle_time:.3e}s exceeds period")
+            }
+            MappingError::LinkOverload { link, cycle_time } => {
+                write!(f, "link {link:?} cycle-time {cycle_time:.3e}s exceeds period")
+            }
+            MappingError::BadRoute { edge, detail } => write!(f, "bad route for {edge:?}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
+/// The full outcome of evaluating a valid mapping.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// Total energy `E = E^(comp) + E^(comm)` in joules (§3.5).
+    pub energy: f64,
+    /// Dynamic computation energy `Σ (w/s)·P(s)`.
+    pub compute_dynamic: f64,
+    /// Computation leakage `|A|·P_leak^(comp)·T`.
+    pub compute_leak: f64,
+    /// Dynamic communication energy `Σ_links 8·b·E_bit`.
+    pub comm_dynamic: f64,
+    /// Communication leakage `P_leak^(comm)·T`.
+    pub comm_leak: f64,
+    /// Maximum cycle-time over all resources (≤ period for valid mappings).
+    pub max_cycle_time: f64,
+    /// Number of enrolled cores `|A|`.
+    pub active_cores: usize,
+    /// Bytes per period on each used directed link.
+    pub link_loads: HashMap<DirLink, f64>,
+    /// Work per core, flat `u·q+v` order.
+    pub core_work: Vec<f64>,
+}
+
+/// Validates `mapping` against the period bound and computes its energy.
+pub fn evaluate(
+    spg: &Spg,
+    pf: &Platform,
+    mapping: &Mapping,
+    period: f64,
+) -> Result<Evaluation, MappingError> {
+    assert!(period > 0.0, "period must be positive");
+    assert_eq!(mapping.alloc.len(), spg.n(), "alloc length mismatch");
+    assert_eq!(mapping.speed.len(), pf.n_cores(), "speed vector length mismatch");
+    let tol = 1.0 + REL_TOL;
+
+    for (i, &c) in mapping.alloc.iter().enumerate() {
+        if !pf.contains(c) {
+            return Err(MappingError::CoreOutOfRange { stage: i });
+        }
+    }
+    if !is_dag_partition(spg, &mapping.alloc) {
+        return Err(MappingError::NotDagPartition);
+    }
+
+    // Computation cycle-times and energy.
+    let core_work = mapping.core_work(pf, spg);
+    let mut compute_dynamic = 0.0;
+    let mut active_cores = 0usize;
+    let mut max_cycle_time: f64 = 0.0;
+    let mut used = vec![false; pf.n_cores()];
+    for &c in &mapping.alloc {
+        used[c.flat(pf.q)] = true;
+    }
+    for core in pf.cores() {
+        let f = core.flat(pf.q);
+        if !used[f] {
+            continue;
+        }
+        active_cores += 1;
+        let Some(k) = mapping.speed[f] else {
+            return Err(MappingError::SpeedMissing { core });
+        };
+        let s = pf.power.speed(k);
+        let ct = core_work[f] / s.freq;
+        if ct > period * tol {
+            return Err(MappingError::ComputeOverload { core, cycle_time: ct });
+        }
+        max_cycle_time = max_cycle_time.max(ct);
+        compute_dynamic += (core_work[f] / s.freq) * s.power;
+    }
+
+    // Link loads and communication energy.
+    let mut link_loads: HashMap<DirLink, f64> = HashMap::new();
+    for (k, e) in spg.edges().iter().enumerate() {
+        let eid = EdgeId(k as u32);
+        let path = mapping
+            .route_of(pf, spg, eid)
+            .map_err(|detail| MappingError::BadRoute { edge: eid, detail })?;
+        for link in path {
+            *link_loads.entry(link).or_insert(0.0) += e.volume;
+        }
+    }
+    let mut comm_dynamic = 0.0;
+    for (&link, &load) in &link_loads {
+        let ct = pf.link_time(load);
+        if ct > period * tol {
+            return Err(MappingError::LinkOverload { link, cycle_time: ct });
+        }
+        max_cycle_time = max_cycle_time.max(ct);
+        comm_dynamic += pf.hop_energy(load);
+    }
+
+    let compute_leak = active_cores as f64 * pf.power.p_leak * period;
+    let comm_leak = pf.p_leak_comm * period;
+    Ok(Evaluation {
+        energy: compute_dynamic + compute_leak + comm_dynamic + comm_leak,
+        compute_dynamic,
+        compute_leak,
+        comm_dynamic,
+        comm_leak,
+        max_cycle_time,
+        active_cores,
+        link_loads,
+        core_work,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::RouteSpec;
+    use crate::speeds::assign_min_speeds;
+    use cmp_platform::RouteOrder;
+    use spg::chain;
+
+    fn c(u: u32, v: u32) -> CoreId {
+        CoreId { u, v }
+    }
+
+    /// All stages on one core at the slowest feasible speed.
+    fn simple_mapping(pf: &Platform, g: &Spg, period: f64) -> Mapping {
+        let mut m = Mapping::all_on(pf, g.n(), c(0, 0));
+        m.speed = assign_min_speeds(g, pf, &m.alloc, period).unwrap();
+        m
+    }
+
+    #[test]
+    fn single_core_energy_matches_formula() {
+        let pf = Platform::paper(2, 2);
+        let g = chain(&[0.05e9, 0.05e9], &[100.0]);
+        let t = 1.0;
+        let m = simple_mapping(&pf, &g, t);
+        let ev = evaluate(&g, &pf, &m, t).unwrap();
+        // 0.1e9 cycles at 0.15 GHz: dynamic (0.1/0.15)*0.08, leak 0.08.
+        let expect_dyn = (0.1e9 / 0.15e9) * 0.08;
+        assert!((ev.compute_dynamic - expect_dyn).abs() < 1e-12);
+        assert!((ev.compute_leak - 0.08).abs() < 1e-12);
+        assert_eq!(ev.comm_dynamic, 0.0, "co-located stages send nothing");
+        assert_eq!(ev.active_cores, 1);
+        assert!((ev.energy - (expect_dyn + 0.08)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_core_edge_pays_per_hop() {
+        let pf = Platform::paper(2, 2);
+        let g = chain(&[1.0, 1.0], &[1e6]);
+        let mut m = Mapping::all_on(&pf, 2, c(0, 0));
+        let order = g.topo_order();
+        m.alloc[order[1].idx()] = c(1, 1); // 2 hops away
+        m.speed = assign_min_speeds(&g, &pf, &m.alloc, 1.0).unwrap();
+        let ev = evaluate(&g, &pf, &m, 1.0).unwrap();
+        assert_eq!(ev.link_loads.len(), 2);
+        let expect_comm = 2.0 * 8.0 * 1e6 * pf.e_bit;
+        assert!((ev.comm_dynamic - expect_comm).abs() < 1e-15);
+        assert_eq!(ev.active_cores, 2);
+    }
+
+    #[test]
+    fn compute_overload_detected() {
+        let pf = Platform::paper(1, 1);
+        let g = chain(&[2e9, 1.0], &[0.0]);
+        let m = Mapping {
+            alloc: vec![c(0, 0); 2],
+            speed: vec![Some(4)],
+            routes: RouteSpec::Xy(RouteOrder::RowFirst),
+        };
+        match evaluate(&g, &pf, &m, 1.0) {
+            Err(MappingError::ComputeOverload { .. }) => {}
+            other => panic!("expected overload, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn link_overload_detected() {
+        let pf = Platform::paper(1, 2);
+        // One edge of more bytes than BW*T.
+        let g = chain(&[1.0, 1.0], &[20e9]);
+        let mut m = Mapping::all_on(&pf, 2, c(0, 0));
+        let order = g.topo_order();
+        m.alloc[order[1].idx()] = c(0, 1);
+        m.speed = assign_min_speeds(&g, &pf, &m.alloc, 1.0).unwrap();
+        match evaluate(&g, &pf, &m, 1.0) {
+            Err(MappingError::LinkOverload { .. }) => {}
+            other => panic!("expected link overload, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_dag_partition_rejected() {
+        let pf = Platform::paper(1, 2);
+        let g = chain(&[1.0; 3], &[1.0, 1.0]);
+        let order = g.topo_order();
+        let mut m = Mapping::all_on(&pf, 3, c(0, 0));
+        m.alloc[order[1].idx()] = c(0, 1); // sandwich
+        m.speed = assign_min_speeds(&g, &pf, &m.alloc, 1.0).unwrap();
+        assert!(matches!(evaluate(&g, &pf, &m, 1.0), Err(MappingError::NotDagPartition)));
+    }
+
+    #[test]
+    fn speed_missing_detected() {
+        let pf = Platform::paper(1, 1);
+        let g = chain(&[1.0, 1.0], &[0.0]);
+        let m = Mapping {
+            alloc: vec![c(0, 0); 2],
+            speed: vec![None],
+            routes: RouteSpec::Xy(RouteOrder::RowFirst),
+        };
+        assert!(matches!(evaluate(&g, &pf, &m, 1.0), Err(MappingError::SpeedMissing { .. })));
+    }
+
+    #[test]
+    fn exact_fit_period_accepted() {
+        // Work that exactly saturates the slowest speed for T = 1.
+        let pf = Platform::paper(1, 1);
+        let g = chain(&[0.075e9, 0.075e9], &[0.0]);
+        let m = Mapping {
+            alloc: vec![c(0, 0); 2],
+            speed: vec![Some(0)],
+            routes: RouteSpec::Xy(RouteOrder::RowFirst),
+        };
+        let ev = evaluate(&g, &pf, &m, 1.0).unwrap();
+        assert!((ev.max_cycle_time - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snake_routing_uses_snake_links() {
+        let pf = Platform::paper(2, 2);
+        let g = chain(&[1.0, 1.0], &[1e3]);
+        let order = g.topo_order();
+        let mut m = Mapping::all_on(&pf, 2, c(0, 0));
+        // Snake position 0 -> position 3 = core (1,0): 3 hops along snake.
+        m.alloc[order[1].idx()] = c(1, 0);
+        m.routes = RouteSpec::Snake;
+        m.speed = assign_min_speeds(&g, &pf, &m.alloc, 1.0).unwrap();
+        let ev = evaluate(&g, &pf, &m, 1.0).unwrap();
+        assert_eq!(ev.link_loads.len(), 3, "snake route has 3 hops, XY would have 1");
+    }
+}

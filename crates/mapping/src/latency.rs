@@ -1,0 +1,116 @@
+//! Per-data-set latency of a mapping.
+//!
+//! The paper optimises energy under a *period* bound; its companion work
+//! (reference [5], Benoit/Renaud-Goud/Robert IPDPS 2010) also tracks the
+//! **latency** — the end-to-end time of one data set through the mapped
+//! pipeline. This module computes it as the longest path through the
+//! mapped resources: each stage contributes its computation time
+//! `w_i / s`, each cross-core edge contributes its store-and-forward route
+//! time `hops · δ / BW`.
+//!
+//! Latency is reported, never constrained, by this crate's algorithms — it
+//! gives downstream users the second performance axis "for free".
+
+use cmp_platform::Platform;
+use spg::Spg;
+
+use crate::mapping::Mapping;
+
+/// Longest-path latency of one data set under `mapping`, in seconds.
+///
+/// Returns an error if the mapping is structurally broken (missing speed or
+/// route), mirroring [`crate::evaluate`]'s checks.
+pub fn latency(spg: &Spg, pf: &Platform, mapping: &Mapping) -> Result<f64, String> {
+    let n = spg.n();
+    // Per-stage processing time.
+    let mut ptime = vec![0.0f64; n];
+    for s in spg.stages() {
+        let f = mapping.alloc[s.idx()].flat(pf.q);
+        let k = mapping.speed[f].ok_or_else(|| format!("no speed for stage {s:?}"))?;
+        ptime[s.idx()] = spg.weight(s) / pf.power.speed(k).freq;
+    }
+    // Longest path over the DAG in topological order.
+    let order = spg.topo_order();
+    let mut finish = vec![0.0f64; n];
+    for &u in &order {
+        let start = finish[u.idx()];
+        let end = start + ptime[u.idx()];
+        for (eid, e) in spg.out_edges(u) {
+            let route = mapping.route_of(pf, spg, eid)?;
+            let comm = route.len() as f64 * pf.link_time(e.volume);
+            let arrival = end + comm;
+            if arrival > finish[e.dst.idx()] {
+                finish[e.dst.idx()] = arrival;
+            }
+        }
+        finish[u.idx()] = end;
+    }
+    Ok(finish[spg.sink().idx()])
+}
+
+/// The latency lower bound of the unmapped workflow: critical path at the
+/// fastest speed with free communications. Useful as a normalising
+/// baseline.
+pub fn latency_lower_bound(spg: &Spg, pf: &Platform) -> f64 {
+    let smax = pf.power.max_freq();
+    let order = spg.topo_order();
+    let mut finish = vec![0.0f64; spg.n()];
+    for &u in &order {
+        let end = finish[u.idx()] + spg.weight(u) / smax;
+        for s in spg.successors(u) {
+            if end > finish[s.idx()] {
+                finish[s.idx()] = end;
+            }
+        }
+        finish[u.idx()] = end;
+    }
+    finish[spg.sink().idx()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::RouteSpec;
+    use crate::speeds::assign_min_speeds;
+    use cmp_platform::{CoreId, RouteOrder};
+    use spg::chain;
+
+    #[test]
+    fn single_core_latency_is_sum_of_work() {
+        let pf = Platform::paper(1, 1);
+        let g = chain(&[0.3e9, 0.3e9], &[1e6]);
+        let m = Mapping {
+            alloc: vec![CoreId { u: 0, v: 0 }; 2],
+            speed: vec![Some(4)], // 1 GHz
+            routes: RouteSpec::Xy(RouteOrder::RowFirst),
+        };
+        let l = latency(&g, &pf, &m).unwrap();
+        assert!((l - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_core_latency_adds_route_time() {
+        let pf = Platform::paper(1, 2);
+        let g = chain(&[0.3e9, 0.3e9], &[19.2e8]); // 0.1 s on one link
+        let order = g.topo_order();
+        let mut alloc = vec![CoreId { u: 0, v: 0 }; 2];
+        alloc[order[1].idx()] = CoreId { u: 0, v: 1 };
+        let speed = assign_min_speeds(&g, &pf, &alloc, 1.0).unwrap();
+        let m = Mapping { alloc, speed, routes: RouteSpec::Xy(RouteOrder::RowFirst) };
+        // Each stage at 0.4 GHz: 0.75 s; plus 0.1 s transfer.
+        let l = latency(&g, &pf, &m).unwrap();
+        assert!((l - (0.75 + 0.1 + 0.75)).abs() < 1e-12, "latency {l}");
+    }
+
+    #[test]
+    fn lower_bound_is_a_bound() {
+        let pf = Platform::paper(2, 2);
+        let g = chain(&[2e8; 5], &[1e5; 4]);
+        let m = {
+            let alloc = vec![CoreId { u: 0, v: 0 }; 5];
+            let speed = assign_min_speeds(&g, &pf, &alloc, 1.0).unwrap();
+            Mapping { alloc, speed, routes: RouteSpec::Xy(RouteOrder::RowFirst) }
+        };
+        assert!(latency(&g, &pf, &m).unwrap() >= latency_lower_bound(&g, &pf) - 1e-12);
+    }
+}

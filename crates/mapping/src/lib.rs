@@ -1,0 +1,32 @@
+//! # cmp-mapping — mapping representation and cost model
+//!
+//! Implements the paper's §3.3–§3.5: a mapping allocates every SPG stage to
+//! a core (`alloc`), fixes a speed per enrolled core, and routes every
+//! inter-core communication over mesh links. A mapping is **valid** for a
+//! period bound `T` when
+//!
+//! * it is a *DAG-partition* mapping: the quotient graph of per-core
+//!   clusters is acyclic (§3.3);
+//! * every core's computation cycle-time `w_{u,v} / s_{u,v}` is at most `T`
+//!   (§3.4);
+//! * every directed link's communication cycle-time
+//!   `b_{(u,v)→(u',v')} / BW` is at most `T` (§3.4).
+//!
+//! The energy of a valid mapping (§3.5) is
+//! `|A|·P_leak^(comp)·T + Σ (w/s)·P(s) + P_leak^(comm)·T + Σ_links 8·b·E_bit`.
+//!
+//! [`evaluate::evaluate`] computes all of this and is the single source of
+//! truth: every heuristic's output is re-validated here before being
+//! reported.
+
+pub mod evaluate;
+pub mod latency;
+pub mod mapping;
+pub mod partition;
+pub mod speeds;
+
+pub use evaluate::{evaluate, Evaluation, MappingError, REL_TOL};
+pub use latency::{latency, latency_lower_bound};
+pub use mapping::{Mapping, RouteSpec};
+pub use partition::{cluster_members, is_dag_partition, quotient_edges};
+pub use speeds::{assign_min_speeds, assign_optimal_speeds};

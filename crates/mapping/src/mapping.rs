@@ -1,0 +1,123 @@
+//! The mapping data structure (paper §3.3).
+
+use std::collections::HashMap;
+
+use cmp_platform::{
+    routing::{snake_index, snake_route, xy_route, validate_route},
+    CoreId, DirLink, Platform, RouteOrder,
+};
+use spg::{EdgeId, Spg};
+
+/// How inter-core communications are routed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RouteSpec {
+    /// Dimension-ordered XY routing for every edge (paper §5.1; `RowFirst`
+    /// is also the path shape produced by `DPA2D`, §5.3).
+    Xy(RouteOrder),
+    /// Route along the snake embedding of the uni-line CMP (paper §5.4);
+    /// traffic between snake positions `a` and `b` crosses the `|b − a|`
+    /// intermediate snake links and nothing else.
+    Snake,
+    /// An explicit path per edge (edges between co-located stages may be
+    /// omitted or empty). Used by the exact solver and by tests.
+    Custom(HashMap<EdgeId, Vec<DirLink>>),
+}
+
+/// A complete mapping: stage→core allocation, per-core speed selection, and
+/// a routing discipline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mapping {
+    /// Core of each stage, indexed by `StageId`.
+    pub alloc: Vec<CoreId>,
+    /// Speed index per core (flat `u·q + v` order); `None` = core off.
+    /// Cores holding stages must have a speed.
+    pub speed: Vec<Option<usize>>,
+    /// Routing discipline.
+    pub routes: RouteSpec,
+}
+
+impl Mapping {
+    /// An all-on-one-core mapping skeleton (every stage on `core`), with no
+    /// speeds assigned yet.
+    pub fn all_on(pf: &Platform, n_stages: usize, core: CoreId) -> Self {
+        Mapping {
+            alloc: vec![core; n_stages],
+            speed: vec![None; pf.n_cores()],
+            routes: RouteSpec::Xy(RouteOrder::RowFirst),
+        }
+    }
+
+    /// The concrete link path of one application edge under this mapping
+    /// (empty when both endpoints share a core).
+    pub fn route_of(&self, pf: &Platform, spg: &Spg, e: EdgeId) -> Result<Vec<DirLink>, String> {
+        let edge = spg.edge(e);
+        let (from, to) = (self.alloc[edge.src.idx()], self.alloc[edge.dst.idx()]);
+        if from == to {
+            return Ok(Vec::new());
+        }
+        let path = match &self.routes {
+            RouteSpec::Xy(order) => xy_route(from, to, *order),
+            RouteSpec::Snake => snake_route(pf, snake_index(pf, from), snake_index(pf, to)),
+            RouteSpec::Custom(map) => map
+                .get(&e)
+                .cloned()
+                .ok_or_else(|| format!("no route for cross-core edge {e:?}"))?,
+        };
+        validate_route(pf, from, to, &path)?;
+        Ok(path)
+    }
+
+    /// The set of cores that hold at least one stage (the paper's enrolled
+    /// set `A`), in flat-index order.
+    pub fn active_cores(&self, pf: &Platform) -> Vec<CoreId> {
+        let mut seen = vec![false; pf.n_cores()];
+        for &c in &self.alloc {
+            seen[c.flat(pf.q)] = true;
+        }
+        pf.cores().filter(|c| seen[c.flat(pf.q)]).collect()
+    }
+
+    /// Work assigned to each core (flat order): `w_{u,v} = Σ_{alloc(i)=c} w_i`.
+    pub fn core_work(&self, pf: &Platform, spg: &Spg) -> Vec<f64> {
+        let mut work = vec![0.0; pf.n_cores()];
+        for s in spg.stages() {
+            work[self.alloc[s.idx()].flat(pf.q)] += spg.weight(s);
+        }
+        work
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spg::chain;
+
+    #[test]
+    fn all_on_has_single_active_core() {
+        let pf = Platform::paper(2, 2);
+        let g = chain(&[1.0, 2.0, 3.0], &[1.0, 1.0]);
+        let m = Mapping::all_on(&pf, g.n(), CoreId { u: 1, v: 0 });
+        assert_eq!(m.active_cores(&pf), vec![CoreId { u: 1, v: 0 }]);
+        let work = m.core_work(&pf, &g);
+        assert_eq!(work[CoreId { u: 1, v: 0 }.flat(pf.q)], 6.0);
+        assert_eq!(work.iter().sum::<f64>(), 6.0);
+    }
+
+    #[test]
+    fn route_of_same_core_is_empty() {
+        let pf = Platform::paper(2, 2);
+        let g = chain(&[1.0, 1.0], &[5.0]);
+        let m = Mapping::all_on(&pf, g.n(), CoreId { u: 0, v: 0 });
+        assert!(m.route_of(&pf, &g, EdgeId(0)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn custom_route_missing_edge_errors() {
+        let pf = Platform::paper(2, 2);
+        let g = chain(&[1.0, 1.0], &[5.0]);
+        let mut m = Mapping::all_on(&pf, g.n(), CoreId { u: 0, v: 0 });
+        m.alloc[1] = CoreId { u: 1, v: 1 };
+        m.routes = RouteSpec::Custom(HashMap::new());
+        assert!(m.route_of(&pf, &g, EdgeId(0)).is_err());
+    }
+}

@@ -1,0 +1,167 @@
+//! DAG-partition validity (paper §3.3).
+//!
+//! A mapping induces a partition of the stages into per-core clusters. The
+//! paper's *DAG-partition* rule requires the quotient graph — one node per
+//! cluster, an edge `A → B` whenever some application edge goes from a stage
+//! in `A` to a stage in `B ≠ A` — to be acyclic. (Equivalently: every
+//! cluster is *convex*; a stage on a path between two co-clustered stages
+//! must join their cluster.)
+
+use std::collections::HashMap;
+
+use cmp_platform::{CoreId, Platform};
+use petgraph::algo::toposort;
+use petgraph::graph::DiGraph;
+use spg::{Spg, StageId};
+
+/// Stages per core, for cores holding at least one stage.
+pub fn cluster_members(pf: &Platform, alloc: &[CoreId]) -> HashMap<CoreId, Vec<StageId>> {
+    let _ = pf;
+    let mut clusters: HashMap<CoreId, Vec<StageId>> = HashMap::new();
+    for (i, &c) in alloc.iter().enumerate() {
+        clusters.entry(c).or_default().push(StageId(i as u32));
+    }
+    clusters
+}
+
+/// The distinct (source-core, destination-core) pairs induced by the
+/// application edges, self-pairs excluded.
+pub fn quotient_edges(spg: &Spg, alloc: &[CoreId]) -> Vec<(CoreId, CoreId)> {
+    let mut out: Vec<(CoreId, CoreId)> = spg
+        .edges()
+        .iter()
+        .map(|e| (alloc[e.src.idx()], alloc[e.dst.idx()]))
+        .filter(|(a, b)| a != b)
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Whether `alloc` is a DAG-partition mapping: the quotient graph of the
+/// clusters is acyclic.
+pub fn is_dag_partition(spg: &Spg, alloc: &[CoreId]) -> bool {
+    let mut node_of: HashMap<CoreId, _> = HashMap::new();
+    let mut graph: DiGraph<CoreId, ()> = DiGraph::new();
+    for (a, b) in quotient_edges(spg, alloc) {
+        let na = *node_of.entry(a).or_insert_with(|| graph.add_node(a));
+        let nb = *node_of.entry(b).or_insert_with(|| graph.add_node(b));
+        graph.update_edge(na, nb, ());
+    }
+    toposort(&graph, None).is_ok()
+}
+
+/// Checks cluster convexity directly from the reachability closure: for all
+/// co-clustered `i, j` and any `k` with `i ⤳ k ⤳ j`, `k` must share their
+/// cluster. Quotient acyclicity implies convexity; this helper exists for
+/// the exact solver's partition enumeration and for cross-checking tests.
+pub fn is_convex_partition(spg: &Spg, alloc: &[CoreId], reach: &[Vec<bool>]) -> bool {
+    let n = spg.n();
+    for i in 0..n {
+        for j in 0..n {
+            if alloc[i] != alloc[j] || !reach[i][j] {
+                continue;
+            }
+            for k in 0..n {
+                if alloc[k] != alloc[i] && reach[i][k] && reach[k][j] {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spg::{chain, parallel};
+
+    fn pf() -> Platform {
+        Platform::paper(2, 2)
+    }
+
+    fn c(u: u32, v: u32) -> CoreId {
+        CoreId { u, v }
+    }
+
+    #[test]
+    fn chain_split_is_dag_partition() {
+        let g = chain(&[1.0; 4], &[1.0; 3]);
+        // First two stages on one core, last two on another.
+        let order = g.topo_order();
+        let mut alloc = vec![c(0, 0); 4];
+        alloc[order[2].idx()] = c(0, 1);
+        alloc[order[3].idx()] = c(0, 1);
+        assert!(is_dag_partition(&g, &alloc));
+        assert_eq!(quotient_edges(&g, &alloc), vec![(c(0, 0), c(0, 1))]);
+    }
+
+    #[test]
+    fn interleaved_chain_is_not_dag_partition() {
+        // S1,S3 on core A; S2,S4 on core B: quotient has A->B and B->A.
+        let g = chain(&[1.0; 4], &[1.0; 3]);
+        let order = g.topo_order();
+        let mut alloc = vec![c(0, 0); 4];
+        alloc[order[1].idx()] = c(0, 1);
+        alloc[order[3].idx()] = c(0, 1);
+        assert!(!is_dag_partition(&g, &alloc));
+    }
+
+    #[test]
+    fn convexity_agrees_with_quotient_acyclicity_on_chain() {
+        let g = chain(&[1.0; 5], &[1.0; 4]);
+        let reach = g.reachability();
+        let order = g.topo_order();
+        // Convex split.
+        let mut good = vec![c(0, 0); 5];
+        for s in &order[3..] {
+            good[s.idx()] = c(1, 1);
+        }
+        assert!(is_dag_partition(&g, &good));
+        assert!(is_convex_partition(&g, &good, &reach));
+        // Sandwich: ends together, middle elsewhere.
+        let mut bad = vec![c(0, 0); 5];
+        bad[order[2].idx()] = c(1, 1);
+        assert!(!is_dag_partition(&g, &bad));
+        assert!(!is_convex_partition(&g, &bad, &reach));
+    }
+
+    #[test]
+    fn parallel_branches_may_share_or_split() {
+        // Diamond: source, two inner branches, sink.
+        let g = parallel(&chain(&[1.0; 3], &[1.0; 2]), &chain(&[1.0; 3], &[1.0; 2]));
+        let members = cluster_members(&pf(), &vec![c(0, 0); g.n()]);
+        assert_eq!(members.len(), 1);
+        // Source, the two branches and the sink on four distinct cores:
+        // acyclic (source -> branches -> sink).
+        let mut alloc = vec![c(0, 0); g.n()];
+        for s in g.stages() {
+            let l = g.label(s);
+            if s == g.sink() {
+                alloc[s.idx()] = c(1, 1);
+            } else if l.y == 2 {
+                alloc[s.idx()] = c(0, 1);
+            } else if l.x == 2 {
+                alloc[s.idx()] = c(1, 0);
+            }
+        }
+        assert!(is_dag_partition(&g, &alloc));
+        // Source and sink together, both branches elsewhere: source->branch
+        // ->sink makes branch cluster both successor and predecessor.
+        let mut alloc = vec![c(0, 0); g.n()];
+        for s in g.stages() {
+            if s != g.source() && s != g.sink() {
+                alloc[s.idx()] = c(0, 1);
+            }
+        }
+        assert!(!is_dag_partition(&g, &alloc));
+    }
+
+    #[test]
+    fn single_cluster_is_trivially_valid() {
+        let g = chain(&[1.0; 3], &[1.0; 2]);
+        assert!(is_dag_partition(&g, &vec![c(0, 0); 3]));
+        assert!(quotient_edges(&g, &vec![c(0, 0); 3]).is_empty());
+    }
+}

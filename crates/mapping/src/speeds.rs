@@ -1,0 +1,90 @@
+//! Per-core speed selection.
+//!
+//! Given an allocation, the energy-minimal speed assignment is independent
+//! per core: the slowest speed whose cycle-time meets the period (paper
+//! §5.2's "downgrading" post-pass; also `Ecal` in Theorem 1 and §5.3).
+
+use cmp_platform::{CoreId, Platform};
+use spg::Spg;
+
+/// Assigns each enrolled core its slowest feasible speed; unused cores stay
+/// off (`None`). Returns `None` if some core's workload cannot meet the
+/// period even at the fastest speed.
+pub fn assign_min_speeds(
+    spg: &Spg,
+    pf: &Platform,
+    alloc: &[CoreId],
+    period: f64,
+) -> Option<Vec<Option<usize>>> {
+    let mut work = vec![0.0; pf.n_cores()];
+    let mut used = vec![false; pf.n_cores()];
+    for s in spg.stages() {
+        let f = alloc[s.idx()].flat(pf.q);
+        work[f] += spg.weight(s);
+        used[f] = true;
+    }
+    let mut speeds = vec![None; pf.n_cores()];
+    for f in 0..pf.n_cores() {
+        if used[f] {
+            speeds[f] = Some(pf.power.min_speed_for(work[f], period)?);
+        }
+    }
+    Some(speeds)
+}
+
+/// Assigns each enrolled core its *energy-optimal* feasible speed (argmin
+/// `P(s)/s`), instead of the paper's slowest-feasible rule. On power curves
+/// with non-monotone `P(s)/s` (like the paper's own XScale table) this is
+/// strictly better; exposed for the speed-rule ablation.
+pub fn assign_optimal_speeds(
+    spg: &Spg,
+    pf: &Platform,
+    alloc: &[CoreId],
+    period: f64,
+) -> Option<Vec<Option<usize>>> {
+    let mut work = vec![0.0; pf.n_cores()];
+    let mut used = vec![false; pf.n_cores()];
+    for s in spg.stages() {
+        let f = alloc[s.idx()].flat(pf.q);
+        work[f] += spg.weight(s);
+        used[f] = true;
+    }
+    let mut speeds = vec![None; pf.n_cores()];
+    for f in 0..pf.n_cores() {
+        if used[f] {
+            speeds[f] = Some(pf.power.best_speed_for(work[f], period)?);
+        }
+    }
+    Some(speeds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spg::chain;
+
+    #[test]
+    fn speeds_cover_exactly_used_cores() {
+        let pf = Platform::paper(2, 2);
+        let g = chain(&[0.1e9, 0.5e9, 0.2e9], &[1.0, 1.0]);
+        let order = g.topo_order();
+        let mut alloc = vec![CoreId { u: 0, v: 0 }; 3];
+        alloc[order[1].idx()] = CoreId { u: 0, v: 1 };
+        alloc[order[2].idx()] = CoreId { u: 0, v: 1 };
+        let speeds = assign_min_speeds(&g, &pf, &alloc, 1.0).unwrap();
+        // Core (0,0): 0.1e9 cycles -> 0.15 GHz (index 0).
+        assert_eq!(speeds[0], Some(0));
+        // Core (0,1): 0.7e9 cycles -> 0.8 GHz (index 3).
+        assert_eq!(speeds[1], Some(3));
+        assert_eq!(speeds[2], None);
+        assert_eq!(speeds[3], None);
+    }
+
+    #[test]
+    fn infeasible_period_yields_none() {
+        let pf = Platform::paper(1, 2);
+        let g = chain(&[3e9, 1.0], &[1.0]);
+        let alloc = vec![CoreId { u: 0, v: 0 }; 2];
+        assert!(assign_min_speeds(&g, &pf, &alloc, 1.0).is_none());
+    }
+}

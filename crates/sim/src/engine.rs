@@ -1,0 +1,395 @@
+//! The discrete-event engine.
+//!
+//! Resources are the cores and the directed links of the platform. Each
+//! resource serves one job at a time from a priority queue (`(data-set,
+//! topological index)` for cores, `(data-set, edge, hop)` for links);
+//! completions release dependent jobs. Messages are store-and-forward:
+//! edge `e`'s data set `k` occupies each link of `e`'s route in turn for
+//! `volume / BW` seconds.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use cmp_platform::{DirLink, Platform};
+use cmp_mapping::Mapping;
+use spg::{Spg, StageId};
+
+use crate::report::SimReport;
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Number of data sets pushed through the pipeline.
+    pub datasets: usize,
+    /// Data sets discarded from the front when estimating the steady-state
+    /// period (pipeline fill).
+    pub warmup: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { datasets: 200, warmup: 50 }
+    }
+}
+
+/// One schedulable unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Job {
+    /// Execute stage `s` for data set `k` (runs on the stage's core).
+    Stage { s: u32, k: u32 },
+    /// Move edge `e`'s data set `k` across hop `hop` of its route.
+    Hop { e: u32, hop: u16, k: u32 },
+}
+
+/// Priority inside one resource's queue: lower = sooner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Prio(u32, u32, u16);
+
+#[derive(Debug)]
+struct Resource {
+    busy: bool,
+    ready: BinaryHeap<std::cmp::Reverse<(Prio, JobKey)>>,
+}
+
+/// Job wrapped with a total order for deterministic heaps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct JobKey {
+    kind: u8,
+    a: u32,
+    b: u32,
+    c: u16,
+}
+
+impl JobKey {
+    fn pack(j: Job) -> Self {
+        match j {
+            Job::Stage { s, k } => JobKey { kind: 0, a: k, b: s, c: 0 },
+            Job::Hop { e, hop, k } => JobKey { kind: 1, a: k, b: e, c: hop },
+        }
+    }
+    fn unpack(self) -> Job {
+        match self.kind {
+            0 => Job::Stage { s: self.b, k: self.a },
+            _ => Job::Hop { e: self.b, hop: self.c, k: self.a },
+        }
+    }
+}
+
+/// A completion event in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    time: f64,
+    resource: u32,
+    job: JobKey,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap via Reverse at the call-site; tiebreak deterministically.
+        self.time
+            .total_cmp(&other.time)
+            .then(self.resource.cmp(&other.resource))
+            .then(self.job.cmp(&other.job))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Simulates `cfg.datasets` data sets flowing through the mapped workflow.
+///
+/// Fails (with a description) on structurally broken mappings — missing
+/// speeds or unroutable edges. Period feasibility is *not* required: the
+/// simulator happily executes an overloaded mapping and reports the longer
+/// achieved period, which is exactly what makes it a useful cross-check.
+pub fn simulate(
+    spg: &Spg,
+    pf: &Platform,
+    mapping: &Mapping,
+    cfg: SimConfig,
+) -> Result<SimReport, String> {
+    let n = spg.n();
+    let kk = cfg.datasets;
+    assert!(kk >= 2, "need at least two data sets");
+    assert!(cfg.warmup + 1 < kk, "warmup must leave at least two completions");
+
+    // Static per-stage data.
+    let topo = spg.topo_order();
+    let mut topo_idx = vec![0u32; n];
+    for (i, s) in topo.iter().enumerate() {
+        topo_idx[s.idx()] = i as u32;
+    }
+    let mut proc_time = vec![0.0f64; n];
+    let mut core_of = vec![0usize; n];
+    let mut core_power = vec![0.0f64; n];
+    for s in spg.stages() {
+        let c = mapping.alloc[s.idx()];
+        let f = c.flat(pf.q);
+        let k = mapping.speed[f].ok_or_else(|| format!("no speed on core {c:?}"))?;
+        let sp = pf.power.speed(k);
+        proc_time[s.idx()] = spg.weight(s) / sp.freq;
+        core_power[s.idx()] = sp.power;
+        core_of[s.idx()] = f;
+    }
+
+    // Static per-edge data: resolved route and per-hop transfer time.
+    let n_edges = spg.n_edges();
+    let mut routes: Vec<Vec<DirLink>> = Vec::with_capacity(n_edges);
+    let mut hop_time = vec![0.0f64; n_edges];
+    for e in 0..n_edges {
+        let eid = spg::EdgeId(e as u32);
+        let route = mapping.route_of(pf, spg, eid)?;
+        hop_time[e] = pf.link_time(spg.edge(eid).volume);
+        routes.push(route);
+    }
+
+    // Resources: cores first, then links (dense ids).
+    let n_cores = pf.n_cores();
+    let mut link_ids: HashMap<DirLink, u32> = HashMap::new();
+    for route in &routes {
+        for &l in route {
+            let next = n_cores as u32 + link_ids.len() as u32;
+            link_ids.entry(l).or_insert(next);
+        }
+    }
+    let n_res = n_cores + link_ids.len();
+    let mut res: Vec<Resource> = (0..n_res)
+        .map(|_| Resource { busy: false, ready: BinaryHeap::new() })
+        .collect();
+
+    // Dependency counters: remaining inputs per (stage, data set).
+    let indeg: Vec<u32> = (0..n)
+        .map(|i| spg.in_degree(StageId(i as u32)) as u32)
+        .collect();
+    let mut remaining: Vec<Vec<u32>> = (0..n).map(|i| vec![indeg[i]; kk]).collect();
+
+    let mut events: BinaryHeap<std::cmp::Reverse<Event>> = BinaryHeap::new();
+    let mut report = SimReport {
+        datasets: kk,
+        sink_completions: vec![f64::NAN; kk],
+        achieved_period: f64::NAN,
+        makespan: 0.0,
+        core_busy: vec![0.0; n_cores],
+        compute_dynamic: 0.0,
+        comm_dynamic: 0.0,
+        messages_delivered: 0,
+    };
+
+    let prio_of = |job: Job| -> Prio {
+        match job {
+            Job::Stage { s, k } => Prio(k, topo_idx[s as usize], 0),
+            Job::Hop { e, hop, k } => Prio(k, e, hop),
+        }
+    };
+    let resource_of = |job: Job| -> u32 {
+        match job {
+            Job::Stage { s, .. } => core_of[s as usize] as u32,
+            Job::Hop { e, hop, .. } => link_ids[&routes[e as usize][hop as usize]],
+        }
+    };
+    let duration_of = |job: Job| -> f64 {
+        match job {
+            Job::Stage { s, .. } => proc_time[s as usize],
+            Job::Hop { e, .. } => hop_time[e as usize],
+        }
+    };
+
+    // Dispatch helper: start the best ready job if the resource is idle.
+    macro_rules! dispatch {
+        ($r:expr, $now:expr) => {{
+            let r = $r as usize;
+            if !res[r].busy {
+                if let Some(std::cmp::Reverse((_, jk))) = res[r].ready.pop() {
+                    res[r].busy = true;
+                    let job = jk.unpack();
+                    let dur = duration_of(job);
+                    if r < n_cores {
+                        report.core_busy[r] += dur;
+                    }
+                    events.push(std::cmp::Reverse(Event {
+                        time: $now + dur,
+                        resource: r as u32,
+                        job: jk,
+                    }));
+                }
+            }
+        }};
+    }
+    macro_rules! enqueue {
+        ($job:expr, $now:expr) => {{
+            let job = $job;
+            let r = resource_of(job);
+            res[r as usize]
+                .ready
+                .push(std::cmp::Reverse((prio_of(job), JobKey::pack(job))));
+            dispatch!(r, $now);
+        }};
+    }
+
+    // All data sets available at t = 0 (throughput measurement mode).
+    let source = spg.source();
+    for k in 0..kk as u32 {
+        if indeg[source.idx()] == 0 {
+            enqueue!(Job::Stage { s: source.0, k }, 0.0);
+        }
+    }
+
+    let sink = spg.sink();
+    let mut grants: Vec<(u32, u32)> = Vec::new();
+    while let Some(std::cmp::Reverse(ev)) = events.pop() {
+        let now = ev.time;
+        report.makespan = now;
+        let r = ev.resource as usize;
+        res[r].busy = false;
+        grants.clear();
+        match ev.job.unpack() {
+            Job::Stage { s, k } => {
+                let sid = StageId(s);
+                report.compute_dynamic += proc_time[s as usize] * core_power[s as usize];
+                if sid == sink {
+                    report.sink_completions[k as usize] = now;
+                }
+                for (eid, edge) in spg.out_edges(sid) {
+                    if routes[eid.idx()].is_empty() {
+                        grants.push((edge.dst.0, k));
+                    } else {
+                        enqueue!(Job::Hop { e: eid.0, hop: 0, k }, now);
+                    }
+                }
+            }
+            Job::Hop { e, hop, k } => {
+                report.comm_dynamic += pf.hop_energy(spg.edge(spg::EdgeId(e)).volume);
+                let route = &routes[e as usize];
+                if (hop as usize + 1) < route.len() {
+                    enqueue!(Job::Hop { e, hop: hop + 1, k }, now);
+                } else {
+                    report.messages_delivered += 1;
+                    grants.push((spg.edge(spg::EdgeId(e)).dst.0, k));
+                }
+            }
+        }
+        for &(dst, k) in grants.clone().iter() {
+            let rem = &mut remaining[dst as usize][k as usize];
+            debug_assert!(*rem > 0, "over-granted stage {dst} dataset {k}");
+            *rem -= 1;
+            if *rem == 0 {
+                enqueue!(Job::Stage { s: dst, k }, now);
+            }
+        }
+        dispatch!(r, now);
+    }
+
+    // Everything must have completed.
+    if report.sink_completions.iter().any(|t| t.is_nan()) {
+        return Err("deadlock: some data sets never completed".into());
+    }
+    let w = cfg.warmup;
+    report.achieved_period = (report.sink_completions[kk - 1] - report.sink_completions[w])
+        / (kk - 1 - w) as f64;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmp_platform::CoreId;
+    use cmp_mapping::{assign_min_speeds, evaluate, RouteSpec};
+    use cmp_platform::RouteOrder;
+    use spg::chain;
+
+    fn mapped_chain(pf: &Platform, weights: &[f64], vols: &[f64], split: usize, t: f64) -> (Spg, Mapping) {
+        let g = chain(weights, vols);
+        let order = g.topo_order();
+        let mut alloc = vec![CoreId { u: 0, v: 0 }; g.n()];
+        for s in &order[split..] {
+            alloc[s.idx()] = CoreId { u: 0, v: 1 };
+        }
+        let speed = assign_min_speeds(&g, pf, &alloc, t).unwrap();
+        (g.clone(), Mapping { alloc, speed, routes: RouteSpec::Xy(RouteOrder::RowFirst) })
+    }
+
+    #[test]
+    fn single_core_period_is_total_work_over_speed() {
+        let pf = Platform::paper(1, 1);
+        let g = chain(&[0.3e9, 0.3e9], &[1e3]);
+        let mapping = Mapping {
+            alloc: vec![CoreId { u: 0, v: 0 }; 2],
+            speed: vec![Some(4)], // 1 GHz
+            routes: RouteSpec::Xy(RouteOrder::RowFirst),
+        };
+        let rep = simulate(&g, &pf, &mapping, SimConfig { datasets: 50, warmup: 10 }).unwrap();
+        assert!(
+            (rep.achieved_period - 0.6).abs() < 1e-9,
+            "period {} vs 0.6 s",
+            rep.achieved_period
+        );
+    }
+
+    #[test]
+    fn split_chain_matches_analytic_cycle_time() {
+        let pf = Platform::paper(1, 2);
+        let t = 1.0;
+        let (g, mapping) = mapped_chain(&pf, &[0.5e9, 0.3e9, 0.6e9], &[1e6, 1e6], 2, t);
+        let analytic = evaluate(&g, &pf, &mapping, t).unwrap();
+        let rep = simulate(&g, &pf, &mapping, SimConfig::default()).unwrap();
+        let rel = (rep.achieved_period - analytic.max_cycle_time).abs() / analytic.max_cycle_time;
+        assert!(rel < 0.02, "sim {} vs analytic {}", rep.achieved_period, analytic.max_cycle_time);
+    }
+
+    #[test]
+    fn dynamic_energy_matches_analytic_per_dataset() {
+        let pf = Platform::paper(1, 2);
+        let t = 1.0;
+        let (g, mapping) = mapped_chain(&pf, &[0.4e9, 0.4e9], &[5e6], 1, t);
+        let analytic = evaluate(&g, &pf, &mapping, t).unwrap();
+        let rep = simulate(&g, &pf, &mapping, SimConfig { datasets: 100, warmup: 10 }).unwrap();
+        let expect = analytic.compute_dynamic + analytic.comm_dynamic;
+        let got = rep.dynamic_energy_per_dataset();
+        assert!(
+            (got - expect).abs() / expect < 1e-9,
+            "sim {got} vs analytic {expect} J/dataset"
+        );
+    }
+
+    #[test]
+    fn overloaded_mapping_runs_slower_than_bound() {
+        // A mapping that violates T still executes; its achieved period is
+        // its true bottleneck.
+        let pf = Platform::paper(1, 1);
+        let g = chain(&[0.9e9, 0.9e9], &[1e3]);
+        let mapping = Mapping {
+            alloc: vec![CoreId { u: 0, v: 0 }; 2],
+            speed: vec![Some(4)],
+            routes: RouteSpec::Xy(RouteOrder::RowFirst),
+        };
+        let rep = simulate(&g, &pf, &mapping, SimConfig { datasets: 40, warmup: 10 }).unwrap();
+        assert!((rep.achieved_period - 1.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn messages_counted() {
+        let pf = Platform::paper(1, 2);
+        let (g, mapping) = mapped_chain(&pf, &[0.1e9, 0.1e9], &[1e4], 1, 1.0);
+        let rep = simulate(&g, &pf, &mapping, SimConfig { datasets: 30, warmup: 5 }).unwrap();
+        assert_eq!(rep.messages_delivered, 30, "one cross-core edge x 30 data sets");
+    }
+
+    #[test]
+    fn missing_speed_is_an_error() {
+        let pf = Platform::paper(1, 1);
+        let g = chain(&[1.0, 1.0], &[0.0]);
+        let mapping = Mapping {
+            alloc: vec![CoreId { u: 0, v: 0 }; 2],
+            speed: vec![None],
+            routes: RouteSpec::Xy(RouteOrder::RowFirst),
+        };
+        assert!(simulate(&g, &pf, &mapping, SimConfig { datasets: 5, warmup: 1 }).is_err());
+    }
+
+    use spg::Spg;
+}

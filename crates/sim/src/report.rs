@@ -1,0 +1,40 @@
+//! Simulation output metrics.
+
+/// Measured behaviour of one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Number of data sets simulated.
+    pub datasets: usize,
+    /// Completion time of the sink stage for every data set, in seconds.
+    pub sink_completions: Vec<f64>,
+    /// Steady-state period estimate: mean inter-completion gap after the
+    /// warm-up prefix.
+    pub achieved_period: f64,
+    /// End of the whole simulation (last event), in seconds.
+    pub makespan: f64,
+    /// Busy seconds per core (flat `u·q+v` order).
+    pub core_busy: Vec<f64>,
+    /// Total dynamic computation energy over the run, in joules.
+    pub compute_dynamic: f64,
+    /// Total dynamic communication energy over the run, in joules.
+    pub comm_dynamic: f64,
+    /// Messages delivered end-to-end (cross-core edges × data sets).
+    pub messages_delivered: usize,
+}
+
+impl SimReport {
+    /// Mean dynamic energy per data set (compute + communication), the
+    /// quantity comparable to the analytic evaluator's dynamic terms.
+    pub fn dynamic_energy_per_dataset(&self) -> f64 {
+        (self.compute_dynamic + self.comm_dynamic) / self.datasets as f64
+    }
+
+    /// Utilisation of one core over the steady-state window.
+    pub fn core_utilisation(&self, flat: usize) -> f64 {
+        if self.makespan == 0.0 {
+            0.0
+        } else {
+            self.core_busy[flat] / self.makespan
+        }
+    }
+}

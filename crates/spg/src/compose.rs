@@ -1,0 +1,257 @@
+//! Series and parallel composition with the label rules of paper §3.1.
+//!
+//! The smallest SPG is the two-node base graph `S1 → S2` with labels
+//! `(1,1)` and `(2,1)`. Composition:
+//!
+//! * **series(a, b)** merges the sink of `a` with the source of `b`; labels
+//!   of `b`'s stages get their `x` incremented by `xmax(a) − 1`;
+//! * **parallel(a, b)** merges the two sources and the two sinks, the longer
+//!   graph (larger `xmax`) providing the merged labels; the *inner* stages of
+//!   the shorter graph get their `y` incremented by `ymax` of the longer one.
+//!
+//! Merged stages take the **sum** of the two constituent weights (the paper
+//! builds shapes first and assigns costs to the final stages, so the merge
+//! policy is only relevant when composing already-weighted graphs; summing
+//! keeps `Σ w_i` invariant).
+
+use crate::graph::{Label, Spg, SpgEdge, StageId};
+
+/// The two-node base SPG `S1 → S2` (paper §3.1).
+pub fn base(w_src: f64, w_sink: f64, volume: f64) -> Spg {
+    Spg::from_parts(
+        vec![w_src, w_sink],
+        vec![Label { x: 1, y: 1 }, Label { x: 2, y: 1 }],
+        vec![SpgEdge { src: StageId(0), dst: StageId(1), volume }],
+    )
+}
+
+/// A linear chain of `weights.len()` stages; `volumes[i]` is the volume of
+/// the edge between consecutive stages `i` and `i+1`.
+///
+/// # Panics
+/// Panics unless `weights.len() >= 2` and `volumes.len() == weights.len()-1`.
+pub fn chain(weights: &[f64], volumes: &[f64]) -> Spg {
+    assert!(weights.len() >= 2, "a chain has at least two stages");
+    assert_eq!(volumes.len(), weights.len() - 1);
+    let labels = (0..weights.len())
+        .map(|i| Label { x: i as u32 + 1, y: 1 })
+        .collect();
+    let edges = volumes
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| SpgEdge { src: StageId(i as u32), dst: StageId(i as u32 + 1), volume: v })
+        .collect();
+    Spg::from_parts(weights.to_vec(), labels, edges)
+}
+
+/// Series composition: the sink of `a` is merged with the source of `b`
+/// (paper §3.1). The merged stage weight is the sum of the two.
+pub fn series(a: &Spg, b: &Spg) -> Spg {
+    let na = a.n();
+    let shift = a.xmax() - 1;
+    // Stage mapping: a's stages keep their ids; b's stages (except its
+    // source, which becomes a's sink) are appended.
+    let mut b_map: Vec<StageId> = Vec::with_capacity(b.n());
+    let mut weights: Vec<f64> = a.weights().to_vec();
+    let mut labels: Vec<Label> = a.labels().to_vec();
+    for i in b.stages() {
+        if i == b.source() {
+            b_map.push(a.sink());
+            weights[a.sink().idx()] += b.weight(i);
+        } else {
+            let id = StageId(weights.len() as u32);
+            b_map.push(id);
+            weights.push(b.weight(i));
+            let l = b.label(i);
+            labels.push(Label { x: l.x + shift, y: l.y });
+        }
+    }
+    debug_assert_eq!(b_map.len(), b.n());
+    let mut edges: Vec<SpgEdge> = a.edges().to_vec();
+    edges.extend(b.edges().iter().map(|e| SpgEdge {
+        src: b_map[e.src.idx()],
+        dst: b_map[e.dst.idx()],
+        volume: e.volume,
+    }));
+    debug_assert_eq!(weights.len(), na + b.n() - 1);
+    Spg::from_parts(weights, labels, edges)
+}
+
+/// Parallel composition: sources merged, sinks merged (paper §3.1). The
+/// graph with the larger `xmax` provides the merged source/sink labels and
+/// keeps its labels; the inner stages of the other get `y += ymax(longer)`.
+/// Merged stage weights are summed.
+pub fn parallel(a: &Spg, b: &Spg) -> Spg {
+    // Paper: "assume x_n1 >= x_n2, otherwise exchange the two SPGs".
+    let (a, b) = if a.xmax() >= b.xmax() { (a, b) } else { (b, a) };
+    let y_shift = a.elevation();
+    let mut weights: Vec<f64> = a.weights().to_vec();
+    let mut labels: Vec<Label> = a.labels().to_vec();
+    let mut b_map: Vec<StageId> = Vec::with_capacity(b.n());
+    for i in b.stages() {
+        if i == b.source() {
+            b_map.push(a.source());
+            weights[a.source().idx()] += b.weight(i);
+        } else if i == b.sink() {
+            b_map.push(a.sink());
+            weights[a.sink().idx()] += b.weight(i);
+        } else {
+            let id = StageId(weights.len() as u32);
+            b_map.push(id);
+            weights.push(b.weight(i));
+            let l = b.label(i);
+            labels.push(Label { x: l.x, y: l.y + y_shift });
+        }
+    }
+    let mut edges: Vec<SpgEdge> = a.edges().to_vec();
+    edges.extend(b.edges().iter().map(|e| SpgEdge {
+        src: b_map[e.src.idx()],
+        dst: b_map[e.dst.idx()],
+        volume: e.volume,
+    }));
+    debug_assert_eq!(weights.len(), a.n() + b.n() - 2);
+    Spg::from_parts(weights, labels, edges)
+}
+
+/// Folds a parallel composition over several SPGs (source/sink shared by
+/// all). Equivalent to repeated [`parallel`].
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn parallel_many(graphs: &[Spg]) -> Spg {
+    let (first, rest) = graphs.split_first().expect("parallel_many needs at least one SPG");
+    rest.iter().fold(first.clone(), |acc, g| parallel(&acc, g))
+}
+
+/// Folds a series composition over several SPGs.
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn series_many(graphs: &[Spg]) -> Spg {
+    let (first, rest) = graphs.split_first().expect("series_many needs at least one SPG");
+    rest.iter().fold(first.clone(), |acc, g| series(&acc, g))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn label_set(g: &Spg) -> BTreeSet<(u32, u32)> {
+        g.labels().iter().map(|l| (l.x, l.y)).collect()
+    }
+
+    fn uniform_chain(n: usize) -> Spg {
+        chain(&vec![1.0; n], &vec![1.0; n - 1])
+    }
+
+    /// SPG1 of paper Figure 1: labels {(1,1),(2,1),(3,1),(4,1),(2,2)}.
+    fn figure1_spg1() -> Spg {
+        series(&parallel(&uniform_chain(3), &uniform_chain(3)), &base(1.0, 1.0, 1.0))
+    }
+
+    /// SPG2 of paper Figure 1: labels {(1,1),(2,1),(3,1),(2,2),(2,3)}.
+    fn figure1_spg2() -> Spg {
+        parallel_many(&[uniform_chain(3), uniform_chain(3), uniform_chain(3)])
+    }
+
+    #[test]
+    fn figure1_components() {
+        let g1 = figure1_spg1();
+        assert_eq!(
+            label_set(&g1),
+            [(1, 1), (2, 1), (3, 1), (4, 1), (2, 2)].into_iter().collect()
+        );
+        let g2 = figure1_spg2();
+        assert_eq!(
+            label_set(&g2),
+            [(1, 1), (2, 1), (3, 1), (2, 2), (2, 3)].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn figure1_series_composition() {
+        // Paper Figure 1, series composition of SPG1 and SPG2:
+        // {(1,1),(2,1),(2,2),(3,1),(4,1),(5,1),(6,1),(5,2),(5,3)}.
+        let g = series(&figure1_spg1(), &figure1_spg2());
+        assert_eq!(
+            label_set(&g),
+            [(1, 1), (2, 1), (2, 2), (3, 1), (4, 1), (5, 1), (6, 1), (5, 2), (5, 3)]
+                .into_iter()
+                .collect()
+        );
+        assert_eq!(g.n(), 9);
+        assert_eq!(g.elevation(), 3);
+        assert_eq!(g.xmax(), 6);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn figure1_parallel_composition() {
+        // Paper Figure 1, parallel composition of SPG1 and SPG2:
+        // {(1,1),(2,1),(3,1),(4,1),(2,2),(2,3),(2,4),(2,5)}.
+        let g = parallel(&figure1_spg1(), &figure1_spg2());
+        assert_eq!(
+            label_set(&g),
+            [(1, 1), (2, 1), (3, 1), (4, 1), (2, 2), (2, 3), (2, 4), (2, 5)]
+                .into_iter()
+                .collect()
+        );
+        assert_eq!(g.n(), 8);
+        assert_eq!(g.elevation(), 5);
+        assert_eq!(g.xmax(), 4);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn parallel_swaps_shorter_first_argument() {
+        // parallel() must be symmetric up to stage numbering.
+        let a = uniform_chain(3);
+        let b = uniform_chain(5);
+        let g1 = parallel(&a, &b);
+        let g2 = parallel(&b, &a);
+        assert_eq!(label_set(&g1), label_set(&g2));
+        assert_eq!(g1.xmax(), 5);
+        assert_eq!(g1.elevation(), 2);
+    }
+
+    #[test]
+    fn series_preserves_total_work() {
+        let a = figure1_spg1();
+        let b = figure1_spg2();
+        let g = series(&a, &b);
+        assert!((g.total_work() - (a.total_work() + b.total_work())).abs() < 1e-12);
+        let p = parallel(&a, &b);
+        assert!((p.total_work() - (a.total_work() + b.total_work())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_of_bases_gives_multi_edge() {
+        let g = parallel(&base(1.0, 1.0, 2.0), &base(1.0, 1.0, 3.0));
+        assert_eq!(g.n(), 2);
+        assert_eq!(g.n_edges(), 2);
+        assert_eq!(g.total_comm(), 5.0);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn elevation_adds_under_parallel() {
+        let g1 = figure1_spg1(); // elevation 2
+        let g2 = figure1_spg2(); // elevation 3
+        assert_eq!(parallel(&g1, &g2).elevation(), 5);
+        assert_eq!(series(&g1, &g2).elevation(), 3);
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        // Fork-join of k branches (Proposition 1's gadget, with one inner
+        // node per branch realised as 3-stage chains in parallel).
+        let k = 6;
+        let branches: Vec<Spg> = (0..k).map(|_| uniform_chain(3)).collect();
+        let g = parallel_many(&branches);
+        assert_eq!(g.n(), k + 2);
+        assert_eq!(g.elevation(), k as u32);
+        assert_eq!(g.xmax(), 3);
+        g.check_invariants().unwrap();
+    }
+}

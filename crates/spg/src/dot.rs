@@ -1,0 +1,42 @@
+//! Graphviz (DOT) export of SPGs, for debugging and documentation.
+
+use std::fmt::Write as _;
+
+use crate::graph::Spg;
+
+/// Renders the SPG as a Graphviz `digraph`. Node labels show the stage id,
+/// its `(x, y)` label and its weight; edge labels show volumes.
+pub fn to_dot(g: &Spg) -> String {
+    let mut out = String::new();
+    out.push_str("digraph spg {\n  rankdir=LR;\n  node [shape=box];\n");
+    for s in g.stages() {
+        let l = g.label(s);
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"S{} ({},{})\\nw={:.3e}\"];",
+            s.0, s.0, l.x, l.y, g.weight(s)
+        );
+    }
+    for e in g.edges() {
+        let _ = writeln!(out, "  n{} -> n{} [label=\"{:.3e}\"];", e.src.0, e.dst.0, e.volume);
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compose::chain;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let g = chain(&[1.0, 2.0, 3.0], &[10.0, 20.0]);
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph spg {"));
+        assert_eq!(dot.matches(" -> ").count(), 2);
+        for s in g.stages() {
+            assert!(dot.contains(&format!("n{} [", s.0)));
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Random SPG generation (paper §6.2.2).
+//!
+//! The paper's random campaign sweeps SPGs by *size* `n` (50 or 150 stages)
+//! and *elevation* (the x-axis of Figures 10–13), so the generator here takes
+//! both as exact targets. Structure is built by recursive series/parallel
+//! composition: elevation splits across parallel branches (elevation is
+//! additive under parallel composition), series-chain segments are
+//! interleaved with configurable probability to diversify `xmax`.
+//!
+//! Weights and communication volumes are drawn uniformly from configurable
+//! ranges and can be rescaled to an exact CCR, matching §6.1.1.
+
+use rand::Rng;
+
+use crate::compose::{chain, parallel, series};
+use crate::graph::Spg;
+
+/// Configuration for [`random_spg`].
+#[derive(Debug, Clone)]
+pub struct SpgGenConfig {
+    /// Exact number of stages.
+    pub n: usize,
+    /// Exact elevation `ymax`.
+    pub elevation: u32,
+    /// Uniform range for stage weights `w_i` (cycles per data set).
+    pub weight_range: (f64, f64),
+    /// Uniform range for raw edge volumes `δ` (bytes per data set), before
+    /// CCR scaling.
+    pub volume_range: (f64, f64),
+    /// If set, rescale all volumes so `Σw / Σδ` equals this CCR exactly.
+    pub ccr: Option<f64>,
+    /// Probability of peeling a series chain segment at each recursion step
+    /// (shape diversity; 0 gives pure stacked-parallel graphs).
+    pub series_prob: f64,
+}
+
+impl Default for SpgGenConfig {
+    fn default() -> Self {
+        SpgGenConfig {
+            n: 50,
+            elevation: 5,
+            weight_range: (1e5, 1e6),
+            volume_range: (1e3, 1e5),
+            ccr: None,
+            series_prob: 0.3,
+        }
+    }
+}
+
+/// Minimum stage count of an SPG with the given elevation: a chain for
+/// elevation 1, otherwise `e` parallel one-inner-stage branches plus the
+/// shared source and sink.
+pub fn min_stages_for_elevation(e: u32) -> usize {
+    if e <= 1 {
+        2
+    } else {
+        e as usize + 2
+    }
+}
+
+/// Generates a random SPG with exactly `cfg.n` stages and elevation
+/// `cfg.elevation`, weighted from `rng` and optionally rescaled to
+/// `cfg.ccr`.
+///
+/// # Panics
+/// Panics if `cfg.n < min_stages_for_elevation(cfg.elevation)` or the ranges
+/// are malformed.
+pub fn random_spg<R: Rng + ?Sized>(cfg: &SpgGenConfig, rng: &mut R) -> Spg {
+    assert!(cfg.elevation >= 1, "elevation must be at least 1");
+    assert!(
+        cfg.n >= min_stages_for_elevation(cfg.elevation),
+        "n = {} is too small for elevation {} (needs at least {})",
+        cfg.n,
+        cfg.elevation,
+        min_stages_for_elevation(cfg.elevation)
+    );
+    let mut g = build_shape(cfg.n, cfg.elevation, cfg.series_prob, rng);
+    debug_assert_eq!(g.n(), cfg.n);
+    debug_assert_eq!(g.elevation(), cfg.elevation);
+
+    let (wlo, whi) = cfg.weight_range;
+    assert!(wlo > 0.0 && whi >= wlo, "bad weight range");
+    let (vlo, vhi) = cfg.volume_range;
+    assert!(vlo > 0.0 && vhi >= vlo, "bad volume range");
+    let weights = (0..g.n()).map(|_| rng.gen_range(wlo..=whi)).collect();
+    let volumes = (0..g.n_edges()).map(|_| rng.gen_range(vlo..=vhi)).collect();
+    g.set_weights(weights);
+    g.set_volumes(volumes);
+    if let Some(ccr) = cfg.ccr {
+        g.scale_to_ccr(ccr);
+    }
+    g
+}
+
+/// Recursive shape builder: exactly `n` stages, exactly elevation `e`.
+/// All weights/volumes are placeholder `1.0` — the caller overwrites them.
+fn build_shape<R: Rng + ?Sized>(n: usize, e: u32, series_prob: f64, rng: &mut R) -> Spg {
+    debug_assert!(n >= min_stages_for_elevation(e));
+    if e == 1 {
+        return unit_chain(n);
+    }
+    let slack = n - min_stages_for_elevation(e);
+    // Occasionally peel a series chain of k extra stages off the front or
+    // back; series composition shares one stage, so chain(k+1) + rest(n-k)
+    // re-assembles to exactly n stages.
+    if slack > 0 && rng.gen_bool(series_prob) {
+        let k = rng.gen_range(1..=slack);
+        let rest = build_shape(n - k, e, series_prob, rng);
+        let seg = unit_chain(k + 1);
+        return if rng.gen_bool(0.5) { series(&seg, &rest) } else { series(&rest, &seg) };
+    }
+    // Parallel split: elevation is additive, sources/sinks are shared
+    // (n = n1 + n2 - 2). A branch needs at least one *inner* stage to
+    // contribute its elevation (a bare two-stage branch is just a shortcut
+    // edge and adds no elevation), so the per-branch minimum is e_i + 2
+    // even when e_i = 1.
+    let e1 = rng.gen_range(1..e);
+    let e2 = e - e1;
+    let min1 = e1 as usize + 2;
+    let min2 = e2 as usize + 2;
+    let budget = n + 2 - min1 - min2;
+    let extra1 = rng.gen_range(0..=budget);
+    let n1 = min1 + extra1;
+    let n2 = min2 + (budget - extra1);
+    debug_assert_eq!(n1 + n2 - 2, n);
+    let a = build_shape(n1, e1, series_prob, rng);
+    let b = build_shape(n2, e2, series_prob, rng);
+    parallel(&a, &b)
+}
+
+fn unit_chain(n: usize) -> Spg {
+    chain(&vec![1.0; n], &vec![1.0; n - 1])
+}
+
+/// Generates a random SPG of exactly `n` stages with *unconstrained*
+/// elevation (uniformly random split decisions); useful for property tests
+/// that should not be biased toward a particular shape.
+pub fn random_spg_free<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Spg {
+    assert!(n >= 2);
+    let max_e = ((n.saturating_sub(2)).max(1)).min(12) as u32;
+    let e = rng.gen_range(1..=max_e.max(1));
+    let e = e.min(((n.saturating_sub(2)) as u32).max(1));
+    let cfg = SpgGenConfig {
+        n,
+        elevation: if n >= min_stages_for_elevation(e) { e } else { 1 },
+        ..SpgGenConfig::default()
+    };
+    random_spg(&cfg, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn exact_size_and_elevation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for e in 1..=12u32 {
+            for n in [30usize, 50, 150] {
+                let cfg = SpgGenConfig { n, elevation: e, ..Default::default() };
+                let g = random_spg(&cfg, &mut rng);
+                assert_eq!(g.n(), n, "n mismatch at e={e}");
+                assert_eq!(g.elevation(), e, "elevation mismatch at n={n}");
+                g.check_invariants().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn ccr_is_exact() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for target in [10.0, 1.0, 0.1] {
+            let cfg = SpgGenConfig {
+                n: 50,
+                elevation: 6,
+                ccr: Some(target),
+                ..Default::default()
+            };
+            let g = random_spg(&cfg, &mut rng);
+            assert!((g.ccr() - target).abs() / target < 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = SpgGenConfig { n: 40, elevation: 4, ..Default::default() };
+        let g1 = random_spg(&cfg, &mut ChaCha8Rng::seed_from_u64(123));
+        let g2 = random_spg(&cfg, &mut ChaCha8Rng::seed_from_u64(123));
+        assert_eq!(g1.n(), g2.n());
+        assert_eq!(g1.labels(), g2.labels());
+        assert_eq!(g1.weights(), g2.weights());
+    }
+
+    #[test]
+    fn minimum_size_graphs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        for e in 2..=8u32 {
+            let n = min_stages_for_elevation(e);
+            let cfg = SpgGenConfig { n, elevation: e, ..Default::default() };
+            let g = random_spg(&cfg, &mut rng);
+            assert_eq!(g.n(), n);
+            assert_eq!(g.elevation(), e);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn rejects_impossible_target() {
+        let cfg = SpgGenConfig { n: 5, elevation: 5, ..Default::default() };
+        let _ = random_spg(&cfg, &mut ChaCha8Rng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn free_generator_valid() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for n in [2usize, 3, 10, 60] {
+            let g = random_spg_free(n, &mut rng);
+            assert_eq!(g.n(), n);
+            g.check_invariants().unwrap();
+        }
+    }
+}

@@ -1,0 +1,492 @@
+//! Core SPG data structure.
+//!
+//! Stages are indexed by [`StageId`] (dense `u32` indices). The graph stores
+//! per-stage computation requirements `w_i`, per-stage labels `(x_i, y_i)`
+//! (paper §3.1), and a flat edge list with per-edge communication volumes
+//! `δ_{i,j}`. Parallel (duplicate) edges are permitted — they arise from the
+//! parallel composition of two base SPGs — and every algorithm in the
+//! workspace treats the edge *list* as authoritative.
+
+use serde::{Deserialize, Serialize};
+
+/// Dense stage index inside one [`Spg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct StageId(pub u32);
+
+impl StageId {
+    /// The stage index as a `usize`, for direct vector indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Dense edge index inside one [`Spg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// The edge index as a `usize`, for direct vector indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The 2-D label `(x, y)` of a stage (paper §3.1).
+///
+/// `x` is the position along the critical path direction (the source has
+/// `x = 1`, the sink has the maximal `x`), `y` is the elevation of the branch
+/// the stage lives on. Labels define the virtual grid used by the `DPA2D`
+/// heuristic and the *elevation* `ymax = max_i y_i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Label {
+    /// Position along the series direction, `1..=xmax`.
+    pub x: u32,
+    /// Elevation of the branch, `1..=ymax`.
+    pub y: u32,
+}
+
+/// A directed application edge `L_{i,j}` with communication volume
+/// `δ_{i,j}` in bytes per data set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpgEdge {
+    /// Source stage.
+    pub src: StageId,
+    /// Destination stage.
+    pub dst: StageId,
+    /// Communication volume in bytes per data set.
+    pub volume: f64,
+}
+
+/// A series-parallel workflow graph.
+///
+/// Invariants (checked by [`Spg::check_invariants`], established by the
+/// constructors in [`crate::compose`]):
+/// * exactly one source (no predecessors) and one sink (no successors);
+/// * the graph is acyclic and every edge satisfies `x_dst > x_src`;
+/// * the source is stage `0` with label `(1, 1)`; the sink has label
+///   `(xmax, 1)`;
+/// * labels are unique across stages.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Spg {
+    weights: Vec<f64>,
+    labels: Vec<Label>,
+    edges: Vec<SpgEdge>,
+    /// Outgoing edge ids per stage.
+    succ: Vec<Vec<EdgeId>>,
+    /// Incoming edge ids per stage.
+    pred: Vec<Vec<EdgeId>>,
+    source: StageId,
+    sink: StageId,
+}
+
+impl Spg {
+    /// Builds an SPG from raw parts. Used by the composition functions;
+    /// prefer [`crate::compose`] for public construction.
+    ///
+    /// # Panics
+    /// Panics if the parts are structurally inconsistent (wrong lengths,
+    /// out-of-range endpoints, no unique source/sink).
+    pub fn from_parts(weights: Vec<f64>, labels: Vec<Label>, edges: Vec<SpgEdge>) -> Self {
+        let n = weights.len();
+        assert_eq!(labels.len(), n, "labels/weights length mismatch");
+        assert!(n >= 2, "an SPG has at least two stages");
+        let mut succ = vec![Vec::new(); n];
+        let mut pred = vec![Vec::new(); n];
+        for (k, e) in edges.iter().enumerate() {
+            assert!(e.src.idx() < n && e.dst.idx() < n, "edge endpoint out of range");
+            assert!(e.src != e.dst, "self-loop in SPG");
+            succ[e.src.idx()].push(EdgeId(k as u32));
+            pred[e.dst.idx()].push(EdgeId(k as u32));
+        }
+        let sources: Vec<usize> = (0..n).filter(|&i| pred[i].is_empty()).collect();
+        let sinks: Vec<usize> = (0..n).filter(|&i| succ[i].is_empty()).collect();
+        assert_eq!(sources.len(), 1, "SPG must have a unique source");
+        assert_eq!(sinks.len(), 1, "SPG must have a unique sink");
+        Spg {
+            weights,
+            labels,
+            edges,
+            succ,
+            pred,
+            source: StageId(sources[0] as u32),
+            sink: StageId(sinks[0] as u32),
+        }
+    }
+
+    /// Number of stages `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All stage ids, in index order.
+    pub fn stages(&self) -> impl ExactSizeIterator<Item = StageId> + '_ {
+        (0..self.n() as u32).map(StageId)
+    }
+
+    /// The edge list.
+    #[inline]
+    pub fn edges(&self) -> &[SpgEdge] {
+        &self.edges
+    }
+
+    /// One edge by id.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> &SpgEdge {
+        &self.edges[e.idx()]
+    }
+
+    /// Computation requirement `w_i` (cycles per data set).
+    #[inline]
+    pub fn weight(&self, i: StageId) -> f64 {
+        self.weights[i.idx()]
+    }
+
+    /// All weights, indexed by stage.
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Label `(x_i, y_i)` of a stage.
+    #[inline]
+    pub fn label(&self, i: StageId) -> Label {
+        self.labels[i.idx()]
+    }
+
+    /// All labels, indexed by stage.
+    #[inline]
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// The unique source stage (label `(1, 1)`).
+    #[inline]
+    pub fn source(&self) -> StageId {
+        self.source
+    }
+
+    /// The unique sink stage (label `(xmax, 1)`).
+    #[inline]
+    pub fn sink(&self) -> StageId {
+        self.sink
+    }
+
+    /// Outgoing edges of a stage.
+    #[inline]
+    pub fn out_edges(&self, i: StageId) -> impl Iterator<Item = (EdgeId, &SpgEdge)> + '_ {
+        self.succ[i.idx()].iter().map(move |&e| (e, &self.edges[e.idx()]))
+    }
+
+    /// Incoming edges of a stage.
+    #[inline]
+    pub fn in_edges(&self, i: StageId) -> impl Iterator<Item = (EdgeId, &SpgEdge)> + '_ {
+        self.pred[i.idx()].iter().map(move |&e| (e, &self.edges[e.idx()]))
+    }
+
+    /// Successor stages (with possible duplicates under parallel edges).
+    pub fn successors(&self, i: StageId) -> impl Iterator<Item = StageId> + '_ {
+        self.out_edges(i).map(|(_, e)| e.dst)
+    }
+
+    /// Predecessor stages (with possible duplicates under parallel edges).
+    pub fn predecessors(&self, i: StageId) -> impl Iterator<Item = StageId> + '_ {
+        self.in_edges(i).map(|(_, e)| e.src)
+    }
+
+    /// In-degree (counting parallel edges).
+    #[inline]
+    pub fn in_degree(&self, i: StageId) -> usize {
+        self.pred[i.idx()].len()
+    }
+
+    /// Out-degree (counting parallel edges).
+    #[inline]
+    pub fn out_degree(&self, i: StageId) -> usize {
+        self.succ[i.idx()].len()
+    }
+
+    /// Maximum `x` label (equals the sink's `x` by construction).
+    pub fn xmax(&self) -> u32 {
+        self.labels.iter().map(|l| l.x).max().unwrap_or(0)
+    }
+
+    /// Maximum elevation `ymax = max_i y_i` (paper §3.1).
+    pub fn elevation(&self) -> u32 {
+        self.labels.iter().map(|l| l.y).max().unwrap_or(0)
+    }
+
+    /// Total computation `Σ w_i`.
+    pub fn total_work(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// Total communication `Σ δ_{i,j}`.
+    pub fn total_comm(&self) -> f64 {
+        self.edges.iter().map(|e| e.volume).sum()
+    }
+
+    /// Computation-to-communication ratio `CCR = Σ w_i / Σ δ_{i,j}`
+    /// (paper §6.1.1). Returns `f64::INFINITY` for communication-free graphs.
+    pub fn ccr(&self) -> f64 {
+        let c = self.total_comm();
+        if c == 0.0 {
+            f64::INFINITY
+        } else {
+            self.total_work() / c
+        }
+    }
+
+    /// Rescales every communication volume so the CCR becomes exactly
+    /// `target` (paper §6.1.1 scales the StreamIt workloads to CCR 10 / 1 /
+    /// 0.1). No-op on communication-free graphs.
+    ///
+    /// # Panics
+    /// Panics if `target` is not strictly positive and finite.
+    pub fn scale_to_ccr(&mut self, target: f64) {
+        assert!(target.is_finite() && target > 0.0, "CCR target must be positive");
+        let current = self.ccr();
+        if !current.is_finite() {
+            return;
+        }
+        let factor = current / target;
+        for e in &mut self.edges {
+            e.volume *= factor;
+        }
+    }
+
+    /// Overwrites the stage weights.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or non-finite / negative weights.
+    pub fn set_weights(&mut self, weights: Vec<f64>) {
+        assert_eq!(weights.len(), self.n());
+        assert!(weights.iter().all(|w| w.is_finite() && *w >= 0.0));
+        self.weights = weights;
+    }
+
+    /// Overwrites the edge volumes (in edge-id order).
+    ///
+    /// # Panics
+    /// Panics on length mismatch or non-finite / negative volumes.
+    pub fn set_volumes(&mut self, volumes: Vec<f64>) {
+        assert_eq!(volumes.len(), self.n_edges());
+        assert!(volumes.iter().all(|v| v.is_finite() && *v >= 0.0));
+        for (e, v) in self.edges.iter_mut().zip(volumes) {
+            e.volume = v;
+        }
+    }
+
+    /// A topological order of the stages (source first, sink last).
+    pub fn topo_order(&self) -> Vec<StageId> {
+        let n = self.n();
+        let mut indeg: Vec<usize> = (0..n).map(|i| self.pred[i].len()).collect();
+        let mut queue: Vec<StageId> = vec![self.source];
+        let mut order = Vec::with_capacity(n);
+        while let Some(u) = queue.pop() {
+            order.push(u);
+            for (_, e) in self.out_edges(u) {
+                indeg[e.dst.idx()] -= 1;
+                if indeg[e.dst.idx()] == 0 {
+                    queue.push(e.dst);
+                }
+            }
+        }
+        assert_eq!(order.len(), n, "SPG contains a cycle");
+        order
+    }
+
+    /// Transitive reachability: `reach[i][j]` iff there is a path `i ⤳ j`
+    /// (including `i = j`). Used by the DAG-partition convexity check and by
+    /// the exact solver (the ILP's `ℓ*` closure, paper §4.4.1).
+    pub fn reachability(&self) -> Vec<Vec<bool>> {
+        let n = self.n();
+        let mut reach = vec![vec![false; n]; n];
+        let order = self.topo_order();
+        for &u in order.iter().rev() {
+            reach[u.idx()][u.idx()] = true;
+            // Collect successor rows into u's row.
+            let succs: Vec<StageId> = self.successors(u).collect();
+            for s in succs {
+                let (head, tail) = if u.idx() < s.idx() {
+                    let (a, b) = reach.split_at_mut(s.idx());
+                    (&mut a[u.idx()], &b[0])
+                } else {
+                    let (a, b) = reach.split_at_mut(u.idx());
+                    (&mut b[0], &a[s.idx()])
+                };
+                for j in 0..n {
+                    head[j] |= tail[j];
+                }
+            }
+        }
+        reach
+    }
+
+    /// Checks all structural invariants; returns a human-readable error.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let n = self.n();
+        // Unique source/sink established at construction; re-verify labels.
+        if self.label(self.source) != (Label { x: 1, y: 1 }) {
+            return Err(format!(
+                "source label must be (1,1), got {:?}",
+                self.label(self.source)
+            ));
+        }
+        let xmax = self.xmax();
+        if self.label(self.sink) != (Label { x: xmax, y: 1 }) {
+            return Err(format!(
+                "sink label must be ({xmax},1), got {:?}",
+                self.label(self.sink)
+            ));
+        }
+        // Edges strictly increase x.
+        for e in &self.edges {
+            let (lx, ly) = (self.label(e.src), self.label(e.dst));
+            if ly.x <= lx.x {
+                return Err(format!(
+                    "edge {:?}->{:?} does not increase x ({:?} -> {:?})",
+                    e.src, e.dst, lx, ly
+                ));
+            }
+            if !(e.volume.is_finite() && e.volume >= 0.0) {
+                return Err(format!("edge {:?}->{:?} has bad volume {}", e.src, e.dst, e.volume));
+            }
+        }
+        // Labels unique.
+        let mut seen = std::collections::HashSet::with_capacity(n);
+        for l in &self.labels {
+            if !seen.insert((l.x, l.y)) {
+                return Err(format!("duplicate label ({}, {})", l.x, l.y));
+            }
+        }
+        // Acyclicity via topo_order (panics on cycle — catch length here).
+        let order = self.topo_order();
+        if order.len() != n {
+            return Err("cycle detected".into());
+        }
+        // Weights sane.
+        for (i, w) in self.weights.iter().enumerate() {
+            if !(w.is_finite() && *w >= 0.0) {
+                return Err(format!("stage {i} has bad weight {w}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The aggregated communication volume leaving a set of stages:
+    /// `Σ δ_{i,j}` over edges with `i ∈ set`, `j ∉ set`. This is the paper's
+    /// `Cout(G')` (Theorem 1) — the traffic crossing the cut after the
+    /// admissible subgraph `G'` on a uni-directional line.
+    pub fn cut_volume(&self, set: &crate::nodeset::NodeSet) -> f64 {
+        self.edges
+            .iter()
+            .filter(|e| set.contains(e.src.idx()) && !set.contains(e.dst.idx()))
+            .map(|e| e.volume)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compose::{base, chain, parallel, series};
+
+    #[test]
+    fn base_spg_shape() {
+        let g = base(1.0, 2.0, 3.0);
+        assert_eq!(g.n(), 2);
+        assert_eq!(g.n_edges(), 1);
+        assert_eq!(g.label(g.source()), Label { x: 1, y: 1 });
+        assert_eq!(g.label(g.sink()), Label { x: 2, y: 1 });
+        assert_eq!(g.weight(g.source()), 1.0);
+        assert_eq!(g.weight(g.sink()), 2.0);
+        assert_eq!(g.edges()[0].volume, 3.0);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn chain_labels_are_linear() {
+        let g = chain(&[1.0; 5], &[1.0; 4]);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.elevation(), 1);
+        assert_eq!(g.xmax(), 5);
+        let mut xs: Vec<u32> = g.labels().iter().map(|l| l.x).collect();
+        xs.sort_unstable();
+        assert_eq!(xs, vec![1, 2, 3, 4, 5]);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn ccr_and_scaling() {
+        let mut g = chain(&[10.0, 20.0, 30.0], &[3.0, 3.0]);
+        assert!((g.ccr() - 10.0).abs() < 1e-12);
+        g.scale_to_ccr(1.0);
+        assert!((g.ccr() - 1.0).abs() < 1e-12);
+        g.scale_to_ccr(0.1);
+        assert!((g.ccr() - 0.1).abs() < 1e-12);
+        assert!((g.total_work() - 60.0).abs() < 1e-12, "scaling must not touch weights");
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let a = chain(&[1.0; 3], &[1.0; 2]);
+        let b = chain(&[1.0; 4], &[1.0; 3]);
+        let g = series(&parallel(&a, &b), &chain(&[1.0; 2], &[1.0]));
+        let order = g.topo_order();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; g.n()];
+            for (k, s) in order.iter().enumerate() {
+                p[s.idx()] = k;
+            }
+            p
+        };
+        for e in g.edges() {
+            assert!(pos[e.src.idx()] < pos[e.dst.idx()]);
+        }
+    }
+
+    #[test]
+    fn reachability_closure() {
+        let g = chain(&[1.0; 4], &[1.0; 3]);
+        let r = g.reachability();
+        let order = g.topo_order();
+        // On a chain, reachability is exactly the order relation.
+        for (i, &u) in order.iter().enumerate() {
+            for (j, &v) in order.iter().enumerate() {
+                assert_eq!(r[u.idx()][v.idx()], i <= j);
+            }
+        }
+    }
+
+    #[test]
+    fn cut_volume_matches_manual_sum() {
+        let g = chain(&[1.0; 4], &[5.0, 7.0, 9.0]);
+        let order = g.topo_order();
+        let mut set = crate::nodeset::NodeSet::new(g.n());
+        set.insert(order[0].idx());
+        set.insert(order[1].idx());
+        assert_eq!(g.cut_volume(&set), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unique source")]
+    fn two_sources_rejected() {
+        let _ = Spg::from_parts(
+            vec![1.0, 1.0, 1.0],
+            vec![Label { x: 1, y: 1 }, Label { x: 1, y: 2 }, Label { x: 2, y: 1 }],
+            vec![
+                SpgEdge { src: StageId(0), dst: StageId(2), volume: 0.0 },
+                SpgEdge { src: StageId(1), dst: StageId(2), volume: 0.0 },
+            ],
+        );
+    }
+}

@@ -1,0 +1,216 @@
+//! Admissible subgraphs (order ideals) of an SPG.
+//!
+//! Paper Theorem 1 defines *admissible subgraphs* recursively: the full graph
+//! is admissible, and removing a node with no successor from an admissible
+//! subgraph yields an admissible subgraph. These are exactly the **order
+//! ideals** (downward-closed sets) of the precedence DAG. In a
+//! bounded-elevation SPG, stages sharing a `y` label are totally ordered by
+//! precedence, so an ideal is characterised by at most one frontier stage per
+//! elevation level — hence at most `n^ymax` ideals, which is the key to the
+//! polynomial-time `DPA1D` algorithm.
+//!
+//! Enumeration is a BFS over the ideal lattice with a hard cap: exceeding the
+//! cap aborts with [`IdealError::LimitExceeded`], which `DPA1D` surfaces as a
+//! heuristic failure (the paper observes exactly this on the high-elevation
+//! StreamIt workflows).
+
+use std::collections::HashMap;
+
+use crate::graph::{Spg, StageId};
+use crate::nodeset::NodeSet;
+
+/// Why ideal enumeration failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IdealError {
+    /// More ideals than the configured cap — the graph's elevation is too
+    /// large for the lattice to be tractable.
+    LimitExceeded {
+        /// The cap that was exceeded.
+        cap: usize,
+    },
+}
+
+impl std::fmt::Display for IdealError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IdealError::LimitExceeded { cap } => {
+                write!(f, "ideal lattice exceeds the cap of {cap} ideals")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IdealError {}
+
+/// The enumerated ideal lattice of an SPG.
+pub struct IdealLattice {
+    /// All ideals, grouped by cardinality in increasing order (BFS layers);
+    /// index 0 is the empty ideal, the last entry is the full stage set.
+    pub ideals: Vec<NodeSet>,
+    index: HashMap<NodeSet, u32>,
+}
+
+impl IdealLattice {
+    /// Number of ideals (including the empty and full ideals).
+    pub fn len(&self) -> usize {
+        self.ideals.len()
+    }
+
+    /// Whether the lattice is empty (never true for a valid SPG).
+    pub fn is_empty(&self) -> bool {
+        self.ideals.is_empty()
+    }
+
+    /// Looks up the dense index of an ideal.
+    pub fn index_of(&self, ideal: &NodeSet) -> Option<u32> {
+        self.index.get(ideal).copied()
+    }
+
+    /// The dense index of the empty ideal (always 0).
+    pub fn empty_index(&self) -> u32 {
+        0
+    }
+
+    /// The dense index of the full ideal (always the last).
+    pub fn full_index(&self) -> u32 {
+        (self.ideals.len() - 1) as u32
+    }
+}
+
+/// Stages that can be appended to `ideal` while keeping it downward-closed:
+/// stages outside the ideal whose predecessors are all inside.
+pub fn ready_stages(spg: &Spg, ideal: &NodeSet) -> Vec<StageId> {
+    spg.stages()
+        .filter(|&s| {
+            !ideal.contains(s.idx()) && spg.predecessors(s).all(|p| ideal.contains(p.idx()))
+        })
+        .collect()
+}
+
+/// Enumerates every order ideal of `spg`, capped at `cap` ideals.
+///
+/// The result is grouped by cardinality (all ideals of size `k` precede all
+/// ideals of size `k+1`), which is the iteration order the `DPA1D` dynamic
+/// program relies on.
+pub fn enumerate_ideals(spg: &Spg, cap: usize) -> Result<IdealLattice, IdealError> {
+    let n = spg.n();
+    let empty = NodeSet::new(n);
+    let mut ideals: Vec<NodeSet> = vec![empty.clone()];
+    let mut index: HashMap<NodeSet, u32> = HashMap::new();
+    index.insert(empty, 0);
+
+    let mut layer_start = 0usize;
+    loop {
+        let layer_end = ideals.len();
+        if layer_start == layer_end {
+            break;
+        }
+        for i in layer_start..layer_end {
+            let ready = ready_stages(spg, &ideals[i]);
+            for s in ready {
+                let mut next = ideals[i].clone();
+                next.insert(s.idx());
+                if !index.contains_key(&next) {
+                    if ideals.len() >= cap {
+                        return Err(IdealError::LimitExceeded { cap });
+                    }
+                    index.insert(next.clone(), ideals.len() as u32);
+                    ideals.push(next);
+                }
+            }
+        }
+        layer_start = layer_end;
+    }
+    Ok(IdealLattice { ideals, index })
+}
+
+/// Checks that a set is an order ideal (every predecessor of a member is a
+/// member). Exposed for tests and for validating DP cluster chains.
+pub fn is_ideal(spg: &Spg, set: &NodeSet) -> bool {
+    set.iter().all(|i| {
+        spg.predecessors(StageId(i as u32)).all(|p| set.contains(p.idx()))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compose::{chain, parallel_many, series};
+
+    fn uniform_chain(n: usize) -> Spg {
+        chain(&vec![1.0; n], &vec![1.0; n - 1])
+    }
+
+    #[test]
+    fn chain_has_n_plus_one_ideals() {
+        for n in 2..8 {
+            let g = uniform_chain(n);
+            let lat = enumerate_ideals(&g, 10_000).unwrap();
+            assert_eq!(lat.len(), n + 1, "a chain's ideals are its prefixes");
+        }
+    }
+
+    #[test]
+    fn fork_join_ideal_count() {
+        // Fork-join with 2 branches of b inner stages each:
+        // ideals = 1 (empty) + 1 ({src}) * (b+1)^2 prefix products ... the
+        // exact closed form: empty, plus ideals containing the source:
+        // (b+1)^2 choices of branch prefixes, plus the full set adds the
+        // sink only when both branches are complete (already counted) + 1
+        // for sink inclusion. Total = 1 + (b+1)^2 + 1.
+        for b in 1..5usize {
+            let branch = uniform_chain(b + 2);
+            let g = parallel_many(&[branch.clone(), branch.clone()]);
+            let lat = enumerate_ideals(&g, 100_000).unwrap();
+            assert_eq!(lat.len(), 1 + (b + 1) * (b + 1) + 1);
+        }
+    }
+
+    #[test]
+    fn all_enumerated_sets_are_ideals() {
+        let g = series(
+            &parallel_many(&[uniform_chain(3), uniform_chain(4)]),
+            &uniform_chain(3),
+        );
+        let lat = enumerate_ideals(&g, 100_000).unwrap();
+        for ideal in &lat.ideals {
+            assert!(is_ideal(&g, ideal));
+        }
+        // First is empty, last is full.
+        assert!(lat.ideals[0].is_empty());
+        assert_eq!(lat.ideals[lat.full_index() as usize].len(), g.n());
+        // Sorted by cardinality.
+        let sizes: Vec<usize> = lat.ideals.iter().map(|s| s.len()).collect();
+        assert!(sizes.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn cap_is_enforced() {
+        // Elevation-8 fork-join has far more than 50 ideals.
+        let branches: Vec<Spg> = (0..8).map(|_| uniform_chain(5)).collect();
+        let g = parallel_many(&branches);
+        match enumerate_ideals(&g, 50) {
+            Err(IdealError::LimitExceeded { cap: 50 }) => {}
+            other => panic!("expected LimitExceeded, got {:?}", other.map(|l| l.len())),
+        }
+    }
+
+    #[test]
+    fn ready_stages_of_empty_is_source() {
+        let g = uniform_chain(5);
+        let ready = ready_stages(&g, &NodeSet::new(g.n()));
+        assert_eq!(ready, vec![g.source()]);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let g = uniform_chain(4);
+        let lat = enumerate_ideals(&g, 1000).unwrap();
+        for (i, ideal) in lat.ideals.iter().enumerate() {
+            assert_eq!(lat.index_of(ideal), Some(i as u32));
+        }
+        let mut not_ideal = NodeSet::new(g.n());
+        not_ideal.insert(g.sink().idx());
+        assert_eq!(lat.index_of(&not_ideal), None);
+    }
+}

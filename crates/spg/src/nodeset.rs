@@ -1,0 +1,210 @@
+//! A compact fixed-capacity bit set over stage indices.
+//!
+//! Used to represent *admissible subgraphs* (order ideals) and clusters in
+//! the dynamic-programming heuristics. The capacity is fixed at creation
+//! (the `n` of the SPG); all binary operations require equal capacities.
+
+use std::fmt;
+
+/// Fixed-capacity bit set over `0..capacity`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct NodeSet {
+    words: Vec<u64>,
+    capacity: u32,
+}
+
+impl NodeSet {
+    /// Empty set with room for `capacity` elements.
+    pub fn new(capacity: usize) -> Self {
+        NodeSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity: capacity as u32,
+        }
+    }
+
+    /// Full set `{0, .., capacity-1}`.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = Self::new(capacity);
+        for i in 0..capacity {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// The fixed capacity.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity as usize
+    }
+
+    /// Inserts `i`; returns whether it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.capacity());
+        let (w, b) = (i / 64, i % 64);
+        let fresh = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        fresh
+    }
+
+    /// Removes `i`; returns whether it was present.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.capacity());
+        let (w, b) = (i / 64, i % 64);
+        let present = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        present
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.capacity());
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `self ⊆ other`.
+    pub fn is_subset(&self, other: &NodeSet) -> bool {
+        debug_assert_eq!(self.capacity, other.capacity);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &NodeSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place difference `self \ other`.
+    pub fn difference_with(&mut self, other: &NodeSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// New set `self \ other`.
+    pub fn difference(&self, other: &NodeSet) -> NodeSet {
+        let mut s = self.clone();
+        s.difference_with(other);
+        s
+    }
+
+    /// New set `self ∪ other`.
+    pub fn union(&self, other: &NodeSet) -> NodeSet {
+        let mut s = self.clone();
+        s.union_with(other);
+        s
+    }
+
+    /// Whether the sets intersect.
+    pub fn intersects(&self, other: &NodeSet) -> bool {
+        debug_assert_eq!(self.capacity, other.capacity);
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Iterates over the elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+impl fmt::Debug for NodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for NodeSet {
+    /// Collects indices into a set sized to the maximum index + 1. Prefer
+    /// [`NodeSet::new`] + inserts when the capacity must match a graph.
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().max().map_or(0, |m| m + 1);
+        let mut s = NodeSet::new(cap);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = NodeSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64));
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(129));
+        assert!(!s.contains(1));
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn subset_and_ops() {
+        let mut a = NodeSet::new(100);
+        let mut b = NodeSet::new(100);
+        for i in [3, 17, 64, 99] {
+            b.insert(i);
+        }
+        a.insert(17);
+        a.insert(99);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        let d = b.difference(&a);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![3, 64]);
+        let u = a.union(&d);
+        assert_eq!(u, b);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&d));
+    }
+
+    #[test]
+    fn iter_order_and_full() {
+        let s = NodeSet::full(70);
+        assert_eq!(s.len(), 70);
+        let v: Vec<usize> = s.iter().collect();
+        assert_eq!(v, (0..70).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_set() {
+        let s = NodeSet::new(10);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Recognition of two-terminal series-parallel DAGs.
+//!
+//! The paper's algorithms require the application to *be* a series-parallel
+//! graph (§3.1). Graphs built through [`crate::compose`] are SP by
+//! construction, but a workflow imported from elsewhere (a DOT file, a
+//! trace) needs checking. This module implements the classic
+//! Valdes–Tarjan–Lawler reduction: repeatedly
+//!
+//! * **series-reduce** a non-terminal node with in-degree 1 and out-degree
+//!   1 (replace `u → v → w` by `u → w`), and
+//! * **parallel-reduce** duplicate edges (merge two `u → w` edges),
+//!
+//! until no rule applies. The DAG is two-terminal series-parallel **iff**
+//! the result is the single edge `source → sink`.
+//!
+//! Reductions also aggregate costs (series sums volumes through the merged
+//! node is *not* meaningful — the node carries computation — so reductions
+//! here are purely structural; use them for recognition, not evaluation).
+
+use crate::graph::Spg;
+
+/// Outcome of the reduction process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpRecognition {
+    /// Whether the graph reduced to the single source→sink edge.
+    pub is_series_parallel: bool,
+    /// Number of series reductions applied.
+    pub series_steps: usize,
+    /// Number of parallel reductions applied.
+    pub parallel_steps: usize,
+    /// Nodes remaining when reduction stalled (2 for SP graphs).
+    pub residual_nodes: usize,
+}
+
+/// Runs SP recognition on the graph's structure.
+pub fn recognize(g: &Spg) -> SpRecognition {
+    recognize_edges(g.n(), g.source().idx(), g.sink().idx(), &edge_list(g))
+}
+
+fn edge_list(g: &Spg) -> Vec<(usize, usize)> {
+    g.edges().iter().map(|e| (e.src.idx(), e.dst.idx())).collect()
+}
+
+/// Core reduction on an explicit multigraph edge list.
+pub fn recognize_edges(
+    n: usize,
+    source: usize,
+    sink: usize,
+    edges: &[(usize, usize)],
+) -> SpRecognition {
+    // Adjacency as multisets via counted maps.
+    let mut out_deg = vec![0usize; n];
+    let mut in_deg = vec![0usize; n];
+    // live multigraph edges (with multiplicity)
+    let mut mult: std::collections::HashMap<(usize, usize), usize> = std::collections::HashMap::new();
+    for &(a, b) in edges {
+        out_deg[a] += 1;
+        in_deg[b] += 1;
+        *mult.entry((a, b)).or_insert(0) += 1;
+    }
+    let mut series_steps = 0usize;
+    let mut parallel_steps = 0usize;
+    let mut alive = vec![true; n];
+
+    // Work-list of candidate nodes for series reduction.
+    let mut queue: Vec<usize> = (0..n)
+        .filter(|&v| v != source && v != sink && in_deg[v] == 1 && out_deg[v] == 1)
+        .collect();
+
+    // Initial parallel collapse.
+    for (_, m) in mult.iter_mut() {
+        if *m > 1 {
+            parallel_steps += *m - 1;
+        }
+    }
+    // Keep multiplicity 1 logically; record duplicates as already merged.
+    let mut succ: Vec<std::collections::BTreeMap<usize, usize>> = vec![Default::default(); n];
+    let mut pred: Vec<std::collections::BTreeMap<usize, usize>> = vec![Default::default(); n];
+    for (&(a, b), &m) in &mult {
+        succ[a].insert(b, m);
+        pred[b].insert(a, m);
+    }
+    // Recompute degrees as *distinct* neighbour counts after the collapse.
+    for v in 0..n {
+        out_deg[v] = succ[v].len();
+        in_deg[v] = pred[v].len();
+    }
+    queue = (0..n)
+        .filter(|&v| v != source && v != sink && in_deg[v] == 1 && out_deg[v] == 1)
+        .collect();
+
+    while let Some(v) = queue.pop() {
+        if !alive[v] || v == source || v == sink || in_deg[v] != 1 || out_deg[v] != 1 {
+            continue;
+        }
+        let (&u, _) = pred[v].iter().next().unwrap();
+        let (&w, _) = succ[v].iter().next().unwrap();
+        if u == w {
+            // A cycle u -> v -> u cannot occur in a DAG; bail out.
+            continue;
+        }
+        // Remove v; add edge u -> w (merging a parallel duplicate if any).
+        alive[v] = false;
+        series_steps += 1;
+        succ[u].remove(&v);
+        pred[w].remove(&v);
+        pred[v].clear();
+        succ[v].clear();
+        if let std::collections::btree_map::Entry::Vacant(e) = succ[u].entry(w) {
+            e.insert(1);
+            pred[w].insert(u, 1);
+        } else {
+            parallel_steps += 1; // merged with an existing u -> w edge
+        }
+        out_deg[u] = succ[u].len();
+        in_deg[w] = pred[w].len();
+        in_deg[v] = 0;
+        out_deg[v] = 0;
+        // u and w may now be reducible.
+        for cand in [u, w] {
+            if cand != source && cand != sink && in_deg[cand] == 1 && out_deg[cand] == 1 {
+                queue.push(cand);
+            }
+        }
+    }
+
+    let residual_nodes = alive.iter().filter(|&&a| a).count();
+    let reduced_to_edge = residual_nodes == 2
+        && succ[source].len() == 1
+        && succ[source].contains_key(&sink);
+    SpRecognition {
+        is_series_parallel: reduced_to_edge,
+        series_steps,
+        parallel_steps,
+        residual_nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compose::{chain, parallel, parallel_many, series};
+    use crate::generate::{random_spg, SpgGenConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn chains_are_sp() {
+        for n in 2..8 {
+            let g = chain(&vec![1.0; n], &vec![1.0; n - 1]);
+            let r = recognize(&g);
+            assert!(r.is_series_parallel, "chain({n})");
+            assert_eq!(r.series_steps, n - 2);
+        }
+    }
+
+    #[test]
+    fn composed_graphs_are_sp() {
+        let g = series(
+            &parallel_many(&[
+                chain(&[1.0; 3], &[1.0; 2]),
+                chain(&[1.0; 4], &[1.0; 3]),
+                chain(&[1.0; 3], &[1.0; 2]),
+            ]),
+            &parallel(&chain(&[1.0; 3], &[1.0; 2]), &chain(&[1.0; 5], &[1.0; 4])),
+        );
+        assert!(recognize(&g).is_series_parallel);
+    }
+
+    #[test]
+    fn random_spgs_recognized() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for e in 1..=8 {
+            let cfg = SpgGenConfig { n: 30, elevation: e, ..Default::default() };
+            let g = random_spg(&cfg, &mut rng);
+            assert!(recognize(&g).is_series_parallel, "elevation {e}");
+        }
+    }
+
+    #[test]
+    fn non_sp_dag_rejected() {
+        // The "N" graph plus forced single source/sink:
+        //   s -> a, s -> b, a -> c, a -> d, b -> d, c -> t, d -> t
+        // contains the forbidden N-minor (a->c, a->d, b->d).
+        let r = recognize_edges(
+            6,
+            0,
+            5,
+            &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 4), (3, 5), (4, 5)],
+        );
+        assert!(!r.is_series_parallel);
+        assert!(r.residual_nodes > 2);
+    }
+
+    #[test]
+    fn multi_edges_parallel_reduce() {
+        // Two parallel edges source -> sink: one parallel step, SP.
+        let r = recognize_edges(2, 0, 1, &[(0, 1), (0, 1)]);
+        assert!(r.is_series_parallel);
+        assert_eq!(r.parallel_steps, 1);
+        assert_eq!(r.series_steps, 0);
+    }
+
+    #[test]
+    fn diamond_counts_reductions() {
+        // s -> a -> t, s -> b -> t: two series steps then one parallel.
+        let r = recognize_edges(4, 0, 3, &[(0, 1), (1, 3), (0, 2), (2, 3)]);
+        assert!(r.is_series_parallel);
+        assert_eq!(r.series_steps, 2);
+        assert_eq!(r.parallel_steps, 1);
+    }
+}

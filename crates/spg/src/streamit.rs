@@ -1,0 +1,171 @@
+//! Synthetic StreamIt workload suite (paper Table 1).
+//!
+//! The paper evaluates on the 12 workflows of the MIT StreamIt benchmark
+//! suite. The actual stream graphs are not redistributable here, so this
+//! module synthesises, for each workflow, an SPG with **exactly** the
+//! published size `n`, elevation `ymax`, depth `xmax` and
+//! computation-to-communication ratio CCR of Table 1 (see DESIGN.md §3 for
+//! the substitution rationale). The shape is a spine chain of `xmax` stages
+//! composed in parallel with `ymax − 1` chains whose lengths absorb the
+//! remaining `n − xmax` stages — the same "bounded-elevation pipeline with
+//! parallel branches" family the real workflows belong to.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::compose::{chain, parallel};
+use crate::graph::Spg;
+
+/// Published characteristics of one StreamIt workflow (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamItSpec {
+    /// 1-based index used on the x-axis of Figures 8 and 9.
+    pub index: usize,
+    /// Workflow name.
+    pub name: &'static str,
+    /// Number of stages `n`.
+    pub n: usize,
+    /// Elevation `ymax`.
+    pub ymax: u32,
+    /// Depth `xmax`.
+    pub xmax: u32,
+    /// Original computation-to-communication ratio.
+    pub ccr: f64,
+}
+
+/// Table 1 of the paper, verbatim.
+pub const STREAMIT_SPECS: [StreamItSpec; 12] = [
+    StreamItSpec { index: 1, name: "Beamformer", n: 57, ymax: 12, xmax: 12, ccr: 537.0 },
+    StreamItSpec { index: 2, name: "ChannelVocoder", n: 55, ymax: 17, xmax: 8, ccr: 453.0 },
+    StreamItSpec { index: 3, name: "Filterbank", n: 85, ymax: 16, xmax: 14, ccr: 535.0 },
+    StreamItSpec { index: 4, name: "FMRadio", n: 43, ymax: 12, xmax: 12, ccr: 330.0 },
+    StreamItSpec { index: 5, name: "Vocoder", n: 114, ymax: 17, xmax: 32, ccr: 38.0 },
+    StreamItSpec { index: 6, name: "BitonicSort", n: 40, ymax: 4, xmax: 23, ccr: 6.0 },
+    StreamItSpec { index: 7, name: "DCT", n: 8, ymax: 1, xmax: 8, ccr: 68.0 },
+    StreamItSpec { index: 8, name: "DES", n: 53, ymax: 3, xmax: 45, ccr: 7.0 },
+    StreamItSpec { index: 9, name: "FFT", n: 17, ymax: 1, xmax: 17, ccr: 17.0 },
+    StreamItSpec { index: 10, name: "MPEG2-noparser", n: 23, ymax: 5, xmax: 18, ccr: 9.0 },
+    StreamItSpec { index: 11, name: "Serpent", n: 120, ymax: 2, xmax: 111, ccr: 9.0 },
+    StreamItSpec { index: 12, name: "TDE", n: 29, ymax: 1, xmax: 29, ccr: 12.0 },
+];
+
+/// Builds the synthetic workflow for one spec: exact `n / ymax / xmax`,
+/// seeded random weights in `[1e5, 1e6]` cycles and volumes scaled so the
+/// CCR matches the spec exactly.
+///
+/// # Panics
+/// Panics if the spec is structurally unsatisfiable (never the case for
+/// [`STREAMIT_SPECS`]).
+pub fn streamit_workflow(spec: &StreamItSpec, seed: u64) -> Spg {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(spec.index as u64 * 0x9E37_79B9));
+    let mut g = build_shape(spec);
+    debug_assert_eq!(g.n(), spec.n, "{}: n mismatch", spec.name);
+    debug_assert_eq!(g.elevation(), spec.ymax, "{}: ymax mismatch", spec.name);
+    debug_assert_eq!(g.xmax(), spec.xmax, "{}: xmax mismatch", spec.name);
+    let weights = (0..g.n()).map(|_| rng.gen_range(1e5..=1e6)).collect();
+    let volumes = (0..g.n_edges()).map(|_| rng.gen_range(1e3..=1e5)).collect();
+    g.set_weights(weights);
+    g.set_volumes(volumes);
+    g.scale_to_ccr(spec.ccr);
+    g
+}
+
+/// The full 12-workflow suite with their specs, at their original CCRs.
+pub fn streamit_suite(seed: u64) -> Vec<(StreamItSpec, Spg)> {
+    STREAMIT_SPECS
+        .iter()
+        .map(|spec| (*spec, streamit_workflow(spec, seed)))
+        .collect()
+}
+
+fn build_shape(spec: &StreamItSpec) -> Spg {
+    let spine = unit_chain(spec.xmax as usize);
+    if spec.ymax == 1 {
+        assert_eq!(
+            spec.n, spec.xmax as usize,
+            "{}: a pipeline must have n == xmax",
+            spec.name
+        );
+        return spine;
+    }
+    let branches = spec.ymax as usize - 1;
+    let budget = spec
+        .n
+        .checked_sub(spec.xmax as usize)
+        .unwrap_or_else(|| panic!("{}: n < xmax", spec.name));
+    assert!(budget >= branches, "{}: not enough stages for {} branches", spec.name, branches);
+    let base = budget / branches;
+    let rem = budget % branches;
+    let mut g = spine;
+    for b in 0..branches {
+        let inner = base + usize::from(b < rem);
+        // A parallel branch with `inner` inner stages is a chain of
+        // `inner + 2` stages sharing the source and sink.
+        let len = inner + 2;
+        assert!(
+            len <= spec.xmax as usize,
+            "{}: branch of {} stages would exceed xmax = {}",
+            spec.name,
+            len,
+            spec.xmax
+        );
+        g = parallel(&g, &unit_chain(len));
+    }
+    g
+}
+
+fn unit_chain(n: usize) -> Spg {
+    chain(&vec![1.0; n], &vec![1.0; n - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_specs_match_table1() {
+        for spec in &STREAMIT_SPECS {
+            let g = streamit_workflow(spec, 2011);
+            assert_eq!(g.n(), spec.n, "{}", spec.name);
+            assert_eq!(g.elevation(), spec.ymax, "{}", spec.name);
+            assert_eq!(g.xmax(), spec.xmax, "{}", spec.name);
+            assert!(
+                (g.ccr() - spec.ccr).abs() / spec.ccr < 1e-9,
+                "{}: ccr {} vs {}",
+                spec.name,
+                g.ccr(),
+                spec.ccr
+            );
+            g.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn pipelines_are_chains() {
+        for spec in STREAMIT_SPECS.iter().filter(|s| s.ymax == 1) {
+            let g = streamit_workflow(spec, 0);
+            assert_eq!(g.n_edges(), g.n() - 1);
+            assert_eq!(g.xmax() as usize, g.n());
+        }
+    }
+
+    #[test]
+    fn suite_has_12_workflows() {
+        let suite = streamit_suite(1);
+        assert_eq!(suite.len(), 12);
+        // Indices 1..=12 in order, as plotted in Figures 8-9.
+        for (k, (spec, _)) in suite.iter().enumerate() {
+            assert_eq!(spec.index, k + 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed_distinct_across_workflows() {
+        let a = streamit_workflow(&STREAMIT_SPECS[0], 5);
+        let b = streamit_workflow(&STREAMIT_SPECS[0], 5);
+        assert_eq!(a.weights(), b.weights());
+        let c = streamit_workflow(&STREAMIT_SPECS[3], 5);
+        // FMRadio and Beamformer share ymax/xmax but must differ in weights.
+        assert_ne!(a.weights()[..4], c.weights()[..4]);
+    }
+}

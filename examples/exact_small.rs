@@ -1,0 +1,50 @@
+//! Exact-vs-heuristics on a 2×2 CMP — the scale at which the paper could
+//! solve its integer linear program (§4.4). Shows how far each heuristic is
+//! from the true optimum, and what relaxing the DAG-partition rule to
+//! general mappings (the paper's §7 future work) buys.
+//!
+//! ```sh
+//! cargo run --release --example exact_small
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spg_cmp::prelude::*;
+
+fn main() {
+    let pf = Platform::paper(2, 2);
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let cfg = SpgGenConfig { n: 8, elevation: 2, ccr: Some(1.0), ..Default::default() };
+    let g = spg::random_spg(&cfg, &mut rng);
+    let period = 5e-3;
+
+    println!("random SPG: n = {}, ymax = {}, CCR = {:.1}; 2x2 CMP, T = {period} s\n", g.n(), g.elevation(), g.ccr());
+
+    let opt = exact(&g, &pf, period, &ExactConfig::default()).expect("solvable instance");
+    println!("exact optimum (DAG-partition rule): {:.6e} J on {} cores", opt.energy(), opt.eval.active_cores);
+
+    let general = exact(
+        &g,
+        &pf,
+        period,
+        &ExactConfig { rule: PartitionRule::General, ..Default::default() },
+    )
+    .expect("solvable instance");
+    println!(
+        "exact optimum (general mappings):    {:.6e} J  ({:.2}% below DAG-partition)\n",
+        general.energy(),
+        (1.0 - general.energy() / opt.energy()) * 100.0
+    );
+
+    for kind in ALL_HEURISTICS {
+        match run_heuristic(kind, &g, &pf, period, 7) {
+            Ok(sol) => println!(
+                "{:<8} {:.6e} J  (x{:.4} of optimal)",
+                kind.name(),
+                sol.energy(),
+                sol.energy() / opt.energy()
+            ),
+            Err(why) => println!("{:<8} fail ({why})", kind.name()),
+        }
+    }
+}

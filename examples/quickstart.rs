@@ -1,0 +1,51 @@
+//! Quickstart: map a small streaming pipeline onto the paper's 4×4 XScale
+//! CMP and compare all five heuristics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use spg_cmp::prelude::*;
+
+fn main() {
+    // An 8-stage video-filter-style pipeline: 2×10^8 cycles per stage and
+    // 64 kB frames flowing between stages, one data set per period.
+    let app = spg::chain(&[2e8; 8], &[64e3; 7]);
+    let pf = Platform::paper(4, 4);
+
+    // Period bound: one frame every 500 ms (two stages per core at 1 GHz).
+    let period = 0.5;
+
+    println!("pipeline: {} stages, CCR = {:.1}", app.n(), app.ccr());
+    println!("platform: 4x4 XScale CMP, period bound {period} s\n");
+    println!("{:<10} {:>12} {:>7} {:>14}", "heuristic", "energy (J)", "cores", "cycle-time (s)");
+
+    for kind in ALL_HEURISTICS {
+        match run_heuristic(kind, &app, &pf, period, 42) {
+            Ok(sol) => println!(
+                "{:<10} {:>12.4} {:>7} {:>14.4}",
+                kind.name(),
+                sol.energy(),
+                sol.eval.active_cores,
+                sol.eval.max_cycle_time
+            ),
+            Err(why) => println!("{:<10} {:>12}   ({why})", kind.name(), "fail"),
+        }
+    }
+
+    // Inspect the best mapping in detail.
+    let best = ALL_HEURISTICS
+        .iter()
+        .filter_map(|&k| run_heuristic(k, &app, &pf, period, 42).ok())
+        .min_by(|a, b| a.energy().partial_cmp(&b.energy()).unwrap())
+        .expect("at least one heuristic succeeds");
+    println!("\nbest mapping, stage -> core:");
+    for s in app.stages() {
+        let c = best.mapping.alloc[s.idx()];
+        println!("  S{:<2} (w = {:.1e} cycles) -> C({}, {})", s.0, app.weight(s), c.u, c.v);
+    }
+    println!(
+        "\nenergy split: compute {:.4} J dynamic + {:.4} J leak, comm {:.6} J",
+        best.eval.compute_dynamic, best.eval.compute_leak, best.eval.comm_dynamic
+    );
+}

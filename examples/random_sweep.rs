@@ -1,0 +1,54 @@
+//! Random-SPG sweep: how the heuristic ranking flips with elevation (the
+//! phenomenon behind paper Figures 10–13). Low elevation favours the 1D
+//! heuristics; high elevation favours `DPA2D`; `Greedy` is the robust
+//! all-rounder.
+//!
+//! ```sh
+//! cargo run --release --example random_sweep [apps-per-point]
+//! ```
+
+use ea_bench::probe_period;
+use ea_bench::runner::run_all_heuristics;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spg_cmp::prelude::*;
+
+fn main() {
+    let apps: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(5);
+    let pf = Platform::paper(4, 4);
+    let ccr = 1.0;
+    println!("n = 50 stages, CCR = {ccr}, 4x4 CMP, {apps} apps per elevation\n");
+    println!(
+        "{:>4}  {:>7} {:>7} {:>7} {:>7} {:>7}   (mean E_best/E_h; 0 = always fails)",
+        "elev", "Random", "Greedy", "DPA2D", "DPA1D", "DPA2D1D"
+    );
+
+    for elevation in [1u32, 2, 4, 6, 8, 12, 16, 20] {
+        let mut sums = [0.0f64; 5];
+        for app in 0..apps {
+            let seed = 1000 + elevation as u64 * 97 + app as u64;
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let cfg = SpgGenConfig { n: 50, elevation, ccr: Some(ccr), ..Default::default() };
+            let g = spg::random_spg(&cfg, &mut rng);
+            let Some(t) = probe_period(&g, &pf, seed) else { continue };
+            let outcomes = run_all_heuristics(&g, &pf, t, seed);
+            let best = outcomes
+                .iter()
+                .filter_map(|o| o.energy())
+                .min_by(|a, b| a.partial_cmp(b).unwrap());
+            for (k, o) in outcomes.iter().enumerate() {
+                if let (Some(e), Some(b)) = (o.energy(), best) {
+                    sums[k] += b / e;
+                }
+            }
+        }
+        print!("{elevation:>4}  ");
+        for s in sums {
+            print!("{:>7.3} ", s / apps as f64);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,51 @@
+//! StreamIt case study: probe the period bound for one workflow (as in
+//! paper §6.1.3) and study how each heuristic's energy degrades as the
+//! communication weight grows (the CCR sweep of §6.2.1).
+//!
+//! ```sh
+//! cargo run --release --example streamit_study [workflow-index 1..=12]
+//! ```
+
+use ea_bench::probe_period;
+use ea_bench::runner::{best_energy, run_all_heuristics};
+use spg_cmp::prelude::*;
+use spg::{streamit_workflow, STREAMIT_SPECS};
+
+fn main() {
+    let idx: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1);
+    let spec = STREAMIT_SPECS
+        .iter()
+        .find(|s| s.index == idx)
+        .unwrap_or_else(|| panic!("workflow index must be 1..=12, got {idx}"));
+    let pf = Platform::paper(4, 4);
+    println!(
+        "workflow {} ({}): n = {}, ymax = {}, xmax = {}, original CCR = {}\n",
+        spec.index, spec.name, spec.n, spec.ymax, spec.xmax, spec.ccr
+    );
+
+    for (label, ccr) in [("original", None), ("10", Some(10.0)), ("1", Some(1.0)), ("0.1", Some(0.1))] {
+        let mut g = streamit_workflow(spec, 2011);
+        if let Some(c) = ccr {
+            g.scale_to_ccr(c);
+        }
+        let Some(t) = probe_period(&g, &pf, 2011) else {
+            println!("CCR {label}: no heuristic succeeds at any probed period");
+            continue;
+        };
+        let outcomes = run_all_heuristics(&g, &pf, t, 2011);
+        let best = best_energy(&outcomes);
+        println!("CCR {label}: probed period T = {t:.0e} s");
+        for o in &outcomes {
+            match (o.energy(), best) {
+                (Some(e), Some(b)) => {
+                    println!("  {:<8} E = {e:.4e} J  (x{:.3} of best)", o.kind.name(), e / b)
+                }
+                _ => println!("  {:<8} fail", o.kind.name()),
+            }
+        }
+        println!();
+    }
+}

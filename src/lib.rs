@@ -1,0 +1,51 @@
+//! # spg-cmp — energy-aware mappings of series-parallel workflows onto CMPs
+//!
+//! Facade crate for the reproduction of *Benoit, Melhem, Renaud-Goud,
+//! Robert — "Energy-aware mappings of series-parallel workflows onto chip
+//! multiprocessors"* (INRIA RR-7521 / ICPP 2011).
+//!
+//! The workspace is organised bottom-up:
+//!
+//! * [`spg`] — series-parallel graphs: composition with the paper's label
+//!   rules, random generators, the StreamIt workload suite, order-ideal
+//!   enumeration;
+//! * [`platform`] (`cmp-platform`) — the `p × q` DVFS CMP grid: XScale
+//!   power model, links, XY/snake routing;
+//! * [`mapping`] (`cmp-mapping`) — the cost model: DAG-partition validity,
+//!   period (max cycle-time) and energy evaluation;
+//! * [`heuristics`] (`ea-core`) — the paper's contribution: `Random`,
+//!   `Greedy`, `DPA2D`, `DPA1D`, `DPA2D1D` and the exhaustive exact solver.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use spg_cmp::prelude::*;
+//!
+//! // A 10-stage pipeline, 1e8 cycles and 1 kB per stage.
+//! let app = spg::chain(&[1e8; 10], &[1e3; 9]);
+//! // The paper's 4x4 XScale CMP.
+//! let pf = Platform::paper(4, 4);
+//! // Ask Greedy for a mapping with a 200 ms period bound.
+//! let sol = greedy(&app, &pf, 0.2).expect("feasible instance");
+//! assert!(sol.eval.max_cycle_time <= 0.2 * (1.0 + 1e-9));
+//! println!("energy: {:.3} J on {} cores", sol.energy(), sol.eval.active_cores);
+//! ```
+
+pub use cmp_mapping as mapping;
+pub use cmp_platform as platform;
+pub use ea_core as heuristics;
+pub use spg;
+
+/// Everything needed to build workloads, platforms and run the algorithms.
+pub mod prelude {
+    pub use cmp_mapping::{
+        evaluate, latency, latency_lower_bound, Evaluation, Mapping, RouteSpec,
+    };
+    pub use cmp_platform::{CoreId, Platform, PowerModel, RouteOrder, Speed};
+    pub use ea_core::{
+        dpa1d, dpa2d, dpa2d1d, exact, greedy, random_heuristic, refine, run_heuristic,
+        Dpa1dConfig, ExactConfig, Failure, HeuristicKind, PartitionRule, RefineConfig, Solution,
+        ALL_HEURISTICS,
+    };
+    pub use spg::{self, Spg, SpgGenConfig, StageId};
+}

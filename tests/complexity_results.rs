@@ -1,0 +1,195 @@
+//! Tests tied to the paper's §4 complexity results: they cannot "test
+//! NP-hardness", but they exercise the constructions behind the proofs and
+//! the polynomial algorithm of Theorem 1.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spg_cmp::prelude::*;
+use spg::ideal::enumerate_ideals;
+use spg::{chain, parallel_many, Spg};
+
+/// Proposition 1's reduction gadget: a fork-join of n branches on two
+/// single-speed cores can meet period S/2 iff the branch weights admit a
+/// 2-partition. We check both directions on solvable and unsolvable
+/// instances via the exhaustive solver.
+#[test]
+fn proposition1_two_partition_gadget() {
+    let two_cores = Platform {
+        p: 1,
+        q: 2,
+        power: PowerModel::single(1.0, 1.0, 0.0),
+        bw: 1e15,
+        e_bit: 0.0,
+        p_leak_comm: 0.0,
+    };
+    let gadget = |weights: &[f64]| -> Spg {
+        let branches: Vec<Spg> = weights
+            .iter()
+            .map(|&w| chain(&[0.0, w, 0.0], &[0.0, 0.0]))
+            .collect();
+        parallel_many(&branches)
+    };
+    // {1,2,3,4}: S = 10, 2-partition exists (1+4 | 2+3) -> T = 5 feasible.
+    let g = gadget(&[1.0, 2.0, 3.0, 4.0]);
+    assert!(exact(&g, &two_cores, 5.0, &ExactConfig::default()).is_ok());
+    // {1,1,3}: S = 5; no equal split -> T = 2.5 infeasible, T = 3 feasible.
+    let g = gadget(&[1.0, 1.0, 3.0]);
+    assert!(exact(&g, &two_cores, 2.5, &ExactConfig::default()).is_err());
+    assert!(exact(&g, &two_cores, 3.0, &ExactConfig::default()).is_ok());
+}
+
+/// Theorem 1's counting argument: a fork-join of `ymax` chains of length
+/// `n/ymax` asymptotically meets the `n^ymax` admissible-subgraph bound;
+/// check the exact closed form `(len+1)^ymax + 2` on small instances.
+#[test]
+fn theorem1_ideal_count_closed_form() {
+    for (branches, inner) in [(2usize, 3usize), (3, 3), (4, 2)] {
+        let parts: Vec<Spg> = (0..branches)
+            .map(|_| chain(&vec![1.0; inner + 2], &vec![0.0; inner + 1]))
+            .collect();
+        let g = parallel_many(&parts);
+        let lat = enumerate_ideals(&g, 1_000_000).unwrap();
+        let expect = (inner + 1).pow(branches as u32) + 2;
+        assert_eq!(lat.len(), expect, "branches={branches}, inner={inner}");
+    }
+}
+
+/// Theorem 1: on a uni-directional uni-line CMP, the DP is optimal for
+/// bounded-elevation SPGs. Brute-force all contiguous chain splits of a
+/// pipeline and compare.
+#[test]
+fn theorem1_dp_matches_bruteforce_on_chains() {
+    let pf = Platform::paper(1, 3);
+    let mut rng = ChaCha8Rng::seed_from_u64(4242);
+    use rand::Rng;
+    for _ in 0..10 {
+        let n = rng.gen_range(4..8);
+        let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(1e8..6e8)).collect();
+        let volumes: Vec<f64> = (0..n - 1).map(|_| rng.gen_range(1e5..1e7)).collect();
+        let g = chain(&weights, &volumes);
+        let t = 1.0;
+        let dp = dpa1d(&g, &pf, t, &Dpa1dConfig::default());
+        let brute = brute_force_chain(&g, &pf, t);
+        match (dp, brute) {
+            (Ok(dp), Some(b)) => {
+                assert!(
+                    (dp.energy() - b).abs() < 1e-9 * b,
+                    "DP {} vs brute-force {}",
+                    dp.energy(),
+                    b
+                );
+            }
+            (Err(_), None) => {}
+            (dp, brute) => panic!(
+                "feasibility disagreement: dp ok={}, brute={:?}",
+                dp.is_ok(),
+                brute
+            ),
+        }
+    }
+}
+
+/// Minimal-energy contiguous split of a chain over a 1×q uni-line:
+/// exhaustive over all cut positions (the chain's order ideals are its
+/// prefixes, so this enumerates exactly the DP's search space).
+fn brute_force_chain(g: &Spg, pf: &Platform, t: f64) -> Option<f64> {
+    let order = g.topo_order();
+    let n = order.len();
+    let q = pf.n_cores();
+    let weights: Vec<f64> = order.iter().map(|s| g.weight(*s)).collect();
+    // Edge volume after position i (between order[i] and order[i+1]).
+    let vol_after: Vec<f64> = (0..n - 1)
+        .map(|i| {
+            g.edges()
+                .iter()
+                .filter(|e| e.src == order[i] && e.dst == order[i + 1])
+                .map(|e| e.volume)
+                .sum()
+        })
+        .collect();
+    let mut best: Option<f64> = None;
+    // Enumerate all ways to split [0..n) into at most q contiguous groups.
+    fn rec(
+        pos: usize,
+        groups: &mut Vec<(usize, usize)>,
+        n: usize,
+        q: usize,
+        out: &mut dyn FnMut(&[(usize, usize)]),
+    ) {
+        if pos == n {
+            out(groups);
+            return;
+        }
+        if groups.len() == q {
+            return;
+        }
+        for end in pos + 1..=n {
+            groups.push((pos, end));
+            rec(end, groups, n, q, out);
+            groups.pop();
+        }
+    }
+    let pm = &pf.power;
+    rec(0, &mut Vec::new(), n, q, &mut |groups| {
+        let mut energy = 0.0;
+        for &(a, b) in groups {
+            let w: f64 = weights[a..b].iter().sum();
+            match pm.best_compute_energy(w, t) {
+                Some(e) => energy += e,
+                None => return,
+            }
+        }
+        for win in groups.windows(2) {
+            let cut = vol_after[win[0].1 - 1];
+            if cut > t * pf.bw * (1.0 + 1e-9) {
+                return;
+            }
+            energy += pf.hop_energy(cut);
+        }
+        if best.is_none_or(|b| energy < b) {
+            best = Some(energy);
+        }
+    });
+    best
+}
+
+/// §4.2's intuition: with a single speed and unit stage costs, a period of
+/// 1 forces a one-to-one mapping (any two co-located stages double the
+/// cycle-time).
+#[test]
+fn unit_speed_unit_cost_forces_one_to_one() {
+    let pf = Platform {
+        p: 1,
+        q: 4,
+        power: PowerModel::single(1.0, 1.0, 0.0),
+        bw: 1e15,
+        e_bit: 0.0,
+        p_leak_comm: 0.0,
+    };
+    let g = chain(&[1.0; 4], &[1.0; 3]);
+    let sol = exact(&g, &pf, 1.0, &ExactConfig::default()).unwrap();
+    assert_eq!(sol.eval.active_cores, 4);
+    // Five unit stages cannot fit four cores at period 1.
+    let g5 = chain(&[1.0; 5], &[1.0; 4]);
+    assert!(exact(&g5, &pf, 1.0, &ExactConfig::default()).is_err());
+}
+
+/// Bounded elevation is what keeps DPA1D polynomial: the unbounded
+/// fork-join family blows past any fixed ideal cap (the NP-hard regime of
+/// Proposition 1), while fixed-elevation families stay enumerable.
+#[test]
+fn elevation_separates_tractable_from_explosive() {
+    // Fixed elevation 3, growing n: lattice grows polynomially.
+    for n in [12usize, 24, 48] {
+        let parts: Vec<Spg> = (0..3)
+            .map(|_| chain(&vec![1.0; n / 3], &vec![0.0; n / 3 - 1]))
+            .collect();
+        let g = parallel_many(&parts);
+        let lat = enumerate_ideals(&g, 1_000_000).unwrap();
+        assert!(lat.len() <= (n + 1).pow(3));
+    }
+    // Elevation ~ n/2: explosion.
+    let parts: Vec<Spg> = (0..16).map(|_| chain(&[1.0; 4], &[0.0; 3])).collect();
+    let g = parallel_many(&parts);
+    assert!(enumerate_ideals(&g, 100_000).is_err());
+}

@@ -1,0 +1,140 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants, spanning all crates.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spg_cmp::prelude::*;
+use spg::ideal::{enumerate_ideals, is_ideal, ready_stages};
+use spg::{NodeSet, Spg};
+
+fn arb_spg() -> impl Strategy<Value = Spg> {
+    // (n, elevation budget, seed, ccr index) -> generated SPG
+    (6usize..40, 1u32..8, any::<u64>(), 0usize..3).prop_map(|(n, e, seed, ci)| {
+        let e = e.min(n.saturating_sub(2).max(1) as u32);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let cfg = SpgGenConfig {
+            n,
+            elevation: e,
+            ccr: Some([10.0, 1.0, 0.1][ci]),
+            ..Default::default()
+        };
+        spg::random_spg(&cfg, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generated SPG satisfies the structural invariants of §3.1:
+    /// unique source/sink, unique labels, x-monotone edges.
+    #[test]
+    fn generated_spgs_are_well_formed(g in arb_spg()) {
+        prop_assert!(g.check_invariants().is_ok());
+    }
+
+    /// Labels define the virtual grid: at most one stage per (x, y).
+    #[test]
+    fn labels_unique(g in arb_spg()) {
+        let mut seen = std::collections::HashSet::new();
+        for l in g.labels() {
+            prop_assert!(seen.insert((l.x, l.y)));
+        }
+        // Elevation and depth are attained.
+        prop_assert!(g.labels().iter().any(|l| l.y == g.elevation()));
+        prop_assert!(g.labels().iter().any(|l| l.x == g.xmax()));
+    }
+
+    /// The ideal lattice is downward-closed and bounded by Theorem 1's
+    /// n^ymax count.
+    #[test]
+    fn ideal_lattice_properties(g in arb_spg()) {
+        let cap = 20_000usize;
+        if let Ok(lat) = enumerate_ideals(&g, cap) {
+            // Theorem 1's bound (loose, but must hold).
+            let bound = (g.n() as f64).powi(g.elevation() as i32) + 2.0;
+            prop_assert!((lat.len() as f64) <= bound + 1.0,
+                "lattice {} exceeds n^ymax bound {}", lat.len(), bound);
+            // Spot-check idealness of a sample.
+            for ideal in lat.ideals.iter().step_by(1 + lat.len() / 50) {
+                prop_assert!(is_ideal(&g, ideal));
+            }
+            // Ready stages of the empty ideal = the source.
+            let ready = ready_stages(&g, &NodeSet::new(g.n()));
+            prop_assert_eq!(ready, vec![g.source()]);
+        }
+    }
+
+    /// CCR rescaling hits the target exactly and leaves weights untouched.
+    #[test]
+    fn ccr_scaling_exact(mut g in arb_spg(), target in 0.05f64..100.0) {
+        let work = g.total_work();
+        g.scale_to_ccr(target);
+        prop_assert!((g.ccr() - target).abs() / target < 1e-6);
+        prop_assert!((g.total_work() - work).abs() < 1e-6 * work);
+    }
+
+    /// Every heuristic's accepted solution is a valid DAG-partition mapping
+    /// meeting the period, and no heuristic's reported energy disagrees
+    /// with the evaluator.
+    #[test]
+    fn heuristics_produce_valid_mappings(g in arb_spg(), seed in any::<u64>()) {
+        let pf = Platform::paper(3, 3);
+        // A fixed, reasonably tight period per instance: total work over
+        // 4 cores at top speed.
+        let t = g.total_work() / (4.0 * 1e9);
+        for kind in ALL_HEURISTICS {
+            if let Ok(sol) = run_heuristic(kind, &g, &pf, t, seed) {
+                let ev = evaluate(&g, &pf, &sol.mapping, t);
+                prop_assert!(ev.is_ok(), "{} invalid: {:?}", kind, ev.err());
+                let ev = ev.unwrap();
+                prop_assert!((ev.energy - sol.energy()).abs() <= 1e-9 * ev.energy);
+                prop_assert!(ev.max_cycle_time <= t * (1.0 + 1e-6));
+            }
+        }
+    }
+
+    /// Snake and XY routes always have well-formed, cycle-free paths of
+    /// the expected lengths.
+    #[test]
+    fn routes_well_formed(p in 1u32..6, q in 1u32..6,
+                          a in 0usize..36, b in 0usize..36) {
+        let pf = Platform::paper(p, q);
+        let r = pf.n_cores();
+        let (a, b) = (a % r, b % r);
+        use cmp_platform::routing::{snake_core, snake_route, validate_route, xy_route};
+        let (ca, cb) = (snake_core(&pf, a), snake_core(&pf, b));
+        let path = snake_route(&pf, a, b);
+        prop_assert_eq!(path.len(), a.abs_diff(b));
+        prop_assert!(validate_route(&pf, ca, cb, &path).is_ok());
+        for order in [RouteOrder::RowFirst, RouteOrder::ColFirst] {
+            let path = xy_route(ca, cb, order);
+            prop_assert_eq!(path.len() as u32, ca.manhattan(cb));
+            prop_assert!(validate_route(&pf, ca, cb, &path).is_ok());
+        }
+    }
+
+    /// Speed-selection invariants: `min_speed_for` returns the slowest
+    /// feasible speed; `best_speed_for` is the energy-optimal feasible
+    /// speed. (They differ on the XScale table — its P(s)/s is not
+    /// monotone at the low end — which is why the paper's minimum-speed
+    /// rule is kept as a *faithfulness* choice, not an optimality one.)
+    #[test]
+    fn speed_selection_invariants(work in 1e6f64..2e9, t in 1e-3f64..2.0) {
+        let pm = cmp_platform::PowerModel::xscale();
+        if let Some(k) = pm.min_speed_for(work, t) {
+            // Slowest feasible: every slower speed is infeasible, k is
+            // feasible.
+            prop_assert!(work / pm.speed(k).freq <= t * (1.0 + 1e-9));
+            for slower in 0..k {
+                prop_assert!(work / pm.speed(slower).freq > t);
+            }
+            // best_speed_for minimises energy among feasible speeds.
+            let opt = pm.best_speed_for(work, t).unwrap();
+            let best = pm.compute_energy(work, opt, t);
+            for other in k..pm.m() {
+                prop_assert!(pm.compute_energy(work, other, t) >= best - 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Cross-validation of the analytic cost model (paper §3.4–§3.5) against
+//! discrete-event execution: for every heuristic's mapping, the simulated
+//! steady-state period must converge to the analytic maximum cycle-time,
+//! and the simulated dynamic energy per data set must equal the analytic
+//! dynamic terms exactly.
+
+use ea_bench::probe_period;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use spg_cmp::prelude::*;
+use stream_sim::{simulate, SimConfig};
+
+#[test]
+fn simulated_period_converges_to_analytic_cycle_time() {
+    let pf = Platform::paper(4, 4);
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    let mut checked = 0usize;
+    for (n, elevation, ccr) in [(20usize, 2u32, 10.0), (30, 4, 1.0), (25, 1, 0.1)] {
+        let cfg = SpgGenConfig { n, elevation, ccr: Some(ccr), ..Default::default() };
+        let g = spg::random_spg(&cfg, &mut rng);
+        let Some(t) = probe_period(&g, &pf, 17) else { continue };
+        for kind in ALL_HEURISTICS {
+            let Ok(sol) = run_heuristic(kind, &g, &pf, t, 17) else { continue };
+            let analytic = sol.eval.max_cycle_time;
+            let rep = simulate(&g, &pf, &sol.mapping, SimConfig { datasets: 300, warmup: 100 })
+                .unwrap_or_else(|e| panic!("{kind}: simulation failed: {e}"));
+            // Asymptotically the rate is bottleneck-bound; over a finite
+            // window the sink can drain a little faster than the
+            // bottleneck (buffers filled during warm-up), hence the
+            // two-sided tolerance band.
+            assert!(
+                rep.achieved_period >= analytic * 0.95,
+                "{kind}: simulated {} far below bottleneck {analytic}",
+                rep.achieved_period
+            );
+            assert!(
+                rep.achieved_period <= analytic * 1.05 + 1e-12,
+                "{kind}: simulated {} far above analytic {analytic}",
+                rep.achieved_period
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 8, "only {checked} mappings were cross-validated");
+}
+
+#[test]
+fn simulated_dynamic_energy_matches_analytic() {
+    let pf = Platform::paper(4, 4);
+    let g = spg::chain(&[2e8; 6], &[1e5; 5]);
+    let t = 0.4;
+    let sol = greedy(&g, &pf, t).expect("feasible");
+    let rep = simulate(&g, &pf, &sol.mapping, SimConfig { datasets: 120, warmup: 20 }).unwrap();
+    let expect = sol.eval.compute_dynamic + sol.eval.comm_dynamic;
+    let got = rep.dynamic_energy_per_dataset();
+    assert!(
+        (got - expect).abs() / expect < 1e-9,
+        "sim {got} vs analytic {expect}"
+    );
+}
+
+#[test]
+fn simulator_exposes_utilisation() {
+    let pf = Platform::paper(2, 2);
+    let g = spg::chain(&[5e8, 5e8], &[1e4]);
+    let t = 0.5;
+    // Force a two-core split (one stage each at 1 GHz).
+    let sol = dpa1d(&g, &pf, t, &Dpa1dConfig::default()).expect("feasible");
+    assert_eq!(sol.eval.active_cores, 2);
+    let rep = simulate(&g, &pf, &sol.mapping, SimConfig { datasets: 100, warmup: 20 }).unwrap();
+    // Each core computes 0.5 s per 0.5 s period: ~full utilisation.
+    let used: Vec<f64> = (0..pf.n_cores())
+        .map(|f| rep.core_utilisation(f))
+        .filter(|&u| u > 0.0)
+        .collect();
+    assert_eq!(used.len(), 2);
+    for u in used {
+        assert!(u > 0.9, "utilisation {u} unexpectedly low");
+    }
+}
