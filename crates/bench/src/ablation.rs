@@ -10,8 +10,8 @@
 //!   heuristic ranking responds (a hook for the paper's communication-power
 //!   future work).
 
-use cmp_platform::{Platform, RouteOrder};
 use cmp_mapping::{assign_optimal_speeds, evaluate, RouteSpec};
+use cmp_platform::{Platform, RouteOrder};
 use ea_core::{greedy_opts, refine, run_heuristic, HeuristicKind, RefineConfig, ALL_HEURISTICS};
 use rayon::prelude::*;
 use spg::{random_spg, SpgGenConfig};
@@ -155,7 +155,11 @@ pub fn refine_text(count: usize, seed: u64) -> String {
         rows.push(vec![
             h.name().to_string(),
             gains.len().to_string(),
-            if mean.is_nan() { "-".into() } else { format!("{:.2}%", mean * 100.0) },
+            if mean.is_nan() {
+                "-".into()
+            } else {
+                format!("{:.2}%", mean * 100.0)
+            },
             format!("{:.2}%", max * 100.0),
         ]);
     }

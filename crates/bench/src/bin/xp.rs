@@ -38,7 +38,9 @@ struct Opts {
 fn main() {
     let mut args = std::env::args().skip(1);
     let Some(cmd) = args.next() else {
-        eprintln!("usage: xp <command> [--seed N] [--apps-per-point N] [--exact-count N] [--out DIR]");
+        eprintln!(
+            "usage: xp <command> [--seed N] [--apps-per-point N] [--exact-count N] [--out DIR]"
+        );
         std::process::exit(2);
     };
     let mut opts = Opts {
@@ -80,10 +82,38 @@ fn main() {
         "fig8" => fig_streamit(&opts, 4, 4, "fig8", "Figure 8: normalised energy, 4x4 CMP"),
         "fig9" => fig_streamit(&opts, 6, 6, "fig9", "Figure 9: normalised energy, 6x6 CMP"),
         "table2" => table2(&opts),
-        "fig10" => fig_random(&opts, 50, 4, 4, "fig10", "Figure 10: random SPGs, 50 nodes, 4x4"),
-        "fig11" => fig_random(&opts, 50, 6, 6, "fig11", "Figure 11: random SPGs, 50 nodes, 6x6"),
-        "fig12" => fig_random(&opts, 150, 4, 4, "fig12", "Figure 12: random SPGs, 150 nodes, 4x4"),
-        "fig13" => fig_random(&opts, 150, 6, 6, "fig13", "Figure 13: random SPGs, 150 nodes, 6x6"),
+        "fig10" => fig_random(
+            &opts,
+            50,
+            4,
+            4,
+            "fig10",
+            "Figure 10: random SPGs, 50 nodes, 4x4",
+        ),
+        "fig11" => fig_random(
+            &opts,
+            50,
+            6,
+            6,
+            "fig11",
+            "Figure 11: random SPGs, 50 nodes, 6x6",
+        ),
+        "fig12" => fig_random(
+            &opts,
+            150,
+            4,
+            4,
+            "fig12",
+            "Figure 12: random SPGs, 150 nodes, 4x4",
+        ),
+        "fig13" => fig_random(
+            &opts,
+            150,
+            6,
+            6,
+            "fig13",
+            "Figure 13: random SPGs, 150 nodes, 6x6",
+        ),
         "table3" => table3(&opts),
         "exact" => exact_cmd(&opts),
         "ablation-routing" => println!("{}", ablation::routing_text(12, opts.seed)),
@@ -96,10 +126,38 @@ fn main() {
             fig_streamit(&opts, 4, 4, "fig8", "Figure 8: normalised energy, 4x4 CMP");
             fig_streamit(&opts, 6, 6, "fig9", "Figure 9: normalised energy, 6x6 CMP");
             table2(&opts);
-            fig_random(&opts, 50, 4, 4, "fig10", "Figure 10: random SPGs, 50 nodes, 4x4");
-            fig_random(&opts, 50, 6, 6, "fig11", "Figure 11: random SPGs, 50 nodes, 6x6");
-            fig_random(&opts, 150, 4, 4, "fig12", "Figure 12: random SPGs, 150 nodes, 4x4");
-            fig_random(&opts, 150, 6, 6, "fig13", "Figure 13: random SPGs, 150 nodes, 6x6");
+            fig_random(
+                &opts,
+                50,
+                4,
+                4,
+                "fig10",
+                "Figure 10: random SPGs, 50 nodes, 4x4",
+            );
+            fig_random(
+                &opts,
+                50,
+                6,
+                6,
+                "fig11",
+                "Figure 11: random SPGs, 50 nodes, 6x6",
+            );
+            fig_random(
+                &opts,
+                150,
+                4,
+                4,
+                "fig12",
+                "Figure 12: random SPGs, 150 nodes, 4x4",
+            );
+            fig_random(
+                &opts,
+                150,
+                6,
+                6,
+                "fig13",
+                "Figure 13: random SPGs, 150 nodes, 6x6",
+            );
             table3(&opts);
             exact_cmd(&opts);
             println!("{}", ablation::routing_text(12, opts.seed));
@@ -142,7 +200,12 @@ fn fig_random(opts: &Opts, n: usize, p: u32, q: u32, name: &str, title: &str) {
         // (n = 50, 4x4 grid).
         println!("{}", random_xp::table3_text(&data));
     }
-    if let Err(e) = report::write_csv(&opts.out, name, &random_xp::CSV_HEADERS, &random_xp::csv_rows(&data)) {
+    if let Err(e) = report::write_csv(
+        &opts.out,
+        name,
+        &random_xp::CSV_HEADERS,
+        &random_xp::csv_rows(&data),
+    ) {
         eprintln!("[xp] csv write failed: {e}");
     }
 }

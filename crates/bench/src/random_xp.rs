@@ -98,7 +98,10 @@ pub fn random_campaign(cfg: &RandomXpConfig) -> RandomXpData {
                 .collect()
         })
         .collect();
-    RandomXpData { cfg: cfg.clone(), points }
+    RandomXpData {
+        cfg: cfg.clone(),
+        points,
+    }
 }
 
 /// Deterministic per-instance seed.
@@ -248,5 +251,11 @@ pub fn csv_rows(data: &RandomXpData) -> Vec<Vec<String>> {
 }
 
 /// CSV header matching [`csv_rows`].
-pub const CSV_HEADERS: [&str; 6] =
-    ["ccr", "elevation", "heuristic", "mean_inv_norm", "failures", "instances"];
+pub const CSV_HEADERS: [&str; 6] = [
+    "ccr",
+    "elevation",
+    "heuristic",
+    "mean_inv_norm",
+    "failures",
+    "instances",
+];

@@ -34,12 +34,7 @@ pub fn fmt_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String 
 }
 
 /// Writes rows as CSV under `dir/name.csv`, creating `dir` if needed.
-pub fn write_csv(
-    dir: &Path,
-    name: &str,
-    headers: &[&str],
-    rows: &[Vec<String>],
-) -> io::Result<()> {
+pub fn write_csv(dir: &Path, name: &str, headers: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
     fs::create_dir_all(dir)?;
     let mut out = String::new();
     out.push_str(&headers.join(","));
@@ -69,10 +64,7 @@ mod tests {
         let t = fmt_table(
             "demo",
             &["a", "long-header"],
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["333".into(), "4".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
         );
         assert!(t.contains("== demo =="));
         let lines: Vec<&str> = t.lines().collect();
@@ -83,13 +75,7 @@ mod tests {
     #[test]
     fn csv_roundtrip() {
         let dir = std::env::temp_dir().join("ea-bench-test-csv");
-        write_csv(
-            &dir,
-            "t",
-            &["x", "y"],
-            &[vec!["1".into(), "2".into()]],
-        )
-        .unwrap();
+        write_csv(&dir, "t", &["x", "y"], &[vec!["1".into(), "2".into()]]).unwrap();
         let s = std::fs::read_to_string(dir.join("t.csv")).unwrap();
         assert_eq!(s, "x,y\n1,2\n");
     }

@@ -17,8 +17,12 @@ use crate::report::{fmt_norm, fmt_table};
 use crate::runner::{best_energy, run_all_heuristics, HeuristicOutcome};
 
 /// The four CCR variants of §6.1.1, in plot order.
-pub const CCR_VARIANTS: [(&str, Option<f64>); 4] =
-    [("original", None), ("10", Some(10.0)), ("1", Some(1.0)), ("0.1", Some(0.1))];
+pub const CCR_VARIANTS: [(&str, Option<f64>); 4] = [
+    ("original", None),
+    ("10", Some(10.0)),
+    ("1", Some(1.0)),
+    ("0.1", Some(0.1)),
+];
 
 /// One (workflow, CCR) instance's results.
 #[derive(Debug, Clone)]
@@ -53,7 +57,12 @@ pub fn streamit_campaign(p: u32, q: u32, seed: u64) -> Vec<StreamItInstance> {
             let outcomes = period
                 .map(|t| run_all_heuristics(&g, &pf, t, seed))
                 .unwrap_or_default();
-            StreamItInstance { spec: *spec, ccr_label, period, outcomes }
+            StreamItInstance {
+                spec: *spec,
+                ccr_label,
+                period,
+                outcomes,
+            }
         })
         .collect()
 }
@@ -98,7 +107,10 @@ pub fn figure_text(campaign: &[StreamItInstance], title: &str) -> String {
                 }
                 None => {
                     row.push("-".into());
-                    row.extend(std::iter::repeat_n("fail".to_string(), ALL_HEURISTICS.len()));
+                    row.extend(std::iter::repeat_n(
+                        "fail".to_string(),
+                        ALL_HEURISTICS.len(),
+                    ));
                 }
             }
             rows.push(row);
@@ -108,7 +120,11 @@ pub fn figure_text(campaign: &[StreamItInstance], title: &str) -> String {
             .into_iter()
             .chain(ALL_HEURISTICS.iter().map(|h| h.name()))
             .collect();
-        out.push_str(&fmt_table(&format!("{title} — CCR = {label}"), &headers, &rows));
+        out.push_str(&fmt_table(
+            &format!("{title} — CCR = {label}"),
+            &headers,
+            &rows,
+        ));
         out.push('\n');
     }
     out
@@ -175,5 +191,13 @@ pub fn campaign_csv_rows(campaign: &[StreamItInstance], grid: &str) -> Vec<Vec<S
 }
 
 /// CSV header matching [`campaign_csv_rows`].
-pub const CAMPAIGN_CSV_HEADERS: [&str; 8] =
-    ["grid", "index", "workflow", "ccr", "period_s", "heuristic", "energy_j", "normalized"];
+pub const CAMPAIGN_CSV_HEADERS: [&str; 8] = [
+    "grid",
+    "index",
+    "workflow",
+    "ccr",
+    "period_s",
+    "heuristic",
+    "energy_j",
+    "normalized",
+];

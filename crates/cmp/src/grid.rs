@@ -1,12 +1,10 @@
 //! The CMP grid description (paper §3.2).
 
-use serde::{Deserialize, Serialize};
-
 use crate::power::PowerModel;
 
 /// A core coordinate: row `u ∈ 0..p`, column `v ∈ 0..q` (the paper's
 /// 1-based `C_{u+1,v+1}`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CoreId {
     /// Row index, `0..p`.
     pub u: u32,
@@ -24,7 +22,10 @@ impl CoreId {
     /// Inverse of [`CoreId::flat`].
     #[inline]
     pub fn from_flat(idx: usize, q: u32) -> CoreId {
-        CoreId { u: idx as u32 / q, v: idx as u32 % q }
+        CoreId {
+            u: idx as u32 / q,
+            v: idx as u32 % q,
+        }
     }
 
     /// Manhattan distance to another core (number of link hops of any
@@ -38,7 +39,7 @@ impl CoreId {
 /// bidirectional neighbour links of bandwidth `bw` bytes/s **per
 /// direction**, per-bit link energy `e_bit` joules/bit, and an aggregate
 /// router/link leakage `p_leak_comm` watts (paper §3.2, §3.5).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Platform {
     /// Number of rows `p`.
     pub p: u32,
@@ -125,7 +126,11 @@ impl Platform {
     /// electrical parameters (used by `DPA2D1D` to run `DPA2D` on a virtual
     /// `1 × (p·q)` platform, §5.4).
     pub fn reshaped(&self, p: u32, q: u32) -> Platform {
-        Platform { p, q, ..self.clone() }
+        Platform {
+            p,
+            q,
+            ..self.clone()
+        }
     }
 }
 

@@ -10,10 +10,8 @@
 //! used by every heuristic ("downgrade" post-pass of §5.2, `Ecal` of
 //! Theorem 1 and §5.3).
 
-use serde::{Deserialize, Serialize};
-
 /// One DVFS operating point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Speed {
     /// Frequency in Hz (cycles per second).
     pub freq: f64,
@@ -22,7 +20,7 @@ pub struct Speed {
 }
 
 /// The per-core speed set and leakage power.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerModel {
     /// Available speeds, sorted by increasing frequency.
     speeds: Vec<Speed>,
@@ -49,11 +47,26 @@ impl PowerModel {
     pub fn xscale() -> Self {
         PowerModel::new(
             vec![
-                Speed { freq: 0.15e9, power: 0.080 },
-                Speed { freq: 0.40e9, power: 0.170 },
-                Speed { freq: 0.60e9, power: 0.400 },
-                Speed { freq: 0.80e9, power: 0.900 },
-                Speed { freq: 1.00e9, power: 1.600 },
+                Speed {
+                    freq: 0.15e9,
+                    power: 0.080,
+                },
+                Speed {
+                    freq: 0.40e9,
+                    power: 0.170,
+                },
+                Speed {
+                    freq: 0.60e9,
+                    power: 0.400,
+                },
+                Speed {
+                    freq: 0.80e9,
+                    power: 0.900,
+                },
+                Speed {
+                    freq: 1.00e9,
+                    power: 1.600,
+                },
             ],
             0.080,
         )
@@ -190,8 +203,14 @@ mod tests {
     fn speeds_sorted_on_construction() {
         let m = PowerModel::new(
             vec![
-                Speed { freq: 2.0, power: 4.0 },
-                Speed { freq: 1.0, power: 1.0 },
+                Speed {
+                    freq: 2.0,
+                    power: 4.0,
+                },
+                Speed {
+                    freq: 1.0,
+                    power: 1.0,
+                },
             ],
             0.0,
         );

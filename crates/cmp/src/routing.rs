@@ -10,12 +10,10 @@
 //!   consecutive snake positions are physically adjacent, so a uni-line
 //!   route from position `a` to position `b` crosses `|b − a|` links.
 
-use serde::{Deserialize, Serialize};
-
 use crate::grid::{CoreId, Platform};
 
 /// A directed link between two *adjacent* cores.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DirLink {
     /// Transmitting core.
     pub from: CoreId,
@@ -24,7 +22,7 @@ pub struct DirLink {
 }
 
 /// Which dimension an XY route traverses first.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RouteOrder {
     /// Move along the row to the destination column, then along the column.
     RowFirst,
@@ -43,7 +41,10 @@ pub fn xy_route(from: CoreId, to: CoreId, order: RouteOrder) -> Vec<DirLink> {
                 u: cur.u,
                 v: if to.v > cur.v { cur.v + 1 } else { cur.v - 1 },
             };
-            path.push(DirLink { from: *cur, to: next });
+            path.push(DirLink {
+                from: *cur,
+                to: next,
+            });
             *cur = next;
         }
     };
@@ -53,7 +54,10 @@ pub fn xy_route(from: CoreId, to: CoreId, order: RouteOrder) -> Vec<DirLink> {
                 u: if to.u > cur.u { cur.u + 1 } else { cur.u - 1 },
                 v: cur.v,
             };
-            path.push(DirLink { from: *cur, to: next });
+            path.push(DirLink {
+                from: *cur,
+                to: next,
+            });
             *cur = next;
         }
     };
@@ -87,7 +91,11 @@ pub fn snake_core(pf: &Platform, idx: usize) -> CoreId {
     debug_assert!(idx < pf.n_cores());
     let u = idx as u32 / pf.q;
     let off = idx as u32 % pf.q;
-    let v = if u.is_multiple_of(2) { off } else { pf.q - 1 - off };
+    let v = if u.is_multiple_of(2) {
+        off
+    } else {
+        pf.q - 1 - off
+    };
     CoreId { u, v }
 }
 
@@ -99,11 +107,17 @@ pub fn snake_route(pf: &Platform, a: usize, b: usize) -> Vec<DirLink> {
     let mut path = Vec::with_capacity(a.abs_diff(b));
     if a <= b {
         for i in a..b {
-            path.push(DirLink { from: snake_core(pf, i), to: snake_core(pf, i + 1) });
+            path.push(DirLink {
+                from: snake_core(pf, i),
+                to: snake_core(pf, i + 1),
+            });
         }
     } else {
         for i in (b..a).rev() {
-            path.push(DirLink { from: snake_core(pf, i + 1), to: snake_core(pf, i) });
+            path.push(DirLink {
+                from: snake_core(pf, i + 1),
+                to: snake_core(pf, i),
+            });
         }
     }
     path
@@ -111,7 +125,12 @@ pub fn snake_route(pf: &Platform, a: usize, b: usize) -> Vec<DirLink> {
 
 /// Checks that a path is a well-formed route on the platform: consecutive,
 /// adjacent, cycle-free, from `from` to `to`.
-pub fn validate_route(pf: &Platform, from: CoreId, to: CoreId, path: &[DirLink]) -> Result<(), String> {
+pub fn validate_route(
+    pf: &Platform,
+    from: CoreId,
+    to: CoreId,
+    path: &[DirLink],
+) -> Result<(), String> {
     let mut cur = from;
     let mut visited = std::collections::HashSet::new();
     visited.insert(cur);
@@ -178,9 +197,15 @@ mod tests {
         let pf = Platform::paper(3, 3);
         let order: Vec<CoreId> = (0..9).map(|i| snake_core(&pf, i)).collect();
         let expect = [
-            (0, 0), (0, 1), (0, 2),
-            (1, 2), (1, 1), (1, 0),
-            (2, 0), (2, 1), (2, 2),
+            (0, 0),
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (1, 1),
+            (1, 0),
+            (2, 0),
+            (2, 1),
+            (2, 2),
         ];
         for (c, &(u, v)) in order.iter().zip(&expect) {
             assert_eq!(*c, CoreId { u, v });

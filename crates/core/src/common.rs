@@ -1,8 +1,8 @@
 //! Shared heuristic interface: solutions, failures, and small helpers used
 //! by several algorithms.
 
-use cmp_platform::Platform;
 use cmp_mapping::{evaluate, Evaluation, Mapping};
+use cmp_platform::Platform;
 use spg::Spg;
 
 /// The five heuristics of paper §5, in the order plotted in Figures 8–13.
@@ -112,8 +112,8 @@ pub fn better(a: Option<Solution>, b: Option<Solution>) -> Option<Solution> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cmp_platform::CoreId;
     use cmp_mapping::assign_min_speeds;
+    use cmp_platform::CoreId;
     use spg::chain;
 
     #[test]

@@ -25,8 +25,8 @@
 //! algorithm, which the test-suite cross-checks against the exhaustive
 //! solver.
 
-use cmp_platform::{snake_core, CoreId, Platform};
 use cmp_mapping::{Mapping, RouteSpec, REL_TOL};
+use cmp_platform::{snake_core, CoreId, Platform};
 use spg::ideal::{enumerate_ideals, IdealLattice};
 use spg::{NodeSet, Spg, StageId};
 
@@ -43,7 +43,10 @@ pub struct Dpa1dConfig {
 
 impl Default for Dpa1dConfig {
     fn default() -> Self {
-        Dpa1dConfig { ideal_cap: 60_000, edge_cap: 1_000_000 }
+        Dpa1dConfig {
+            ideal_cap: 60_000,
+            edge_cap: 1_000_000,
+        }
     }
 }
 
@@ -76,8 +79,8 @@ pub(crate) fn solve_chain(
     cfg: &Dpa1dConfig,
 ) -> Result<Vec<Vec<StageId>>, Failure> {
     let r = pf.n_cores();
-    let lattice = enumerate_ideals(spg, cfg.ideal_cap)
-        .map_err(|e| Failure::TooExpensive(e.to_string()))?;
+    let lattice =
+        enumerate_ideals(spg, cfg.ideal_cap).map_err(|e| Failure::TooExpensive(e.to_string()))?;
     let n_ideals = lattice.len();
     let tol = 1.0 + REL_TOL;
     // Strictly *below* the evaluator's tolerance band so every enumerated
@@ -177,7 +180,11 @@ pub(crate) fn build_snake_solution(
     }
     let speed = cmp_mapping::assign_min_speeds(spg, pf, &alloc, period)
         .ok_or_else(|| Failure::NoValidMapping("cluster exceeds fastest speed".into()))?;
-    let mapping = Mapping { alloc, speed, routes: RouteSpec::Snake };
+    let mapping = Mapping {
+        alloc,
+        speed,
+        routes: RouteSpec::Snake,
+    };
     validated(spg, pf, mapping, period)
 }
 
@@ -199,28 +206,27 @@ fn materialize_transitions(
         }
         let ready = spg::ideal::ready_stages(spg, ideal);
         let mut j = ideal.clone();
-        let ok = extend(
-            spg,
-            &mut j,
-            0.0,
-            &ready,
-            cap_work,
-            &mut |set: &NodeSet, w: f64| -> bool {
-                if transitions.len() >= edge_cap {
-                    return false;
-                }
-                let to = lattice
-                    .index_of(set)
-                    .expect("extension of an ideal must be in the lattice");
-                // The work pruning guarantees a feasible speed exists; be
-                // defensive about rounding anyway and drop the transition
-                // rather than panic.
-                if let Some(ecal) = pf.power.best_compute_energy(w, period) {
-                    transitions.push(Transition { from: i_idx as u32, to, ecal });
-                }
-                true
-            },
-        );
+        let ok = extend(spg, &mut j, 0.0, &ready, cap_work, &mut |set: &NodeSet,
+                                                                  w: f64|
+         -> bool {
+            if transitions.len() >= edge_cap {
+                return false;
+            }
+            let to = lattice
+                .index_of(set)
+                .expect("extension of an ideal must be in the lattice");
+            // The work pruning guarantees a feasible speed exists; be
+            // defensive about rounding anyway and drop the transition
+            // rather than panic.
+            if let Some(ecal) = pf.power.best_compute_energy(w, period) {
+                transitions.push(Transition {
+                    from: i_idx as u32,
+                    to,
+                    ecal,
+                });
+            }
+            true
+        });
         if !ok {
             return Err(Failure::TooExpensive(format!(
                 "more than {edge_cap} cluster transitions"
@@ -313,7 +319,10 @@ mod tests {
         let branches: Vec<Spg> = (0..10).map(|_| chain(&[1e5; 7], &[1e2; 6])).collect();
         let g = parallel_many(&branches);
         let pf = Platform::paper(4, 4);
-        let cfg = Dpa1dConfig { ideal_cap: 1000, ..Default::default() };
+        let cfg = Dpa1dConfig {
+            ideal_cap: 1000,
+            ..Default::default()
+        };
         assert!(matches!(
             dpa1d(&g, &pf, 1.0, &cfg),
             Err(Failure::TooExpensive(_))

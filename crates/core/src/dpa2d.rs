@@ -25,8 +25,8 @@
 
 use std::collections::{HashMap, HashSet};
 
-use cmp_platform::{CoreId, Platform, RouteOrder};
 use cmp_mapping::{assign_min_speeds, Mapping, RouteSpec, REL_TOL};
+use cmp_platform::{CoreId, Platform, RouteOrder};
 use spg::{Spg, StageId};
 
 use crate::common::{validated, Failure, Solution};
@@ -37,7 +37,11 @@ pub fn dpa2d(spg: &Spg, pf: &Platform, period: f64) -> Result<Solution, Failure>
     let alloc = dpa2d_alloc(spg, pf, period)?;
     let speed = assign_min_speeds(spg, pf, &alloc, period)
         .ok_or_else(|| Failure::NoValidMapping("speed assignment failed".into()))?;
-    let mapping = Mapping { alloc, speed, routes: RouteSpec::Xy(RouteOrder::RowFirst) };
+    let mapping = Mapping {
+        alloc,
+        speed,
+        routes: RouteSpec::Xy(RouteOrder::RowFirst),
+    };
     validated(spg, pf, mapping, period)
 }
 
@@ -84,8 +88,7 @@ pub(crate) fn dpa2d_alloc(spg: &Spg, pf: &Platform, period: f64) -> Result<Vec<C
     }
     let mut work_prefix = vec![0.0f64; xmax + 1];
     for x in 1..=xmax {
-        work_prefix[x] =
-            work_prefix[x - 1] + by_x[x].iter().map(|s| spg.weight(*s)).sum::<f64>();
+        work_prefix[x] = work_prefix[x - 1] + by_x[x].iter().map(|s| spg.weight(*s)).sum::<f64>();
     }
 
     /// Outer DP cell: levels `1..=m` on columns `0..v`.
@@ -94,11 +97,13 @@ pub(crate) fn dpa2d_alloc(spg: &Spg, pf: &Platform, period: f64) -> Result<Vec<C
         dist: Vec<OutComm>,
         alloc: Vec<Option<CoreId>>,
     }
-    let mut outer: Vec<Vec<Option<OuterCell>>> = (0..=xmax).map(|_| {
-        let mut row = Vec::with_capacity(q + 1);
-        row.resize_with(q + 1, || None);
-        row
-    }).collect();
+    let mut outer: Vec<Vec<Option<OuterCell>>> = (0..=xmax)
+        .map(|_| {
+            let mut row = Vec::with_capacity(q + 1);
+            row.resize_with(q + 1, || None);
+            row
+        })
+        .collect();
 
     for v in 1..=q {
         for m in v..=xmax {
@@ -113,13 +118,18 @@ pub(crate) fn dpa2d_alloc(spg: &Spg, pf: &Platform, period: f64) -> Result<Vec<C
                 if work_prefix[m] - work_prefix[mp] > pf.p as f64 * cap_work {
                     break;
                 }
-                let (prev_energy, prev_dist, prev_alloc): (f64, &[OutComm], Option<&Vec<Option<CoreId>>>) =
-                    if v == 1 {
-                        (0.0, &[], None)
-                    } else {
-                        let Some(prev) = outer[mp][v - 1].as_ref() else { continue };
-                        (prev.energy, prev.dist.as_slice(), Some(&prev.alloc))
+                let (prev_energy, prev_dist, prev_alloc): (
+                    f64,
+                    &[OutComm],
+                    Option<&Vec<Option<CoreId>>>,
+                ) = if v == 1 {
+                    (0.0, &[], None)
+                } else {
+                    let Some(prev) = outer[mp][v - 1].as_ref() else {
+                        continue;
                     };
+                    (prev.energy, prev.dist.as_slice(), Some(&prev.alloc))
+                };
                 // Horizontal crossing from column v-2 to v-1: per-row
                 // bandwidth check plus one hop of energy per entry.
                 let Some(h_energy) = horizontal_crossing(pf, prev_dist, bw_cap) else {
@@ -137,9 +147,16 @@ pub(crate) fn dpa2d_alloc(spg: &Spg, pf: &Platform, period: f64) -> Result<Vec<C
                         None => vec![None; spg.n()],
                     };
                     for (&sid, &row) in &col_state.row_of {
-                        alloc[sid as usize] = Some(CoreId { u: row, v: (v - 1) as u32 });
+                        alloc[sid as usize] = Some(CoreId {
+                            u: row,
+                            v: (v - 1) as u32,
+                        });
                     }
-                    best = Some(OuterCell { energy: cand, dist: col_state.out, alloc });
+                    best = Some(OuterCell {
+                        energy: cand,
+                        dist: col_state.out,
+                        alloc,
+                    });
                 }
             }
             outer[m][v] = best;
@@ -198,8 +215,8 @@ fn ecol(
     // Which stages live in this column, grouped by y-level.
     let mut in_column: HashSet<u32> = HashSet::new();
     let mut by_y: Vec<Vec<StageId>> = vec![Vec::new(); ymax + 1];
-    for x in m1..=m2 {
-        for &s in &by_x[x] {
+    for level in by_x.iter().take(m2 + 1).skip(m1) {
+        for &s in level {
             in_column.insert(s.0);
             by_y[spg.label(s).y as usize].push(s);
         }
@@ -221,8 +238,7 @@ fn ecol(
     }
 
     // cells[g][u]: levels 1..=g placed using the first u rows.
-    let mut cells: Vec<Vec<Option<(f64, ColState)>>> =
-        vec![vec![None; p + 1]; ymax + 1];
+    let mut cells: Vec<Vec<Option<(f64, ColState)>>> = vec![vec![None; p + 1]; ymax + 1];
     cells[0][0] = Some((0.0, init));
 
     for g in 0..=ymax {
@@ -234,20 +250,16 @@ fn ecol(
                 // Quick dominance: skip if target already at least as good
                 // with zero additional cost (empty group case handled by
                 // cost >= 0).
-                let group: Vec<StageId> = (g + 1..=g2)
-                    .flat_map(|y| by_y[y].iter().copied())
-                    .collect();
+                let group: Vec<StageId> =
+                    (g + 1..=g2).flat_map(|y| by_y[y].iter().copied()).collect();
                 let state = &cells[g][u].as_ref().unwrap().1;
-                let Some((cost, new_state)) = place_group(
-                    spg, pf, period, state, &group, &in_column, u as u32, bw_cap,
-                ) else {
+                let Some((cost, new_state)) =
+                    place_group(spg, pf, period, state, &group, &in_column, u as u32, bw_cap)
+                else {
                     continue;
                 };
                 let cand = base_energy + cost;
-                if cells[g2][u + 1]
-                    .as_ref()
-                    .is_none_or(|(e, _)| cand < *e)
-                {
+                if cells[g2][u + 1].as_ref().is_none_or(|(e, _)| cand < *e) {
                     cells[g2][u + 1] = Some((cand, new_state));
                 }
             }
@@ -289,7 +301,15 @@ fn place_group(
     let mut kept = Vec::with_capacity(st.pending_in.len());
     for (from_row, vol, dest) in st.pending_in.drain(..) {
         if members.contains(&dest) {
-            cost += add_vertical(&mut st.vload_down, &mut st.vload_up, pf, from_row, row, vol, bw_cap)?;
+            cost += add_vertical(
+                &mut st.vload_down,
+                &mut st.vload_up,
+                pf,
+                from_row,
+                row,
+                vol,
+                bw_cap,
+            )?;
         } else {
             kept.push((from_row, vol, dest));
         }
@@ -300,7 +320,15 @@ fn place_group(
     let mut kept = Vec::with_capacity(st.pending_edge.len());
     for (from_row, vol, dest) in st.pending_edge.drain(..) {
         if members.contains(&dest) {
-            cost += add_vertical(&mut st.vload_down, &mut st.vload_up, pf, from_row, row, vol, bw_cap)?;
+            cost += add_vertical(
+                &mut st.vload_down,
+                &mut st.vload_up,
+                pf,
+                from_row,
+                row,
+                vol,
+                bw_cap,
+            )?;
         } else {
             kept.push((from_row, vol, dest));
         }
@@ -316,12 +344,24 @@ fn place_group(
             }
             if in_column.contains(&d.0) {
                 if let Some(&rd) = st.row_of.get(&d.0) {
-                    cost += add_vertical(&mut st.vload_down, &mut st.vload_up, pf, row, rd, e.volume, bw_cap)?;
+                    cost += add_vertical(
+                        &mut st.vload_down,
+                        &mut st.vload_up,
+                        pf,
+                        row,
+                        rd,
+                        e.volume,
+                        bw_cap,
+                    )?;
                 } else {
                     st.pending_edge.push((row, e.volume, d.0));
                 }
             } else {
-                st.out.push(OutComm { row, volume: e.volume, dest: d });
+                st.out.push(OutComm {
+                    row,
+                    volume: e.volume,
+                    dest: d,
+                });
             }
         }
     }
@@ -385,18 +425,14 @@ mod tests {
         let pf = Platform::paper(4, 4);
         // Fork-join with 4 branches of heavy inner stages (light shared
         // source/sink — merged weights add up under parallel composition).
-        let branches: Vec<_> =
-            (0..4).map(|_| chain(&[1e3, 0.8e9, 0.8e9, 1e3], &[1e4; 3])).collect();
+        let branches: Vec<_> = (0..4)
+            .map(|_| chain(&[1e3, 0.8e9, 0.8e9, 1e3], &[1e4; 3]))
+            .collect();
         let g = parallel_many(&branches);
         let sol = dpa2d(&g, &pf, 1.0).unwrap();
         // 8 heavy inner stages; needs well over 4 cores, across rows.
         assert!(sol.eval.active_cores > 4);
-        let rows: HashSet<u32> = sol
-            .mapping
-            .alloc
-            .iter()
-            .map(|c| c.u)
-            .collect();
+        let rows: HashSet<u32> = sol.mapping.alloc.iter().map(|c| c.u).collect();
         assert!(rows.len() > 1, "must use several rows of the grid");
     }
 
@@ -405,18 +441,24 @@ mod tests {
         let pf = Platform::paper(3, 3);
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
         use rand::SeedableRng;
-        let cfg = SpgGenConfig { n: 20, elevation: 3, ccr: Some(1.0), ..Default::default() };
+        let cfg = SpgGenConfig {
+            n: 20,
+            elevation: 3,
+            ccr: Some(1.0),
+            ..Default::default()
+        };
         let g = spg::random_spg(&cfg, &mut rng);
         // DP-internal feasibility equals the evaluator's: whenever the DP
         // returns an allocation, validation must succeed.
         for t in [1.0, 0.1, 0.02] {
-            match dpa2d_alloc(&g, &pf, t) {
-                Ok(alloc) => {
-                    let speed = assign_min_speeds(&g, &pf, &alloc, t).unwrap();
-                    let m = Mapping { alloc, speed, routes: RouteSpec::Xy(RouteOrder::RowFirst) };
-                    validated(&g, &pf, m, t).expect("DP result must validate");
-                }
-                Err(_) => {}
+            if let Ok(alloc) = dpa2d_alloc(&g, &pf, t) {
+                let speed = assign_min_speeds(&g, &pf, &alloc, t).unwrap();
+                let m = Mapping {
+                    alloc,
+                    speed,
+                    routes: RouteSpec::Xy(RouteOrder::RowFirst),
+                };
+                validated(&g, &pf, m, t).expect("DP result must validate");
             }
         }
     }

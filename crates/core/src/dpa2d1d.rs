@@ -11,8 +11,8 @@
 //! low-communication graphs, while avoiding `DPA1D`'s exponential ideal
 //! lattice on high-elevation graphs.
 
-use cmp_platform::{snake_core, Platform};
 use cmp_mapping::{assign_min_speeds, Mapping, RouteSpec};
+use cmp_platform::{snake_core, Platform};
 use spg::Spg;
 
 use crate::common::{validated, Failure, Solution};
@@ -34,7 +34,11 @@ pub fn dpa2d1d(spg: &Spg, pf: &Platform, period: f64) -> Result<Solution, Failur
         .collect();
     let speed = assign_min_speeds(spg, pf, &alloc, period)
         .ok_or_else(|| Failure::NoValidMapping("speed assignment failed".into()))?;
-    let mapping = Mapping { alloc, speed, routes: RouteSpec::Snake };
+    let mapping = Mapping {
+        alloc,
+        speed,
+        routes: RouteSpec::Snake,
+    };
     validated(spg, pf, mapping, period)
 }
 
@@ -68,8 +72,9 @@ mod tests {
         // virtual CMP each x-level lands on a single core, so one level's
         // three parallel stages (3 × 0.3e9 cycles) must fit the fastest
         // speed together.
-        let branches: Vec<_> =
-            (0..3).map(|_| chain(&[1e3, 0.3e9, 0.3e9, 1e3], &[1e4; 3])).collect();
+        let branches: Vec<_> = (0..3)
+            .map(|_| chain(&[1e3, 0.3e9, 0.3e9, 1e3], &[1e4; 3]))
+            .collect();
         let g = parallel_many(&branches);
         let sol = dpa2d1d(&g, &pf, 1.0).unwrap();
         assert!(sol.eval.active_cores >= 2);

@@ -15,8 +15,8 @@
 //! (with XY routing, which is lossless on `2 × 2` grids where every simple
 //! route is an XY route).
 
-use cmp_platform::{CoreId, Platform, RouteOrder};
 use cmp_mapping::{assign_min_speeds, is_dag_partition, Mapping, RouteSpec, REL_TOL};
+use cmp_platform::{CoreId, Platform, RouteOrder};
 use spg::{Spg, StageId};
 
 use crate::common::{better, validated, Failure, Solution};
@@ -44,12 +44,21 @@ pub struct ExactConfig {
 
 impl Default for ExactConfig {
     fn default() -> Self {
-        ExactConfig { max_stages: 10, max_placements: 2_000_000, rule: PartitionRule::DagPartition }
+        ExactConfig {
+            max_stages: 10,
+            max_placements: 2_000_000,
+            rule: PartitionRule::DagPartition,
+        }
     }
 }
 
 /// Finds the minimum-energy valid mapping by exhaustive search.
-pub fn exact(spg: &Spg, pf: &Platform, period: f64, cfg: &ExactConfig) -> Result<Solution, Failure> {
+pub fn exact(
+    spg: &Spg,
+    pf: &Platform,
+    period: f64,
+    cfg: &ExactConfig,
+) -> Result<Solution, Failure> {
     let n = spg.n();
     if n > cfg.max_stages {
         return Err(Failure::TooExpensive(format!(
@@ -104,14 +113,32 @@ fn enumerate_partitions(
         }
         assignment[s.idx()] = b;
         block_work[b] += w;
-        enumerate_partitions(spg, order, i + 1, assignment, block_work, max_blocks, cap_work, leaf);
+        enumerate_partitions(
+            spg,
+            order,
+            i + 1,
+            assignment,
+            block_work,
+            max_blocks,
+            cap_work,
+            leaf,
+        );
         block_work[b] -= w;
     }
     // A fresh block (restricted growth: block ids appear in first-use order).
     if block_work.len() < max_blocks && w <= cap_work {
         assignment[s.idx()] = block_work.len();
         block_work.push(w);
-        enumerate_partitions(spg, order, i + 1, assignment, block_work, max_blocks, cap_work, leaf);
+        enumerate_partitions(
+            spg,
+            order,
+            i + 1,
+            assignment,
+            block_work,
+            max_blocks,
+            cap_work,
+            leaf,
+        );
         block_work.pop();
     }
     assignment[s.idx()] = usize::MAX;
@@ -129,8 +156,10 @@ fn try_partition(
 ) {
     // Block-index pseudo-allocation for the quotient check.
     if cfg.rule == PartitionRule::DagPartition {
-        let pseudo: Vec<CoreId> =
-            assignment.iter().map(|&b| CoreId { u: 0, v: b as u32 }).collect();
+        let pseudo: Vec<CoreId> = assignment
+            .iter()
+            .map(|&b| CoreId { u: 0, v: b as u32 })
+            .collect();
         if !is_dag_partition(spg, &pseudo) {
             return;
         }
@@ -150,7 +179,17 @@ fn try_partition(
     let cores: Vec<CoreId> = pf.cores().collect();
     let mut chosen: Vec<usize> = Vec::with_capacity(k);
     let mut used = vec![false; r];
-    place_blocks(spg, pf, period, assignment, k, &cores, &mut chosen, &mut used, best);
+    place_blocks(
+        spg,
+        pf,
+        period,
+        assignment,
+        k,
+        &cores,
+        &mut chosen,
+        &mut used,
+        best,
+    );
 }
 
 /// Recursive injective placement of blocks onto cores.
@@ -242,14 +281,20 @@ mod tests {
     #[test]
     fn general_rule_never_worse_than_dag_rule() {
         let pf = Platform::paper(2, 2);
-        let g = parallel(&chain(&[0.5e9; 3], &[1e4; 2]), &chain(&[0.5e9; 3], &[1e4; 2]));
+        let g = parallel(
+            &chain(&[0.5e9; 3], &[1e4; 2]),
+            &chain(&[0.5e9; 3], &[1e4; 2]),
+        );
         let t = 2.0;
         let dag = exact(&g, &pf, t, &ExactConfig::default()).unwrap();
         let gen = exact(
             &g,
             &pf,
             t,
-            &ExactConfig { rule: PartitionRule::General, ..Default::default() },
+            &ExactConfig {
+                rule: PartitionRule::General,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(gen.energy() <= dag.energy() * (1.0 + 1e-12));

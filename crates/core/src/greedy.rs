@@ -27,8 +27,8 @@
 //! (wavefront order, volume-balanced forwarding, skip-if-not-ready) are
 //! documented in DESIGN.md §3.
 
-use cmp_platform::{CoreId, Platform, RouteOrder};
 use cmp_mapping::{assign_min_speeds, Mapping, RouteSpec};
+use cmp_platform::{CoreId, Platform, RouteOrder};
 use spg::{Spg, StageId};
 
 use crate::common::{better, validated, Failure, Solution};
@@ -81,7 +81,10 @@ fn greedy_at_speed(
     let mut preds_left: Vec<usize> = (0..n).map(|i| spg.in_degree(StageId(i as u32))).collect();
 
     let start = CoreId { u: 0, v: 0 };
-    pending[start.flat(pf.q)].push(Pending { stage: spg.source(), volume: 0.0 });
+    pending[start.flat(pf.q)].push(Pending {
+        stage: spg.source(),
+        volume: 0.0,
+    });
     carrier[spg.source().idx()] = Some(start.flat(pf.q));
 
     // Wavefront order guarantees east/south forwards land on unprocessed
@@ -96,9 +99,9 @@ fn greedy_at_speed(
         // pending stage that is ready and fits.
         loop {
             pending[f].sort_by(|a, b| b.volume.partial_cmp(&a.volume).unwrap());
-            let pick = pending[f].iter().position(|p| {
-                preds_left[p.stage.idx()] == 0 && work + spg.weight(p.stage) <= cap
-            });
+            let pick = pending[f]
+                .iter()
+                .position(|p| preds_left[p.stage.idx()] == 0 && work + spg.weight(p.stage) <= cap);
             let Some(idx) = pick else { break };
             let p = pending[f].remove(idx);
             let s = p.stage;
@@ -116,12 +119,13 @@ fn greedy_at_speed(
                 match carrier[j.idx()] {
                     None => {
                         carrier[j.idx()] = Some(f);
-                        pending[f].push(Pending { stage: j, volume: e.volume });
+                        pending[f].push(Pending {
+                            stage: j,
+                            volume: e.volume,
+                        });
                     }
                     Some(cf) => {
-                        if let Some(entry) =
-                            pending[cf].iter_mut().find(|q| q.stage == j)
-                        {
+                        if let Some(entry) = pending[cf].iter_mut().find(|q| q.stage == j) {
                             entry.volume += e.volume;
                         }
                     }
@@ -132,8 +136,14 @@ fn greedy_at_speed(
         if pending[f].is_empty() {
             continue;
         }
-        let east = (core.v + 1 < pf.q).then(|| CoreId { u: core.u, v: core.v + 1 });
-        let south = (core.u + 1 < pf.p).then(|| CoreId { u: core.u + 1, v: core.v });
+        let east = (core.v + 1 < pf.q).then(|| CoreId {
+            u: core.u,
+            v: core.v + 1,
+        });
+        let south = (core.u + 1 < pf.p).then(|| CoreId {
+            u: core.u + 1,
+            v: core.v,
+        });
         if east.is_none() && south.is_none() {
             return None; // stages stranded on the bottom-right corner
         }
@@ -171,8 +181,10 @@ fn greedy_at_speed(
     for &c in &alloc {
         used[c.flat(pf.q)] = true;
     }
-    let uniform: Vec<Option<usize>> =
-        used.iter().map(|&u| if u { Some(k) } else { None }).collect();
+    let uniform: Vec<Option<usize>> = used
+        .iter()
+        .map(|&u| if u { Some(k) } else { None })
+        .collect();
     let mapping = Mapping {
         alloc: alloc.clone(),
         speed: uniform,
@@ -232,8 +244,9 @@ mod tests {
     fn fork_join_handled() {
         let pf = Platform::paper(4, 4);
         // Light shared source/sink (merged weights add up), heavy inners.
-        let branches: Vec<_> =
-            (0..5).map(|_| chain(&[1e3, 0.4e9, 1e3], &[1e4; 2])).collect();
+        let branches: Vec<_> = (0..5)
+            .map(|_| chain(&[1e3, 0.4e9, 1e3], &[1e4; 2]))
+            .collect();
         let g = parallel_many(&branches);
         let sol = greedy(&g, &pf, 1.0).unwrap();
         assert!(sol.eval.active_cores >= 2);
@@ -246,13 +259,21 @@ mod tests {
         let pf = Platform::paper(4, 4);
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
         use rand::SeedableRng;
-        let cfg = SpgGenConfig { n: 40, elevation: 5, ccr: Some(10.0), ..Default::default() };
+        let cfg = SpgGenConfig {
+            n: 40,
+            elevation: 5,
+            ccr: Some(10.0),
+            ..Default::default()
+        };
         let g = spg::random_spg(&cfg, &mut rng);
         let t = 0.05;
         if let Ok(sol) = greedy(&g, &pf, t) {
             // Re-deriving min speeds for its allocation must reproduce it.
             let speeds = assign_min_speeds(&g, &pf, &sol.mapping.alloc, t).unwrap();
-            let m = Mapping { speed: speeds, ..sol.mapping.clone() };
+            let m = Mapping {
+                speed: speeds,
+                ..sol.mapping.clone()
+            };
             let again = validated(&g, &pf, m, t).unwrap();
             assert!(again.energy() <= sol.energy() * (1.0 + 1e-12));
         }

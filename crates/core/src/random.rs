@@ -15,8 +15,8 @@
 //!    uniformly, communications follow XY routing, and the draw is kept only
 //!    if no link exceeds the bandwidth-period product.
 
-use cmp_platform::{CoreId, Platform, RouteOrder};
 use cmp_mapping::{Mapping, RouteSpec};
+use cmp_platform::{CoreId, Platform, RouteOrder};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -40,9 +40,7 @@ pub fn random_heuristic(
     for _ in 0..RANDOM_TRIALS {
         best = better(best, random_once(spg, pf, period, &mut rng));
     }
-    best.ok_or_else(|| {
-        Failure::NoValidMapping(format!("no valid draw in {RANDOM_TRIALS} trials"))
-    })
+    best.ok_or_else(|| Failure::NoValidMapping(format!("no valid draw in {RANDOM_TRIALS} trials")))
 }
 
 /// One draw of the two-step procedure; `None` when the draw is invalid.
@@ -62,7 +60,11 @@ fn random_once<R: Rng>(spg: &Spg, pf: &Platform, period: f64, rng: &mut R) -> Op
         }
         speed[core.flat(pf.q)] = Some(k);
     }
-    let mapping = Mapping { alloc, speed, routes: RouteSpec::Xy(RouteOrder::RowFirst) };
+    let mapping = Mapping {
+        alloc,
+        speed,
+        routes: RouteSpec::Xy(RouteOrder::RowFirst),
+    };
     validated(spg, pf, mapping, period).ok()
 }
 
@@ -151,7 +153,11 @@ mod tests {
     fn partition_is_dag_partition_and_fits_period() {
         let pf = Platform::paper(4, 4);
         let mut rng = ChaCha8Rng::seed_from_u64(7);
-        let cfg = SpgGenConfig { n: 30, elevation: 4, ..Default::default() };
+        let cfg = SpgGenConfig {
+            n: 30,
+            elevation: 4,
+            ..Default::default()
+        };
         let g = spg::random_spg(&cfg, &mut rng);
         let t = 5e-3;
         for trial in 0..20 {

@@ -14,8 +14,8 @@
 //! passes). All DAG-partition/period checking is delegated to the
 //! evaluator, so accepted mappings stay valid by construction.
 
-use cmp_platform::{CoreId, Platform};
 use cmp_mapping::{assign_min_speeds, evaluate, Mapping};
+use cmp_platform::{CoreId, Platform};
 use spg::Spg;
 
 use crate::common::Solution;
@@ -58,8 +58,14 @@ pub fn refine(
                 let Some(speed) = assign_min_speeds(spg, pf, &alloc, period) else {
                     continue;
                 };
-                let mapping = Mapping { alloc, speed, routes: best.mapping.routes.clone() };
-                let Ok(eval) = evaluate(spg, pf, &mapping, period) else { continue };
+                let mapping = Mapping {
+                    alloc,
+                    speed,
+                    routes: best.mapping.routes.clone(),
+                };
+                let Ok(eval) = evaluate(spg, pf, &mapping, period) else {
+                    continue;
+                };
                 if eval.energy < best.eval.energy * (1.0 - 1e-12)
                     && stage_best.as_ref().is_none_or(|(e, _)| eval.energy < *e)
                 {
@@ -111,7 +117,10 @@ mod tests {
             .topo_order()
             .iter()
             .enumerate()
-            .map(|(i, _)| CoreId { u: (i / 2) as u32, v: (i % 2) as u32 })
+            .map(|(i, _)| CoreId {
+                u: (i / 2) as u32,
+                v: (i % 2) as u32,
+            })
             .collect();
         // Reorder alloc to stage-id indexing.
         let mut by_stage = vec![CoreId { u: 0, v: 0 }; g.n()];
@@ -122,13 +131,20 @@ mod tests {
         let start = validated(
             &g,
             &pf,
-            Mapping { alloc: by_stage, speed, routes: RouteSpec::Xy(RouteOrder::RowFirst) },
+            Mapping {
+                alloc: by_stage,
+                speed,
+                routes: RouteSpec::Xy(RouteOrder::RowFirst),
+            },
             t,
         )
         .unwrap();
         assert_eq!(start.eval.active_cores, 4);
         let refined = refine(&g, &pf, &start, t, &RefineConfig::default());
-        assert_eq!(refined.eval.active_cores, 1, "should pack onto one slow core");
+        assert_eq!(
+            refined.eval.active_cores, 1,
+            "should pack onto one slow core"
+        );
         assert!(refined.energy() < start.energy());
     }
 
@@ -142,7 +158,11 @@ mod tests {
         let start = validated(
             &g,
             &pf,
-            Mapping { alloc, speed, routes: RouteSpec::Xy(RouteOrder::RowFirst) },
+            Mapping {
+                alloc,
+                speed,
+                routes: RouteSpec::Xy(RouteOrder::RowFirst),
+            },
             t,
         )
         .unwrap();

@@ -62,12 +62,20 @@ impl std::fmt::Display for MappingError {
             MappingError::SpeedMissing { core } => write!(f, "no speed for enrolled core {core:?}"),
             MappingError::NotDagPartition => write!(f, "cluster quotient graph has a cycle"),
             MappingError::ComputeOverload { core, cycle_time } => {
-                write!(f, "core {core:?} compute cycle-time {cycle_time:.3e}s exceeds period")
+                write!(
+                    f,
+                    "core {core:?} compute cycle-time {cycle_time:.3e}s exceeds period"
+                )
             }
             MappingError::LinkOverload { link, cycle_time } => {
-                write!(f, "link {link:?} cycle-time {cycle_time:.3e}s exceeds period")
+                write!(
+                    f,
+                    "link {link:?} cycle-time {cycle_time:.3e}s exceeds period"
+                )
             }
-            MappingError::BadRoute { edge, detail } => write!(f, "bad route for {edge:?}: {detail}"),
+            MappingError::BadRoute { edge, detail } => {
+                write!(f, "bad route for {edge:?}: {detail}")
+            }
         }
     }
 }
@@ -106,7 +114,11 @@ pub fn evaluate(
 ) -> Result<Evaluation, MappingError> {
     assert!(period > 0.0, "period must be positive");
     assert_eq!(mapping.alloc.len(), spg.n(), "alloc length mismatch");
-    assert_eq!(mapping.speed.len(), pf.n_cores(), "speed vector length mismatch");
+    assert_eq!(
+        mapping.speed.len(),
+        pf.n_cores(),
+        "speed vector length mismatch"
+    );
     let tol = 1.0 + REL_TOL;
 
     for (i, &c) in mapping.alloc.iter().enumerate() {
@@ -139,7 +151,10 @@ pub fn evaluate(
         let s = pf.power.speed(k);
         let ct = core_work[f] / s.freq;
         if ct > period * tol {
-            return Err(MappingError::ComputeOverload { core, cycle_time: ct });
+            return Err(MappingError::ComputeOverload {
+                core,
+                cycle_time: ct,
+            });
         }
         max_cycle_time = max_cycle_time.max(ct);
         compute_dynamic += (core_work[f] / s.freq) * s.power;
@@ -160,7 +175,10 @@ pub fn evaluate(
     for (&link, &load) in &link_loads {
         let ct = pf.link_time(load);
         if ct > period * tol {
-            return Err(MappingError::LinkOverload { link, cycle_time: ct });
+            return Err(MappingError::LinkOverload {
+                link,
+                cycle_time: ct,
+            });
         }
         max_cycle_time = max_cycle_time.max(ct);
         comm_dynamic += pf.hop_energy(load);
@@ -269,7 +287,10 @@ mod tests {
         let mut m = Mapping::all_on(&pf, 3, c(0, 0));
         m.alloc[order[1].idx()] = c(0, 1); // sandwich
         m.speed = assign_min_speeds(&g, &pf, &m.alloc, 1.0).unwrap();
-        assert!(matches!(evaluate(&g, &pf, &m, 1.0), Err(MappingError::NotDagPartition)));
+        assert!(matches!(
+            evaluate(&g, &pf, &m, 1.0),
+            Err(MappingError::NotDagPartition)
+        ));
     }
 
     #[test]
@@ -281,7 +302,10 @@ mod tests {
             speed: vec![None],
             routes: RouteSpec::Xy(RouteOrder::RowFirst),
         };
-        assert!(matches!(evaluate(&g, &pf, &m, 1.0), Err(MappingError::SpeedMissing { .. })));
+        assert!(matches!(
+            evaluate(&g, &pf, &m, 1.0),
+            Err(MappingError::SpeedMissing { .. })
+        ));
     }
 
     #[test]
@@ -309,6 +333,10 @@ mod tests {
         m.routes = RouteSpec::Snake;
         m.speed = assign_min_speeds(&g, &pf, &m.alloc, 1.0).unwrap();
         let ev = evaluate(&g, &pf, &m, 1.0).unwrap();
-        assert_eq!(ev.link_loads.len(), 3, "snake route has 3 hops, XY would have 1");
+        assert_eq!(
+            ev.link_loads.len(),
+            3,
+            "snake route has 3 hops, XY would have 1"
+        );
     }
 }

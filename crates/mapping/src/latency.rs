@@ -96,7 +96,11 @@ mod tests {
         let mut alloc = vec![CoreId { u: 0, v: 0 }; 2];
         alloc[order[1].idx()] = CoreId { u: 0, v: 1 };
         let speed = assign_min_speeds(&g, &pf, &alloc, 1.0).unwrap();
-        let m = Mapping { alloc, speed, routes: RouteSpec::Xy(RouteOrder::RowFirst) };
+        let m = Mapping {
+            alloc,
+            speed,
+            routes: RouteSpec::Xy(RouteOrder::RowFirst),
+        };
         // Each stage at 0.4 GHz: 0.75 s; plus 0.1 s transfer.
         let l = latency(&g, &pf, &m).unwrap();
         assert!((l - (0.75 + 0.1 + 0.75)).abs() < 1e-12, "latency {l}");
@@ -109,7 +113,11 @@ mod tests {
         let m = {
             let alloc = vec![CoreId { u: 0, v: 0 }; 5];
             let speed = assign_min_speeds(&g, &pf, &alloc, 1.0).unwrap();
-            Mapping { alloc, speed, routes: RouteSpec::Xy(RouteOrder::RowFirst) }
+            Mapping {
+                alloc,
+                speed,
+                routes: RouteSpec::Xy(RouteOrder::RowFirst),
+            }
         };
         assert!(latency(&g, &pf, &m).unwrap() >= latency_lower_bound(&g, &pf) - 1e-12);
     }

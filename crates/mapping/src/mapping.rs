@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use cmp_platform::{
-    routing::{snake_index, snake_route, xy_route, validate_route},
+    routing::{snake_index, snake_route, validate_route, xy_route},
     CoreId, DirLink, Platform, RouteOrder,
 };
 use spg::{EdgeId, Spg};

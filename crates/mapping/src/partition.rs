@@ -10,8 +10,6 @@
 use std::collections::HashMap;
 
 use cmp_platform::{CoreId, Platform};
-use petgraph::algo::toposort;
-use petgraph::graph::DiGraph;
 use spg::{Spg, StageId};
 
 /// Stages per core, for cores holding at least one stage.
@@ -41,14 +39,41 @@ pub fn quotient_edges(spg: &Spg, alloc: &[CoreId]) -> Vec<(CoreId, CoreId)> {
 /// Whether `alloc` is a DAG-partition mapping: the quotient graph of the
 /// clusters is acyclic.
 pub fn is_dag_partition(spg: &Spg, alloc: &[CoreId]) -> bool {
-    let mut node_of: HashMap<CoreId, _> = HashMap::new();
-    let mut graph: DiGraph<CoreId, ()> = DiGraph::new();
-    for (a, b) in quotient_edges(spg, alloc) {
-        let na = *node_of.entry(a).or_insert_with(|| graph.add_node(a));
-        let nb = *node_of.entry(b).or_insert_with(|| graph.add_node(b));
-        graph.update_edge(na, nb, ());
+    let edges = quotient_edges(spg, alloc);
+    // Dense-index the clusters that appear in some quotient edge; isolated
+    // clusters cannot be on a cycle.
+    let mut nodes: Vec<CoreId> = Vec::with_capacity(edges.len() * 2);
+    for &(a, b) in &edges {
+        nodes.push(a);
+        nodes.push(b);
     }
-    toposort(&graph, None).is_ok()
+    nodes.sort_unstable();
+    nodes.dedup();
+    let idx = |c: CoreId| {
+        nodes
+            .binary_search(&c)
+            .expect("endpoint was collected above")
+    };
+    let mut indeg = vec![0usize; nodes.len()];
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for &(a, b) in &edges {
+        let (a, b) = (idx(a), idx(b));
+        succ[a].push(b);
+        indeg[b] += 1;
+    }
+    // Kahn's algorithm: the quotient is acyclic iff every node drains.
+    let mut stack: Vec<usize> = (0..nodes.len()).filter(|&i| indeg[i] == 0).collect();
+    let mut drained = 0usize;
+    while let Some(u) = stack.pop() {
+        drained += 1;
+        for &v in &succ[u] {
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                stack.push(v);
+            }
+        }
+    }
+    drained == nodes.len()
 }
 
 /// Checks cluster convexity directly from the reachability closure: for all
@@ -161,7 +186,7 @@ mod tests {
     #[test]
     fn single_cluster_is_trivially_valid() {
         let g = chain(&[1.0; 3], &[1.0; 2]);
-        assert!(is_dag_partition(&g, &vec![c(0, 0); 3]));
-        assert!(quotient_edges(&g, &vec![c(0, 0); 3]).is_empty());
+        assert!(is_dag_partition(&g, &[c(0, 0); 3]));
+        assert!(quotient_edges(&g, &[c(0, 0); 3]).is_empty());
     }
 }

@@ -10,8 +10,8 @@
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 
-use cmp_platform::{DirLink, Platform};
 use cmp_mapping::Mapping;
+use cmp_platform::{DirLink, Platform};
 use spg::{Spg, StageId};
 
 use crate::report::SimReport;
@@ -28,7 +28,10 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { datasets: 200, warmup: 50 }
+        SimConfig {
+            datasets: 200,
+            warmup: 50,
+        }
     }
 }
 
@@ -63,14 +66,31 @@ struct JobKey {
 impl JobKey {
     fn pack(j: Job) -> Self {
         match j {
-            Job::Stage { s, k } => JobKey { kind: 0, a: k, b: s, c: 0 },
-            Job::Hop { e, hop, k } => JobKey { kind: 1, a: k, b: e, c: hop },
+            Job::Stage { s, k } => JobKey {
+                kind: 0,
+                a: k,
+                b: s,
+                c: 0,
+            },
+            Job::Hop { e, hop, k } => JobKey {
+                kind: 1,
+                a: k,
+                b: e,
+                c: hop,
+            },
         }
     }
     fn unpack(self) -> Job {
         match self.kind {
-            0 => Job::Stage { s: self.b, k: self.a },
-            _ => Job::Hop { e: self.b, hop: self.c, k: self.a },
+            0 => Job::Stage {
+                s: self.b,
+                k: self.a,
+            },
+            _ => Job::Hop {
+                e: self.b,
+                hop: self.c,
+                k: self.a,
+            },
         }
     }
 }
@@ -116,7 +136,10 @@ pub fn simulate(
     let n = spg.n();
     let kk = cfg.datasets;
     assert!(kk >= 2, "need at least two data sets");
-    assert!(cfg.warmup + 1 < kk, "warmup must leave at least two completions");
+    assert!(
+        cfg.warmup + 1 < kk,
+        "warmup must leave at least two completions"
+    );
 
     // Static per-stage data.
     let topo = spg.topo_order();
@@ -141,10 +164,10 @@ pub fn simulate(
     let n_edges = spg.n_edges();
     let mut routes: Vec<Vec<DirLink>> = Vec::with_capacity(n_edges);
     let mut hop_time = vec![0.0f64; n_edges];
-    for e in 0..n_edges {
+    for (e, slot) in hop_time.iter_mut().enumerate() {
         let eid = spg::EdgeId(e as u32);
         let route = mapping.route_of(pf, spg, eid)?;
-        hop_time[e] = pf.link_time(spg.edge(eid).volume);
+        *slot = pf.link_time(spg.edge(eid).volume);
         routes.push(route);
     }
 
@@ -159,7 +182,10 @@ pub fn simulate(
     }
     let n_res = n_cores + link_ids.len();
     let mut res: Vec<Resource> = (0..n_res)
-        .map(|_| Resource { busy: false, ready: BinaryHeap::new() })
+        .map(|_| Resource {
+            busy: false,
+            ready: BinaryHeap::new(),
+        })
         .collect();
 
     // Dependency counters: remaining inputs per (stage, data set).
@@ -258,7 +284,14 @@ pub fn simulate(
                     if routes[eid.idx()].is_empty() {
                         grants.push((edge.dst.0, k));
                     } else {
-                        enqueue!(Job::Hop { e: eid.0, hop: 0, k }, now);
+                        enqueue!(
+                            Job::Hop {
+                                e: eid.0,
+                                hop: 0,
+                                k
+                            },
+                            now
+                        );
                     }
                 }
             }
@@ -289,20 +322,26 @@ pub fn simulate(
         return Err("deadlock: some data sets never completed".into());
     }
     let w = cfg.warmup;
-    report.achieved_period = (report.sink_completions[kk - 1] - report.sink_completions[w])
-        / (kk - 1 - w) as f64;
+    report.achieved_period =
+        (report.sink_completions[kk - 1] - report.sink_completions[w]) / (kk - 1 - w) as f64;
     Ok(report)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cmp_platform::CoreId;
     use cmp_mapping::{assign_min_speeds, evaluate, RouteSpec};
+    use cmp_platform::CoreId;
     use cmp_platform::RouteOrder;
     use spg::chain;
 
-    fn mapped_chain(pf: &Platform, weights: &[f64], vols: &[f64], split: usize, t: f64) -> (Spg, Mapping) {
+    fn mapped_chain(
+        pf: &Platform,
+        weights: &[f64],
+        vols: &[f64],
+        split: usize,
+        t: f64,
+    ) -> (Spg, Mapping) {
         let g = chain(weights, vols);
         let order = g.topo_order();
         let mut alloc = vec![CoreId { u: 0, v: 0 }; g.n()];
@@ -310,7 +349,14 @@ mod tests {
             alloc[s.idx()] = CoreId { u: 0, v: 1 };
         }
         let speed = assign_min_speeds(&g, pf, &alloc, t).unwrap();
-        (g.clone(), Mapping { alloc, speed, routes: RouteSpec::Xy(RouteOrder::RowFirst) })
+        (
+            g.clone(),
+            Mapping {
+                alloc,
+                speed,
+                routes: RouteSpec::Xy(RouteOrder::RowFirst),
+            },
+        )
     }
 
     #[test]
@@ -322,7 +368,16 @@ mod tests {
             speed: vec![Some(4)], // 1 GHz
             routes: RouteSpec::Xy(RouteOrder::RowFirst),
         };
-        let rep = simulate(&g, &pf, &mapping, SimConfig { datasets: 50, warmup: 10 }).unwrap();
+        let rep = simulate(
+            &g,
+            &pf,
+            &mapping,
+            SimConfig {
+                datasets: 50,
+                warmup: 10,
+            },
+        )
+        .unwrap();
         assert!(
             (rep.achieved_period - 0.6).abs() < 1e-9,
             "period {} vs 0.6 s",
@@ -338,7 +393,12 @@ mod tests {
         let analytic = evaluate(&g, &pf, &mapping, t).unwrap();
         let rep = simulate(&g, &pf, &mapping, SimConfig::default()).unwrap();
         let rel = (rep.achieved_period - analytic.max_cycle_time).abs() / analytic.max_cycle_time;
-        assert!(rel < 0.02, "sim {} vs analytic {}", rep.achieved_period, analytic.max_cycle_time);
+        assert!(
+            rel < 0.02,
+            "sim {} vs analytic {}",
+            rep.achieved_period,
+            analytic.max_cycle_time
+        );
     }
 
     #[test]
@@ -347,7 +407,16 @@ mod tests {
         let t = 1.0;
         let (g, mapping) = mapped_chain(&pf, &[0.4e9, 0.4e9], &[5e6], 1, t);
         let analytic = evaluate(&g, &pf, &mapping, t).unwrap();
-        let rep = simulate(&g, &pf, &mapping, SimConfig { datasets: 100, warmup: 10 }).unwrap();
+        let rep = simulate(
+            &g,
+            &pf,
+            &mapping,
+            SimConfig {
+                datasets: 100,
+                warmup: 10,
+            },
+        )
+        .unwrap();
         let expect = analytic.compute_dynamic + analytic.comm_dynamic;
         let got = rep.dynamic_energy_per_dataset();
         assert!(
@@ -367,7 +436,16 @@ mod tests {
             speed: vec![Some(4)],
             routes: RouteSpec::Xy(RouteOrder::RowFirst),
         };
-        let rep = simulate(&g, &pf, &mapping, SimConfig { datasets: 40, warmup: 10 }).unwrap();
+        let rep = simulate(
+            &g,
+            &pf,
+            &mapping,
+            SimConfig {
+                datasets: 40,
+                warmup: 10,
+            },
+        )
+        .unwrap();
         assert!((rep.achieved_period - 1.8).abs() < 1e-9);
     }
 
@@ -375,8 +453,20 @@ mod tests {
     fn messages_counted() {
         let pf = Platform::paper(1, 2);
         let (g, mapping) = mapped_chain(&pf, &[0.1e9, 0.1e9], &[1e4], 1, 1.0);
-        let rep = simulate(&g, &pf, &mapping, SimConfig { datasets: 30, warmup: 5 }).unwrap();
-        assert_eq!(rep.messages_delivered, 30, "one cross-core edge x 30 data sets");
+        let rep = simulate(
+            &g,
+            &pf,
+            &mapping,
+            SimConfig {
+                datasets: 30,
+                warmup: 5,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            rep.messages_delivered, 30,
+            "one cross-core edge x 30 data sets"
+        );
     }
 
     #[test]
@@ -388,7 +478,16 @@ mod tests {
             speed: vec![None],
             routes: RouteSpec::Xy(RouteOrder::RowFirst),
         };
-        assert!(simulate(&g, &pf, &mapping, SimConfig { datasets: 5, warmup: 1 }).is_err());
+        assert!(simulate(
+            &g,
+            &pf,
+            &mapping,
+            SimConfig {
+                datasets: 5,
+                warmup: 1
+            }
+        )
+        .is_err());
     }
 
     use spg::Spg;

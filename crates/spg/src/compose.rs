@@ -21,7 +21,11 @@ pub fn base(w_src: f64, w_sink: f64, volume: f64) -> Spg {
     Spg::from_parts(
         vec![w_src, w_sink],
         vec![Label { x: 1, y: 1 }, Label { x: 2, y: 1 }],
-        vec![SpgEdge { src: StageId(0), dst: StageId(1), volume }],
+        vec![SpgEdge {
+            src: StageId(0),
+            dst: StageId(1),
+            volume,
+        }],
     )
 }
 
@@ -34,12 +38,19 @@ pub fn chain(weights: &[f64], volumes: &[f64]) -> Spg {
     assert!(weights.len() >= 2, "a chain has at least two stages");
     assert_eq!(volumes.len(), weights.len() - 1);
     let labels = (0..weights.len())
-        .map(|i| Label { x: i as u32 + 1, y: 1 })
+        .map(|i| Label {
+            x: i as u32 + 1,
+            y: 1,
+        })
         .collect();
     let edges = volumes
         .iter()
         .enumerate()
-        .map(|(i, &v)| SpgEdge { src: StageId(i as u32), dst: StageId(i as u32 + 1), volume: v })
+        .map(|(i, &v)| SpgEdge {
+            src: StageId(i as u32),
+            dst: StageId(i as u32 + 1),
+            volume: v,
+        })
         .collect();
     Spg::from_parts(weights.to_vec(), labels, edges)
 }
@@ -63,7 +74,10 @@ pub fn series(a: &Spg, b: &Spg) -> Spg {
             b_map.push(id);
             weights.push(b.weight(i));
             let l = b.label(i);
-            labels.push(Label { x: l.x + shift, y: l.y });
+            labels.push(Label {
+                x: l.x + shift,
+                y: l.y,
+            });
         }
     }
     debug_assert_eq!(b_map.len(), b.n());
@@ -100,7 +114,10 @@ pub fn parallel(a: &Spg, b: &Spg) -> Spg {
             b_map.push(id);
             weights.push(b.weight(i));
             let l = b.label(i);
-            labels.push(Label { x: l.x, y: l.y + y_shift });
+            labels.push(Label {
+                x: l.x,
+                y: l.y + y_shift,
+            });
         }
     }
     let mut edges: Vec<SpgEdge> = a.edges().to_vec();
@@ -119,7 +136,9 @@ pub fn parallel(a: &Spg, b: &Spg) -> Spg {
 /// # Panics
 /// Panics on an empty slice.
 pub fn parallel_many(graphs: &[Spg]) -> Spg {
-    let (first, rest) = graphs.split_first().expect("parallel_many needs at least one SPG");
+    let (first, rest) = graphs
+        .split_first()
+        .expect("parallel_many needs at least one SPG");
     rest.iter().fold(first.clone(), |acc, g| parallel(&acc, g))
 }
 
@@ -128,7 +147,9 @@ pub fn parallel_many(graphs: &[Spg]) -> Spg {
 /// # Panics
 /// Panics on an empty slice.
 pub fn series_many(graphs: &[Spg]) -> Spg {
-    let (first, rest) = graphs.split_first().expect("series_many needs at least one SPG");
+    let (first, rest) = graphs
+        .split_first()
+        .expect("series_many needs at least one SPG");
     rest.iter().fold(first.clone(), |acc, g| series(&acc, g))
 }
 
@@ -147,7 +168,10 @@ mod tests {
 
     /// SPG1 of paper Figure 1: labels {(1,1),(2,1),(3,1),(4,1),(2,2)}.
     fn figure1_spg1() -> Spg {
-        series(&parallel(&uniform_chain(3), &uniform_chain(3)), &base(1.0, 1.0, 1.0))
+        series(
+            &parallel(&uniform_chain(3), &uniform_chain(3)),
+            &base(1.0, 1.0, 1.0),
+        )
     }
 
     /// SPG2 of paper Figure 1: labels {(1,1),(2,1),(3,1),(2,2),(2,3)}.
@@ -160,12 +184,16 @@ mod tests {
         let g1 = figure1_spg1();
         assert_eq!(
             label_set(&g1),
-            [(1, 1), (2, 1), (3, 1), (4, 1), (2, 2)].into_iter().collect()
+            [(1, 1), (2, 1), (3, 1), (4, 1), (2, 2)]
+                .into_iter()
+                .collect()
         );
         let g2 = figure1_spg2();
         assert_eq!(
             label_set(&g2),
-            [(1, 1), (2, 1), (3, 1), (2, 2), (2, 3)].into_iter().collect()
+            [(1, 1), (2, 1), (3, 1), (2, 2), (2, 3)]
+                .into_iter()
+                .collect()
         );
     }
 
@@ -176,9 +204,19 @@ mod tests {
         let g = series(&figure1_spg1(), &figure1_spg2());
         assert_eq!(
             label_set(&g),
-            [(1, 1), (2, 1), (2, 2), (3, 1), (4, 1), (5, 1), (6, 1), (5, 2), (5, 3)]
-                .into_iter()
-                .collect()
+            [
+                (1, 1),
+                (2, 1),
+                (2, 2),
+                (3, 1),
+                (4, 1),
+                (5, 1),
+                (6, 1),
+                (5, 2),
+                (5, 3)
+            ]
+            .into_iter()
+            .collect()
         );
         assert_eq!(g.n(), 9);
         assert_eq!(g.elevation(), 3);
@@ -193,9 +231,18 @@ mod tests {
         let g = parallel(&figure1_spg1(), &figure1_spg2());
         assert_eq!(
             label_set(&g),
-            [(1, 1), (2, 1), (3, 1), (4, 1), (2, 2), (2, 3), (2, 4), (2, 5)]
-                .into_iter()
-                .collect()
+            [
+                (1, 1),
+                (2, 1),
+                (3, 1),
+                (4, 1),
+                (2, 2),
+                (2, 3),
+                (2, 4),
+                (2, 5)
+            ]
+            .into_iter()
+            .collect()
         );
         assert_eq!(g.n(), 8);
         assert_eq!(g.elevation(), 5);

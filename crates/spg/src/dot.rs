@@ -14,11 +14,19 @@ pub fn to_dot(g: &Spg) -> String {
         let _ = writeln!(
             out,
             "  n{} [label=\"S{} ({},{})\\nw={:.3e}\"];",
-            s.0, s.0, l.x, l.y, g.weight(s)
+            s.0,
+            s.0,
+            l.x,
+            l.y,
+            g.weight(s)
         );
     }
     for e in g.edges() {
-        let _ = writeln!(out, "  n{} -> n{} [label=\"{:.3e}\"];", e.src.0, e.dst.0, e.volume);
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [label=\"{:.3e}\"];",
+            e.src.0, e.dst.0, e.volume
+        );
     }
     out.push_str("}\n");
     out

@@ -107,7 +107,11 @@ fn build_shape<R: Rng + ?Sized>(n: usize, e: u32, series_prob: f64, rng: &mut R)
         let k = rng.gen_range(1..=slack);
         let rest = build_shape(n - k, e, series_prob, rng);
         let seg = unit_chain(k + 1);
-        return if rng.gen_bool(0.5) { series(&seg, &rest) } else { series(&rest, &seg) };
+        return if rng.gen_bool(0.5) {
+            series(&seg, &rest)
+        } else {
+            series(&rest, &seg)
+        };
     }
     // Parallel split: elevation is additive, sources/sinks are shared
     // (n = n1 + n2 - 2). A branch needs at least one *inner* stage to
@@ -137,12 +141,16 @@ fn unit_chain(n: usize) -> Spg {
 /// that should not be biased toward a particular shape.
 pub fn random_spg_free<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Spg {
     assert!(n >= 2);
-    let max_e = ((n.saturating_sub(2)).max(1)).min(12) as u32;
+    let max_e = n.saturating_sub(2).clamp(1, 12) as u32;
     let e = rng.gen_range(1..=max_e.max(1));
     let e = e.min(((n.saturating_sub(2)) as u32).max(1));
     let cfg = SpgGenConfig {
         n,
-        elevation: if n >= min_stages_for_elevation(e) { e } else { 1 },
+        elevation: if n >= min_stages_for_elevation(e) {
+            e
+        } else {
+            1
+        },
         ..SpgGenConfig::default()
     };
     random_spg(&cfg, rng)
@@ -159,7 +167,11 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(42);
         for e in 1..=12u32 {
             for n in [30usize, 50, 150] {
-                let cfg = SpgGenConfig { n, elevation: e, ..Default::default() };
+                let cfg = SpgGenConfig {
+                    n,
+                    elevation: e,
+                    ..Default::default()
+                };
                 let g = random_spg(&cfg, &mut rng);
                 assert_eq!(g.n(), n, "n mismatch at e={e}");
                 assert_eq!(g.elevation(), e, "elevation mismatch at n={n}");
@@ -185,7 +197,11 @@ mod tests {
 
     #[test]
     fn deterministic_under_seed() {
-        let cfg = SpgGenConfig { n: 40, elevation: 4, ..Default::default() };
+        let cfg = SpgGenConfig {
+            n: 40,
+            elevation: 4,
+            ..Default::default()
+        };
         let g1 = random_spg(&cfg, &mut ChaCha8Rng::seed_from_u64(123));
         let g2 = random_spg(&cfg, &mut ChaCha8Rng::seed_from_u64(123));
         assert_eq!(g1.n(), g2.n());
@@ -198,7 +214,11 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(99);
         for e in 2..=8u32 {
             let n = min_stages_for_elevation(e);
-            let cfg = SpgGenConfig { n, elevation: e, ..Default::default() };
+            let cfg = SpgGenConfig {
+                n,
+                elevation: e,
+                ..Default::default()
+            };
             let g = random_spg(&cfg, &mut rng);
             assert_eq!(g.n(), n);
             assert_eq!(g.elevation(), e);
@@ -208,7 +228,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "too small")]
     fn rejects_impossible_target() {
-        let cfg = SpgGenConfig { n: 5, elevation: 5, ..Default::default() };
+        let cfg = SpgGenConfig {
+            n: 5,
+            elevation: 5,
+            ..Default::default()
+        };
         let _ = random_spg(&cfg, &mut ChaCha8Rng::seed_from_u64(0));
     }
 

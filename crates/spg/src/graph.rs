@@ -7,10 +7,8 @@
 //! parallel composition of two base SPGs — and every algorithm in the
 //! workspace treats the edge *list* as authoritative.
 
-use serde::{Deserialize, Serialize};
-
 /// Dense stage index inside one [`Spg`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct StageId(pub u32);
 
 impl StageId {
@@ -22,7 +20,7 @@ impl StageId {
 }
 
 /// Dense edge index inside one [`Spg`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EdgeId(pub u32);
 
 impl EdgeId {
@@ -39,7 +37,7 @@ impl EdgeId {
 /// `x = 1`, the sink has the maximal `x`), `y` is the elevation of the branch
 /// the stage lives on. Labels define the virtual grid used by the `DPA2D`
 /// heuristic and the *elevation* `ymax = max_i y_i`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Label {
     /// Position along the series direction, `1..=xmax`.
     pub x: u32,
@@ -49,7 +47,7 @@ pub struct Label {
 
 /// A directed application edge `L_{i,j}` with communication volume
 /// `δ_{i,j}` in bytes per data set.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpgEdge {
     /// Source stage.
     pub src: StageId,
@@ -68,7 +66,7 @@ pub struct SpgEdge {
 /// * the source is stage `0` with label `(1, 1)`; the sink has label
 ///   `(xmax, 1)`;
 /// * labels are unique across stages.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Spg {
     weights: Vec<f64>,
     labels: Vec<Label>,
@@ -95,7 +93,10 @@ impl Spg {
         let mut succ = vec![Vec::new(); n];
         let mut pred = vec![Vec::new(); n];
         for (k, e) in edges.iter().enumerate() {
-            assert!(e.src.idx() < n && e.dst.idx() < n, "edge endpoint out of range");
+            assert!(
+                e.src.idx() < n && e.dst.idx() < n,
+                "edge endpoint out of range"
+            );
             assert!(e.src != e.dst, "self-loop in SPG");
             succ[e.src.idx()].push(EdgeId(k as u32));
             pred[e.dst.idx()].push(EdgeId(k as u32));
@@ -183,13 +184,17 @@ impl Spg {
     /// Outgoing edges of a stage.
     #[inline]
     pub fn out_edges(&self, i: StageId) -> impl Iterator<Item = (EdgeId, &SpgEdge)> + '_ {
-        self.succ[i.idx()].iter().map(move |&e| (e, &self.edges[e.idx()]))
+        self.succ[i.idx()]
+            .iter()
+            .map(move |&e| (e, &self.edges[e.idx()]))
     }
 
     /// Incoming edges of a stage.
     #[inline]
     pub fn in_edges(&self, i: StageId) -> impl Iterator<Item = (EdgeId, &SpgEdge)> + '_ {
-        self.pred[i.idx()].iter().map(move |&e| (e, &self.edges[e.idx()]))
+        self.pred[i.idx()]
+            .iter()
+            .map(move |&e| (e, &self.edges[e.idx()]))
     }
 
     /// Successor stages (with possible duplicates under parallel edges).
@@ -252,7 +257,10 @@ impl Spg {
     /// # Panics
     /// Panics if `target` is not strictly positive and finite.
     pub fn scale_to_ccr(&mut self, target: f64) {
-        assert!(target.is_finite() && target > 0.0, "CCR target must be positive");
+        assert!(
+            target.is_finite() && target > 0.0,
+            "CCR target must be positive"
+        );
         let current = self.ccr();
         if !current.is_finite() {
             return;
@@ -358,7 +366,10 @@ impl Spg {
                 ));
             }
             if !(e.volume.is_finite() && e.volume >= 0.0) {
-                return Err(format!("edge {:?}->{:?} has bad volume {}", e.src, e.dst, e.volume));
+                return Err(format!(
+                    "edge {:?}->{:?} has bad volume {}",
+                    e.src, e.dst, e.volume
+                ));
             }
         }
         // Labels unique.
@@ -433,7 +444,10 @@ mod tests {
         assert!((g.ccr() - 1.0).abs() < 1e-12);
         g.scale_to_ccr(0.1);
         assert!((g.ccr() - 0.1).abs() < 1e-12);
-        assert!((g.total_work() - 60.0).abs() < 1e-12, "scaling must not touch weights");
+        assert!(
+            (g.total_work() - 60.0).abs() < 1e-12,
+            "scaling must not touch weights"
+        );
     }
 
     #[test]
@@ -482,10 +496,22 @@ mod tests {
     fn two_sources_rejected() {
         let _ = Spg::from_parts(
             vec![1.0, 1.0, 1.0],
-            vec![Label { x: 1, y: 1 }, Label { x: 1, y: 2 }, Label { x: 2, y: 1 }],
             vec![
-                SpgEdge { src: StageId(0), dst: StageId(2), volume: 0.0 },
-                SpgEdge { src: StageId(1), dst: StageId(2), volume: 0.0 },
+                Label { x: 1, y: 1 },
+                Label { x: 1, y: 2 },
+                Label { x: 2, y: 1 },
+            ],
+            vec![
+                SpgEdge {
+                    src: StageId(0),
+                    dst: StageId(2),
+                    volume: 0.0,
+                },
+                SpgEdge {
+                    src: StageId(1),
+                    dst: StageId(2),
+                    volume: 0.0,
+                },
             ],
         );
     }

@@ -128,7 +128,8 @@ pub fn enumerate_ideals(spg: &Spg, cap: usize) -> Result<IdealLattice, IdealErro
 /// member). Exposed for tests and for validating DP cluster chains.
 pub fn is_ideal(spg: &Spg, set: &NodeSet) -> bool {
     set.iter().all(|i| {
-        spg.predecessors(StageId(i as u32)).all(|p| set.contains(p.idx()))
+        spg.predecessors(StageId(i as u32))
+            .all(|p| set.contains(p.idx()))
     })
 }
 

@@ -79,7 +79,10 @@ impl NodeSet {
     /// `self ⊆ other`.
     pub fn is_subset(&self, other: &NodeSet) -> bool {
         debug_assert_eq!(self.capacity, other.capacity);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// In-place union.

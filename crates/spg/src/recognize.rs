@@ -38,7 +38,10 @@ pub fn recognize(g: &Spg) -> SpRecognition {
 }
 
 fn edge_list(g: &Spg) -> Vec<(usize, usize)> {
-    g.edges().iter().map(|e| (e.src.idx(), e.dst.idx())).collect()
+    g.edges()
+        .iter()
+        .map(|e| (e.src.idx(), e.dst.idx()))
+        .collect()
 }
 
 /// Core reduction on an explicit multigraph edge list.
@@ -52,7 +55,8 @@ pub fn recognize_edges(
     let mut out_deg = vec![0usize; n];
     let mut in_deg = vec![0usize; n];
     // live multigraph edges (with multiplicity)
-    let mut mult: std::collections::HashMap<(usize, usize), usize> = std::collections::HashMap::new();
+    let mut mult: std::collections::HashMap<(usize, usize), usize> =
+        std::collections::HashMap::new();
     for &(a, b) in edges {
         out_deg[a] += 1;
         in_deg[b] += 1;
@@ -61,11 +65,6 @@ pub fn recognize_edges(
     let mut series_steps = 0usize;
     let mut parallel_steps = 0usize;
     let mut alive = vec![true; n];
-
-    // Work-list of candidate nodes for series reduction.
-    let mut queue: Vec<usize> = (0..n)
-        .filter(|&v| v != source && v != sink && in_deg[v] == 1 && out_deg[v] == 1)
-        .collect();
 
     // Initial parallel collapse.
     for (_, m) in mult.iter_mut() {
@@ -85,7 +84,8 @@ pub fn recognize_edges(
         out_deg[v] = succ[v].len();
         in_deg[v] = pred[v].len();
     }
-    queue = (0..n)
+    // Work-list of candidate nodes for series reduction.
+    let mut queue: Vec<usize> = (0..n)
         .filter(|&v| v != source && v != sink && in_deg[v] == 1 && out_deg[v] == 1)
         .collect();
 
@@ -125,9 +125,8 @@ pub fn recognize_edges(
     }
 
     let residual_nodes = alive.iter().filter(|&&a| a).count();
-    let reduced_to_edge = residual_nodes == 2
-        && succ[source].len() == 1
-        && succ[source].contains_key(&sink);
+    let reduced_to_edge =
+        residual_nodes == 2 && succ[source].len() == 1 && succ[source].contains_key(&sink);
     SpRecognition {
         is_series_parallel: reduced_to_edge,
         series_steps,
@@ -171,7 +170,11 @@ mod tests {
     fn random_spgs_recognized() {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         for e in 1..=8 {
-            let cfg = SpgGenConfig { n: 30, elevation: e, ..Default::default() };
+            let cfg = SpgGenConfig {
+                n: 30,
+                elevation: e,
+                ..Default::default()
+            };
             let g = random_spg(&cfg, &mut rng);
             assert!(recognize(&g).is_series_parallel, "elevation {e}");
         }

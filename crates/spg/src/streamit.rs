@@ -35,18 +35,102 @@ pub struct StreamItSpec {
 
 /// Table 1 of the paper, verbatim.
 pub const STREAMIT_SPECS: [StreamItSpec; 12] = [
-    StreamItSpec { index: 1, name: "Beamformer", n: 57, ymax: 12, xmax: 12, ccr: 537.0 },
-    StreamItSpec { index: 2, name: "ChannelVocoder", n: 55, ymax: 17, xmax: 8, ccr: 453.0 },
-    StreamItSpec { index: 3, name: "Filterbank", n: 85, ymax: 16, xmax: 14, ccr: 535.0 },
-    StreamItSpec { index: 4, name: "FMRadio", n: 43, ymax: 12, xmax: 12, ccr: 330.0 },
-    StreamItSpec { index: 5, name: "Vocoder", n: 114, ymax: 17, xmax: 32, ccr: 38.0 },
-    StreamItSpec { index: 6, name: "BitonicSort", n: 40, ymax: 4, xmax: 23, ccr: 6.0 },
-    StreamItSpec { index: 7, name: "DCT", n: 8, ymax: 1, xmax: 8, ccr: 68.0 },
-    StreamItSpec { index: 8, name: "DES", n: 53, ymax: 3, xmax: 45, ccr: 7.0 },
-    StreamItSpec { index: 9, name: "FFT", n: 17, ymax: 1, xmax: 17, ccr: 17.0 },
-    StreamItSpec { index: 10, name: "MPEG2-noparser", n: 23, ymax: 5, xmax: 18, ccr: 9.0 },
-    StreamItSpec { index: 11, name: "Serpent", n: 120, ymax: 2, xmax: 111, ccr: 9.0 },
-    StreamItSpec { index: 12, name: "TDE", n: 29, ymax: 1, xmax: 29, ccr: 12.0 },
+    StreamItSpec {
+        index: 1,
+        name: "Beamformer",
+        n: 57,
+        ymax: 12,
+        xmax: 12,
+        ccr: 537.0,
+    },
+    StreamItSpec {
+        index: 2,
+        name: "ChannelVocoder",
+        n: 55,
+        ymax: 17,
+        xmax: 8,
+        ccr: 453.0,
+    },
+    StreamItSpec {
+        index: 3,
+        name: "Filterbank",
+        n: 85,
+        ymax: 16,
+        xmax: 14,
+        ccr: 535.0,
+    },
+    StreamItSpec {
+        index: 4,
+        name: "FMRadio",
+        n: 43,
+        ymax: 12,
+        xmax: 12,
+        ccr: 330.0,
+    },
+    StreamItSpec {
+        index: 5,
+        name: "Vocoder",
+        n: 114,
+        ymax: 17,
+        xmax: 32,
+        ccr: 38.0,
+    },
+    StreamItSpec {
+        index: 6,
+        name: "BitonicSort",
+        n: 40,
+        ymax: 4,
+        xmax: 23,
+        ccr: 6.0,
+    },
+    StreamItSpec {
+        index: 7,
+        name: "DCT",
+        n: 8,
+        ymax: 1,
+        xmax: 8,
+        ccr: 68.0,
+    },
+    StreamItSpec {
+        index: 8,
+        name: "DES",
+        n: 53,
+        ymax: 3,
+        xmax: 45,
+        ccr: 7.0,
+    },
+    StreamItSpec {
+        index: 9,
+        name: "FFT",
+        n: 17,
+        ymax: 1,
+        xmax: 17,
+        ccr: 17.0,
+    },
+    StreamItSpec {
+        index: 10,
+        name: "MPEG2-noparser",
+        n: 23,
+        ymax: 5,
+        xmax: 18,
+        ccr: 9.0,
+    },
+    StreamItSpec {
+        index: 11,
+        name: "Serpent",
+        n: 120,
+        ymax: 2,
+        xmax: 111,
+        ccr: 9.0,
+    },
+    StreamItSpec {
+        index: 12,
+        name: "TDE",
+        n: 29,
+        ymax: 1,
+        xmax: 29,
+        ccr: 12.0,
+    },
 ];
 
 /// Builds the synthetic workflow for one spec: exact `n / ymax / xmax`,
@@ -93,7 +177,12 @@ fn build_shape(spec: &StreamItSpec) -> Spg {
         .n
         .checked_sub(spec.xmax as usize)
         .unwrap_or_else(|| panic!("{}: n < xmax", spec.name));
-    assert!(budget >= branches, "{}: not enough stages for {} branches", spec.name, branches);
+    assert!(
+        budget >= branches,
+        "{}: not enough stages for {} branches",
+        spec.name,
+        branches
+    );
     let base = budget / branches;
     let rem = budget % branches;
     let mut g = spine;

@@ -1,0 +1,338 @@
+//! Offline shim for `criterion`: the benchmarking surface this workspace
+//! uses, measuring wall-clock time per iteration and emitting both a
+//! human-readable summary and a machine-readable JSON file.
+//!
+//! Protocol per benchmark: a short warm-up, then `sample_size` samples; each
+//! sample runs the routine enough times to cover a minimum window, and the
+//! per-iteration median / mean / minimum across samples are reported. JSON
+//! results go to `$CRITERION_JSON_OUT` (default
+//! `target/criterion-results.json`).
+//!
+//! Extension beyond the real criterion API: [`Criterion::record_value`]
+//! stores an arbitrary labelled metric in the same JSON output (used to pair
+//! energies with runtimes in `BENCH_baseline.json`).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Target duration of one measurement sample.
+const SAMPLE_WINDOW: Duration = Duration::from_millis(10);
+/// Warm-up budget before sampling starts.
+const WARMUP_WINDOW: Duration = Duration::from_millis(50);
+
+/// One finished measurement (or recorded metric) destined for the JSON dump.
+#[derive(Debug, Clone)]
+struct Record {
+    name: String,
+    median_ns: f64,
+    mean_ns: f64,
+    min_ns: f64,
+    samples: usize,
+    /// For [`Criterion::record_value`] entries: the unit label.
+    unit: Option<String>,
+}
+
+/// Top-level benchmark driver (create via `Default`, normally from
+/// [`criterion_main!`]).
+#[derive(Default)]
+pub struct Criterion {
+    records: Vec<Record>,
+    /// Substring filter from the CLI (`cargo bench -- <filter>`); benches
+    /// whose full name does not contain it are skipped.
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Reads the benchmark-name filter from the command line, ignoring the
+    /// flag-style arguments cargo forwards (e.g. `--bench`).
+    pub fn with_cli_filter(mut self) -> Self {
+        self.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        self
+    }
+}
+
+/// A named family of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; runs and times the routine.
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean ns/iter of each sample.
+    sample_means: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine`, keeping its output alive to prevent the optimiser
+    /// from deleting the work.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: at least one call, up to the warm-up window; estimates
+        // the per-iteration cost for sample sizing.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        let mut est = Duration::ZERO;
+        while warm_iters == 0 || warm_start.elapsed() < WARMUP_WINDOW {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            est = t.elapsed();
+            warm_iters += 1;
+            if est >= WARMUP_WINDOW {
+                break;
+            }
+        }
+        let iters_per_sample = if est >= SAMPLE_WINDOW {
+            1
+        } else {
+            (SAMPLE_WINDOW.as_nanos() / est.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+        self.sample_means.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let total = t.elapsed().as_nanos() as f64;
+            self.sample_means.push(total / iters_per_sample as f64);
+        }
+    }
+}
+
+fn summarize(name: String, samples: &[f64]) -> Record {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let median = if sorted.is_empty() {
+        f64::NAN
+    } else if sorted.len() % 2 == 1 {
+        sorted[sorted.len() / 2]
+    } else {
+        (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+    };
+    Record {
+        name,
+        median_ns: median,
+        mean_ns: sorted.iter().sum::<f64>() / sorted.len().max(1) as f64,
+        min_ns: sorted.first().copied().unwrap_or(f64::NAN),
+        samples: sorted.len(),
+        unit: None,
+    }
+}
+
+fn run_one(
+    criterion: &mut Criterion,
+    name: String,
+    sample_size: usize,
+    f: impl FnOnce(&mut Bencher),
+) {
+    if let Some(filter) = &criterion.filter {
+        if !name.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        sample_size,
+        sample_means: Vec::new(),
+    };
+    f(&mut b);
+    let rec = summarize(name, &b.sample_means);
+    eprintln!(
+        "bench {:<50} median {:>12.1} ns/iter (mean {:.1}, min {:.1}, {} samples)",
+        rec.name, rec.median_ns, rec.mean_ns, rec.min_ns, rec.samples
+    );
+    criterion.records.push(rec);
+}
+
+impl Criterion {
+    /// Opens a named group; benchmarks inside are reported as
+    /// `group/benchmark`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(self, name.to_string(), 20, f);
+        self
+    }
+
+    /// Records an arbitrary labelled metric into the JSON output (shim
+    /// extension; not part of the real criterion API).
+    pub fn record_value(&mut self, name: impl Into<String>, value: f64, unit: impl Into<String>) {
+        self.records.push(Record {
+            name: name.into(),
+            median_ns: value,
+            mean_ns: value,
+            min_ns: value,
+            samples: 1,
+            unit: Some(unit.into()),
+        });
+    }
+
+    /// Writes the JSON summary; called by [`criterion_main!`].
+    pub fn final_summary(&self) {
+        let path = std::env::var("CRITERION_JSON_OUT")
+            .unwrap_or_else(|_| "target/criterion-results.json".to_string());
+        let mut out = String::from("{\n  \"results\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let sep = if i + 1 == self.records.len() { "" } else { "," };
+            match &r.unit {
+                Some(unit) => {
+                    out.push_str(&format!(
+                        "    {{\"name\": {:?}, \"value\": {}, \"unit\": {:?}}}{sep}\n",
+                        r.name,
+                        fmt_json_f64(r.median_ns),
+                        unit
+                    ));
+                }
+                None => {
+                    out.push_str(&format!(
+                        "    {{\"name\": {:?}, \"median_ns\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"samples\": {}}}{sep}\n",
+                        r.name,
+                        fmt_json_f64(r.median_ns),
+                        fmt_json_f64(r.mean_ns),
+                        fmt_json_f64(r.min_ns),
+                        r.samples
+                    ));
+                }
+            }
+        }
+        out.push_str("  ]\n}\n");
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("criterion shim: could not write {path}: {e}");
+        } else {
+            eprintln!("criterion shim: results written to {path}");
+        }
+    }
+}
+
+/// JSON has no NaN/Inf; clamp to null.
+fn fmt_json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measurement samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks a closure under `group/id`.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_one(self.criterion, name, self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks a closure that receives `input`, under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnOnce(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_one(self.criterion, name, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; results are recorded eagerly).
+    pub fn finish(&mut self) {}
+}
+
+/// Bundles benchmark functions under one name, like the real macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Entry point running the given groups and writing the summary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().with_cli_filter();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_produces_positive_timings() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("spin", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        g.finish();
+        assert_eq!(c.records.len(), 1);
+        assert_eq!(c.records[0].name, "g/spin");
+        assert!(c.records[0].median_ns > 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn recorded_values_kept() {
+        let mut c = Criterion::default();
+        c.record_value("energy", 1.25, "J");
+        assert_eq!(c.records[0].unit.as_deref(), Some("J"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Offline shim for `rayon`: the parallel-iterator surface this workspace
+//! uses (`par_iter` / `into_par_iter`, `map`, `filter_map`, `enumerate`,
+//! `collect`), executed eagerly on scoped OS threads.
+//!
+//! Unlike rayon's lazy, work-stealing iterators, each combinator here runs
+//! its closure over all items immediately, fanning out over
+//! `std::thread::available_parallelism()` workers that pull indices from a
+//! shared atomic queue (so uneven per-item costs still balance). Results
+//! always preserve input order. This trades rayon's generality for ~200
+//! lines with zero dependencies; the call sites are source-compatible.
+
+use std::sync::Mutex;
+
+/// An eagerly evaluated parallel pipeline over an owned batch of items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// Runs `f` over `items` on a scoped thread pool; returns results in input
+/// order. Falls back to inline execution for tiny batches.
+fn par_map_vec<T: Send, U: Send>(items: Vec<T>, f: impl Fn(T) -> U + Sync) -> Vec<U> {
+    let n = items.len();
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |p| p.get())
+        .min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Workers pull (index, item) pairs from a shared queue and tag results
+    // with the index so order can be restored after the join.
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let f = &f;
+    let queue = &queue;
+    let mut tagged: Vec<(usize, U)> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, U)> = Vec::new();
+                    loop {
+                        let job = queue.lock().unwrap().next();
+                        let Some((i, item)) = job else { break };
+                        local.push((i, f(item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            tagged.extend(h.join().expect("worker thread panicked"));
+        }
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, u)| u).collect()
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pairs every item with its index, like `Iterator::enumerate`.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Applies `f` to every item in parallel.
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParIter<U> {
+        ParIter {
+            items: par_map_vec(self.items, f),
+        }
+    }
+
+    /// Applies `f` in parallel and keeps the `Some` results (input order).
+    pub fn filter_map<U: Send, F: Fn(T) -> Option<U> + Sync>(self, f: F) -> ParIter<U> {
+        ParIter {
+            items: par_map_vec(self.items, f).into_iter().flatten().collect(),
+        }
+    }
+
+    /// Collects the (already computed) results.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Conversion of an owned collection into a parallel pipeline.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+
+    /// Consumes `self` into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send, const N: usize> IntoParallelIterator for [T; N] {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// Borrowing counterpart of [`IntoParallelIterator`] (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed element type.
+    type Item: Send;
+
+    /// A parallel pipeline over `&self`'s elements.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Drop-in for `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_map_preserves_order() {
+        let out: Vec<usize> = (0..100)
+            .into_par_iter()
+            .filter_map(|i| (i % 3 == 0).then_some(i))
+            .collect();
+        assert_eq!(out, (0..100).filter(|i| i % 3 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v: Vec<String> = (0..50).map(|i| i.to_string()).collect();
+        let lens: Vec<usize> = v.par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens.len(), 50);
+        assert_eq!(lens[9], 1);
+        assert_eq!(lens[10], 2);
+    }
+
+    #[test]
+    fn enumerate_matches_sequential() {
+        let v = vec!["a", "bb", "ccc"];
+        let out: Vec<(usize, usize)> = v
+            .par_iter()
+            .enumerate()
+            .map(|(i, s)| (i, s.len()))
+            .collect();
+        assert_eq!(out, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn actually_runs_concurrently() {
+        // With >= 2 workers, two tasks sleeping 50 ms should finish well
+        // under the 100 ms sequential time. Skip on single-core machines.
+        if std::thread::available_parallelism().map_or(1, |p| p.get()) < 2 {
+            return;
+        }
+        let start = std::time::Instant::now();
+        let _: Vec<()> = (0..2)
+            .into_par_iter()
+            .map(|_| std::thread::sleep(std::time::Duration::from_millis(50)))
+            .collect();
+        assert!(start.elapsed() < std::time::Duration::from_millis(95));
+    }
+}

@@ -14,20 +14,37 @@ use spg_cmp::prelude::*;
 fn main() {
     let pf = Platform::paper(2, 2);
     let mut rng = ChaCha8Rng::seed_from_u64(7);
-    let cfg = SpgGenConfig { n: 8, elevation: 2, ccr: Some(1.0), ..Default::default() };
+    let cfg = SpgGenConfig {
+        n: 8,
+        elevation: 2,
+        ccr: Some(1.0),
+        ..Default::default()
+    };
     let g = spg::random_spg(&cfg, &mut rng);
     let period = 5e-3;
 
-    println!("random SPG: n = {}, ymax = {}, CCR = {:.1}; 2x2 CMP, T = {period} s\n", g.n(), g.elevation(), g.ccr());
+    println!(
+        "random SPG: n = {}, ymax = {}, CCR = {:.1}; 2x2 CMP, T = {period} s\n",
+        g.n(),
+        g.elevation(),
+        g.ccr()
+    );
 
     let opt = exact(&g, &pf, period, &ExactConfig::default()).expect("solvable instance");
-    println!("exact optimum (DAG-partition rule): {:.6e} J on {} cores", opt.energy(), opt.eval.active_cores);
+    println!(
+        "exact optimum (DAG-partition rule): {:.6e} J on {} cores",
+        opt.energy(),
+        opt.eval.active_cores
+    );
 
     let general = exact(
         &g,
         &pf,
         period,
-        &ExactConfig { rule: PartitionRule::General, ..Default::default() },
+        &ExactConfig {
+            rule: PartitionRule::General,
+            ..Default::default()
+        },
     )
     .expect("solvable instance");
     println!(

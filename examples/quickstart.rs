@@ -18,7 +18,10 @@ fn main() {
 
     println!("pipeline: {} stages, CCR = {:.1}", app.n(), app.ccr());
     println!("platform: 4x4 XScale CMP, period bound {period} s\n");
-    println!("{:<10} {:>12} {:>7} {:>14}", "heuristic", "energy (J)", "cores", "cycle-time (s)");
+    println!(
+        "{:<10} {:>12} {:>7} {:>14}",
+        "heuristic", "energy (J)", "cores", "cycle-time (s)"
+    );
 
     for kind in ALL_HEURISTICS {
         match run_heuristic(kind, &app, &pf, period, 42) {
@@ -42,7 +45,13 @@ fn main() {
     println!("\nbest mapping, stage -> core:");
     for s in app.stages() {
         let c = best.mapping.alloc[s.idx()];
-        println!("  S{:<2} (w = {:.1e} cycles) -> C({}, {})", s.0, app.weight(s), c.u, c.v);
+        println!(
+            "  S{:<2} (w = {:.1e} cycles) -> C({}, {})",
+            s.0,
+            app.weight(s),
+            c.u,
+            c.v
+        );
     }
     println!(
         "\nenergy split: compute {:.4} J dynamic + {:.4} J leak, comm {:.6} J",

@@ -31,9 +31,16 @@ fn main() {
         for app in 0..apps {
             let seed = 1000 + elevation as u64 * 97 + app as u64;
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            let cfg = SpgGenConfig { n: 50, elevation, ccr: Some(ccr), ..Default::default() };
+            let cfg = SpgGenConfig {
+                n: 50,
+                elevation,
+                ccr: Some(ccr),
+                ..Default::default()
+            };
             let g = spg::random_spg(&cfg, &mut rng);
-            let Some(t) = probe_period(&g, &pf, seed) else { continue };
+            let Some(t) = probe_period(&g, &pf, seed) else {
+                continue;
+            };
             let outcomes = run_all_heuristics(&g, &pf, t, seed);
             let best = outcomes
                 .iter()

@@ -8,8 +8,8 @@
 
 use ea_bench::probe_period;
 use ea_bench::runner::{best_energy, run_all_heuristics};
-use spg_cmp::prelude::*;
 use spg::{streamit_workflow, STREAMIT_SPECS};
+use spg_cmp::prelude::*;
 
 fn main() {
     let idx: usize = std::env::args()
@@ -26,7 +26,12 @@ fn main() {
         spec.index, spec.name, spec.n, spec.ymax, spec.xmax, spec.ccr
     );
 
-    for (label, ccr) in [("original", None), ("10", Some(10.0)), ("1", Some(1.0)), ("0.1", Some(0.1))] {
+    for (label, ccr) in [
+        ("original", None),
+        ("10", Some(10.0)),
+        ("1", Some(1.0)),
+        ("0.1", Some(0.1)),
+    ] {
         let mut g = streamit_workflow(spec, 2011);
         if let Some(c) = ccr {
             g.scale_to_ccr(c);
@@ -41,7 +46,11 @@ fn main() {
         for o in &outcomes {
             match (o.energy(), best) {
                 (Some(e), Some(b)) => {
-                    println!("  {:<8} E = {e:.4e} J  (x{:.3} of best)", o.kind.name(), e / b)
+                    println!(
+                        "  {:<8} E = {e:.4e} J  (x{:.3} of best)",
+                        o.kind.name(),
+                        e / b
+                    )
                 }
                 _ => println!("  {:<8} fail", o.kind.name()),
             }

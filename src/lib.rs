@@ -38,14 +38,11 @@ pub use spg;
 
 /// Everything needed to build workloads, platforms and run the algorithms.
 pub mod prelude {
-    pub use cmp_mapping::{
-        evaluate, latency, latency_lower_bound, Evaluation, Mapping, RouteSpec,
-    };
+    pub use cmp_mapping::{evaluate, latency, latency_lower_bound, Evaluation, Mapping, RouteSpec};
     pub use cmp_platform::{CoreId, Platform, PowerModel, RouteOrder, Speed};
     pub use ea_core::{
-        dpa1d, dpa2d, dpa2d1d, exact, greedy, random_heuristic, refine, run_heuristic,
-        Dpa1dConfig, ExactConfig, Failure, HeuristicKind, PartitionRule, RefineConfig, Solution,
-        ALL_HEURISTICS,
+        dpa1d, dpa2d, dpa2d1d, exact, greedy, random_heuristic, refine, run_heuristic, Dpa1dConfig,
+        ExactConfig, Failure, HeuristicKind, PartitionRule, RefineConfig, Solution, ALL_HEURISTICS,
     };
     pub use spg::{self, Spg, SpgGenConfig, StageId};
 }

@@ -4,9 +4,9 @@
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use spg_cmp::prelude::*;
 use spg::ideal::enumerate_ideals;
 use spg::{chain, parallel_many, Spg};
+use spg_cmp::prelude::*;
 
 /// Proposition 1's reduction gadget: a fork-join of n branches on two
 /// single-speed cores can meet period S/2 iff the branch weights admit a
@@ -109,6 +109,7 @@ fn brute_force_chain(g: &Spg, pf: &Platform, t: f64) -> Option<f64> {
         .collect();
     let mut best: Option<f64> = None;
     // Enumerate all ways to split [0..n) into at most q contiguous groups.
+    #[allow(clippy::type_complexity)]
     fn rec(
         pos: usize,
         groups: &mut Vec<(usize, usize)>,

@@ -6,8 +6,8 @@ use ea_bench::probe_period;
 use ea_bench::runner::run_all_heuristics;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use spg_cmp::prelude::*;
 use spg::{streamit_workflow, STREAMIT_SPECS};
+use spg_cmp::prelude::*;
 
 /// Every solution any heuristic returns must re-validate through the shared
 /// evaluator at the requested period with identical energy.
@@ -16,9 +16,16 @@ fn heuristic_solutions_revalidate_exactly() {
     let pf = Platform::paper(4, 4);
     let mut rng = ChaCha8Rng::seed_from_u64(99);
     for elevation in [1u32, 3, 6] {
-        let cfg = SpgGenConfig { n: 30, elevation, ccr: Some(1.0), ..Default::default() };
+        let cfg = SpgGenConfig {
+            n: 30,
+            elevation,
+            ccr: Some(1.0),
+            ..Default::default()
+        };
         let g = spg::random_spg(&cfg, &mut rng);
-        let Some(t) = probe_period(&g, &pf, 0) else { continue };
+        let Some(t) = probe_period(&g, &pf, 0) else {
+            continue;
+        };
         for kind in ALL_HEURISTICS {
             if let Ok(sol) = run_heuristic(kind, &g, &pf, t, 0) {
                 let ev = evaluate(&g, &pf, &sol.mapping, t)
@@ -48,8 +55,12 @@ fn dpa1d_is_optimal_on_uniline() {
             ..Default::default()
         };
         let g = spg::random_spg(&cfg, &mut rng);
-        let Some(t) = probe_period(&g, &pf, trial as u64) else { continue };
-        let Ok(dp) = dpa1d(&g, &pf, t, &Dpa1dConfig::default()) else { continue };
+        let Some(t) = probe_period(&g, &pf, trial as u64) else {
+            continue;
+        };
+        let Ok(dp) = dpa1d(&g, &pf, t, &Dpa1dConfig::default()) else {
+            continue;
+        };
         // The exhaustive solver may route backwards on the line, so it can
         // only be <= DPA1D. On chains and low CCR they coincide; in all
         // cases DPA1D must never be better than exact.
@@ -76,8 +87,12 @@ fn no_heuristic_beats_exact_on_2x2() {
             ..Default::default()
         };
         let g = spg::random_spg(&cfg, &mut rng);
-        let Some(t) = probe_period(&g, &pf, trial) else { continue };
-        let Ok(opt) = exact(&g, &pf, t, &ExactConfig::default()) else { continue };
+        let Some(t) = probe_period(&g, &pf, trial) else {
+            continue;
+        };
+        let Ok(opt) = exact(&g, &pf, t, &ExactConfig::default()) else {
+            continue;
+        };
         for kind in ALL_HEURISTICS {
             if let Ok(sol) = run_heuristic(kind, &g, &pf, t, trial) {
                 assert!(
@@ -98,8 +113,8 @@ fn streamit_suite_end_to_end() {
     let pf = Platform::paper(4, 4);
     for spec in &STREAMIT_SPECS {
         let g = streamit_workflow(spec, 2011);
-        let t = probe_period(&g, &pf, 2011)
-            .unwrap_or_else(|| panic!("{}: probe failed", spec.name));
+        let t =
+            probe_period(&g, &pf, 2011).unwrap_or_else(|| panic!("{}: probe failed", spec.name));
         let outcomes = run_all_heuristics(&g, &pf, t, 2011);
         assert!(
             outcomes.iter().any(|o| o.result.is_ok()),
@@ -123,8 +138,7 @@ fn fixed_mapping_energy_is_affine_in_period() {
     let (t1, t2) = (0.25, 1.0);
     let e1 = evaluate(&g, &pf, &sol.mapping, t1).unwrap();
     let e2 = evaluate(&g, &pf, &sol.mapping, t2).unwrap();
-    let expected_delta =
-        (e1.active_cores as f64 * pf.power.p_leak + pf.p_leak_comm) * (t2 - t1);
+    let expected_delta = (e1.active_cores as f64 * pf.power.p_leak + pf.p_leak_comm) * (t2 - t1);
     assert!(
         ((e2.energy - e1.energy) - expected_delta).abs() < 1e-12,
         "delta {} vs expected {}",

@@ -1,84 +1,111 @@
-//! Property-based tests (proptest) on the core data structures and
-//! invariants, spanning all crates.
+//! Randomized property tests on the core data structures and invariants,
+//! spanning all crates. Each property runs over a deterministic family of
+//! seeded random cases (no external property-testing framework: the
+//! workspace builds offline, and seeded ChaCha draws give reproducible
+//! failures — the failing seed is in the assertion message).
 
-use proptest::prelude::*;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use spg_cmp::prelude::*;
 use spg::ideal::{enumerate_ideals, is_ideal, ready_stages};
 use spg::{NodeSet, Spg};
+use spg_cmp::prelude::*;
 
-fn arb_spg() -> impl Strategy<Value = Spg> {
-    // (n, elevation budget, seed, ccr index) -> generated SPG
-    (6usize..40, 1u32..8, any::<u64>(), 0usize..3).prop_map(|(n, e, seed, ci)| {
-        let e = e.min(n.saturating_sub(2).max(1) as u32);
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let cfg = SpgGenConfig {
-            n,
-            elevation: e,
-            ccr: Some([10.0, 1.0, 0.1][ci]),
-            ..Default::default()
-        };
-        spg::random_spg(&cfg, &mut rng)
-    })
+const CASES: u64 = 48;
+
+/// One random SPG per case seed, sweeping size, elevation and CCR.
+fn arb_spg(case: u64) -> Spg {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x05b6_0000 + case);
+    let n = rng.gen_range(6usize..40);
+    let e = rng
+        .gen_range(1u32..8)
+        .min(n.saturating_sub(2).max(1) as u32);
+    let cfg = SpgGenConfig {
+        n,
+        elevation: e,
+        ccr: Some([10.0, 1.0, 0.1][case as usize % 3]),
+        ..Default::default()
+    };
+    spg::random_spg(&cfg, &mut rng)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every generated SPG satisfies the structural invariants of §3.1:
-    /// unique source/sink, unique labels, x-monotone edges.
-    #[test]
-    fn generated_spgs_are_well_formed(g in arb_spg()) {
-        prop_assert!(g.check_invariants().is_ok());
+/// Every generated SPG satisfies the structural invariants of §3.1:
+/// unique source/sink, unique labels, x-monotone edges.
+#[test]
+fn generated_spgs_are_well_formed() {
+    for case in 0..CASES {
+        let g = arb_spg(case);
+        assert!(g.check_invariants().is_ok(), "case {case}");
     }
+}
 
-    /// Labels define the virtual grid: at most one stage per (x, y).
-    #[test]
-    fn labels_unique(g in arb_spg()) {
+/// Labels define the virtual grid: at most one stage per (x, y), and the
+/// elevation / depth maxima are attained.
+#[test]
+fn labels_unique() {
+    for case in 0..CASES {
+        let g = arb_spg(case);
         let mut seen = std::collections::HashSet::new();
         for l in g.labels() {
-            prop_assert!(seen.insert((l.x, l.y)));
+            assert!(seen.insert((l.x, l.y)), "case {case}: duplicate label");
         }
-        // Elevation and depth are attained.
-        prop_assert!(g.labels().iter().any(|l| l.y == g.elevation()));
-        prop_assert!(g.labels().iter().any(|l| l.x == g.xmax()));
+        assert!(
+            g.labels().iter().any(|l| l.y == g.elevation()),
+            "case {case}"
+        );
+        assert!(g.labels().iter().any(|l| l.x == g.xmax()), "case {case}");
     }
+}
 
-    /// The ideal lattice is downward-closed and bounded by Theorem 1's
-    /// n^ymax count.
-    #[test]
-    fn ideal_lattice_properties(g in arb_spg()) {
+/// The ideal lattice is downward-closed and bounded by Theorem 1's n^ymax
+/// count.
+#[test]
+fn ideal_lattice_properties() {
+    for case in 0..CASES {
+        let g = arb_spg(case);
         let cap = 20_000usize;
-        if let Ok(lat) = enumerate_ideals(&g, cap) {
-            // Theorem 1's bound (loose, but must hold).
-            let bound = (g.n() as f64).powi(g.elevation() as i32) + 2.0;
-            prop_assert!((lat.len() as f64) <= bound + 1.0,
-                "lattice {} exceeds n^ymax bound {}", lat.len(), bound);
-            // Spot-check idealness of a sample.
-            for ideal in lat.ideals.iter().step_by(1 + lat.len() / 50) {
-                prop_assert!(is_ideal(&g, ideal));
-            }
-            // Ready stages of the empty ideal = the source.
-            let ready = ready_stages(&g, &NodeSet::new(g.n()));
-            prop_assert_eq!(ready, vec![g.source()]);
+        let Ok(lat) = enumerate_ideals(&g, cap) else {
+            continue;
+        };
+        // Theorem 1's bound (loose, but must hold).
+        let bound = (g.n() as f64).powi(g.elevation() as i32) + 2.0;
+        assert!(
+            (lat.len() as f64) <= bound + 1.0,
+            "case {case}: lattice {} exceeds n^ymax bound {}",
+            lat.len(),
+            bound
+        );
+        // Spot-check idealness of a sample.
+        for ideal in lat.ideals.iter().step_by(1 + lat.len() / 50) {
+            assert!(is_ideal(&g, ideal), "case {case}");
         }
+        // Ready stages of the empty ideal = the source.
+        let ready = ready_stages(&g, &NodeSet::new(g.n()));
+        assert_eq!(ready, vec![g.source()], "case {case}");
     }
+}
 
-    /// CCR rescaling hits the target exactly and leaves weights untouched.
-    #[test]
-    fn ccr_scaling_exact(mut g in arb_spg(), target in 0.05f64..100.0) {
+/// CCR rescaling hits the target exactly and leaves weights untouched.
+#[test]
+fn ccr_scaling_exact() {
+    for case in 0..CASES {
+        let mut g = arb_spg(case);
+        let mut rng = ChaCha8Rng::seed_from_u64(0x0cc2_0000 + case);
+        let target = rng.gen_range(0.05f64..100.0);
         let work = g.total_work();
         g.scale_to_ccr(target);
-        prop_assert!((g.ccr() - target).abs() / target < 1e-6);
-        prop_assert!((g.total_work() - work).abs() < 1e-6 * work);
+        assert!((g.ccr() - target).abs() / target < 1e-6, "case {case}");
+        assert!((g.total_work() - work).abs() < 1e-6 * work, "case {case}");
     }
+}
 
-    /// Every heuristic's accepted solution is a valid DAG-partition mapping
-    /// meeting the period, and no heuristic's reported energy disagrees
-    /// with the evaluator.
-    #[test]
-    fn heuristics_produce_valid_mappings(g in arb_spg(), seed in any::<u64>()) {
+/// Every heuristic's accepted solution is a valid DAG-partition mapping
+/// meeting the period, and no heuristic's reported energy disagrees with
+/// the evaluator.
+#[test]
+fn heuristics_produce_valid_mappings() {
+    for case in 0..CASES / 2 {
+        let g = arb_spg(case);
+        let seed = 0x09e1_0000 + case;
         let pf = Platform::paper(3, 3);
         // A fixed, reasonably tight period per instance: total work over
         // 4 cores at top speed.
@@ -86,55 +113,71 @@ proptest! {
         for kind in ALL_HEURISTICS {
             if let Ok(sol) = run_heuristic(kind, &g, &pf, t, seed) {
                 let ev = evaluate(&g, &pf, &sol.mapping, t);
-                prop_assert!(ev.is_ok(), "{} invalid: {:?}", kind, ev.err());
+                assert!(ev.is_ok(), "case {case}: {kind} invalid: {:?}", ev.err());
                 let ev = ev.unwrap();
-                prop_assert!((ev.energy - sol.energy()).abs() <= 1e-9 * ev.energy);
-                prop_assert!(ev.max_cycle_time <= t * (1.0 + 1e-6));
+                assert!(
+                    (ev.energy - sol.energy()).abs() <= 1e-9 * ev.energy,
+                    "case {case}: {kind} energy drift"
+                );
+                assert!(ev.max_cycle_time <= t * (1.0 + 1e-6), "case {case}: {kind}");
             }
         }
     }
+}
 
-    /// Snake and XY routes always have well-formed, cycle-free paths of
-    /// the expected lengths.
-    #[test]
-    fn routes_well_formed(p in 1u32..6, q in 1u32..6,
-                          a in 0usize..36, b in 0usize..36) {
+/// Snake and XY routes always have well-formed, cycle-free paths of the
+/// expected lengths.
+#[test]
+fn routes_well_formed() {
+    use cmp_platform::routing::{snake_core, snake_route, validate_route, xy_route};
+    let mut rng = ChaCha8Rng::seed_from_u64(0x0020_77e5);
+    for case in 0..CASES {
+        let p = rng.gen_range(1u32..6);
+        let q = rng.gen_range(1u32..6);
         let pf = Platform::paper(p, q);
         let r = pf.n_cores();
-        let (a, b) = (a % r, b % r);
-        use cmp_platform::routing::{snake_core, snake_route, validate_route, xy_route};
+        let a = rng.gen_range(0usize..36) % r;
+        let b = rng.gen_range(0usize..36) % r;
         let (ca, cb) = (snake_core(&pf, a), snake_core(&pf, b));
         let path = snake_route(&pf, a, b);
-        prop_assert_eq!(path.len(), a.abs_diff(b));
-        prop_assert!(validate_route(&pf, ca, cb, &path).is_ok());
+        assert_eq!(path.len(), a.abs_diff(b), "case {case}");
+        assert!(validate_route(&pf, ca, cb, &path).is_ok(), "case {case}");
         for order in [RouteOrder::RowFirst, RouteOrder::ColFirst] {
             let path = xy_route(ca, cb, order);
-            prop_assert_eq!(path.len() as u32, ca.manhattan(cb));
-            prop_assert!(validate_route(&pf, ca, cb, &path).is_ok());
+            assert_eq!(path.len() as u32, ca.manhattan(cb), "case {case}");
+            assert!(validate_route(&pf, ca, cb, &path).is_ok(), "case {case}");
         }
     }
+}
 
-    /// Speed-selection invariants: `min_speed_for` returns the slowest
-    /// feasible speed; `best_speed_for` is the energy-optimal feasible
-    /// speed. (They differ on the XScale table — its P(s)/s is not
-    /// monotone at the low end — which is why the paper's minimum-speed
-    /// rule is kept as a *faithfulness* choice, not an optimality one.)
-    #[test]
-    fn speed_selection_invariants(work in 1e6f64..2e9, t in 1e-3f64..2.0) {
-        let pm = cmp_platform::PowerModel::xscale();
-        if let Some(k) = pm.min_speed_for(work, t) {
-            // Slowest feasible: every slower speed is infeasible, k is
-            // feasible.
-            prop_assert!(work / pm.speed(k).freq <= t * (1.0 + 1e-9));
-            for slower in 0..k {
-                prop_assert!(work / pm.speed(slower).freq > t);
-            }
-            // best_speed_for minimises energy among feasible speeds.
-            let opt = pm.best_speed_for(work, t).unwrap();
-            let best = pm.compute_energy(work, opt, t);
-            for other in k..pm.m() {
-                prop_assert!(pm.compute_energy(work, other, t) >= best - 1e-12);
-            }
+/// Speed-selection invariants: `min_speed_for` returns the slowest feasible
+/// speed; `best_speed_for` is the energy-optimal feasible speed. (They
+/// differ on the XScale table — its P(s)/s is not monotone at the low end —
+/// which is why the paper's minimum-speed rule is kept as a *faithfulness*
+/// choice, not an optimality one.)
+#[test]
+fn speed_selection_invariants() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x005b_eed5);
+    let pm = cmp_platform::PowerModel::xscale();
+    for case in 0..CASES * 4 {
+        let work = rng.gen_range(1e6f64..2e9);
+        let t = rng.gen_range(1e-3f64..2.0);
+        let Some(k) = pm.min_speed_for(work, t) else {
+            continue;
+        };
+        // Slowest feasible: every slower speed is infeasible, k is feasible.
+        assert!(work / pm.speed(k).freq <= t * (1.0 + 1e-9), "case {case}");
+        for slower in 0..k {
+            assert!(work / pm.speed(slower).freq > t, "case {case}");
+        }
+        // best_speed_for minimises energy among feasible speeds.
+        let opt = pm.best_speed_for(work, t).unwrap();
+        let best = pm.compute_energy(work, opt, t);
+        for other in k..pm.m() {
+            assert!(
+                pm.compute_energy(work, other, t) >= best - 1e-12,
+                "case {case}"
+            );
         }
     }
 }

@@ -16,14 +16,31 @@ fn simulated_period_converges_to_analytic_cycle_time() {
     let mut rng = ChaCha8Rng::seed_from_u64(17);
     let mut checked = 0usize;
     for (n, elevation, ccr) in [(20usize, 2u32, 10.0), (30, 4, 1.0), (25, 1, 0.1)] {
-        let cfg = SpgGenConfig { n, elevation, ccr: Some(ccr), ..Default::default() };
+        let cfg = SpgGenConfig {
+            n,
+            elevation,
+            ccr: Some(ccr),
+            ..Default::default()
+        };
         let g = spg::random_spg(&cfg, &mut rng);
-        let Some(t) = probe_period(&g, &pf, 17) else { continue };
+        let Some(t) = probe_period(&g, &pf, 17) else {
+            continue;
+        };
         for kind in ALL_HEURISTICS {
-            let Ok(sol) = run_heuristic(kind, &g, &pf, t, 17) else { continue };
+            let Ok(sol) = run_heuristic(kind, &g, &pf, t, 17) else {
+                continue;
+            };
             let analytic = sol.eval.max_cycle_time;
-            let rep = simulate(&g, &pf, &sol.mapping, SimConfig { datasets: 300, warmup: 100 })
-                .unwrap_or_else(|e| panic!("{kind}: simulation failed: {e}"));
+            let rep = simulate(
+                &g,
+                &pf,
+                &sol.mapping,
+                SimConfig {
+                    datasets: 300,
+                    warmup: 100,
+                },
+            )
+            .unwrap_or_else(|e| panic!("{kind}: simulation failed: {e}"));
             // Asymptotically the rate is bottleneck-bound; over a finite
             // window the sink can drain a little faster than the
             // bottleneck (buffers filled during warm-up), hence the
@@ -50,7 +67,16 @@ fn simulated_dynamic_energy_matches_analytic() {
     let g = spg::chain(&[2e8; 6], &[1e5; 5]);
     let t = 0.4;
     let sol = greedy(&g, &pf, t).expect("feasible");
-    let rep = simulate(&g, &pf, &sol.mapping, SimConfig { datasets: 120, warmup: 20 }).unwrap();
+    let rep = simulate(
+        &g,
+        &pf,
+        &sol.mapping,
+        SimConfig {
+            datasets: 120,
+            warmup: 20,
+        },
+    )
+    .unwrap();
     let expect = sol.eval.compute_dynamic + sol.eval.comm_dynamic;
     let got = rep.dynamic_energy_per_dataset();
     assert!(
@@ -67,7 +93,16 @@ fn simulator_exposes_utilisation() {
     // Force a two-core split (one stage each at 1 GHz).
     let sol = dpa1d(&g, &pf, t, &Dpa1dConfig::default()).expect("feasible");
     assert_eq!(sol.eval.active_cores, 2);
-    let rep = simulate(&g, &pf, &sol.mapping, SimConfig { datasets: 100, warmup: 20 }).unwrap();
+    let rep = simulate(
+        &g,
+        &pf,
+        &sol.mapping,
+        SimConfig {
+            datasets: 100,
+            warmup: 20,
+        },
+    )
+    .unwrap();
     // Each core computes 0.5 s per 0.5 s period: ~full utilisation.
     let used: Vec<f64> = (0..pf.n_cores())
         .map(|f| rep.core_utilisation(f))
