@@ -6,7 +6,7 @@
 //!   speed of each core, if possible … cores which are not used are turned
 //!   off").
 //! * **Link energy `E_bit`** — the paper fixes 6 pJ/bit inside the
-//!   published 1–10 pJ range [9]; this sweeps the range and reports how the
+//!   published 1–10 pJ range \[9\]; this sweeps the range and reports how the
 //!   heuristic ranking responds (a hook for the paper's communication-power
 //!   future work).
 

@@ -53,9 +53,14 @@ pub fn streamit_campaign(p: u32, q: u32, seed: u64) -> Vec<StreamItInstance> {
             if let Some(c) = ccr {
                 g.scale_to_ccr(c);
             }
-            let period = probe_period(&g, &pf, seed);
+            // Deterministic per-instance seed, so `Random`'s draws differ
+            // across the 48 instances but reruns reproduce exactly.
+            let inst_seed = seed
+                ^ (spec.index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (ci as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            let period = probe_period(&g, &pf, inst_seed);
             let outcomes = period
-                .map(|t| run_all_heuristics(&g, &pf, t, seed))
+                .map(|t| run_all_heuristics(&g, &pf, t, inst_seed))
                 .unwrap_or_default();
             StreamItInstance {
                 spec: *spec,

@@ -20,4 +20,7 @@ pub mod routing;
 
 pub use grid::{CoreId, Platform};
 pub use power::{PowerModel, Speed};
-pub use routing::{snake_core, snake_index, snake_route, xy_route, DirLink, RouteOrder};
+pub use routing::{
+    snake_core, snake_index, snake_route, snake_route_visit, xy_route, xy_route_visit, DirLink,
+    RouteOrder,
+};

@@ -21,6 +21,64 @@ pub struct DirLink {
     pub to: CoreId,
 }
 
+impl Platform {
+    /// Number of dense directed-link index slots: 4 per core (east, west,
+    /// south, north), border slots simply unused. O(1) [`Platform::link_index`]
+    /// beats hashing `DirLink`s in the evaluator's inner loop.
+    #[inline]
+    pub fn n_link_slots(&self) -> usize {
+        self.n_cores() * 4
+    }
+
+    /// Dense index of a directed link between adjacent cores.
+    ///
+    /// # Panics
+    /// Debug-panics if the endpoints are not grid neighbours.
+    #[inline]
+    pub fn link_index(&self, l: DirLink) -> usize {
+        let dir = if l.to.v == l.from.v + 1 {
+            0 // east
+        } else if l.to.v + 1 == l.from.v {
+            1 // west
+        } else if l.to.u == l.from.u + 1 {
+            2 // south
+        } else {
+            debug_assert!(l.to.u + 1 == l.from.u, "link endpoints not adjacent: {l:?}");
+            3 // north
+        };
+        l.from.flat(self.q) * 4 + dir
+    }
+
+    /// Inverse of [`Platform::link_index`]; `None` for unused border slots.
+    pub fn link_from_index(&self, idx: usize) -> Option<DirLink> {
+        let from = CoreId::from_flat(idx / 4, self.q);
+        let to = match idx % 4 {
+            0 => CoreId {
+                u: from.u,
+                v: from.v + 1,
+            },
+            1 => CoreId {
+                u: from.u,
+                v: from.v.checked_sub(1)?,
+            },
+            2 => CoreId {
+                u: from.u + 1,
+                v: from.v,
+            },
+            _ => CoreId {
+                u: from.u.checked_sub(1)?,
+                v: from.v,
+            },
+        };
+        self.contains(to).then_some(DirLink { from, to })
+    }
+
+    /// All directed links of the mesh, in index order.
+    pub fn links(&self) -> impl Iterator<Item = DirLink> + '_ {
+        (0..self.n_link_slots()).filter_map(|i| self.link_from_index(i))
+    }
+}
+
 /// Which dimension an XY route traverses first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RouteOrder {
@@ -74,6 +132,49 @@ pub fn xy_route(from: CoreId, to: CoreId, order: RouteOrder) -> Vec<DirLink> {
     path
 }
 
+/// Visitor form of [`xy_route`]: calls `f` on each hop without building a
+/// path vector (the evaluator's accumulation loop runs per application
+/// edge, so the allocation matters).
+pub fn xy_route_visit(from: CoreId, to: CoreId, order: RouteOrder, mut f: impl FnMut(DirLink)) {
+    let mut cur = from;
+    let step_col = |cur: &mut CoreId, f: &mut dyn FnMut(DirLink)| {
+        while cur.v != to.v {
+            let next = CoreId {
+                u: cur.u,
+                v: if to.v > cur.v { cur.v + 1 } else { cur.v - 1 },
+            };
+            f(DirLink {
+                from: *cur,
+                to: next,
+            });
+            *cur = next;
+        }
+    };
+    let step_row = |cur: &mut CoreId, f: &mut dyn FnMut(DirLink)| {
+        while cur.u != to.u {
+            let next = CoreId {
+                u: if to.u > cur.u { cur.u + 1 } else { cur.u - 1 },
+                v: cur.v,
+            };
+            f(DirLink {
+                from: *cur,
+                to: next,
+            });
+            *cur = next;
+        }
+    };
+    match order {
+        RouteOrder::RowFirst => {
+            step_col(&mut cur, &mut f);
+            step_row(&mut cur, &mut f);
+        }
+        RouteOrder::ColFirst => {
+            step_row(&mut cur, &mut f);
+            step_col(&mut cur, &mut f);
+        }
+    }
+}
+
 /// Snake position of a core: row 0 runs left→right, row 1 right→left, …
 /// (§5.4's embedding of the uni-line CMP into the grid).
 pub fn snake_index(pf: &Platform, c: CoreId) -> usize {
@@ -121,6 +222,26 @@ pub fn snake_route(pf: &Platform, a: usize, b: usize) -> Vec<DirLink> {
         }
     }
     path
+}
+
+/// Visitor form of [`snake_route`]: calls `f` on each hop without building
+/// a path vector.
+pub fn snake_route_visit(pf: &Platform, a: usize, b: usize, mut f: impl FnMut(DirLink)) {
+    if a <= b {
+        for i in a..b {
+            f(DirLink {
+                from: snake_core(pf, i),
+                to: snake_core(pf, i + 1),
+            });
+        }
+    } else {
+        for i in (b..a).rev() {
+            f(DirLink {
+                from: snake_core(pf, i + 1),
+                to: snake_core(pf, i),
+            });
+        }
+    }
 }
 
 /// Checks that a path is a well-formed route on the platform: consecutive,
@@ -222,6 +343,52 @@ mod tests {
         assert_eq!(back.len(), 4);
         validate_route(&pf, snake_core(&pf, 5), snake_core(&pf, 1), &back).unwrap();
         assert!(snake_route(&pf, 3, 3).is_empty());
+    }
+
+    #[test]
+    fn link_index_roundtrip_and_density() {
+        let pf = Platform::paper(3, 4);
+        // Every mesh link gets a unique slot, and decoding inverts encoding.
+        let mut seen = std::collections::HashSet::new();
+        for link in pf.links() {
+            let idx = pf.link_index(link);
+            assert!(idx < pf.n_link_slots());
+            assert!(seen.insert(idx), "slot collision at {link:?}");
+            assert_eq!(pf.link_from_index(idx), Some(link));
+        }
+        // A p x q mesh has 2(p(q-1) + (p-1)q) directed links.
+        let expect = 2 * (3 * 3 + 2 * 4);
+        assert_eq!(seen.len(), expect);
+        assert_eq!(pf.links().count(), expect);
+    }
+
+    #[test]
+    fn link_index_covers_route_hops() {
+        let pf = Platform::paper(4, 4);
+        let a = CoreId { u: 0, v: 0 };
+        let b = CoreId { u: 3, v: 2 };
+        for order in [RouteOrder::RowFirst, RouteOrder::ColFirst] {
+            for link in xy_route(a, b, order) {
+                assert_eq!(pf.link_from_index(pf.link_index(link)), Some(link));
+            }
+        }
+    }
+
+    #[test]
+    fn route_visitors_match_vector_forms() {
+        let pf = Platform::paper(3, 5);
+        let a = CoreId { u: 0, v: 4 };
+        let b = CoreId { u: 2, v: 1 };
+        for order in [RouteOrder::RowFirst, RouteOrder::ColFirst] {
+            let mut visited = Vec::new();
+            xy_route_visit(a, b, order, |l| visited.push(l));
+            assert_eq!(visited, xy_route(a, b, order));
+        }
+        for (x, y) in [(1usize, 9usize), (9, 1), (4, 4)] {
+            let mut visited = Vec::new();
+            snake_route_visit(&pf, x, y, |l| visited.push(l));
+            assert_eq!(visited, snake_route(&pf, x, y));
+        }
     }
 
     #[test]

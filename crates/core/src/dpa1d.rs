@@ -27,7 +27,7 @@
 
 use cmp_mapping::{Mapping, RouteSpec, REL_TOL};
 use cmp_platform::{snake_core, CoreId, Platform};
-use spg::ideal::{enumerate_ideals, IdealLattice};
+use spg::ideal::{enumerate_ideals, IdealId, IdealLattice};
 use spg::{NodeSet, Spg, StageId};
 
 use crate::common::{validated, Failure, Solution};
@@ -50,12 +50,33 @@ impl Default for Dpa1dConfig {
     }
 }
 
-/// One materialised DP transition: extending ideal `from` to ideal `to` by
-/// one cluster of compute energy `ecal`.
-struct Transition {
-    from: u32,
-    to: u32,
-    ecal: f64,
+/// Materialised DP transitions in struct-of-arrays layout: entry `t`
+/// extends its block's source ideal to ideal `to[t]` by one cluster of
+/// compute energy `ecal[t]`. Transitions are grouped into per-source
+/// [`TransitionBlock`]s, so the source id is not repeated per edge and the
+/// relaxation loops hoist everything that depends only on it (the split
+/// arrays also keep the 16-fold layered sweep lean on memory bandwidth).
+/// Ideals are referenced by their dense interned [`IdealId`] — the DP
+/// never touches an owned `NodeSet`.
+#[derive(Default)]
+struct Transitions {
+    to: Vec<IdealId>,
+    ecal: Vec<f64>,
+}
+
+impl Transitions {
+    fn len(&self) -> usize {
+        self.to.len()
+    }
+}
+
+/// All transitions out of one ideal: a contiguous range of [`Transitions`].
+struct TransitionBlock {
+    from: IdealId,
+    /// Hop energy paid on the uni-line link entering the next cluster
+    /// (0 for the empty ideal, which has no predecessor link).
+    hop: f64,
+    range: std::ops::Range<u32>,
 }
 
 /// Runs `DPA1D` on the snake embedding of `pf`.
@@ -90,70 +111,106 @@ pub(crate) fn solve_chain(
     let bw_cap = period * pf.bw * tol;
 
     // Per-ideal cut volumes (traffic on the uni-line link right after the
-    // ideal) and feasibility.
-    let cuts: Vec<f64> = lattice.ideals.iter().map(|s| spg.cut_volume(s)).collect();
+    // ideal). An ideal whose cut exceeds the bandwidth-period product can
+    // never be a cluster boundary (its outgoing link is overloaded), so its
+    // extensions are not even materialised; feasible cuts precompute their
+    // hop energy here.
+    let cuts: Vec<f64> = lattice.iter().map(|s| spg.cut_volume(s)).collect();
 
-    let transitions = materialize_transitions(spg, pf, period, &lattice, cap_work, cfg.edge_cap)?;
+    let (blocks, transitions) = materialize_transitions(
+        spg,
+        pf,
+        period,
+        &lattice,
+        &cuts,
+        bw_cap,
+        cap_work,
+        cfg.edge_cap,
+    )?;
 
-    // Layered relaxation: layer k holds the best energy of covering each
-    // ideal with exactly k clusters. Cluster k+1's incoming link carries
-    // cut(I_k), paying one hop of energy and one bandwidth check.
-    let full = lattice.full_index() as usize;
-    let mut e_prev = vec![f64::INFINITY; n_ideals];
-    e_prev[0] = 0.0;
-    let mut parents: Vec<Vec<u32>> = Vec::new();
-    let mut best: Option<(f64, usize)> = None; // (energy, #clusters)
-
-    for layer in 1..=r {
-        let mut e_curr = vec![f64::INFINITY; n_ideals];
-        let mut par = vec![u32::MAX; n_ideals];
-        let mut any = false;
-        for t in &transitions {
-            let base = e_prev[t.from as usize];
-            if !base.is_finite() {
-                continue;
-            }
-            let hop = if t.from == 0 {
-                0.0
-            } else {
-                if cuts[t.from as usize] > bw_cap {
-                    continue;
+    // The transition DAG is topologically ordered by id (every extension
+    // strictly grows the ideal, and ids are sorted by cardinality), so a
+    // SINGLE pass over the blocks in id order relaxes every cluster-count
+    // layer at once: when block `from` is processed, all of its in-edges
+    // (from strictly smaller ids) have already been relaxed, making row
+    // `e[from]` final. The per-ideal rows `e[i][k]` (best energy covering
+    // ideal `i` with exactly `k` clusters, `k <= min(r, n)`) stay
+    // cache-resident while the big transition arrays stream through memory
+    // exactly once — the classic layered formulation re-reads them `r`
+    // times.
+    let full = lattice.full_id().idx();
+    let width = r.min(spg.n()) + 1; // k ∈ 0..width clusters
+    let mut e = vec![f64::INFINITY; n_ideals * width];
+    let mut par = vec![u32::MAX; n_ideals * width];
+    // Finite-k window per ideal, to skip the empty parts of each row.
+    let mut klo = vec![u16::MAX; n_ideals];
+    let mut khi = vec![0u16; n_ideals];
+    e[0] = 0.0;
+    klo[0] = 0;
+    let mut row = vec![f64::INFINITY; width];
+    for b in &blocks {
+        let f = b.from.idx();
+        if klo[f] == u16::MAX {
+            continue; // unreachable ideal
+        }
+        let lo = klo[f] as usize;
+        // k+1 must stay below `width`.
+        let hi = (khi[f] as usize).min(width - 2);
+        if lo > hi {
+            continue;
+        }
+        // Snapshot the source row: `e` rows of later ideals are written
+        // while this one is read, and the borrow is easier on a buffer.
+        row[lo..=hi].copy_from_slice(&e[f * width + lo..f * width + hi + 1]);
+        let range = b.range.start as usize..b.range.end as usize;
+        for (&to, &ecal) in transitions.to[range.clone()]
+            .iter()
+            .zip(&transitions.ecal[range])
+        {
+            let entry = b.hop + ecal;
+            let t = to.idx();
+            let base = t * width + lo + 1;
+            // Infinite row entries propagate harmlessly: `INF + entry` never
+            // beats any slot (`INF < INF` is false), so the inner loop needs
+            // no finiteness branch; the slice zip hoists the bounds checks
+            // out of the loop.
+            let es = &mut e[base..base + (hi - lo) + 1];
+            let ps = &mut par[base..base + (hi - lo) + 1];
+            for ((&b_val, ev), pv) in row[lo..=hi].iter().zip(es).zip(ps) {
+                let cand = b_val + entry;
+                if cand < *ev {
+                    *ev = cand;
+                    *pv = b.from.0;
                 }
-                pf.hop_energy(cuts[t.from as usize])
-            };
-            let cand = base + hop + t.ecal;
-            let slot = t.to as usize;
-            if cand < e_curr[slot] {
-                e_curr[slot] = cand;
-                par[slot] = t.from;
-                any = true;
             }
+            klo[t] = klo[t].min(lo as u16 + 1);
+            khi[t] = khi[t].max(hi as u16 + 1);
         }
-        parents.push(par);
-        if e_curr[full].is_finite() && best.is_none_or(|(b, _)| e_curr[full] < b) {
-            best = Some((e_curr[full], layer));
-        }
-        if !any {
-            break;
-        }
-        e_prev = e_curr;
     }
 
-    let Some((_, k_best)) = best else {
+    // Best cluster count for the full ideal.
+    let full_row = &e[full * width..(full + 1) * width];
+    let Some((k_best, _)) = full_row
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.is_finite())
+        .min_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap())
+    else {
         return Err(Failure::NoValidMapping(
             "no feasible cluster chain within the core count".into(),
         ));
     };
 
-    // Walk parents back from (full, k_best) to (empty, 0).
+    // Walk parents back from (full, k_best) to (empty, 0); cluster members
+    // stream straight out of the arena, no set is materialised.
     let mut chain: Vec<Vec<StageId>> = Vec::with_capacity(k_best);
     let mut j = full;
-    for layer in (0..k_best).rev() {
-        let i = parents[layer][j] as usize;
+    for k in (1..=k_best).rev() {
+        let i = par[j * width + k] as usize;
         debug_assert_ne!(i, u32::MAX as usize, "broken parent chain");
-        let members: Vec<StageId> = lattice.ideals[j]
-            .difference(&lattice.ideals[i])
-            .iter()
+        let members: Vec<StageId> = lattice
+            .get(IdealId(j as u32))
+            .difference_iter(lattice.get(IdealId(i as u32)))
             .map(|x| StageId(x as u32))
             .collect();
         chain.push(members);
@@ -190,40 +247,71 @@ pub(crate) fn build_snake_solution(
 
 /// Enumerates every (ideal, one-cluster extension) pair with cluster work
 /// within `cap_work`, visiting each extension exactly once via
-/// include/exclude branching on ready stages.
+/// first-included-stage branching on ready stages. Ideals whose outgoing
+/// cut already exceeds the bandwidth-period product are skipped outright:
+/// no chain may pass through them, so their transitions would be dead
+/// weight in the relaxation.
+#[allow(clippy::too_many_arguments)]
 fn materialize_transitions(
     spg: &Spg,
     pf: &Platform,
     period: f64,
     lattice: &IdealLattice,
+    cuts: &[f64],
+    bw_cap: f64,
     cap_work: f64,
     edge_cap: usize,
-) -> Result<Vec<Transition>, Failure> {
-    let mut transitions: Vec<Transition> = Vec::new();
-    for (i_idx, ideal) in lattice.ideals.iter().enumerate() {
-        if ideal.len() == spg.n() {
-            continue; // full ideal has no extensions
+) -> Result<(Vec<TransitionBlock>, Transitions), Failure> {
+    let mut blocks: Vec<TransitionBlock> = Vec::new();
+    let mut transitions = Transitions::default();
+    let mut ctx = ExtendCtx {
+        spg,
+        lattice,
+        pred_masks: lattice.pred_masks(),
+        cap_work,
+        stack: Vec::with_capacity(4 * spg.n()),
+    };
+    // Flattened speed table: selection matches `PowerModel::min_speed_for`
+    // (up to one reciprocal rounding in the last ulp — harmless here: the
+    // energies only steer the argmin, and the chosen chain is re-priced by
+    // the shared evaluator), with divisions hoisted out of the visit path.
+    let speeds: Vec<(f64, f64)> = (0..pf.power.m())
+        .map(|k| {
+            let sp = pf.power.speed(k);
+            (sp.freq, sp.power / sp.freq)
+        })
+        .collect();
+    let leak = pf.power.p_leak * period;
+    let inv_period = (1.0 - 1e-12) / period;
+    let ecal_of = |w: f64| -> Option<f64> {
+        let needed = w * inv_period;
+        speeds
+            .iter()
+            .find(|&&(freq, _)| freq >= needed)
+            .map(|&(_, energy_per_cycle)| leak + w * energy_per_cycle)
+    };
+    for from in lattice.ids() {
+        if from.idx() != 0 && cuts[from.idx()] > bw_cap {
+            continue; // outgoing link overloaded: unreachable boundary
         }
-        let ready = spg::ideal::ready_stages(spg, ideal);
-        let mut j = ideal.clone();
-        let ok = extend(spg, &mut j, 0.0, &ready, cap_work, &mut |set: &NodeSet,
-                                                                  w: f64|
+        // The ready stages of `from` are exactly its recorded covers.
+        ctx.stack.clear();
+        ctx.stack
+            .extend(lattice.covers(from).iter().map(|&(s, _)| StageId(s)));
+        let hi = ctx.stack.len();
+        let start = transitions.len() as u32;
+        let ok = extend(&mut ctx, from, 0.0, 0, hi, &mut |to: IdealId,
+                                                          w: f64|
          -> bool {
             if transitions.len() >= edge_cap {
                 return false;
             }
-            let to = lattice
-                .index_of(set)
-                .expect("extension of an ideal must be in the lattice");
             // The work pruning guarantees a feasible speed exists; be
             // defensive about rounding anyway and drop the transition
             // rather than panic.
-            if let Some(ecal) = pf.power.best_compute_energy(w, period) {
-                transitions.push(Transition {
-                    from: i_idx as u32,
-                    to,
-                    ecal,
-                });
+            if let Some(ecal) = ecal_of(w) {
+                transitions.to.push(to);
+                transitions.ecal.push(ecal);
             }
             true
         });
@@ -232,51 +320,86 @@ fn materialize_transitions(
                 "more than {edge_cap} cluster transitions"
             )));
         }
-    }
-    Ok(transitions)
-}
-
-/// Include/exclude DFS over ready stages. `visit` is called once per
-/// distinct non-empty extension; returning `false` aborts the enumeration.
-fn extend(
-    spg: &Spg,
-    j: &mut NodeSet,
-    w: f64,
-    ready: &[StageId],
-    cap_work: f64,
-    visit: &mut impl FnMut(&NodeSet, f64) -> bool,
-) -> bool {
-    let Some((&s, rest)) = ready.split_first() else {
-        return true;
-    };
-    // Exclude branch: extensions without `s`.
-    if !extend(spg, j, w, rest, cap_work, visit) {
-        return false;
-    }
-    // Include branch: extensions with `s` (pruned by cluster work).
-    let w2 = w + spg.weight(s);
-    if w2 > cap_work {
-        return true;
-    }
-    j.insert(s.idx());
-    if !visit(j, w2) {
-        j.remove(s.idx());
-        return false;
-    }
-    // Stages that become ready once `s` is in.
-    let mut next_ready: Vec<StageId> = rest.to_vec();
-    for (_, e) in spg.out_edges(s) {
-        let d = e.dst;
-        if !j.contains(d.idx())
-            && !next_ready.contains(&d)
-            && spg.predecessors(d).all(|p| j.contains(p.idx()))
-        {
-            next_ready.push(d);
+        let end = transitions.len() as u32;
+        if end > start {
+            let hop = if from.idx() == 0 {
+                0.0
+            } else {
+                pf.hop_energy(cuts[from.idx()])
+            };
+            blocks.push(TransitionBlock {
+                from,
+                hop,
+                range: start..end,
+            });
         }
     }
-    let ok = extend(spg, j, w2, &next_ready, cap_work, visit);
-    j.remove(s.idx());
-    ok
+    Ok((blocks, transitions))
+}
+
+/// Shared state of the cluster-extension DFS: the graph, the interned
+/// lattice (whose Hasse covers resolve "current ideal + stage" to the next
+/// `IdealId` without hashing), and an arena stack holding every recursion
+/// level's ready list as a range — the DFS performs no per-node allocation.
+struct ExtendCtx<'a> {
+    spg: &'a Spg,
+    lattice: &'a IdealLattice,
+    pred_masks: &'a [NodeSet],
+    cap_work: f64,
+    stack: Vec<StageId>,
+}
+
+/// DFS over cluster extensions of `cur`, whose pending ready list is
+/// `ctx.stack[lo..hi]` (in lattice cover order — NOT sorted by weight, so
+/// an overweight stage must be `continue`d past, never `break`ed on). Each
+/// loop iteration picks `stack[k]` as the *next* included stage (everything
+/// before `k` stays excluded on this path), so every distinct extension is
+/// visited exactly once. `visit` receives the extension's interned id and
+/// cluster work; returning `false` aborts.
+fn extend(
+    ctx: &mut ExtendCtx<'_>,
+    cur: IdealId,
+    w: f64,
+    lo: usize,
+    hi: usize,
+    visit: &mut impl FnMut(IdealId, f64) -> bool,
+) -> bool {
+    for k in lo..hi {
+        let s = ctx.stack[k];
+        let w2 = w + ctx.spg.weight(s);
+        if w2 > ctx.cap_work {
+            continue; // a lighter stage later in the list may still fit
+        }
+        let child = ctx
+            .lattice
+            .child_via(cur, s)
+            .expect("ready stage must have a recorded cover");
+        if !visit(child, w2) {
+            return false;
+        }
+        // Next level's ready list: the stages after `k`, plus the covers of
+        // `child` released by `s` itself. A stage becomes ready exactly when
+        // its last missing predecessor joins the ideal, so "newly released"
+        // is precisely "`s` is one of its predecessors" — stages ready
+        // earlier (including the ones deliberately excluded at shallower
+        // levels of this path) can never have `s` as a predecessor.
+        let next_lo = ctx.stack.len();
+        ctx.stack.extend_from_within(k + 1..hi);
+        for &(cs, _) in ctx.lattice.covers(child) {
+            if ctx.pred_masks[cs as usize].contains(s.idx()) {
+                ctx.stack.push(StageId(cs));
+            }
+        }
+        let next_hi = ctx.stack.len();
+        if next_hi > next_lo {
+            let ok = extend(ctx, child, w2, next_lo, next_hi, visit);
+            ctx.stack.truncate(next_lo);
+            if !ok {
+                return false;
+            }
+        }
+    }
+    true
 }
 
 #[cfg(test)]

@@ -23,7 +23,7 @@
 //! only ever enrolls one core per column — paper §6.2.1) and shines on fat,
 //! high-elevation graphs.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use cmp_mapping::{assign_min_speeds, Mapping, RouteSpec, REL_TOL};
 use cmp_platform::{CoreId, Platform, RouteOrder};
@@ -54,11 +54,14 @@ struct OutComm {
     dest: StageId,
 }
 
-/// Carried per-column bookkeeping (cloned along the DP's argmin path).
+/// Carried per-column bookkeeping (cloned along the DP's argmin path —
+/// flat vectors keep those clones cheap memcpys instead of hash-map
+/// rebuilds).
 #[derive(Debug, Clone, Default)]
 struct ColState {
-    /// Row of each stage already placed in this column.
-    row_of: HashMap<u32, u32>,
+    /// `(stage, row)` of each stage already placed in this column (columns
+    /// hold a handful of stages, so linear scans beat hashing).
+    row_of: Vec<(u32, u32)>,
     /// Vertical link loads, increasing-row direction (`link i: i → i+1`).
     vload_down: Vec<f64>,
     /// Vertical link loads, decreasing-row direction (`link i: i+1 → i`).
@@ -146,7 +149,7 @@ pub(crate) fn dpa2d_alloc(spg: &Spg, pf: &Platform, period: f64) -> Result<Vec<C
                         Some(a) => a.clone(),
                         None => vec![None; spg.n()],
                     };
-                    for (&sid, &row) in &col_state.row_of {
+                    for &(sid, row) in &col_state.row_of {
                         alloc[sid as usize] = Some(CoreId {
                             u: row,
                             v: (v - 1) as u32,
@@ -213,11 +216,11 @@ fn ecol(
     let ymax = spg.elevation() as usize;
 
     // Which stages live in this column, grouped by y-level.
-    let mut in_column: HashSet<u32> = HashSet::new();
+    let mut in_column = vec![false; spg.n()];
     let mut by_y: Vec<Vec<StageId>> = vec![Vec::new(); ymax + 1];
     for level in by_x.iter().take(m2 + 1).skip(m1) {
         for &s in level {
-            in_column.insert(s.0);
+            in_column[s.idx()] = true;
             by_y[spg.label(s).y as usize].push(s);
         }
     }
@@ -230,7 +233,7 @@ fn ecol(
         ..Default::default()
     };
     for c in d_in {
-        if in_column.contains(&c.dest.0) {
+        if in_column[c.dest.idx()] {
             init.pending_in.push((c.row, c.volume, c.dest.0));
         } else {
             init.out.push(*c);
@@ -282,7 +285,7 @@ fn place_group(
     period: f64,
     state: &ColState,
     group: &[StageId],
-    in_column: &HashSet<u32>,
+    in_column: &[bool],
     row: u32,
     bw_cap: f64,
 ) -> Option<(f64, ColState)> {
@@ -292,15 +295,15 @@ fn place_group(
     let work: f64 = group.iter().map(|s| spg.weight(*s)).sum();
     let mut cost = pf.power.best_compute_energy(work, period)?;
     let mut st = state.clone();
-    let members: HashSet<u32> = group.iter().map(|s| s.0).collect();
+    let members = |sid: u32| group.iter().any(|s| s.0 == sid);
     for s in group {
-        st.row_of.insert(s.0, row);
+        st.row_of.push((s.0, row));
     }
 
     // Deliver incoming communications destined to this group.
     let mut kept = Vec::with_capacity(st.pending_in.len());
     for (from_row, vol, dest) in st.pending_in.drain(..) {
-        if members.contains(&dest) {
+        if members(dest) {
             cost += add_vertical(
                 &mut st.vload_down,
                 &mut st.vload_up,
@@ -319,7 +322,7 @@ fn place_group(
     // Deliver intra-column edges whose destination just got placed.
     let mut kept = Vec::with_capacity(st.pending_edge.len());
     for (from_row, vol, dest) in st.pending_edge.drain(..) {
-        if members.contains(&dest) {
+        if members(dest) {
             cost += add_vertical(
                 &mut st.vload_down,
                 &mut st.vload_up,
@@ -339,11 +342,11 @@ fn place_group(
     for s in group {
         for (_, e) in spg.out_edges(*s) {
             let d = e.dst;
-            if members.contains(&d.0) {
+            if members(d.0) {
                 continue; // same core, free
             }
-            if in_column.contains(&d.0) {
-                if let Some(&rd) = st.row_of.get(&d.0) {
+            if in_column[d.idx()] {
+                if let Some(&(_, rd)) = st.row_of.iter().find(|&&(sid, _)| sid == d.0) {
                     cost += add_vertical(
                         &mut st.vload_down,
                         &mut st.vload_up,
@@ -397,6 +400,7 @@ fn add_vertical(
 mod tests {
     use super::*;
     use spg::{chain, parallel_many, SpgGenConfig};
+    use std::collections::HashSet;
 
     #[test]
     fn single_column_when_period_is_loose() {

@@ -6,12 +6,12 @@
 //!
 //! | Algorithm | Paper | Module |
 //! |---|---|---|
-//! | `Random` — random DAG-partition chain, random placement, best of 10 | §5.1 | [`random`] |
-//! | `Greedy` — wavefront growth from `C_{1,1}` at each speed, downgrade | §5.2 | [`greedy`] |
-//! | `DPA2D` — nested column/row dynamic programs on the label grid | §5.3 | [`dpa2d`] |
-//! | `DPA1D` — optimal uni-line DP over order ideals (Theorem 1), snaked | §5.4 | [`dpa1d`] |
-//! | `DPA2D1D` — `DPA2D` on a virtual `1 × pq` CMP, snaked | §5.4 | [`dpa2d1d`] |
-//! | exact — exhaustive DAG-partitions × placements × XY routes | §4.4 | [`exact`] |
+//! | `Random` — random DAG-partition chain, random placement, best of 10 | §5.1 | [`mod@random`] |
+//! | `Greedy` — wavefront growth from `C_{1,1}` at each speed, downgrade | §5.2 | [`mod@greedy`] |
+//! | `DPA2D` — nested column/row dynamic programs on the label grid | §5.3 | [`mod@dpa2d`] |
+//! | `DPA1D` — optimal uni-line DP over order ideals (Theorem 1), snaked | §5.4 | [`mod@dpa1d`] |
+//! | `DPA2D1D` — `DPA2D` on a virtual `1 × pq` CMP, snaked | §5.4 | [`mod@dpa2d1d`] |
+//! | exact — exhaustive DAG-partitions × placements × XY routes | §4.4 | [`mod@exact`] |
 //!
 //! Every algorithm returns a [`Solution`] whose mapping has been
 //! re-validated by `cmp_mapping::evaluate`, or a [`Failure`] explaining why

@@ -5,8 +5,6 @@
 //! bookkeeping approximation inside a heuristic is caught before a mapping
 //! is ever reported as feasible.
 
-use std::collections::HashMap;
-
 use cmp_platform::{CoreId, DirLink, Platform};
 use spg::{EdgeId, Spg};
 
@@ -82,6 +80,65 @@ impl std::fmt::Display for MappingError {
 
 impl std::error::Error for MappingError {}
 
+/// Per-directed-link byte loads, stored flat under [`Platform::link_index`]
+/// so the evaluator's accumulation loop is pure indexed arithmetic (the
+/// former `HashMap<DirLink, f64>` hashed two `CoreId`s per hop).
+#[derive(Debug, Clone)]
+pub struct LinkLoads {
+    loads: Vec<f64>,
+    touched: Vec<bool>,
+    /// Distinct touched link indices, in first-touch order.
+    used: Vec<u32>,
+}
+
+impl LinkLoads {
+    /// Empty load table for a platform.
+    pub fn new(pf: &Platform) -> Self {
+        LinkLoads {
+            loads: vec![0.0; pf.n_link_slots()],
+            touched: vec![false; pf.n_link_slots()],
+            used: Vec::new(),
+        }
+    }
+
+    /// Adds `bytes` to a link's load.
+    #[inline]
+    pub fn add(&mut self, pf: &Platform, link: DirLink, bytes: f64) {
+        let idx = pf.link_index(link);
+        self.loads[idx] += bytes;
+        if !self.touched[idx] {
+            self.touched[idx] = true;
+            self.used.push(idx as u32);
+        }
+    }
+
+    /// Number of links carrying at least one routed edge.
+    pub fn len(&self) -> usize {
+        self.used.len()
+    }
+
+    /// Whether no link is used.
+    pub fn is_empty(&self) -> bool {
+        self.used.is_empty()
+    }
+
+    /// The load of one link in bytes per period (0.0 when unused).
+    pub fn get(&self, pf: &Platform, link: DirLink) -> f64 {
+        self.loads[pf.link_index(link)]
+    }
+
+    /// Iterates over the used links and their loads, in first-touch order.
+    /// `pf` must be the platform the table was built for.
+    pub fn iter<'a>(&'a self, pf: &'a Platform) -> impl Iterator<Item = (DirLink, f64)> + 'a {
+        self.used.iter().map(move |&idx| {
+            let link = pf
+                .link_from_index(idx as usize)
+                .expect("used slots always hold valid links");
+            (link, self.loads[idx as usize])
+        })
+    }
+}
+
 /// The full outcome of evaluating a valid mapping.
 #[derive(Debug, Clone)]
 pub struct Evaluation {
@@ -100,7 +157,7 @@ pub struct Evaluation {
     /// Number of enrolled cores `|A|`.
     pub active_cores: usize,
     /// Bytes per period on each used directed link.
-    pub link_loads: HashMap<DirLink, f64>,
+    pub link_loads: LinkLoads,
     /// Work per core, flat `u·q+v` order.
     pub core_work: Vec<f64>,
 }
@@ -161,18 +218,15 @@ pub fn evaluate(
     }
 
     // Link loads and communication energy.
-    let mut link_loads: HashMap<DirLink, f64> = HashMap::new();
+    let mut link_loads = LinkLoads::new(pf);
     for (k, e) in spg.edges().iter().enumerate() {
         let eid = EdgeId(k as u32);
-        let path = mapping
-            .route_of(pf, spg, eid)
+        mapping
+            .for_each_route_hop(pf, spg, eid, |link| link_loads.add(pf, link, e.volume))
             .map_err(|detail| MappingError::BadRoute { edge: eid, detail })?;
-        for link in path {
-            *link_loads.entry(link).or_insert(0.0) += e.volume;
-        }
     }
     let mut comm_dynamic = 0.0;
-    for (&link, &load) in &link_loads {
+    for (link, load) in link_loads.iter(pf) {
         let ct = pf.link_time(load);
         if ct > period * tol {
             return Err(MappingError::LinkOverload {
@@ -320,6 +374,34 @@ mod tests {
         };
         let ev = evaluate(&g, &pf, &m, 1.0).unwrap();
         assert!((ev.max_cycle_time - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_loads_flat_table_matches_hops() {
+        let pf = Platform::paper(2, 2);
+        let mut loads = LinkLoads::new(&pf);
+        let l01 = DirLink {
+            from: c(0, 0),
+            to: c(0, 1),
+        };
+        let l10 = DirLink {
+            from: c(0, 1),
+            to: c(0, 0),
+        };
+        loads.add(&pf, l01, 100.0);
+        loads.add(&pf, l01, 50.0);
+        loads.add(&pf, l10, 7.0);
+        assert_eq!(loads.len(), 2, "two distinct directed links");
+        assert_eq!(loads.get(&pf, l01), 150.0);
+        assert_eq!(loads.get(&pf, l10), 7.0);
+        let collected: Vec<(DirLink, f64)> = loads.iter(&pf).collect();
+        assert_eq!(collected, vec![(l01, 150.0), (l10, 7.0)]);
+        // Untouched links read as zero load.
+        let l_down = DirLink {
+            from: c(0, 0),
+            to: c(1, 0),
+        };
+        assert_eq!(loads.get(&pf, l_down), 0.0);
     }
 
     #[test]

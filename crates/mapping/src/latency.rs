@@ -1,7 +1,7 @@
 //! Per-data-set latency of a mapping.
 //!
 //! The paper optimises energy under a *period* bound; its companion work
-//! (reference [5], Benoit/Renaud-Goud/Robert IPDPS 2010) also tracks the
+//! (reference \[5\], Benoit/Renaud-Goud/Robert IPDPS 2010) also tracks the
 //! **latency** — the end-to-end time of one data set through the mapped
 //! pipeline. This module computes it as the longest path through the
 //! mapped resources: each stage contributes its computation time
@@ -19,7 +19,7 @@ use crate::mapping::Mapping;
 /// Longest-path latency of one data set under `mapping`, in seconds.
 ///
 /// Returns an error if the mapping is structurally broken (missing speed or
-/// route), mirroring [`crate::evaluate`]'s checks.
+/// route), mirroring [`crate::evaluate()`]'s checks.
 pub fn latency(spg: &Spg, pf: &Platform, mapping: &Mapping) -> Result<f64, String> {
     let n = spg.n();
     // Per-stage processing time.

@@ -3,7 +3,9 @@
 use std::collections::HashMap;
 
 use cmp_platform::{
-    routing::{snake_index, snake_route, validate_route, xy_route},
+    routing::{
+        snake_index, snake_route, snake_route_visit, validate_route, xy_route, xy_route_visit,
+    },
     CoreId, DirLink, Platform, RouteOrder,
 };
 use spg::{EdgeId, Spg};
@@ -49,6 +51,10 @@ impl Mapping {
 
     /// The concrete link path of one application edge under this mapping
     /// (empty when both endpoints share a core).
+    ///
+    /// Generated routes (XY, snake) are well-formed by construction, so only
+    /// `Custom` paths pay the full validation walk (debug builds re-check
+    /// the generated ones too).
     pub fn route_of(&self, pf: &Platform, spg: &Spg, e: EdgeId) -> Result<Vec<DirLink>, String> {
         let edge = spg.edge(e);
         let (from, to) = (self.alloc[edge.src.idx()], self.alloc[edge.dst.idx()]);
@@ -58,13 +64,47 @@ impl Mapping {
         let path = match &self.routes {
             RouteSpec::Xy(order) => xy_route(from, to, *order),
             RouteSpec::Snake => snake_route(pf, snake_index(pf, from), snake_index(pf, to)),
-            RouteSpec::Custom(map) => map
-                .get(&e)
-                .cloned()
-                .ok_or_else(|| format!("no route for cross-core edge {e:?}"))?,
+            RouteSpec::Custom(map) => {
+                let path = map
+                    .get(&e)
+                    .cloned()
+                    .ok_or_else(|| format!("no route for cross-core edge {e:?}"))?;
+                validate_route(pf, from, to, &path)?;
+                return Ok(path);
+            }
         };
-        validate_route(pf, from, to, &path)?;
+        debug_assert!(validate_route(pf, from, to, &path).is_ok());
         Ok(path)
+    }
+
+    /// Visitor form of [`Mapping::route_of`]: calls `f` on every hop of the
+    /// edge's route without materialising a path vector. This is the
+    /// evaluator's fast path — XY and snake hops are generated inline;
+    /// `Custom` routes fall back to the validated vector form.
+    pub fn for_each_route_hop(
+        &self,
+        pf: &Platform,
+        spg: &Spg,
+        e: EdgeId,
+        mut f: impl FnMut(DirLink),
+    ) -> Result<(), String> {
+        let edge = spg.edge(e);
+        let (from, to) = (self.alloc[edge.src.idx()], self.alloc[edge.dst.idx()]);
+        if from == to {
+            return Ok(());
+        }
+        match &self.routes {
+            RouteSpec::Xy(order) => xy_route_visit(from, to, *order, f),
+            RouteSpec::Snake => {
+                snake_route_visit(pf, snake_index(pf, from), snake_index(pf, to), f)
+            }
+            RouteSpec::Custom(_) => {
+                for link in self.route_of(pf, spg, e)? {
+                    f(link);
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The set of cores that hold at least one stage (the paper's enrolled

@@ -393,11 +393,24 @@ impl Spg {
         Ok(())
     }
 
+    /// One bit mask per stage holding its predecessor set (capacity `n`).
+    /// The DP hot paths test "are all predecessors inside this ideal?" as a
+    /// word-level subset check instead of walking edge lists.
+    pub fn predecessor_masks(&self) -> Vec<crate::nodeset::NodeSet> {
+        let n = self.n();
+        let mut masks = vec![crate::nodeset::NodeSet::new(n); n];
+        for e in &self.edges {
+            masks[e.dst.idx()].insert(e.src.idx());
+        }
+        masks
+    }
+
     /// The aggregated communication volume leaving a set of stages:
     /// `Σ δ_{i,j}` over edges with `i ∈ set`, `j ∉ set`. This is the paper's
     /// `Cout(G')` (Theorem 1) — the traffic crossing the cut after the
-    /// admissible subgraph `G'` on a uni-directional line.
-    pub fn cut_volume(&self, set: &crate::nodeset::NodeSet) -> f64 {
+    /// admissible subgraph `G'` on a uni-directional line. Takes a borrowed
+    /// set so interned lattice entries can be scored without cloning.
+    pub fn cut_volume(&self, set: crate::nodeset::NodeSetRef<'_>) -> f64 {
         self.edges
             .iter()
             .filter(|e| set.contains(e.src.idx()) && !set.contains(e.dst.idx()))
@@ -488,7 +501,7 @@ mod tests {
         let mut set = crate::nodeset::NodeSet::new(g.n());
         set.insert(order[0].idx());
         set.insert(order[1].idx());
-        assert_eq!(g.cut_volume(&set), 7.0);
+        assert_eq!(g.cut_volume(set.as_set()), 7.0);
     }
 
     #[test]

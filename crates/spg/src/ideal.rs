@@ -9,15 +9,20 @@
 //! elevation level — hence at most `n^ymax` ideals, which is the key to the
 //! polynomial-time `DPA1D` algorithm.
 //!
+//! Ideals are **interned**: the lattice stores every ideal's words in one
+//! flat arena and hands out dense [`IdealId`]s through an FxHash-style
+//! open-addressing table. DP clients (`DPA1D` and friends) key their state
+//! by `IdealId` and read ideals back as borrowed [`NodeSetRef`]s —
+//! enumeration and lookup never clone a [`NodeSet`], and the membership
+//! probe is a couple of multiplies instead of SipHash over a heap vector.
+//!
 //! Enumeration is a BFS over the ideal lattice with a hard cap: exceeding the
 //! cap aborts with [`IdealError::LimitExceeded`], which `DPA1D` surfaces as a
 //! heuristic failure (the paper observes exactly this on the high-elevation
 //! StreamIt workflows).
 
-use std::collections::HashMap;
-
 use crate::graph::{Spg, StageId};
-use crate::nodeset::NodeSet;
+use crate::nodeset::{NodeSet, NodeSetRef};
 
 /// Why ideal enumeration failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,44 +47,210 @@ impl std::fmt::Display for IdealError {
 
 impl std::error::Error for IdealError {}
 
-/// The enumerated ideal lattice of an SPG.
+/// Dense index of one interned ideal inside its [`IdealLattice`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IdealId(pub u32);
+
+impl IdealId {
+    /// The id as a `usize`, for direct vector indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Multiplicative word mixer (FxHash's constant). Ideal bitsets are far
+/// from random — downsets of the same SPG often share long runs of equal
+/// low bits — so bucket indices must come from the **high** bits of the
+/// product (Fibonacci hashing); see [`bucket_of`].
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+#[inline]
+fn fx_hash_words(words: &[u64]) -> u64 {
+    let mut h: u64 = 0;
+    for &w in words {
+        h = (h.rotate_left(5) ^ w).wrapping_mul(FX_SEED);
+    }
+    h
+}
+
+/// Maps a hash to a slot of a power-of-two table using its high bits (the
+/// low bits of a multiplicative hash only depend on the low input bits,
+/// which collide catastrophically on chain-prefix bitsets).
+#[inline]
+fn bucket_of(h: u64, table_len: usize) -> usize {
+    debug_assert!(table_len.is_power_of_two());
+    (h >> (64 - table_len.trailing_zeros())) as usize
+}
+
+/// The enumerated ideal lattice of an SPG: an interning arena over all
+/// ideals, grouped by cardinality in increasing order (BFS layers). Id 0 is
+/// the empty ideal, the last id is the full stage set.
 pub struct IdealLattice {
-    /// All ideals, grouped by cardinality in increasing order (BFS layers);
-    /// index 0 is the empty ideal, the last entry is the full stage set.
-    pub ideals: Vec<NodeSet>,
-    index: HashMap<NodeSet, u32>,
+    /// Flat word arena; ideal `i` occupies `words[i*wps .. (i+1)*wps]`.
+    arena: Vec<u64>,
+    /// Words per set (`ceil(capacity / 64)`).
+    wps: usize,
+    /// Stage count `n` of the SPG (every ideal's bit capacity).
+    capacity: usize,
+    /// Open-addressing table of `id + 1` entries (0 = empty bucket);
+    /// `buckets.len()` is a power of two.
+    buckets: Vec<u32>,
+    /// Hasse diagram recorded during enumeration: `hasse[hasse_off[i] ..
+    /// hasse_off[i+1]]` lists `(stage, child_id)` covers of ideal `i` —
+    /// adding `stage` to ideal `i` yields ideal `child_id`. DP clients walk
+    /// these instead of re-hashing candidate sets.
+    hasse: Vec<(u32, u32)>,
+    hasse_off: Vec<u32>,
+    /// Per-stage predecessor masks of the enumerated graph, kept so DP
+    /// clients do not have to recompute them ([`Spg::predecessor_masks`]).
+    pred_masks: Vec<NodeSet>,
 }
 
 impl IdealLattice {
+    fn with_capacity(capacity: usize, pred_masks: Vec<NodeSet>) -> Self {
+        IdealLattice {
+            arena: Vec::new(),
+            wps: capacity.div_ceil(64).max(1),
+            capacity,
+            buckets: vec![0; 64],
+            hasse: Vec::new(),
+            hasse_off: vec![0],
+            pred_masks,
+        }
+    }
+
+    /// The enumerated graph's per-stage predecessor masks.
+    #[inline]
+    pub fn pred_masks(&self) -> &[NodeSet] {
+        &self.pred_masks
+    }
+
     /// Number of ideals (including the empty and full ideals).
+    #[inline]
     pub fn len(&self) -> usize {
-        self.ideals.len()
+        self.arena.len() / self.wps
     }
 
     /// Whether the lattice is empty (never true for a valid SPG).
     pub fn is_empty(&self) -> bool {
-        self.ideals.is_empty()
+        self.arena.is_empty()
     }
 
-    /// Looks up the dense index of an ideal.
-    pub fn index_of(&self, ideal: &NodeSet) -> Option<u32> {
-        self.index.get(ideal).copied()
+    /// The ideal behind an id, as a borrowed set.
+    #[inline]
+    pub fn get(&self, id: IdealId) -> NodeSetRef<'_> {
+        let start = id.idx() * self.wps;
+        NodeSetRef::from_words(&self.arena[start..start + self.wps], self.capacity)
     }
 
-    /// The dense index of the empty ideal (always 0).
-    pub fn empty_index(&self) -> u32 {
-        0
+    /// Looks up the dense id of an ideal, if it is in the lattice.
+    pub fn id_of(&self, set: NodeSetRef<'_>) -> Option<IdealId> {
+        debug_assert_eq!(set.capacity(), self.capacity);
+        let mask = self.buckets.len() - 1;
+        let mut slot = bucket_of(fx_hash_words(set.words()), self.buckets.len());
+        loop {
+            match self.buckets[slot] {
+                0 => return None,
+                tag => {
+                    let id = IdealId(tag - 1);
+                    if self.get(id).words() == set.words() {
+                        return Some(id);
+                    }
+                }
+            }
+            slot = (slot + 1) & mask;
+        }
     }
 
-    /// The dense index of the full ideal (always the last).
-    pub fn full_index(&self) -> u32 {
-        (self.ideals.len() - 1) as u32
+    /// All ids in BFS (cardinality) order.
+    pub fn ids(&self) -> impl ExactSizeIterator<Item = IdealId> {
+        (0..self.len() as u32).map(IdealId)
+    }
+
+    /// All ideals in BFS (cardinality) order, as borrowed sets.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = NodeSetRef<'_>> {
+        self.arena
+            .chunks_exact(self.wps)
+            .map(|w| NodeSetRef::from_words(w, self.capacity))
+    }
+
+    /// The `(stage, child_id)` covers of `id`: adding `stage` to this ideal
+    /// yields the ideal `child_id`. Populated for every ideal by
+    /// [`enumerate_ideals`], in ready-stage order.
+    #[inline]
+    pub fn covers(&self, id: IdealId) -> &[(u32, u32)] {
+        &self.hasse[self.hasse_off[id.idx()] as usize..self.hasse_off[id.idx() + 1] as usize]
+    }
+
+    /// The ideal reached from `id` by adding `stage`, if `stage` is ready
+    /// there (a scan over the handful of covers of `id`).
+    #[inline]
+    pub fn child_via(&self, id: IdealId, stage: StageId) -> Option<IdealId> {
+        self.covers(id)
+            .iter()
+            .find(|&&(s, _)| s == stage.0)
+            .map(|&(_, c)| IdealId(c))
+    }
+
+    /// The dense id of the empty ideal (always 0).
+    pub fn empty_id(&self) -> IdealId {
+        IdealId(0)
+    }
+
+    /// The dense id of the full ideal (always the last).
+    pub fn full_id(&self) -> IdealId {
+        IdealId((self.len() - 1) as u32)
+    }
+
+    /// Interns `set`: returns its id and whether it was newly inserted.
+    fn intern(&mut self, set: NodeSetRef<'_>) -> (IdealId, bool) {
+        debug_assert_eq!(set.capacity(), self.capacity);
+        if (self.len() + 1) * 4 > self.buckets.len() * 3 {
+            self.grow();
+        }
+        let mask = self.buckets.len() - 1;
+        let mut slot = bucket_of(fx_hash_words(set.words()), self.buckets.len());
+        loop {
+            match self.buckets[slot] {
+                0 => {
+                    let id = IdealId(self.len() as u32);
+                    self.arena.extend_from_slice(set.words());
+                    self.buckets[slot] = id.0 + 1;
+                    return (id, true);
+                }
+                tag => {
+                    let id = IdealId(tag - 1);
+                    if self.get(id).words() == set.words() {
+                        return (id, false);
+                    }
+                }
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Doubles the table and re-seats every id (arena is untouched).
+    fn grow(&mut self) {
+        let new_len = self.buckets.len() * 2;
+        let mask = new_len - 1;
+        let mut fresh = vec![0u32; new_len];
+        for id in 0..self.len() as u32 {
+            let start = id as usize * self.wps;
+            let words = &self.arena[start..start + self.wps];
+            let mut slot = bucket_of(fx_hash_words(words), new_len);
+            while fresh[slot] != 0 {
+                slot = (slot + 1) & mask;
+            }
+            fresh[slot] = id + 1;
+        }
+        self.buckets = fresh;
     }
 }
 
 /// Stages that can be appended to `ideal` while keeping it downward-closed:
 /// stages outside the ideal whose predecessors are all inside.
-pub fn ready_stages(spg: &Spg, ideal: &NodeSet) -> Vec<StageId> {
+pub fn ready_stages(spg: &Spg, ideal: NodeSetRef<'_>) -> Vec<StageId> {
     spg.stages()
         .filter(|&s| {
             !ideal.contains(s.idx()) && spg.predecessors(s).all(|p| ideal.contains(p.idx()))
@@ -92,41 +263,75 @@ pub fn ready_stages(spg: &Spg, ideal: &NodeSet) -> Vec<StageId> {
 /// The result is grouped by cardinality (all ideals of size `k` precede all
 /// ideals of size `k+1`), which is the iteration order the `DPA1D` dynamic
 /// program relies on.
+///
+/// Ready lists are maintained **incrementally**: when a new ideal is first
+/// interned from parent `P` by adding stage `s`, its ready list is `P`'s
+/// minus `s` plus the successors of `s` released by the addition (a stage
+/// becomes ready exactly when its last missing predecessor arrives). The
+/// lists are recorded as the lattice's Hasse stage entries (child ids are
+/// filled in when the ideal is processed), so the whole BFS costs
+/// `O(Σ covers)` instead of `O(#ideals · n)` mask scans, and works on one
+/// scratch set — the only allocations are the arena pushes for genuinely
+/// new ideals.
 pub fn enumerate_ideals(spg: &Spg, cap: usize) -> Result<IdealLattice, IdealError> {
     let n = spg.n();
-    let empty = NodeSet::new(n);
-    let mut ideals: Vec<NodeSet> = vec![empty.clone()];
-    let mut index: HashMap<NodeSet, u32> = HashMap::new();
-    index.insert(empty, 0);
+    let mut lat = IdealLattice::with_capacity(n, spg.predecessor_masks());
+    let mut scratch = NodeSet::new(n);
+    lat.intern(scratch.as_set());
+    // The empty ideal's ready list: the unique source.
+    lat.hasse.push((spg.source().0, PENDING));
+    lat.hasse_off.push(lat.hasse.len() as u32);
 
-    let mut layer_start = 0usize;
-    loop {
-        let layer_end = ideals.len();
-        if layer_start == layer_end {
-            break;
-        }
-        for i in layer_start..layer_end {
-            let ready = ready_stages(spg, &ideals[i]);
-            for s in ready {
-                let mut next = ideals[i].clone();
-                next.insert(s.idx());
-                if !index.contains_key(&next) {
-                    if ideals.len() >= cap {
-                        return Err(IdealError::LimitExceeded { cap });
-                    }
-                    index.insert(next.clone(), ideals.len() as u32);
-                    ideals.push(next);
+    let mut i = 0usize;
+    while i < lat.len() {
+        let id = IdealId(i as u32);
+        scratch.clone_from_ref(lat.get(id));
+        let (start, end) = (lat.hasse_off[i] as usize, lat.hasse_off[i + 1] as usize);
+        for k in start..end {
+            let s = StageId(lat.hasse[k].0);
+            scratch.insert(s.idx());
+            let (child, inserted) = lat.intern(scratch.as_set());
+            lat.hasse[k].1 = child.0;
+            if inserted {
+                if lat.len() > cap {
+                    return Err(IdealError::LimitExceeded { cap });
                 }
+                // Record the child's ready list: this level's stages minus
+                // `s`, plus the successors of `s` whose predecessors are now
+                // all present.
+                for k2 in start..end {
+                    let other = lat.hasse[k2].0;
+                    if other != s.0 {
+                        lat.hasse.push((other, PENDING));
+                    }
+                }
+                let released_start = lat.hasse.len();
+                for (_, e) in spg.out_edges(s) {
+                    let d = e.dst;
+                    if lat.pred_masks[d.idx()].as_set().is_subset(scratch.as_set())
+                        // Parallel edges `s → d` must release `d` only once.
+                        && !lat.hasse[released_start..].iter().any(|&(x, _)| x == d.0)
+                    {
+                        lat.hasse.push((d.0, PENDING));
+                    }
+                }
+                lat.hasse_off.push(lat.hasse.len() as u32);
             }
+            scratch.remove(s.idx());
         }
-        layer_start = layer_end;
+        i += 1;
     }
-    Ok(IdealLattice { ideals, index })
+    Ok(lat)
 }
+
+/// Placeholder child id in freshly recorded Hasse entries, overwritten when
+/// the owning ideal is processed (every ideal is processed before any
+/// client sees the lattice).
+const PENDING: u32 = u32::MAX;
 
 /// Checks that a set is an order ideal (every predecessor of a member is a
 /// member). Exposed for tests and for validating DP cluster chains.
-pub fn is_ideal(spg: &Spg, set: &NodeSet) -> bool {
+pub fn is_ideal(spg: &Spg, set: NodeSetRef<'_>) -> bool {
     set.iter().all(|i| {
         spg.predecessors(StageId(i as u32))
             .all(|p| set.contains(p.idx()))
@@ -174,14 +379,14 @@ mod tests {
             &uniform_chain(3),
         );
         let lat = enumerate_ideals(&g, 100_000).unwrap();
-        for ideal in &lat.ideals {
+        for ideal in lat.iter() {
             assert!(is_ideal(&g, ideal));
         }
         // First is empty, last is full.
-        assert!(lat.ideals[0].is_empty());
-        assert_eq!(lat.ideals[lat.full_index() as usize].len(), g.n());
+        assert!(lat.get(lat.empty_id()).is_empty());
+        assert_eq!(lat.get(lat.full_id()).len(), g.n());
         // Sorted by cardinality.
-        let sizes: Vec<usize> = lat.ideals.iter().map(|s| s.len()).collect();
+        let sizes: Vec<usize> = lat.iter().map(|s| s.len()).collect();
         assert!(sizes.windows(2).all(|w| w[0] <= w[1]));
     }
 
@@ -199,19 +404,34 @@ mod tests {
     #[test]
     fn ready_stages_of_empty_is_source() {
         let g = uniform_chain(5);
-        let ready = ready_stages(&g, &NodeSet::new(g.n()));
+        let empty = NodeSet::new(g.n());
+        let ready = ready_stages(&g, empty.as_set());
         assert_eq!(ready, vec![g.source()]);
     }
 
     #[test]
-    fn index_roundtrip() {
+    fn id_roundtrip() {
         let g = uniform_chain(4);
         let lat = enumerate_ideals(&g, 1000).unwrap();
-        for (i, ideal) in lat.ideals.iter().enumerate() {
-            assert_eq!(lat.index_of(ideal), Some(i as u32));
+        for id in lat.ids() {
+            assert_eq!(lat.id_of(lat.get(id)), Some(id));
         }
         let mut not_ideal = NodeSet::new(g.n());
         not_ideal.insert(g.sink().idx());
-        assert_eq!(lat.index_of(&not_ideal), None);
+        assert_eq!(lat.id_of(not_ideal.as_set()), None);
+    }
+
+    #[test]
+    fn interning_survives_table_growth() {
+        // A lattice big enough to force several grow() cycles (initial
+        // table is 64 buckets): elevation-4 fork-join with 4 inner stages
+        // per branch has (4+1)^4 + 2 = 627 ideals.
+        let branches: Vec<Spg> = (0..4).map(|_| uniform_chain(6)).collect();
+        let g = parallel_many(&branches);
+        let lat = enumerate_ideals(&g, 100_000).unwrap();
+        assert_eq!(lat.len(), 5usize.pow(4) + 2);
+        for id in lat.ids() {
+            assert_eq!(lat.id_of(lat.get(id)), Some(id));
+        }
     }
 }

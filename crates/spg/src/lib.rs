@@ -35,7 +35,7 @@ pub mod streamit;
 pub use compose::{base, chain, parallel, parallel_many, series, series_many};
 pub use generate::{random_spg, SpgGenConfig};
 pub use graph::{EdgeId, Label, Spg, SpgEdge, StageId};
-pub use ideal::{enumerate_ideals, IdealError, IdealLattice};
-pub use nodeset::NodeSet;
+pub use ideal::{enumerate_ideals, IdealError, IdealId, IdealLattice};
+pub use nodeset::{NodeSet, NodeSetRef};
 pub use recognize::{recognize, recognize_edges, SpRecognition};
 pub use streamit::{streamit_suite, streamit_workflow, StreamItSpec, STREAMIT_SPECS};

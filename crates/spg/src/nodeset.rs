@@ -3,21 +3,53 @@
 //! Used to represent *admissible subgraphs* (order ideals) and clusters in
 //! the dynamic-programming heuristics. The capacity is fixed at creation
 //! (the `n` of the SPG); all binary operations require equal capacities.
+//!
+//! Storage is adaptive: sets over at most [`INLINE_CAPACITY`] elements keep
+//! their words inline (no heap allocation — the common case, since the
+//! paper's workloads top out at 150 stages and the DP heuristics clone and
+//! hash these sets in their innermost loops); larger capacities fall back
+//! to a heap vector behind the same API. [`NodeSetRef`] is the borrowed
+//! view used by the interned ideal lattice to hand out sets without
+//! materialising a `NodeSet`.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Largest capacity stored without heap allocation (two 64-bit words).
+pub const INLINE_CAPACITY: usize = 128;
+
+const INLINE_WORDS: usize = INLINE_CAPACITY / 64;
+
+#[derive(Clone)]
+enum Repr {
+    /// Capacities `0..=INLINE_CAPACITY`: words live in the set itself.
+    Inline([u64; INLINE_WORDS]),
+    /// Larger capacities: heap-allocated words.
+    Heap(Vec<u64>),
+}
 
 /// Fixed-capacity bit set over `0..capacity`.
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone)]
 pub struct NodeSet {
-    words: Vec<u64>,
+    repr: Repr,
     capacity: u32,
+}
+
+#[inline]
+fn words_for(capacity: usize) -> usize {
+    capacity.div_ceil(64)
 }
 
 impl NodeSet {
     /// Empty set with room for `capacity` elements.
     pub fn new(capacity: usize) -> Self {
+        let repr = if capacity <= INLINE_CAPACITY {
+            Repr::Inline([0; INLINE_WORDS])
+        } else {
+            Repr::Heap(vec![0; words_for(capacity)])
+        };
         NodeSet {
-            words: vec![0; capacity.div_ceil(64)],
+            repr,
             capacity: capacity as u32,
         }
     }
@@ -25,9 +57,23 @@ impl NodeSet {
     /// Full set `{0, .., capacity-1}`.
     pub fn full(capacity: usize) -> Self {
         let mut s = Self::new(capacity);
-        for i in 0..capacity {
-            s.insert(i);
+        for w in 0..words_for(capacity) {
+            let bits = capacity - w * 64;
+            s.words_mut()[w] = if bits >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits) - 1
+            };
         }
+        s
+    }
+
+    /// Rebuilds a set from raw words (little-endian bit order), as stored by
+    /// the ideal-lattice arena.
+    pub fn from_words(words: &[u64], capacity: usize) -> Self {
+        debug_assert_eq!(words.len(), words_for(capacity));
+        let mut s = Self::new(capacity);
+        s.words_mut().copy_from_slice(words);
         s
     }
 
@@ -37,13 +83,49 @@ impl NodeSet {
         self.capacity as usize
     }
 
+    /// The backing words; only the low `capacity` bits are meaningful.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        match &self.repr {
+            Repr::Inline(a) => &a[..words_for(self.capacity as usize)],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    #[inline]
+    fn words_mut(&mut self) -> &mut [u64] {
+        let n = words_for(self.capacity as usize);
+        match &mut self.repr {
+            Repr::Inline(a) => &mut a[..n],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    /// A cheap borrowed view (what the interned lattice hands out).
+    #[inline]
+    pub fn as_set(&self) -> NodeSetRef<'_> {
+        NodeSetRef {
+            words: self.words(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Overwrites `self` with the contents of a borrowed set of the same
+    /// capacity (no allocation).
+    #[inline]
+    pub fn clone_from_ref(&mut self, other: NodeSetRef<'_>) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        self.words_mut().copy_from_slice(other.words);
+    }
+
     /// Inserts `i`; returns whether it was newly inserted.
     #[inline]
     pub fn insert(&mut self, i: usize) -> bool {
         debug_assert!(i < self.capacity());
         let (w, b) = (i / 64, i % 64);
-        let fresh = self.words[w] & (1 << b) == 0;
-        self.words[w] |= 1 << b;
+        let words = self.words_mut();
+        let fresh = words[w] & (1 << b) == 0;
+        words[w] |= 1 << b;
         fresh
     }
 
@@ -52,52 +134,66 @@ impl NodeSet {
     pub fn remove(&mut self, i: usize) -> bool {
         debug_assert!(i < self.capacity());
         let (w, b) = (i / 64, i % 64);
-        let present = self.words[w] & (1 << b) != 0;
-        self.words[w] &= !(1 << b);
+        let words = self.words_mut();
+        let present = words[w] & (1 << b) != 0;
+        words[w] &= !(1 << b);
         present
     }
 
     /// Membership test.
     #[inline]
     pub fn contains(&self, i: usize) -> bool {
-        debug_assert!(i < self.capacity());
-        self.words[i / 64] & (1 << (i % 64)) != 0
+        self.as_set().contains(i)
     }
 
     /// Number of elements.
     #[inline]
     pub fn len(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        self.as_set().len()
     }
 
     /// Whether the set is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        self.as_set().is_empty()
     }
 
     /// `self ⊆ other`.
     pub fn is_subset(&self, other: &NodeSet) -> bool {
-        debug_assert_eq!(self.capacity, other.capacity);
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(a, b)| a & !b == 0)
+        self.as_set().is_subset(other.as_set())
     }
 
     /// In-place union.
     pub fn union_with(&mut self, other: &NodeSet) {
         debug_assert_eq!(self.capacity, other.capacity);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a |= b;
+        match (&mut self.repr, &other.repr) {
+            (Repr::Inline(a), Repr::Inline(b)) => {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x |= y;
+                }
+            }
+            _ => {
+                for (x, y) in self.words_mut().iter_mut().zip(other.words()) {
+                    *x |= y;
+                }
+            }
         }
     }
 
     /// In-place difference `self \ other`.
     pub fn difference_with(&mut self, other: &NodeSet) {
         debug_assert_eq!(self.capacity, other.capacity);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= !b;
+        match (&mut self.repr, &other.repr) {
+            (Repr::Inline(a), Repr::Inline(b)) => {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x &= !y;
+                }
+            }
+            _ => {
+                for (x, y) in self.words_mut().iter_mut().zip(other.words()) {
+                    *x &= !y;
+                }
+            }
         }
     }
 
@@ -117,24 +213,27 @@ impl NodeSet {
 
     /// Whether the sets intersect.
     pub fn intersects(&self, other: &NodeSet) -> bool {
-        debug_assert_eq!(self.capacity, other.capacity);
-        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+        self.as_set().intersects(other.as_set())
     }
 
     /// Iterates over the elements in increasing order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &w)| {
-            let mut w = w;
-            std::iter::from_fn(move || {
-                if w == 0 {
-                    None
-                } else {
-                    let b = w.trailing_zeros() as usize;
-                    w &= w - 1;
-                    Some(wi * 64 + b)
-                }
-            })
-        })
+        self.as_set().iter()
+    }
+}
+
+impl PartialEq for NodeSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.capacity == other.capacity && self.words() == other.words()
+    }
+}
+
+impl Eq for NodeSet {}
+
+impl Hash for NodeSet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.capacity.hash(state);
+        self.words().hash(state);
     }
 }
 
@@ -155,6 +254,120 @@ impl FromIterator<usize> for NodeSet {
             s.insert(i);
         }
         s
+    }
+}
+
+/// A borrowed, read-only node set: a word slice plus its capacity.
+///
+/// This is what [`crate::ideal::IdealLattice`] hands out — iterating the
+/// lattice or following DP transitions never clones a [`NodeSet`].
+#[derive(Clone, Copy)]
+pub struct NodeSetRef<'a> {
+    words: &'a [u64],
+    capacity: u32,
+}
+
+impl<'a> NodeSetRef<'a> {
+    /// Wraps raw words (as stored in the lattice arena).
+    #[inline]
+    pub fn from_words(words: &'a [u64], capacity: usize) -> Self {
+        debug_assert_eq!(words.len(), words_for(capacity));
+        NodeSetRef {
+            words,
+            capacity: capacity as u32,
+        }
+    }
+
+    /// The fixed capacity.
+    #[inline]
+    pub fn capacity(self) -> usize {
+        self.capacity as usize
+    }
+
+    /// The backing words.
+    #[inline]
+    pub fn words(self) -> &'a [u64] {
+        self.words
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(self, i: usize) -> bool {
+        debug_assert!(i < self.capacity());
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `self ⊆ other`.
+    pub fn is_subset(self, other: NodeSetRef<'_>) -> bool {
+        debug_assert_eq!(self.capacity, other.capacity);
+        self.words.iter().zip(other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Whether the sets intersect.
+    pub fn intersects(self, other: NodeSetRef<'_>) -> bool {
+        debug_assert_eq!(self.capacity, other.capacity);
+        self.words.iter().zip(other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Iterates over the elements in increasing order.
+    pub fn iter(self) -> impl Iterator<Item = usize> + 'a {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Iterates over `self \ other` in increasing order, without building
+    /// either set (used to list DP cluster members).
+    pub fn difference_iter(self, other: NodeSetRef<'a>) -> impl Iterator<Item = usize> + 'a {
+        debug_assert_eq!(self.capacity, other.capacity);
+        self.words
+            .iter()
+            .zip(other.words)
+            .enumerate()
+            .flat_map(|(wi, (&a, &b))| {
+                let mut w = a & !b;
+                std::iter::from_fn(move || {
+                    if w == 0 {
+                        None
+                    } else {
+                        let bit = w.trailing_zeros() as usize;
+                        w &= w - 1;
+                        Some(wi * 64 + bit)
+                    }
+                })
+            })
+    }
+
+    /// Materialises an owned copy.
+    pub fn to_owned_set(self) -> NodeSet {
+        NodeSet::from_words(self.words, self.capacity as usize)
+    }
+}
+
+impl fmt::Debug for NodeSetRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
     }
 }
 
@@ -209,5 +422,119 @@ mod tests {
         let s = NodeSet::new(10);
         assert!(s.is_empty());
         assert_eq!(s.iter().count(), 0);
+    }
+
+    /// Word-level behaviour exactly at and across the 64-bit boundary, for
+    /// both the inline and the heap representation.
+    #[test]
+    fn word_boundary_ops() {
+        for cap in [64usize, 65, 127, 128, 129, 192] {
+            let mut s = NodeSet::new(cap);
+            s.insert(63);
+            assert!(s.contains(63), "cap {cap}");
+            assert_eq!(s.words()[0], 1 << 63);
+            if cap > 64 {
+                s.insert(64);
+                assert!(s.contains(64));
+                assert_eq!(s.words()[1] & 1, 1);
+                assert_eq!(s.len(), 2);
+                assert!(s.remove(64));
+                assert_eq!(s.words()[1], 0);
+            }
+            // Full set has exactly `cap` bits and a clean top word.
+            let f = NodeSet::full(cap);
+            assert_eq!(f.len(), cap);
+            let top_bits = cap - (f.words().len() - 1) * 64;
+            if top_bits < 64 {
+                assert_eq!(f.words().last().unwrap() >> top_bits, 0, "cap {cap}");
+            }
+        }
+    }
+
+    /// Union / difference across the word boundary, inline and heap reprs.
+    #[test]
+    fn union_difference_across_words() {
+        for cap in [100usize, 128, 200] {
+            let mut a = NodeSet::new(cap);
+            let mut b = NodeSet::new(cap);
+            for i in [0, 63, 64, cap - 1] {
+                a.insert(i);
+            }
+            for i in [63, 64, 65] {
+                b.insert(i);
+            }
+            let u = a.union(&b);
+            for i in [0, 63, 64, 65, cap - 1] {
+                assert!(u.contains(i), "cap {cap}, bit {i}");
+            }
+            let d = a.difference(&b);
+            assert!(d.contains(0) && d.contains(cap - 1));
+            assert!(!d.contains(63) && !d.contains(64));
+        }
+    }
+
+    /// The inline and heap representations agree through the whole API.
+    #[test]
+    fn inline_and_heap_agree() {
+        let bits = [0usize, 1, 31, 63, 64, 65, 100, 127];
+        let mut large = NodeSet::new(300);
+        let mut small128 = NodeSet::new(128);
+        for &b in &bits {
+            large.insert(b);
+            small128.insert(b);
+        }
+        assert_eq!(
+            small128.iter().collect::<Vec<_>>(),
+            large.iter().collect::<Vec<_>>()
+        );
+        assert_eq!(small128.len(), large.len());
+        // Hash/Eq consistency within one capacity.
+        let mut other = NodeSet::new(128);
+        for &b in &bits {
+            other.insert(b);
+        }
+        assert_eq!(small128, other);
+        use std::collections::hash_map::DefaultHasher;
+        let h = |s: &NodeSet| {
+            let mut hh = DefaultHasher::new();
+            s.hash(&mut hh);
+            hh.finish()
+        };
+        assert_eq!(h(&small128), h(&other));
+    }
+
+    #[test]
+    fn ref_view_matches_owned() {
+        let mut s = NodeSet::new(150);
+        for i in [2, 63, 64, 100, 149] {
+            s.insert(i);
+        }
+        let r = s.as_set();
+        assert_eq!(r.capacity(), 150);
+        assert_eq!(r.len(), s.len());
+        assert_eq!(r.iter().collect::<Vec<_>>(), s.iter().collect::<Vec<_>>());
+        assert!(r.contains(64) && !r.contains(65));
+        let back = r.to_owned_set();
+        assert_eq!(back, s);
+        // clone_from_ref round-trip.
+        let mut t = NodeSet::new(150);
+        t.clone_from_ref(r);
+        assert_eq!(t, s);
+    }
+
+    #[test]
+    fn difference_iter_matches_difference() {
+        let mut a = NodeSet::new(130);
+        let mut b = NodeSet::new(130);
+        for i in [1, 63, 64, 90, 129] {
+            a.insert(i);
+        }
+        for i in [63, 90] {
+            b.insert(i);
+        }
+        let via_iter: Vec<usize> = a.as_set().difference_iter(b.as_set()).collect();
+        let via_set: Vec<usize> = a.difference(&b).iter().collect();
+        assert_eq!(via_iter, via_set);
+        assert_eq!(via_iter, vec![1, 64, 129]);
     }
 }

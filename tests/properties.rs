@@ -75,12 +75,53 @@ fn ideal_lattice_properties() {
             bound
         );
         // Spot-check idealness of a sample.
-        for ideal in lat.ideals.iter().step_by(1 + lat.len() / 50) {
+        for ideal in lat.iter().step_by(1 + lat.len() / 50) {
             assert!(is_ideal(&g, ideal), "case {case}");
         }
         // Ready stages of the empty ideal = the source.
-        let ready = ready_stages(&g, &NodeSet::new(g.n()));
+        let empty = NodeSet::new(g.n());
+        let ready = ready_stages(&g, empty.as_set());
         assert_eq!(ready, vec![g.source()], "case {case}");
+    }
+}
+
+/// The interned arena lattice enumerates exactly the same ideal family as
+/// a naive reference (owned `NodeSet`s in a `HashSet`, cloning per
+/// candidate — the pre-refactor algorithm) on small random SPGs, with no
+/// duplicate arena entries.
+#[test]
+fn interned_lattice_matches_naive_reference() {
+    use std::collections::{BTreeSet, HashSet};
+
+    fn naive_ideals(g: &Spg) -> BTreeSet<Vec<usize>> {
+        let mut seen: HashSet<NodeSet> = HashSet::new();
+        let empty = NodeSet::new(g.n());
+        let mut queue = vec![empty.clone()];
+        seen.insert(empty);
+        while let Some(cur) = queue.pop() {
+            for s in ready_stages(g, cur.as_set()) {
+                let mut next = cur.clone();
+                next.insert(s.idx());
+                if seen.insert(next.clone()) {
+                    queue.push(next);
+                }
+            }
+        }
+        seen.into_iter().map(|s| s.iter().collect()).collect()
+    }
+
+    for case in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x1d3a_0000 + case);
+        let n = rng.gen_range(4usize..16);
+        let g = spg::generate::random_spg_free(n, &mut rng);
+        let lat = enumerate_ideals(&g, 1_000_000).unwrap();
+        let interned: BTreeSet<Vec<usize>> = lat.iter().map(|s| s.iter().collect()).collect();
+        assert_eq!(
+            lat.len(),
+            interned.len(),
+            "case {case}: duplicate ideals in the arena"
+        );
+        assert_eq!(interned, naive_ideals(&g), "case {case}");
     }
 }
 
