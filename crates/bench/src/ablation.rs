@@ -12,13 +12,16 @@
 
 use cmp_mapping::{assign_optimal_speeds, evaluate, RouteSpec};
 use cmp_platform::{Platform, RouteOrder};
-use ea_core::{greedy_opts, refine, run_heuristic, HeuristicKind, RefineConfig, ALL_HEURISTICS};
+use ea_core::solvers::{Greedy, Random};
+use ea_core::{greedy_opts, refine, Instance, RefineConfig, SolveCtx, Solver};
 use rayon::prelude::*;
 use spg::{random_spg, SpgGenConfig};
 
-use crate::probe::probe_period;
+use std::sync::Arc;
+
+use crate::probe::probe_instance;
 use crate::report::fmt_table;
-use crate::runner::run_all_heuristics;
+use crate::runner::run_portfolio;
 
 fn instances(count: usize, seed: u64) -> Vec<(spg::Spg, u64)> {
     use rand::{Rng, SeedableRng};
@@ -37,6 +40,11 @@ fn instances(count: usize, seed: u64) -> Vec<(spg::Spg, u64)> {
         .collect()
 }
 
+/// Builds and probes a session for one ablation workload.
+fn probed(g: &spg::Spg, pf: &Platform, seed: u64) -> Option<Instance> {
+    probe_instance(&Instance::new(g.clone(), pf.clone(), 1.0), seed)
+}
+
 /// Routing ablation: re-evaluate `Random`'s mappings under the transposed
 /// XY order.
 pub fn routing_text(count: usize, seed: u64) -> String {
@@ -45,12 +53,12 @@ pub fn routing_text(count: usize, seed: u64) -> String {
         .par_iter()
         .enumerate()
         .filter_map(|(i, (g, s))| {
-            let t = probe_period(g, &pf, *s)?;
-            let sol = run_heuristic(HeuristicKind::Random, g, &pf, t, *s).ok()?;
+            let inst = probed(g, &pf, *s)?;
+            let sol = Random::default().solve(&inst, &SolveCtx::new(*s)).ok()?;
             let row_first = sol.energy();
             let mut m = sol.mapping.clone();
             m.routes = RouteSpec::Xy(RouteOrder::ColFirst);
-            let col_first = evaluate(g, &pf, &m, t);
+            let col_first = evaluate(g, &pf, &m, inst.period());
             Some(vec![
                 i.to_string(),
                 format!("{:.3e}", row_first),
@@ -80,7 +88,8 @@ pub fn downgrade_text(count: usize, seed: u64) -> String {
         .par_iter()
         .enumerate()
         .filter_map(|(i, (g, s))| {
-            let t = probe_period(g, &pf, *s)?;
+            let inst = probed(g, &pf, *s)?;
+            let t = inst.period();
             let with = greedy_opts(g, &pf, t, true).ok()?;
             let without = greedy_opts(g, &pf, t, false).ok()?;
             Some(vec![
@@ -108,8 +117,9 @@ pub fn speedrule_text(count: usize, seed: u64) -> String {
         .par_iter()
         .enumerate()
         .filter_map(|(i, (g, s))| {
-            let t = probe_period(g, &pf, *s)?;
-            let sol = run_heuristic(HeuristicKind::Greedy, g, &pf, t, *s).ok()?;
+            let inst = probed(g, &pf, *s)?;
+            let t = inst.period();
+            let sol = Greedy::default().solve(&inst, &SolveCtx::new(*s)).ok()?;
             let paper_rule = sol.energy();
             let speeds = assign_optimal_speeds(g, &pf, &sol.mapping.alloc, t)?;
             let mut m = sol.mapping.clone();
@@ -131,18 +141,18 @@ pub fn speedrule_text(count: usize, seed: u64) -> String {
 }
 
 /// Refinement headroom: how much a stage-migration hill-climb improves
-/// each heuristic's mapping (a relative quality measure at scales the
+/// each solver's mapping (a relative quality measure at scales the
 /// exact solver cannot reach).
-pub fn refine_text(count: usize, seed: u64) -> String {
+pub fn refine_text(count: usize, seed: u64, solvers: &[Arc<dyn Solver>]) -> String {
     let pf = Platform::paper(4, 4);
     let mut rows = Vec::new();
-    for h in ALL_HEURISTICS {
+    for solver in solvers {
         let gains: Vec<f64> = instances(count, seed)
             .par_iter()
             .filter_map(|(g, s)| {
-                let t = probe_period(g, &pf, *s)?;
-                let sol = run_heuristic(h, g, &pf, t, *s).ok()?;
-                let refined = refine(g, &pf, &sol, t, &RefineConfig::default());
+                let inst = probed(g, &pf, *s)?;
+                let sol = solver.solve(&inst, &SolveCtx::new(*s)).ok()?;
+                let refined = refine(g, &pf, &sol, inst.period(), &RefineConfig::default());
                 Some(1.0 - refined.energy() / sol.energy())
             })
             .collect();
@@ -153,7 +163,7 @@ pub fn refine_text(count: usize, seed: u64) -> String {
         };
         let max = gains.iter().copied().fold(0.0f64, f64::max);
         rows.push(vec![
-            h.name().to_string(),
+            solver.name().to_string(),
             gains.len().to_string(),
             if mean.is_nan() {
                 "-".into()
@@ -170,8 +180,9 @@ pub fn refine_text(count: usize, seed: u64) -> String {
     )
 }
 
-/// `E_bit` sweep: mean normalised energy per heuristic at 1 / 6 / 10 pJ.
-pub fn ebit_text(count: usize, seed: u64) -> String {
+/// `E_bit` sweep: mean normalised energy per solver at 1 / 6 / 10 pJ.
+pub fn ebit_text(count: usize, seed: u64, solvers: &[Arc<dyn Solver>]) -> String {
+    let h = solvers.len();
     let mut rows = Vec::new();
     for ebit_pj in [1.0, 6.0, 10.0] {
         let mut pf = Platform::paper(4, 4);
@@ -179,14 +190,14 @@ pub fn ebit_text(count: usize, seed: u64) -> String {
         let sums: Vec<(Vec<f64>, Vec<usize>)> = instances(count, seed)
             .par_iter()
             .filter_map(|(g, s)| {
-                let t = probe_period(g, &pf, *s)?;
-                let outcomes = run_all_heuristics(g, &pf, t, *s);
+                let inst = probed(g, &pf, *s)?;
+                let outcomes = run_portfolio(&inst, solvers, *s);
                 let best = outcomes
                     .iter()
                     .filter_map(|o| o.energy())
-                    .min_by(|a, b| a.partial_cmp(b).unwrap())?;
-                let mut norm = vec![0.0; ALL_HEURISTICS.len()];
-                let mut ok = vec![0usize; ALL_HEURISTICS.len()];
+                    .min_by(|a, b| a.total_cmp(b))?;
+                let mut norm = vec![0.0; h];
+                let mut ok = vec![0usize; h];
                 for (k, o) in outcomes.iter().enumerate() {
                     if let Some(e) = o.energy() {
                         norm[k] = e / best;
@@ -197,7 +208,7 @@ pub fn ebit_text(count: usize, seed: u64) -> String {
             })
             .collect();
         let mut row = vec![format!("{ebit_pj} pJ")];
-        for k in 0..ALL_HEURISTICS.len() {
+        for k in 0..h {
             let (sum, cnt) = sums
                 .iter()
                 .fold((0.0, 0usize), |(s, c), (norm, ok)| (s + norm[k], c + ok[k]));
@@ -209,10 +220,10 @@ pub fn ebit_text(count: usize, seed: u64) -> String {
         }
         rows.push(row);
     }
-    let headers: Vec<&str> = ["E_bit"]
-        .into_iter()
-        .chain(ALL_HEURISTICS.iter().map(|h| h.name()))
+    let headers: Vec<String> = std::iter::once("E_bit".to_string())
+        .chain(solvers.iter().map(|s| s.name().to_string()))
         .collect();
+    let headers: Vec<&str> = headers.iter().map(String::as_str).collect();
     fmt_table(
         "Ablation: link energy sweep (mean normalised energy over successes)",
         &headers,

@@ -1,7 +1,8 @@
 //! `xp` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! xp <command> [--seed N] [--apps-per-point N] [--exact-count N] [--out DIR]
+//! xp <command> [--seed N] [--apps-per-point N] [--exact-count N]
+//!              [--solvers a,b,c] [--out DIR]
 //!
 //! commands:
 //!   table1        Table 1  (StreamIt characteristics)
@@ -15,66 +16,111 @@
 //!   table3        Table 3  (random-SPG failures; fig10's campaign)
 //!   exact         Exact-vs-heuristics on 2x2 (ILP substitute, §4.4)
 //!   ablation-routing | ablation-downgrade | ablation-ebit
+//!   ablation-speedrule | ablation-refine
 //!   all           Everything above, in order
 //! ```
+//!
+//! `--solvers` filters the portfolio through `ea_core::SolverRegistry`
+//! (names are case-insensitive; `refined:<name>` wraps a solver in the
+//! hill-climbing combinator). It applies to every portfolio-driven command
+//! (the figures, tables 2–3, `exact`, `ablation-ebit`,
+//! `ablation-refine`); `table1` and the solver-specific ablations
+//! (`ablation-routing`/`-downgrade`/`-speedrule` study `Random`/`Greedy`
+//! by construction) do not consume it. Unknown commands, flags, or solver
+//! names exit with a usage error instead of being silently ignored.
 //!
 //! Text reports go to stdout; CSV data lands in `--out` (default
 //! `results/`).
 
 use std::path::PathBuf;
+use std::process::exit;
+use std::sync::Arc;
 use std::time::Instant;
 
 use ea_bench::random_xp::{self, RandomXpConfig};
 use ea_bench::streamit_xp::{self, CAMPAIGN_CSV_HEADERS};
 use ea_bench::{ablation, exact_xp, report};
+use ea_core::{Solver, SolverRegistry};
+
+const USAGE: &str = "usage: xp <command> [--seed N] [--apps-per-point N] [--exact-count N] \
+                     [--solvers a,b,c] [--out DIR]
+commands: table1 fig8 fig9 table2 fig10 fig11 fig12 fig13 table3 exact
+          ablation-routing ablation-downgrade ablation-ebit
+          ablation-speedrule ablation-refine all";
 
 struct Opts {
     seed: u64,
     apps_per_point: usize,
     exact_count: usize,
+    solvers: Vec<Arc<dyn Solver>>,
     out: PathBuf,
 }
 
-fn main() {
-    let mut args = std::env::args().skip(1);
-    let Some(cmd) = args.next() else {
-        eprintln!(
-            "usage: xp <command> [--seed N] [--apps-per-point N] [--exact-count N] [--out DIR]"
-        );
-        std::process::exit(2);
-    };
+/// Exits with a usage error.
+fn usage_error(msg: &str) -> ! {
+    eprintln!("xp: {msg}\n{USAGE}");
+    exit(2)
+}
+
+fn parse_opts(rest: &[String]) -> Opts {
     let mut opts = Opts {
         seed: 2011,
         apps_per_point: 100,
         exact_count: 30,
+        solvers: ea_bench::default_solvers(),
         out: PathBuf::from("results"),
     };
-    let rest: Vec<String> = args.collect();
+    let registry = SolverRegistry::with_defaults();
     let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        match rest.get(*i) {
+            Some(v) => v.clone(),
+            None => usage_error(&format!("{flag} requires a value")),
+        }
+    };
     while i < rest.len() {
-        match rest[i].as_str() {
+        let flag = rest[i].as_str();
+        match flag {
             "--seed" => {
-                opts.seed = rest[i + 1].parse().expect("--seed N");
-                i += 2;
+                opts.seed = value(&mut i, flag)
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--seed expects an integer"));
             }
             "--apps-per-point" => {
-                opts.apps_per_point = rest[i + 1].parse().expect("--apps-per-point N");
-                i += 2;
+                opts.apps_per_point = value(&mut i, flag)
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--apps-per-point expects an integer"));
             }
             "--exact-count" => {
-                opts.exact_count = rest[i + 1].parse().expect("--exact-count N");
-                i += 2;
+                opts.exact_count = value(&mut i, flag)
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--exact-count expects an integer"));
+            }
+            "--solvers" => {
+                opts.solvers = registry
+                    .parse_list(&value(&mut i, flag))
+                    .unwrap_or_else(|e| usage_error(&e));
             }
             "--out" => {
-                opts.out = PathBuf::from(&rest[i + 1]);
-                i += 2;
+                opts.out = PathBuf::from(value(&mut i, flag));
             }
-            other => {
-                eprintln!("unknown flag {other}");
-                std::process::exit(2);
-            }
+            other => usage_error(&format!("unknown flag '{other}'")),
         }
+        i += 1;
     }
+    opts
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage_error("missing command");
+    };
+    if cmd.starts_with('-') {
+        usage_error(&format!("expected a command before '{cmd}'"));
+    }
+    let opts = parse_opts(rest);
 
     let started = Instant::now();
     match cmd.as_str() {
@@ -118,9 +164,9 @@ fn main() {
         "exact" => exact_cmd(&opts),
         "ablation-routing" => println!("{}", ablation::routing_text(12, opts.seed)),
         "ablation-downgrade" => println!("{}", ablation::downgrade_text(12, opts.seed)),
-        "ablation-ebit" => println!("{}", ablation::ebit_text(12, opts.seed)),
+        "ablation-ebit" => println!("{}", ablation::ebit_text(12, opts.seed, &opts.solvers)),
         "ablation-speedrule" => println!("{}", ablation::speedrule_text(12, opts.seed)),
-        "ablation-refine" => println!("{}", ablation::refine_text(8, opts.seed)),
+        "ablation-refine" => println!("{}", ablation::refine_text(8, opts.seed, &opts.solvers)),
         "all" => {
             table1(&opts);
             fig_streamit(&opts, 4, 4, "fig8", "Figure 8: normalised energy, 4x4 CMP");
@@ -162,12 +208,9 @@ fn main() {
             exact_cmd(&opts);
             println!("{}", ablation::routing_text(12, opts.seed));
             println!("{}", ablation::downgrade_text(12, opts.seed));
-            println!("{}", ablation::ebit_text(12, opts.seed));
+            println!("{}", ablation::ebit_text(12, opts.seed, &opts.solvers));
         }
-        other => {
-            eprintln!("unknown command {other}");
-            std::process::exit(2);
-        }
+        other => usage_error(&format!("unknown command '{other}'")),
     }
     eprintln!("[xp] {cmd} done in {:.1}s", started.elapsed().as_secs_f64());
 }
@@ -177,7 +220,7 @@ fn table1(opts: &Opts) {
 }
 
 fn fig_streamit(opts: &Opts, p: u32, q: u32, name: &str, title: &str) {
-    let campaign = streamit_xp::streamit_campaign(p, q, opts.seed);
+    let campaign = streamit_xp::streamit_campaign(p, q, opts.seed, &opts.solvers);
     println!("{}", streamit_xp::figure_text(&campaign, title));
     let rows = streamit_xp::campaign_csv_rows(&campaign, &format!("{p}x{q}"));
     if let Err(e) = report::write_csv(&opts.out, name, &CAMPAIGN_CSV_HEADERS, &rows) {
@@ -186,14 +229,14 @@ fn fig_streamit(opts: &Opts, p: u32, q: u32, name: &str, title: &str) {
 }
 
 fn table2(opts: &Opts) {
-    let c44 = streamit_xp::streamit_campaign(4, 4, opts.seed);
-    let c66 = streamit_xp::streamit_campaign(6, 6, opts.seed);
+    let c44 = streamit_xp::streamit_campaign(4, 4, opts.seed, &opts.solvers);
+    let c66 = streamit_xp::streamit_campaign(6, 6, opts.seed, &opts.solvers);
     println!("{}", streamit_xp::table2_text(&c44, &c66));
 }
 
 fn fig_random(opts: &Opts, n: usize, p: u32, q: u32, name: &str, title: &str) {
     let cfg = RandomXpConfig::paper(n, p, q, opts.apps_per_point, opts.seed);
-    let data = random_xp::random_campaign(&cfg);
+    let data = random_xp::random_campaign(&cfg, &opts.solvers);
     println!("{}", random_xp::figure_text(&data, title));
     if name == "fig10" {
         // Table 3 is the failure count of exactly this campaign
@@ -212,11 +255,11 @@ fn fig_random(opts: &Opts, n: usize, p: u32, q: u32, name: &str, title: &str) {
 
 fn table3(opts: &Opts) {
     let cfg = RandomXpConfig::paper(50, 4, 4, opts.apps_per_point, opts.seed);
-    let data = random_xp::random_campaign(&cfg);
+    let data = random_xp::random_campaign(&cfg, &opts.solvers);
     println!("{}", random_xp::table3_text(&data));
 }
 
 fn exact_cmd(opts: &Opts) {
-    let instances = exact_xp::exact_campaign(opts.exact_count, opts.seed);
-    println!("{}", exact_xp::exact_text(&instances));
+    let campaign = exact_xp::exact_campaign(opts.exact_count, opts.seed, &opts.solvers);
+    println!("{}", exact_xp::exact_text(&campaign));
 }

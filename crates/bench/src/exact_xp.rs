@@ -6,16 +6,19 @@
 //! as a ratio to the optimum, giving the "absolute measure of the quality
 //! of the various heuristics" the paper asks for in its conclusion.
 
+use std::sync::Arc;
+
 use cmp_platform::Platform;
-use ea_core::{exact, ExactConfig, ALL_HEURISTICS};
+use ea_core::solvers::Exact;
+use ea_core::{Instance, SolveCtx, Solver};
 use rayon::prelude::*;
 use spg::{random_spg, SpgGenConfig};
 
-use crate::probe::probe_period;
+use crate::probe::probe_instance;
 use crate::report::{fmt_norm, fmt_table};
-use crate::runner::run_all_heuristics;
+use crate::runner::{run_portfolio, solver_names};
 
-/// One instance's optimal energy and per-heuristic ratios to it.
+/// One instance's optimal energy and per-solver ratios to it.
 #[derive(Debug, Clone)]
 pub struct ExactInstance {
     /// Instance index.
@@ -28,14 +31,24 @@ pub struct ExactInstance {
     pub period: f64,
     /// Optimal energy from the exhaustive solver.
     pub optimal: f64,
-    /// Per-heuristic `E_h / E_opt` (plot order), `None` on failure.
+    /// Per-solver `E_h / E_opt` (portfolio order), `None` on failure.
     pub ratios: Vec<Option<f64>>,
 }
 
+/// The campaign results plus the solver names (table headers).
+#[derive(Debug, Clone)]
+pub struct ExactCampaign {
+    /// Solver display names, in portfolio order.
+    pub names: Vec<String>,
+    /// Instances the exact solver could close.
+    pub instances: Vec<ExactInstance>,
+}
+
 /// Runs the comparison: `count` random SPGs of 6–9 stages on a 2×2 CMP.
-pub fn exact_campaign(count: usize, seed: u64) -> Vec<ExactInstance> {
-    let pf = Platform::paper(2, 2);
-    (0..count)
+pub fn exact_campaign(count: usize, seed: u64, solvers: &[Arc<dyn Solver>]) -> ExactCampaign {
+    let pf = Arc::new(Platform::paper(2, 2));
+    let exact = Exact::default();
+    let instances = (0..count)
         .into_par_iter()
         .filter_map(|idx| {
             use rand::{Rng, SeedableRng};
@@ -50,9 +63,10 @@ pub fn exact_campaign(count: usize, seed: u64) -> Vec<ExactInstance> {
                 ..Default::default()
             };
             let g = random_spg(&cfg, &mut rng);
-            let t = probe_period(&g, &pf, seed)?;
-            let opt = exact(&g, &pf, t, &ExactConfig::default()).ok()?;
-            let outcomes = run_all_heuristics(&g, &pf, t, seed);
+            let base = Instance::from_shared(Arc::new(g), Arc::clone(&pf), 1.0);
+            let inst = probe_instance(&base, seed)?;
+            let opt = exact.solve(&inst, &SolveCtx::new(seed)).ok()?;
+            let outcomes = run_portfolio(&inst, solvers, seed);
             let ratios = outcomes
                 .iter()
                 .map(|o| o.energy().map(|e| e / opt.energy()))
@@ -61,21 +75,26 @@ pub fn exact_campaign(count: usize, seed: u64) -> Vec<ExactInstance> {
                 idx,
                 n,
                 elevation,
-                period: t,
+                period: inst.period(),
                 optimal: opt.energy(),
                 ratios,
             })
         })
-        .collect()
+        .collect();
+    ExactCampaign {
+        names: solver_names(solvers),
+        instances,
+    }
 }
 
 /// Text report: one row per instance plus a mean row.
-pub fn exact_text(instances: &[ExactInstance]) -> String {
+pub fn exact_text(campaign: &ExactCampaign) -> String {
     let headers: Vec<&str> = ["#", "n", "ymax", "T(s)", "E_opt(J)"]
         .into_iter()
-        .chain(ALL_HEURISTICS.iter().map(|h| h.name()))
+        .chain(campaign.names.iter().map(String::as_str))
         .collect();
-    let mut rows: Vec<Vec<String>> = instances
+    let mut rows: Vec<Vec<String>> = campaign
+        .instances
         .iter()
         .map(|i| {
             let mut row = vec![
@@ -89,10 +108,14 @@ pub fn exact_text(instances: &[ExactInstance]) -> String {
             row
         })
         .collect();
-    // Mean ratio over successes per heuristic.
+    // Mean ratio over successes per solver.
     let mut mean = vec!["mean".into(), "".into(), "".into(), "".into(), "".into()];
-    for k in 0..ALL_HEURISTICS.len() {
-        let vals: Vec<f64> = instances.iter().filter_map(|i| i.ratios[k]).collect();
+    for k in 0..campaign.names.len() {
+        let vals: Vec<f64> = campaign
+            .instances
+            .iter()
+            .filter_map(|i| i.ratios[k])
+            .collect();
         mean.push(if vals.is_empty() {
             "-".into()
         } else {
@@ -110,12 +133,13 @@ pub fn exact_text(instances: &[ExactInstance]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::default_solvers;
 
     #[test]
     fn no_heuristic_beats_exact() {
-        let instances = exact_campaign(6, 2011);
-        assert!(!instances.is_empty());
-        for i in &instances {
+        let campaign = exact_campaign(6, 2011, &default_solvers());
+        assert!(!campaign.instances.is_empty());
+        for i in &campaign.instances {
             for r in i.ratios.iter().flatten() {
                 assert!(
                     *r >= 1.0 - 1e-9,

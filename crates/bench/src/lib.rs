@@ -16,6 +16,12 @@
 //! The period bound per workload follows §6.1.3 exactly ([`probe`]): start
 //! at `T = 1 s`, divide by ten until every heuristic fails, keep the
 //! penultimate value.
+//!
+//! Campaigns run on `ea_core`'s solver-session API: one
+//! [`ea_core::Instance`] per workload shares the interned ideal lattice
+//! (and the other derived structures) between the period probe and the
+//! final portfolio run, and an `xp --solvers a,b,c` filter selects any
+//! subset of the registered solvers via [`ea_core::SolverRegistry`].
 
 pub mod ablation;
 pub mod exact_xp;
@@ -25,5 +31,5 @@ pub mod report;
 pub mod runner;
 pub mod streamit_xp;
 
-pub use probe::probe_period;
-pub use runner::{run_all_heuristics, HeuristicOutcome};
+pub use probe::{probe_instance, probe_period};
+pub use runner::{best_energy, default_solvers, run_portfolio, solver_names, SolverOutcome};

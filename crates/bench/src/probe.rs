@@ -9,9 +9,19 @@
 //! A defensive upward search (multiplying by 10, a few steps) covers
 //! workloads where even `T = 1 s` is infeasible — the paper never hits this
 //! case, and with the XScale platform neither do our workloads.
+//!
+//! Implementation: a sequential [`Race::FirstFeasible`] portfolio ordered
+//! cheapest-first, so a decade is settled as soon as one solver succeeds,
+//! and all probed periods share one [`Instance`]'s caches — in particular
+//! `DPA1D`'s interned ideal lattice is enumerated **once** for the whole
+//! decade sweep (it is period-independent), where the pre-0.2 probe
+//! re-enumerated it at every probed period.
+
+use std::sync::Arc;
 
 use cmp_platform::Platform;
-use ea_core::{run_heuristic, HeuristicKind};
+use ea_core::solvers::{Dpa1d, Dpa2d, Dpa2d1d, Greedy, Random};
+use ea_core::{Instance, Portfolio, Race, Solver};
 use spg::Spg;
 
 /// Maximum upward decades tried when `T = 1 s` already fails everywhere.
@@ -19,27 +29,30 @@ const MAX_UP_DECADES: u32 = 6;
 /// Maximum downward decades (safety stop; never reached in practice).
 const MAX_DOWN_DECADES: u32 = 12;
 
-/// Heuristics ordered cheapest-first for the probe's short-circuit
+/// Solvers ordered cheapest-first for the probe's short-circuit
 /// evaluation: the probe only needs "at least one succeeds", so the
 /// expensive dynamic programs (whose budget-exhaustion failure paths are
 /// the costly case at loose periods) run only when the cheap ones fail.
-const PROBE_ORDER: [HeuristicKind; 5] = [
-    HeuristicKind::Greedy,
-    HeuristicKind::Random,
-    HeuristicKind::Dpa2d1d,
-    HeuristicKind::Dpa2d,
-    HeuristicKind::Dpa1d,
-];
+pub fn probe_solvers() -> Vec<Arc<dyn Solver>> {
+    vec![
+        Arc::new(Greedy::default()),
+        Arc::new(Random::default()),
+        Arc::new(Dpa2d1d),
+        Arc::new(Dpa2d),
+        Arc::new(Dpa1d::default()),
+    ]
+}
 
-/// Probes the period bound for one workload: the smallest decade value of
-/// `T` at which at least one heuristic still succeeds. Returns `None` when
-/// no heuristic succeeds at any probed period.
-pub fn probe_period(spg: &Spg, pf: &Platform, seed: u64) -> Option<f64> {
-    let succeeds = |t: f64| {
-        PROBE_ORDER
-            .iter()
-            .any(|&k| run_heuristic(k, spg, pf, t, seed).is_ok())
-    };
+/// Probes the period bound starting from `inst` (whatever its period is,
+/// the sweep starts at `T = 1 s` per §6.1.3) and returns an instance at the
+/// probed period **sharing `inst`'s caches**, or `None` when no solver
+/// succeeds at any probed period.
+pub fn probe_instance(inst: &Instance, seed: u64) -> Option<Instance> {
+    let portfolio = Portfolio::new(probe_solvers())
+        .seeded(seed)
+        .parallel(false)
+        .race(Race::FirstFeasible);
+    let succeeds = |t: f64| portfolio.run(&inst.with_period(t)).best.is_some();
 
     let mut t = 1.0f64;
     if !succeeds(t) {
@@ -60,10 +73,21 @@ pub fn probe_period(spg: &Spg, pf: &Platform, seed: u64) -> Option<f64> {
         if succeeds(next) {
             t = next;
         } else {
-            return Some(t);
+            break;
         }
     }
-    Some(t)
+    Some(inst.with_period(t))
+}
+
+/// Probes the period bound for one workload: the smallest decade value of
+/// `T` at which at least one solver still succeeds. Returns `None` when
+/// no solver succeeds at any probed period.
+///
+/// Convenience wrapper cloning the inputs into a throwaway [`Instance`];
+/// campaign code should build the instance itself and call
+/// [`probe_instance`] so the solvers that follow reuse its caches.
+pub fn probe_period(spg: &Spg, pf: &Platform, seed: u64) -> Option<f64> {
+    probe_instance(&Instance::new(spg.clone(), pf.clone(), 1.0), seed).map(|i| i.period())
 }
 
 #[cfg(test)]
@@ -99,5 +123,17 @@ mod tests {
         let g = chain(&[2e9, 2e9], &[0.0]);
         let t = probe_period(&g, &pf, 0).unwrap();
         assert!((t - 10.0).abs() < 1e-9, "probed {t}");
+    }
+
+    #[test]
+    fn probe_instance_shares_caches() {
+        let g = chain(&[1e8; 4], &[1e3; 3]);
+        let base = Instance::new(g, Platform::paper(2, 2), 1.0);
+        // Warm the lattice, probe, and check the probed instance reuses it.
+        let before = base.lattice(60_000).unwrap();
+        let probed = probe_instance(&base, 0).unwrap();
+        let after = probed.lattice(60_000).unwrap();
+        assert!(Arc::ptr_eq(&before, &after));
+        assert!((probed.period() - 0.1).abs() < 1e-12);
     }
 }

@@ -2,21 +2,23 @@
 //!
 //! For each CCR in `{10, 1, 0.1}` and each elevation value, `apps_per_point`
 //! random SPGs of exactly `n` stages are generated; each gets its own probed
-//! period, then all five heuristics run. The figures plot, per heuristic,
+//! period, then the solver portfolio runs. The figures plot, per solver,
 //! the mean of `E_best / E_h` (the paper's "inverse of the energy …
 //! normalized to the minimum value …, so that the best heuristic returns 1
 //! and the other ones return smaller values"); a failed run contributes 0 —
 //! which is what makes `DPA1D`'s curve collapse past elevation ≈ 4 in the
 //! paper. Table 3 counts raw failures from the same campaign.
 
+use std::sync::Arc;
+
 use cmp_platform::Platform;
-use ea_core::ALL_HEURISTICS;
+use ea_core::{Instance, Solver};
 use rayon::prelude::*;
 use spg::{random_spg, SpgGenConfig};
 
-use crate::probe::probe_period;
+use crate::probe::probe_instance;
 use crate::report::fmt_table;
-use crate::runner::run_all_heuristics;
+use crate::runner::{run_portfolio, solver_names};
 
 /// Configuration of one random campaign (one of Figures 10–13).
 #[derive(Debug, Clone)]
@@ -57,9 +59,9 @@ impl RandomXpConfig {
 /// Aggregated statistics of one (ccr, elevation) point.
 #[derive(Debug, Clone)]
 pub struct PointStats {
-    /// Mean of `E_best / E_h` per heuristic (0 contribution on failure).
+    /// Mean of `E_best / E_h` per solver (0 contribution on failure).
     pub mean_inv_norm: Vec<f64>,
-    /// Failure count per heuristic.
+    /// Failure count per solver.
     pub failures: Vec<usize>,
     /// Number of instances at this point.
     pub instances: usize,
@@ -70,13 +72,15 @@ pub struct PointStats {
 pub struct RandomXpData {
     /// The configuration that produced this data.
     pub cfg: RandomXpConfig,
+    /// Solver display names, in portfolio order (column headers).
+    pub names: Vec<String>,
     /// Per-CCR, per-elevation aggregated stats.
     pub points: Vec<Vec<PointStats>>,
 }
 
-/// Runs one campaign.
-pub fn random_campaign(cfg: &RandomXpConfig) -> RandomXpData {
-    let pf = Platform::paper(cfg.p, cfg.q);
+/// Runs one campaign with the given solver portfolio.
+pub fn random_campaign(cfg: &RandomXpConfig, solvers: &[Arc<dyn Solver>]) -> RandomXpData {
+    let pf = Arc::new(Platform::paper(cfg.p, cfg.q));
     let points: Vec<Vec<PointStats>> = cfg
         .ccrs
         .iter()
@@ -90,16 +94,17 @@ pub fn random_campaign(cfg: &RandomXpConfig) -> RandomXpData {
                         .into_par_iter()
                         .map(|app| {
                             let seed = instance_seed(cfg.seed, ci, ei, app);
-                            run_instance(cfg, &pf, ccr, elev, seed)
+                            run_instance(cfg, &pf, ccr, elev, seed, solvers)
                         })
                         .collect();
-                    aggregate(&results)
+                    aggregate(&results, solvers.len())
                 })
                 .collect()
         })
         .collect();
     RandomXpData {
         cfg: cfg.clone(),
+        names: solver_names(solvers),
         points,
     }
 }
@@ -112,14 +117,15 @@ fn instance_seed(base: u64, ci: usize, ei: usize, app: usize) -> u64 {
         .wrapping_add((app as u64).wrapping_mul(0x94D0_49BB_1331_11EB))
 }
 
-/// One instance: generate, probe, run. Returns per-heuristic energies
+/// One instance: generate, probe, run. Returns per-solver energies
 /// (`None` = failure; all-`None` when even the probe fails).
 fn run_instance(
     cfg: &RandomXpConfig,
-    pf: &Platform,
+    pf: &Arc<Platform>,
     ccr: f64,
     elevation: u32,
     seed: u64,
+    solvers: &[Arc<dyn Solver>],
 ) -> Vec<Option<f64>> {
     use rand::SeedableRng;
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
@@ -130,17 +136,17 @@ fn run_instance(
         ..Default::default()
     };
     let g = random_spg(&gen_cfg, &mut rng);
-    match probe_period(&g, pf, seed) {
-        Some(t) => run_all_heuristics(&g, pf, t, seed)
+    let base = Instance::from_shared(Arc::new(g), Arc::clone(pf), 1.0);
+    match probe_instance(&base, seed) {
+        Some(inst) => run_portfolio(&inst, solvers, seed)
             .iter()
             .map(|o| o.energy())
             .collect(),
-        None => vec![None; ALL_HEURISTICS.len()],
+        None => vec![None; solvers.len()],
     }
 }
 
-fn aggregate(results: &[Vec<Option<f64>>]) -> PointStats {
-    let h = ALL_HEURISTICS.len();
+fn aggregate(results: &[Vec<Option<f64>>], h: usize) -> PointStats {
     let mut sum_inv = vec![0.0f64; h];
     let mut failures = vec![0usize; h];
     for energies in results {
@@ -148,7 +154,7 @@ fn aggregate(results: &[Vec<Option<f64>>]) -> PointStats {
             .iter()
             .flatten()
             .copied()
-            .min_by(|a, b| a.partial_cmp(b).unwrap());
+            .min_by(|a, b| a.total_cmp(b));
         for (k, e) in energies.iter().enumerate() {
             match (e, best) {
                 (Some(e), Some(b)) => sum_inv[k] += b / e,
@@ -164,7 +170,7 @@ fn aggregate(results: &[Vec<Option<f64>>]) -> PointStats {
     }
 }
 
-/// Figure text: one block per CCR, rows = elevation, columns = heuristics.
+/// Figure text: one block per CCR, rows = elevation, columns = solvers.
 pub fn figure_text(data: &RandomXpData, title: &str) -> String {
     let mut out = String::new();
     for (ci, &ccr) in data.cfg.ccrs.iter().enumerate() {
@@ -182,7 +188,7 @@ pub fn figure_text(data: &RandomXpData, title: &str) -> String {
             .collect();
         let headers: Vec<&str> = ["elev"]
             .into_iter()
-            .chain(ALL_HEURISTICS.iter().map(|hh| hh.name()))
+            .chain(data.names.iter().map(String::as_str))
             .collect();
         out.push_str(&fmt_table(
             &format!(
@@ -197,12 +203,12 @@ pub fn figure_text(data: &RandomXpData, title: &str) -> String {
     out
 }
 
-/// Table 3 text: failure counts per heuristic per CCR, summed over all
+/// Table 3 text: failure counts per solver per CCR, summed over all
 /// elevations of the campaign.
 pub fn table3_text(data: &RandomXpData) -> String {
     let headers: Vec<&str> = ["CCR"]
         .into_iter()
-        .chain(ALL_HEURISTICS.iter().map(|h| h.name()))
+        .chain(data.names.iter().map(String::as_str))
         .collect();
     let total: usize = data.points[0].iter().map(|p| p.instances).sum();
     let rows: Vec<Vec<String>> = data
@@ -211,7 +217,7 @@ pub fn table3_text(data: &RandomXpData) -> String {
         .iter()
         .enumerate()
         .map(|(ci, &ccr)| {
-            let mut fails = vec![0usize; ALL_HEURISTICS.len()];
+            let mut fails = vec![0usize; data.names.len()];
             for p in &data.points[ci] {
                 for (k, f) in p.failures.iter().enumerate() {
                     fails[k] += f;
@@ -229,17 +235,17 @@ pub fn table3_text(data: &RandomXpData) -> String {
     )
 }
 
-/// CSV rows: one per (ccr, elevation, heuristic).
+/// CSV rows: one per (ccr, elevation, solver).
 pub fn csv_rows(data: &RandomXpData) -> Vec<Vec<String>> {
     let mut rows = Vec::new();
     for (ci, &ccr) in data.cfg.ccrs.iter().enumerate() {
         for (ei, &elev) in data.cfg.elevations.iter().enumerate() {
             let p = &data.points[ci][ei];
-            for (k, h) in ALL_HEURISTICS.iter().enumerate() {
+            for (k, h) in data.names.iter().enumerate() {
                 rows.push(vec![
                     format!("{ccr}"),
                     elev.to_string(),
-                    h.name().to_string(),
+                    h.clone(),
                     format!("{:.5}", p.mean_inv_norm[k]),
                     p.failures[k].to_string(),
                     p.instances.to_string(),

@@ -1,20 +1,26 @@
 //! StreamIt experiments: Table 1, Figures 8–9, Table 2 (paper §6.2.1).
 //!
 //! For each of the 12 workflows and each CCR variant (original, 10, 1, 0.1)
-//! the harness probes the period bound (§6.1.3) and runs the five
-//! heuristics. Figures 8 and 9 report per-heuristic energy normalised by
-//! the best heuristic on each instance (best = 1.000, larger is worse,
-//! `fail` where a heuristic finds no mapping); Table 2 counts failures over
+//! the harness probes the period bound (§6.1.3) and runs the solver
+//! portfolio. Figures 8 and 9 report per-solver energy normalised by
+//! the best solver on each instance (best = 1.000, larger is worse,
+//! `fail` where a solver finds no mapping); Table 2 counts failures over
 //! the 48 instances of each grid size.
+//!
+//! Probe and portfolio share one [`Instance`] per (workflow, CCR) pair, so
+//! `DPA1D`'s interned ideal lattice is enumerated once per instance across
+//! the whole decade sweep and the final portfolio run.
+
+use std::sync::Arc;
 
 use cmp_platform::Platform;
-use ea_core::ALL_HEURISTICS;
+use ea_core::{Instance, Solver};
 use rayon::prelude::*;
 use spg::{streamit_workflow, StreamItSpec, STREAMIT_SPECS};
 
-use crate::probe::probe_period;
+use crate::probe::probe_instance;
 use crate::report::{fmt_norm, fmt_table};
-use crate::runner::{best_energy, run_all_heuristics, HeuristicOutcome};
+use crate::runner::{best_energy, run_portfolio, solver_names, SolverOutcome};
 
 /// The four CCR variants of §6.1.1, in plot order.
 pub const CCR_VARIANTS: [(&str, Option<f64>); 4] = [
@@ -31,21 +37,36 @@ pub struct StreamItInstance {
     pub spec: StreamItSpec,
     /// CCR variant label ("original", "10", "1", "0.1").
     pub ccr_label: &'static str,
-    /// Probed period bound, when any heuristic succeeded at any decade.
+    /// Probed period bound, when any solver succeeded at any decade.
     pub period: Option<f64>,
-    /// One outcome per heuristic (plot order); empty if `period` is None.
-    pub outcomes: Vec<HeuristicOutcome>,
+    /// One outcome per solver (portfolio order); empty if `period` is None.
+    pub outcomes: Vec<SolverOutcome>,
 }
 
-/// Runs the full StreamIt campaign on a `p × q` grid: 12 workflows × 4 CCR
-/// variants = 48 instances.
-pub fn streamit_campaign(p: u32, q: u32, seed: u64) -> Vec<StreamItInstance> {
-    let pf = Platform::paper(p, q);
+/// A full campaign: the solver names (table headers) and the per-instance
+/// results.
+#[derive(Debug, Clone)]
+pub struct StreamItCampaign {
+    /// Solver display names, in portfolio order.
+    pub names: Vec<String>,
+    /// 12 workflows × 4 CCR variants.
+    pub instances: Vec<StreamItInstance>,
+}
+
+/// Runs the full StreamIt campaign on a `p × q` grid with the given solver
+/// portfolio: 12 workflows × 4 CCR variants = 48 instances.
+pub fn streamit_campaign(
+    p: u32,
+    q: u32,
+    seed: u64,
+    solvers: &[Arc<dyn Solver>],
+) -> StreamItCampaign {
+    let pf = Arc::new(Platform::paper(p, q));
     let cases: Vec<(&StreamItSpec, usize)> = STREAMIT_SPECS
         .iter()
         .flat_map(|spec| (0..CCR_VARIANTS.len()).map(move |ci| (spec, ci)))
         .collect();
-    cases
+    let instances = cases
         .into_par_iter()
         .map(|(spec, ci)| {
             let (ccr_label, ccr) = CCR_VARIANTS[ci];
@@ -58,10 +79,15 @@ pub fn streamit_campaign(p: u32, q: u32, seed: u64) -> Vec<StreamItInstance> {
             let inst_seed = seed
                 ^ (spec.index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 ^ (ci as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            let period = probe_period(&g, &pf, inst_seed);
-            let outcomes = period
-                .map(|t| run_all_heuristics(&g, &pf, t, inst_seed))
-                .unwrap_or_default();
+            let base = Instance::from_shared(Arc::new(g), Arc::clone(&pf), 1.0);
+            let probed = probe_instance(&base, inst_seed);
+            let (period, outcomes) = match probed {
+                Some(inst) => (
+                    Some(inst.period()),
+                    run_portfolio(&inst, solvers, inst_seed),
+                ),
+                None => (None, Vec::new()),
+            };
             StreamItInstance {
                 spec: *spec,
                 ccr_label,
@@ -69,7 +95,11 @@ pub fn streamit_campaign(p: u32, q: u32, seed: u64) -> Vec<StreamItInstance> {
                 outcomes,
             }
         })
-        .collect()
+        .collect();
+    StreamItCampaign {
+        names: solver_names(solvers),
+        instances,
+    }
 }
 
 /// Table 1: the characteristics of the (synthetic) StreamIt workflows.
@@ -96,11 +126,11 @@ pub fn table1_text(seed: u64) -> String {
 }
 
 /// Figures 8/9: normalised energy per workflow, one block per CCR variant.
-pub fn figure_text(campaign: &[StreamItInstance], title: &str) -> String {
+pub fn figure_text(campaign: &StreamItCampaign, title: &str) -> String {
     let mut out = String::new();
     for (label, _) in CCR_VARIANTS {
         let mut rows = Vec::new();
-        for inst in campaign.iter().filter(|i| i.ccr_label == label) {
+        for inst in campaign.instances.iter().filter(|i| i.ccr_label == label) {
             let mut row = vec![inst.spec.index.to_string(), inst.spec.name.to_string()];
             match inst.period {
                 Some(t) => {
@@ -114,7 +144,7 @@ pub fn figure_text(campaign: &[StreamItInstance], title: &str) -> String {
                     row.push("-".into());
                     row.extend(std::iter::repeat_n(
                         "fail".to_string(),
-                        ALL_HEURISTICS.len(),
+                        campaign.names.len(),
                     ));
                 }
             }
@@ -123,7 +153,7 @@ pub fn figure_text(campaign: &[StreamItInstance], title: &str) -> String {
         rows.sort_by_key(|r| r[0].parse::<usize>().unwrap());
         let headers: Vec<&str> = ["#", "Workflow", "T(s)"]
             .into_iter()
-            .chain(ALL_HEURISTICS.iter().map(|h| h.name()))
+            .chain(campaign.names.iter().map(String::as_str))
             .collect();
         out.push_str(&fmt_table(
             &format!("{title} — CCR = {label}"),
@@ -135,10 +165,10 @@ pub fn figure_text(campaign: &[StreamItInstance], title: &str) -> String {
     out
 }
 
-/// Table 2: per-heuristic failure counts over one grid's 48 instances.
-pub fn count_failures(campaign: &[StreamItInstance]) -> Vec<usize> {
-    let mut fails = vec![0usize; ALL_HEURISTICS.len()];
-    for inst in campaign {
+/// Table 2: per-solver failure counts over one campaign's 48 instances.
+pub fn count_failures(campaign: &StreamItCampaign) -> Vec<usize> {
+    let mut fails = vec![0usize; campaign.names.len()];
+    for inst in &campaign.instances {
         if inst.outcomes.is_empty() {
             for f in fails.iter_mut() {
                 *f += 1;
@@ -155,12 +185,12 @@ pub fn count_failures(campaign: &[StreamItInstance]) -> Vec<usize> {
 }
 
 /// Table 2 text from the two grid campaigns.
-pub fn table2_text(c44: &[StreamItInstance], c66: &[StreamItInstance]) -> String {
+pub fn table2_text(c44: &StreamItCampaign, c66: &StreamItCampaign) -> String {
     let headers: Vec<&str> = ["Platform"]
         .into_iter()
-        .chain(ALL_HEURISTICS.iter().map(|h| h.name()))
+        .chain(c44.names.iter().map(String::as_str))
         .collect();
-    let row = |label: &str, c: &[StreamItInstance]| {
+    let row = |label: &str, c: &StreamItCampaign| {
         let mut r = vec![label.to_string()];
         r.extend(count_failures(c).iter().map(|f| f.to_string()));
         r
@@ -172,10 +202,10 @@ pub fn table2_text(c44: &[StreamItInstance], c66: &[StreamItInstance]) -> String
     )
 }
 
-/// CSV rows for a campaign (one row per instance × heuristic).
-pub fn campaign_csv_rows(campaign: &[StreamItInstance], grid: &str) -> Vec<Vec<String>> {
+/// CSV rows for a campaign (one row per instance × solver).
+pub fn campaign_csv_rows(campaign: &StreamItCampaign, grid: &str) -> Vec<Vec<String>> {
     let mut rows = Vec::new();
-    for inst in campaign {
+    for inst in &campaign.instances {
         let best = best_energy(&inst.outcomes);
         for o in &inst.outcomes {
             rows.push(vec![
@@ -184,7 +214,7 @@ pub fn campaign_csv_rows(campaign: &[StreamItInstance], grid: &str) -> Vec<Vec<S
                 inst.spec.name.to_string(),
                 inst.ccr_label.to_string(),
                 inst.period.map_or("-".into(), |t| format!("{t:e}")),
-                o.kind.name().to_string(),
+                o.name.clone(),
                 o.energy().map_or("fail".into(), |e| format!("{e:e}")),
                 o.energy()
                     .zip(best)

@@ -31,6 +31,7 @@ use spg::ideal::{enumerate_ideals, IdealId, IdealLattice};
 use spg::{NodeSet, Spg, StageId};
 
 use crate::common::{validated, Failure, Solution};
+use crate::instance::SharedLattice;
 
 /// Complexity budgets for `DPA1D`.
 #[derive(Debug, Clone)]
@@ -80,28 +81,76 @@ struct TransitionBlock {
 }
 
 /// Runs `DPA1D` on the snake embedding of `pf`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ea_core::solvers::Dpa1d` with an `Instance` (shares the interned lattice across calls)"
+)]
 pub fn dpa1d(
     spg: &Spg,
     pf: &Platform,
     period: f64,
     cfg: &Dpa1dConfig,
 ) -> Result<Solution, Failure> {
-    let chain = solve_chain(spg, pf, period, cfg)?;
+    dpa1d_run(spg, pf, period, cfg, None)
+}
+
+/// `DPA1D` on an optionally pre-enumerated lattice. `None` enumerates
+/// locally (legacy behaviour); the [`crate::solvers::Dpa1d`] solver passes
+/// the instance's cached [`SharedLattice`].
+pub(crate) fn dpa1d_run(
+    spg: &Spg,
+    pf: &Platform,
+    period: f64,
+    cfg: &Dpa1dConfig,
+    shared: Option<&SharedLattice>,
+) -> Result<Solution, Failure> {
+    let chain = match shared {
+        Some(sh) => solve_chain_on(spg, pf, period, cfg, &sh.lattice, &sh.cuts)?,
+        None => solve_chain(spg, pf, period, cfg)?,
+    };
     build_snake_solution(spg, pf, period, &chain)
 }
 
 /// The optimal chain of clusters (at most `pf.n_cores()` of them) for the
-/// uni-directional uni-line configuration. Exposed crate-internally for
-/// cross-checks.
+/// uni-directional uni-line configuration, enumerating the lattice locally.
+/// Exposed crate-internally for cross-checks.
 pub(crate) fn solve_chain(
     spg: &Spg,
     pf: &Platform,
     period: f64,
     cfg: &Dpa1dConfig,
 ) -> Result<Vec<Vec<StageId>>, Failure> {
-    let r = pf.n_cores();
     let lattice =
         enumerate_ideals(spg, cfg.ideal_cap).map_err(|e| Failure::TooExpensive(e.to_string()))?;
+    // Per-ideal cut volumes (traffic on the uni-line link right after the
+    // ideal). An ideal whose cut exceeds the bandwidth-period product can
+    // never be a cluster boundary (its outgoing link is overloaded), so its
+    // extensions are not even materialised; feasible cuts precompute their
+    // hop energy in `materialize_transitions`.
+    let cuts: Vec<f64> = lattice.iter().map(|s| spg.cut_volume(s)).collect();
+    solve_chain_on(spg, pf, period, cfg, &lattice, &cuts)
+}
+
+/// The Theorem 1 dynamic program over an already-enumerated lattice with
+/// precomputed per-ideal cut volumes. Enforces `cfg.ideal_cap` on the given
+/// lattice too, so a shared over-cap lattice still fails this solver the
+/// way a local enumeration would.
+pub(crate) fn solve_chain_on(
+    spg: &Spg,
+    pf: &Platform,
+    period: f64,
+    cfg: &Dpa1dConfig,
+    lattice: &IdealLattice,
+    cuts: &[f64],
+) -> Result<Vec<Vec<StageId>>, Failure> {
+    debug_assert_eq!(cuts.len(), lattice.len());
+    if lattice.len() > cfg.ideal_cap {
+        return Err(Failure::TooExpensive(format!(
+            "ideal lattice exceeds the cap of {} ideals",
+            cfg.ideal_cap
+        )));
+    }
+    let r = pf.n_cores();
     let n_ideals = lattice.len();
     let tol = 1.0 + REL_TOL;
     // Strictly *below* the evaluator's tolerance band so every enumerated
@@ -110,19 +159,12 @@ pub(crate) fn solve_chain(
     let cap_work = period * pf.power.max_freq();
     let bw_cap = period * pf.bw * tol;
 
-    // Per-ideal cut volumes (traffic on the uni-line link right after the
-    // ideal). An ideal whose cut exceeds the bandwidth-period product can
-    // never be a cluster boundary (its outgoing link is overloaded), so its
-    // extensions are not even materialised; feasible cuts precompute their
-    // hop energy here.
-    let cuts: Vec<f64> = lattice.iter().map(|s| spg.cut_volume(s)).collect();
-
     let (blocks, transitions) = materialize_transitions(
         spg,
         pf,
         period,
-        &lattice,
-        &cuts,
+        lattice,
+        cuts,
         bw_cap,
         cap_work,
         cfg.edge_cap,
@@ -411,7 +453,7 @@ mod tests {
     fn single_core_when_period_is_loose() {
         let pf = Platform::paper(4, 4);
         let g = chain(&[1e6; 10], &[1e3; 9]);
-        let sol = dpa1d(&g, &pf, 1.0, &Dpa1dConfig::default()).unwrap();
+        let sol = dpa1d_run(&g, &pf, 1.0, &Dpa1dConfig::default(), None).unwrap();
         assert_eq!(sol.eval.active_cores, 1);
         let expect = 0.08 + (1e7 / 0.15e9) * 0.08;
         assert!((sol.energy() - expect).abs() < 1e-9);
@@ -422,7 +464,7 @@ mod tests {
         let pf = Platform::paper(2, 2);
         // 4 stages of 0.9e9 cycles: one per core at 1 GHz for T = 1.
         let g = chain(&[0.9e9; 4], &[1e3; 3]);
-        let sol = dpa1d(&g, &pf, 1.0, &Dpa1dConfig::default()).unwrap();
+        let sol = dpa1d_run(&g, &pf, 1.0, &Dpa1dConfig::default(), None).unwrap();
         assert_eq!(sol.eval.active_cores, 4);
     }
 
@@ -431,7 +473,7 @@ mod tests {
         let pf = Platform::paper(1, 2);
         let g = chain(&[0.9e9; 3], &[1e3; 2]);
         assert!(matches!(
-            dpa1d(&g, &pf, 1.0, &Dpa1dConfig::default()),
+            dpa1d_run(&g, &pf, 1.0, &Dpa1dConfig::default(), None),
             Err(Failure::NoValidMapping(_))
         ));
     }
@@ -447,7 +489,7 @@ mod tests {
             ..Default::default()
         };
         assert!(matches!(
-            dpa1d(&g, &pf, 1.0, &cfg),
+            dpa1d_run(&g, &pf, 1.0, &cfg, None),
             Err(Failure::TooExpensive(_))
         ));
     }
@@ -458,7 +500,7 @@ mod tests {
         // for the link: DPA1D must fail rather than emit an invalid mapping.
         let pf = Platform::paper(1, 2);
         let g = chain(&[0.9e9, 0.9e9], &[25e9]);
-        assert!(dpa1d(&g, &pf, 1.0, &Dpa1dConfig::default()).is_err());
+        assert!(dpa1d_run(&g, &pf, 1.0, &Dpa1dConfig::default(), None).is_err());
     }
 
     #[test]
@@ -484,7 +526,7 @@ mod tests {
         // The DP's internal cost model must agree with the shared evaluator.
         let pf = Platform::paper(2, 3);
         let g = chain(&[0.5e9, 0.3e9, 0.7e9, 0.2e9], &[1e6, 5e6, 2e6]);
-        let sol = dpa1d(&g, &pf, 1.0, &Dpa1dConfig::default()).unwrap();
+        let sol = dpa1d_run(&g, &pf, 1.0, &Dpa1dConfig::default(), None).unwrap();
         // Recompute through the evaluator (already done inside validated);
         // here we just sanity-check decomposition adds up.
         let e = &sol.eval;

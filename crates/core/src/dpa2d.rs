@@ -33,7 +33,17 @@ use crate::common::{validated, Failure, Solution};
 
 /// Runs `DPA2D` on the physical grid and validates the result with
 /// row-first XY routing.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ea_core::solvers::Dpa2d` with an `Instance`"
+)]
 pub fn dpa2d(spg: &Spg, pf: &Platform, period: f64) -> Result<Solution, Failure> {
+    dpa2d_run(spg, pf, period)
+}
+
+/// `DPA2D` implementation behind both the deprecated free function and the
+/// [`crate::solvers::Dpa2d`] solver.
+pub(crate) fn dpa2d_run(spg: &Spg, pf: &Platform, period: f64) -> Result<Solution, Failure> {
     let alloc = dpa2d_alloc(spg, pf, period)?;
     let speed = assign_min_speeds(spg, pf, &alloc, period)
         .ok_or_else(|| Failure::NoValidMapping("speed assignment failed".into()))?;
@@ -406,7 +416,7 @@ mod tests {
     fn single_column_when_period_is_loose() {
         let pf = Platform::paper(4, 4);
         let g = chain(&[1e6; 10], &[1e3; 9]);
-        let sol = dpa2d(&g, &pf, 1.0).unwrap();
+        let sol = dpa2d_run(&g, &pf, 1.0).unwrap();
         assert_eq!(sol.eval.active_cores, 1, "a loose pipeline fits one core");
     }
 
@@ -417,10 +427,10 @@ mod tests {
         let g = chain(&[0.9e9; 8], &[1e3; 7]);
         // 8 stages of 0.9e9 cycles at T=1s need 8 cores -> must fail with
         // only 4 columns.
-        assert!(dpa2d(&g, &pf, 1.0).is_err());
+        assert!(dpa2d_run(&g, &pf, 1.0).is_err());
         // 4 stages fit (one per column).
         let g = chain(&[0.9e9; 4], &[1e3; 3]);
-        let sol = dpa2d(&g, &pf, 1.0).unwrap();
+        let sol = dpa2d_run(&g, &pf, 1.0).unwrap();
         assert_eq!(sol.eval.active_cores, 4);
     }
 
@@ -433,7 +443,7 @@ mod tests {
             .map(|_| chain(&[1e3, 0.8e9, 0.8e9, 1e3], &[1e4; 3]))
             .collect();
         let g = parallel_many(&branches);
-        let sol = dpa2d(&g, &pf, 1.0).unwrap();
+        let sol = dpa2d_run(&g, &pf, 1.0).unwrap();
         // 8 heavy inner stages; needs well over 4 cores, across rows.
         assert!(sol.eval.active_cores > 4);
         let rows: HashSet<u32> = sol.mapping.alloc.iter().map(|c| c.u).collect();
@@ -471,6 +481,6 @@ mod tests {
     fn infeasible_period_fails() {
         let pf = Platform::paper(2, 2);
         let g = chain(&[3e9, 1.0], &[1.0]);
-        assert!(dpa2d(&g, &pf, 1.0).is_err());
+        assert!(dpa2d_run(&g, &pf, 1.0).is_err());
     }
 }

@@ -53,11 +53,27 @@ impl Default for ExactConfig {
 }
 
 /// Finds the minimum-energy valid mapping by exhaustive search.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ea_core::solvers::Exact` with an `Instance`"
+)]
 pub fn exact(
     spg: &Spg,
     pf: &Platform,
     period: f64,
     cfg: &ExactConfig,
+) -> Result<Solution, Failure> {
+    exact_run(spg, pf, period, cfg, &spg.topo_order())
+}
+
+/// Exhaustive search over a caller-provided topological stage order (the
+/// [`crate::solvers::Exact`] solver passes the instance's cached order).
+pub(crate) fn exact_run(
+    spg: &Spg,
+    pf: &Platform,
+    period: f64,
+    cfg: &ExactConfig,
+    order: &[StageId],
 ) -> Result<Solution, Failure> {
     let n = spg.n();
     if n > cfg.max_stages {
@@ -66,16 +82,16 @@ pub fn exact(
             cfg.max_stages
         )));
     }
+    debug_assert_eq!(order.len(), n);
     let r = pf.n_cores();
     let cap_work = period * pf.power.max_freq() * (1.0 + REL_TOL);
-    let order = spg.topo_order();
 
     let mut best: Option<Solution> = None;
     let mut assignment: Vec<usize> = vec![usize::MAX; n]; // stage -> block
     let mut block_work: Vec<f64> = Vec::new();
     enumerate_partitions(
         spg,
-        &order,
+        order,
         0,
         &mut assignment,
         &mut block_work,
@@ -237,8 +253,19 @@ fn place_blocks(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dpa1d::{dpa1d, Dpa1dConfig};
+    use crate::dpa1d::{dpa1d_run, Dpa1dConfig};
     use spg::{chain, parallel};
+
+    /// Non-deprecated local stand-in for the legacy free function (shadows
+    /// the glob import), so the tests exercise `exact_run` directly.
+    fn exact(
+        spg: &Spg,
+        pf: &Platform,
+        period: f64,
+        cfg: &ExactConfig,
+    ) -> Result<Solution, Failure> {
+        exact_run(spg, pf, period, cfg, &spg.topo_order())
+    }
 
     #[test]
     fn single_stage_pair_on_one_core() {
@@ -269,7 +296,7 @@ mod tests {
         let g = chain(&[0.5e9, 0.4e9, 0.3e9, 0.2e9], &[1e5, 2e5, 3e5]);
         let t = 1.0;
         let ex = exact(&g, &pf, t, &ExactConfig::default()).unwrap();
-        let dp = dpa1d(&g, &pf, t, &Dpa1dConfig::default()).unwrap();
+        let dp = dpa1d_run(&g, &pf, t, &Dpa1dConfig::default(), None).unwrap();
         assert!(
             (ex.energy() - dp.energy()).abs() < 1e-9,
             "exact {} vs dpa1d {}",

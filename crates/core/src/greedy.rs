@@ -35,6 +35,10 @@ use crate::common::{better, validated, Failure, Solution};
 
 /// Runs `Greedy`: one wavefront pass per available speed, downgrade, keep
 /// the lowest-energy valid mapping.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ea_core::solvers::Greedy` with an `Instance` (skips provably infeasible speeds)"
+)]
 pub fn greedy(spg: &Spg, pf: &Platform, period: f64) -> Result<Solution, Failure> {
     greedy_opts(spg, pf, period, true)
 }
@@ -47,8 +51,23 @@ pub fn greedy_opts(
     period: f64,
     downgrade: bool,
 ) -> Result<Solution, Failure> {
+    greedy_run(spg, pf, period, downgrade, 0)
+}
+
+/// `Greedy` starting from speed index `k_lo`. The [`crate::solvers::Greedy`]
+/// solver passes the instance's shared speed-feasibility floor: a wavefront
+/// pass at a speed below the heaviest stage's slowest feasible speed can
+/// never place that stage, so those passes are skipped without changing the
+/// result.
+pub(crate) fn greedy_run(
+    spg: &Spg,
+    pf: &Platform,
+    period: f64,
+    downgrade: bool,
+    k_lo: usize,
+) -> Result<Solution, Failure> {
     let mut best: Option<Solution> = None;
-    for k in 0..pf.power.m() {
+    for k in k_lo..pf.power.m() {
         best = better(best, greedy_at_speed(spg, pf, period, k, downgrade));
     }
     best.ok_or_else(|| Failure::NoValidMapping("greedy failed at every speed".into()))
@@ -216,7 +235,7 @@ mod tests {
     fn loose_period_collapses_to_single_core() {
         let pf = Platform::paper(4, 4);
         let g = chain(&[1e6; 10], &[1e3; 9]);
-        let sol = greedy(&g, &pf, 1.0).unwrap();
+        let sol = greedy_opts(&g, &pf, 1.0, true).unwrap();
         assert_eq!(sol.eval.active_cores, 1, "everything fits one slow core");
         // Energy = leak + dynamic at the slowest speed.
         let expect = 0.08 + (1e7 / 0.15e9) * 0.08;
@@ -229,7 +248,7 @@ mod tests {
         // 8 stages of 0.5e9 cycles each; at 1 GHz each core fits 2 per
         // second, so at least 4 cores are needed for T = 1.
         let g = chain(&[0.5e9; 8], &[1e3; 7]);
-        let sol = greedy(&g, &pf, 1.0).unwrap();
+        let sol = greedy_opts(&g, &pf, 1.0, true).unwrap();
         assert!(sol.eval.active_cores >= 4);
     }
 
@@ -237,7 +256,7 @@ mod tests {
     fn impossible_period_fails() {
         let pf = Platform::paper(2, 2);
         let g = chain(&[2e9, 1.0], &[1.0]);
-        assert!(greedy(&g, &pf, 1.0).is_err());
+        assert!(greedy_opts(&g, &pf, 1.0, true).is_err());
     }
 
     #[test]
@@ -248,7 +267,7 @@ mod tests {
             .map(|_| chain(&[1e3, 0.4e9, 1e3], &[1e4; 2]))
             .collect();
         let g = parallel_many(&branches);
-        let sol = greedy(&g, &pf, 1.0).unwrap();
+        let sol = greedy_opts(&g, &pf, 1.0, true).unwrap();
         assert!(sol.eval.active_cores >= 2);
     }
 
@@ -267,7 +286,7 @@ mod tests {
         };
         let g = spg::random_spg(&cfg, &mut rng);
         let t = 0.05;
-        if let Ok(sol) = greedy(&g, &pf, t) {
+        if let Ok(sol) = greedy_opts(&g, &pf, t, true) {
             // Re-deriving min speeds for its allocation must reproduce it.
             let speeds = assign_min_speeds(&g, &pf, &sol.mapping.alloc, t).unwrap();
             let m = Mapping {

@@ -1,0 +1,280 @@
+//! Solver-session state: an [`Instance`] owns one `(workload, platform,
+//! period)` triple and lazily caches the derived structures that several
+//! algorithms share — so a portfolio run (or a period probe) computes them
+//! once instead of once per solver call.
+//!
+//! Cached today:
+//!
+//! * the **interned ideal lattice** with its per-ideal cut volumes
+//!   ([`SharedLattice`]) — the dominant cost of `DPA1D`, and
+//!   period-independent, so one enumeration serves every probe decade and
+//!   every portfolio member;
+//! * the **snake order** of the grid (used by `DPA1D` and `DPA2D1D`);
+//! * the **topological stage order** (used by the exact solver);
+//! * the per-stage **speed-feasibility table** (the slowest speed able to
+//!   run each stage alone within the period) — a shared quick-reject: if
+//!   any single stage cannot meet the period at the fastest speed, *no*
+//!   mapping exists and every solver can fail without searching.
+//!
+//! The period-independent caches live behind an `Arc`, so
+//! [`Instance::with_period`] re-targets the period while keeping the
+//! lattice, snake, and topological order warm — exactly what the §6.1.3
+//! period probe needs.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use cmp_platform::{snake_core, CoreId, Platform};
+use spg::ideal::{enumerate_ideals, IdealError, IdealLattice};
+use spg::{Spg, StageId};
+
+/// The interned ideal lattice of an instance together with the per-ideal
+/// cut volumes `DPA1D` prices its uni-line links with. Both are
+/// period-independent, so the pair is shared across solver calls and probe
+/// decades via `Arc`.
+pub struct SharedLattice {
+    /// The interned lattice (see [`spg::ideal`]).
+    pub lattice: IdealLattice,
+    /// `cuts[i]` = cut volume of ideal `i` (traffic on the uni-line link
+    /// right after it).
+    pub cuts: Vec<f64>,
+}
+
+/// Cached lattice state: the cap the last enumeration ran with, and its
+/// outcome. A success with `len ≤ cap'` answers any request with cap ≥ len;
+/// a `LimitExceeded` at cap `c` answers any request with cap ≤ `c`.
+type LatticeSlot = Mutex<Option<(usize, Result<Arc<SharedLattice>, IdealError>)>>;
+
+/// Period-independent derived structures, shared between an instance and
+/// its [`Instance::with_period`] re-targets.
+#[derive(Default)]
+struct Derived {
+    lattice: LatticeSlot,
+    snake: OnceLock<Vec<CoreId>>,
+    topo: OnceLock<Vec<StageId>>,
+}
+
+/// One solve session: a workload, a platform, a period bound, and the
+/// lazily cached derived structures shared by the solvers.
+///
+/// ```
+/// use ea_core::{Instance, SolveCtx, Solver};
+/// use ea_core::solvers::Greedy;
+/// use cmp_platform::Platform;
+///
+/// let inst = Instance::new(spg::chain(&[1e8; 4], &[1e3; 3]), Platform::paper(2, 2), 1.0);
+/// let sol = Greedy::default().solve(&inst, &SolveCtx::new(0)).unwrap();
+/// assert!(sol.energy() > 0.0);
+/// ```
+pub struct Instance {
+    spg: Arc<Spg>,
+    pf: Arc<Platform>,
+    period: f64,
+    derived: Arc<Derived>,
+    /// Per-stage slowest feasible speed at this period (`None` = the stage
+    /// alone misses the period even at top speed). Period-dependent, so not
+    /// part of [`Derived`].
+    min_speeds: OnceLock<Vec<Option<usize>>>,
+}
+
+impl Clone for Instance {
+    fn clone(&self) -> Self {
+        Instance {
+            spg: Arc::clone(&self.spg),
+            pf: Arc::clone(&self.pf),
+            period: self.period,
+            derived: Arc::clone(&self.derived),
+            min_speeds: self.min_speeds.clone(),
+        }
+    }
+}
+
+impl Instance {
+    /// Wraps a workload, platform, and period bound into a session.
+    pub fn new(spg: Spg, pf: Platform, period: f64) -> Self {
+        Instance::from_shared(Arc::new(spg), Arc::new(pf), period)
+    }
+
+    /// Like [`Instance::new`] but sharing already-`Arc`ed inputs (avoids
+    /// cloning a large graph when the caller keeps its own handle).
+    pub fn from_shared(spg: Arc<Spg>, pf: Arc<Platform>, period: f64) -> Self {
+        assert!(period > 0.0, "period bound must be positive");
+        Instance {
+            spg,
+            pf,
+            period,
+            derived: Arc::new(Derived::default()),
+            min_speeds: OnceLock::new(),
+        }
+    }
+
+    /// The workload.
+    #[inline]
+    pub fn spg(&self) -> &Spg {
+        &self.spg
+    }
+
+    /// The platform.
+    #[inline]
+    pub fn platform(&self) -> &Platform {
+        &self.pf
+    }
+
+    /// The period bound `T`.
+    #[inline]
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// A session for the same workload and platform at a different period,
+    /// **sharing** the period-independent caches (lattice, snake,
+    /// topological order). This is what makes the §6.1.3 decade probe cheap:
+    /// the lattice is enumerated once across all probed periods.
+    pub fn with_period(&self, period: f64) -> Instance {
+        assert!(period > 0.0, "period bound must be positive");
+        Instance {
+            spg: Arc::clone(&self.spg),
+            pf: Arc::clone(&self.pf),
+            period,
+            derived: Arc::clone(&self.derived),
+            min_speeds: OnceLock::new(),
+        }
+    }
+
+    /// The interned ideal lattice (plus cut volumes), enumerated under
+    /// `cap`. Cached: a previous successful enumeration is reused whenever
+    /// it fits the requested cap, and a previous `LimitExceeded` at a cap
+    /// at least as large answers the request without re-enumerating.
+    pub fn lattice(&self, cap: usize) -> Result<Arc<SharedLattice>, IdealError> {
+        let mut slot = self.derived.lattice.lock().unwrap();
+        if let Some((cached_cap, res)) = slot.as_ref() {
+            match res {
+                Ok(sh) if sh.lattice.len() <= cap => return Ok(Arc::clone(sh)),
+                // A cached success larger than the requested cap is itself
+                // proof the enumeration would exceed `cap`: answer without
+                // re-enumerating and without evicting the success.
+                Ok(_) => return Err(IdealError::LimitExceeded { cap }),
+                Err(e) if cap <= *cached_cap => return Err(e.clone()),
+                _ => {}
+            }
+        }
+        let res = enumerate_ideals(&self.spg, cap).map(|lattice| {
+            let cuts = lattice.iter().map(|s| self.spg.cut_volume(s)).collect();
+            Arc::new(SharedLattice { lattice, cuts })
+        });
+        *slot = Some((cap, res.clone()));
+        res
+    }
+
+    /// The snake embedding of the grid: `snake_order()[k]` is the physical
+    /// core at snake position `k`.
+    pub fn snake_order(&self) -> &[CoreId] {
+        self.derived.snake.get_or_init(|| {
+            (0..self.pf.n_cores())
+                .map(|k| snake_core(&self.pf, k))
+                .collect()
+        })
+    }
+
+    /// A topological order of the stages.
+    pub fn topo_order(&self) -> &[StageId] {
+        self.derived.topo.get_or_init(|| self.spg.topo_order())
+    }
+
+    /// Per-stage speed-feasibility table: `stage_min_speeds()[s]` is the
+    /// slowest speed index at which stage `s` *alone* meets the period, or
+    /// `None` when even the fastest speed misses it.
+    pub fn stage_min_speeds(&self) -> &[Option<usize>] {
+        self.min_speeds.get_or_init(|| {
+            self.spg
+                .stages()
+                .map(|s| self.pf.power.min_speed_for(self.spg.weight(s), self.period))
+                .collect()
+        })
+    }
+
+    /// The first stage (if any) that cannot meet the period even alone at
+    /// the fastest speed — a certificate that the whole instance is
+    /// infeasible, shared by every solver as a pre-search reject.
+    pub fn infeasible_stage(&self) -> Option<StageId> {
+        self.stage_min_speeds()
+            .iter()
+            .position(Option::is_none)
+            .map(|i| StageId(i as u32))
+    }
+
+    /// The slowest speed index at which *every* stage individually meets
+    /// the period — no uniform-speed pass below it can ever place all
+    /// stages. `None` when the instance is infeasible per
+    /// [`Instance::infeasible_stage`].
+    pub fn min_uniform_speed(&self) -> Option<usize> {
+        self.stage_min_speeds()
+            .iter()
+            .copied()
+            .try_fold(0usize, |acc, k| k.map(|k| acc.max(k)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spg::chain;
+
+    #[test]
+    fn lattice_is_cached_and_shared_across_periods() {
+        let g = chain(&[1e6; 6], &[1e3; 5]);
+        let inst = Instance::new(g, Platform::paper(2, 2), 1.0);
+        let a = inst.lattice(10_000).unwrap();
+        let b = inst.with_period(0.1).lattice(10_000).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "with_period must share the lattice");
+        assert_eq!(a.lattice.len(), 7, "a 6-chain has 7 ideals");
+        assert_eq!(a.cuts.len(), a.lattice.len());
+    }
+
+    #[test]
+    fn lattice_cap_logic() {
+        // 6-chain: 7 ideals. cap 3 fails; a later cap 100 succeeds; a
+        // repeat cap 2 must fail again (not reuse the success).
+        let g = chain(&[1e6; 6], &[1e3; 5]);
+        let inst = Instance::new(g, Platform::paper(2, 2), 1.0);
+        assert!(inst.lattice(3).is_err());
+        let ok = inst.lattice(100).unwrap();
+        assert_eq!(ok.lattice.len(), 7);
+        // Success (7 ideals) also answers caps >= 7.
+        assert!(Arc::ptr_eq(&inst.lattice(7).unwrap(), &ok));
+        // An under-cap request fails off the cached length alone...
+        assert!(matches!(
+            inst.lattice(2),
+            Err(IdealError::LimitExceeded { cap: 2 })
+        ));
+        // ...without evicting the cached success.
+        assert!(Arc::ptr_eq(&inst.lattice(100).unwrap(), &ok));
+    }
+
+    #[test]
+    fn speed_table_and_quick_reject() {
+        let pf = Platform::paper(2, 2);
+        let g = chain(&[1e8, 5e8, 2e9], &[1e3, 1e3]);
+        let inst = Instance::new(g.clone(), pf.clone(), 1.0);
+        // 2e9 cycles in 1 s needs 2 GHz: infeasible.
+        assert!(inst.infeasible_stage().is_some());
+        assert_eq!(inst.min_uniform_speed(), None);
+        // At T = 10 s everything fits; the binding stage is 2e9 -> 0.2 GHz
+        // -> speed index 1 (0.4 GHz).
+        let loose = inst.with_period(10.0);
+        assert_eq!(loose.infeasible_stage(), None);
+        assert_eq!(loose.min_uniform_speed(), Some(1));
+    }
+
+    #[test]
+    fn snake_and_topo_are_cached() {
+        let g = chain(&[1e6; 3], &[1e3; 2]);
+        let inst = Instance::new(g, Platform::paper(2, 3), 1.0);
+        assert_eq!(inst.snake_order().len(), 6);
+        assert_eq!(inst.topo_order().len(), 3);
+        // Second call returns the same slice (cache hit).
+        assert_eq!(
+            inst.snake_order().as_ptr(),
+            inst.with_period(2.0).snake_order().as_ptr()
+        );
+    }
+}

@@ -4,19 +4,45 @@
 //! for the NP-hard `MinEnergy(T)` problem, plus an exhaustive exact solver
 //! standing in for the §4.4 integer linear program.
 //!
-//! | Algorithm | Paper | Module |
+//! | Algorithm | Paper | Solver |
 //! |---|---|---|
-//! | `Random` — random DAG-partition chain, random placement, best of 10 | §5.1 | [`mod@random`] |
-//! | `Greedy` — wavefront growth from `C_{1,1}` at each speed, downgrade | §5.2 | [`mod@greedy`] |
-//! | `DPA2D` — nested column/row dynamic programs on the label grid | §5.3 | [`mod@dpa2d`] |
-//! | `DPA1D` — optimal uni-line DP over order ideals (Theorem 1), snaked | §5.4 | [`mod@dpa1d`] |
-//! | `DPA2D1D` — `DPA2D` on a virtual `1 × pq` CMP, snaked | §5.4 | [`mod@dpa2d1d`] |
-//! | exact — exhaustive DAG-partitions × placements × XY routes | §4.4 | [`mod@exact`] |
+//! | `Random` — random DAG-partition chain, random placement, best of 10 | §5.1 | [`solvers::Random`] |
+//! | `Greedy` — wavefront growth from `C_{1,1}` at each speed, downgrade | §5.2 | [`solvers::Greedy`] |
+//! | `DPA2D` — nested column/row dynamic programs on the label grid | §5.3 | [`solvers::Dpa2d`] |
+//! | `DPA1D` — optimal uni-line DP over order ideals (Theorem 1), snaked | §5.4 | [`solvers::Dpa1d`] |
+//! | `DPA2D1D` — `DPA2D` on a virtual `1 × pq` CMP, snaked | §5.4 | [`solvers::Dpa2d1d`] |
+//! | exact — exhaustive DAG-partitions × placements × XY routes | §4.4 | [`solvers::Exact`] |
+//!
+//! ## The solve API
+//!
+//! Wrap a workload, platform, and period into an [`Instance`] (which
+//! lazily caches the derived structures the algorithms share — most
+//! importantly `DPA1D`'s interned ideal lattice), then run a single
+//! [`Solver`] or a whole [`Portfolio`]:
+//!
+//! ```
+//! use ea_core::{Instance, Portfolio};
+//! use cmp_platform::Platform;
+//!
+//! let inst = Instance::new(spg::chain(&[2e8; 8], &[1e4; 7]), Platform::paper(4, 4), 0.5);
+//! let report = Portfolio::heuristics().seeded(42).run(&inst);
+//! for run in &report.runs {
+//!     println!("{}: {:?} in {:?}", run.name, run.energy(), run.wall);
+//! }
+//! let best = report.best_solution().expect("a loose pipeline is feasible");
+//! assert!(best.eval.max_cycle_time <= 0.5 * (1.0 + 1e-9));
+//! ```
+//!
+//! [`SolverRegistry`] resolves paper-style names (`"greedy"`,
+//! `"DPA1D"`, `"refined:dpa2d"`, …) for config/CLI-driven selection.
 //!
 //! Every algorithm returns a [`Solution`] whose mapping has been
 //! re-validated by `cmp_mapping::evaluate`, or a [`Failure`] explaining why
 //! no valid mapping was produced (the paper's "heuristic fails" outcomes,
 //! counted in Tables 2 and 3).
+//!
+//! The pre-0.2 free functions (`run_heuristic`, `dpa1d`, `exact`, …) remain
+//! as thin `#[deprecated]` shims over the same implementations.
 
 pub mod common;
 pub mod dpa1d;
@@ -24,22 +50,45 @@ pub mod dpa2d;
 pub mod dpa2d1d;
 pub mod exact;
 pub mod greedy;
+pub mod instance;
+pub mod portfolio;
 pub mod random;
 pub mod refine;
+pub mod solver;
+pub mod solvers;
 
 pub use common::{Failure, HeuristicKind, Solution, ALL_HEURISTICS};
-pub use dpa1d::{dpa1d, Dpa1dConfig};
-pub use dpa2d::dpa2d;
-pub use dpa2d1d::dpa2d1d;
-pub use exact::{exact, ExactConfig, PartitionRule};
-pub use greedy::{greedy, greedy_opts};
-pub use random::random_heuristic;
+pub use dpa1d::Dpa1dConfig;
+pub use exact::{ExactConfig, PartitionRule};
+pub use greedy::greedy_opts;
+pub use instance::{Instance, SharedLattice};
+pub use portfolio::{Portfolio, PortfolioReport, Race, SolverRun};
 pub use refine::{refine, RefineConfig};
+pub use solver::{SolveCtx, Solver, SolverRegistry};
+
+// Deprecated pre-0.2 free-function surface, re-exported for downstream
+// compatibility (each carries its own `#[deprecated]` note).
+#[allow(deprecated)]
+pub use dpa1d::dpa1d;
+#[allow(deprecated)]
+pub use dpa2d::dpa2d;
+#[allow(deprecated)]
+pub use dpa2d1d::dpa2d1d;
+#[allow(deprecated)]
+pub use exact::exact;
+#[allow(deprecated)]
+pub use greedy::greedy;
+#[allow(deprecated)]
+pub use random::random_heuristic;
 
 use cmp_platform::Platform;
 use spg::Spg;
 
 /// Runs one heuristic by kind. `seed` only affects [`HeuristicKind::Random`].
+#[deprecated(
+    since = "0.2.0",
+    note = "build an `Instance` and use `HeuristicKind::solver` (or `Portfolio`) instead"
+)]
 pub fn run_heuristic(
     kind: HeuristicKind,
     spg: &Spg,
@@ -47,11 +96,6 @@ pub fn run_heuristic(
     period: f64,
     seed: u64,
 ) -> Result<Solution, Failure> {
-    match kind {
-        HeuristicKind::Random => random_heuristic(spg, pf, period, seed),
-        HeuristicKind::Greedy => greedy(spg, pf, period),
-        HeuristicKind::Dpa2d => dpa2d(spg, pf, period),
-        HeuristicKind::Dpa1d => dpa1d(spg, pf, period, &Dpa1dConfig::default()),
-        HeuristicKind::Dpa2d1d => dpa2d1d(spg, pf, period),
-    }
+    let inst = Instance::new(spg.clone(), pf.clone(), period);
+    kind.solver().solve(&inst, &SolveCtx::new(seed))
 }

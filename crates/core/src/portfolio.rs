@@ -1,0 +1,320 @@
+//! The solver portfolio: run a set of [`Solver`]s against one
+//! [`Instance`], optionally in parallel, and report per-solver energies,
+//! failures, and wall times.
+//!
+//! This is the paper's experimental protocol (all five heuristics per
+//! instance, keep the best) promoted to a first-class API. The instance's
+//! shared precomputation (interned ideal lattice, speed-feasibility table,
+//! snake/topological orders) is computed once per instance, not once per
+//! portfolio member.
+//!
+//! Determinism: each solver receives a seed mixed from the portfolio seed
+//! and the solver's *name*, so a report depends only on `(instance, solver
+//! set, seed)` — never on thread count or scheduling (the parallel fan-out
+//! preserves solver order).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rayon::prelude::*;
+
+use crate::common::{Failure, Solution};
+use crate::instance::Instance;
+use crate::solver::{SolveCtx, Solver};
+
+/// What the portfolio is racing for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Race {
+    /// Run every solver; the winner is the lowest energy (the paper's
+    /// protocol).
+    #[default]
+    BestEnergy,
+    /// The winner is the first solver *in portfolio order* to find any
+    /// valid mapping. Sequential runs stop at the first success (the §6.1.3
+    /// probe's short-circuit); parallel runs still execute the whole set
+    /// but pick the same winner, so the outcome is mode-independent.
+    FirstFeasible,
+}
+
+/// One solver's outcome within a portfolio run.
+pub struct SolverRun {
+    /// The solver's [`Solver::name`].
+    pub name: String,
+    /// The seed the solver was called with (mixed per name).
+    pub seed: u64,
+    /// The solution or failure.
+    pub result: Result<Solution, Failure>,
+    /// Wall time of this solver's `solve` call.
+    pub wall: Duration,
+}
+
+impl SolverRun {
+    /// The energy if the solver succeeded.
+    pub fn energy(&self) -> Option<f64> {
+        self.result.as_ref().ok().map(Solution::energy)
+    }
+}
+
+/// The outcome of [`Portfolio::run`].
+pub struct PortfolioReport {
+    /// Per-solver outcomes, in portfolio order. Under
+    /// [`Race::FirstFeasible`] in sequential mode, solvers after the first
+    /// success are not attempted and have no entry.
+    pub runs: Vec<SolverRun>,
+    /// Index into `runs` of the winner (by the race rule), if any solver
+    /// succeeded.
+    pub best: Option<usize>,
+    /// Wall time of the whole portfolio run.
+    pub wall: Duration,
+}
+
+impl PortfolioReport {
+    /// The winning run, if any solver succeeded.
+    pub fn best_run(&self) -> Option<&SolverRun> {
+        self.best.map(|i| &self.runs[i])
+    }
+
+    /// The winning solution.
+    pub fn best_solution(&self) -> Option<&Solution> {
+        self.best_run().and_then(|r| r.result.as_ref().ok())
+    }
+
+    /// The winning energy.
+    pub fn best_energy(&self) -> Option<f64> {
+        self.best_run().and_then(SolverRun::energy)
+    }
+}
+
+/// Mixes the portfolio seed with a solver name (FNV-1a over the name), so
+/// each solver draws decorrelated randomness yet reruns reproduce exactly.
+fn solver_seed(base: u64, name: &str) -> u64 {
+    let h = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+    });
+    base ^ h
+}
+
+/// A configured portfolio of solvers (builder-style).
+///
+/// ```
+/// use ea_core::{Instance, Portfolio};
+/// use cmp_platform::Platform;
+///
+/// let inst = Instance::new(spg::chain(&[1e8; 4], &[1e3; 3]), Platform::paper(2, 2), 1.0);
+/// let report = Portfolio::heuristics().seeded(2011).run(&inst);
+/// assert!(report.best_energy().is_some());
+/// ```
+pub struct Portfolio {
+    solvers: Vec<Arc<dyn Solver>>,
+    parallel: bool,
+    race: Race,
+    seed: u64,
+    budget: Option<Duration>,
+}
+
+impl Portfolio {
+    /// A portfolio over an explicit solver set (kept in the given order).
+    pub fn new(solvers: Vec<Arc<dyn Solver>>) -> Self {
+        Portfolio {
+            solvers,
+            parallel: true,
+            race: Race::BestEnergy,
+            seed: 0,
+            budget: None,
+        }
+    }
+
+    /// The paper's portfolio: the five §5 heuristics in plot order.
+    pub fn heuristics() -> Self {
+        Portfolio::new(crate::solvers::default_heuristics())
+    }
+
+    /// Sets the base seed (mixed per solver name).
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables or disables the rayon fan-out (on by default). Under
+    /// [`Race::BestEnergy`] the report is identical either way (only wall
+    /// times vary); under [`Race::FirstFeasible`] the *winner* is
+    /// mode-independent, but sequential mode stops at the first success,
+    /// so `runs` only contains the solvers attempted up to and including
+    /// the winner.
+    pub fn parallel(mut self, yes: bool) -> Self {
+        self.parallel = yes;
+        self
+    }
+
+    /// Sets the race rule.
+    pub fn race(mut self, race: Race) -> Self {
+        self.race = race;
+        self
+    }
+
+    /// Caps the wall-clock budget: solvers whose turn starts after the
+    /// deadline fail with [`Failure::TooExpensive`] instead of searching
+    /// (coarse-grained — see [`SolveCtx`]).
+    pub fn with_budget(mut self, budget: Duration) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// The solver set, in portfolio order.
+    pub fn solvers(&self) -> &[Arc<dyn Solver>] {
+        &self.solvers
+    }
+
+    /// The solver names, in portfolio order.
+    pub fn solver_names(&self) -> Vec<String> {
+        self.solvers.iter().map(|s| s.name().to_string()).collect()
+    }
+
+    /// Runs the portfolio on one instance.
+    pub fn run(&self, inst: &Instance) -> PortfolioReport {
+        let started = Instant::now();
+        let deadline = self.budget.and_then(|b| started.checked_add(b));
+        let run_one = |s: &Arc<dyn Solver>| -> SolverRun {
+            let seed = solver_seed(self.seed, s.name());
+            let ctx = SolveCtx { seed, deadline };
+            let t0 = Instant::now();
+            let result = s.solve(inst, &ctx);
+            SolverRun {
+                name: s.name().to_string(),
+                seed,
+                result,
+                wall: t0.elapsed(),
+            }
+        };
+
+        let runs: Vec<SolverRun> = if self.race == Race::FirstFeasible && !self.parallel {
+            // Short-circuit: stop at the first success.
+            let mut runs = Vec::new();
+            for s in &self.solvers {
+                let r = run_one(s);
+                let done = r.result.is_ok();
+                runs.push(r);
+                if done {
+                    break;
+                }
+            }
+            runs
+        } else if self.parallel && self.solvers.len() > 1 {
+            self.solvers.par_iter().map(run_one).collect()
+        } else {
+            self.solvers.iter().map(run_one).collect()
+        };
+
+        let best = match self.race {
+            Race::BestEnergy => runs
+                .iter()
+                .enumerate()
+                .filter_map(|(i, r)| r.energy().map(|e| (i, e)))
+                .min_by(|(_, a), (_, b)| a.total_cmp(b))
+                .map(|(i, _)| i),
+            Race::FirstFeasible => runs.iter().position(|r| r.result.is_ok()),
+        };
+        PortfolioReport {
+            runs,
+            best,
+            wall: started.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmp_platform::Platform;
+    use spg::chain;
+
+    fn inst() -> Instance {
+        Instance::new(chain(&[2e8; 8], &[5e4; 7]), Platform::paper(4, 4), 0.5)
+    }
+
+    /// The per-solver comparison key for determinism checks: name, seed,
+    /// and energy-or-failure (wall times legitimately vary).
+    fn signature(report: &PortfolioReport) -> Vec<(String, u64, Result<f64, String>)> {
+        report
+            .runs
+            .iter()
+            .map(|r| {
+                (
+                    r.name.clone(),
+                    r.seed,
+                    r.result
+                        .as_ref()
+                        .map(Solution::energy)
+                        .map_err(|e| e.to_string()),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let i = inst();
+        let par = Portfolio::heuristics().seeded(7).run(&i);
+        let seq = Portfolio::heuristics().seeded(7).parallel(false).run(&i);
+        assert_eq!(signature(&par), signature(&seq));
+        assert_eq!(par.best, seq.best);
+        assert!(par.best_energy().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn best_is_min_energy() {
+        let report = Portfolio::heuristics().seeded(1).run(&inst());
+        let min = report
+            .runs
+            .iter()
+            .filter_map(SolverRun::energy)
+            .min_by(|a, b| a.total_cmp(b))
+            .unwrap();
+        assert_eq!(report.best_energy().unwrap(), min);
+    }
+
+    #[test]
+    fn first_feasible_stops_early_sequentially() {
+        let report = Portfolio::heuristics()
+            .seeded(3)
+            .parallel(false)
+            .race(Race::FirstFeasible)
+            .run(&inst());
+        // The first heuristic (Random) succeeds on this loose instance, so
+        // exactly one solver ran.
+        assert_eq!(report.runs.len(), 1);
+        assert_eq!(report.best, Some(0));
+        // Parallel mode runs everything but picks the same winner.
+        let par = Portfolio::heuristics()
+            .seeded(3)
+            .race(Race::FirstFeasible)
+            .run(&inst());
+        assert_eq!(par.runs.len(), 5);
+        assert_eq!(
+            par.best_run().unwrap().name,
+            report.best_run().unwrap().name
+        );
+    }
+
+    #[test]
+    fn seeds_are_per_solver_and_reproducible() {
+        let a = Portfolio::heuristics().seeded(42).run(&inst());
+        let b = Portfolio::heuristics().seeded(42).run(&inst());
+        assert_eq!(signature(&a), signature(&b));
+        // Distinct solvers draw distinct seeds.
+        let seeds: std::collections::HashSet<u64> = a.runs.iter().map(|r| r.seed).collect();
+        assert_eq!(seeds.len(), a.runs.len());
+    }
+
+    #[test]
+    fn zero_budget_fails_everything() {
+        let report = Portfolio::heuristics()
+            .with_budget(Duration::ZERO)
+            .run(&inst());
+        assert!(report.best.is_none());
+        assert!(report
+            .runs
+            .iter()
+            .all(|r| matches!(r.result, Err(Failure::TooExpensive(_)))));
+    }
+}

@@ -29,18 +29,34 @@ use crate::common::{better, validated, Failure, Solution};
 pub const RANDOM_TRIALS: usize = 10;
 
 /// Runs the `Random` heuristic: best of [`RANDOM_TRIALS`] random draws.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `ea_core::solvers::Random` with an `Instance`"
+)]
 pub fn random_heuristic(
     spg: &Spg,
     pf: &Platform,
     period: f64,
     seed: u64,
 ) -> Result<Solution, Failure> {
+    random_trials(spg, pf, period, seed, RANDOM_TRIALS)
+}
+
+/// `Random` with an explicit trial count, behind both the deprecated free
+/// function and the [`crate::solvers::Random`] solver.
+pub(crate) fn random_trials(
+    spg: &Spg,
+    pf: &Platform,
+    period: f64,
+    seed: u64,
+    trials: usize,
+) -> Result<Solution, Failure> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut best: Option<Solution> = None;
-    for _ in 0..RANDOM_TRIALS {
+    for _ in 0..trials {
         best = better(best, random_once(spg, pf, period, &mut rng));
     }
-    best.ok_or_else(|| Failure::NoValidMapping(format!("no valid draw in {RANDOM_TRIALS} trials")))
+    best.ok_or_else(|| Failure::NoValidMapping(format!("no valid draw in {trials} trials")))
 }
 
 /// One draw of the two-step procedure; `None` when the draw is invalid.
@@ -137,7 +153,7 @@ mod tests {
     fn loose_period_succeeds_on_chain() {
         let pf = Platform::paper(4, 4);
         let g = chain(&[1e6; 10], &[1e3; 9]);
-        let sol = random_heuristic(&g, &pf, 1.0, 42).unwrap();
+        let sol = random_trials(&g, &pf, 1.0, 42, RANDOM_TRIALS).unwrap();
         assert!(sol.energy() > 0.0);
     }
 
@@ -146,7 +162,7 @@ mod tests {
         let pf = Platform::paper(2, 2);
         let g = chain(&[2e9, 2e9], &[1.0]);
         // One stage alone already exceeds T at the fastest speed.
-        assert!(random_heuristic(&g, &pf, 1.0, 1).is_err());
+        assert!(random_trials(&g, &pf, 1.0, 1, RANDOM_TRIALS).is_err());
     }
 
     #[test]
@@ -196,8 +212,8 @@ mod tests {
     fn deterministic_per_seed() {
         let pf = Platform::paper(4, 4);
         let g = chain(&[1e6; 8], &[1e3; 7]);
-        let a = random_heuristic(&g, &pf, 0.01, 9).unwrap();
-        let b = random_heuristic(&g, &pf, 0.01, 9).unwrap();
+        let a = random_trials(&g, &pf, 0.01, 9, RANDOM_TRIALS).unwrap();
+        let b = random_trials(&g, &pf, 0.01, 9, RANDOM_TRIALS).unwrap();
         assert_eq!(a.energy(), b.energy());
     }
 
@@ -207,6 +223,6 @@ mod tests {
         // period that forces one stage per cluster.
         let pf = Platform::paper(2, 2);
         let g = chain(&[0.9e9; 5], &[1.0; 4]);
-        assert!(random_heuristic(&g, &pf, 1.0, 3).is_err());
+        assert!(random_trials(&g, &pf, 1.0, 3, RANDOM_TRIALS).is_err());
     }
 }

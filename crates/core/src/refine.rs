@@ -89,7 +89,7 @@ pub fn refine(
 mod tests {
     use super::*;
     use crate::common::validated;
-    use crate::random::random_heuristic;
+    use crate::random::random_trials;
     use cmp_mapping::RouteSpec;
     use cmp_platform::RouteOrder;
     use spg::chain;
@@ -99,7 +99,7 @@ mod tests {
         let pf = Platform::paper(3, 3);
         let g = chain(&[2e8; 8], &[1e5; 7]);
         let t = 0.4;
-        let start = random_heuristic(&g, &pf, t, 3).unwrap();
+        let start = random_trials(&g, &pf, t, 3, 10).unwrap();
         let refined = refine(&g, &pf, &start, t, &RefineConfig::default());
         assert!(refined.energy() <= start.energy() * (1.0 + 1e-12));
         // Result still validates.

@@ -12,7 +12,6 @@ use rand_chacha::ChaCha8Rng;
 use spg_cmp::prelude::*;
 
 fn main() {
-    let pf = Platform::paper(2, 2);
     let mut rng = ChaCha8Rng::seed_from_u64(7);
     let cfg = SpgGenConfig {
         n: 8,
@@ -21,31 +20,33 @@ fn main() {
         ..Default::default()
     };
     let g = spg::random_spg(&cfg, &mut rng);
-    let period = 5e-3;
+    let inst = Instance::new(g, Platform::paper(2, 2), 5e-3);
 
     println!(
-        "random SPG: n = {}, ymax = {}, CCR = {:.1}; 2x2 CMP, T = {period} s\n",
-        g.n(),
-        g.elevation(),
-        g.ccr()
+        "random SPG: n = {}, ymax = {}, CCR = {:.1}; 2x2 CMP, T = {} s\n",
+        inst.spg().n(),
+        inst.spg().elevation(),
+        inst.spg().ccr(),
+        inst.period()
     );
 
-    let opt = exact(&g, &pf, period, &ExactConfig::default()).expect("solvable instance");
+    let ctx = SolveCtx::new(7);
+    let opt = solvers::Exact::default()
+        .solve(&inst, &ctx)
+        .expect("solvable instance");
     println!(
         "exact optimum (DAG-partition rule): {:.6e} J on {} cores",
         opt.energy(),
         opt.eval.active_cores
     );
 
-    let general = exact(
-        &g,
-        &pf,
-        period,
-        &ExactConfig {
+    let general = solvers::Exact {
+        cfg: ExactConfig {
             rule: PartitionRule::General,
             ..Default::default()
         },
-    )
+    }
+    .solve(&inst, &ctx)
     .expect("solvable instance");
     println!(
         "exact optimum (general mappings):    {:.6e} J  ({:.2}% below DAG-partition)\n",
@@ -53,15 +54,16 @@ fn main() {
         (1.0 - general.energy() / opt.energy()) * 100.0
     );
 
-    for kind in ALL_HEURISTICS {
-        match run_heuristic(kind, &g, &pf, period, 7) {
+    let report = Portfolio::heuristics().seeded(7).run(&inst);
+    for run in &report.runs {
+        match &run.result {
             Ok(sol) => println!(
                 "{:<8} {:.6e} J  (x{:.4} of optimal)",
-                kind.name(),
+                run.name,
                 sol.energy(),
                 sol.energy() / opt.energy()
             ),
-            Err(why) => println!("{:<8} fail ({why})", kind.name()),
+            Err(why) => println!("{:<8} fail ({why})", run.name),
         }
     }
 }

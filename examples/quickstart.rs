@@ -1,5 +1,5 @@
 //! Quickstart: map a small streaming pipeline onto the paper's 4×4 XScale
-//! CMP and compare all five heuristics.
+//! CMP and race all five heuristics through the portfolio API.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -11,44 +11,54 @@ fn main() {
     // An 8-stage video-filter-style pipeline: 2×10^8 cycles per stage and
     // 64 kB frames flowing between stages, one data set per period.
     let app = spg::chain(&[2e8; 8], &[64e3; 7]);
-    let pf = Platform::paper(4, 4);
 
     // Period bound: one frame every 500 ms (two stages per core at 1 GHz).
-    let period = 0.5;
+    // The Instance owns (workload, platform, period) and caches everything
+    // the solvers share — notably DPA1D's interned ideal lattice.
+    let inst = Instance::new(app, Platform::paper(4, 4), 0.5);
 
-    println!("pipeline: {} stages, CCR = {:.1}", app.n(), app.ccr());
-    println!("platform: 4x4 XScale CMP, period bound {period} s\n");
+    println!(
+        "pipeline: {} stages, CCR = {:.1}",
+        inst.spg().n(),
+        inst.spg().ccr()
+    );
+    println!(
+        "platform: 4x4 XScale CMP, period bound {} s\n",
+        inst.period()
+    );
     println!(
         "{:<10} {:>12} {:>7} {:>14}",
         "heuristic", "energy (J)", "cores", "cycle-time (s)"
     );
 
-    for kind in ALL_HEURISTICS {
-        match run_heuristic(kind, &app, &pf, period, 42) {
+    // One parallel portfolio run: per-solver energies, failures, and wall
+    // times, with deterministic per-solver seeds derived from 42.
+    let report = Portfolio::heuristics().seeded(42).run(&inst);
+    for run in &report.runs {
+        match &run.result {
             Ok(sol) => println!(
                 "{:<10} {:>12.4} {:>7} {:>14.4}",
-                kind.name(),
+                run.name,
                 sol.energy(),
                 sol.eval.active_cores,
                 sol.eval.max_cycle_time
             ),
-            Err(why) => println!("{:<10} {:>12}   ({why})", kind.name(), "fail"),
+            Err(why) => println!("{:<10} {:>12}   ({why})", run.name, "fail"),
         }
     }
 
-    // Inspect the best mapping in detail.
-    let best = ALL_HEURISTICS
-        .iter()
-        .filter_map(|&k| run_heuristic(k, &app, &pf, period, 42).ok())
-        .min_by(|a, b| a.energy().partial_cmp(&b.energy()).unwrap())
+    // Inspect the best mapping in detail (the report already raced on
+    // energy with NaN-safe total ordering).
+    let best = report
+        .best_solution()
         .expect("at least one heuristic succeeds");
     println!("\nbest mapping, stage -> core:");
-    for s in app.stages() {
+    for s in inst.spg().stages() {
         let c = best.mapping.alloc[s.idx()];
         println!(
             "  S{:<2} (w = {:.1e} cycles) -> C({}, {})",
             s.0,
-            app.weight(s),
+            inst.spg().weight(s),
             c.u,
             c.v
         );

@@ -7,8 +7,7 @@
 //! cargo run --release --example random_sweep [apps-per-point]
 //! ```
 
-use ea_bench::probe_period;
-use ea_bench::runner::run_all_heuristics;
+use ea_bench::probe_instance;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use spg_cmp::prelude::*;
@@ -20,10 +19,12 @@ fn main() {
         .unwrap_or(5);
     let pf = Platform::paper(4, 4);
     let ccr = 1.0;
+    let portfolio = Portfolio::heuristics();
+    let names = portfolio.solver_names();
     println!("n = 50 stages, CCR = {ccr}, 4x4 CMP, {apps} apps per elevation\n");
     println!(
         "{:>4}  {:>7} {:>7} {:>7} {:>7} {:>7}   (mean E_best/E_h; 0 = always fails)",
-        "elev", "Random", "Greedy", "DPA2D", "DPA1D", "DPA2D1D"
+        "elev", names[0], names[1], names[2], names[3], names[4]
     );
 
     for elevation in [1u32, 2, 4, 6, 8, 12, 16, 20] {
@@ -38,16 +39,13 @@ fn main() {
                 ..Default::default()
             };
             let g = spg::random_spg(&cfg, &mut rng);
-            let Some(t) = probe_period(&g, &pf, seed) else {
+            let Some(inst) = probe_instance(&Instance::new(g, pf.clone(), 1.0), seed) else {
                 continue;
             };
-            let outcomes = run_all_heuristics(&g, &pf, t, seed);
-            let best = outcomes
-                .iter()
-                .filter_map(|o| o.energy())
-                .min_by(|a, b| a.partial_cmp(b).unwrap());
-            for (k, o) in outcomes.iter().enumerate() {
-                if let (Some(e), Some(b)) = (o.energy(), best) {
+            let report = Portfolio::heuristics().seeded(seed).run(&inst);
+            let best = report.best_energy();
+            for (k, run) in report.runs.iter().enumerate() {
+                if let (Some(e), Some(b)) = (run.energy(), best) {
                     sums[k] += b / e;
                 }
             }

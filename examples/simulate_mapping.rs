@@ -13,34 +13,40 @@ fn main() {
     // A fork-join workload: light source/sink, two heavy parallel branches.
     let branch = || spg::chain(&[1e3, 3e8, 3e8, 1e3], &[2e5, 2e5, 2e5]);
     let app = spg::parallel(&branch(), &branch());
-    let pf = Platform::paper(4, 4);
-    let period = 0.4;
+    let inst = Instance::new(app, Platform::paper(4, 4), 0.4);
 
     println!(
-        "fork-join: {} stages, elevation {}, CCR {:.1}; T = {period} s\n",
-        app.n(),
-        app.elevation(),
-        app.ccr()
+        "fork-join: {} stages, elevation {}, CCR {:.1}; T = {} s\n",
+        inst.spg().n(),
+        inst.spg().elevation(),
+        inst.spg().ccr(),
+        inst.period()
     );
     println!(
         "{:<10} {:>14} {:>14} {:>12} {:>12}",
         "heuristic", "analytic T*", "simulated T*", "E_dyn/set", "sim E_dyn/set"
     );
-    for kind in ALL_HEURISTICS {
-        match run_heuristic(kind, &app, &pf, period, 1) {
+    let report = Portfolio::heuristics().seeded(1).run(&inst);
+    for run in &report.runs {
+        match &run.result {
             Ok(sol) => {
-                let rep = simulate(&app, &pf, &sol.mapping, SimConfig::default())
-                    .expect("valid mapping must simulate");
+                let rep = simulate(
+                    inst.spg(),
+                    inst.platform(),
+                    &sol.mapping,
+                    SimConfig::default(),
+                )
+                .expect("valid mapping must simulate");
                 println!(
                     "{:<10} {:>14.5} {:>14.5} {:>12.5} {:>12.5}",
-                    kind.name(),
+                    run.name,
                     sol.eval.max_cycle_time,
                     rep.achieved_period,
                     sol.eval.compute_dynamic + sol.eval.comm_dynamic,
                     rep.dynamic_energy_per_dataset(),
                 );
             }
-            Err(why) => println!("{:<10} fail ({why})", kind.name()),
+            Err(why) => println!("{:<10} fail ({why})", run.name),
         }
     }
     println!("\nT* = steady-state period (bottleneck cycle-time); the analytic");

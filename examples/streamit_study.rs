@@ -2,12 +2,14 @@
 //! paper §6.1.3) and study how each heuristic's energy degrades as the
 //! communication weight grows (the CCR sweep of §6.2.1).
 //!
+//! Each CCR variant builds one `Instance`; the probe and the portfolio run
+//! share its cached lattice across all probed decades.
+//!
 //! ```sh
 //! cargo run --release --example streamit_study [workflow-index 1..=12]
 //! ```
 
-use ea_bench::probe_period;
-use ea_bench::runner::{best_energy, run_all_heuristics};
+use ea_bench::probe_instance;
 use spg::{streamit_workflow, STREAMIT_SPECS};
 use spg_cmp::prelude::*;
 
@@ -26,6 +28,7 @@ fn main() {
         spec.index, spec.name, spec.n, spec.ymax, spec.xmax, spec.ccr
     );
 
+    let portfolio = Portfolio::heuristics().seeded(2011);
     for (label, ccr) in [
         ("original", None),
         ("10", Some(10.0)),
@@ -36,23 +39,25 @@ fn main() {
         if let Some(c) = ccr {
             g.scale_to_ccr(c);
         }
-        let Some(t) = probe_period(&g, &pf, 2011) else {
+        let base = Instance::new(g, pf.clone(), 1.0);
+        let Some(inst) = probe_instance(&base, 2011) else {
             println!("CCR {label}: no heuristic succeeds at any probed period");
             continue;
         };
-        let outcomes = run_all_heuristics(&g, &pf, t, 2011);
-        let best = best_energy(&outcomes);
-        println!("CCR {label}: probed period T = {t:.0e} s");
-        for o in &outcomes {
-            match (o.energy(), best) {
+        let report = portfolio.run(&inst);
+        let best = report.best_energy();
+        println!("CCR {label}: probed period T = {:.0e} s", inst.period());
+        for run in &report.runs {
+            match (run.energy(), best) {
                 (Some(e), Some(b)) => {
                     println!(
-                        "  {:<8} E = {e:.4e} J  (x{:.3} of best)",
-                        o.kind.name(),
-                        e / b
+                        "  {:<8} E = {e:.4e} J  (x{:.3} of best, {:.1} ms)",
+                        run.name,
+                        e / b,
+                        run.wall.as_secs_f64() * 1e3
                     )
                 }
-                _ => println!("  {:<8} fail", o.kind.name()),
+                _ => println!("  {:<8} fail", run.name),
             }
         }
         println!();

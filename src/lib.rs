@@ -13,36 +13,87 @@
 //!   power model, links, XY/snake routing;
 //! * [`mapping`] (`cmp-mapping`) — the cost model: DAG-partition validity,
 //!   period (max cycle-time) and energy evaluation;
-//! * [`heuristics`] (`ea-core`) — the paper's contribution: `Random`,
-//!   `Greedy`, `DPA2D`, `DPA1D`, `DPA2D1D` and the exhaustive exact solver.
+//! * [`heuristics`] (`ea-core`) — the paper's contribution behind the
+//!   solver-session API: an [`prelude::Instance`] owns one `(workload,
+//!   platform, period)` triple and caches the derived structures the
+//!   algorithms share; every algorithm (`Random`, `Greedy`, `DPA2D`,
+//!   `DPA1D`, `DPA2D1D`, the exhaustive exact solver, and the `Refined`
+//!   hill-climb combinator) implements [`prelude::Solver`]; a
+//!   [`prelude::Portfolio`] races any subset of them, and a
+//!   [`prelude::SolverRegistry`] resolves solvers by name.
 //!
 //! ## Quickstart
 //!
 //! ```
 //! use spg_cmp::prelude::*;
 //!
-//! // A 10-stage pipeline, 1e8 cycles and 1 kB per stage.
+//! // A 10-stage pipeline, 1e8 cycles and 1 kB per stage, on the paper's
+//! // 4x4 XScale CMP, with a 200 ms period bound.
 //! let app = spg::chain(&[1e8; 10], &[1e3; 9]);
-//! // The paper's 4x4 XScale CMP.
-//! let pf = Platform::paper(4, 4);
-//! // Ask Greedy for a mapping with a 200 ms period bound.
-//! let sol = greedy(&app, &pf, 0.2).expect("feasible instance");
+//! let inst = Instance::new(app, Platform::paper(4, 4), 0.2);
+//!
+//! // Run one solver...
+//! let sol = solvers::Greedy::default()
+//!     .solve(&inst, &SolveCtx::new(0))
+//!     .expect("feasible instance");
 //! assert!(sol.eval.max_cycle_time <= 0.2 * (1.0 + 1e-9));
-//! println!("energy: {:.3} J on {} cores", sol.energy(), sol.eval.active_cores);
+//!
+//! // ...or race the paper's whole portfolio (in parallel, deterministic
+//! // per-solver seeds) and keep the lowest energy.
+//! let report = Portfolio::heuristics().seeded(42).run(&inst);
+//! let best = report.best_solution().expect("at least one solver succeeds");
+//! println!("best: {:.3} J on {} cores by {}",
+//!     best.energy(), best.eval.active_cores, report.best_run().unwrap().name);
+//!
+//! // Solvers can also be picked by name, e.g. from a CLI flag.
+//! let registry = SolverRegistry::with_defaults();
+//! let dpa1d = registry.get("dpa1d").unwrap();
+//! assert_eq!(dpa1d.name(), "DPA1D");
 //! ```
+//!
+//! ## Migrating from the 0.1 free functions
+//!
+//! The pre-0.2 free functions remain as thin `#[deprecated]` shims; new
+//! code builds an [`prelude::Instance`] once and reuses it:
+//!
+//! | 0.1 call | 0.2 replacement |
+//! |---|---|
+//! | `run_heuristic(kind, &g, &pf, t, seed)` | `kind.solver().solve(&inst, &SolveCtx::new(seed))` |
+//! | `greedy(&g, &pf, t)` | `solvers::Greedy::default().solve(&inst, &ctx)` |
+//! | `random_heuristic(&g, &pf, t, seed)` | `solvers::Random::default().solve(&inst, &ctx)` |
+//! | `dpa2d(&g, &pf, t)` | `solvers::Dpa2d.solve(&inst, &ctx)` |
+//! | `dpa1d(&g, &pf, t, &cfg)` | `solvers::Dpa1d { cfg }.solve(&inst, &ctx)` |
+//! | `dpa2d1d(&g, &pf, t)` | `solvers::Dpa2d1d.solve(&inst, &ctx)` |
+//! | `exact(&g, &pf, t, &cfg)` | `solvers::Exact { cfg }.solve(&inst, &ctx)` |
+//! | `refine(&g, &pf, &sol, t, &cfg)` | `solvers::Refined::new(inner).solve(&inst, &ctx)` (or keep `refine` — not deprecated) |
+//! | run-them-all loops | `Portfolio::heuristics().seeded(seed).run(&inst)` |
+//!
+//! The instance is where the sharing lives: `DPA1D`'s interned ideal
+//! lattice, the snake and topological orders, and the per-stage
+//! speed-feasibility table are computed once per instance instead of once
+//! per call, which is what makes portfolio runs and §6.1.3 period probes
+//! measurably faster than the 0.1 free-function orchestration.
 
 pub use cmp_mapping as mapping;
 pub use cmp_platform as platform;
 pub use ea_core as heuristics;
 pub use spg;
 
-/// Everything needed to build workloads, platforms and run the algorithms.
+/// Everything needed to build workloads, platforms and run the solvers.
 pub mod prelude {
     pub use cmp_mapping::{evaluate, latency, latency_lower_bound, Evaluation, Mapping, RouteSpec};
     pub use cmp_platform::{CoreId, Platform, PowerModel, RouteOrder, Speed};
+    pub use ea_core::solvers;
+    pub use ea_core::{greedy_opts, refine};
     pub use ea_core::{
-        dpa1d, dpa2d, dpa2d1d, exact, greedy, random_heuristic, refine, run_heuristic, Dpa1dConfig,
-        ExactConfig, Failure, HeuristicKind, PartitionRule, RefineConfig, Solution, ALL_HEURISTICS,
+        Dpa1dConfig, ExactConfig, Failure, HeuristicKind, Instance, PartitionRule, Portfolio,
+        PortfolioReport, Race, RefineConfig, SharedLattice, Solution, SolveCtx, Solver,
+        SolverRegistry, SolverRun, ALL_HEURISTICS,
     };
     pub use spg::{self, Spg, SpgGenConfig, StageId};
+
+    // Deprecated 0.1 surface, kept importable so downstream code compiles
+    // (with deprecation warnings) while migrating.
+    #[allow(deprecated)]
+    pub use ea_core::{dpa1d, dpa2d, dpa2d1d, exact, greedy, random_heuristic, run_heuristic};
 }

@@ -8,6 +8,16 @@ use spg::ideal::enumerate_ideals;
 use spg::{chain, parallel_many, Spg};
 use spg_cmp::prelude::*;
 
+/// Exact solve through the session API.
+fn exact_solve(g: &Spg, pf: &Platform, t: f64) -> Result<Solution, Failure> {
+    solvers::Exact::default().solve(&Instance::new(g.clone(), pf.clone(), t), &SolveCtx::new(0))
+}
+
+/// `DPA1D` solve through the session API.
+fn dpa1d_solve(g: &Spg, pf: &Platform, t: f64) -> Result<Solution, Failure> {
+    solvers::Dpa1d::default().solve(&Instance::new(g.clone(), pf.clone(), t), &SolveCtx::new(0))
+}
+
 /// Proposition 1's reduction gadget: a fork-join of n branches on two
 /// single-speed cores can meet period S/2 iff the branch weights admit a
 /// 2-partition. We check both directions on solvable and unsolvable
@@ -31,11 +41,11 @@ fn proposition1_two_partition_gadget() {
     };
     // {1,2,3,4}: S = 10, 2-partition exists (1+4 | 2+3) -> T = 5 feasible.
     let g = gadget(&[1.0, 2.0, 3.0, 4.0]);
-    assert!(exact(&g, &two_cores, 5.0, &ExactConfig::default()).is_ok());
+    assert!(exact_solve(&g, &two_cores, 5.0).is_ok());
     // {1,1,3}: S = 5; no equal split -> T = 2.5 infeasible, T = 3 feasible.
     let g = gadget(&[1.0, 1.0, 3.0]);
-    assert!(exact(&g, &two_cores, 2.5, &ExactConfig::default()).is_err());
-    assert!(exact(&g, &two_cores, 3.0, &ExactConfig::default()).is_ok());
+    assert!(exact_solve(&g, &two_cores, 2.5).is_err());
+    assert!(exact_solve(&g, &two_cores, 3.0).is_ok());
 }
 
 /// Theorem 1's counting argument: a fork-join of `ymax` chains of length
@@ -68,7 +78,7 @@ fn theorem1_dp_matches_bruteforce_on_chains() {
         let volumes: Vec<f64> = (0..n - 1).map(|_| rng.gen_range(1e5..1e7)).collect();
         let g = chain(&weights, &volumes);
         let t = 1.0;
-        let dp = dpa1d(&g, &pf, t, &Dpa1dConfig::default());
+        let dp = dpa1d_solve(&g, &pf, t);
         let brute = brute_force_chain(&g, &pf, t);
         match (dp, brute) {
             (Ok(dp), Some(b)) => {
@@ -168,11 +178,11 @@ fn unit_speed_unit_cost_forces_one_to_one() {
         p_leak_comm: 0.0,
     };
     let g = chain(&[1.0; 4], &[1.0; 3]);
-    let sol = exact(&g, &pf, 1.0, &ExactConfig::default()).unwrap();
+    let sol = exact_solve(&g, &pf, 1.0).unwrap();
     assert_eq!(sol.eval.active_cores, 4);
     // Five unit stages cannot fit four cores at period 1.
     let g5 = chain(&[1.0; 5], &[1.0; 4]);
-    assert!(exact(&g5, &pf, 1.0, &ExactConfig::default()).is_err());
+    assert!(exact_solve(&g5, &pf, 1.0).is_err());
 }
 
 /// Bounded elevation is what keeps DPA1D polynomial: the unbounded

@@ -1,15 +1,15 @@
 //! Cross-crate integration tests: workload generation → period probe →
-//! heuristic portfolio → evaluator validation, plus exact-solver
-//! cross-checks on small instances.
+//! solver portfolio → evaluator validation, plus exact-solver cross-checks
+//! on small instances — all through the `Instance`/`Solver`/`Portfolio`
+//! session API.
 
-use ea_bench::probe_period;
-use ea_bench::runner::run_all_heuristics;
+use ea_bench::probe_instance;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use spg::{streamit_workflow, STREAMIT_SPECS};
 use spg_cmp::prelude::*;
 
-/// Every solution any heuristic returns must re-validate through the shared
+/// Every solution any solver returns must re-validate through the shared
 /// evaluator at the requested period with identical energy.
 #[test]
 fn heuristic_solutions_revalidate_exactly() {
@@ -23,16 +23,18 @@ fn heuristic_solutions_revalidate_exactly() {
             ..Default::default()
         };
         let g = spg::random_spg(&cfg, &mut rng);
-        let Some(t) = probe_period(&g, &pf, 0) else {
+        let Some(inst) = probe_instance(&Instance::new(g, pf.clone(), 1.0), 0) else {
             continue;
         };
-        for kind in ALL_HEURISTICS {
-            if let Ok(sol) = run_heuristic(kind, &g, &pf, t, 0) {
-                let ev = evaluate(&g, &pf, &sol.mapping, t)
-                    .unwrap_or_else(|e| panic!("{kind} returned invalid mapping: {e}"));
+        let report = Portfolio::heuristics().seeded(0).run(&inst);
+        for run in &report.runs {
+            if let Ok(sol) = &run.result {
+                let ev = evaluate(inst.spg(), inst.platform(), &sol.mapping, inst.period())
+                    .unwrap_or_else(|e| panic!("{} returned invalid mapping: {e}", run.name));
                 assert!(
                     (ev.energy - sol.energy()).abs() < 1e-9 * sol.energy().max(1.0),
-                    "{kind}: reported {} vs revalidated {}",
+                    "{}: reported {} vs revalidated {}",
+                    run.name,
                     sol.energy(),
                     ev.energy
                 );
@@ -55,16 +57,19 @@ fn dpa1d_is_optimal_on_uniline() {
             ..Default::default()
         };
         let g = spg::random_spg(&cfg, &mut rng);
-        let Some(t) = probe_period(&g, &pf, trial as u64) else {
+        let Some(inst) = probe_instance(&Instance::new(g, pf.clone(), 1.0), trial as u64) else {
             continue;
         };
-        let Ok(dp) = dpa1d(&g, &pf, t, &Dpa1dConfig::default()) else {
+        let ctx = SolveCtx::new(trial as u64);
+        let Ok(dp) = solvers::Dpa1d::default().solve(&inst, &ctx) else {
             continue;
         };
         // The exhaustive solver may route backwards on the line, so it can
         // only be <= DPA1D. On chains and low CCR they coincide; in all
         // cases DPA1D must never be better than exact.
-        let ex = exact(&g, &pf, t, &ExactConfig::default()).expect("exact must succeed");
+        let ex = solvers::Exact::default()
+            .solve(&inst, &ctx)
+            .expect("exact must succeed");
         assert!(
             dp.energy() >= ex.energy() - 1e-9,
             "trial {trial}: DPA1D {} beat exact {}",
@@ -87,17 +92,19 @@ fn no_heuristic_beats_exact_on_2x2() {
             ..Default::default()
         };
         let g = spg::random_spg(&cfg, &mut rng);
-        let Some(t) = probe_period(&g, &pf, trial) else {
+        let Some(inst) = probe_instance(&Instance::new(g, pf.clone(), 1.0), trial) else {
             continue;
         };
-        let Ok(opt) = exact(&g, &pf, t, &ExactConfig::default()) else {
+        let Ok(opt) = solvers::Exact::default().solve(&inst, &SolveCtx::new(trial)) else {
             continue;
         };
-        for kind in ALL_HEURISTICS {
-            if let Ok(sol) = run_heuristic(kind, &g, &pf, t, trial) {
+        let report = Portfolio::heuristics().seeded(trial).run(&inst);
+        for run in &report.runs {
+            if let Ok(sol) = &run.result {
                 assert!(
                     sol.energy() >= opt.energy() - 1e-9,
-                    "{kind} ({}) beat exact ({}) on trial {trial}",
+                    "{} ({}) beat exact ({}) on trial {trial}",
+                    run.name,
                     sol.energy(),
                     opt.energy()
                 );
@@ -107,18 +114,18 @@ fn no_heuristic_beats_exact_on_2x2() {
 }
 
 /// The full StreamIt suite must run end-to-end at original CCR on a 4x4
-/// grid: the probe finds a period and at least one heuristic succeeds.
+/// grid: the probe finds a period and at least one solver succeeds.
 #[test]
 fn streamit_suite_end_to_end() {
     let pf = Platform::paper(4, 4);
     for spec in &STREAMIT_SPECS {
         let g = streamit_workflow(spec, 2011);
-        let t =
-            probe_period(&g, &pf, 2011).unwrap_or_else(|| panic!("{}: probe failed", spec.name));
-        let outcomes = run_all_heuristics(&g, &pf, t, 2011);
+        let inst = probe_instance(&Instance::new(g, pf.clone(), 1.0), 2011)
+            .unwrap_or_else(|| panic!("{}: probe failed", spec.name));
+        let report = Portfolio::heuristics().seeded(2011).run(&inst);
         assert!(
-            outcomes.iter().any(|o| o.result.is_ok()),
-            "{}: every heuristic failed at its own probed period",
+            report.best.is_some(),
+            "{}: every solver failed at its own probed period",
             spec.name
         );
     }
@@ -134,10 +141,13 @@ fn streamit_suite_end_to_end() {
 fn fixed_mapping_energy_is_affine_in_period() {
     let pf = Platform::paper(4, 4);
     let g = spg::chain(&[1e8; 10], &[1e4; 9]);
-    let sol = greedy(&g, &pf, 0.25).expect("feasible");
+    let inst = Instance::new(g, pf.clone(), 0.25);
+    let sol = solvers::Greedy::default()
+        .solve(&inst, &SolveCtx::new(0))
+        .expect("feasible");
     let (t1, t2) = (0.25, 1.0);
-    let e1 = evaluate(&g, &pf, &sol.mapping, t1).unwrap();
-    let e2 = evaluate(&g, &pf, &sol.mapping, t2).unwrap();
+    let e1 = evaluate(inst.spg(), &pf, &sol.mapping, t1).unwrap();
+    let e2 = evaluate(inst.spg(), &pf, &sol.mapping, t2).unwrap();
     let expected_delta = (e1.active_cores as f64 * pf.power.p_leak + pf.p_leak_comm) * (t2 - t1);
     assert!(
         ((e2.energy - e1.energy) - expected_delta).abs() < 1e-12,
@@ -154,9 +164,15 @@ fn fixed_mapping_energy_is_affine_in_period() {
 #[test]
 fn facade_prelude_suffices() {
     let app = spg::chain(&[1e8; 4], &[1e3; 3]);
-    let pf = Platform::paper(2, 2);
-    let sol = greedy(&app, &pf, 1.0).unwrap();
+    let inst = Instance::new(app, Platform::paper(2, 2), 1.0);
+    let sol = solvers::Greedy::default()
+        .solve(&inst, &SolveCtx::new(0))
+        .unwrap();
     assert!(sol.energy() > 0.0);
     let m: &Mapping = &sol.mapping;
     assert_eq!(m.alloc.len(), 4);
+    // Registry and portfolio are reachable from the prelude too.
+    let reg = SolverRegistry::with_defaults();
+    assert!(reg.get("greedy").is_some());
+    assert!(Portfolio::heuristics().run(&inst).best.is_some());
 }

@@ -151,16 +151,19 @@ fn heuristics_produce_valid_mappings() {
         // A fixed, reasonably tight period per instance: total work over
         // 4 cores at top speed.
         let t = g.total_work() / (4.0 * 1e9);
-        for kind in ALL_HEURISTICS {
-            if let Ok(sol) = run_heuristic(kind, &g, &pf, t, seed) {
+        let inst = Instance::new(g.clone(), pf.clone(), t);
+        let report = Portfolio::heuristics().seeded(seed).run(&inst);
+        for run in &report.runs {
+            let name = &run.name;
+            if let Ok(sol) = &run.result {
                 let ev = evaluate(&g, &pf, &sol.mapping, t);
-                assert!(ev.is_ok(), "case {case}: {kind} invalid: {:?}", ev.err());
+                assert!(ev.is_ok(), "case {case}: {name} invalid: {:?}", ev.err());
                 let ev = ev.unwrap();
                 assert!(
                     (ev.energy - sol.energy()).abs() <= 1e-9 * ev.energy,
-                    "case {case}: {kind} energy drift"
+                    "case {case}: {name} energy drift"
                 );
-                assert!(ev.max_cycle_time <= t * (1.0 + 1e-6), "case {case}: {kind}");
+                assert!(ev.max_cycle_time <= t * (1.0 + 1e-6), "case {case}: {name}");
             }
         }
     }

@@ -4,7 +4,7 @@
 //! and the simulated dynamic energy per data set must equal the analytic
 //! dynamic terms exactly.
 
-use ea_bench::probe_period;
+use ea_bench::probe_instance;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use spg_cmp::prelude::*;
@@ -23,16 +23,17 @@ fn simulated_period_converges_to_analytic_cycle_time() {
             ..Default::default()
         };
         let g = spg::random_spg(&cfg, &mut rng);
-        let Some(t) = probe_period(&g, &pf, 17) else {
+        let Some(inst) = probe_instance(&Instance::new(g, pf.clone(), 1.0), 17) else {
             continue;
         };
-        for kind in ALL_HEURISTICS {
-            let Ok(sol) = run_heuristic(kind, &g, &pf, t, 17) else {
+        let report = Portfolio::heuristics().seeded(17).run(&inst);
+        for run in &report.runs {
+            let Ok(sol) = &run.result else {
                 continue;
             };
             let analytic = sol.eval.max_cycle_time;
             let rep = simulate(
-                &g,
+                inst.spg(),
                 &pf,
                 &sol.mapping,
                 SimConfig {
@@ -40,19 +41,21 @@ fn simulated_period_converges_to_analytic_cycle_time() {
                     warmup: 100,
                 },
             )
-            .unwrap_or_else(|e| panic!("{kind}: simulation failed: {e}"));
+            .unwrap_or_else(|e| panic!("{}: simulation failed: {e}", run.name));
             // Asymptotically the rate is bottleneck-bound; over a finite
             // window the sink can drain a little faster than the
             // bottleneck (buffers filled during warm-up), hence the
             // two-sided tolerance band.
             assert!(
                 rep.achieved_period >= analytic * 0.95,
-                "{kind}: simulated {} far below bottleneck {analytic}",
+                "{}: simulated {} far below bottleneck {analytic}",
+                run.name,
                 rep.achieved_period
             );
             assert!(
                 rep.achieved_period <= analytic * 1.05 + 1e-12,
-                "{kind}: simulated {} far above analytic {analytic}",
+                "{}: simulated {} far above analytic {analytic}",
+                run.name,
                 rep.achieved_period
             );
             checked += 1;
@@ -66,7 +69,9 @@ fn simulated_dynamic_energy_matches_analytic() {
     let pf = Platform::paper(4, 4);
     let g = spg::chain(&[2e8; 6], &[1e5; 5]);
     let t = 0.4;
-    let sol = greedy(&g, &pf, t).expect("feasible");
+    let sol = solvers::Greedy::default()
+        .solve(&Instance::new(g.clone(), pf.clone(), t), &SolveCtx::new(0))
+        .expect("feasible");
     let rep = simulate(
         &g,
         &pf,
@@ -91,7 +96,9 @@ fn simulator_exposes_utilisation() {
     let g = spg::chain(&[5e8, 5e8], &[1e4]);
     let t = 0.5;
     // Force a two-core split (one stage each at 1 GHz).
-    let sol = dpa1d(&g, &pf, t, &Dpa1dConfig::default()).expect("feasible");
+    let sol = solvers::Dpa1d::default()
+        .solve(&Instance::new(g.clone(), pf.clone(), t), &SolveCtx::new(0))
+        .expect("feasible");
     assert_eq!(sol.eval.active_cores, 2);
     let rep = simulate(
         &g,

@@ -1,0 +1,190 @@
+//! Tests for the solver-session API (`Instance` / `Solver` /
+//! `SolverRegistry` / `Portfolio`): portfolio determinism across execution
+//! modes, registry round-trips, and equivalence of every `Solver::solve`
+//! against its legacy free function on the StreamIt suite.
+
+use spg::{streamit_workflow, STREAMIT_SPECS};
+use spg_cmp::prelude::*;
+
+/// A period that is tight-but-feasible for a workload on an 8-core budget.
+fn period_for(g: &Spg) -> f64 {
+    g.total_work() / (8.0 * 1e9)
+}
+
+/// The per-solver comparison key used by the determinism tests: name, seed,
+/// and energy-or-failure text (wall times legitimately vary between runs).
+fn signature(report: &PortfolioReport) -> Vec<(String, u64, Result<f64, String>)> {
+    report
+        .runs
+        .iter()
+        .map(|r| {
+            (
+                r.name.clone(),
+                r.seed,
+                r.result
+                    .as_ref()
+                    .map(|s| s.energy())
+                    .map_err(|e| e.to_string()),
+            )
+        })
+        .collect()
+}
+
+/// Same seed ⇒ identical `PortfolioReport` (energies, failures, seeds, and
+/// winner), whether the portfolio fans out over rayon or runs on one
+/// thread, across the whole StreamIt suite.
+#[test]
+fn portfolio_is_deterministic_across_thread_modes() {
+    let pf = Platform::paper(4, 4);
+    for spec in STREAMIT_SPECS.iter().take(6) {
+        let g = streamit_workflow(spec, 2011);
+        let t = period_for(&g);
+        let inst = Instance::new(g, pf.clone(), t);
+        let par = Portfolio::heuristics().seeded(2011).run(&inst);
+        let seq = Portfolio::heuristics()
+            .seeded(2011)
+            .parallel(false)
+            .run(&inst);
+        assert_eq!(
+            signature(&par),
+            signature(&seq),
+            "{}: parallel vs sequential reports diverge",
+            spec.name
+        );
+        assert_eq!(par.best, seq.best, "{}: winners diverge", spec.name);
+        // And a rerun in the same mode reproduces exactly.
+        let again = Portfolio::heuristics().seeded(2011).run(&inst);
+        assert_eq!(signature(&par), signature(&again));
+    }
+}
+
+/// Registry round-trip: every registered name resolves to a solver whose
+/// `name()` is the key, case-insensitively, including through the
+/// `refined:` combinator prefix.
+#[test]
+fn registry_roundtrip() {
+    let reg = SolverRegistry::with_defaults();
+    let names = reg.names();
+    assert_eq!(
+        names,
+        ["Random", "Greedy", "DPA2D", "DPA1D", "DPA2D1D", "Exact"]
+    );
+    for name in names {
+        assert_eq!(reg.get(name).unwrap().name(), name);
+        assert_eq!(reg.get(&name.to_lowercase()).unwrap().name(), name);
+        let refined = reg.get(&format!("refined:{name}")).unwrap();
+        assert_eq!(refined.name(), format!("Refined({name})"));
+    }
+    assert!(reg.get("no-such-solver").is_none());
+}
+
+/// Each `Solver::solve` agrees with its legacy free function on the
+/// StreamIt suite: identical energies on success, failure on both sides
+/// otherwise (the shared-lattice and speed-floor optimisations must be
+/// behaviour-preserving).
+#[test]
+fn solvers_equal_legacy_free_functions_on_streamit() {
+    #![allow(deprecated)]
+    let pf = Platform::paper(4, 4);
+    // A mix of low-elevation (DPA1D-tractable) and high-elevation
+    // (DPA1D-failing) workflows.
+    for idx in [1usize, 6, 7, 8, 9, 12] {
+        let spec = &STREAMIT_SPECS[idx - 1];
+        let g = streamit_workflow(spec, 2011);
+        let t = period_for(&g);
+        let inst = Instance::new(g.clone(), pf.clone(), t);
+        let ctx = SolveCtx::new(2011);
+        type Case<'a> = (
+            &'a str,
+            Result<Solution, Failure>,
+            Result<Solution, Failure>,
+        );
+        let cases: Vec<Case> = vec![
+            (
+                "Random",
+                solvers::Random::default().solve(&inst, &ctx),
+                random_heuristic(&g, &pf, t, 2011),
+            ),
+            (
+                "Greedy",
+                solvers::Greedy::default().solve(&inst, &ctx),
+                greedy(&g, &pf, t),
+            ),
+            (
+                "DPA2D",
+                solvers::Dpa2d.solve(&inst, &ctx),
+                dpa2d(&g, &pf, t),
+            ),
+            (
+                "DPA1D",
+                solvers::Dpa1d::default().solve(&inst, &ctx),
+                dpa1d(&g, &pf, t, &Dpa1dConfig::default()),
+            ),
+            (
+                "DPA2D1D",
+                solvers::Dpa2d1d.solve(&inst, &ctx),
+                dpa2d1d(&g, &pf, t),
+            ),
+        ];
+        for (name, new, old) in cases {
+            match (new, old) {
+                (Ok(a), Ok(b)) => assert_eq!(
+                    a.energy(),
+                    b.energy(),
+                    "{}/{name}: solver energy diverges from legacy",
+                    spec.name
+                ),
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!(
+                    "{}/{name}: feasibility diverges (solver ok={}, legacy ok={})",
+                    spec.name,
+                    a.is_ok(),
+                    b.is_ok()
+                ),
+            }
+        }
+    }
+}
+
+/// `run_heuristic` (the deprecated shim) routes through the same solvers.
+#[test]
+#[allow(deprecated)]
+fn run_heuristic_shim_matches_solver() {
+    let pf = Platform::paper(2, 2);
+    let g = spg::chain(&[2e8; 6], &[1e4; 5]);
+    let t = 0.5;
+    let inst = Instance::new(g.clone(), pf.clone(), t);
+    for kind in ALL_HEURISTICS {
+        let via_shim = run_heuristic(kind, &g, &pf, t, 5);
+        let via_solver = kind.solver().solve(&inst, &SolveCtx::new(5));
+        match (via_shim, via_solver) {
+            (Ok(a), Ok(b)) => assert_eq!(a.energy(), b.energy(), "{kind}"),
+            (Err(_), Err(_)) => {}
+            (a, b) => panic!(
+                "{kind}: shim/solver disagree ({} vs {})",
+                a.is_ok(),
+                b.is_ok()
+            ),
+        }
+    }
+}
+
+/// The probed instance reuses its caches and the portfolio wins with a
+/// finite, NaN-safe best energy.
+#[test]
+fn probe_portfolio_pipeline() {
+    let g = spg::chain(&[1e8; 6], &[1e4; 5]);
+    let base = Instance::new(g, Platform::paper(2, 2), 1.0);
+    let inst = ea_bench::probe_instance(&base, 3).expect("feasible chain");
+    let report = Portfolio::heuristics().seeded(3).run(&inst);
+    let best = report.best_energy().expect("some solver succeeds");
+    assert!(best.is_finite() && best > 0.0);
+    // The winner really is the minimum over the successful runs.
+    let min = report
+        .runs
+        .iter()
+        .filter_map(|r| r.energy())
+        .min_by(|a, b| a.total_cmp(b))
+        .unwrap();
+    assert_eq!(best, min);
+}
