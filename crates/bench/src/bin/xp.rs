@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! xp <command> [--seed N] [--apps-per-point N] [--exact-count N]
-//!              [--solvers a,b,c] [--out DIR]
+//!              [--solvers a,b,c] [--topology mesh|torus|ring]
+//!              [--routing xy|yx|shortest] [--out DIR]
 //!
 //! commands:
 //!   table1        Table 1  (StreamIt characteristics)
@@ -17,8 +18,17 @@
 //!   exact         Exact-vs-heuristics on 2x2 (ILP substitute, §4.4)
 //!   ablation-routing | ablation-downgrade | ablation-ebit
 //!   ablation-speedrule | ablation-refine
+//!   topology      Mesh vs torus vs ring on the StreamIt suite (4x4)
+//!   smoke         One small instance end-to-end on --topology/--routing
 //!   all           Everything above, in order
 //! ```
+//!
+//! `--topology` selects the interconnect backend for the figure/table
+//! campaigns (default `mesh`, the paper's platform; a ring flattens the
+//! grid to `p·q` cores), and `--routing` overrides the backend's default
+//! routing policy (mesh → `xy`, torus/ring → `shortest`). The `topology`
+//! command ignores both (it sweeps all backends at their defaults);
+//! `smoke` honours both and exits non-zero on any end-to-end failure.
 //!
 //! `--solvers` filters the portfolio through `ea_core::SolverRegistry`
 //! (names are case-insensitive; `refined:<name>` wraps a solver in the
@@ -37,23 +47,44 @@ use std::process::exit;
 use std::sync::Arc;
 use std::time::Instant;
 
+use cmp_platform::{Platform, RoutePolicy, TopologyKind};
 use ea_bench::random_xp::{self, RandomXpConfig};
 use ea_bench::streamit_xp::{self, CAMPAIGN_CSV_HEADERS};
-use ea_bench::{ablation, exact_xp, report};
+use ea_bench::{ablation, exact_xp, report, topology_xp};
 use ea_core::{Solver, SolverRegistry};
 
 const USAGE: &str = "usage: xp <command> [--seed N] [--apps-per-point N] [--exact-count N] \
-                     [--solvers a,b,c] [--out DIR]
+                     [--solvers a,b,c] [--topology mesh|torus|ring] \
+                     [--routing xy|yx|shortest] [--out DIR]
 commands: table1 fig8 fig9 table2 fig10 fig11 fig12 fig13 table3 exact
           ablation-routing ablation-downgrade ablation-ebit
-          ablation-speedrule ablation-refine all";
+          ablation-speedrule ablation-refine topology smoke all";
 
 struct Opts {
     seed: u64,
     apps_per_point: usize,
     exact_count: usize,
     solvers: Vec<Arc<dyn Solver>>,
+    topology: TopologyKind,
+    routing: Option<RoutePolicy>,
     out: PathBuf,
+}
+
+impl Opts {
+    /// The campaign platform: the paper's parameters on the selected
+    /// topology/routing backend.
+    fn platform(&self, p: u32, q: u32) -> Platform {
+        topology_xp::make_platform(self.topology, p, q, self.routing)
+    }
+
+    /// Grid label for CSV/table output, e.g. `4x4` or `ring16`.
+    fn grid_label(&self, p: u32, q: u32) -> String {
+        match self.topology {
+            TopologyKind::Mesh => format!("{p}x{q}"),
+            TopologyKind::Torus => format!("torus{p}x{q}"),
+            TopologyKind::Ring => format!("ring{}", p * q),
+        }
+    }
 }
 
 /// Exits with a usage error.
@@ -68,6 +99,8 @@ fn parse_opts(rest: &[String]) -> Opts {
         apps_per_point: 100,
         exact_count: 30,
         solvers: ea_bench::default_solvers(),
+        topology: TopologyKind::Mesh,
+        routing: None,
         out: PathBuf::from("results"),
     };
     let registry = SolverRegistry::with_defaults();
@@ -101,6 +134,18 @@ fn parse_opts(rest: &[String]) -> Opts {
                 opts.solvers = registry
                     .parse_list(&value(&mut i, flag))
                     .unwrap_or_else(|e| usage_error(&e));
+            }
+            "--topology" => {
+                opts.topology = value(&mut i, flag)
+                    .parse()
+                    .unwrap_or_else(|e: String| usage_error(&e));
+            }
+            "--routing" => {
+                opts.routing = Some(
+                    value(&mut i, flag)
+                        .parse()
+                        .unwrap_or_else(|e: String| usage_error(&e)),
+                );
             }
             "--out" => {
                 opts.out = PathBuf::from(value(&mut i, flag));
@@ -162,6 +207,8 @@ fn main() {
         ),
         "table3" => table3(&opts),
         "exact" => exact_cmd(&opts),
+        "topology" => topology_cmd(&opts),
+        "smoke" => smoke_cmd(&opts),
         "ablation-routing" => println!("{}", ablation::routing_text(12, opts.seed)),
         "ablation-downgrade" => println!("{}", ablation::downgrade_text(12, opts.seed)),
         "ablation-ebit" => println!("{}", ablation::ebit_text(12, opts.seed, &opts.solvers)),
@@ -209,6 +256,7 @@ fn main() {
             println!("{}", ablation::routing_text(12, opts.seed));
             println!("{}", ablation::downgrade_text(12, opts.seed));
             println!("{}", ablation::ebit_text(12, opts.seed, &opts.solvers));
+            topology_cmd(&opts);
         }
         other => usage_error(&format!("unknown command '{other}'")),
     }
@@ -220,22 +268,24 @@ fn table1(opts: &Opts) {
 }
 
 fn fig_streamit(opts: &Opts, p: u32, q: u32, name: &str, title: &str) {
-    let campaign = streamit_xp::streamit_campaign(p, q, opts.seed, &opts.solvers);
+    let campaign = streamit_xp::streamit_campaign_on(opts.platform(p, q), opts.seed, &opts.solvers);
     println!("{}", streamit_xp::figure_text(&campaign, title));
-    let rows = streamit_xp::campaign_csv_rows(&campaign, &format!("{p}x{q}"));
+    let rows = streamit_xp::campaign_csv_rows(&campaign, &opts.grid_label(p, q));
     if let Err(e) = report::write_csv(&opts.out, name, &CAMPAIGN_CSV_HEADERS, &rows) {
         eprintln!("[xp] csv write failed: {e}");
     }
 }
 
 fn table2(opts: &Opts) {
-    let c44 = streamit_xp::streamit_campaign(4, 4, opts.seed, &opts.solvers);
-    let c66 = streamit_xp::streamit_campaign(6, 6, opts.seed, &opts.solvers);
+    let c44 = streamit_xp::streamit_campaign_on(opts.platform(4, 4), opts.seed, &opts.solvers);
+    let c66 = streamit_xp::streamit_campaign_on(opts.platform(6, 6), opts.seed, &opts.solvers);
     println!("{}", streamit_xp::table2_text(&c44, &c66));
 }
 
 fn fig_random(opts: &Opts, n: usize, p: u32, q: u32, name: &str, title: &str) {
-    let cfg = RandomXpConfig::paper(n, p, q, opts.apps_per_point, opts.seed);
+    let mut cfg = RandomXpConfig::paper(n, p, q, opts.apps_per_point, opts.seed);
+    cfg.topology = opts.topology;
+    cfg.routing = opts.routing;
     let data = random_xp::random_campaign(&cfg, &opts.solvers);
     println!("{}", random_xp::figure_text(&data, title));
     if name == "fig10" {
@@ -262,4 +312,27 @@ fn table3(opts: &Opts) {
 fn exact_cmd(opts: &Opts) {
     let campaign = exact_xp::exact_campaign(opts.exact_count, opts.seed, &opts.solvers);
     println!("{}", exact_xp::exact_text(&campaign));
+}
+
+fn topology_cmd(opts: &Opts) {
+    let campaign = topology_xp::topology_campaign(4, 4, opts.seed, &opts.solvers);
+    println!("{}", topology_xp::topology_text(&campaign));
+    if let Err(e) = report::write_csv(
+        &opts.out,
+        "topology",
+        &topology_xp::TOPOLOGY_CSV_HEADERS,
+        &topology_xp::topology_csv_rows(&campaign),
+    ) {
+        eprintln!("[xp] csv write failed: {e}");
+    }
+}
+
+fn smoke_cmd(opts: &Opts) {
+    match topology_xp::smoke_text(opts.topology, opts.routing, opts.seed, &opts.solvers) {
+        Ok(line) => println!("{line}"),
+        Err(e) => {
+            eprintln!("xp: {e}");
+            exit(1);
+        }
+    }
 }

@@ -12,6 +12,8 @@
 //! | Table 3 — random-SPG failure counts | [`random_xp`] | `table3` |
 //! | §4.4 exact-vs-heuristics check on 2×2 | [`exact_xp`] | `exact` |
 //! | Ablations (routing, downgrade, E_bit) | [`ablation`] | `ablation-*` |
+//! | Mesh vs torus vs ring comparison | [`topology_xp`] | `topology` |
+//! | Per-backend end-to-end smoke (CI gate) | [`topology_xp`] | `smoke` |
 //!
 //! The period bound per workload follows §6.1.3 exactly ([`probe`]): start
 //! at `T = 1 s`, divide by ten until every heuristic fails, keep the
@@ -30,6 +32,8 @@ pub mod random_xp;
 pub mod report;
 pub mod runner;
 pub mod streamit_xp;
+pub mod topology_xp;
 
 pub use probe::{probe_instance, probe_period};
 pub use runner::{best_energy, default_solvers, run_portfolio, solver_names, SolverOutcome};
+pub use topology_xp::{make_platform, smoke_text, topology_campaign};

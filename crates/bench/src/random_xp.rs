@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 
-use cmp_platform::Platform;
+use cmp_platform::{Platform, RoutePolicy, TopologyKind};
 use ea_core::{Instance, Solver};
 use rayon::prelude::*;
 use spg::{random_spg, SpgGenConfig};
@@ -37,11 +37,15 @@ pub struct RandomXpConfig {
     pub apps_per_point: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Interconnect backend (the paper's figures use the mesh).
+    pub topology: TopologyKind,
+    /// Routing-policy override (`None` = the topology's default).
+    pub routing: Option<RoutePolicy>,
 }
 
 impl RandomXpConfig {
     /// The paper's configuration for a figure: elevations `1..=20` for
-    /// `n = 50`, `1..=30` for `n = 150`.
+    /// `n = 50`, `1..=30` for `n = 150`, on the mesh.
     pub fn paper(n: usize, p: u32, q: u32, apps_per_point: usize, seed: u64) -> Self {
         let max_elev = if n >= 150 { 30 } else { 20 };
         RandomXpConfig {
@@ -52,7 +56,15 @@ impl RandomXpConfig {
             ccrs: vec![10.0, 1.0, 0.1],
             apps_per_point,
             seed,
+            topology: TopologyKind::Mesh,
+            routing: None,
         }
+    }
+
+    /// The configured platform: the paper's electrical parameters on this
+    /// campaign's topology/routing backend.
+    pub fn platform(&self) -> Platform {
+        crate::topology_xp::make_platform(self.topology, self.p, self.q, self.routing)
     }
 }
 
@@ -80,7 +92,7 @@ pub struct RandomXpData {
 
 /// Runs one campaign with the given solver portfolio.
 pub fn random_campaign(cfg: &RandomXpConfig, solvers: &[Arc<dyn Solver>]) -> RandomXpData {
-    let pf = Arc::new(Platform::paper(cfg.p, cfg.q));
+    let pf = Arc::new(cfg.platform());
     let points: Vec<Vec<PointStats>> = cfg
         .ccrs
         .iter()

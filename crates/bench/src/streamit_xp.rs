@@ -53,15 +53,25 @@ pub struct StreamItCampaign {
     pub instances: Vec<StreamItInstance>,
 }
 
-/// Runs the full StreamIt campaign on a `p × q` grid with the given solver
-/// portfolio: 12 workflows × 4 CCR variants = 48 instances.
+/// Runs the full StreamIt campaign on the paper's `p × q` mesh with the
+/// given solver portfolio: 12 workflows × 4 CCR variants = 48 instances.
 pub fn streamit_campaign(
     p: u32,
     q: u32,
     seed: u64,
     solvers: &[Arc<dyn Solver>],
 ) -> StreamItCampaign {
-    let pf = Arc::new(Platform::paper(p, q));
+    streamit_campaign_on(Platform::paper(p, q), seed, solvers)
+}
+
+/// [`streamit_campaign`] on an arbitrary platform (any topology/routing
+/// backend) — what `xp --topology/--routing` drives.
+pub fn streamit_campaign_on(
+    pf: Platform,
+    seed: u64,
+    solvers: &[Arc<dyn Solver>],
+) -> StreamItCampaign {
+    let pf = Arc::new(pf);
     let cases: Vec<(&StreamItSpec, usize)> = STREAMIT_SPECS
         .iter()
         .flat_map(|spec| (0..CCR_VARIANTS.len()).map(move |ci| (spec, ci)))

@@ -1,6 +1,9 @@
-//! The CMP grid description (paper §3.2).
+//! The CMP grid description (paper §3.2), generalised over the pluggable
+//! interconnect backends of [`crate::topology`].
 
 use crate::power::PowerModel;
+use crate::router::RoutePolicy;
+use crate::topology::{Neighbours, TopoBackend, Topology, TopologyKind};
 
 /// A core coordinate: row `u ∈ 0..p`, column `v ∈ 0..q` (the paper's
 /// 1-based `C_{u+1,v+1}`).
@@ -35,10 +38,11 @@ impl CoreId {
     }
 }
 
-/// A `p × q` CMP: homogeneous DVFS cores on a rectangular grid with
-/// bidirectional neighbour links of bandwidth `bw` bytes/s **per
-/// direction**, per-bit link energy `e_bit` joules/bit, and an aggregate
-/// router/link leakage `p_leak_comm` watts (paper §3.2, §3.5).
+/// A `p × q` CMP: homogeneous DVFS cores on a grid-shaped interconnect
+/// (mesh, torus, or ring — see [`TopologyKind`]) with bidirectional
+/// neighbour links of bandwidth `bw` bytes/s **per direction**, per-bit
+/// link energy `e_bit` joules/bit, and an aggregate router/link leakage
+/// `p_leak_comm` watts (paper §3.2, §3.5).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Platform {
     /// Number of rows `p`.
@@ -55,14 +59,32 @@ pub struct Platform {
     /// The paper sets it to 0 without loss of generality (it adds the same
     /// `P_leak^(comm)·T` to every mapping).
     pub p_leak_comm: f64,
+    /// The interconnect shape (the paper's platform is [`TopologyKind::Mesh`]).
+    pub topology: TopologyKind,
+    /// The routing policy solvers use for dimension-routed mappings (the
+    /// paper's platform uses [`RoutePolicy::Xy`]; torus/ring default to
+    /// [`RoutePolicy::Shortest`] so their wrap links actually pay off).
+    pub policy: RoutePolicy,
 }
 
 impl Platform {
-    /// The paper's evaluation platform (§6.1.2): XScale cores, 16-byte-wide
-    /// links at 1.2 GHz (`BW = 19.2 GB/s` per direction), `E_bit = 6 pJ`,
-    /// `P_leak^(comm) = 0`.
+    /// The paper's evaluation platform (§6.1.2): XScale cores on a mesh,
+    /// 16-byte-wide links at 1.2 GHz (`BW = 19.2 GB/s` per direction),
+    /// `E_bit = 6 pJ`, `P_leak^(comm) = 0`, XY routing.
     pub fn paper(p: u32, q: u32) -> Self {
+        Platform::paper_topology(TopologyKind::Mesh, p, q)
+    }
+
+    /// The paper's electrical parameters on an alternative interconnect
+    /// backend, with the backend's default routing policy (mesh → XY,
+    /// torus/ring → shortest). A [`TopologyKind::Ring`] has no second
+    /// dimension: the grid is flattened to a ring of `p·q` cores.
+    pub fn paper_topology(kind: TopologyKind, p: u32, q: u32) -> Self {
         assert!(p >= 1 && q >= 1);
+        let (p, q) = match kind {
+            TopologyKind::Ring => (1, p * q),
+            _ => (p, q),
+        };
         Platform {
             p,
             q,
@@ -70,7 +92,24 @@ impl Platform {
             bw: 16.0 * 1.2e9,
             e_bit: 6e-12,
             p_leak_comm: 0.0,
+            topology: kind,
+            policy: match kind {
+                TopologyKind::Mesh => RoutePolicy::Xy,
+                TopologyKind::Torus | TopologyKind::Ring => RoutePolicy::Shortest,
+            },
         }
+    }
+
+    /// The same platform with a different default routing policy.
+    pub fn with_policy(mut self, policy: RoutePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The topology backend implementing [`Topology`] for this platform.
+    #[inline]
+    pub fn topo(&self) -> TopoBackend {
+        TopoBackend::new(self.topology, self.p, self.q)
     }
 
     /// Total number of cores `r = p·q`.
@@ -91,22 +130,24 @@ impl Platform {
         (0..self.p).flat_map(move |u| (0..q).map(move |v| CoreId { u, v }))
     }
 
-    /// The 2–4 grid neighbours of a core.
-    pub fn neighbours(&self, c: CoreId) -> Vec<CoreId> {
-        let mut out = Vec::with_capacity(4);
-        if c.u > 0 {
-            out.push(CoreId { u: c.u - 1, v: c.v });
-        }
-        if c.u + 1 < self.p {
-            out.push(CoreId { u: c.u + 1, v: c.v });
-        }
-        if c.v > 0 {
-            out.push(CoreId { u: c.u, v: c.v - 1 });
-        }
-        if c.v + 1 < self.q {
-            out.push(CoreId { u: c.u, v: c.v + 1 });
-        }
-        out
+    /// The 2–4 topology neighbours of a core, as an allocation-free
+    /// iterator in link-direction order (east, west, south, north; wrap
+    /// neighbours included on torus/ring).
+    pub fn neighbours(&self, c: CoreId) -> Neighbours {
+        Neighbours::new(self.topo(), c)
+    }
+
+    /// Whether the topology owns a directed link from `from` to `to`.
+    #[inline]
+    pub fn has_link(&self, from: CoreId, to: CoreId) -> bool {
+        self.topo().has_link(from, to)
+    }
+
+    /// Minimal hop distance between two cores on this topology (the
+    /// Manhattan distance on a mesh; wrap-aware on torus and ring).
+    #[inline]
+    pub fn distance(&self, a: CoreId, b: CoreId) -> u32 {
+        self.topo().distance(a, b)
     }
 
     /// Seconds needed to push `bytes` across one link direction.
@@ -123,8 +164,8 @@ impl Platform {
     }
 
     /// A same-shape platform with a different core count, keeping all
-    /// electrical parameters (used by `DPA2D1D` to run `DPA2D` on a virtual
-    /// `1 × (p·q)` platform, §5.4).
+    /// electrical parameters, topology, and policy (used by `DPA2D1D` to
+    /// run `DPA2D` on a virtual `1 × (p·q)` platform, §5.4).
     pub fn reshaped(&self, p: u32, q: u32) -> Platform {
         Platform {
             p,
@@ -160,11 +201,30 @@ mod tests {
     #[test]
     fn neighbours_on_borders() {
         let pf = Platform::paper(3, 3);
-        assert_eq!(pf.neighbours(CoreId { u: 0, v: 0 }).len(), 2);
-        assert_eq!(pf.neighbours(CoreId { u: 0, v: 1 }).len(), 3);
-        assert_eq!(pf.neighbours(CoreId { u: 1, v: 1 }).len(), 4);
+        assert_eq!(pf.neighbours(CoreId { u: 0, v: 0 }).count(), 2);
+        assert_eq!(pf.neighbours(CoreId { u: 0, v: 1 }).count(), 3);
+        assert_eq!(pf.neighbours(CoreId { u: 1, v: 1 }).count(), 4);
         let single = Platform::paper(1, 1);
-        assert!(single.neighbours(CoreId { u: 0, v: 0 }).is_empty());
+        assert!(single.neighbours(CoreId { u: 0, v: 0 }).next().is_none());
+        // On the torus every core has all four neighbours.
+        let torus = Platform::paper_topology(TopologyKind::Torus, 3, 3);
+        assert_eq!(torus.neighbours(CoreId { u: 0, v: 0 }).count(), 4);
+    }
+
+    #[test]
+    fn ring_constructor_flattens_the_grid() {
+        let ring = Platform::paper_topology(TopologyKind::Ring, 4, 4);
+        assert_eq!((ring.p, ring.q), (1, 16));
+        assert_eq!(ring.n_cores(), 16);
+        assert_eq!(ring.policy, RoutePolicy::Shortest);
+        // Wrap closes the line: first and last core are one hop apart.
+        assert_eq!(
+            ring.distance(CoreId { u: 0, v: 0 }, CoreId { u: 0, v: 15 }),
+            1
+        );
+        let mesh = Platform::paper(4, 4);
+        assert_eq!(mesh.policy, RoutePolicy::Xy);
+        assert_eq!(mesh.topology, TopologyKind::Mesh);
     }
 
     #[test]

@@ -1,14 +1,23 @@
 //! # cmp-platform — chip-multiprocessor platform substrate
 //!
-//! Models the target platform of the paper (§3.2): a `p × q` grid of
-//! homogeneous DVFS cores connected by bidirectional mesh links of bandwidth
-//! `BW` per direction, with per-bit link energy `E_bit`.
+//! Models the target platform of the paper (§3.2) behind pluggable
+//! interconnect backends: a grid of homogeneous DVFS cores connected by
+//! bidirectional links of bandwidth `BW` per direction, with per-bit link
+//! energy `E_bit`.
 //!
 //! * [`power`] — the DVFS speed/power model, with the Intel XScale defaults
 //!   used in §6.1.2;
 //! * [`grid`] — the platform description and core coordinates;
-//! * [`routing`] — dimension-ordered XY routes, the snake embedding that
-//!   turns the grid into a uni-line CMP (§5.4), and directed link ids.
+//! * [`topology`] — the [`Topology`] trait and the shipped backends
+//!   ([`Mesh2D`] — the paper's platform, [`Torus2D`], [`Ring`]), all
+//!   sharing the dense directed-link indexing;
+//! * [`router`] — the [`Router`] trait, the shipped policies
+//!   ([`RoutePolicy`]: XY / YX dimension-ordered, wrap-aware shortest,
+//!   snake), and the precomputed [`RouteTable`] that turns route
+//!   generation into flat slice walks;
+//! * [`routing`] — the dimension-ordered XY route generators, the snake
+//!   embedding that turns the grid into a uni-line CMP (§5.4), and route
+//!   validation.
 //!
 //! Coordinates are **0-based** internally (`u ∈ 0..p` rows, `v ∈ 0..q`
 //! columns); the paper's `C_{u,v}` with 1-based indices maps to
@@ -16,11 +25,18 @@
 
 pub mod grid;
 pub mod power;
+pub mod router;
 pub mod routing;
+pub mod topology;
 
 pub use grid::{CoreId, Platform};
 pub use power::{PowerModel, Speed};
+pub use router::{
+    shortest_route_visit, DimOrderedRouter, RoutePolicy, RouteTable, Router, ShortestRouter,
+    SnakeRouter,
+};
 pub use routing::{
     snake_core, snake_index, snake_route, snake_route_visit, xy_route, xy_route_visit, DirLink,
     RouteOrder,
 };
+pub use topology::{Mesh2D, Neighbours, Ring, TopoBackend, Topology, TopologyKind, Torus2D};

@@ -1,0 +1,477 @@
+//! Pluggable routing policies and precomputed route tables.
+//!
+//! A [`Router`] turns a `(src, dst)` core pair into a sequence of directed
+//! links on a [`Topology`]. Four policies ship:
+//!
+//! * [`RoutePolicy::Xy`] — dimension-ordered, column dimension first (the
+//!   paper's row-first XY routes, §5.1/§5.3); never uses wrap links, so it
+//!   behaves identically on mesh and torus;
+//! * [`RoutePolicy::Yx`] — dimension-ordered, row dimension first (the
+//!   transposed reading of §5.1);
+//! * [`RoutePolicy::Shortest`] — dimension-ordered like XY, but each
+//!   dimension independently takes the direction with fewer hops,
+//!   including wrap links on torus and ring; ties break toward the mesh
+//!   direction, so on a mesh this is exactly `Xy`;
+//! * [`RoutePolicy::Snake`] — along the snake embedding of the grid
+//!   (§5.4), the discipline of the 1D heuristics.
+//!
+//! [`RouteTable`] precomputes every `(src, dst)` route of one policy into a
+//! flat `(offsets, links)` pair of packed link-index spans, so the
+//! evaluation hot path walks a slice instead of regenerating routes hop by
+//! hop. A table is a few hundred kilobytes even on a 6×6 grid and is cached
+//! per policy on the solver session (`ea_core::Instance`).
+
+use crate::grid::{CoreId, Platform};
+use crate::routing::{snake_index, snake_route_visit, xy_route_visit, RouteOrder};
+use crate::topology::{DirLink, TopoBackend, Topology, DIR_EAST, DIR_NORTH, DIR_SOUTH, DIR_WEST};
+
+/// A routing policy name: which [`Router`] generates a mapping's routes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RoutePolicy {
+    /// Dimension-ordered, column dimension first (row-first XY).
+    #[default]
+    Xy,
+    /// Dimension-ordered, row dimension first (column-first XY).
+    Yx,
+    /// Per-dimension shortest direction, wrap-aware; `Xy` on a mesh.
+    Shortest,
+    /// Along the snake embedding of the grid (§5.4).
+    Snake,
+}
+
+impl RoutePolicy {
+    /// All shipped policies, in CLI/documentation order.
+    pub const ALL: [RoutePolicy; 4] = [
+        RoutePolicy::Xy,
+        RoutePolicy::Yx,
+        RoutePolicy::Shortest,
+        RoutePolicy::Snake,
+    ];
+
+    /// Dense index (for per-policy caches).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            RoutePolicy::Xy => 0,
+            RoutePolicy::Yx => 1,
+            RoutePolicy::Shortest => 2,
+            RoutePolicy::Snake => 3,
+        }
+    }
+
+    /// Lower-case CLI name (`xy` / `yx` / `shortest` / `snake`).
+    pub fn name(self) -> &'static str {
+        match self {
+            RoutePolicy::Xy => "xy",
+            RoutePolicy::Yx => "yx",
+            RoutePolicy::Shortest => "shortest",
+            RoutePolicy::Snake => "snake",
+        }
+    }
+}
+
+impl std::fmt::Display for RoutePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for RoutePolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "xy" => Ok(RoutePolicy::Xy),
+            "yx" => Ok(RoutePolicy::Yx),
+            "shortest" => Ok(RoutePolicy::Shortest),
+            "snake" => Ok(RoutePolicy::Snake),
+            other => Err(format!(
+                "unknown routing policy '{other}' (expected xy, yx, shortest, or snake)"
+            )),
+        }
+    }
+}
+
+/// Route generation between two cores of a topology.
+///
+/// The contract (checked by the cross-backend property tests): the visited
+/// links form a contiguous, cycle-free path from `from` to `to`, and every
+/// link is owned by the topology ([`Topology::has_link`]).
+pub trait Router {
+    /// Which policy this router implements.
+    fn policy(&self) -> RoutePolicy;
+
+    /// Visits every hop of the route from `from` to `to`, in order (no
+    /// hops when `from == to`).
+    fn visit(&self, from: CoreId, to: CoreId, f: &mut dyn FnMut(DirLink));
+
+    /// The route as a path vector (convenience over [`Router::visit`]).
+    fn route(&self, from: CoreId, to: CoreId) -> Vec<DirLink> {
+        let mut path = Vec::new();
+        self.visit(from, to, &mut |l| path.push(l));
+        path
+    }
+}
+
+/// Dimension-ordered router ([`RoutePolicy::Xy`] / [`RoutePolicy::Yx`]);
+/// never takes wrap links, so it is valid on every shipped backend.
+#[derive(Debug, Clone, Copy)]
+pub struct DimOrderedRouter {
+    /// Which dimension moves first.
+    pub order: RouteOrder,
+}
+
+impl Router for DimOrderedRouter {
+    fn policy(&self) -> RoutePolicy {
+        match self.order {
+            RouteOrder::RowFirst => RoutePolicy::Xy,
+            RouteOrder::ColFirst => RoutePolicy::Yx,
+        }
+    }
+
+    fn visit(&self, from: CoreId, to: CoreId, f: &mut dyn FnMut(DirLink)) {
+        xy_route_visit(from, to, self.order, f);
+    }
+}
+
+/// Wrap-aware shortest router ([`RoutePolicy::Shortest`]) over one topology
+/// backend.
+#[derive(Debug, Clone, Copy)]
+pub struct ShortestRouter {
+    /// The topology whose wrap links the router may take.
+    pub topo: TopoBackend,
+}
+
+impl Router for ShortestRouter {
+    fn policy(&self) -> RoutePolicy {
+        RoutePolicy::Shortest
+    }
+
+    fn visit(&self, from: CoreId, to: CoreId, f: &mut dyn FnMut(DirLink)) {
+        shortest_route_visit(&self.topo, from, to, f);
+    }
+}
+
+/// Snake router ([`RoutePolicy::Snake`]) over one grid shape.
+#[derive(Debug, Clone)]
+pub struct SnakeRouter {
+    /// The platform whose snake embedding the routes follow.
+    pub pf: Platform,
+}
+
+impl Router for SnakeRouter {
+    fn policy(&self) -> RoutePolicy {
+        RoutePolicy::Snake
+    }
+
+    fn visit(&self, from: CoreId, to: CoreId, f: &mut dyn FnMut(DirLink)) {
+        snake_route_visit(
+            &self.pf,
+            snake_index(&self.pf, from),
+            snake_index(&self.pf, to),
+            f,
+        );
+    }
+}
+
+/// One dimension of a shortest route: the direction slot to step in and the
+/// number of hops. Ties (exactly half way around a wrapped dimension) break
+/// toward the mesh direction, so mesh and torus agree whenever wrap buys
+/// nothing.
+#[inline]
+fn shortest_leg(
+    cur: u32,
+    dst: u32,
+    size: u32,
+    wrap: bool,
+    pos_dir: usize,
+    neg_dir: usize,
+) -> (usize, u32) {
+    let d = cur.abs_diff(dst);
+    let mesh_dir = if dst > cur { pos_dir } else { neg_dir };
+    if !wrap || d <= size - d {
+        (mesh_dir, d)
+    } else {
+        // Strictly shorter the other way around.
+        let wrap_dir = if dst > cur { neg_dir } else { pos_dir };
+        (wrap_dir, size - d)
+    }
+}
+
+/// Visitor form of the shortest route on a topology: dimension-ordered
+/// (columns first, mirroring row-first XY), each dimension independently
+/// taking the direction with fewer hops — including wrap links where the
+/// topology has them. On a mesh this produces exactly the row-first XY
+/// route.
+pub fn shortest_route_visit<T: Topology + ?Sized>(
+    topo: &T,
+    from: CoreId,
+    to: CoreId,
+    mut f: impl FnMut(DirLink),
+) {
+    debug_assert!(topo.contains(from) && topo.contains(to));
+    let mut cur = from;
+    let legs = [
+        shortest_leg(
+            from.v,
+            to.v,
+            topo.cols(),
+            topo.wrap_cols(),
+            DIR_EAST,
+            DIR_WEST,
+        ),
+        shortest_leg(
+            from.u,
+            to.u,
+            topo.rows(),
+            topo.wrap_rows(),
+            DIR_SOUTH,
+            DIR_NORTH,
+        ),
+    ];
+    for (dir, hops) in legs {
+        for _ in 0..hops {
+            let next = topo
+                .step(cur, dir)
+                .expect("shortest leg steps stay on the topology");
+            f(DirLink {
+                from: cur,
+                to: next,
+            });
+            cur = next;
+        }
+    }
+    debug_assert_eq!(cur, to);
+}
+
+impl Platform {
+    /// Visits every hop of the `policy` route from `from` to `to` on this
+    /// platform (static dispatch; the generation hot path behind
+    /// [`RouteTable::build`] and the mapping evaluator's fallback).
+    pub fn route_visit(
+        &self,
+        policy: RoutePolicy,
+        from: CoreId,
+        to: CoreId,
+        f: impl FnMut(DirLink),
+    ) {
+        match policy {
+            RoutePolicy::Xy => xy_route_visit(from, to, RouteOrder::RowFirst, f),
+            RoutePolicy::Yx => xy_route_visit(from, to, RouteOrder::ColFirst, f),
+            RoutePolicy::Shortest => shortest_route_visit(&self.topo(), from, to, f),
+            RoutePolicy::Snake => {
+                snake_route_visit(self, snake_index(self, from), snake_index(self, to), f)
+            }
+        }
+    }
+
+    /// A boxed [`Router`] for one policy on this platform, for callers that
+    /// want dynamic dispatch over policies.
+    pub fn router(&self, policy: RoutePolicy) -> Box<dyn Router> {
+        match policy {
+            RoutePolicy::Xy => Box::new(DimOrderedRouter {
+                order: RouteOrder::RowFirst,
+            }),
+            RoutePolicy::Yx => Box::new(DimOrderedRouter {
+                order: RouteOrder::ColFirst,
+            }),
+            RoutePolicy::Shortest => Box::new(ShortestRouter { topo: self.topo() }),
+            RoutePolicy::Snake => Box::new(SnakeRouter { pf: self.clone() }),
+        }
+    }
+}
+
+/// A precomputed route table: for every `(src, dst)` core pair of one
+/// platform and one policy, the route as a packed span of dense link
+/// indices ([`Platform::link_index`]). Turning the evaluator's per-hop
+/// route generation into a flat slice walk is what makes route-heavy
+/// campaigns cheap, uniformly across topologies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteTable {
+    policy: RoutePolicy,
+    /// The platform shape the table was built for — all three fields are
+    /// checked by [`RouteTable::matches_platform`]: link indices are only
+    /// meaningful on the exact grid shape and topology that produced them.
+    p: u32,
+    q: u32,
+    topology: crate::topology::TopologyKind,
+    /// `offsets[src * n + dst] .. offsets[src * n + dst + 1]` indexes
+    /// `links`.
+    offsets: Vec<u32>,
+    /// Concatenated link indices of all routes, row-major by `(src, dst)`.
+    links: Vec<u32>,
+}
+
+impl RouteTable {
+    /// Builds the table for one platform and policy by running the policy's
+    /// route visitor over every ordered core pair.
+    pub fn build(pf: &Platform, policy: RoutePolicy) -> RouteTable {
+        let n = pf.n_cores();
+        let mut offsets = Vec::with_capacity(n * n + 1);
+        let mut links = Vec::new();
+        offsets.push(0u32);
+        for src in 0..n {
+            let from = CoreId::from_flat(src, pf.q);
+            for dst in 0..n {
+                let to = CoreId::from_flat(dst, pf.q);
+                pf.route_visit(policy, from, to, |l| {
+                    links.push(pf.link_index(l) as u32);
+                });
+                offsets.push(links.len() as u32);
+            }
+        }
+        RouteTable {
+            policy,
+            p: pf.p,
+            q: pf.q,
+            topology: pf.topology,
+            offsets,
+            links,
+        }
+    }
+
+    /// The policy the table was built for.
+    #[inline]
+    pub fn policy(&self) -> RoutePolicy {
+        self.policy
+    }
+
+    /// Number of cores of the platform the table was built for.
+    #[inline]
+    pub fn n_cores(&self) -> usize {
+        (self.p * self.q) as usize
+    }
+
+    /// Whether the table was built for this platform's exact shape and
+    /// topology. Consumers (the evaluator, the simulator) fall back to
+    /// hop-by-hop route generation when this is false — a table from a
+    /// same-core-count but differently shaped platform (e.g. 4×4 vs 2×8)
+    /// would silently map link indices onto the wrong physical links.
+    #[inline]
+    pub fn matches_platform(&self, pf: &Platform) -> bool {
+        self.p == pf.p && self.q == pf.q && self.topology == pf.topology
+    }
+
+    /// The packed link-index span of the route from flat core `src` to flat
+    /// core `dst` (empty when `src == dst`).
+    #[inline]
+    pub fn links_between(&self, src: usize, dst: usize) -> &[u32] {
+        let cell = src * self.n_cores() + dst;
+        let lo = self.offsets[cell] as usize;
+        let hi = self.offsets[cell + 1] as usize;
+        &self.links[lo..hi]
+    }
+
+    /// Hop count of the route from flat core `src` to flat core `dst`.
+    #[inline]
+    pub fn hops(&self, src: usize, dst: usize) -> usize {
+        let cell = src * self.n_cores() + dst;
+        (self.offsets[cell + 1] - self.offsets[cell]) as usize
+    }
+
+    /// Total number of stored hops over all pairs (diagnostics).
+    pub fn total_hops(&self) -> usize {
+        self.links.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::validate_route;
+    use crate::topology::TopologyKind;
+
+    fn c(u: u32, v: u32) -> CoreId {
+        CoreId { u, v }
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in RoutePolicy::ALL {
+            assert_eq!(p.name().parse::<RoutePolicy>().unwrap(), p);
+            assert_eq!(RoutePolicy::ALL[p.index()], p);
+        }
+        assert!("spiral".parse::<RoutePolicy>().is_err());
+    }
+
+    #[test]
+    fn shortest_equals_xy_on_mesh() {
+        let pf = Platform::paper(4, 5);
+        let xy = DimOrderedRouter {
+            order: RouteOrder::RowFirst,
+        };
+        let sp = ShortestRouter { topo: pf.topo() };
+        for a in 0..pf.n_cores() {
+            for b in 0..pf.n_cores() {
+                let (ca, cb) = (CoreId::from_flat(a, pf.q), CoreId::from_flat(b, pf.q));
+                assert_eq!(sp.route(ca, cb), xy.route(ca, cb), "{ca:?}->{cb:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_takes_wrap_links_on_torus() {
+        let pf = Platform::paper_topology(TopologyKind::Torus, 4, 4);
+        let sp = ShortestRouter { topo: pf.topo() };
+        // (0,0) -> (0,3): one wrap hop west instead of three east.
+        let r = sp.route(c(0, 0), c(0, 3));
+        assert_eq!(r.len(), 1);
+        assert_eq!(
+            r[0],
+            DirLink {
+                from: c(0, 0),
+                to: c(0, 3)
+            }
+        );
+        // (0,0) -> (3,3): wrap in both dimensions.
+        let r = sp.route(c(0, 0), c(3, 3));
+        assert_eq!(r.len(), 2);
+        validate_route(&pf, c(0, 0), c(3, 3), &r).unwrap();
+        // Ties (distance exactly q/2) break toward the mesh direction.
+        let r = sp.route(c(0, 0), c(0, 2));
+        assert_eq!(r[0].to, c(0, 1));
+    }
+
+    #[test]
+    fn shortest_route_length_is_topology_distance() {
+        for pf in [
+            Platform::paper(3, 4),
+            Platform::paper_topology(TopologyKind::Torus, 3, 4),
+            Platform::paper_topology(TopologyKind::Torus, 5, 5),
+            Platform::paper_topology(TopologyKind::Ring, 1, 7),
+        ] {
+            let sp = ShortestRouter { topo: pf.topo() };
+            for a in 0..pf.n_cores() {
+                for b in 0..pf.n_cores() {
+                    let (ca, cb) = (CoreId::from_flat(a, pf.q), CoreId::from_flat(b, pf.q));
+                    let r = sp.route(ca, cb);
+                    assert_eq!(r.len() as u32, pf.distance(ca, cb), "{ca:?}->{cb:?}");
+                    validate_route(&pf, ca, cb, &r).unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_table_matches_visitors() {
+        for pf in [
+            Platform::paper(3, 3),
+            Platform::paper_topology(TopologyKind::Torus, 3, 3),
+            Platform::paper_topology(TopologyKind::Ring, 1, 6),
+        ] {
+            for policy in RoutePolicy::ALL {
+                let table = RouteTable::build(&pf, policy);
+                assert_eq!(table.policy(), policy);
+                for src in 0..pf.n_cores() {
+                    for dst in 0..pf.n_cores() {
+                        let (ca, cb) = (CoreId::from_flat(src, pf.q), CoreId::from_flat(dst, pf.q));
+                        let mut direct = Vec::new();
+                        pf.route_visit(policy, ca, cb, |l| direct.push(pf.link_index(l) as u32));
+                        assert_eq!(table.links_between(src, dst), direct.as_slice());
+                        assert_eq!(table.hops(src, dst), direct.len());
+                    }
+                }
+            }
+        }
+    }
+}

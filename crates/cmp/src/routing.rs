@@ -11,69 +11,39 @@
 //!   route from position `a` to position `b` crosses `|b − a|` links.
 
 use crate::grid::{CoreId, Platform};
+use crate::topology::Topology;
 
-/// A directed link between two *adjacent* cores.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct DirLink {
-    /// Transmitting core.
-    pub from: CoreId,
-    /// Receiving core (grid neighbour of `from`).
-    pub to: CoreId,
-}
+pub use crate::topology::DirLink;
 
 impl Platform {
     /// Number of dense directed-link index slots: 4 per core (east, west,
-    /// south, north), border slots simply unused. O(1) [`Platform::link_index`]
-    /// beats hashing `DirLink`s in the evaluator's inner loop.
+    /// south, north), unowned slots simply unused. O(1)
+    /// [`Platform::link_index`] beats hashing `DirLink`s in the evaluator's
+    /// inner loop.
     #[inline]
     pub fn n_link_slots(&self) -> usize {
-        self.n_cores() * 4
+        self.topo().n_link_slots()
     }
 
-    /// Dense index of a directed link between adjacent cores.
+    /// Dense index of a directed link between adjacent cores (adjacency per
+    /// this platform's topology — wrap links included on torus/ring).
     ///
     /// # Panics
-    /// Debug-panics if the endpoints are not grid neighbours.
+    /// Panics if the topology owns no such link.
     #[inline]
     pub fn link_index(&self, l: DirLink) -> usize {
-        let dir = if l.to.v == l.from.v + 1 {
-            0 // east
-        } else if l.to.v + 1 == l.from.v {
-            1 // west
-        } else if l.to.u == l.from.u + 1 {
-            2 // south
-        } else {
-            debug_assert!(l.to.u + 1 == l.from.u, "link endpoints not adjacent: {l:?}");
-            3 // north
-        };
-        l.from.flat(self.q) * 4 + dir
+        match self.topo().link_index(l) {
+            Some(idx) => idx,
+            None => panic!("link endpoints not adjacent on {}: {l:?}", self.topology),
+        }
     }
 
-    /// Inverse of [`Platform::link_index`]; `None` for unused border slots.
+    /// Inverse of [`Platform::link_index`]; `None` for unused slots.
     pub fn link_from_index(&self, idx: usize) -> Option<DirLink> {
-        let from = CoreId::from_flat(idx / 4, self.q);
-        let to = match idx % 4 {
-            0 => CoreId {
-                u: from.u,
-                v: from.v + 1,
-            },
-            1 => CoreId {
-                u: from.u,
-                v: from.v.checked_sub(1)?,
-            },
-            2 => CoreId {
-                u: from.u + 1,
-                v: from.v,
-            },
-            _ => CoreId {
-                u: from.u.checked_sub(1)?,
-                v: from.v,
-            },
-        };
-        self.contains(to).then_some(DirLink { from, to })
+        self.topo().link_from_index(idx)
     }
 
-    /// All directed links of the mesh, in index order.
+    /// All directed links of the topology, in index order.
     pub fn links(&self) -> impl Iterator<Item = DirLink> + '_ {
         (0..self.n_link_slots()).filter_map(|i| self.link_from_index(i))
     }
@@ -245,7 +215,8 @@ pub fn snake_route_visit(pf: &Platform, a: usize, b: usize, mut f: impl FnMut(Di
 }
 
 /// Checks that a path is a well-formed route on the platform: consecutive,
-/// adjacent, cycle-free, from `from` to `to`.
+/// adjacent (per the platform's topology, so wrap hops validate on torus
+/// and ring), cycle-free, from `from` to `to`.
 pub fn validate_route(
     pf: &Platform,
     from: CoreId,
@@ -259,7 +230,7 @@ pub fn validate_route(
         if l.from != cur {
             return Err(format!("discontinuous route at {:?}", l));
         }
-        if !pf.contains(l.to) || l.from.manhattan(l.to) != 1 {
+        if !pf.contains(l.to) || !pf.has_link(l.from, l.to) {
             return Err(format!("non-adjacent hop {:?}", l));
         }
         cur = l.to;

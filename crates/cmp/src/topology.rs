@@ -1,0 +1,582 @@
+//! Pluggable interconnect topologies.
+//!
+//! The paper evaluates exactly one platform shape — a rectangular mesh with
+//! XY routing — but interconnect topology is a first-class experimental
+//! axis. This module abstracts it behind the [`Topology`] trait: core
+//! enumeration, neighbour stepping, and dense directed-link indexing. Three
+//! backends ship today:
+//!
+//! * [`Mesh2D`] — the paper's `p × q` grid (§3.2), bidirectional
+//!   neighbour links, no wrap-around;
+//! * [`Torus2D`] — the same grid plus wrap-around links closing each row
+//!   and column into a cycle (wrap is only materialised for dimensions of
+//!   size ≥ 3, where it adds a genuinely new link);
+//! * [`Ring`] — a one-dimensional cycle of `r` cores (a `1 × r` grid with
+//!   the column dimension closed).
+//!
+//! All three share the grid coordinate system ([`CoreId`]) and the dense
+//! 4-slots-per-core link indexing (east, west, south, north), so everything
+//! above the platform layer — mapping evaluation, the DP solvers, the
+//! stream simulator — stays topology-generic: routes are just sequences of
+//! link indices, whatever shape the interconnect has.
+
+use crate::grid::CoreId;
+
+/// A directed link between two *adjacent* cores (adjacency as defined by
+/// the platform's topology — wrap links are adjacent on torus and ring).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DirLink {
+    /// Transmitting core.
+    pub from: CoreId,
+    /// Receiving core (topology neighbour of `from`).
+    pub to: CoreId,
+}
+
+/// Link direction slots, in dense-index order.
+pub(crate) const DIR_EAST: usize = 0;
+pub(crate) const DIR_WEST: usize = 1;
+pub(crate) const DIR_SOUTH: usize = 2;
+pub(crate) const DIR_NORTH: usize = 3;
+
+/// The shipped topology backends, as a plain tag (the field stored on a
+/// [`crate::Platform`]; [`TopoBackend`] is the corresponding implementation
+/// carrier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TopologyKind {
+    /// Rectangular `p × q` mesh — the paper's platform.
+    #[default]
+    Mesh,
+    /// `p × q` torus: mesh plus row/column wrap links.
+    Torus,
+    /// One-dimensional ring of `r` cores.
+    Ring,
+}
+
+impl TopologyKind {
+    /// All shipped backends, in CLI/documentation order.
+    pub const ALL: [TopologyKind; 3] =
+        [TopologyKind::Mesh, TopologyKind::Torus, TopologyKind::Ring];
+
+    /// Lower-case CLI name (`mesh` / `torus` / `ring`).
+    pub fn name(self) -> &'static str {
+        match self {
+            TopologyKind::Mesh => "mesh",
+            TopologyKind::Torus => "torus",
+            TopologyKind::Ring => "ring",
+        }
+    }
+}
+
+impl std::fmt::Display for TopologyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for TopologyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "mesh" | "grid" => Ok(TopologyKind::Mesh),
+            "torus" => Ok(TopologyKind::Torus),
+            "ring" => Ok(TopologyKind::Ring),
+            other => Err(format!(
+                "unknown topology '{other}' (expected mesh, torus, or ring)"
+            )),
+        }
+    }
+}
+
+/// An interconnect shape: a `rows × cols` grid of cores with per-dimension
+/// wrap flags, neighbour stepping, and dense directed-link indexing.
+///
+/// All methods except the four shape accessors have generic default
+/// implementations, so a backend only declares its dimensions and which
+/// dimensions wrap. The dense link indexing reserves 4 slots per core
+/// (east, west, south, north); slots that the topology does not own (mesh
+/// borders, the row directions of a ring) simply stay unused, keeping
+/// [`Topology::link_index`] a constant-time arithmetic map for every
+/// backend.
+pub trait Topology {
+    /// Which backend this is.
+    fn kind(&self) -> TopologyKind;
+    /// Number of grid rows `p`.
+    fn rows(&self) -> u32;
+    /// Number of grid columns `q`.
+    fn cols(&self) -> u32;
+    /// Whether the row dimension wraps (column `q-1` links to column `0`).
+    fn wrap_cols(&self) -> bool;
+    /// Whether the column dimension wraps (row `p-1` links to row `0`).
+    fn wrap_rows(&self) -> bool;
+
+    /// Total number of cores.
+    #[inline]
+    fn n_cores(&self) -> usize {
+        (self.rows() * self.cols()) as usize
+    }
+
+    /// Whether a coordinate lies on the grid.
+    #[inline]
+    fn contains(&self, c: CoreId) -> bool {
+        c.u < self.rows() && c.v < self.cols()
+    }
+
+    /// The neighbour of `c` in link-direction `dir` (east/west/south/north),
+    /// honouring wrap links; `None` when the topology has no link there.
+    fn step(&self, c: CoreId, dir: usize) -> Option<CoreId> {
+        debug_assert!(self.contains(c));
+        let (p, q) = (self.rows(), self.cols());
+        match dir {
+            DIR_EAST => {
+                if c.v + 1 < q {
+                    Some(CoreId { u: c.u, v: c.v + 1 })
+                } else if self.wrap_cols() {
+                    Some(CoreId { u: c.u, v: 0 })
+                } else {
+                    None
+                }
+            }
+            DIR_WEST => {
+                if c.v > 0 {
+                    Some(CoreId { u: c.u, v: c.v - 1 })
+                } else if self.wrap_cols() {
+                    Some(CoreId { u: c.u, v: q - 1 })
+                } else {
+                    None
+                }
+            }
+            DIR_SOUTH => {
+                if c.u + 1 < p {
+                    Some(CoreId { u: c.u + 1, v: c.v })
+                } else if self.wrap_rows() {
+                    Some(CoreId { u: 0, v: c.v })
+                } else {
+                    None
+                }
+            }
+            DIR_NORTH => {
+                if c.u > 0 {
+                    Some(CoreId { u: c.u - 1, v: c.v })
+                } else if self.wrap_rows() {
+                    Some(CoreId { u: p - 1, v: c.v })
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// The direction slot of a directed link, or `None` when the topology
+    /// owns no such link. Wrap needs dimension size ≥ 3, so non-wrap and
+    /// wrap classifications never collide.
+    fn dir_of(&self, l: DirLink) -> Option<usize> {
+        if !self.contains(l.from) || !self.contains(l.to) || l.from == l.to {
+            return None;
+        }
+        let (p, q) = (self.rows(), self.cols());
+        if l.from.u == l.to.u {
+            if l.to.v == l.from.v + 1 || (self.wrap_cols() && l.from.v == q - 1 && l.to.v == 0) {
+                return Some(DIR_EAST);
+            }
+            if l.from.v == l.to.v + 1 || (self.wrap_cols() && l.to.v == q - 1 && l.from.v == 0) {
+                return Some(DIR_WEST);
+            }
+        } else if l.from.v == l.to.v {
+            if l.to.u == l.from.u + 1 || (self.wrap_rows() && l.from.u == p - 1 && l.to.u == 0) {
+                return Some(DIR_SOUTH);
+            }
+            if l.from.u == l.to.u + 1 || (self.wrap_rows() && l.to.u == p - 1 && l.from.u == 0) {
+                return Some(DIR_NORTH);
+            }
+        }
+        None
+    }
+
+    /// Number of dense directed-link index slots: 4 per core. Border slots
+    /// of non-wrapping dimensions are simply unused.
+    #[inline]
+    fn n_link_slots(&self) -> usize {
+        self.n_cores() * 4
+    }
+
+    /// Dense index of a directed link, or `None` when the topology owns no
+    /// such link.
+    #[inline]
+    fn link_index(&self, l: DirLink) -> Option<usize> {
+        self.dir_of(l).map(|dir| l.from.flat(self.cols()) * 4 + dir)
+    }
+
+    /// Inverse of [`Topology::link_index`]; `None` for unused slots.
+    fn link_from_index(&self, idx: usize) -> Option<DirLink> {
+        if idx >= self.n_link_slots() {
+            return None;
+        }
+        let from = CoreId::from_flat(idx / 4, self.cols());
+        let to = self.step(from, idx % 4)?;
+        Some(DirLink { from, to })
+    }
+
+    /// Whether the topology owns a directed link from `from` to `to`.
+    #[inline]
+    fn has_link(&self, from: CoreId, to: CoreId) -> bool {
+        self.dir_of(DirLink { from, to }).is_some()
+    }
+
+    /// Calls `f` on each neighbour of `c`, in direction-slot order
+    /// (east, west, south, north). Allocation-free.
+    fn for_each_neighbour(&self, c: CoreId, f: &mut dyn FnMut(CoreId)) {
+        for dir in 0..4 {
+            if let Some(n) = self.step(c, dir) {
+                f(n);
+            }
+        }
+    }
+
+    /// Number of neighbours of `c` (2–4 depending on borders and wrap).
+    fn degree(&self, c: CoreId) -> usize {
+        (0..4).filter(|&d| self.step(c, d).is_some()).count()
+    }
+
+    /// Minimal hop distance between two cores, wrap-aware (reduces to the
+    /// Manhattan distance on the mesh).
+    fn distance(&self, a: CoreId, b: CoreId) -> u32 {
+        dim_dist(a.u, b.u, self.rows(), self.wrap_rows())
+            + dim_dist(a.v, b.v, self.cols(), self.wrap_cols())
+    }
+}
+
+/// Per-dimension minimal hop distance, with optional wrap-around.
+#[inline]
+pub(crate) fn dim_dist(a: u32, b: u32, size: u32, wrap: bool) -> u32 {
+    let d = a.abs_diff(b);
+    if wrap {
+        d.min(size - d)
+    } else {
+        d
+    }
+}
+
+/// The paper's `p × q` mesh: bidirectional neighbour links, no wrap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mesh2D {
+    /// Rows.
+    pub p: u32,
+    /// Columns.
+    pub q: u32,
+}
+
+impl Topology for Mesh2D {
+    fn kind(&self) -> TopologyKind {
+        TopologyKind::Mesh
+    }
+    fn rows(&self) -> u32 {
+        self.p
+    }
+    fn cols(&self) -> u32 {
+        self.q
+    }
+    fn wrap_cols(&self) -> bool {
+        false
+    }
+    fn wrap_rows(&self) -> bool {
+        false
+    }
+}
+
+/// A `p × q` torus: the mesh plus wrap links closing every row and column.
+/// Wrap is only materialised for dimensions of size ≥ 3 — on a size-2
+/// dimension the wrap link would duplicate the existing mesh link (and on
+/// size 1 it would be a self-loop), so smaller tori degrade gracefully to
+/// the mesh in that dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Torus2D {
+    /// Rows.
+    pub p: u32,
+    /// Columns.
+    pub q: u32,
+}
+
+impl Topology for Torus2D {
+    fn kind(&self) -> TopologyKind {
+        TopologyKind::Torus
+    }
+    fn rows(&self) -> u32 {
+        self.p
+    }
+    fn cols(&self) -> u32 {
+        self.q
+    }
+    fn wrap_cols(&self) -> bool {
+        self.q >= 3
+    }
+    fn wrap_rows(&self) -> bool {
+        self.p >= 3
+    }
+}
+
+/// A bidirectional ring of `r` cores: a `1 × r` grid with the column
+/// dimension closed (for `r ≥ 3`; smaller rings degrade to a path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ring {
+    /// Number of cores.
+    pub r: u32,
+}
+
+impl Topology for Ring {
+    fn kind(&self) -> TopologyKind {
+        TopologyKind::Ring
+    }
+    fn rows(&self) -> u32 {
+        1
+    }
+    fn cols(&self) -> u32 {
+        self.r
+    }
+    fn wrap_cols(&self) -> bool {
+        self.r >= 3
+    }
+    fn wrap_rows(&self) -> bool {
+        false
+    }
+}
+
+/// The backend carrier a [`crate::Platform`] dispatches through: a cheap
+/// `Copy` enum over the shipped [`Topology`] implementations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopoBackend {
+    /// [`Mesh2D`].
+    Mesh(Mesh2D),
+    /// [`Torus2D`].
+    Torus(Torus2D),
+    /// [`Ring`].
+    Ring(Ring),
+}
+
+impl TopoBackend {
+    /// The backend for a kind on a `p × q` grid.
+    ///
+    /// # Panics
+    /// A [`TopologyKind::Ring`] has no second dimension, so it requires
+    /// `p == 1` — otherwise the grid's `u·q + v` flat addressing and the
+    /// ring's would disagree. [`crate::Platform::paper_topology`] flattens
+    /// a `p × q` request to a `1 × p·q` ring before getting here; a
+    /// hand-rolled `Platform` literal with `topology: Ring` and `p > 1`
+    /// fails fast instead of mis-indexing links.
+    pub fn new(kind: TopologyKind, p: u32, q: u32) -> TopoBackend {
+        assert!(p >= 1 && q >= 1);
+        match kind {
+            TopologyKind::Mesh => TopoBackend::Mesh(Mesh2D { p, q }),
+            TopologyKind::Torus => TopoBackend::Torus(Torus2D { p, q }),
+            TopologyKind::Ring => {
+                assert_eq!(
+                    p, 1,
+                    "a ring platform needs p == 1 (Platform::paper_topology flattens the grid)"
+                );
+                TopoBackend::Ring(Ring { r: q })
+            }
+        }
+    }
+}
+
+macro_rules! delegate {
+    ($self:ident, $t:ident => $e:expr) => {
+        match $self {
+            TopoBackend::Mesh($t) => $e,
+            TopoBackend::Torus($t) => $e,
+            TopoBackend::Ring($t) => $e,
+        }
+    };
+}
+
+impl Topology for TopoBackend {
+    fn kind(&self) -> TopologyKind {
+        delegate!(self, t => t.kind())
+    }
+    fn rows(&self) -> u32 {
+        delegate!(self, t => t.rows())
+    }
+    fn cols(&self) -> u32 {
+        delegate!(self, t => t.cols())
+    }
+    fn wrap_cols(&self) -> bool {
+        delegate!(self, t => t.wrap_cols())
+    }
+    fn wrap_rows(&self) -> bool {
+        delegate!(self, t => t.wrap_rows())
+    }
+}
+
+/// Allocation-free neighbour iterator (see [`crate::Platform::neighbours`]).
+#[derive(Debug, Clone)]
+pub struct Neighbours {
+    topo: TopoBackend,
+    c: CoreId,
+    dir: usize,
+}
+
+impl Neighbours {
+    /// The neighbours of `c` under `topo`, in direction-slot order.
+    pub fn new(topo: TopoBackend, c: CoreId) -> Neighbours {
+        Neighbours { topo, c, dir: 0 }
+    }
+}
+
+impl Iterator for Neighbours {
+    type Item = CoreId;
+
+    fn next(&mut self) -> Option<CoreId> {
+        while self.dir < 4 {
+            let d = self.dir;
+            self.dir += 1;
+            if let Some(n) = self.topo.step(self.c, d) {
+                return Some(n);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(u: u32, v: u32) -> CoreId {
+        CoreId { u, v }
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in TopologyKind::ALL {
+            assert_eq!(kind.name().parse::<TopologyKind>().unwrap(), kind);
+        }
+        assert!("hypercube".parse::<TopologyKind>().is_err());
+    }
+
+    #[test]
+    fn mesh_degrees_match_borders() {
+        let m = Mesh2D { p: 3, q: 3 };
+        assert_eq!(m.degree(c(0, 0)), 2);
+        assert_eq!(m.degree(c(0, 1)), 3);
+        assert_eq!(m.degree(c(1, 1)), 4);
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let t = Torus2D { p: 3, q: 4 };
+        for u in 0..3 {
+            for v in 0..4 {
+                assert_eq!(t.degree(c(u, v)), 4, "({u},{v})");
+            }
+        }
+        // Wrap steps land on the opposite border.
+        assert_eq!(t.step(c(0, 3), DIR_EAST), Some(c(0, 0)));
+        assert_eq!(t.step(c(0, 0), DIR_WEST), Some(c(0, 3)));
+        assert_eq!(t.step(c(2, 1), DIR_SOUTH), Some(c(0, 1)));
+        assert_eq!(t.step(c(0, 1), DIR_NORTH), Some(c(2, 1)));
+    }
+
+    #[test]
+    fn small_torus_degrades_to_mesh() {
+        // Size-2 dimensions get no wrap links (they would duplicate the
+        // mesh link); the 2x2 torus is exactly the 2x2 mesh.
+        let t = Torus2D { p: 2, q: 2 };
+        let m = Mesh2D { p: 2, q: 2 };
+        for u in 0..2 {
+            for v in 0..2 {
+                for d in 0..4 {
+                    assert_eq!(t.step(c(u, v), d), m.step(c(u, v), d));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_wraps_both_ways() {
+        let r = Ring { r: 5 };
+        assert_eq!(r.degree(c(0, 0)), 2);
+        assert_eq!(r.step(c(0, 4), DIR_EAST), Some(c(0, 0)));
+        assert_eq!(r.step(c(0, 0), DIR_WEST), Some(c(0, 4)));
+        assert_eq!(r.step(c(0, 0), DIR_SOUTH), None);
+        assert_eq!(r.distance(c(0, 0), c(0, 4)), 1);
+        assert_eq!(r.distance(c(0, 0), c(0, 2)), 2);
+    }
+
+    #[test]
+    fn link_index_roundtrip_all_backends() {
+        let backends = [
+            TopoBackend::new(TopologyKind::Mesh, 3, 4),
+            TopoBackend::new(TopologyKind::Torus, 3, 4),
+            TopoBackend::new(TopologyKind::Ring, 1, 6),
+        ];
+        for topo in backends {
+            let mut seen = std::collections::HashSet::new();
+            let mut n_links = 0usize;
+            for idx in 0..topo.n_link_slots() {
+                let Some(l) = topo.link_from_index(idx) else {
+                    continue;
+                };
+                n_links += 1;
+                assert_eq!(topo.link_index(l), Some(idx), "{topo:?} {l:?}");
+                assert!(seen.insert(idx), "slot collision {topo:?} {idx}");
+                assert!(topo.has_link(l.from, l.to));
+            }
+            // Sum of degrees = number of directed links.
+            let degree_sum: usize = (0..topo.n_cores())
+                .map(|f| topo.degree(CoreId::from_flat(f, topo.cols())))
+                .sum();
+            assert_eq!(n_links, degree_sum, "{topo:?}");
+        }
+    }
+
+    #[test]
+    fn torus_wrap_links_classified() {
+        let t = Torus2D { p: 4, q: 4 };
+        let wrap_e = DirLink {
+            from: c(1, 3),
+            to: c(1, 0),
+        };
+        assert_eq!(t.dir_of(wrap_e), Some(DIR_EAST));
+        let wrap_n = DirLink {
+            from: c(0, 2),
+            to: c(3, 2),
+        };
+        assert_eq!(t.dir_of(wrap_n), Some(DIR_NORTH));
+        // The mesh owns neither.
+        let m = Mesh2D { p: 4, q: 4 };
+        assert_eq!(m.dir_of(wrap_e), None);
+        assert_eq!(m.dir_of(wrap_n), None);
+    }
+
+    #[test]
+    fn torus_distance_never_exceeds_mesh() {
+        let t = Torus2D { p: 4, q: 5 };
+        let m = Mesh2D { p: 4, q: 5 };
+        for a in 0..t.n_cores() {
+            for b in 0..t.n_cores() {
+                let (ca, cb) = (CoreId::from_flat(a, 5), CoreId::from_flat(b, 5));
+                assert!(t.distance(ca, cb) <= m.distance(ca, cb));
+                assert_eq!(m.distance(ca, cb), ca.manhattan(cb));
+            }
+        }
+    }
+
+    #[test]
+    fn neighbours_iterator_matches_visitor() {
+        for topo in [
+            TopoBackend::new(TopologyKind::Mesh, 3, 3),
+            TopoBackend::new(TopologyKind::Torus, 3, 3),
+            TopoBackend::new(TopologyKind::Ring, 1, 4),
+        ] {
+            for f in 0..topo.n_cores() {
+                let core = CoreId::from_flat(f, topo.cols());
+                let iter: Vec<CoreId> = Neighbours::new(topo, core).collect();
+                let mut visited = Vec::new();
+                topo.for_each_neighbour(core, &mut |n| visited.push(n));
+                assert_eq!(iter, visited);
+                assert_eq!(iter.len(), topo.degree(core));
+            }
+        }
+    }
+}

@@ -1,8 +1,8 @@
 //! Shared heuristic interface: solutions, failures, and small helpers used
 //! by several algorithms.
 
-use cmp_mapping::{evaluate, Evaluation, Mapping};
-use cmp_platform::Platform;
+use cmp_mapping::{evaluate_with, Evaluation, Mapping};
+use cmp_platform::{Platform, RouteTable};
 use spg::Spg;
 
 /// The five heuristics of paper §5, in the order plotted in Figures 8–13.
@@ -94,7 +94,20 @@ pub fn validated(
     mapping: Mapping,
     period: f64,
 ) -> Result<Solution, Failure> {
-    match evaluate(spg, pf, &mapping, period) {
+    validated_with(spg, pf, mapping, period, None)
+}
+
+/// [`validated`] with an optional precomputed route table (see
+/// [`cmp_mapping::evaluate_with`]); solvers pass their session's cached
+/// table so re-validation walks packed link-index spans.
+pub fn validated_with(
+    spg: &Spg,
+    pf: &Platform,
+    mapping: Mapping,
+    period: f64,
+    table: Option<&RouteTable>,
+) -> Result<Solution, Failure> {
+    match evaluate_with(spg, pf, &mapping, period, table) {
         Ok(eval) => Ok(Solution { mapping, eval }),
         Err(e) => Err(Failure::NoValidMapping(e.to_string())),
     }

@@ -26,11 +26,11 @@
 //! solver.
 
 use cmp_mapping::{Mapping, RouteSpec, REL_TOL};
-use cmp_platform::{snake_core, CoreId, Platform};
+use cmp_platform::{snake_core, CoreId, Platform, RouteTable};
 use spg::ideal::{enumerate_ideals, IdealId, IdealLattice};
 use spg::{NodeSet, Spg, StageId};
 
-use crate::common::{validated, Failure, Solution};
+use crate::common::{validated_with, Failure, Solution};
 use crate::instance::SharedLattice;
 
 /// Complexity budgets for `DPA1D`.
@@ -91,24 +91,25 @@ pub fn dpa1d(
     period: f64,
     cfg: &Dpa1dConfig,
 ) -> Result<Solution, Failure> {
-    dpa1d_run(spg, pf, period, cfg, None)
+    dpa1d_run(spg, pf, period, cfg, None, None)
 }
 
 /// `DPA1D` on an optionally pre-enumerated lattice. `None` enumerates
 /// locally (legacy behaviour); the [`crate::solvers::Dpa1d`] solver passes
-/// the instance's cached [`SharedLattice`].
+/// the instance's cached [`SharedLattice`] and snake route table.
 pub(crate) fn dpa1d_run(
     spg: &Spg,
     pf: &Platform,
     period: f64,
     cfg: &Dpa1dConfig,
     shared: Option<&SharedLattice>,
+    table: Option<&RouteTable>,
 ) -> Result<Solution, Failure> {
     let chain = match shared {
         Some(sh) => solve_chain_on(spg, pf, period, cfg, &sh.lattice, &sh.cuts)?,
         None => solve_chain(spg, pf, period, cfg)?,
     };
-    build_snake_solution(spg, pf, period, &chain)
+    build_snake_solution(spg, pf, period, &chain, table)
 }
 
 /// The optimal chain of clusters (at most `pf.n_cores()` of them) for the
@@ -269,6 +270,7 @@ pub(crate) fn build_snake_solution(
     pf: &Platform,
     period: f64,
     chain: &[Vec<StageId>],
+    table: Option<&RouteTable>,
 ) -> Result<Solution, Failure> {
     let mut alloc = vec![CoreId { u: 0, v: 0 }; spg.n()];
     for (pos, cluster) in chain.iter().enumerate() {
@@ -284,7 +286,7 @@ pub(crate) fn build_snake_solution(
         speed,
         routes: RouteSpec::Snake,
     };
-    validated(spg, pf, mapping, period)
+    validated_with(spg, pf, mapping, period, table)
 }
 
 /// Enumerates every (ideal, one-cluster extension) pair with cluster work
@@ -453,7 +455,7 @@ mod tests {
     fn single_core_when_period_is_loose() {
         let pf = Platform::paper(4, 4);
         let g = chain(&[1e6; 10], &[1e3; 9]);
-        let sol = dpa1d_run(&g, &pf, 1.0, &Dpa1dConfig::default(), None).unwrap();
+        let sol = dpa1d_run(&g, &pf, 1.0, &Dpa1dConfig::default(), None, None).unwrap();
         assert_eq!(sol.eval.active_cores, 1);
         let expect = 0.08 + (1e7 / 0.15e9) * 0.08;
         assert!((sol.energy() - expect).abs() < 1e-9);
@@ -464,7 +466,7 @@ mod tests {
         let pf = Platform::paper(2, 2);
         // 4 stages of 0.9e9 cycles: one per core at 1 GHz for T = 1.
         let g = chain(&[0.9e9; 4], &[1e3; 3]);
-        let sol = dpa1d_run(&g, &pf, 1.0, &Dpa1dConfig::default(), None).unwrap();
+        let sol = dpa1d_run(&g, &pf, 1.0, &Dpa1dConfig::default(), None, None).unwrap();
         assert_eq!(sol.eval.active_cores, 4);
     }
 
@@ -473,7 +475,7 @@ mod tests {
         let pf = Platform::paper(1, 2);
         let g = chain(&[0.9e9; 3], &[1e3; 2]);
         assert!(matches!(
-            dpa1d_run(&g, &pf, 1.0, &Dpa1dConfig::default(), None),
+            dpa1d_run(&g, &pf, 1.0, &Dpa1dConfig::default(), None, None),
             Err(Failure::NoValidMapping(_))
         ));
     }
@@ -489,7 +491,7 @@ mod tests {
             ..Default::default()
         };
         assert!(matches!(
-            dpa1d_run(&g, &pf, 1.0, &cfg, None),
+            dpa1d_run(&g, &pf, 1.0, &cfg, None, None),
             Err(Failure::TooExpensive(_))
         ));
     }
@@ -500,7 +502,7 @@ mod tests {
         // for the link: DPA1D must fail rather than emit an invalid mapping.
         let pf = Platform::paper(1, 2);
         let g = chain(&[0.9e9, 0.9e9], &[25e9]);
-        assert!(dpa1d_run(&g, &pf, 1.0, &Dpa1dConfig::default(), None).is_err());
+        assert!(dpa1d_run(&g, &pf, 1.0, &Dpa1dConfig::default(), None, None).is_err());
     }
 
     #[test]
@@ -526,7 +528,7 @@ mod tests {
         // The DP's internal cost model must agree with the shared evaluator.
         let pf = Platform::paper(2, 3);
         let g = chain(&[0.5e9, 0.3e9, 0.7e9, 0.2e9], &[1e6, 5e6, 2e6]);
-        let sol = dpa1d_run(&g, &pf, 1.0, &Dpa1dConfig::default(), None).unwrap();
+        let sol = dpa1d_run(&g, &pf, 1.0, &Dpa1dConfig::default(), None, None).unwrap();
         // Recompute through the evaluator (already done inside validated);
         // here we just sanity-check decomposition adds up.
         let e = &sol.eval;

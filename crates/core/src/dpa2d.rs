@@ -26,10 +26,10 @@
 use std::collections::HashMap;
 
 use cmp_mapping::{assign_min_speeds, Mapping, RouteSpec, REL_TOL};
-use cmp_platform::{CoreId, Platform, RouteOrder};
+use cmp_platform::{CoreId, Platform, RouteTable};
 use spg::{Spg, StageId};
 
-use crate::common::{validated, Failure, Solution};
+use crate::common::{validated_with, Failure, Solution};
 
 /// Runs `DPA2D` on the physical grid and validates the result with
 /// row-first XY routing.
@@ -38,21 +38,26 @@ use crate::common::{validated, Failure, Solution};
     note = "use `ea_core::solvers::Dpa2d` with an `Instance`"
 )]
 pub fn dpa2d(spg: &Spg, pf: &Platform, period: f64) -> Result<Solution, Failure> {
-    dpa2d_run(spg, pf, period)
+    dpa2d_run(spg, pf, period, None)
 }
 
 /// `DPA2D` implementation behind both the deprecated free function and the
 /// [`crate::solvers::Dpa2d`] solver.
-pub(crate) fn dpa2d_run(spg: &Spg, pf: &Platform, period: f64) -> Result<Solution, Failure> {
+pub(crate) fn dpa2d_run(
+    spg: &Spg,
+    pf: &Platform,
+    period: f64,
+    table: Option<&RouteTable>,
+) -> Result<Solution, Failure> {
     let alloc = dpa2d_alloc(spg, pf, period)?;
     let speed = assign_min_speeds(spg, pf, &alloc, period)
         .ok_or_else(|| Failure::NoValidMapping("speed assignment failed".into()))?;
     let mapping = Mapping {
         alloc,
         speed,
-        routes: RouteSpec::Xy(RouteOrder::RowFirst),
+        routes: RouteSpec::for_platform(pf),
     };
-    validated(spg, pf, mapping, period)
+    validated_with(spg, pf, mapping, period, table)
 }
 
 /// One outgoing communication: `volume` bytes leaving the column from core
@@ -409,6 +414,8 @@ fn add_vertical(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::common::validated;
+    use cmp_platform::RouteOrder;
     use spg::{chain, parallel_many, SpgGenConfig};
     use std::collections::HashSet;
 
@@ -416,7 +423,7 @@ mod tests {
     fn single_column_when_period_is_loose() {
         let pf = Platform::paper(4, 4);
         let g = chain(&[1e6; 10], &[1e3; 9]);
-        let sol = dpa2d_run(&g, &pf, 1.0).unwrap();
+        let sol = dpa2d_run(&g, &pf, 1.0, None).unwrap();
         assert_eq!(sol.eval.active_cores, 1, "a loose pipeline fits one core");
     }
 
@@ -427,10 +434,10 @@ mod tests {
         let g = chain(&[0.9e9; 8], &[1e3; 7]);
         // 8 stages of 0.9e9 cycles at T=1s need 8 cores -> must fail with
         // only 4 columns.
-        assert!(dpa2d_run(&g, &pf, 1.0).is_err());
+        assert!(dpa2d_run(&g, &pf, 1.0, None).is_err());
         // 4 stages fit (one per column).
         let g = chain(&[0.9e9; 4], &[1e3; 3]);
-        let sol = dpa2d_run(&g, &pf, 1.0).unwrap();
+        let sol = dpa2d_run(&g, &pf, 1.0, None).unwrap();
         assert_eq!(sol.eval.active_cores, 4);
     }
 
@@ -443,7 +450,7 @@ mod tests {
             .map(|_| chain(&[1e3, 0.8e9, 0.8e9, 1e3], &[1e4; 3]))
             .collect();
         let g = parallel_many(&branches);
-        let sol = dpa2d_run(&g, &pf, 1.0).unwrap();
+        let sol = dpa2d_run(&g, &pf, 1.0, None).unwrap();
         // 8 heavy inner stages; needs well over 4 cores, across rows.
         assert!(sol.eval.active_cores > 4);
         let rows: HashSet<u32> = sol.mapping.alloc.iter().map(|c| c.u).collect();
@@ -481,6 +488,6 @@ mod tests {
     fn infeasible_period_fails() {
         let pf = Platform::paper(2, 2);
         let g = chain(&[3e9, 1.0], &[1.0]);
-        assert!(dpa2d_run(&g, &pf, 1.0).is_err());
+        assert!(dpa2d_run(&g, &pf, 1.0, None).is_err());
     }
 }

@@ -12,10 +12,10 @@
 //! lattice on high-elevation graphs.
 
 use cmp_mapping::{assign_min_speeds, Mapping, RouteSpec};
-use cmp_platform::{snake_core, Platform};
+use cmp_platform::{snake_core, Platform, RouteTable};
 use spg::Spg;
 
-use crate::common::{validated, Failure, Solution};
+use crate::common::{validated_with, Failure, Solution};
 use crate::dpa2d::dpa2d_alloc;
 
 /// Runs `DPA2D1D`: `DPA2D` on a virtual `1 × pq` platform, snaked onto the
@@ -25,12 +25,17 @@ use crate::dpa2d::dpa2d_alloc;
     note = "use `ea_core::solvers::Dpa2d1d` with an `Instance`"
 )]
 pub fn dpa2d1d(spg: &Spg, pf: &Platform, period: f64) -> Result<Solution, Failure> {
-    dpa2d1d_run(spg, pf, period)
+    dpa2d1d_run(spg, pf, period, None)
 }
 
 /// `DPA2D1D` implementation behind both the deprecated free function and
 /// the [`crate::solvers::Dpa2d1d`] solver.
-pub(crate) fn dpa2d1d_run(spg: &Spg, pf: &Platform, period: f64) -> Result<Solution, Failure> {
+pub(crate) fn dpa2d1d_run(
+    spg: &Spg,
+    pf: &Platform,
+    period: f64,
+    table: Option<&RouteTable>,
+) -> Result<Solution, Failure> {
     let r = pf.n_cores() as u32;
     let virt = pf.reshaped(1, r);
     let valloc = dpa2d_alloc(spg, &virt, period)?;
@@ -49,7 +54,7 @@ pub(crate) fn dpa2d1d_run(spg: &Spg, pf: &Platform, period: f64) -> Result<Solut
         speed,
         routes: RouteSpec::Snake,
     };
-    validated(spg, pf, mapping, period)
+    validated_with(spg, pf, mapping, period, table)
 }
 
 #[cfg(test)]
@@ -63,7 +68,7 @@ mod tests {
         // all p*q snake positions.
         let pf = Platform::paper(4, 4);
         let g = chain(&[0.9e9; 8], &[1e3; 7]);
-        let sol = dpa2d1d_run(&g, &pf, 1.0).unwrap();
+        let sol = dpa2d1d_run(&g, &pf, 1.0, None).unwrap();
         assert_eq!(sol.eval.active_cores, 8);
     }
 
@@ -71,7 +76,7 @@ mod tests {
     fn loose_period_single_core() {
         let pf = Platform::paper(4, 4);
         let g = chain(&[1e6; 10], &[1e3; 9]);
-        let sol = dpa2d1d_run(&g, &pf, 1.0).unwrap();
+        let sol = dpa2d1d_run(&g, &pf, 1.0, None).unwrap();
         assert_eq!(sol.eval.active_cores, 1);
     }
 
@@ -86,7 +91,7 @@ mod tests {
             .map(|_| chain(&[1e3, 0.3e9, 0.3e9, 1e3], &[1e4; 3]))
             .collect();
         let g = parallel_many(&branches);
-        let sol = dpa2d1d_run(&g, &pf, 1.0).unwrap();
+        let sol = dpa2d1d_run(&g, &pf, 1.0, None).unwrap();
         assert!(sol.eval.active_cores >= 2);
     }
 
@@ -94,6 +99,6 @@ mod tests {
     fn infeasible_fails() {
         let pf = Platform::paper(2, 2);
         let g = chain(&[3e9, 1.0], &[1.0]);
-        assert!(dpa2d1d_run(&g, &pf, 1.0).is_err());
+        assert!(dpa2d1d_run(&g, &pf, 1.0, None).is_err());
     }
 }

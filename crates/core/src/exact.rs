@@ -16,7 +16,7 @@
 //! route is an XY route).
 
 use cmp_mapping::{assign_min_speeds, is_dag_partition, Mapping, RouteSpec, REL_TOL};
-use cmp_platform::{CoreId, Platform, RouteOrder};
+use cmp_platform::{CoreId, Platform, RouteOrder, Topology};
 use spg::{Spg, StageId};
 
 use crate::common::{better, validated, Failure, Solution};
@@ -86,6 +86,18 @@ pub(crate) fn exact_run(
     let r = pf.n_cores();
     let cap_work = period * pf.power.max_freq() * (1.0 + REL_TOL);
 
+    // Route disciplines tried per placement: both XY orders (lossless on
+    // the paper's 2x2 grids), plus wrap-aware shortest routes when the
+    // topology actually has wrap links to exploit.
+    let mut route_specs = vec![
+        RouteSpec::Xy(RouteOrder::RowFirst),
+        RouteSpec::Xy(RouteOrder::ColFirst),
+    ];
+    let topo = pf.topo();
+    if topo.wrap_rows() || topo.wrap_cols() {
+        route_specs.push(RouteSpec::Shortest);
+    }
+
     let mut best: Option<Solution> = None;
     let mut assignment: Vec<usize> = vec![usize::MAX; n]; // stage -> block
     let mut block_work: Vec<f64> = Vec::new();
@@ -98,7 +110,7 @@ pub(crate) fn exact_run(
         r,
         cap_work,
         &mut |assignment, k| {
-            try_partition(spg, pf, period, cfg, assignment, k, &mut best);
+            try_partition(spg, pf, period, cfg, assignment, k, &route_specs, &mut best);
         },
     );
     best.ok_or_else(|| Failure::NoValidMapping("exhaustive search found no valid mapping".into()))
@@ -160,7 +172,8 @@ fn enumerate_partitions(
     assignment[s.idx()] = usize::MAX;
 }
 
-/// Evaluates one partition: placement × route-order search.
+/// Evaluates one partition: placement × route-discipline search.
+#[allow(clippy::too_many_arguments)]
 fn try_partition(
     spg: &Spg,
     pf: &Platform,
@@ -168,6 +181,7 @@ fn try_partition(
     cfg: &ExactConfig,
     assignment: &[usize],
     k: usize,
+    route_specs: &[RouteSpec],
     best: &mut Option<Solution>,
 ) {
     // Block-index pseudo-allocation for the quotient check.
@@ -202,6 +216,7 @@ fn try_partition(
         assignment,
         k,
         &cores,
+        route_specs,
         &mut chosen,
         &mut used,
         best,
@@ -217,6 +232,7 @@ fn place_blocks(
     assignment: &[usize],
     k: usize,
     cores: &[CoreId],
+    route_specs: &[RouteSpec],
     chosen: &mut Vec<usize>,
     used: &mut Vec<bool>,
     best: &mut Option<Solution>,
@@ -226,11 +242,11 @@ fn place_blocks(
         let Some(speed) = assign_min_speeds(spg, pf, &alloc, period) else {
             return;
         };
-        for ord in [RouteOrder::RowFirst, RouteOrder::ColFirst] {
+        for spec in route_specs {
             let mapping = Mapping {
                 alloc: alloc.clone(),
                 speed: speed.clone(),
-                routes: RouteSpec::Xy(ord),
+                routes: spec.clone(),
             };
             if let Ok(sol) = validated(spg, pf, mapping, period) {
                 *best = better(best.take(), Some(sol));
@@ -244,7 +260,18 @@ fn place_blocks(
         }
         used[c] = true;
         chosen.push(c);
-        place_blocks(spg, pf, period, assignment, k, cores, chosen, used, best);
+        place_blocks(
+            spg,
+            pf,
+            period,
+            assignment,
+            k,
+            cores,
+            route_specs,
+            chosen,
+            used,
+            best,
+        );
         chosen.pop();
         used[c] = false;
     }
@@ -296,7 +323,7 @@ mod tests {
         let g = chain(&[0.5e9, 0.4e9, 0.3e9, 0.2e9], &[1e5, 2e5, 3e5]);
         let t = 1.0;
         let ex = exact(&g, &pf, t, &ExactConfig::default()).unwrap();
-        let dp = dpa1d_run(&g, &pf, t, &Dpa1dConfig::default(), None).unwrap();
+        let dp = dpa1d_run(&g, &pf, t, &Dpa1dConfig::default(), None, None).unwrap();
         assert!(
             (ex.energy() - dp.energy()).abs() < 1e-9,
             "exact {} vs dpa1d {}",
@@ -358,12 +385,10 @@ mod tests {
             .collect();
         let g = spg::parallel_many(&branches);
         let pf = Platform {
-            p: 1,
-            q: 2,
             power: cmp_platform::PowerModel::single(1.0, 1.0, 0.0),
             bw: 1e12,
             e_bit: 0.0,
-            p_leak_comm: 0.0,
+            ..Platform::paper(1, 2)
         };
         // T = 6: solvable (3+3 | 2+2+2).
         let sol = exact(&g, &pf, 6.0, &ExactConfig::default()).unwrap();

@@ -18,7 +18,8 @@
 //!   volume (the paper's balancing rule); a stage stranded on the
 //!   bottom-right corner fails this speed.
 //!
-//! The resulting mapping is validated with XY routing, then *downgraded*:
+//! The resulting mapping is validated with the platform's routing policy
+//! (XY on the paper's mesh), then *downgraded*:
 //! each enrolled core drops to its slowest feasible speed and unused cores
 //! are turned off (§5.2's post-pass). `Greedy` keeps the best energy over
 //! all speeds.
@@ -28,10 +29,10 @@
 //! documented in DESIGN.md §3.
 
 use cmp_mapping::{assign_min_speeds, Mapping, RouteSpec};
-use cmp_platform::{CoreId, Platform, RouteOrder};
+use cmp_platform::{CoreId, Platform, RouteTable};
 use spg::{Spg, StageId};
 
-use crate::common::{better, validated, Failure, Solution};
+use crate::common::{better, validated_with, Failure, Solution};
 
 /// Runs `Greedy`: one wavefront pass per available speed, downgrade, keep
 /// the lowest-energy valid mapping.
@@ -51,7 +52,7 @@ pub fn greedy_opts(
     period: f64,
     downgrade: bool,
 ) -> Result<Solution, Failure> {
-    greedy_run(spg, pf, period, downgrade, 0)
+    greedy_run(spg, pf, period, downgrade, 0, None)
 }
 
 /// `Greedy` starting from speed index `k_lo`. The [`crate::solvers::Greedy`]
@@ -65,10 +66,11 @@ pub(crate) fn greedy_run(
     period: f64,
     downgrade: bool,
     k_lo: usize,
+    table: Option<&RouteTable>,
 ) -> Result<Solution, Failure> {
     let mut best: Option<Solution> = None;
     for k in k_lo..pf.power.m() {
-        best = better(best, greedy_at_speed(spg, pf, period, k, downgrade));
+        best = better(best, greedy_at_speed(spg, pf, period, k, downgrade, table));
     }
     best.ok_or_else(|| Failure::NoValidMapping("greedy failed at every speed".into()))
 }
@@ -87,6 +89,7 @@ fn greedy_at_speed(
     period: f64,
     k: usize,
     downgrade: bool,
+    table: Option<&RouteTable>,
 ) -> Option<Solution> {
     let n = spg.n();
     let freq = pf.power.speed(k).freq;
@@ -207,9 +210,9 @@ fn greedy_at_speed(
     let mapping = Mapping {
         alloc: alloc.clone(),
         speed: uniform,
-        routes: RouteSpec::Xy(RouteOrder::RowFirst),
+        routes: RouteSpec::for_platform(pf),
     };
-    let at_speed = validated(spg, pf, mapping, period).ok()?;
+    let at_speed = validated_with(spg, pf, mapping, period, table).ok()?;
     if !downgrade {
         return Some(at_speed);
     }
@@ -218,9 +221,9 @@ fn greedy_at_speed(
     let mapping = Mapping {
         alloc,
         speed: downgraded,
-        routes: RouteSpec::Xy(RouteOrder::RowFirst),
+        routes: RouteSpec::for_platform(pf),
     };
-    match validated(spg, pf, mapping, period) {
+    match validated_with(spg, pf, mapping, period, table) {
         Ok(sol) => Some(sol),
         Err(_) => Some(at_speed),
     }
@@ -229,6 +232,7 @@ fn greedy_at_speed(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::common::validated;
     use spg::{chain, parallel_many, SpgGenConfig};
 
     #[test]

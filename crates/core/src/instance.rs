@@ -23,7 +23,8 @@
 
 use std::sync::{Arc, Mutex, OnceLock};
 
-use cmp_platform::{snake_core, CoreId, Platform};
+use cmp_mapping::{evaluate_with, Evaluation, Mapping, MappingError};
+use cmp_platform::{snake_core, CoreId, Platform, RoutePolicy, RouteTable};
 use spg::ideal::{enumerate_ideals, IdealError, IdealLattice};
 use spg::{Spg, StageId};
 
@@ -51,6 +52,10 @@ struct Derived {
     lattice: LatticeSlot,
     snake: OnceLock<Vec<CoreId>>,
     topo: OnceLock<Vec<StageId>>,
+    /// One lazily built precomputed route table per [`RoutePolicy`]
+    /// (indexed by [`RoutePolicy::index`]). Period-independent and shared
+    /// across probe decades and portfolio members like the lattice.
+    route_tables: [OnceLock<Arc<RouteTable>>; 4],
 }
 
 /// One solve session: a workload, a platform, a period bound, and the
@@ -163,6 +168,34 @@ impl Instance {
         });
         *slot = Some((cap, res.clone()));
         res
+    }
+
+    /// The precomputed route table for one routing policy on this
+    /// instance's platform, built lazily and cached (period-independent,
+    /// shared across [`Instance::with_period`] re-targets). Solvers hand it
+    /// to the evaluator so the per-hop route generation in the hottest loop
+    /// becomes a flat slice walk.
+    pub fn route_table(&self, policy: RoutePolicy) -> Arc<RouteTable> {
+        Arc::clone(
+            self.derived.route_tables[policy.index()]
+                .get_or_init(|| Arc::new(RouteTable::build(&self.pf, policy))),
+        )
+    }
+
+    /// The cached route table matching a mapping's routing discipline, or
+    /// `None` for per-edge custom routes.
+    pub fn route_table_for(&self, mapping: &Mapping) -> Option<Arc<RouteTable>> {
+        mapping.routes.policy().map(|p| self.route_table(p))
+    }
+
+    /// Validates a mapping against this session's period and computes its
+    /// energy, driving the link-load accumulation off the session's cached
+    /// route table whenever the mapping's routing discipline has one.
+    /// Bit-identical to `cmp_mapping::evaluate` — the table stores exactly
+    /// the hops the route generators produce, in order.
+    pub fn evaluate_mapping(&self, mapping: &Mapping) -> Result<Evaluation, MappingError> {
+        let table = self.route_table_for(mapping);
+        evaluate_with(&self.spg, &self.pf, mapping, self.period, table.as_deref())
     }
 
     /// The snake embedding of the grid: `snake_order()[k]` is the physical

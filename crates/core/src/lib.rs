@@ -63,7 +63,7 @@ pub use exact::{ExactConfig, PartitionRule};
 pub use greedy::greedy_opts;
 pub use instance::{Instance, SharedLattice};
 pub use portfolio::{Portfolio, PortfolioReport, Race, SolverRun};
-pub use refine::{refine, RefineConfig};
+pub use refine::{refine, refine_with, RefineConfig};
 pub use solver::{SolveCtx, Solver, SolverRegistry};
 
 // Deprecated pre-0.2 free-function surface, re-exported for downstream

@@ -16,13 +16,13 @@
 //!    if no link exceeds the bandwidth-period product.
 
 use cmp_mapping::{Mapping, RouteSpec};
-use cmp_platform::{CoreId, Platform, RouteOrder};
+use cmp_platform::{CoreId, Platform, RouteTable};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use spg::{Spg, StageId};
 
-use crate::common::{better, validated, Failure, Solution};
+use crate::common::{better, validated_with, Failure, Solution};
 
 /// Number of independent draws (paper §5.1: "Random calls ten times this
 /// procedure").
@@ -39,28 +39,36 @@ pub fn random_heuristic(
     period: f64,
     seed: u64,
 ) -> Result<Solution, Failure> {
-    random_trials(spg, pf, period, seed, RANDOM_TRIALS)
+    random_trials(spg, pf, period, seed, RANDOM_TRIALS, None)
 }
 
 /// `Random` with an explicit trial count, behind both the deprecated free
-/// function and the [`crate::solvers::Random`] solver.
+/// function and the [`crate::solvers::Random`] solver (which passes its
+/// session's cached route table).
 pub(crate) fn random_trials(
     spg: &Spg,
     pf: &Platform,
     period: f64,
     seed: u64,
     trials: usize,
+    table: Option<&RouteTable>,
 ) -> Result<Solution, Failure> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut best: Option<Solution> = None;
     for _ in 0..trials {
-        best = better(best, random_once(spg, pf, period, &mut rng));
+        best = better(best, random_once(spg, pf, period, &mut rng, table));
     }
     best.ok_or_else(|| Failure::NoValidMapping(format!("no valid draw in {trials} trials")))
 }
 
 /// One draw of the two-step procedure; `None` when the draw is invalid.
-fn random_once<R: Rng>(spg: &Spg, pf: &Platform, period: f64, rng: &mut R) -> Option<Solution> {
+fn random_once<R: Rng>(
+    spg: &Spg,
+    pf: &Platform,
+    period: f64,
+    rng: &mut R,
+    table: Option<&RouteTable>,
+) -> Option<Solution> {
     let (clusters, speeds) = random_partition(spg, pf, period, rng)?;
     if clusters.len() > pf.n_cores() {
         return None;
@@ -79,9 +87,9 @@ fn random_once<R: Rng>(spg: &Spg, pf: &Platform, period: f64, rng: &mut R) -> Op
     let mapping = Mapping {
         alloc,
         speed,
-        routes: RouteSpec::Xy(RouteOrder::RowFirst),
+        routes: RouteSpec::for_platform(pf),
     };
-    validated(spg, pf, mapping, period).ok()
+    validated_with(spg, pf, mapping, period, table).ok()
 }
 
 /// Step 1: a random chain of clusters respecting the DAG-partition rule and
@@ -153,7 +161,7 @@ mod tests {
     fn loose_period_succeeds_on_chain() {
         let pf = Platform::paper(4, 4);
         let g = chain(&[1e6; 10], &[1e3; 9]);
-        let sol = random_trials(&g, &pf, 1.0, 42, RANDOM_TRIALS).unwrap();
+        let sol = random_trials(&g, &pf, 1.0, 42, RANDOM_TRIALS, None).unwrap();
         assert!(sol.energy() > 0.0);
     }
 
@@ -162,7 +170,7 @@ mod tests {
         let pf = Platform::paper(2, 2);
         let g = chain(&[2e9, 2e9], &[1.0]);
         // One stage alone already exceeds T at the fastest speed.
-        assert!(random_trials(&g, &pf, 1.0, 1, RANDOM_TRIALS).is_err());
+        assert!(random_trials(&g, &pf, 1.0, 1, RANDOM_TRIALS, None).is_err());
     }
 
     #[test]
@@ -212,8 +220,8 @@ mod tests {
     fn deterministic_per_seed() {
         let pf = Platform::paper(4, 4);
         let g = chain(&[1e6; 8], &[1e3; 7]);
-        let a = random_trials(&g, &pf, 0.01, 9, RANDOM_TRIALS).unwrap();
-        let b = random_trials(&g, &pf, 0.01, 9, RANDOM_TRIALS).unwrap();
+        let a = random_trials(&g, &pf, 0.01, 9, RANDOM_TRIALS, None).unwrap();
+        let b = random_trials(&g, &pf, 0.01, 9, RANDOM_TRIALS, None).unwrap();
         assert_eq!(a.energy(), b.energy());
     }
 
@@ -223,6 +231,6 @@ mod tests {
         // period that forces one stage per cluster.
         let pf = Platform::paper(2, 2);
         let g = chain(&[0.9e9; 5], &[1.0; 4]);
-        assert!(random_trials(&g, &pf, 1.0, 3, RANDOM_TRIALS).is_err());
+        assert!(random_trials(&g, &pf, 1.0, 3, RANDOM_TRIALS, None).is_err());
     }
 }

@@ -14,8 +14,8 @@
 //! passes). All DAG-partition/period checking is delegated to the
 //! evaluator, so accepted mappings stay valid by construction.
 
-use cmp_mapping::{assign_min_speeds, evaluate, Mapping};
-use cmp_platform::{CoreId, Platform};
+use cmp_mapping::{assign_min_speeds, evaluate_with, Mapping};
+use cmp_platform::{CoreId, Platform, RouteTable};
 use spg::Spg;
 
 use crate::common::Solution;
@@ -35,12 +35,37 @@ impl Default for RefineConfig {
 
 /// Hill-climbs from `start`; returns a solution at least as good (often the
 /// same object when `start` is already locally optimal).
+///
+/// The descent evaluates every candidate migration, so it drives the
+/// evaluator off a precomputed route table for `start`'s routing
+/// discipline; callers holding a solver session should prefer
+/// [`refine_with`] with the session's cached table instead of the local one
+/// built here.
 pub fn refine(
     spg: &Spg,
     pf: &Platform,
     start: &Solution,
     period: f64,
     cfg: &RefineConfig,
+) -> Solution {
+    let table = start
+        .mapping
+        .routes
+        .policy()
+        .map(|p| RouteTable::build(pf, p));
+    refine_with(spg, pf, start, period, cfg, table.as_ref())
+}
+
+/// [`refine`] with a caller-provided precomputed route table (or `None` to
+/// regenerate routes hop by hop); the `Refined` solver passes its
+/// session's cached table.
+pub fn refine_with(
+    spg: &Spg,
+    pf: &Platform,
+    start: &Solution,
+    period: f64,
+    cfg: &RefineConfig,
+    table: Option<&RouteTable>,
 ) -> Solution {
     let mut best = start.clone();
     let cores: Vec<CoreId> = pf.cores().collect();
@@ -63,7 +88,7 @@ pub fn refine(
                     speed,
                     routes: best.mapping.routes.clone(),
                 };
-                let Ok(eval) = evaluate(spg, pf, &mapping, period) else {
+                let Ok(eval) = evaluate_with(spg, pf, &mapping, period, table) else {
                     continue;
                 };
                 if eval.energy < best.eval.energy * (1.0 - 1e-12)
@@ -73,7 +98,7 @@ pub fn refine(
                 }
             }
             if let Some((_, mapping)) = stage_best {
-                let eval = evaluate(spg, pf, &mapping, period).expect("just validated");
+                let eval = evaluate_with(spg, pf, &mapping, period, table).expect("just validated");
                 best = Solution { mapping, eval };
                 improved = true;
             }
@@ -90,7 +115,7 @@ mod tests {
     use super::*;
     use crate::common::validated;
     use crate::random::random_trials;
-    use cmp_mapping::RouteSpec;
+    use cmp_mapping::{evaluate, RouteSpec};
     use cmp_platform::RouteOrder;
     use spg::chain;
 
@@ -99,7 +124,7 @@ mod tests {
         let pf = Platform::paper(3, 3);
         let g = chain(&[2e8; 8], &[1e5; 7]);
         let t = 0.4;
-        let start = random_trials(&g, &pf, t, 3, 10).unwrap();
+        let start = random_trials(&g, &pf, t, 3, 10, None).unwrap();
         let refined = refine(&g, &pf, &start, t, &RefineConfig::default());
         assert!(refined.energy() <= start.energy() * (1.0 + 1e-12));
         // Result still validates.

@@ -9,6 +9,8 @@
 
 use std::sync::Arc;
 
+use cmp_platform::RoutePolicy;
+
 use crate::common::{Failure, HeuristicKind, Solution};
 use crate::dpa1d::Dpa1dConfig;
 use crate::exact::ExactConfig;
@@ -54,12 +56,14 @@ impl Solver for Random {
     fn solve(&self, inst: &Instance, ctx: &SolveCtx) -> Result<Solution, Failure> {
         ctx.check_budget()?;
         reject_infeasible(inst)?;
+        let table = inst.route_table(inst.platform().policy);
         crate::random::random_trials(
             inst.spg(),
             inst.platform(),
             inst.period(),
             ctx.seed,
             self.trials,
+            Some(&table),
         )
     }
 }
@@ -89,12 +93,14 @@ impl Solver for Greedy {
         // The shared speed-feasibility floor: wavefront passes below the
         // heaviest stage's slowest feasible speed can never place it.
         let k_lo = inst.min_uniform_speed().unwrap_or(0);
+        let table = inst.route_table(inst.platform().policy);
         crate::greedy::greedy_run(
             inst.spg(),
             inst.platform(),
             inst.period(),
             self.downgrade,
             k_lo,
+            Some(&table),
         )
     }
 }
@@ -111,7 +117,8 @@ impl Solver for Dpa2d {
     fn solve(&self, inst: &Instance, ctx: &SolveCtx) -> Result<Solution, Failure> {
         ctx.check_budget()?;
         reject_infeasible(inst)?;
-        crate::dpa2d::dpa2d_run(inst.spg(), inst.platform(), inst.period())
+        let table = inst.route_table(inst.platform().policy);
+        crate::dpa2d::dpa2d_run(inst.spg(), inst.platform(), inst.period(), Some(&table))
     }
 }
 
@@ -135,12 +142,14 @@ impl Solver for Dpa1d {
         let shared = inst
             .lattice(self.cfg.ideal_cap)
             .map_err(|e| Failure::TooExpensive(e.to_string()))?;
+        let table = inst.route_table(RoutePolicy::Snake);
         crate::dpa1d::dpa1d_run(
             inst.spg(),
             inst.platform(),
             inst.period(),
             &self.cfg,
             Some(&shared),
+            Some(&table),
         )
     }
 }
@@ -158,7 +167,8 @@ impl Solver for Dpa2d1d {
     fn solve(&self, inst: &Instance, ctx: &SolveCtx) -> Result<Solution, Failure> {
         ctx.check_budget()?;
         reject_infeasible(inst)?;
-        crate::dpa2d1d::dpa2d1d_run(inst.spg(), inst.platform(), inst.period())
+        let table = inst.route_table(RoutePolicy::Snake);
+        crate::dpa2d1d::dpa2d1d_run(inst.spg(), inst.platform(), inst.period(), Some(&table))
     }
 }
 
@@ -218,12 +228,14 @@ impl Solver for Refined {
     fn solve(&self, inst: &Instance, ctx: &SolveCtx) -> Result<Solution, Failure> {
         let start = self.inner.solve(inst, ctx)?;
         ctx.check_budget()?;
-        Ok(crate::refine::refine(
+        let table = inst.route_table_for(&start.mapping);
+        Ok(crate::refine::refine_with(
             inst.spg(),
             inst.platform(),
             &start,
             inst.period(),
             &self.cfg,
+            table.as_deref(),
         ))
     }
 }

@@ -5,7 +5,7 @@
 //! bookkeeping approximation inside a heuristic is caught before a mapping
 //! is ever reported as feasible.
 
-use cmp_platform::{CoreId, DirLink, Platform};
+use cmp_platform::{CoreId, DirLink, Platform, RouteTable};
 use spg::{EdgeId, Spg};
 
 use crate::mapping::Mapping;
@@ -104,7 +104,14 @@ impl LinkLoads {
     /// Adds `bytes` to a link's load.
     #[inline]
     pub fn add(&mut self, pf: &Platform, link: DirLink, bytes: f64) {
-        let idx = pf.link_index(link);
+        self.add_index(pf.link_index(link), bytes);
+    }
+
+    /// Adds `bytes` to the link at a dense [`Platform::link_index`] slot —
+    /// the precomputed-route-table fast path, which never touches `DirLink`
+    /// coordinates at all.
+    #[inline]
+    pub fn add_index(&mut self, idx: usize, bytes: f64) {
         self.loads[idx] += bytes;
         if !self.touched[idx] {
             self.touched[idx] = true;
@@ -162,12 +169,32 @@ pub struct Evaluation {
     pub core_work: Vec<f64>,
 }
 
-/// Validates `mapping` against the period bound and computes its energy.
+/// Validates `mapping` against the period bound and computes its energy,
+/// regenerating every route hop by hop. Equivalent to
+/// [`evaluate_with`]`(…, None)`; callers holding a solver session should
+/// prefer `ea_core::Instance::evaluate_mapping`, which reuses the session's
+/// precomputed route table.
 pub fn evaluate(
     spg: &Spg,
     pf: &Platform,
     mapping: &Mapping,
     period: f64,
+) -> Result<Evaluation, MappingError> {
+    evaluate_with(spg, pf, mapping, period, None)
+}
+
+/// [`evaluate`] with an optional precomputed [`RouteTable`]: when the table
+/// matches the mapping's routing discipline (and the platform's core
+/// count), the per-edge link-load accumulation walks the table's packed
+/// link-index spans instead of regenerating routes — bit-identical results,
+/// since the table stores exactly the hops the visitor would produce, in
+/// order. A mismatched or absent table falls back to route generation.
+pub fn evaluate_with(
+    spg: &Spg,
+    pf: &Platform,
+    mapping: &Mapping,
+    period: f64,
+    table: Option<&RouteTable>,
 ) -> Result<Evaluation, MappingError> {
     assert!(period > 0.0, "period must be positive");
     assert_eq!(mapping.alloc.len(), spg.n(), "alloc length mismatch");
@@ -217,13 +244,27 @@ pub fn evaluate(
         compute_dynamic += (core_work[f] / s.freq) * s.power;
     }
 
-    // Link loads and communication energy.
+    // Link loads and communication energy. With a matching precomputed
+    // route table this is a pure slice walk per edge; otherwise each route
+    // is regenerated hop by hop.
+    let table =
+        table.filter(|t| Some(t.policy()) == mapping.routes.policy() && t.matches_platform(pf));
     let mut link_loads = LinkLoads::new(pf);
-    for (k, e) in spg.edges().iter().enumerate() {
-        let eid = EdgeId(k as u32);
-        mapping
-            .for_each_route_hop(pf, spg, eid, |link| link_loads.add(pf, link, e.volume))
-            .map_err(|detail| MappingError::BadRoute { edge: eid, detail })?;
+    if let Some(t) = table {
+        for e in spg.edges() {
+            let src = mapping.alloc[e.src.idx()].flat(pf.q);
+            let dst = mapping.alloc[e.dst.idx()].flat(pf.q);
+            for &li in t.links_between(src, dst) {
+                link_loads.add_index(li as usize, e.volume);
+            }
+        }
+    } else {
+        for (k, e) in spg.edges().iter().enumerate() {
+            let eid = EdgeId(k as u32);
+            mapping
+                .for_each_route_hop(pf, spg, eid, |link| link_loads.add(pf, link, e.volume))
+                .map_err(|detail| MappingError::BadRoute { edge: eid, detail })?;
+        }
     }
     let mut comm_dynamic = 0.0;
     for (link, load) in link_loads.iter(pf) {

@@ -25,7 +25,7 @@ pub mod mapping;
 pub mod partition;
 pub mod speeds;
 
-pub use evaluate::{evaluate, Evaluation, LinkLoads, MappingError, REL_TOL};
+pub use evaluate::{evaluate, evaluate_with, Evaluation, LinkLoads, MappingError, REL_TOL};
 pub use latency::{latency, latency_lower_bound};
 pub use mapping::{Mapping, RouteSpec};
 pub use partition::{cluster_members, is_dag_partition, quotient_edges};

@@ -6,7 +6,8 @@ use cmp_platform::{
     routing::{
         snake_index, snake_route, snake_route_visit, validate_route, xy_route, xy_route_visit,
     },
-    CoreId, DirLink, Platform, RouteOrder,
+    shortest_route_visit, CoreId, DirLink, Platform, RouteOrder, RoutePolicy, Router,
+    ShortestRouter,
 };
 use spg::{EdgeId, Spg};
 
@@ -20,9 +21,45 @@ pub enum RouteSpec {
     /// traffic between snake positions `a` and `b` crosses the `|b − a|`
     /// intermediate snake links and nothing else.
     Snake,
+    /// Wrap-aware shortest routing ([`RoutePolicy::Shortest`]): dimension-
+    /// ordered like XY, but each dimension takes the direction with fewer
+    /// hops, including torus/ring wrap links. On a mesh this is identical
+    /// to `Xy(RowFirst)`.
+    Shortest,
     /// An explicit path per edge (edges between co-located stages may be
     /// omitted or empty). Used by the exact solver and by tests.
     Custom(HashMap<EdgeId, Vec<DirLink>>),
+}
+
+impl RouteSpec {
+    /// The generating [`RoutePolicy`], or `None` for per-edge
+    /// [`RouteSpec::Custom`] paths (which no precomputed table covers).
+    pub fn policy(&self) -> Option<RoutePolicy> {
+        match self {
+            RouteSpec::Xy(RouteOrder::RowFirst) => Some(RoutePolicy::Xy),
+            RouteSpec::Xy(RouteOrder::ColFirst) => Some(RoutePolicy::Yx),
+            RouteSpec::Snake => Some(RoutePolicy::Snake),
+            RouteSpec::Shortest => Some(RoutePolicy::Shortest),
+            RouteSpec::Custom(_) => None,
+        }
+    }
+
+    /// The route spec of a policy (inverse of [`RouteSpec::policy`]).
+    pub fn from_policy(policy: RoutePolicy) -> RouteSpec {
+        match policy {
+            RoutePolicy::Xy => RouteSpec::Xy(RouteOrder::RowFirst),
+            RoutePolicy::Yx => RouteSpec::Xy(RouteOrder::ColFirst),
+            RoutePolicy::Shortest => RouteSpec::Shortest,
+            RoutePolicy::Snake => RouteSpec::Snake,
+        }
+    }
+
+    /// The platform's default route spec ([`Platform::policy`]): what
+    /// solvers use for dimension-routed mappings — `Xy(RowFirst)` on the
+    /// paper's mesh, shortest on torus/ring.
+    pub fn for_platform(pf: &Platform) -> RouteSpec {
+        RouteSpec::from_policy(pf.policy)
+    }
 }
 
 /// A complete mapping: stage→core allocation, per-core speed selection, and
@@ -64,6 +101,7 @@ impl Mapping {
         let path = match &self.routes {
             RouteSpec::Xy(order) => xy_route(from, to, *order),
             RouteSpec::Snake => snake_route(pf, snake_index(pf, from), snake_index(pf, to)),
+            RouteSpec::Shortest => ShortestRouter { topo: pf.topo() }.route(from, to),
             RouteSpec::Custom(map) => {
                 let path = map
                     .get(&e)
@@ -98,6 +136,7 @@ impl Mapping {
             RouteSpec::Snake => {
                 snake_route_visit(pf, snake_index(pf, from), snake_index(pf, to), f)
             }
+            RouteSpec::Shortest => shortest_route_visit(&pf.topo(), from, to, f),
             RouteSpec::Custom(_) => {
                 for link in self.route_of(pf, spg, e)? {
                     f(link);

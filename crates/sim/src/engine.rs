@@ -8,10 +8,10 @@
 //! `volume / BW` seconds.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 use cmp_mapping::Mapping;
-use cmp_platform::{DirLink, Platform};
+use cmp_platform::{Platform, RouteTable};
 use spg::{Spg, StageId};
 
 use crate::report::SimReport;
@@ -133,6 +133,22 @@ pub fn simulate(
     mapping: &Mapping,
     cfg: SimConfig,
 ) -> Result<SimReport, String> {
+    simulate_with(spg, pf, mapping, cfg, None)
+}
+
+/// [`simulate`] with an optional precomputed [`RouteTable`]: when the table
+/// matches the mapping's routing discipline, per-edge routes are taken
+/// straight from its packed link-index spans instead of being regenerated —
+/// campaign code passes the solver session's cached table
+/// (`ea_core::Instance::route_table`). Link contention is driven off dense
+/// link indices either way, for every topology backend.
+pub fn simulate_with(
+    spg: &Spg,
+    pf: &Platform,
+    mapping: &Mapping,
+    cfg: SimConfig,
+    table: Option<&RouteTable>,
+) -> Result<SimReport, String> {
     let n = spg.n();
     let kk = cfg.datasets;
     assert!(kk >= 2, "need at least two data sets");
@@ -160,27 +176,47 @@ pub fn simulate(
         core_of[s.idx()] = f;
     }
 
-    // Static per-edge data: resolved route and per-hop transfer time.
+    // Static per-edge data: resolved route (as dense link indices) and
+    // per-hop transfer time. A matching precomputed route table supplies
+    // the link-index spans directly; otherwise routes are regenerated.
+    let table =
+        table.filter(|t| Some(t.policy()) == mapping.routes.policy() && t.matches_platform(pf));
     let n_edges = spg.n_edges();
-    let mut routes: Vec<Vec<DirLink>> = Vec::with_capacity(n_edges);
+    let mut routes: Vec<Vec<u32>> = Vec::with_capacity(n_edges);
     let mut hop_time = vec![0.0f64; n_edges];
     for (e, slot) in hop_time.iter_mut().enumerate() {
         let eid = spg::EdgeId(e as u32);
-        let route = mapping.route_of(pf, spg, eid)?;
-        *slot = pf.link_time(spg.edge(eid).volume);
+        let edge = spg.edge(eid);
+        let route: Vec<u32> = match table {
+            Some(t) => {
+                let src = mapping.alloc[edge.src.idx()].flat(pf.q);
+                let dst = mapping.alloc[edge.dst.idx()].flat(pf.q);
+                t.links_between(src, dst).to_vec()
+            }
+            None => mapping
+                .route_of(pf, spg, eid)?
+                .into_iter()
+                .map(|l| pf.link_index(l) as u32)
+                .collect(),
+        };
+        *slot = pf.link_time(edge.volume);
         routes.push(route);
     }
 
-    // Resources: cores first, then links (dense ids).
+    // Resources: cores first, then the used links (dense ids assigned in
+    // first-encounter order over the routes).
     let n_cores = pf.n_cores();
-    let mut link_ids: HashMap<DirLink, u32> = HashMap::new();
+    let mut link_res: Vec<u32> = vec![u32::MAX; pf.n_link_slots()];
+    let mut n_links = 0u32;
     for route in &routes {
-        for &l in route {
-            let next = n_cores as u32 + link_ids.len() as u32;
-            link_ids.entry(l).or_insert(next);
+        for &li in route {
+            if link_res[li as usize] == u32::MAX {
+                link_res[li as usize] = n_cores as u32 + n_links;
+                n_links += 1;
+            }
         }
     }
-    let n_res = n_cores + link_ids.len();
+    let n_res = n_cores + n_links as usize;
     let mut res: Vec<Resource> = (0..n_res)
         .map(|_| Resource {
             busy: false,
@@ -215,7 +251,7 @@ pub fn simulate(
     let resource_of = |job: Job| -> u32 {
         match job {
             Job::Stage { s, .. } => core_of[s as usize] as u32,
-            Job::Hop { e, hop, .. } => link_ids[&routes[e as usize][hop as usize]],
+            Job::Hop { e, hop, .. } => link_res[routes[e as usize][hop as usize] as usize],
         }
     };
     let duration_of = |job: Job| -> f64 {

@@ -21,5 +21,5 @@
 pub mod engine;
 pub mod report;
 
-pub use engine::{simulate, SimConfig};
+pub use engine::{simulate, simulate_with, SimConfig};
 pub use report::SimReport;

@@ -9,8 +9,10 @@
 //! * [`spg`] — series-parallel graphs: composition with the paper's label
 //!   rules, random generators, the StreamIt workload suite, order-ideal
 //!   enumeration;
-//! * [`platform`] (`cmp-platform`) — the `p × q` DVFS CMP grid: XScale
-//!   power model, links, XY/snake routing;
+//! * [`platform`] (`cmp-platform`) — the DVFS CMP platform: XScale power
+//!   model, pluggable topology backends (mesh / torus / ring) behind the
+//!   `Topology` trait, routing policies (XY / YX / shortest / snake)
+//!   behind the `Router` trait, and precomputed per-policy route tables;
 //! * [`mapping`] (`cmp-mapping`) — the cost model: DAG-partition validity,
 //!   period (max cycle-time) and energy evaluation;
 //! * [`heuristics`] (`ea-core`) — the paper's contribution behind the
@@ -51,6 +53,43 @@
 //! assert_eq!(dpa1d.name(), "DPA1D");
 //! ```
 //!
+//! ## Choosing a topology backend
+//!
+//! `Platform::paper(p, q)` is the paper's mesh with XY routing — the
+//! default, and bit-identical to pre-0.3 behaviour. Two more interconnect
+//! backends ship behind the same `Platform` type (see
+//! [`platform::topology`]): a 2D torus whose wrap links shorten routes
+//! under the wrap-aware shortest router, and a 1D ring. Everything above
+//! the platform — solvers, evaluation, simulation — is topology-generic:
+//!
+//! ```
+//! use spg_cmp::prelude::*;
+//!
+//! let app = spg::chain(&[1e8; 10], &[1e3; 9]);
+//! // Torus: mesh + wrap links, shortest routing by default. Same-shape
+//! // mappings can only get cheaper than on the mesh (routes never grow).
+//! let torus = Platform::paper_topology(TopologyKind::Torus, 4, 4);
+//! // Ring: 16 cores on a cycle (the p*q grid is flattened).
+//! let ring = Platform::paper_topology(TopologyKind::Ring, 4, 4);
+//! for pf in [torus, ring] {
+//!     let inst = Instance::new(app.clone(), pf, 0.2);
+//!     let sol = solvers::Greedy::default()
+//!         .solve(&inst, &SolveCtx::new(0))
+//!         .expect("feasible");
+//!     // The instance caches a per-policy precomputed route table; use
+//!     // evaluate_mapping (not the free `evaluate`) to benefit from it.
+//!     assert_eq!(inst.evaluate_mapping(&sol.mapping).unwrap().energy, sol.energy());
+//! }
+//! ```
+//!
+//! Guidance: keep the **mesh** for paper-faithful reproduction; pick the
+//! **torus** when communication dominates and you can afford wrap wiring
+//! (it strictly dominates the mesh energy-wise on the same workload);
+//! pick the **ring** to study uni-line behaviour at scale — `DPA1D` is
+//! provably optimal among uni-line mappings there. Routing policies
+//! (`RoutePolicy`: `xy`, `yx`, `shortest`, `snake`) can be overridden per
+//! platform via `Platform::with_policy`, and per mapping via `RouteSpec`.
+//!
 //! ## Migrating from the 0.1 free functions
 //!
 //! The pre-0.2 free functions remain as thin `#[deprecated]` shims; new
@@ -69,10 +108,26 @@
 //! | run-them-all loops | `Portfolio::heuristics().seeded(seed).run(&inst)` |
 //!
 //! The instance is where the sharing lives: `DPA1D`'s interned ideal
-//! lattice, the snake and topological orders, and the per-stage
-//! speed-feasibility table are computed once per instance instead of once
-//! per call, which is what makes portfolio runs and §6.1.3 period probes
-//! measurably faster than the 0.1 free-function orchestration.
+//! lattice, the snake and topological orders, the per-stage
+//! speed-feasibility table, and (since 0.3) the per-policy precomputed
+//! route tables are computed once per instance instead of once per call,
+//! which is what makes portfolio runs and §6.1.3 period probes measurably
+//! faster than the 0.1 free-function orchestration.
+//!
+//! ## Migrating from 0.2 (topology backends)
+//!
+//! 0.3 generalises the platform over pluggable interconnect backends. The
+//! paper's mesh remains the default and `Platform::paper` results are
+//! bit-identical; the few signature changes:
+//!
+//! | 0.2 | 0.3 |
+//! |---|---|
+//! | `Platform { p, q, power, bw, e_bit, p_leak_comm }` literals | add `topology`/`policy` fields, or spread `..Platform::paper(p, q)` |
+//! | `pf.neighbours(c) -> Vec<CoreId>` | allocation-free iterator (`.count()` instead of `.len()`, etc.) |
+//! | `pf.link_index(l)` trusted adjacent inputs | panics on links the topology does not own (wrap links valid on torus/ring) |
+//! | `evaluate(spg, pf, m, t)` | unchanged — or `inst.evaluate_mapping(&m)` / `evaluate_with(…, Some(&table))` for the route-table fast path |
+//! | `refine(…)` | unchanged (builds a local table) — or `refine_with(…, Some(&table))` |
+//! | `simulate(…)` | unchanged — or `simulate_with(…, Some(&table))` |
 
 pub use cmp_mapping as mapping;
 pub use cmp_platform as platform;
@@ -81,10 +136,15 @@ pub use spg;
 
 /// Everything needed to build workloads, platforms and run the solvers.
 pub mod prelude {
-    pub use cmp_mapping::{evaluate, latency, latency_lower_bound, Evaluation, Mapping, RouteSpec};
-    pub use cmp_platform::{CoreId, Platform, PowerModel, RouteOrder, Speed};
+    pub use cmp_mapping::{
+        evaluate, evaluate_with, latency, latency_lower_bound, Evaluation, Mapping, RouteSpec,
+    };
+    pub use cmp_platform::{
+        CoreId, Platform, PowerModel, RouteOrder, RoutePolicy, RouteTable, Router, Speed, Topology,
+        TopologyKind,
+    };
     pub use ea_core::solvers;
-    pub use ea_core::{greedy_opts, refine};
+    pub use ea_core::{greedy_opts, refine, refine_with};
     pub use ea_core::{
         Dpa1dConfig, ExactConfig, Failure, HeuristicKind, Instance, PartitionRule, Portfolio,
         PortfolioReport, Race, RefineConfig, SharedLattice, Solution, SolveCtx, Solver,

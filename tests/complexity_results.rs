@@ -25,12 +25,10 @@ fn dpa1d_solve(g: &Spg, pf: &Platform, t: f64) -> Result<Solution, Failure> {
 #[test]
 fn proposition1_two_partition_gadget() {
     let two_cores = Platform {
-        p: 1,
-        q: 2,
         power: PowerModel::single(1.0, 1.0, 0.0),
         bw: 1e15,
         e_bit: 0.0,
-        p_leak_comm: 0.0,
+        ..Platform::paper(1, 2)
     };
     let gadget = |weights: &[f64]| -> Spg {
         let branches: Vec<Spg> = weights
@@ -170,12 +168,10 @@ fn brute_force_chain(g: &Spg, pf: &Platform, t: f64) -> Option<f64> {
 #[test]
 fn unit_speed_unit_cost_forces_one_to_one() {
     let pf = Platform {
-        p: 1,
-        q: 4,
         power: PowerModel::single(1.0, 1.0, 0.0),
         bw: 1e15,
         e_bit: 0.0,
-        p_leak_comm: 0.0,
+        ..Platform::paper(1, 4)
     };
     let g = chain(&[1.0; 4], &[1.0; 3]);
     let sol = exact_solve(&g, &pf, 1.0).unwrap();

@@ -1,0 +1,194 @@
+//! Seeded property tests for the routing invariants across every topology
+//! backend and routing policy (ISSUE 3):
+//!
+//! * every route is link-contiguous from `src` to `dst` and cycle-free;
+//! * every hop uses a link the topology owns (dense-index round-trip);
+//! * dimension-ordered routes are minimal (Manhattan length) on the mesh;
+//! * torus routes are never longer than the corresponding mesh routes;
+//! * precomputed route tables agree hop-for-hop with the route visitors.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use spg_cmp::prelude::*;
+
+use cmp_platform::routing::validate_route;
+use cmp_platform::{DirLink, TopoBackend};
+
+fn platforms() -> Vec<Platform> {
+    vec![
+        Platform::paper(4, 4),
+        Platform::paper(3, 5),
+        Platform::paper(1, 6),
+        Platform::paper_topology(TopologyKind::Torus, 4, 4),
+        Platform::paper_topology(TopologyKind::Torus, 3, 5),
+        Platform::paper_topology(TopologyKind::Torus, 2, 3),
+        Platform::paper_topology(TopologyKind::Ring, 1, 7),
+        Platform::paper_topology(TopologyKind::Ring, 1, 2),
+    ]
+}
+
+fn random_core<R: Rng>(pf: &Platform, rng: &mut R) -> CoreId {
+    CoreId::from_flat(rng.gen_range(0..pf.n_cores()), pf.q)
+}
+
+fn route_of(pf: &Platform, policy: RoutePolicy, a: CoreId, b: CoreId) -> Vec<DirLink> {
+    let mut path = Vec::new();
+    pf.route_visit(policy, a, b, |l| path.push(l));
+    path
+}
+
+#[test]
+fn routes_are_contiguous_and_on_topology_links() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xB0C);
+    for pf in platforms() {
+        for policy in RoutePolicy::ALL {
+            for _ in 0..40 {
+                let (a, b) = (random_core(&pf, &mut rng), random_core(&pf, &mut rng));
+                let path = route_of(&pf, policy, a, b);
+                validate_route(&pf, a, b, &path)
+                    .unwrap_or_else(|e| panic!("{policy} on {}: {e}", pf.topology));
+                for l in &path {
+                    assert!(pf.has_link(l.from, l.to), "{policy}: foreign link {l:?}");
+                    // Dense link indexing round-trips for every hop.
+                    assert_eq!(pf.link_from_index(pf.link_index(*l)), Some(*l));
+                }
+                assert!(route_of(&pf, policy, a, a).is_empty());
+            }
+        }
+    }
+}
+
+#[test]
+fn dimension_ordered_routes_are_minimal_on_the_mesh() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xD1);
+    for pf in [Platform::paper(4, 4), Platform::paper(5, 3)] {
+        for _ in 0..60 {
+            let (a, b) = (random_core(&pf, &mut rng), random_core(&pf, &mut rng));
+            for policy in [RoutePolicy::Xy, RoutePolicy::Yx, RoutePolicy::Shortest] {
+                assert_eq!(
+                    route_of(&pf, policy, a, b).len() as u32,
+                    a.manhattan(b),
+                    "{policy} must be minimal on the mesh"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn torus_routes_never_longer_than_mesh_routes() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x70);
+    for (p, q) in [(4, 4), (3, 5), (6, 6)] {
+        let mesh = Platform::paper(p, q);
+        let torus = Platform::paper_topology(TopologyKind::Torus, p, q);
+        for _ in 0..60 {
+            let (a, b) = (random_core(&mesh, &mut rng), random_core(&mesh, &mut rng));
+            let mesh_len = route_of(&mesh, RoutePolicy::Xy, a, b).len();
+            let torus_len = route_of(&torus, RoutePolicy::Shortest, a, b).len();
+            assert!(
+                torus_len <= mesh_len,
+                "torus {torus_len} > mesh {mesh_len} hops for {a:?}->{b:?}"
+            );
+            // And the shortest route length is exactly the wrap-aware
+            // distance.
+            assert_eq!(torus_len as u32, torus.distance(a, b));
+        }
+    }
+}
+
+#[test]
+fn shortest_is_exactly_xy_on_the_mesh() {
+    let pf = Platform::paper(4, 5);
+    for a in 0..pf.n_cores() {
+        for b in 0..pf.n_cores() {
+            let (ca, cb) = (CoreId::from_flat(a, pf.q), CoreId::from_flat(b, pf.q));
+            assert_eq!(
+                route_of(&pf, RoutePolicy::Shortest, ca, cb),
+                route_of(&pf, RoutePolicy::Xy, ca, cb)
+            );
+        }
+    }
+}
+
+#[test]
+fn route_tables_match_visitors_on_all_backends() {
+    for pf in platforms() {
+        for policy in RoutePolicy::ALL {
+            let table = RouteTable::build(&pf, policy);
+            assert_eq!(table.n_cores(), pf.n_cores());
+            for src in 0..pf.n_cores() {
+                for dst in 0..pf.n_cores() {
+                    let (a, b) = (CoreId::from_flat(src, pf.q), CoreId::from_flat(dst, pf.q));
+                    let direct: Vec<u32> = route_of(&pf, policy, a, b)
+                        .into_iter()
+                        .map(|l| pf.link_index(l) as u32)
+                        .collect();
+                    assert_eq!(table.links_between(src, dst), direct.as_slice());
+                    assert_eq!(table.hops(src, dst), direct.len());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn neighbour_iterator_agrees_with_links() {
+    for pf in platforms() {
+        let topo: TopoBackend = pf.topo();
+        let mut n_links = 0usize;
+        for c in pf.cores() {
+            for n in pf.neighbours(c) {
+                assert!(pf.has_link(c, n));
+                n_links += 1;
+            }
+        }
+        assert_eq!(n_links, pf.links().count(), "{:?}", topo);
+    }
+}
+
+#[test]
+fn mismatched_route_table_falls_back_to_route_generation() {
+    // A 4x4-built table offered to a same-core-count 2x8 platform (and to
+    // a same-shape torus) must be ignored, not silently mis-applied.
+    let table = RouteTable::build(&Platform::paper(4, 4), RoutePolicy::Xy);
+    assert!(!table.matches_platform(&Platform::paper(2, 8)));
+    assert!(!table.matches_platform(&Platform::paper_topology(TopologyKind::Torus, 4, 4)));
+    assert!(table.matches_platform(&Platform::paper(4, 4)));
+
+    let pf = Platform::paper(2, 8);
+    let g = spg::chain(&[1e8; 6], &[1e5; 5]);
+    let inst = Instance::new(g.clone(), pf.clone(), 1.0);
+    let sol = solvers::Greedy::default()
+        .solve(&inst, &SolveCtx::new(0))
+        .unwrap();
+    let with_bad_table = evaluate_with(&g, &pf, &sol.mapping, 1.0, Some(&table)).unwrap();
+    let plain = evaluate(&g, &pf, &sol.mapping, 1.0).unwrap();
+    assert_eq!(with_bad_table.energy.to_bits(), plain.energy.to_bits());
+    assert_eq!(
+        with_bad_table.comm_dynamic.to_bits(),
+        plain.comm_dynamic.to_bits()
+    );
+}
+
+#[test]
+#[should_panic(expected = "a ring platform needs p == 1")]
+fn hand_rolled_ring_with_two_rows_fails_fast() {
+    let pf = Platform {
+        topology: TopologyKind::Ring,
+        ..Platform::paper(4, 4)
+    };
+    // The first topology-dependent operation trips the assert instead of
+    // silently mis-indexing links on an inconsistent coordinate system.
+    let _ = pf.neighbours(CoreId { u: 0, v: 0 }).count();
+}
+
+#[test]
+fn wrap_hops_validate_on_torus_but_not_on_mesh() {
+    let torus = Platform::paper_topology(TopologyKind::Torus, 4, 4);
+    let mesh = Platform::paper(4, 4);
+    let a = CoreId { u: 0, v: 0 };
+    let b = CoreId { u: 0, v: 3 };
+    let wrap = vec![DirLink { from: a, to: b }];
+    assert!(validate_route(&torus, a, b, &wrap).is_ok());
+    assert!(validate_route(&mesh, a, b, &wrap).is_err());
+}
