@@ -4,6 +4,8 @@
 //! xp <command> [--seed N] [--apps-per-point N] [--exact-count N]
 //!              [--solvers a,b,c] [--topology mesh|torus|ring]
 //!              [--routing xy|yx|shortest] [--out DIR]
+//!              [--campaign smoke|nightly] [--shard I/M]
+//!              [--bench FILE]... [--tolerance F]
 //!
 //! commands:
 //!   table1        Table 1  (StreamIt characteristics)
@@ -20,8 +22,23 @@
 //!   ablation-speedrule | ablation-refine
 //!   topology      Mesh vs torus vs ring on the StreamIt suite (4x4)
 //!   smoke         One small instance end-to-end on --topology/--routing
-//!   all           Everything above, in order
+//!   campaign      Sharded resumable synthetic-family campaign (--campaign,
+//!                 --shard; results as JSONL + BENCH summary in --out)
+//!   bench-check   Perf-regression gate: recompute and compare against the
+//!                 committed BENCH_*.json (--bench, --tolerance); exits
+//!                 non-zero on a deterministic-metric regression
+//!   help          This usage text
+//!   all           The paper artifacts above, in order
 //! ```
+//!
+//! `xp campaign` expands `--campaign smoke` (per-PR scale) or `nightly`
+//! (cron scale) into a deterministic job list, runs the shard selected by
+//! `--shard I/M` (default `0/1`, everything) over the rayon pool, and
+//! appends one JSON line per job to `--out/<name>.jsonl` as jobs finish.
+//! Rerunning after a kill skips every key already recorded and produces a
+//! byte-identical `<name>.final.jsonl`. `--solvers`, `--topology`, and
+//! `--routing` narrow the corresponding axes of the sweep (the presets
+//! default to all solvers and all backends at default routing).
 //!
 //! `--topology` selects the interconnect backend for the figure/table
 //! campaigns (default `mesh`, the paper's platform; a ring flattens the
@@ -48,26 +65,39 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use cmp_platform::{Platform, RoutePolicy, TopologyKind};
+use ea_bench::campaign::{outcome_text, run_campaign, CampaignSpec, Shard};
 use ea_bench::random_xp::{self, RandomXpConfig};
 use ea_bench::streamit_xp::{self, CAMPAIGN_CSV_HEADERS};
-use ea_bench::{ablation, exact_xp, report, topology_xp};
+use ea_bench::{ablation, bench_check, exact_xp, report, topology_xp};
 use ea_core::{Solver, SolverRegistry};
 
 const USAGE: &str = "usage: xp <command> [--seed N] [--apps-per-point N] [--exact-count N] \
                      [--solvers a,b,c] [--topology mesh|torus|ring] \
-                     [--routing xy|yx|shortest] [--out DIR]
+                     [--routing xy|yx|shortest] [--out DIR] \
+                     [--campaign smoke|nightly] [--shard I/M] \
+                     [--bench FILE]... [--tolerance F]
 commands: table1 fig8 fig9 table2 fig10 fig11 fig12 fig13 table3 exact
           ablation-routing ablation-downgrade ablation-ebit
-          ablation-speedrule ablation-refine topology smoke all";
+          ablation-speedrule ablation-refine topology smoke
+          campaign bench-check help all";
 
 struct Opts {
     seed: u64,
     apps_per_point: usize,
     exact_count: usize,
     solvers: Vec<Arc<dyn Solver>>,
+    /// Raw `--solvers` value, for commands that need *names* (campaign).
+    solvers_raw: Option<String>,
     topology: TopologyKind,
+    /// Whether `--topology` was given explicitly (campaign narrows its
+    /// sweep only on an explicit flag; the default is all backends).
+    topology_explicit: bool,
     routing: Option<RoutePolicy>,
     out: PathBuf,
+    campaign: String,
+    shard: Shard,
+    bench: Vec<PathBuf>,
+    tolerance: f64,
 }
 
 impl Opts {
@@ -87,10 +117,21 @@ impl Opts {
     }
 }
 
-/// Exits with a usage error.
+/// Exits with a usage error. Every argument problem funnels through here:
+/// usage goes to stderr and the exit code is 2, never 0.
 fn usage_error(msg: &str) -> ! {
     eprintln!("xp: {msg}\n{USAGE}");
     exit(2)
+}
+
+/// Sticky failure flag: report-writing errors (CSV/JSONL) don't abort the
+/// run mid-campaign, but they must not exit 0 either.
+static SOFT_FAILED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Reports a non-fatal error and arranges for a non-zero exit.
+fn soft_fail(msg: &str) {
+    eprintln!("xp: {msg}");
+    SOFT_FAILED.store(true, std::sync::atomic::Ordering::Relaxed);
 }
 
 fn parse_opts(rest: &[String]) -> Opts {
@@ -99,9 +140,15 @@ fn parse_opts(rest: &[String]) -> Opts {
         apps_per_point: 100,
         exact_count: 30,
         solvers: ea_bench::default_solvers(),
+        solvers_raw: None,
         topology: TopologyKind::Mesh,
+        topology_explicit: false,
         routing: None,
         out: PathBuf::from("results"),
+        campaign: "smoke".into(),
+        shard: Shard::default(),
+        bench: Vec::new(),
+        tolerance: 0.05,
     };
     let registry = SolverRegistry::with_defaults();
     let mut i = 0;
@@ -131,14 +178,43 @@ fn parse_opts(rest: &[String]) -> Opts {
                     .unwrap_or_else(|_| usage_error("--exact-count expects an integer"));
             }
             "--solvers" => {
+                let raw = value(&mut i, flag);
                 opts.solvers = registry
-                    .parse_list(&value(&mut i, flag))
+                    .parse_list(&raw)
                     .unwrap_or_else(|e| usage_error(&e));
+                opts.solvers_raw = Some(raw);
+            }
+            "--campaign" => {
+                let name = value(&mut i, flag);
+                if !matches!(name.as_str(), "smoke" | "nightly") {
+                    usage_error(&format!(
+                        "unknown campaign '{name}' (expected smoke|nightly)"
+                    ));
+                }
+                opts.campaign = name;
+            }
+            "--shard" => {
+                opts.shard = value(&mut i, flag)
+                    .parse()
+                    .unwrap_or_else(|e: String| usage_error(&e));
+            }
+            "--bench" => {
+                opts.bench.push(PathBuf::from(value(&mut i, flag)));
+            }
+            "--tolerance" => {
+                let t: f64 = value(&mut i, flag)
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--tolerance expects a number"));
+                if !(t >= 0.0 && t.is_finite()) {
+                    usage_error("--tolerance must be a finite non-negative number");
+                }
+                opts.tolerance = t;
             }
             "--topology" => {
                 opts.topology = value(&mut i, flag)
                     .parse()
                     .unwrap_or_else(|e: String| usage_error(&e));
+                opts.topology_explicit = true;
             }
             "--routing" => {
                 opts.routing = Some(
@@ -162,6 +238,10 @@ fn main() {
     let Some((cmd, rest)) = args.split_first() else {
         usage_error("missing command");
     };
+    if cmd == "help" || cmd == "--help" || cmd == "-h" {
+        println!("{USAGE}");
+        return;
+    }
     if cmd.starts_with('-') {
         usage_error(&format!("expected a command before '{cmd}'"));
     }
@@ -209,6 +289,8 @@ fn main() {
         "exact" => exact_cmd(&opts),
         "topology" => topology_cmd(&opts),
         "smoke" => smoke_cmd(&opts),
+        "campaign" => campaign_cmd(&opts),
+        "bench-check" => bench_check_cmd(&opts),
         "ablation-routing" => println!("{}", ablation::routing_text(12, opts.seed)),
         "ablation-downgrade" => println!("{}", ablation::downgrade_text(12, opts.seed)),
         "ablation-ebit" => println!("{}", ablation::ebit_text(12, opts.seed, &opts.solvers)),
@@ -261,6 +343,9 @@ fn main() {
         other => usage_error(&format!("unknown command '{other}'")),
     }
     eprintln!("[xp] {cmd} done in {:.1}s", started.elapsed().as_secs_f64());
+    if SOFT_FAILED.load(std::sync::atomic::Ordering::Relaxed) {
+        exit(1);
+    }
 }
 
 fn table1(opts: &Opts) {
@@ -272,7 +357,7 @@ fn fig_streamit(opts: &Opts, p: u32, q: u32, name: &str, title: &str) {
     println!("{}", streamit_xp::figure_text(&campaign, title));
     let rows = streamit_xp::campaign_csv_rows(&campaign, &opts.grid_label(p, q));
     if let Err(e) = report::write_csv(&opts.out, name, &CAMPAIGN_CSV_HEADERS, &rows) {
-        eprintln!("[xp] csv write failed: {e}");
+        soft_fail(&format!("csv write failed: {e}"));
     }
 }
 
@@ -299,7 +384,7 @@ fn fig_random(opts: &Opts, n: usize, p: u32, q: u32, name: &str, title: &str) {
         &random_xp::CSV_HEADERS,
         &random_xp::csv_rows(&data),
     ) {
-        eprintln!("[xp] csv write failed: {e}");
+        soft_fail(&format!("csv write failed: {e}"));
     }
 }
 
@@ -323,7 +408,7 @@ fn topology_cmd(opts: &Opts) {
         &topology_xp::TOPOLOGY_CSV_HEADERS,
         &topology_xp::topology_csv_rows(&campaign),
     ) {
-        eprintln!("[xp] csv write failed: {e}");
+        soft_fail(&format!("csv write failed: {e}"));
     }
 }
 
@@ -332,6 +417,57 @@ fn smoke_cmd(opts: &Opts) {
         Ok(line) => println!("{line}"),
         Err(e) => {
             eprintln!("xp: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn campaign_cmd(opts: &Opts) {
+    let mut spec = match opts.campaign.as_str() {
+        "nightly" => CampaignSpec::nightly(opts.seed),
+        _ => CampaignSpec::smoke(opts.seed),
+    };
+    if let Some(raw) = &opts.solvers_raw {
+        spec.solvers = raw.split(',').map(|s| s.trim().to_string()).collect();
+    }
+    // Explicit --topology / --routing narrow the sweep to that backend /
+    // policy (the presets default to all backends at default routing).
+    if opts.topology_explicit {
+        spec.topologies = vec![opts.topology];
+    }
+    if let Some(routing) = opts.routing {
+        spec.routings = vec![Some(routing)];
+    }
+    match run_campaign(&spec, &opts.out, opts.shard) {
+        Ok(outcome) => println!("{}", outcome_text(&spec, opts.shard, &outcome)),
+        Err(e) => {
+            eprintln!("xp: campaign failed: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn bench_check_cmd(opts: &Opts) {
+    let files = if opts.bench.is_empty() {
+        let found = bench_check::default_bench_files(std::path::Path::new("."));
+        if found.is_empty() {
+            eprintln!("xp: bench-check: no BENCH_*.json found (pass --bench FILE)");
+            exit(1);
+        }
+        found
+    } else {
+        opts.bench.clone()
+    };
+    match bench_check::bench_check_files(&files, opts.tolerance, opts.seed, &opts.solvers) {
+        Ok((checks, ok)) => {
+            print!("{}", bench_check::check_text(&checks, opts.tolerance));
+            if !ok {
+                eprintln!("xp: bench-check: deterministic metrics regressed beyond tolerance");
+                exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("xp: bench-check failed: {e}");
             exit(1);
         }
     }

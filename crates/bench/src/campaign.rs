@@ -1,0 +1,749 @@
+//! Sharded, resumable campaign engine (`xp campaign`).
+//!
+//! A [`CampaignSpec`] declares a cartesian sweep — workload families ×
+//! sizes × seeds × topologies × routing policies × solvers — and expands
+//! into a **deterministic job list**: job `i` is the same `(workload,
+//! platform, solver)` triple on every machine and every rerun, and its
+//! string *key* alone reproduces the input (the workload is a seeded
+//! [`WorkloadSpec`], the period a fixed platform utilisation — see
+//! [`Instance::for_utilisation`]).
+//!
+//! Execution is:
+//!
+//! * **sharded** — `--shard i/m` selects jobs with `index % m == i`, so a
+//!   campaign spreads over CI machines with no coordination beyond the
+//!   spec itself;
+//! * **streamed** — each finished job appends one JSON line (with its key)
+//!   to the shard's `.jsonl` file and flushes, so a killed run loses at
+//!   most the in-flight jobs;
+//! * **resumable** — on restart the runner parses the existing stream,
+//!   skips every key already recorded (a truncated trailing line is
+//!   ignored and recomputed), and only runs the remainder;
+//! * **canonical** — after the shard completes, the runner rewrites the
+//!   deterministic fields of all records, key-sorted, as `.final.jsonl`.
+//!   Solver energies are deterministic in the job key and wall-clock
+//!   times are excluded, so *kill → rerun → byte-identical final file*,
+//!   and the concatenation of all shards' final files equals (after a
+//!   line sort) the final file of an unsharded run.
+//!
+//! Each shard also emits a `BENCH_*.json`-compatible summary (median
+//! energy, feasibility ratio, and advisory median wall time per
+//! family × solver), the format `xp bench-check` gates on.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use cmp_platform::{RoutePolicy, TopologyKind};
+use ea_core::{Instance, SolveCtx, Solver, SolverRegistry};
+use rayon::prelude::*;
+use spg::generate::families::{FamilyKind, FamilyParams, WorkloadSpec};
+
+use crate::json::{escape, fmt_f64, Json};
+use crate::report::median;
+use crate::topology_xp::make_platform;
+
+/// A declarative campaign: the cartesian sweep the engine expands.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Campaign name (file names, summary metric names).
+    pub name: String,
+    /// Workload families to sweep.
+    pub families: Vec<FamilyKind>,
+    /// Exact stage counts per family.
+    pub sizes: Vec<usize>,
+    /// Instance seeds per `(family, size)` point.
+    pub seeds: Vec<u64>,
+    /// Interconnect backends.
+    pub topologies: Vec<TopologyKind>,
+    /// Routing policies (`None` = the backend's default).
+    pub routings: Vec<Option<RoutePolicy>>,
+    /// Solver names, resolved through [`SolverRegistry`].
+    pub solvers: Vec<String>,
+    /// Grid dimensions `(p, q)`.
+    pub grid: (u32, u32),
+    /// Platform utilisation deriving each job's period bound
+    /// ([`Instance::for_utilisation`]).
+    pub utilisation: f64,
+    /// Family width knob ([`FamilyParams::width`]).
+    pub width: u32,
+    /// Family depth knob ([`FamilyParams::depth`]).
+    pub depth: u32,
+}
+
+impl CampaignSpec {
+    /// The per-PR CI smoke campaign: every family and every topology at
+    /// small sizes on a 2×3 grid — broad coverage, seconds of wall time.
+    pub fn smoke(seed: u64) -> Self {
+        CampaignSpec {
+            name: "smoke".into(),
+            families: FamilyKind::ALL.to_vec(),
+            sizes: vec![12, 24],
+            seeds: vec![seed],
+            topologies: TopologyKind::ALL.to_vec(),
+            routings: vec![None],
+            solvers: vec![
+                "random".into(),
+                "greedy".into(),
+                "dpa2d".into(),
+                "dpa1d".into(),
+                "dpa2d1d".into(),
+            ],
+            grid: (2, 3),
+            utilisation: 0.35,
+            width: 4,
+            depth: 3,
+        }
+    }
+
+    /// The nightly campaign: paper-scale sizes on the paper's 4×4 grid,
+    /// two seeds per point, every topology, default + YX routing.
+    pub fn nightly(seed: u64) -> Self {
+        CampaignSpec {
+            name: "nightly".into(),
+            sizes: vec![50, 100, 150],
+            seeds: vec![seed, seed + 1],
+            routings: vec![None, Some(RoutePolicy::Yx)],
+            grid: (4, 4),
+            width: 6,
+            depth: 4,
+            ..CampaignSpec::smoke(seed)
+        }
+    }
+
+    /// Fingerprint of every result-affecting parameter that is *not*
+    /// encoded in the job keys (grid, utilisation, cost distributions).
+    /// Written as a header line into each stream file; a resume against a
+    /// stream recorded under a different fingerprint is refused, because
+    /// matching keys would silently mix results computed under different
+    /// periods or platforms.
+    pub fn fingerprint(&self) -> String {
+        let d = FamilyParams::default();
+        format!(
+            "grid={}x{};u={};work={}..{};comm={}..{};ccr={:?}",
+            self.grid.0,
+            self.grid.1,
+            fmt_f64(self.utilisation),
+            fmt_f64(d.work_range.0),
+            fmt_f64(d.work_range.1),
+            fmt_f64(d.comm_range.0),
+            fmt_f64(d.comm_range.1),
+            d.ccr
+        )
+    }
+
+    /// Expands the spec into its deterministic job list. Fails on an
+    /// unknown solver name.
+    pub fn jobs(&self) -> Result<Vec<CampaignJob>, String> {
+        let registry = SolverRegistry::with_defaults();
+        let mut solvers = registry.parse_list(&self.solvers.join(","))?;
+        // Dedupe by display name (keeping first occurrence): a repeated
+        // solver would produce duplicate job keys, and the resume path
+        // dedupes by key — the final file would then differ between an
+        // uninterrupted run and a resumed one.
+        let mut seen_names = std::collections::HashSet::new();
+        solvers.retain(|s| seen_names.insert(s.name().to_string()));
+        if self.families.is_empty()
+            || self.sizes.is_empty()
+            || self.seeds.is_empty()
+            || self.topologies.is_empty()
+            || self.routings.is_empty()
+            || solvers.is_empty()
+        {
+            return Err("campaign spec has an empty axis".into());
+        }
+        let mut jobs = Vec::new();
+        for &family in &self.families {
+            for &n in &self.sizes {
+                for &seed in &self.seeds {
+                    let params = FamilyParams {
+                        n,
+                        width: self.width,
+                        depth: self.depth,
+                        ..FamilyParams::default()
+                    };
+                    let workload = WorkloadSpec::new(family, params, seed);
+                    for &topology in &self.topologies {
+                        for &routing in &self.routings {
+                            for solver in &solvers {
+                                let key = format!(
+                                    "{}/{}/{}/{}",
+                                    workload.id(),
+                                    topology,
+                                    routing_label(routing),
+                                    solver.name()
+                                );
+                                jobs.push(CampaignJob {
+                                    index: jobs.len(),
+                                    key,
+                                    workload: workload.clone(),
+                                    topology,
+                                    routing,
+                                    solver: Arc::clone(solver),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(jobs)
+    }
+}
+
+fn routing_label(routing: Option<RoutePolicy>) -> String {
+    routing.map_or_else(|| "default".to_string(), |p| p.to_string())
+}
+
+/// One expanded campaign job: a solver on a generated workload on one
+/// platform configuration.
+pub struct CampaignJob {
+    /// Position in the deterministic job list (the sharding index).
+    pub index: usize,
+    /// Unique, stable key: `<workload-id>/<topology>/<routing>/<solver>`.
+    pub key: String,
+    /// The seeded workload name.
+    pub workload: WorkloadSpec,
+    /// Interconnect backend.
+    pub topology: TopologyKind,
+    /// Routing override (`None` = backend default).
+    pub routing: Option<RoutePolicy>,
+    /// The solver to run.
+    pub solver: Arc<dyn Solver>,
+}
+
+/// One finished job, as recorded in the stream file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// The job key ([`CampaignJob::key`]).
+    pub key: String,
+    /// Workload family name.
+    pub family: String,
+    /// Stage count.
+    pub n: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Topology backend name.
+    pub topology: String,
+    /// Routing label (`default` or a policy name).
+    pub routing: String,
+    /// Solver display name.
+    pub solver: String,
+    /// Elevation of the generated graph (scenario descriptor).
+    pub elevation: u32,
+    /// The derived period bound, seconds.
+    pub period_s: f64,
+    /// Energy of the solver's mapping, joules (`None` = failed).
+    pub energy_j: Option<f64>,
+    /// Failure reason when the solver failed.
+    pub failure: Option<String>,
+    /// Wall time of the solve call, milliseconds. Volatile: recorded in
+    /// the stream file and the summary, **excluded** from the canonical
+    /// final file (it would break byte-identical resume).
+    pub wall_ms: f64,
+}
+
+impl JobRecord {
+    /// The deterministic fields, as one canonical JSON line (no trailing
+    /// newline). Byte-identical across reruns of the same job.
+    pub fn canonical_line(&self) -> String {
+        let mut s = String::with_capacity(192);
+        s.push_str(&format!(
+            "{{\"key\":\"{}\",\"family\":\"{}\",\"n\":{},\"seed\":{},\"topology\":\"{}\",\"routing\":\"{}\",\"solver\":\"{}\",\"elevation\":{},\"period_s\":{}",
+            escape(&self.key),
+            escape(&self.family),
+            self.n,
+            self.seed,
+            escape(&self.topology),
+            escape(&self.routing),
+            escape(&self.solver),
+            self.elevation,
+            fmt_f64(self.period_s),
+        ));
+        match self.energy_j {
+            Some(e) => s.push_str(&format!(",\"energy_j\":{}", fmt_f64(e))),
+            None => s.push_str(",\"energy_j\":null"),
+        }
+        match &self.failure {
+            Some(f) => s.push_str(&format!(",\"failure\":\"{}\"", escape(f))),
+            None => s.push_str(",\"failure\":null"),
+        }
+        s.push('}');
+        s
+    }
+
+    /// The stream-file line: canonical fields plus the volatile wall time.
+    pub fn stream_line(&self) -> String {
+        let mut s = self.canonical_line();
+        s.pop(); // strip '}'
+        s.push_str(&format!(",\"wall_ms\":{}}}", fmt_f64(self.wall_ms)));
+        s
+    }
+
+    /// Parses one stream line; `None` for truncated/foreign lines (the
+    /// resume path treats those as not-yet-done).
+    pub fn parse(line: &str) -> Option<JobRecord> {
+        let v = Json::parse(line.trim()).ok()?;
+        let s = |k: &str| v.get(k)?.as_str().map(str::to_string);
+        let opt_f = |k: &str| match v.get(k) {
+            Some(Json::Null) | None => None,
+            Some(j) => j.as_f64(),
+        };
+        Some(JobRecord {
+            key: s("key")?,
+            family: s("family")?,
+            n: v.get("n")?.as_f64()? as usize,
+            seed: v.get("seed")?.as_f64()? as u64,
+            topology: s("topology")?,
+            routing: s("routing")?,
+            solver: s("solver")?,
+            elevation: v.get("elevation")?.as_f64()? as u32,
+            period_s: v.get("period_s")?.as_f64()?,
+            energy_j: opt_f("energy_j"),
+            failure: match v.get("failure") {
+                Some(Json::Str(f)) => Some(f.clone()),
+                _ => None,
+            },
+            wall_ms: opt_f("wall_ms").unwrap_or(0.0),
+        })
+    }
+}
+
+/// Which slice of the job list this process runs: jobs with
+/// `index % count == index_of_shard`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// This shard's index, `0 <= index < count`.
+    pub index: usize,
+    /// Total number of shards.
+    pub count: usize,
+}
+
+impl Default for Shard {
+    fn default() -> Self {
+        Shard { index: 0, count: 1 }
+    }
+}
+
+impl Shard {
+    /// Whether this shard owns job `job_index`.
+    pub fn owns(&self, job_index: usize) -> bool {
+        job_index % self.count == self.index
+    }
+
+    /// File-name suffix: empty for the full run, `.shard0of4` otherwise.
+    fn suffix(&self) -> String {
+        if self.count == 1 {
+            String::new()
+        } else {
+            format!(".shard{}of{}", self.index, self.count)
+        }
+    }
+}
+
+impl FromStr for Shard {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || format!("bad shard '{s}' (expected I/M with 0 <= I < M)");
+        let (i, m) = s.split_once('/').ok_or_else(err)?;
+        let index: usize = i.trim().parse().map_err(|_| err())?;
+        let count: usize = m.trim().parse().map_err(|_| err())?;
+        if count == 0 || index >= count {
+            return Err(err());
+        }
+        Ok(Shard { index, count })
+    }
+}
+
+/// Outcome of one [`run_campaign`] call.
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// All records in this shard's scope, key-sorted (resumed + fresh).
+    pub records: Vec<JobRecord>,
+    /// Jobs skipped because the stream file already had their key.
+    pub resumed: usize,
+    /// Jobs executed by this call.
+    pub fresh: usize,
+    /// The append-only stream file.
+    pub stream_path: PathBuf,
+    /// The canonical key-sorted result file.
+    pub final_path: PathBuf,
+    /// The `BENCH_*.json`-compatible summary file.
+    pub summary_path: PathBuf,
+}
+
+/// Runs (or resumes) one shard of a campaign, writing into `dir`.
+///
+/// Jobs fan out over the rayon pool; each finished job appends one line to
+/// the stream file and flushes. On return the canonical final file and the
+/// benchmark summary cover the shard's whole scope.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    dir: &Path,
+    shard: Shard,
+) -> Result<CampaignOutcome, String> {
+    let jobs = spec.jobs()?;
+    let scope: Vec<&CampaignJob> = jobs.iter().filter(|j| shard.owns(j.index)).collect();
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let stream_path = dir.join(format!("{}{}.jsonl", spec.name, shard.suffix()));
+    let final_path = dir.join(format!("{}{}.final.jsonl", spec.name, shard.suffix()));
+    let summary_path = dir.join(format!(
+        "BENCH_campaign_{}{}.json",
+        spec.name,
+        shard.suffix()
+    ));
+
+    // Resume: collect the keys already completed in a previous run. A
+    // truncated trailing line (killed mid-write) fails to parse and is
+    // simply recomputed. The header line guards against resuming a stream
+    // recorded under different non-key parameters (period, grid, cost
+    // distributions): matching keys would silently mix incompatible runs.
+    let fingerprint = spec.fingerprint();
+    let mut done: Vec<JobRecord> = Vec::new();
+    let mut needs_newline = false;
+    let mut needs_header = true;
+    if let Ok(mut f) = File::open(&stream_path) {
+        let mut text = String::new();
+        f.read_to_string(&mut text)
+            .map_err(|e| format!("reading {}: {e}", stream_path.display()))?;
+        needs_newline = !text.is_empty() && !text.ends_with('\n');
+        needs_header = text.is_empty();
+        if !text.is_empty() {
+            let recorded = text
+                .lines()
+                .next()
+                .and_then(|l| Json::parse(l).ok())
+                .and_then(|h| h.get("spec").and_then(Json::as_str).map(str::to_string));
+            match recorded {
+                Some(recorded) if recorded == fingerprint => {}
+                Some(recorded) => {
+                    return Err(format!(
+                        "{} was recorded under a different campaign spec \
+                         (recorded '{recorded}', current '{fingerprint}'); \
+                         refusing to resume — use a fresh --out directory",
+                        stream_path.display()
+                    ));
+                }
+                // A non-empty stream without a valid header (torn header
+                // write, or a foreign file) cannot be trusted to match
+                // this spec; silently resuming could mix incompatible
+                // results, so refuse.
+                None => {
+                    return Err(format!(
+                        "{} has no valid campaign header (torn write or \
+                         foreign file); delete it or use a fresh --out \
+                         directory",
+                        stream_path.display()
+                    ));
+                }
+            }
+        }
+        let scope_keys: std::collections::HashSet<&str> =
+            scope.iter().map(|j| j.key.as_str()).collect();
+        let mut seen = std::collections::HashSet::new();
+        for line in text.lines() {
+            if let Some(rec) = JobRecord::parse(line) {
+                if scope_keys.contains(rec.key.as_str()) && seen.insert(rec.key.clone()) {
+                    done.push(rec);
+                }
+            }
+        }
+    }
+    let done_keys: std::collections::HashSet<&str> = done.iter().map(|r| r.key.as_str()).collect();
+    let pending: Vec<&CampaignJob> = scope
+        .iter()
+        .copied()
+        .filter(|j| !done_keys.contains(j.key.as_str()))
+        .collect();
+    let resumed = done.len();
+    let fresh = pending.len();
+
+    // Append-only stream: every record is one write + flush, so a kill
+    // loses at most the in-flight jobs.
+    let file = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&stream_path)
+        .map_err(|e| format!("opening {}: {e}", stream_path.display()))?;
+    let sink = Mutex::new(file);
+    if needs_header {
+        let mut f = sink.lock().unwrap();
+        writeln!(
+            f,
+            "{{\"campaign\":\"{}\",\"spec\":\"{}\"}}",
+            escape(&spec.name),
+            escape(&fingerprint)
+        )
+        .map_err(|e| format!("writing {}: {e}", stream_path.display()))?;
+    }
+    if needs_newline {
+        // Heal a truncated trailing line so the next append starts clean.
+        let mut f = sink.lock().unwrap();
+        writeln!(f).map_err(|e| format!("writing {}: {e}", stream_path.display()))?;
+    }
+
+    let p = spec.grid.0;
+    let q = spec.grid.1;
+    let utilisation = spec.utilisation;
+    // A lost stream line silently breaks the resume contract (the job
+    // would be recomputed as if it never ran, and CI would stay green on
+    // a half-durable campaign), so any write failure fails the run.
+    let write_err: Mutex<Option<String>> = Mutex::new(None);
+    let fresh_records: Vec<JobRecord> = pending
+        .into_par_iter()
+        .map(|job| {
+            let rec = run_job(job, p, q, utilisation);
+            let mut f = sink.lock().unwrap();
+            if let Err(e) = writeln!(f, "{}", rec.stream_line()).and_then(|_| f.flush()) {
+                eprintln!("[campaign] stream write failed: {e}");
+                write_err
+                    .lock()
+                    .unwrap()
+                    .get_or_insert_with(|| e.to_string());
+            }
+            rec
+        })
+        .collect();
+    if let Some(e) = write_err.into_inner().unwrap() {
+        return Err(format!(
+            "stream write to {} failed ({e}); results of this run are not \
+             durable — fix the output volume and rerun to resume",
+            stream_path.display()
+        ));
+    }
+
+    let mut records = done;
+    records.extend(fresh_records);
+    records.sort_by(|a, b| a.key.cmp(&b.key));
+
+    // Canonical final file: deterministic fields only, key-sorted —
+    // byte-identical however the jobs were interleaved or resumed.
+    let mut final_text = String::new();
+    for r in &records {
+        final_text.push_str(&r.canonical_line());
+        final_text.push('\n');
+    }
+    std::fs::write(&final_path, final_text)
+        .map_err(|e| format!("writing {}: {e}", final_path.display()))?;
+
+    std::fs::write(&summary_path, summary_json(spec, &records))
+        .map_err(|e| format!("writing {}: {e}", summary_path.display()))?;
+
+    Ok(CampaignOutcome {
+        records,
+        resumed,
+        fresh,
+        stream_path,
+        final_path,
+        summary_path,
+    })
+}
+
+/// Executes one job: generate the workload, derive the period, run the
+/// solver. Never panics on solver failure — failures are campaign data.
+fn run_job(job: &CampaignJob, p: u32, q: u32, utilisation: f64) -> JobRecord {
+    let g = job.workload.instantiate();
+    let elevation = g.elevation();
+    let pf = make_platform(job.topology, p, q, job.routing);
+    let inst = Instance::for_utilisation(g, pf, utilisation);
+    let started = Instant::now();
+    let result = job.solver.solve(&inst, &SolveCtx::new(job.workload.seed));
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let (energy_j, failure) = match result {
+        Ok(sol) => (Some(sol.energy()), None),
+        Err(f) => (None, Some(f.to_string())),
+    };
+    JobRecord {
+        key: job.key.clone(),
+        family: job.workload.family.to_string(),
+        n: job.workload.params.n,
+        seed: job.workload.seed,
+        topology: job.topology.to_string(),
+        routing: routing_label(job.routing),
+        solver: job.solver.name().to_string(),
+        elevation,
+        period_s: inst.period(),
+        energy_j,
+        failure,
+        wall_ms,
+    }
+}
+
+/// The `BENCH_*.json`-compatible summary: per `(family, solver)` across
+/// the whole sweep, the median energy (gateable, deterministic), the
+/// feasibility ratio (gateable), and the median wall time (advisory —
+/// time metrics never gate, see `xp bench-check`).
+pub fn summary_json(spec: &CampaignSpec, records: &[JobRecord]) -> String {
+    let mut families: Vec<&str> = Vec::new();
+    let mut solvers: Vec<&str> = Vec::new();
+    for r in records {
+        if !families.contains(&r.family.as_str()) {
+            families.push(&r.family);
+        }
+        if !solvers.contains(&r.solver.as_str()) {
+            solvers.push(&r.solver);
+        }
+    }
+    let mut entries = Vec::new();
+    for family in &families {
+        for solver in &solvers {
+            let group: Vec<&JobRecord> = records
+                .iter()
+                .filter(|r| r.family == *family && r.solver == *solver)
+                .collect();
+            if group.is_empty() {
+                continue;
+            }
+            let energies: Vec<f64> = group.iter().filter_map(|r| r.energy_j).collect();
+            let ratio = energies.len() as f64 / group.len() as f64;
+            let prefix = format!("campaign/{}/{family}/{solver}", spec.name);
+            entries.push(format!(
+                "    {{\"name\": \"{prefix}/feasible_ratio\", \"value\": {}, \"unit\": \"ratio\"}}",
+                fmt_f64(ratio)
+            ));
+            if let Some(med) = median(energies) {
+                entries.push(format!(
+                    "    {{\"name\": \"{prefix}/median_energy\", \"value\": {}, \"unit\": \"J\"}}",
+                    fmt_f64(med)
+                ));
+            }
+            if let Some(med) = median(group.iter().map(|r| r.wall_ms).collect()) {
+                entries.push(format!(
+                    "    {{\"name\": \"{prefix}/median_wall\", \"value\": {}, \"unit\": \"ms\"}}",
+                    fmt_f64(med)
+                ));
+            }
+        }
+    }
+    format!("{{\n  \"results\": [\n{}\n  ]\n}}\n", entries.join(",\n"))
+}
+
+/// One-paragraph text summary for the CLI.
+pub fn outcome_text(spec: &CampaignSpec, shard: Shard, outcome: &CampaignOutcome) -> String {
+    let failed = outcome
+        .records
+        .iter()
+        .filter(|r| r.energy_j.is_none())
+        .count();
+    format!(
+        "[campaign {}] shard {}/{}: {} jobs ({} resumed, {} fresh), {} infeasible\n\
+         [campaign {}] stream  {}\n\
+         [campaign {}] final   {}\n\
+         [campaign {}] summary {}",
+        spec.name,
+        shard.index,
+        shard.count,
+        outcome.records.len(),
+        outcome.resumed,
+        outcome.fresh,
+        failed,
+        spec.name,
+        outcome.stream_path.display(),
+        spec.name,
+        outcome.final_path.display(),
+        spec.name,
+        outcome.summary_path.display(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec(name: &str) -> CampaignSpec {
+        CampaignSpec {
+            name: name.into(),
+            families: vec![FamilyKind::DeepChain, FamilyKind::WideForkJoin],
+            sizes: vec![8],
+            seeds: vec![3],
+            topologies: vec![TopologyKind::Mesh],
+            routings: vec![None],
+            solvers: vec!["greedy".into(), "random".into()],
+            grid: (2, 2),
+            utilisation: 0.3,
+            width: 3,
+            depth: 2,
+        }
+    }
+
+    #[test]
+    fn job_list_is_deterministic_with_unique_keys() {
+        let spec = tiny_spec("t");
+        let a = spec.jobs().unwrap();
+        let b = spec.jobs().unwrap();
+        assert_eq!(a.len(), 4);
+        let keys: Vec<&str> = a.iter().map(|j| j.key.as_str()).collect();
+        assert_eq!(keys, b.iter().map(|j| j.key.as_str()).collect::<Vec<_>>());
+        let unique: std::collections::HashSet<&&str> = keys.iter().collect();
+        assert_eq!(unique.len(), keys.len(), "keys must be unique");
+        assert_eq!(keys[0], "deep-chain-n8-w3-d2-s3/mesh/default/Greedy");
+    }
+
+    #[test]
+    fn unknown_solver_is_rejected() {
+        let mut spec = tiny_spec("t");
+        spec.solvers = vec!["nope".into()];
+        assert!(spec.jobs().is_err());
+    }
+
+    #[test]
+    fn duplicate_solvers_collapse_to_unique_keys() {
+        // A repeated solver would duplicate job keys, and the resume path
+        // dedupes by key — final files would then differ between a fresh
+        // and a resumed run.
+        let mut spec = tiny_spec("t");
+        spec.solvers = vec!["greedy".into(), "greedy".into(), "Greedy".into()];
+        let jobs = spec.jobs().unwrap();
+        assert_eq!(jobs.len(), 2, "one per family, not per repetition");
+        let keys: std::collections::HashSet<&str> = jobs.iter().map(|j| j.key.as_str()).collect();
+        assert_eq!(keys.len(), jobs.len());
+    }
+
+    #[test]
+    fn record_lines_round_trip() {
+        let rec = JobRecord {
+            key: "k/mesh/default/Greedy".into(),
+            family: "deep-chain".into(),
+            n: 8,
+            seed: 3,
+            topology: "mesh".into(),
+            routing: "default".into(),
+            solver: "Greedy".into(),
+            elevation: 1,
+            period_s: 0.0125,
+            energy_j: Some(1.0 / 3.0),
+            failure: None,
+            wall_ms: 4.25,
+        };
+        let parsed = JobRecord::parse(&rec.stream_line()).unwrap();
+        assert_eq!(parsed, rec);
+        // Canonical line drops the volatile wall time.
+        let canon = JobRecord::parse(&rec.canonical_line()).unwrap();
+        assert_eq!(canon.wall_ms, 0.0);
+        assert_eq!(canon.energy_j, rec.energy_j);
+        // A failure record round-trips too.
+        let fail = JobRecord {
+            energy_j: None,
+            failure: Some("no valid mapping: x".into()),
+            ..rec
+        };
+        assert_eq!(JobRecord::parse(&fail.stream_line()).unwrap(), fail);
+        // Truncated lines are rejected, not mis-parsed.
+        let line = fail.stream_line();
+        assert!(JobRecord::parse(&line[..line.len() - 5]).is_none());
+    }
+
+    #[test]
+    fn shard_parsing_and_ownership() {
+        let s: Shard = "1/3".parse().unwrap();
+        assert!(!s.owns(0) && s.owns(1) && !s.owns(2) && s.owns(4));
+        assert!("3/3".parse::<Shard>().is_err());
+        assert!("0/0".parse::<Shard>().is_err());
+        assert!("x".parse::<Shard>().is_err());
+        assert_eq!(Shard::default(), Shard { index: 0, count: 1 });
+    }
+}

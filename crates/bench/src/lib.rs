@@ -14,6 +14,8 @@
 //! | Ablations (routing, downgrade, E_bit) | [`ablation`] | `ablation-*` |
 //! | Mesh vs torus vs ring comparison | [`topology_xp`] | `topology` |
 //! | Per-backend end-to-end smoke (CI gate) | [`topology_xp`] | `smoke` |
+//! | Synthetic-family campaign engine | [`campaign`] | `campaign` |
+//! | Perf-regression gate vs `BENCH_*.json` | [`bench_check`] | `bench-check` |
 //!
 //! The period bound per workload follows §6.1.3 exactly ([`probe`]): start
 //! at `T = 1 s`, divide by ten until every heuristic fails, keep the
@@ -26,7 +28,10 @@
 //! subset of the registered solvers via [`ea_core::SolverRegistry`].
 
 pub mod ablation;
+pub mod bench_check;
+pub mod campaign;
 pub mod exact_xp;
+pub mod json;
 pub mod probe;
 pub mod random_xp;
 pub mod report;
@@ -34,6 +39,8 @@ pub mod runner;
 pub mod streamit_xp;
 pub mod topology_xp;
 
+pub use bench_check::{bench_check_files, compare, parse_bench_metrics, Check, Metric, Status};
+pub use campaign::{run_campaign, CampaignOutcome, CampaignSpec, JobRecord, Shard};
 pub use probe::{probe_instance, probe_period};
 pub use runner::{best_energy, default_solvers, run_portfolio, solver_names, SolverOutcome};
 pub use topology_xp::{make_platform, smoke_text, topology_campaign};

@@ -46,6 +46,21 @@ pub fn write_csv(dir: &Path, name: &str, headers: &[&str], rows: &[Vec<String>])
     fs::write(dir.join(format!("{name}.csv")), out)
 }
 
+/// The median of a set of values (mean of the two middle elements for even
+/// counts), or `None` when empty. NaN-safe via total ordering.
+pub fn median(mut values: Vec<f64>) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_by(|a, b| a.total_cmp(b));
+    let mid = values.len() / 2;
+    Some(if values.len() % 2 == 1 {
+        values[mid]
+    } else {
+        (values[mid - 1] + values[mid]) / 2.0
+    })
+}
+
 /// Formats an energy value normalised to the best heuristic, or a failure
 /// marker.
 pub fn fmt_norm(value: Option<f64>) -> String {
@@ -84,5 +99,13 @@ mod tests {
     fn norm_formatting() {
         assert_eq!(fmt_norm(Some(1.0)), "1.000");
         assert_eq!(fmt_norm(None), "fail");
+    }
+
+    #[test]
+    fn median_odd_even_empty() {
+        assert_eq!(median(vec![]), None);
+        assert_eq!(median(vec![3.0]), Some(3.0));
+        assert_eq!(median(vec![3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(vec![4.0, 1.0, 2.0, 3.0]), Some(2.5));
     }
 }

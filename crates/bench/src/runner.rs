@@ -75,6 +75,7 @@ pub fn best_energy(outcomes: &[SolverOutcome]) -> Option<f64> {
 
 /// Legacy per-heuristic outcome, kept for the deprecated
 /// [`run_all_heuristics`] shim.
+#[doc(hidden)]
 #[deprecated(since = "0.2.0", note = "use `SolverOutcome` via `run_portfolio`")]
 #[derive(Debug, Clone)]
 pub struct HeuristicOutcome {
@@ -86,6 +87,7 @@ pub struct HeuristicOutcome {
 
 /// Runs all five heuristics at the given period; legacy shim preserving the
 /// pre-0.2 behaviour (every heuristic receives `seed` unmixed).
+#[doc(hidden)]
 #[deprecated(
     since = "0.2.0",
     note = "build an `Instance` and use `run_portfolio` (or `ea_core::Portfolio`) instead"

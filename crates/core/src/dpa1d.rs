@@ -81,6 +81,7 @@ struct TransitionBlock {
 }
 
 /// Runs `DPA1D` on the snake embedding of `pf`.
+#[doc(hidden)]
 #[deprecated(
     since = "0.2.0",
     note = "use `ea_core::solvers::Dpa1d` with an `Instance` (shares the interned lattice across calls)"

@@ -33,6 +33,7 @@ use crate::common::{validated_with, Failure, Solution};
 
 /// Runs `DPA2D` on the physical grid and validates the result with
 /// row-first XY routing.
+#[doc(hidden)]
 #[deprecated(
     since = "0.2.0",
     note = "use `ea_core::solvers::Dpa2d` with an `Instance`"

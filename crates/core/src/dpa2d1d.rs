@@ -20,6 +20,7 @@ use crate::dpa2d::dpa2d_alloc;
 
 /// Runs `DPA2D1D`: `DPA2D` on a virtual `1 × pq` platform, snaked onto the
 /// physical grid.
+#[doc(hidden)]
 #[deprecated(
     since = "0.2.0",
     note = "use `ea_core::solvers::Dpa2d1d` with an `Instance`"

@@ -53,6 +53,7 @@ impl Default for ExactConfig {
 }
 
 /// Finds the minimum-energy valid mapping by exhaustive search.
+#[doc(hidden)]
 #[deprecated(
     since = "0.2.0",
     note = "use `ea_core::solvers::Exact` with an `Instance`"

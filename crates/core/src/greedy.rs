@@ -36,6 +36,7 @@ use crate::common::{better, validated_with, Failure, Solution};
 
 /// Runs `Greedy`: one wavefront pass per available speed, downgrade, keep
 /// the lowest-energy valid mapping.
+#[doc(hidden)]
 #[deprecated(
     since = "0.2.0",
     note = "use `ea_core::solvers::Greedy` with an `Instance` (skips provably infeasible speeds)"

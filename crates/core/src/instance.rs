@@ -99,6 +99,30 @@ impl Instance {
         Instance::from_shared(Arc::new(spg), Arc::new(pf), period)
     }
 
+    /// An instance whose period is derived from a target platform
+    /// *utilisation* instead of given absolutely: `T = W / (u · p·q ·
+    /// f_max)`, the time the whole platform needs for one data set when a
+    /// fraction `u` of its peak cycle capacity does useful work.
+    ///
+    /// This is how the campaign engine turns a *generated* workload into a
+    /// comparable instance: synthetic families span orders of magnitude of
+    /// total work `W`, so a fixed absolute period would make some jobs
+    /// trivially loose and others hopeless. A fixed utilisation scales the
+    /// bound with the workload — `u` near the serial fraction of the graph
+    /// keeps every family in the regime where heuristics can both succeed
+    /// and fail (the informative regime of Tables 2–3). Deterministic in
+    /// the inputs, so resumable campaign jobs can recompute it from the
+    /// job key alone.
+    pub fn for_utilisation(spg: Spg, pf: Platform, utilisation: f64) -> Self {
+        assert!(
+            utilisation > 0.0 && utilisation.is_finite(),
+            "utilisation must be positive and finite"
+        );
+        let capacity = pf.n_cores() as f64 * pf.power.max_freq();
+        let period = spg.total_work() / (utilisation * capacity);
+        Instance::new(spg, pf, period)
+    }
+
     /// Like [`Instance::new`] but sharing already-`Arc`ed inputs (avoids
     /// cloning a large graph when the caller keeps its own handle).
     pub fn from_shared(spg: Arc<Spg>, pf: Arc<Platform>, period: f64) -> Self {
@@ -296,6 +320,18 @@ mod tests {
         let loose = inst.with_period(10.0);
         assert_eq!(loose.infeasible_stage(), None);
         assert_eq!(loose.min_uniform_speed(), Some(1));
+    }
+
+    #[test]
+    fn utilisation_period_scales_with_work() {
+        let pf = Platform::paper(2, 2); // 4 cores, f_max = 1 GHz (XScale)
+        let light = Instance::for_utilisation(chain(&[1e8; 4], &[1e3; 3]), pf.clone(), 0.5);
+        let heavy = Instance::for_utilisation(chain(&[1e9; 4], &[1e3; 3]), pf, 0.5);
+        // T = W / (u * cores * f_max): 4e8 / (0.5 * 4 * f_max).
+        let fmax = light.platform().power.max_freq();
+        assert!((light.period() - 4e8 / (0.5 * 4.0 * fmax)).abs() < 1e-12);
+        // 10x the work at the same utilisation => 10x the period.
+        assert!((heavy.period() / light.period() - 10.0).abs() < 1e-9);
     }
 
     #[test]

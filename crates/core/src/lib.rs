@@ -85,6 +85,7 @@ use cmp_platform::Platform;
 use spg::Spg;
 
 /// Runs one heuristic by kind. `seed` only affects [`HeuristicKind::Random`].
+#[doc(hidden)]
 #[deprecated(
     since = "0.2.0",
     note = "build an `Instance` and use `HeuristicKind::solver` (or `Portfolio`) instead"

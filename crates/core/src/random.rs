@@ -29,6 +29,7 @@ use crate::common::{better, validated_with, Failure, Solution};
 pub const RANDOM_TRIALS: usize = 10;
 
 /// Runs the `Random` heuristic: best of [`RANDOM_TRIALS`] random draws.
+#[doc(hidden)]
 #[deprecated(
     since = "0.2.0",
     note = "use `ea_core::solvers::Random` with an `Instance`"

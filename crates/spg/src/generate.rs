@@ -15,6 +15,10 @@ use rand::Rng;
 use crate::compose::{chain, parallel, series};
 use crate::graph::Spg;
 
+pub mod families;
+
+pub use families::{generate_family, FamilyKind, FamilyParams, WorkloadSpec};
+
 /// Configuration for [`random_spg`].
 #[derive(Debug, Clone)]
 pub struct SpgGenConfig {

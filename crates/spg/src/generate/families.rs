@@ -1,0 +1,461 @@
+//! Parameterised workload families (the campaign engine's scenario axis).
+//!
+//! The paper's evaluation uses one fixed suite (StreamIt, Table 1) plus the
+//! §6.2.2 random SPGs. A handful of fixed graphs hides topology/solver
+//! pathologies, so the campaign engine sweeps *families* of synthetic
+//! workloads instead: each [`FamilyKind`] is a structurally distinct
+//! population, and a [`WorkloadSpec`] — a `(family, params, seed)` triple —
+//! deterministically names one member of it. Two `instantiate` calls on
+//! equal specs yield byte-identical graphs, which is what makes campaign
+//! jobs resumable and shardable (the job key alone reproduces the input).
+//!
+//! Families:
+//!
+//! * [`FamilyKind::DeepChain`] — a pure pipeline (elevation 1, `xmax = n`):
+//!   the uni-line DP's best case and the placement heuristics' longest
+//!   dependence chain;
+//! * [`FamilyKind::WideForkJoin`] — `depth` fork-join blocks in series,
+//!   each fanning `width` parallel branches (bounded elevation, small
+//!   `xmax`): stresses link contention around the fork/join stages;
+//! * [`FamilyKind::Balanced`] — recursive series/parallel composition with
+//!   exact halvings down to `depth` levels: the homogeneous divide-and-
+//!   conquer shape;
+//! * [`FamilyKind::Unbalanced`] — the same recursion with seeded skewed
+//!   splits and random series/parallel choices: heterogeneous shapes whose
+//!   branch weights differ wildly;
+//! * [`FamilyKind::TgffMixed`] — a TGFF-style mixed population: elevation
+//!   and chain-interleaving probability are themselves drawn from the seed,
+//!   then the §6.2.2 exact-size shape builder runs (the closest analogue of
+//!   "random task graphs" in the NoC literature).
+//!
+//! Work and communication are drawn uniformly from the configured ranges
+//! and can be rescaled to an exact CCR, exactly like [`super::random_spg`].
+
+use std::fmt;
+use std::str::FromStr;
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use super::build_shape;
+use crate::compose::{chain, parallel_many, series};
+use crate::graph::Spg;
+
+/// A structurally distinct population of series-parallel workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FamilyKind {
+    /// Pure pipeline: elevation 1, `xmax = n`.
+    DeepChain,
+    /// `depth` fork-join blocks in series, `width` branches per block.
+    WideForkJoin,
+    /// Balanced recursive series/parallel composition (exact halvings).
+    Balanced,
+    /// Skewed recursive composition with seeded series/parallel choices.
+    Unbalanced,
+    /// TGFF-style mixed population (seeded elevation and interleaving).
+    TgffMixed,
+}
+
+impl FamilyKind {
+    /// Every family, in the canonical campaign order.
+    pub const ALL: [FamilyKind; 5] = [
+        FamilyKind::DeepChain,
+        FamilyKind::WideForkJoin,
+        FamilyKind::Balanced,
+        FamilyKind::Unbalanced,
+        FamilyKind::TgffMixed,
+    ];
+
+    /// Stable kebab-case name (campaign keys, CLI).
+    pub fn name(self) -> &'static str {
+        match self {
+            FamilyKind::DeepChain => "deep-chain",
+            FamilyKind::WideForkJoin => "wide-fork-join",
+            FamilyKind::Balanced => "balanced",
+            FamilyKind::Unbalanced => "unbalanced",
+            FamilyKind::TgffMixed => "tgff-mixed",
+        }
+    }
+}
+
+impl fmt::Display for FamilyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for FamilyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        FamilyKind::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(s))
+            .ok_or_else(|| {
+                format!("unknown family '{s}' (expected deep-chain|wide-fork-join|balanced|unbalanced|tgff-mixed)")
+            })
+    }
+}
+
+/// Size and cost-distribution knobs shared by every family.
+///
+/// `width` and `depth` are *targets*: a family clamps them down when `n` is
+/// too small to realise them (a 6-stage graph cannot hold 8 parallel
+/// branches), so every `(family, params)` pair with `n >= 2` instantiates
+/// — campaign specs never have to special-case small sizes. The stage
+/// count `n` is always hit exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilyParams {
+    /// Exact number of stages.
+    pub n: usize,
+    /// Parallel-branch target (fork-join branches per block; maximum
+    /// branch count / elevation for the recursive and mixed families).
+    pub width: u32,
+    /// Structural-depth target (fork-join blocks in series; recursion
+    /// levels for the balanced/unbalanced families).
+    pub depth: u32,
+    /// Uniform range for stage weights `w_i` (cycles per data set).
+    pub work_range: (f64, f64),
+    /// Uniform range for edge volumes `δ` (bytes per data set).
+    pub comm_range: (f64, f64),
+    /// If set, rescale all volumes so the graph's CCR is exactly this.
+    pub ccr: Option<f64>,
+}
+
+impl Default for FamilyParams {
+    fn default() -> Self {
+        FamilyParams {
+            n: 32,
+            width: 4,
+            depth: 3,
+            work_range: (1e5, 1e6),
+            comm_range: (1e3, 1e5),
+            ccr: None,
+        }
+    }
+}
+
+impl FamilyParams {
+    /// Default knobs at a given exact size.
+    pub fn sized(n: usize) -> Self {
+        FamilyParams {
+            n,
+            ..FamilyParams::default()
+        }
+    }
+}
+
+/// A deterministic workload name: one member of a family.
+///
+/// ```
+/// use spg::generate::families::{FamilyKind, FamilyParams, WorkloadSpec};
+///
+/// let spec = WorkloadSpec::new(FamilyKind::WideForkJoin, FamilyParams::sized(18), 7);
+/// let a = spec.instantiate();
+/// let b = spec.instantiate();
+/// assert_eq!(a.n(), 18);
+/// assert_eq!(a.weights(), b.weights()); // same spec => same graph
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Which population.
+    pub family: FamilyKind,
+    /// Size/shape/cost knobs.
+    pub params: FamilyParams,
+    /// Seed of the instance within the population.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Bundles a `(family, params, seed)` triple.
+    pub fn new(family: FamilyKind, params: FamilyParams, seed: u64) -> Self {
+        WorkloadSpec {
+            family,
+            params,
+            seed,
+        }
+    }
+
+    /// Stable identifier (campaign job keys): family, size, shape knobs,
+    /// seed. Two specs with equal ids *and equal cost knobs*
+    /// (`work_range`, `comm_range`, `ccr`) instantiate identical graphs —
+    /// the cost distributions are not encoded here, so a sweep over them
+    /// must key on something more (the campaign engine fingerprints them
+    /// in its stream-file header).
+    pub fn id(&self) -> String {
+        format!(
+            "{}-n{}-w{}-d{}-s{}",
+            self.family, self.params.n, self.params.width, self.params.depth, self.seed
+        )
+    }
+
+    /// Builds the named workload. Deterministic: the same spec always
+    /// yields the same graph, bit for bit.
+    ///
+    /// # Panics
+    /// Panics if `params.n < 2` or a cost range is malformed.
+    pub fn instantiate(&self) -> Spg {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        generate_family(self.family, &self.params, &mut rng)
+    }
+}
+
+/// Generates one member of `kind` with the given knobs, drawing structure
+/// and costs from `rng`. Prefer [`WorkloadSpec::instantiate`], which fixes
+/// the RNG construction and is what the campaign keys promise.
+///
+/// # Panics
+/// Panics if `params.n < 2` or a cost range is malformed.
+pub fn generate_family<R: Rng + ?Sized>(
+    kind: FamilyKind,
+    params: &FamilyParams,
+    rng: &mut R,
+) -> Spg {
+    assert!(params.n >= 2, "a workload has at least two stages");
+    let n = params.n;
+    let mut g = match kind {
+        FamilyKind::DeepChain => unit_chain(n),
+        FamilyKind::WideForkJoin => fork_join_shape(n, params.width, params.depth, rng),
+        FamilyKind::Balanced => balanced_shape(n, params.width, params.depth),
+        FamilyKind::Unbalanced => unbalanced_shape(n, params.width, params.depth, rng),
+        FamilyKind::TgffMixed => tgff_shape(n, params.width, rng),
+    };
+    debug_assert_eq!(g.n(), n, "family {kind} missed the exact stage count");
+
+    let (wlo, whi) = params.work_range;
+    assert!(wlo > 0.0 && whi >= wlo, "bad work range");
+    let (vlo, vhi) = params.comm_range;
+    assert!(vlo > 0.0 && vhi >= vlo, "bad comm range");
+    let weights = (0..g.n()).map(|_| rng.gen_range(wlo..=whi)).collect();
+    let volumes = (0..g.n_edges()).map(|_| rng.gen_range(vlo..=vhi)).collect();
+    g.set_weights(weights);
+    g.set_volumes(volumes);
+    if let Some(ccr) = params.ccr {
+        g.scale_to_ccr(ccr);
+    }
+    g
+}
+
+fn unit_chain(n: usize) -> Spg {
+    chain(&vec![1.0; n], &vec![1.0; n - 1])
+}
+
+/// One fork-join block: `width` parallel branches sharing source and sink,
+/// branch `i` holding `inner[i]` inner stages. Stage count `2 + Σ inner`.
+fn fork_join_block<R: Rng + ?Sized>(n: usize, width: u32, rng: &mut R) -> Spg {
+    debug_assert!(n >= width as usize + 2);
+    let w = width as usize;
+    // Every branch gets one inner stage; the slack lands uniformly.
+    let mut inner = vec![1usize; w];
+    for _ in 0..(n - 2 - w) {
+        inner[rng.gen_range(0..w)] += 1;
+    }
+    let branches: Vec<Spg> = inner.into_iter().map(|k| unit_chain(k + 2)).collect();
+    parallel_many(&branches)
+}
+
+/// `depth` fork-join blocks composed in series (adjacent blocks share one
+/// stage). Both knobs clamp down until the target size fits; a size below
+/// the smallest two-branch block degrades to a chain.
+fn fork_join_shape<R: Rng + ?Sized>(n: usize, width: u32, depth: u32, rng: &mut R) -> Spg {
+    let mut w = width.max(2);
+    let mut blocks = depth.max(1) as usize;
+    // Total stages of `blocks` blocks of minimum size: blocks*(w+2) - (blocks-1).
+    let min_total = |blocks: usize, w: u32| blocks * (w as usize + 2) - (blocks - 1);
+    while blocks > 1 && min_total(blocks, w) > n {
+        blocks -= 1;
+    }
+    while w > 2 && min_total(blocks, w) > n {
+        w -= 1;
+    }
+    if min_total(blocks, w) > n {
+        return unit_chain(n); // n < 4: no room for any fork-join
+    }
+    // Σ block sizes = n + blocks - 1 (series shares one stage per joint).
+    let total = n + blocks - 1;
+    let base = total / blocks;
+    let mut sizes = vec![base; blocks];
+    for s in sizes.iter_mut().take(total - base * blocks) {
+        *s += 1;
+    }
+    // The clamps above guarantee total >= blocks*(w+2), so even the
+    // floor share meets the per-block minimum.
+    debug_assert!(sizes.iter().all(|&s| s >= w as usize + 2));
+    let parts: Vec<Spg> = sizes
+        .into_iter()
+        .map(|nb| fork_join_block(nb, w, rng))
+        .collect();
+    parts
+        .into_iter()
+        .reduce(|acc, b| series(&acc, &b))
+        .expect("at least one block")
+}
+
+/// Balanced recursion: parallel levels split into `width` equal branches
+/// (each with at least one inner stage), series levels split in half;
+/// levels alternate, starting parallel. Deterministic shape — only the
+/// costs are drawn from the RNG.
+fn balanced_shape(n: usize, width: u32, depth: u32) -> Spg {
+    fn rec(n: usize, width: u32, depth: u32, parallel_turn: bool) -> Spg {
+        if depth == 0 || n < 4 {
+            return unit_chain(n.max(2));
+        }
+        if parallel_turn {
+            // w branches sharing source+sink: n = Σ n_i - 2(w-1), branch
+            // minimum 3 (one inner stage).
+            let mut w = width.max(2) as usize;
+            while w > 2 && 2 + w > n {
+                w -= 1;
+            }
+            if 2 + w > n {
+                return rec(n, width, depth, false);
+            }
+            let total = n + 2 * (w - 1);
+            let base = total / w;
+            let mut sizes = vec![base; w];
+            for s in sizes.iter_mut().take(total - base * w) {
+                *s += 1;
+            }
+            let branches: Vec<Spg> = sizes
+                .into_iter()
+                .map(|nb| rec(nb, width, depth - 1, false))
+                .collect();
+            parallel_many(&branches)
+        } else {
+            // Two halves sharing one stage: n = n1 + n2 - 1.
+            let n1 = (n + 1).div_ceil(2);
+            let n2 = n + 1 - n1;
+            series(
+                &rec(n1, width, depth - 1, true),
+                &rec(n2, width, depth - 1, true),
+            )
+        }
+    }
+    rec(n, width, depth, true)
+}
+
+/// Unbalanced recursion: series/parallel choice and split fractions come
+/// from the RNG, so one branch is typically several times the other.
+fn unbalanced_shape<R: Rng + ?Sized>(n: usize, width: u32, depth: u32, rng: &mut R) -> Spg {
+    if depth == 0 || n < 6 {
+        return unit_chain(n.max(2));
+    }
+    if rng.gen_bool(0.5) {
+        // Skewed series split (shares one stage): the short side takes
+        // 15–35% of the stages.
+        let frac = rng.gen_range(0.15..0.35);
+        let n1 = (((n + 1) as f64 * frac) as usize).clamp(2, n - 1);
+        let n2 = n + 1 - n1;
+        let a = unbalanced_shape(n1, width, depth - 1, rng);
+        let b = unbalanced_shape(n2, width, depth - 1, rng);
+        if rng.gen_bool(0.5) {
+            series(&a, &b)
+        } else {
+            series(&b, &a)
+        }
+    } else {
+        // Skewed parallel split into 2..=width branches (terminals
+        // shared): branch sizes are drawn with a quadratic bias toward
+        // the first branch, so one arm dominates the others.
+        let inner = n - 2;
+        let max_b = (width.max(2) as usize).min(inner);
+        let b = if max_b <= 2 {
+            2
+        } else {
+            rng.gen_range(2..=max_b)
+        };
+        let mut parts = vec![1usize; b];
+        for _ in 0..inner - b {
+            let skew: f64 = rng.gen_range(0.0..1.0);
+            parts[((skew * skew) * b as f64) as usize % b] += 1;
+        }
+        let branches: Vec<Spg> = parts
+            .into_iter()
+            .map(|k| unbalanced_shape(k + 2, width, depth - 1, rng))
+            .collect();
+        parallel_many(&branches)
+    }
+}
+
+/// TGFF-style mixed shape: the elevation target and the chain-interleaving
+/// probability are themselves seeded draws, then the exact-size §6.2.2
+/// shape builder runs.
+fn tgff_shape<R: Rng + ?Sized>(n: usize, width: u32, rng: &mut R) -> Spg {
+    let max_e = (n.saturating_sub(2)).min(width.max(1) as usize).max(1) as u32;
+    let e = rng.gen_range(1..=max_e);
+    let series_prob = rng.gen_range(0.2..0.7);
+    build_shape(n, e, series_prob, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recognize::recognize;
+
+    #[test]
+    fn every_family_hits_exact_size_and_is_sp() {
+        for kind in FamilyKind::ALL {
+            for n in [2usize, 4, 7, 16, 33, 64] {
+                let spec = WorkloadSpec::new(kind, FamilyParams::sized(n), 11);
+                let g = spec.instantiate();
+                assert_eq!(g.n(), n, "{kind} at n={n}");
+                g.check_invariants()
+                    .unwrap_or_else(|e| panic!("{kind}/{n}: {e}"));
+                assert!(
+                    recognize(&g).is_series_parallel,
+                    "{kind} at n={n} is not series-parallel"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn family_shapes() {
+        let chain =
+            WorkloadSpec::new(FamilyKind::DeepChain, FamilyParams::sized(20), 1).instantiate();
+        assert_eq!(chain.elevation(), 1);
+        assert_eq!(chain.xmax(), 20);
+
+        let fj =
+            WorkloadSpec::new(FamilyKind::WideForkJoin, FamilyParams::sized(20), 1).instantiate();
+        assert_eq!(fj.elevation(), 4, "each block fans the full width");
+        assert!(fj.xmax() < 20);
+
+        let bal = WorkloadSpec::new(FamilyKind::Balanced, FamilyParams::sized(20), 1).instantiate();
+        assert!(bal.elevation() >= 2);
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        for kind in FamilyKind::ALL {
+            let spec = WorkloadSpec::new(kind, FamilyParams::sized(24), 5);
+            let a = spec.instantiate();
+            let b = spec.instantiate();
+            assert_eq!(a.weights(), b.weights(), "{kind}");
+            assert_eq!(a.labels(), b.labels(), "{kind}");
+            let c = WorkloadSpec::new(kind, FamilyParams::sized(24), 6).instantiate();
+            assert_ne!(a.weights(), c.weights(), "{kind} ignores the seed");
+        }
+    }
+
+    #[test]
+    fn ccr_is_exact_for_families() {
+        for kind in FamilyKind::ALL {
+            let params = FamilyParams {
+                ccr: Some(3.0),
+                ..FamilyParams::sized(18)
+            };
+            let g = WorkloadSpec::new(kind, params, 2).instantiate();
+            assert!((g.ccr() - 3.0).abs() / 3.0 < 1e-9, "{kind}");
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for kind in FamilyKind::ALL {
+            assert_eq!(kind.name().parse::<FamilyKind>().unwrap(), kind);
+        }
+        assert!("nope".parse::<FamilyKind>().is_err());
+    }
+}

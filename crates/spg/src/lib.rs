@@ -18,7 +18,9 @@
 //!   paper's label rules) and structural queries;
 //! * [`ideal`] — enumeration of *admissible subgraphs* (order ideals), the
 //!   state space of the `DPA1D` dynamic program (paper Theorem 1);
-//! * [`generate`] — random SPGs with exact size and elevation (paper §6.2.2);
+//! * [`generate`] — random SPGs with exact size and elevation (paper
+//!   §6.2.2), plus the seeded workload *families*
+//!   ([`generate::families`]) the campaign engine sweeps;
 //! * [`streamit`] — a synthetic stand-in for the 12 StreamIt workflows with
 //!   the exact `n / ymax / xmax / CCR` characteristics of Table 1;
 //! * [`dot`] — Graphviz export for debugging and documentation.
@@ -33,7 +35,9 @@ pub mod recognize;
 pub mod streamit;
 
 pub use compose::{base, chain, parallel, parallel_many, series, series_many};
-pub use generate::{random_spg, SpgGenConfig};
+pub use generate::{
+    generate_family, random_spg, FamilyKind, FamilyParams, SpgGenConfig, WorkloadSpec,
+};
 pub use graph::{EdgeId, Label, Spg, SpgEdge, StageId};
 pub use ideal::{enumerate_ideals, IdealError, IdealId, IdealLattice};
 pub use nodeset::{NodeSet, NodeSetRef};

@@ -90,6 +90,34 @@
 //! (`RoutePolicy`: `xy`, `yx`, `shortest`, `snake`) can be overridden per
 //! platform via `Platform::with_policy`, and per mapping via `RouteSpec`.
 //!
+//! ## Workload families and campaigns
+//!
+//! Beyond the StreamIt suite and the §6.2.2 random SPGs, 0.4 adds seeded
+//! workload *families* ([`spg::generate::families`]): a `(family, params,
+//! seed)` triple deterministically names one series-parallel workload, so
+//! sweeps are reproducible from their keys alone.
+//!
+//! ```
+//! use spg_cmp::prelude::*;
+//!
+//! // One member of the wide-fork-join family: 24 stages, 4-way fan-out.
+//! let spec = WorkloadSpec::new(FamilyKind::WideForkJoin, FamilyParams::sized(24), 7);
+//! let app = spec.instantiate();
+//! assert_eq!(app.n(), 24);
+//!
+//! // Utilisation-derived period: comparable bounds across families whose
+//! // total work differs by orders of magnitude.
+//! let inst = Instance::for_utilisation(app, Platform::paper(4, 4), 0.35);
+//! let report = Portfolio::heuristics().seeded(7).run(&inst);
+//! assert!(report.best_solution().is_some());
+//! ```
+//!
+//! The `xp campaign` command (crate `ea-bench`, module `campaign`) sweeps
+//! families × sizes × topologies × routings × solvers as a sharded,
+//! resumable job list with append-only JSONL results, and `xp bench-check`
+//! gates CI on the deterministic metrics of the committed `BENCH_*.json`
+//! baselines (wall-clock metrics are advisory).
+//!
 //! ## Migrating from the 0.1 free functions
 //!
 //! The pre-0.2 free functions remain as thin `#[deprecated]` shims; new
@@ -150,7 +178,7 @@ pub mod prelude {
         PortfolioReport, Race, RefineConfig, SharedLattice, Solution, SolveCtx, Solver,
         SolverRegistry, SolverRun, ALL_HEURISTICS,
     };
-    pub use spg::{self, Spg, SpgGenConfig, StageId};
+    pub use spg::{self, FamilyKind, FamilyParams, Spg, SpgGenConfig, StageId, WorkloadSpec};
 
     // Deprecated 0.1 surface, kept importable so downstream code compiles
     // (with deprecation warnings) while migrating.

@@ -1,0 +1,164 @@
+//! Seeded property tests for the workload-family generators (ISSUE 4).
+//!
+//! Every family must yield *valid* series-parallel graphs — checked both
+//! by the structural invariants (labels, single source/sink, acyclicity)
+//! and by the decomposition round-trip: the Valdes–Tarjan–Lawler reduction
+//! of `spg::recognize` must collapse every generated graph back to the
+//! single source→sink edge, which certifies it was built by series and
+//! parallel composition. On top of that: exact sizes, determinism under
+//! identical seeds, seed sensitivity, and solver-facing sanity via
+//! `Instance::for_utilisation`.
+
+use spg::generate::families::{FamilyKind, FamilyParams, WorkloadSpec};
+use spg::recognize;
+use spg_cmp::prelude::*;
+
+/// The seeds every property below sweeps (arbitrary but fixed).
+const SEEDS: [u64; 4] = [1, 7, 2011, 0xDEAD_BEEF];
+
+#[test]
+fn every_family_round_trips_the_sp_decomposition() {
+    for kind in FamilyKind::ALL {
+        for n in [2usize, 3, 5, 9, 17, 40, 80] {
+            for seed in SEEDS {
+                let g = WorkloadSpec::new(kind, FamilyParams::sized(n), seed).instantiate();
+                assert_eq!(g.n(), n, "{kind} n={n} seed={seed}: wrong size");
+                g.check_invariants()
+                    .unwrap_or_else(|e| panic!("{kind} n={n} seed={seed}: {e}"));
+                let rec = recognize(&g);
+                assert!(
+                    rec.is_series_parallel,
+                    "{kind} n={n} seed={seed}: VTL reduction stalled with {} residual nodes",
+                    rec.residual_nodes
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn identical_seeds_reproduce_graphs_bit_for_bit() {
+    for kind in FamilyKind::ALL {
+        for seed in SEEDS {
+            let spec = WorkloadSpec::new(kind, FamilyParams::sized(30), seed);
+            let a = spec.instantiate();
+            let b = spec.instantiate();
+            assert_eq!(a.n(), b.n());
+            assert_eq!(a.labels(), b.labels(), "{kind} seed={seed}: labels drift");
+            // Weights and volumes must match to the bit, not approximately.
+            let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(
+                bits(a.weights()),
+                bits(b.weights()),
+                "{kind} seed={seed}: weights drift"
+            );
+            let vols = |g: &Spg| {
+                g.edges()
+                    .iter()
+                    .map(|e| e.volume.to_bits())
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(vols(&a), vols(&b), "{kind} seed={seed}: volumes drift");
+        }
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    for kind in FamilyKind::ALL {
+        let a = WorkloadSpec::new(kind, FamilyParams::sized(30), 1).instantiate();
+        let b = WorkloadSpec::new(kind, FamilyParams::sized(30), 2).instantiate();
+        assert_ne!(
+            a.weights(),
+            b.weights(),
+            "{kind}: the seed does not reach the cost draws"
+        );
+    }
+}
+
+#[test]
+fn family_shapes_are_distinct() {
+    let params = FamilyParams::sized(40);
+    let chain = WorkloadSpec::new(FamilyKind::DeepChain, params.clone(), 3).instantiate();
+    assert_eq!(chain.elevation(), 1);
+    assert_eq!(chain.xmax(), 40);
+
+    let fj = WorkloadSpec::new(FamilyKind::WideForkJoin, params.clone(), 3).instantiate();
+    assert_eq!(
+        fj.elevation(),
+        params.width,
+        "fork-join blocks fan the configured width"
+    );
+    assert!(fj.xmax() < 40, "fork-join must not degenerate to a chain");
+
+    let bal = WorkloadSpec::new(FamilyKind::Balanced, params.clone(), 3).instantiate();
+    assert!(
+        bal.elevation() >= params.width,
+        "balanced splits in parallel"
+    );
+
+    let unb = WorkloadSpec::new(FamilyKind::Unbalanced, params.clone(), 3).instantiate();
+    assert!(unb.elevation() >= 2, "unbalanced recursion must branch");
+
+    let tgff = WorkloadSpec::new(FamilyKind::TgffMixed, params, 3).instantiate();
+    assert!(
+        tgff.elevation() >= 1 && tgff.elevation() <= 4,
+        "tgff-mixed elevation is seeded within the width bound"
+    );
+}
+
+#[test]
+fn width_and_depth_clamp_instead_of_panicking() {
+    // Absurd knobs on tiny graphs: the generators must clamp, hit the
+    // exact size, and stay series-parallel.
+    for kind in FamilyKind::ALL {
+        for n in [2usize, 3, 4, 5, 6] {
+            let params = FamilyParams {
+                n,
+                width: 64,
+                depth: 30,
+                ..FamilyParams::default()
+            };
+            let g = WorkloadSpec::new(kind, params, 9).instantiate();
+            assert_eq!(g.n(), n, "{kind} n={n}");
+            assert!(recognize(&g).is_series_parallel, "{kind} n={n}");
+        }
+    }
+}
+
+#[test]
+fn ccr_rescaling_is_exact_across_families() {
+    for kind in FamilyKind::ALL {
+        for target in [0.1, 1.0, 10.0] {
+            let params = FamilyParams {
+                ccr: Some(target),
+                ..FamilyParams::sized(25)
+            };
+            let g = WorkloadSpec::new(kind, params, 4).instantiate();
+            assert!(
+                (g.ccr() - target).abs() / target < 1e-9,
+                "{kind} at CCR {target}: got {}",
+                g.ccr()
+            );
+        }
+    }
+}
+
+#[test]
+fn generated_workloads_solve_end_to_end_at_fixed_utilisation() {
+    // The campaign path in miniature: generate → utilisation period →
+    // solve. Greedy must find a mapping on every family at a loose
+    // utilisation, and the solution must respect the derived period.
+    for kind in FamilyKind::ALL {
+        let g = WorkloadSpec::new(kind, FamilyParams::sized(12), 2011).instantiate();
+        let inst = Instance::for_utilisation(g, Platform::paper(2, 3), 0.2);
+        let sol = solvers::Greedy::default()
+            .solve(&inst, &SolveCtx::new(2011))
+            .unwrap_or_else(|e| panic!("{kind}: {e}"));
+        assert!(sol.energy() > 0.0);
+        assert!(
+            sol.eval.max_cycle_time <= inst.period() * (1.0 + 1e-9),
+            "{kind}"
+        );
+    }
+}
