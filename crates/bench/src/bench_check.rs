@@ -85,6 +85,13 @@ pub fn is_time_unit(unit: &str) -> bool {
     matches!(unit, "ns" | "us" | "µs" | "ms" | "s")
 }
 
+/// Whether a metric is advisory (never gates): wall-clock times, and
+/// quantities *derived* from wall-clock times — a `speedup` is a ratio of
+/// two walls, so it inherits their machine dependence.
+pub fn is_advisory_unit(unit: &str) -> bool {
+    is_time_unit(unit) || unit == "speedup"
+}
+
 /// Verdict for one metric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Status {
@@ -152,7 +159,7 @@ pub fn compare(
             });
             let status = match (fresh, rel) {
                 (None, _) => Status::Skipped,
-                _ if is_time_unit(&m.unit) => Status::Advisory,
+                _ if is_advisory_unit(&m.unit) => Status::Advisory,
                 (_, Some(r)) if r.abs() <= tolerance => Status::Pass,
                 _ => Status::Fail,
             };
@@ -257,6 +264,34 @@ pub fn compute_fresh_metrics(
         }
     }
 
+    // Source 3: the StreamIt decade sweep (sweep/... names) — both modes,
+    // so the advisory wall/speedup drifts are reported alongside the
+    // gating energy and feasible-point metrics.
+    if needed.iter().any(|m| m.name.starts_with("sweep/")) {
+        let sweeps = crate::sweep_xp::streamit_sweep_bench(seed);
+        for s in &sweeps {
+            let prefix = format!("sweep/{}", s.workflow);
+            fresh.insert(
+                format!("{prefix}/feasible_points"),
+                s.feasible_points() as f64,
+            );
+            if let Some(med) = median(s.energies.iter().flatten().copied().collect()) {
+                fresh.insert(format!("{prefix}/median_energy"), med);
+            }
+            fresh.insert(format!("{prefix}/amortized_wall"), s.amortized_wall_ms);
+            fresh.insert(format!("{prefix}/naive_wall"), s.naive_wall_ms);
+            fresh.insert(format!("{prefix}/speedup"), s.speedup());
+        }
+        if let Some(med) = median(
+            sweeps
+                .iter()
+                .map(crate::sweep_xp::WorkflowSweep::speedup)
+                .collect(),
+        ) {
+            fresh.insert("sweep/median_speedup".into(), med);
+        }
+    }
+
     fresh
 }
 
@@ -317,11 +352,15 @@ pub fn check_text(checks: &[Check], tolerance: f64) -> String {
 
 /// Default gate files: the committed benchmarks this repository records.
 pub fn default_bench_files(repo_root: &Path) -> Vec<std::path::PathBuf> {
-    ["BENCH_topology.json", "BENCH_portfolio.json"]
-        .iter()
-        .map(|f| repo_root.join(f))
-        .filter(|p| p.exists())
-        .collect()
+    [
+        "BENCH_topology.json",
+        "BENCH_portfolio.json",
+        "BENCH_sweep.json",
+    ]
+    .iter()
+    .map(|f| repo_root.join(f))
+    .filter(|p| p.exists())
+    .collect()
 }
 
 #[cfg(test)]
@@ -374,6 +413,10 @@ mod tests {
         assert_eq!(identical[0].status, Status::Pass);
         let doubled = compare(&[metric("e/x", 6.0, "J")], |_| Some(3.0), 0.05);
         assert_eq!(doubled[0].status, Status::Fail);
+        // Speedups are ratios of wall times, so they advise too — a slow
+        // CI runner must not fail the gate on them.
+        let sp = compare(&[metric("s/x", 4.0, "speedup")], |_| Some(1.0), 0.05);
+        assert_eq!(sp[0].status, Status::Advisory);
     }
 
     #[test]

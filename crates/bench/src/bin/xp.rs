@@ -4,8 +4,9 @@
 //! xp <command> [--seed N] [--apps-per-point N] [--exact-count N]
 //!              [--solvers a,b,c] [--topology mesh|torus|ring]
 //!              [--routing xy|yx|shortest] [--out DIR]
-//!              [--campaign smoke|nightly] [--shard I/M]
-//!              [--bench FILE]... [--tolerance F]
+//!              [--campaign smoke|nightly|FILE.json] [--shard I/M]
+//!              [--input FILE]... [--bench FILE]... [--tolerance F]
+//!              [--points N] [--size N] [--suite streamit]
 //!
 //! commands:
 //!   table1        Table 1  (StreamIt characteristics)
@@ -22,8 +23,17 @@
 //!   ablation-speedrule | ablation-refine
 //!   topology      Mesh vs torus vs ring on the StreamIt suite (4x4)
 //!   smoke         One small instance end-to-end on --topology/--routing
-//!   campaign      Sharded resumable synthetic-family campaign (--campaign,
-//!                 --shard; results as JSONL + BENCH summary in --out)
+//!   sweep         Utilisation sweeps per workload family (--points,
+//!                 --size; curves as CSV in --out), or the StreamIt decade
+//!                 benchmark with --suite streamit (writes BENCH_sweep.json
+//!                 to --out: amortized-vs-naive walls + per-point energies)
+//!   campaign      Sharded resumable synthetic-family campaign (--campaign
+//!                 names a preset or a spec .json file, --shard; results as
+//!                 JSONL + BENCH summary in --out)
+//!   campaign-merge  Merge shard .jsonl artifacts (--input, repeatable)
+//!                 into the canonical key-sorted final file in --out,
+//!                 verifying exact key coverage against --campaign; exits 1
+//!                 on overlapping, missing, or foreign keys
 //!   bench-check   Perf-regression gate: recompute and compare against the
 //!                 committed BENCH_*.json (--bench, --tolerance); exits
 //!                 non-zero on a deterministic-metric regression
@@ -68,18 +78,19 @@ use cmp_platform::{Platform, RoutePolicy, TopologyKind};
 use ea_bench::campaign::{outcome_text, run_campaign, CampaignSpec, Shard};
 use ea_bench::random_xp::{self, RandomXpConfig};
 use ea_bench::streamit_xp::{self, CAMPAIGN_CSV_HEADERS};
-use ea_bench::{ablation, bench_check, exact_xp, report, topology_xp};
+use ea_bench::{ablation, bench_check, exact_xp, report, sweep_xp, topology_xp};
 use ea_core::{Solver, SolverRegistry};
 
 const USAGE: &str = "usage: xp <command> [--seed N] [--apps-per-point N] [--exact-count N] \
                      [--solvers a,b,c] [--topology mesh|torus|ring] \
                      [--routing xy|yx|shortest] [--out DIR] \
-                     [--campaign smoke|nightly] [--shard I/M] \
-                     [--bench FILE]... [--tolerance F]
+                     [--campaign smoke|nightly|FILE.json] [--shard I/M] \
+                     [--input FILE]... [--bench FILE]... [--tolerance F] \
+                     [--points N] [--size N] [--suite streamit]
 commands: table1 fig8 fig9 table2 fig10 fig11 fig12 fig13 table3 exact
           ablation-routing ablation-downgrade ablation-ebit
-          ablation-speedrule ablation-refine topology smoke
-          campaign bench-check help all";
+          ablation-speedrule ablation-refine topology smoke sweep
+          campaign campaign-merge bench-check help all";
 
 struct Opts {
     seed: u64,
@@ -97,7 +108,14 @@ struct Opts {
     campaign: String,
     shard: Shard,
     bench: Vec<PathBuf>,
+    input: Vec<PathBuf>,
     tolerance: f64,
+    /// Sweep grid resolution (`xp sweep --points`).
+    points: usize,
+    /// Workload stage count for family sweeps (`xp sweep --size`).
+    size: usize,
+    /// Named suite selector (`xp sweep --suite streamit`).
+    suite: Option<String>,
 }
 
 impl Opts {
@@ -148,7 +166,11 @@ fn parse_opts(rest: &[String]) -> Opts {
         campaign: "smoke".into(),
         shard: Shard::default(),
         bench: Vec::new(),
+        input: Vec::new(),
         tolerance: 0.05,
+        points: 8,
+        size: 24,
+        suite: None,
     };
     let registry = SolverRegistry::with_defaults();
     let mut i = 0;
@@ -186,9 +208,9 @@ fn parse_opts(rest: &[String]) -> Opts {
             }
             "--campaign" => {
                 let name = value(&mut i, flag);
-                if !matches!(name.as_str(), "smoke" | "nightly") {
+                if !matches!(name.as_str(), "smoke" | "nightly") && !name.ends_with(".json") {
                     usage_error(&format!(
-                        "unknown campaign '{name}' (expected smoke|nightly)"
+                        "unknown campaign '{name}' (expected smoke|nightly or a spec .json file)"
                     ));
                 }
                 opts.campaign = name;
@@ -200,6 +222,32 @@ fn parse_opts(rest: &[String]) -> Opts {
             }
             "--bench" => {
                 opts.bench.push(PathBuf::from(value(&mut i, flag)));
+            }
+            "--input" => {
+                opts.input.push(PathBuf::from(value(&mut i, flag)));
+            }
+            "--points" => {
+                opts.points = value(&mut i, flag)
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--points expects an integer"));
+                if opts.points == 0 {
+                    usage_error("--points must be at least 1");
+                }
+            }
+            "--size" => {
+                opts.size = value(&mut i, flag)
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--size expects an integer"));
+                if opts.size < 2 {
+                    usage_error("--size must be at least 2");
+                }
+            }
+            "--suite" => {
+                let name = value(&mut i, flag);
+                if name != "streamit" {
+                    usage_error(&format!("unknown suite '{name}' (expected streamit)"));
+                }
+                opts.suite = Some(name);
             }
             "--tolerance" => {
                 let t: f64 = value(&mut i, flag)
@@ -289,7 +337,9 @@ fn main() {
         "exact" => exact_cmd(&opts),
         "topology" => topology_cmd(&opts),
         "smoke" => smoke_cmd(&opts),
+        "sweep" => sweep_cmd(&opts),
         "campaign" => campaign_cmd(&opts),
+        "campaign-merge" => campaign_merge_cmd(&opts),
         "bench-check" => bench_check_cmd(&opts),
         "ablation-routing" => println!("{}", ablation::routing_text(12, opts.seed)),
         "ablation-downgrade" => println!("{}", ablation::downgrade_text(12, opts.seed)),
@@ -422,11 +472,82 @@ fn smoke_cmd(opts: &Opts) {
     }
 }
 
+fn sweep_cmd(opts: &Opts) {
+    if opts.suite.as_deref() == Some("streamit") {
+        // The decade benchmark: amortized-vs-naive DPA1D sweeps, and the
+        // BENCH_sweep.json document the perf gate compares against.
+        let sweeps = sweep_xp::streamit_sweep_bench(opts.seed);
+        print!("{}", sweep_xp::sweep_bench_text(&sweeps));
+        let path = opts.out.join("BENCH_sweep.json");
+        if let Err(e) = std::fs::create_dir_all(&opts.out)
+            .and_then(|_| std::fs::write(&path, sweep_xp::sweep_bench_json(&sweeps)))
+        {
+            soft_fail(&format!("writing {}: {e}", path.display()));
+        } else {
+            eprintln!("[sweep] wrote {}", path.display());
+        }
+        return;
+    }
+    let pf = opts.platform(2, 3);
+    let sweeps = sweep_xp::family_sweeps(opts.size, opts.points, opts.seed, &pf, &opts.solvers);
+    print!("{}", sweep_xp::family_sweep_text(&sweeps));
+    let rows = sweep_xp::family_sweep_csv_rows(&sweeps);
+    if let Err(e) = report::write_csv(
+        &opts.out,
+        "sweep_families",
+        &sweep_xp::SWEEP_CSV_HEADERS,
+        &rows,
+    ) {
+        soft_fail(&format!("csv write failed: {e}"));
+    }
+}
+
+/// Resolves `--campaign`: a preset name, or a spec `.json` file parsed by
+/// the minimal loader.
+fn campaign_spec(opts: &Opts) -> CampaignSpec {
+    if opts.campaign.ends_with(".json") {
+        let text = std::fs::read_to_string(&opts.campaign).unwrap_or_else(|e| {
+            eprintln!("xp: reading {}: {e}", opts.campaign);
+            exit(1);
+        });
+        CampaignSpec::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("xp: {}: {e}", opts.campaign);
+            exit(1);
+        })
+    } else {
+        match opts.campaign.as_str() {
+            "nightly" => CampaignSpec::nightly(opts.seed),
+            _ => CampaignSpec::smoke(opts.seed),
+        }
+    }
+}
+
+fn campaign_merge_cmd(opts: &Opts) {
+    let spec = campaign_spec(opts);
+    if opts.input.is_empty() {
+        usage_error("campaign-merge needs at least one --input FILE");
+    }
+    match ea_bench::campaign::merge_shards(&spec, &opts.input, &opts.out) {
+        Ok(outcome) => {
+            for (path, fresh) in opts.input.iter().zip(&outcome.per_input) {
+                println!("[merge] {}: {} records", path.display(), fresh);
+            }
+            println!(
+                "[merge] {} records -> {}\n[merge] summary {}",
+                outcome.records,
+                outcome.final_path.display(),
+                outcome.summary_path.display()
+            );
+        }
+        Err(e) => {
+            eprintln!("xp: campaign-merge failed: {e}");
+            exit(1);
+        }
+    }
+}
+
 fn campaign_cmd(opts: &Opts) {
-    let mut spec = match opts.campaign.as_str() {
-        "nightly" => CampaignSpec::nightly(opts.seed),
-        _ => CampaignSpec::smoke(opts.seed),
-    };
+    let mut spec = campaign_spec(opts);
     if let Some(raw) = &opts.solvers_raw {
         spec.solvers = raw.split(',').map(|s| s.trim().to_string()).collect();
     }

@@ -47,7 +47,7 @@ use crate::report::median;
 use crate::topology_xp::make_platform;
 
 /// A declarative campaign: the cartesian sweep the engine expands.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignSpec {
     /// Campaign name (file names, summary metric names).
     pub name: String,
@@ -65,9 +65,11 @@ pub struct CampaignSpec {
     pub solvers: Vec<String>,
     /// Grid dimensions `(p, q)`.
     pub grid: (u32, u32),
-    /// Platform utilisation deriving each job's period bound
-    /// ([`Instance::for_utilisation`]).
-    pub utilisation: f64,
+    /// Platform utilisations deriving each job's period bound
+    /// ([`Instance::for_utilisation`]) — a sweep axis like the others, so
+    /// one campaign can trace a feasibility-vs-tightness curve per family.
+    /// Each utilisation is part of the job key (`u<value>`).
+    pub utilisations: Vec<f64>,
     /// Family width knob ([`FamilyParams::width`]).
     pub width: u32,
     /// Family depth knob ([`FamilyParams::depth`]).
@@ -93,7 +95,7 @@ impl CampaignSpec {
                 "dpa2d1d".into(),
             ],
             grid: (2, 3),
-            utilisation: 0.35,
+            utilisations: vec![0.35],
             width: 4,
             depth: 3,
         }
@@ -115,24 +117,161 @@ impl CampaignSpec {
     }
 
     /// Fingerprint of every result-affecting parameter that is *not*
-    /// encoded in the job keys (grid, utilisation, cost distributions).
-    /// Written as a header line into each stream file; a resume against a
-    /// stream recorded under a different fingerprint is refused, because
-    /// matching keys would silently mix results computed under different
-    /// periods or platforms.
+    /// encoded in the job keys (grid, cost distributions; the utilisation
+    /// moved *into* the keys when it became a sweep axis). Written as a
+    /// header line into each stream file; a resume against a stream
+    /// recorded under a different fingerprint is refused, because matching
+    /// keys would silently mix results computed under different periods or
+    /// platforms.
     pub fn fingerprint(&self) -> String {
         let d = FamilyParams::default();
         format!(
-            "grid={}x{};u={};work={}..{};comm={}..{};ccr={:?}",
+            "grid={}x{};work={}..{};comm={}..{};ccr={:?}",
             self.grid.0,
             self.grid.1,
-            fmt_f64(self.utilisation),
             fmt_f64(d.work_range.0),
             fmt_f64(d.work_range.1),
             fmt_f64(d.comm_range.0),
             fmt_f64(d.comm_range.1),
             d.ccr
         )
+    }
+
+    /// Serialises the spec as the `--campaign <file>.json` document (the
+    /// inverse of [`CampaignSpec::from_json`], round-trip exact: numbers
+    /// go through the shortest-roundtrip writer).
+    pub fn to_json(&self) -> String {
+        let strs = |v: Vec<String>| -> String {
+            v.iter()
+                .map(|s| format!("\"{}\"", escape(s)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let nums = |v: Vec<f64>| -> String {
+            v.iter().map(|&x| fmt_f64(x)).collect::<Vec<_>>().join(", ")
+        };
+        format!(
+            "{{\n  \"name\": \"{}\",\n  \"families\": [{}],\n  \"sizes\": [{}],\n  \
+             \"seeds\": [{}],\n  \"utilisations\": [{}],\n  \"topologies\": [{}],\n  \
+             \"routings\": [{}],\n  \"solvers\": [{}],\n  \"grid\": [{}, {}],\n  \
+             \"width\": {},\n  \"depth\": {}\n}}\n",
+            escape(&self.name),
+            strs(self.families.iter().map(|f| f.to_string()).collect()),
+            nums(self.sizes.iter().map(|&n| n as f64).collect()),
+            nums(self.seeds.iter().map(|&s| s as f64).collect()),
+            nums(self.utilisations.clone()),
+            strs(self.topologies.iter().map(|t| t.to_string()).collect()),
+            strs(self.routings.iter().map(|&r| routing_label(r)).collect()),
+            strs(self.solvers.clone()),
+            self.grid.0,
+            self.grid.1,
+            self.width,
+            self.depth,
+        )
+    }
+
+    /// Parses a spec from its JSON document — the minimal loader behind
+    /// `xp campaign --campaign <file>.json`, so CI matrices and users can
+    /// define sweeps without recompiling the presets. Every field is
+    /// required; axis values are validated the same way [`Self::jobs`]
+    /// validates the presets (solver names are checked at expansion).
+    pub fn from_json(text: &str) -> Result<CampaignSpec, String> {
+        let doc = Json::parse(text).map_err(|e| format!("campaign spec: {e}"))?;
+        let arr = |k: &str| -> Result<&[Json], String> {
+            doc.get(k)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("campaign spec: missing array '{k}'"))
+        };
+        let str_list = |k: &str| -> Result<Vec<String>, String> {
+            arr(k)?
+                .iter()
+                .map(|v| {
+                    v.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("campaign spec: '{k}' must hold strings"))
+                })
+                .collect()
+        };
+        let num_list = |k: &str| -> Result<Vec<f64>, String> {
+            arr(k)?
+                .iter()
+                .map(|v| {
+                    v.as_f64()
+                        .ok_or_else(|| format!("campaign spec: '{k}' must hold numbers"))
+                })
+                .collect()
+        };
+        // JSON numbers arrive as f64; sizes/seeds/grid/width/depth must be
+        // exact integers. Anything fractional or beyond f64's exact-integer
+        // range (2^53) would silently round to *different* job keys than
+        // the authoring run, so it is an error, not a cast.
+        let as_int = |k: &str, x: f64| -> Result<u64, String> {
+            const EXACT_MAX: f64 = 9_007_199_254_740_992.0; // 2^53
+            if x.fract() != 0.0 || !(0.0..=EXACT_MAX).contains(&x) {
+                return Err(format!(
+                    "campaign spec: '{k}' must hold integers in 0..=2^53, got {x}"
+                ));
+            }
+            Ok(x as u64)
+        };
+        let int_list = |k: &str| -> Result<Vec<u64>, String> {
+            num_list(k)?.iter().map(|&x| as_int(k, x)).collect()
+        };
+        let num = |k: &str| -> Result<f64, String> {
+            doc.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("campaign spec: missing number '{k}'"))
+        };
+        let name = doc
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("campaign spec: missing string 'name'")?
+            .to_string();
+        let families = str_list("families")?
+            .iter()
+            .map(|s| s.parse::<FamilyKind>())
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| format!("campaign spec: {e}"))?;
+        let topologies = str_list("topologies")?
+            .iter()
+            .map(|s| s.parse::<TopologyKind>())
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| format!("campaign spec: {e}"))?;
+        let routings = str_list("routings")?
+            .iter()
+            .map(|s| {
+                if s.eq_ignore_ascii_case("default") {
+                    Ok(None)
+                } else {
+                    s.parse::<RoutePolicy>().map(Some)
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| format!("campaign spec: {e}"))?;
+        let grid = arr("grid")?;
+        let [p, q] = grid else {
+            return Err("campaign spec: 'grid' must be [p, q]".into());
+        };
+        let (Some(p), Some(q)) = (p.as_f64(), q.as_f64()) else {
+            return Err("campaign spec: 'grid' must hold numbers".into());
+        };
+        let (p, q) = (as_int("grid", p)?, as_int("grid", q)?);
+        if !(1..=u32::MAX as u64).contains(&p) || !(1..=u32::MAX as u64).contains(&q) {
+            return Err("campaign spec: grid dimensions must be at least 1".into());
+        }
+        Ok(CampaignSpec {
+            name,
+            families,
+            sizes: int_list("sizes")?.iter().map(|&x| x as usize).collect(),
+            seeds: int_list("seeds")?,
+            utilisations: num_list("utilisations")?,
+            topologies,
+            routings,
+            solvers: str_list("solvers")?,
+            grid: (p as u32, q as u32),
+            width: as_int("width", num("width")?)?.min(u32::MAX as u64) as u32,
+            depth: as_int("depth", num("depth")?)?.min(u32::MAX as u64) as u32,
+        })
     }
 
     /// Expands the spec into its deterministic job list. Fails on an
@@ -149,11 +288,19 @@ impl CampaignSpec {
         if self.families.is_empty()
             || self.sizes.is_empty()
             || self.seeds.is_empty()
+            || self.utilisations.is_empty()
             || self.topologies.is_empty()
             || self.routings.is_empty()
             || solvers.is_empty()
         {
             return Err("campaign spec has an empty axis".into());
+        }
+        if self
+            .utilisations
+            .iter()
+            .any(|&u| !(u > 0.0 && u.is_finite()))
+        {
+            return Err("campaign utilisations must be positive and finite".into());
         }
         let mut jobs = Vec::new();
         for &family in &self.families {
@@ -166,24 +313,28 @@ impl CampaignSpec {
                         ..FamilyParams::default()
                     };
                     let workload = WorkloadSpec::new(family, params, seed);
-                    for &topology in &self.topologies {
-                        for &routing in &self.routings {
-                            for solver in &solvers {
-                                let key = format!(
-                                    "{}/{}/{}/{}",
-                                    workload.id(),
-                                    topology,
-                                    routing_label(routing),
-                                    solver.name()
-                                );
-                                jobs.push(CampaignJob {
-                                    index: jobs.len(),
-                                    key,
-                                    workload: workload.clone(),
-                                    topology,
-                                    routing,
-                                    solver: Arc::clone(solver),
-                                });
+                    for &utilisation in &self.utilisations {
+                        for &topology in &self.topologies {
+                            for &routing in &self.routings {
+                                for solver in &solvers {
+                                    let key = format!(
+                                        "{}/u{}/{}/{}/{}",
+                                        workload.id(),
+                                        fmt_f64(utilisation),
+                                        topology,
+                                        routing_label(routing),
+                                        solver.name()
+                                    );
+                                    jobs.push(CampaignJob {
+                                        index: jobs.len(),
+                                        key,
+                                        workload: workload.clone(),
+                                        utilisation,
+                                        topology,
+                                        routing,
+                                        solver: Arc::clone(solver),
+                                    });
+                                }
                             }
                         }
                     }
@@ -203,10 +354,13 @@ fn routing_label(routing: Option<RoutePolicy>) -> String {
 pub struct CampaignJob {
     /// Position in the deterministic job list (the sharding index).
     pub index: usize,
-    /// Unique, stable key: `<workload-id>/<topology>/<routing>/<solver>`.
+    /// Unique, stable key:
+    /// `<workload-id>/u<utilisation>/<topology>/<routing>/<solver>`.
     pub key: String,
     /// The seeded workload name.
     pub workload: WorkloadSpec,
+    /// Platform utilisation deriving this job's period bound.
+    pub utilisation: f64,
     /// Interconnect backend.
     pub topology: TopologyKind,
     /// Routing override (`None` = backend default).
@@ -234,12 +388,25 @@ pub struct JobRecord {
     pub solver: String,
     /// Elevation of the generated graph (scenario descriptor).
     pub elevation: u32,
+    /// Platform utilisation the period was derived from (0 when parsing a
+    /// pre-u-axis stream line, which no current fingerprint accepts).
+    pub utilisation: f64,
     /// The derived period bound, seconds.
     pub period_s: f64,
     /// Energy of the solver's mapping, joules (`None` = failed).
     pub energy_j: Option<f64>,
     /// Failure reason when the solver failed.
     pub failure: Option<String>,
+    /// Structured budget telemetry when the failure was a budget abort
+    /// ([`ea_core::BudgetExceeded`]): the phase name, the cap, and the
+    /// count at abort — the fields the elevation-vs-cost wall (§6.2.1)
+    /// plots straight from campaign JSONL. Absent for feasibility
+    /// failures and for successes.
+    pub fail_phase: Option<String>,
+    /// The cap of the aborting phase.
+    pub fail_cap: Option<u64>,
+    /// The count observed at abort.
+    pub fail_count: Option<u64>,
     /// Wall time of the solve call, milliseconds. Volatile: recorded in
     /// the stream file and the summary, **excluded** from the canonical
     /// final file (it would break byte-identical resume).
@@ -250,9 +417,9 @@ impl JobRecord {
     /// The deterministic fields, as one canonical JSON line (no trailing
     /// newline). Byte-identical across reruns of the same job.
     pub fn canonical_line(&self) -> String {
-        let mut s = String::with_capacity(192);
+        let mut s = String::with_capacity(224);
         s.push_str(&format!(
-            "{{\"key\":\"{}\",\"family\":\"{}\",\"n\":{},\"seed\":{},\"topology\":\"{}\",\"routing\":\"{}\",\"solver\":\"{}\",\"elevation\":{},\"period_s\":{}",
+            "{{\"key\":\"{}\",\"family\":\"{}\",\"n\":{},\"seed\":{},\"topology\":\"{}\",\"routing\":\"{}\",\"solver\":\"{}\",\"elevation\":{},\"utilisation\":{},\"period_s\":{}",
             escape(&self.key),
             escape(&self.family),
             self.n,
@@ -261,6 +428,7 @@ impl JobRecord {
             escape(&self.routing),
             escape(&self.solver),
             self.elevation,
+            fmt_f64(self.utilisation),
             fmt_f64(self.period_s),
         ));
         match self.energy_j {
@@ -270,6 +438,18 @@ impl JobRecord {
         match &self.failure {
             Some(f) => s.push_str(&format!(",\"failure\":\"{}\"", escape(f))),
             None => s.push_str(",\"failure\":null"),
+        }
+        // Structured budget telemetry rides along only when present, so
+        // feasibility failures and successes keep their compact shape
+        // (schema bump is additive — old parsers ignore unknown fields,
+        // this parser treats them as optional).
+        if let (Some(phase), Some(cap), Some(count)) =
+            (&self.fail_phase, self.fail_cap, self.fail_count)
+        {
+            s.push_str(&format!(
+                ",\"fail_phase\":\"{}\",\"fail_cap\":{cap},\"fail_count\":{count}",
+                escape(phase)
+            ));
         }
         s.push('}');
         s
@@ -301,12 +481,17 @@ impl JobRecord {
             routing: s("routing")?,
             solver: s("solver")?,
             elevation: v.get("elevation")?.as_f64()? as u32,
+            // Optional for pre-u-axis lines (schema bumped compatibly).
+            utilisation: opt_f("utilisation").unwrap_or(0.0),
             period_s: v.get("period_s")?.as_f64()?,
             energy_j: opt_f("energy_j"),
             failure: match v.get("failure") {
                 Some(Json::Str(f)) => Some(f.clone()),
                 _ => None,
             },
+            fail_phase: s("fail_phase"),
+            fail_cap: opt_f("fail_cap").map(|x| x as u64),
+            fail_count: opt_f("fail_count").map(|x| x as u64),
             wall_ms: opt_f("wall_ms").unwrap_or(0.0),
         })
     }
@@ -488,7 +673,6 @@ pub fn run_campaign(
 
     let p = spec.grid.0;
     let q = spec.grid.1;
-    let utilisation = spec.utilisation;
     // A lost stream line silently breaks the resume contract (the job
     // would be recomputed as if it never ran, and CI would stay green on
     // a half-durable campaign), so any write failure fails the run.
@@ -496,7 +680,7 @@ pub fn run_campaign(
     let fresh_records: Vec<JobRecord> = pending
         .into_par_iter()
         .map(|job| {
-            let rec = run_job(job, p, q, utilisation);
+            let rec = run_job(job, p, q);
             let mut f = sink.lock().unwrap();
             if let Err(e) = writeln!(f, "{}", rec.stream_line()).and_then(|_| f.flush()) {
                 eprintln!("[campaign] stream write failed: {e}");
@@ -543,19 +727,169 @@ pub fn run_campaign(
     })
 }
 
+/// Outcome of one [`merge_shards`] call.
+#[derive(Debug)]
+pub struct MergeOutcome {
+    /// Total records in the merged canonical file.
+    pub records: usize,
+    /// Records contributed per input file, in input order.
+    pub per_input: Vec<usize>,
+    /// The merged canonical key-sorted result file.
+    pub final_path: PathBuf,
+    /// The merged `BENCH_*.json`-compatible summary file.
+    pub summary_path: PathBuf,
+}
+
+/// Merges shard artifacts (`.jsonl` stream or `.final.jsonl` files, from
+/// any mix of runners) of **one** campaign into the canonical key-sorted
+/// `<name>.final.jsonl`, verifying exact key coverage against the spec's
+/// job list:
+///
+/// * a key appearing in two different inputs is an **overlap** error (the
+///   shard partition is disjoint by construction, so an overlap means two
+///   inputs came from the same shard, or from different specs);
+/// * a key the spec expects but no input provides is a **missing** error
+///   (an incomplete shard set must not masquerade as a full campaign);
+/// * a key the spec does not know is a **foreign** error (wrong spec or
+///   wrong files).
+///
+/// Within a single input, repeated keys keep the first record — exactly
+/// the dedup rule the resume path applies to its own stream. The merged
+/// final file is byte-identical to the one an unsharded run writes.
+pub fn merge_shards(
+    spec: &CampaignSpec,
+    inputs: &[PathBuf],
+    dir: &Path,
+) -> Result<MergeOutcome, String> {
+    if inputs.is_empty() {
+        return Err("campaign-merge needs at least one --input file".into());
+    }
+    let jobs = spec.jobs()?;
+    let expected: std::collections::HashMap<&str, usize> =
+        jobs.iter().map(|j| (j.key.as_str(), j.index)).collect();
+    let mut merged: std::collections::HashMap<String, (JobRecord, usize)> =
+        std::collections::HashMap::with_capacity(jobs.len());
+    let mut per_input = vec![0usize; inputs.len()];
+    let fingerprint = spec.fingerprint();
+    for (i, path) in inputs.iter().enumerate() {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        // Keys do not encode the grid or cost distributions — only the
+        // stream header's fingerprint does. A stream recorded under a
+        // different fingerprint must be refused exactly like the resume
+        // path refuses it, or the merge would silently mix results
+        // computed on different platforms. Canonical `.final.jsonl`
+        // inputs have no header and pass through.
+        let header = text
+            .lines()
+            .next()
+            .and_then(|l| Json::parse(l).ok())
+            .and_then(|h| h.get("spec").and_then(Json::as_str).map(str::to_string));
+        if let Some(recorded) = header {
+            if recorded != fingerprint {
+                return Err(format!(
+                    "{}: recorded under a different campaign spec \
+                     (recorded '{recorded}', current '{fingerprint}'); \
+                     refusing to merge",
+                    path.display()
+                ));
+            }
+        }
+        let mut fresh = 0usize;
+        for line in text.lines() {
+            // Header and torn lines fail to parse and are skipped — only
+            // keys count, exactly like the resume path.
+            let Some(rec) = JobRecord::parse(line) else {
+                continue;
+            };
+            if !expected.contains_key(rec.key.as_str()) {
+                return Err(format!(
+                    "{}: key '{}' is not in campaign '{}' ({} jobs) — wrong \
+                     spec or foreign file",
+                    path.display(),
+                    rec.key,
+                    spec.name,
+                    jobs.len()
+                ));
+            }
+            match merged.entry(rec.key.clone()) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let (_, owner) = e.get();
+                    if *owner != i {
+                        return Err(format!(
+                            "key '{}' appears in both {} and {} — overlapping \
+                             shards, refusing to merge",
+                            rec.key,
+                            inputs[*owner].display(),
+                            path.display()
+                        ));
+                    }
+                    // Same-file duplicate (resume append): first wins.
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert((rec, i));
+                    fresh += 1;
+                }
+            }
+        }
+        per_input[i] = fresh;
+    }
+    if merged.len() < jobs.len() {
+        let mut missing: Vec<&str> = jobs
+            .iter()
+            .map(|j| j.key.as_str())
+            .filter(|k| !merged.contains_key(*k))
+            .collect();
+        missing.sort_unstable();
+        let shown = missing.iter().take(5).cloned().collect::<Vec<_>>();
+        return Err(format!(
+            "{} of {} campaign keys missing from the inputs (e.g. {}) — \
+             incomplete shard set",
+            missing.len(),
+            jobs.len(),
+            shown.join(", ")
+        ));
+    }
+    let mut records: Vec<JobRecord> = merged.into_values().map(|(r, _)| r).collect();
+    records.sort_by(|a, b| a.key.cmp(&b.key));
+
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let final_path = dir.join(format!("{}.final.jsonl", spec.name));
+    let mut final_text = String::new();
+    for r in &records {
+        final_text.push_str(&r.canonical_line());
+        final_text.push('\n');
+    }
+    std::fs::write(&final_path, final_text)
+        .map_err(|e| format!("writing {}: {e}", final_path.display()))?;
+    let summary_path = dir.join(format!("BENCH_campaign_{}.json", spec.name));
+    std::fs::write(&summary_path, summary_json(spec, &records))
+        .map_err(|e| format!("writing {}: {e}", summary_path.display()))?;
+    Ok(MergeOutcome {
+        records: records.len(),
+        per_input,
+        final_path,
+        summary_path,
+    })
+}
+
 /// Executes one job: generate the workload, derive the period, run the
-/// solver. Never panics on solver failure — failures are campaign data.
-fn run_job(job: &CampaignJob, p: u32, q: u32, utilisation: f64) -> JobRecord {
+/// solver. Never panics on solver failure — failures are campaign data
+/// (budget failures additionally record their structured phase/cap/count).
+fn run_job(job: &CampaignJob, p: u32, q: u32) -> JobRecord {
     let g = job.workload.instantiate();
     let elevation = g.elevation();
     let pf = make_platform(job.topology, p, q, job.routing);
-    let inst = Instance::for_utilisation(g, pf, utilisation);
+    let inst = Instance::for_utilisation(g, pf, job.utilisation);
     let started = Instant::now();
     let result = job.solver.solve(&inst, &SolveCtx::new(job.workload.seed));
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
-    let (energy_j, failure) = match result {
-        Ok(sol) => (Some(sol.energy()), None),
-        Err(f) => (None, Some(f.to_string())),
+    let (energy_j, failure, budget) = match result {
+        Ok(sol) => (Some(sol.energy()), None, None),
+        Err(f) => {
+            let budget = f.budget_exceeded().copied();
+            (None, Some(f.to_string()), budget)
+        }
     };
     JobRecord {
         key: job.key.clone(),
@@ -566,9 +900,13 @@ fn run_job(job: &CampaignJob, p: u32, q: u32, utilisation: f64) -> JobRecord {
         routing: routing_label(job.routing),
         solver: job.solver.name().to_string(),
         elevation,
+        utilisation: job.utilisation,
         period_s: inst.period(),
         energy_j,
         failure,
+        fail_phase: budget.map(|b| b.phase.name().to_string()),
+        fail_cap: budget.map(|b| b.cap),
+        fail_count: budget.map(|b| b.count),
         wall_ms,
     }
 }
@@ -664,7 +1002,7 @@ mod tests {
             routings: vec![None],
             solvers: vec!["greedy".into(), "random".into()],
             grid: (2, 2),
-            utilisation: 0.3,
+            utilisations: vec![0.3],
             width: 3,
             depth: 2,
         }
@@ -680,7 +1018,7 @@ mod tests {
         assert_eq!(keys, b.iter().map(|j| j.key.as_str()).collect::<Vec<_>>());
         let unique: std::collections::HashSet<&&str> = keys.iter().collect();
         assert_eq!(unique.len(), keys.len(), "keys must be unique");
-        assert_eq!(keys[0], "deep-chain-n8-w3-d2-s3/mesh/default/Greedy");
+        assert_eq!(keys[0], "deep-chain-n8-w3-d2-s3/u0.3/mesh/default/Greedy");
     }
 
     #[test]
@@ -706,7 +1044,7 @@ mod tests {
     #[test]
     fn record_lines_round_trip() {
         let rec = JobRecord {
-            key: "k/mesh/default/Greedy".into(),
+            key: "k/u0.3/mesh/default/Greedy".into(),
             family: "deep-chain".into(),
             n: 8,
             seed: 3,
@@ -714,9 +1052,13 @@ mod tests {
             routing: "default".into(),
             solver: "Greedy".into(),
             elevation: 1,
+            utilisation: 0.3,
             period_s: 0.0125,
             energy_j: Some(1.0 / 3.0),
             failure: None,
+            fail_phase: None,
+            fail_cap: None,
+            fail_count: None,
             wall_ms: 4.25,
         };
         let parsed = JobRecord::parse(&rec.stream_line()).unwrap();
@@ -725,16 +1067,62 @@ mod tests {
         let canon = JobRecord::parse(&rec.canonical_line()).unwrap();
         assert_eq!(canon.wall_ms, 0.0);
         assert_eq!(canon.energy_j, rec.energy_j);
-        // A failure record round-trips too.
+        // A failure record round-trips too, including the structured
+        // budget telemetry fields.
         let fail = JobRecord {
             energy_j: None,
-            failure: Some("no valid mapping: x".into()),
-            ..rec
+            failure: Some("budget exceeded: ideal lattice exceeds the cap of 7 ideals".into()),
+            fail_phase: Some("enumerate".into()),
+            fail_cap: Some(7),
+            fail_count: Some(8),
+            ..rec.clone()
         };
         assert_eq!(JobRecord::parse(&fail.stream_line()).unwrap(), fail);
+        assert_eq!(
+            JobRecord::parse(&fail.canonical_line()).unwrap().fail_cap,
+            Some(7)
+        );
+        // A pre-u-axis line (no utilisation, no telemetry) still parses.
+        let old = rec.canonical_line().replace(",\"utilisation\":0.3", "");
+        let parsed_old = JobRecord::parse(&old).unwrap();
+        assert_eq!(parsed_old.utilisation, 0.0);
+        assert_eq!(parsed_old.energy_j, rec.energy_j);
         // Truncated lines are rejected, not mis-parsed.
         let line = fail.stream_line();
         assert!(JobRecord::parse(&line[..line.len() - 5]).is_none());
+    }
+
+    #[test]
+    fn spec_json_round_trips() {
+        let mut spec = tiny_spec("file-spec");
+        spec.routings = vec![None, Some(RoutePolicy::Yx)];
+        spec.utilisations = vec![0.2, 0.35];
+        let text = spec.to_json();
+        let back = CampaignSpec::from_json(&text).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.to_json(), text, "writer is a fixed point");
+        // The parsed spec expands to the same job keys.
+        let keys = |s: &CampaignSpec| -> Vec<String> {
+            s.jobs().unwrap().iter().map(|j| j.key.clone()).collect()
+        };
+        assert_eq!(keys(&back), keys(&spec));
+        // Missing and malformed fields are rejected with context.
+        assert!(CampaignSpec::from_json("{}").unwrap_err().contains("name"));
+        let bad = text.replace("\"grid\": [2, 2]", "\"grid\": [2]");
+        assert!(CampaignSpec::from_json(&bad).unwrap_err().contains("grid"));
+        let bad = text.replace("deep-chain", "no-such-family");
+        assert!(CampaignSpec::from_json(&bad).is_err());
+        // Integer fields reject fractional, negative, and beyond-2^53
+        // values instead of silently casting to different job keys.
+        for bad in [
+            text.replace("\"sizes\": [8]", "\"sizes\": [8.5]"),
+            text.replace("\"seeds\": [3]", "\"seeds\": [-1]"),
+            text.replace("\"seeds\": [3]", "\"seeds\": [9007199254740994]"),
+            text.replace("\"grid\": [2, 2]", "\"grid\": [2.7, 2]"),
+        ] {
+            let err = CampaignSpec::from_json(&bad).unwrap_err();
+            assert!(err.contains("integers"), "{err}");
+        }
     }
 
     #[test]

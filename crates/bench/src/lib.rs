@@ -37,10 +37,13 @@ pub mod random_xp;
 pub mod report;
 pub mod runner;
 pub mod streamit_xp;
+pub mod sweep_xp;
 pub mod topology_xp;
 
 pub use bench_check::{bench_check_files, compare, parse_bench_metrics, Check, Metric, Status};
-pub use campaign::{run_campaign, CampaignOutcome, CampaignSpec, JobRecord, Shard};
+pub use campaign::{
+    merge_shards, run_campaign, CampaignOutcome, CampaignSpec, JobRecord, MergeOutcome, Shard,
+};
 pub use probe::{probe_instance, probe_period};
 pub use runner::{best_energy, default_solvers, run_portfolio, solver_names, SolverOutcome};
 pub use topology_xp::{make_platform, smoke_text, topology_campaign};

@@ -65,6 +65,73 @@ impl Solution {
     }
 }
 
+/// Which phase of a solve exhausted its complexity budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BudgetPhase {
+    /// Order-ideal lattice enumeration (`DPA1D`'s ideal cap).
+    Enumerate,
+    /// Cluster-transition materialisation (`DPA1D`'s edge cap).
+    Materialise,
+    /// An exhaustive search-space bound (the exact solver's stage limit).
+    Search,
+    /// A wall-clock deadline ([`crate::SolveCtx`]).
+    Deadline,
+}
+
+impl BudgetPhase {
+    /// Stable lower-case name (campaign JSONL field values).
+    pub fn name(self) -> &'static str {
+        match self {
+            BudgetPhase::Enumerate => "enumerate",
+            BudgetPhase::Materialise => "materialise",
+            BudgetPhase::Search => "search",
+            BudgetPhase::Deadline => "deadline",
+        }
+    }
+}
+
+impl std::fmt::Display for BudgetPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Structured budget-exhaustion telemetry: which phase aborted, the cap it
+/// ran under, and the count observed at abort. Campaign JSONL records the
+/// three fields verbatim, which is what makes the paper's elevation-vs-cost
+/// wall (§6.2.1) plottable straight from nightly runs — a string payload
+/// could only be grepped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// The phase that aborted.
+    pub phase: BudgetPhase,
+    /// The configured cap (ideals, transitions, or stages; 0 for
+    /// wall-clock deadlines, which have no count-shaped cap).
+    pub cap: u64,
+    /// The count at abort (for [`BudgetPhase::Enumerate`] a lower bound on
+    /// the true lattice size; 0 for deadlines).
+    pub count: u64,
+}
+
+impl std::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.phase {
+            BudgetPhase::Enumerate => {
+                write!(f, "ideal lattice exceeds the cap of {} ideals", self.cap)
+            }
+            BudgetPhase::Materialise => {
+                write!(f, "more than {} cluster transitions", self.cap)
+            }
+            BudgetPhase::Search => write!(
+                f,
+                "{} stages exceed the exact solver's limit of {}",
+                self.count, self.cap
+            ),
+            BudgetPhase::Deadline => f.write_str("wall-clock budget exhausted"),
+        }
+    }
+}
+
 /// Why a heuristic produced no mapping. Both variants count as "failures"
 /// in the paper's Tables 2 and 3.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,8 +139,28 @@ pub enum Failure {
     /// The search completed but found no valid mapping for this period.
     NoValidMapping(String),
     /// The search exceeded its complexity budget (e.g. `DPA1D`'s ideal
-    /// lattice explosion on high-elevation graphs, paper §6.2.1).
-    TooExpensive(String),
+    /// lattice explosion on high-elevation graphs, paper §6.2.1), with
+    /// structured phase/cap/count telemetry.
+    TooExpensive(BudgetExceeded),
+}
+
+impl Failure {
+    /// Shorthand [`Failure::TooExpensive`] constructor.
+    pub fn budget(phase: BudgetPhase, cap: usize, count: usize) -> Failure {
+        Failure::TooExpensive(BudgetExceeded {
+            phase,
+            cap: cap as u64,
+            count: count as u64,
+        })
+    }
+
+    /// The structured budget telemetry, when this is a budget failure.
+    pub fn budget_exceeded(&self) -> Option<&BudgetExceeded> {
+        match self {
+            Failure::TooExpensive(b) => Some(b),
+            Failure::NoValidMapping(_) => None,
+        }
+    }
 }
 
 impl std::fmt::Display for Failure {

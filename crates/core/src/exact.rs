@@ -78,10 +78,11 @@ pub(crate) fn exact_run(
 ) -> Result<Solution, Failure> {
     let n = spg.n();
     if n > cfg.max_stages {
-        return Err(Failure::TooExpensive(format!(
-            "{n} stages exceed the exact solver's limit of {}",
-            cfg.max_stages
-        )));
+        return Err(Failure::budget(
+            crate::common::BudgetPhase::Search,
+            cfg.max_stages,
+            n,
+        ));
     }
     debug_assert_eq!(order.len(), n);
     let r = pf.n_cores();
@@ -324,7 +325,7 @@ mod tests {
         let g = chain(&[0.5e9, 0.4e9, 0.3e9, 0.2e9], &[1e5, 2e5, 3e5]);
         let t = 1.0;
         let ex = exact(&g, &pf, t, &ExactConfig::default()).unwrap();
-        let dp = dpa1d_run(&g, &pf, t, &Dpa1dConfig::default(), None, None).unwrap();
+        let dp = dpa1d_run(&g, &pf, t, &Dpa1dConfig::default(), None, None, None).unwrap();
         assert!(
             (ex.energy() - dp.energy()).abs() < 1e-9,
             "exact {} vs dpa1d {}",

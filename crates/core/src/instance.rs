@@ -9,6 +9,10 @@
 //!   ([`SharedLattice`]) — the dominant cost of `DPA1D`, and
 //!   period-independent, so one enumeration serves every probe decade and
 //!   every portfolio member;
+//! * `DPA1D`'s **transition skeleton** ([`TransitionSkeleton`]) — the
+//!   complete cluster-transition system over the lattice, which turns
+//!   each period-sweep point into a threshold-admission pass instead of a
+//!   lattice re-walk;
 //! * the **snake order** of the grid (used by `DPA1D` and `DPA2D1D`);
 //! * the **topological stage order** (used by the exact solver);
 //! * the per-stage **speed-feasibility table** (the slowest speed able to
@@ -28,6 +32,9 @@ use cmp_platform::{snake_core, CoreId, Platform, RoutePolicy, RouteTable};
 use spg::ideal::{enumerate_ideals, IdealError, IdealLattice};
 use spg::{Spg, StageId};
 
+use crate::common::Failure;
+use crate::dpa1d::{build_skeleton, Dpa1dConfig, TransitionSkeleton};
+
 /// The interned ideal lattice of an instance together with the per-ideal
 /// cut volumes `DPA1D` prices its uni-line links with. Both are
 /// period-independent, so the pair is shared across solver calls and probe
@@ -45,11 +52,19 @@ pub struct SharedLattice {
 /// a `LimitExceeded` at cap `c` answers any request with cap ≤ `c`.
 type LatticeSlot = Mutex<Option<(usize, Result<Arc<SharedLattice>, IdealError>)>>;
 
+/// Cached `DPA1D` transition skeleton: the lattice it was built from (by
+/// pointer), the edge cap the build ran under, and the outcome. A success
+/// serves *any* edge cap (per-period admission enforces the cap on the
+/// admitted count, not on the index size); a build failure at cap `c`
+/// answers any request with cap ≤ `c` (the complete set is even larger).
+type SkeletonSlot = Mutex<Option<(usize, Result<Arc<TransitionSkeleton>, Failure>)>>;
+
 /// Period-independent derived structures, shared between an instance and
 /// its [`Instance::with_period`] re-targets.
 #[derive(Default)]
 struct Derived {
     lattice: LatticeSlot,
+    skeleton: SkeletonSlot,
     snake: OnceLock<Vec<CoreId>>,
     topo: OnceLock<Vec<StageId>>,
     /// One lazily built precomputed route table per [`RoutePolicy`]
@@ -114,13 +129,17 @@ impl Instance {
     /// the inputs, so resumable campaign jobs can recompute it from the
     /// job key alone.
     pub fn for_utilisation(spg: Spg, pf: Platform, utilisation: f64) -> Self {
-        assert!(
-            utilisation > 0.0 && utilisation.is_finite(),
-            "utilisation must be positive and finite"
-        );
-        let capacity = pf.n_cores() as f64 * pf.power.max_freq();
-        let period = spg.total_work() / (utilisation * capacity);
+        let period = utilisation_period(&spg, &pf, utilisation);
         Instance::new(spg, pf, period)
+    }
+
+    /// The period bound a target utilisation `u` denotes for this
+    /// instance's workload and platform (`T = W / (u · p·q · f_max)`, see
+    /// [`Instance::for_utilisation`]). Utilisation-axis sweeps resolve
+    /// their grid values through this before calling
+    /// [`Instance::with_period`].
+    pub fn utilisation_period(&self, utilisation: f64) -> f64 {
+        utilisation_period(&self.spg, &self.pf, utilisation)
     }
 
     /// Like [`Instance::new`] but sharing already-`Arc`ed inputs (avoids
@@ -181,7 +200,12 @@ impl Instance {
                 // A cached success larger than the requested cap is itself
                 // proof the enumeration would exceed `cap`: answer without
                 // re-enumerating and without evicting the success.
-                Ok(_) => return Err(IdealError::LimitExceeded { cap }),
+                Ok(sh) => {
+                    return Err(IdealError::LimitExceeded {
+                        cap,
+                        found: sh.lattice.len(),
+                    })
+                }
                 Err(e) if cap <= *cached_cap => return Err(e.clone()),
                 _ => {}
             }
@@ -192,6 +216,42 @@ impl Instance {
         });
         *slot = Some((cap, res.clone()));
         res
+    }
+
+    /// The period-independent `DPA1D` transition skeleton for this
+    /// instance (see [`TransitionSkeleton`]): the complete cluster
+    /// transition system over the interned lattice, built at most once and
+    /// shared across [`Instance::with_period`] re-targets — each sweep
+    /// point then pays only the threshold-admission pass and the per-period
+    /// `Ecal` lookups instead of re-walking the lattice.
+    ///
+    /// Returns:
+    ///
+    /// * `Ok(Some(_))` — the skeleton (cached or freshly built);
+    /// * `Ok(None)` — the *complete* transition set exceeds
+    ///   `cfg.edge_cap`, so no period-independent index exists within
+    ///   budget; callers fall back to per-period materialisation, whose
+    ///   work cap keeps the per-call set smaller (also cached: the build
+    ///   is not retried per period);
+    /// * `Err(_)` — lattice enumeration itself exceeded `cfg.ideal_cap`.
+    pub fn transition_skeleton(
+        &self,
+        cfg: &Dpa1dConfig,
+    ) -> Result<Option<Arc<TransitionSkeleton>>, Failure> {
+        let shared = self
+            .lattice(cfg.ideal_cap)
+            .map_err(|e| crate::dpa1d::lattice_failure(&e))?;
+        let mut slot = self.derived.skeleton.lock().unwrap();
+        if let Some((built_cap, res)) = slot.as_ref() {
+            match res {
+                Ok(sk) => return Ok(Some(Arc::clone(sk))),
+                Err(_) if cfg.edge_cap <= *built_cap => return Ok(None),
+                Err(_) => {}
+            }
+        }
+        let res = build_skeleton(self.spg(), self.platform(), &shared, cfg.edge_cap).map(Arc::new);
+        *slot = Some((cfg.edge_cap, res.clone()));
+        Ok(res.ok())
     }
 
     /// The precomputed route table for one routing policy on this
@@ -271,6 +331,19 @@ impl Instance {
     }
 }
 
+/// `T = W / (u · p·q · f_max)`: the time the whole platform needs for one
+/// data set when a fraction `u` of its peak cycle capacity does useful
+/// work. Deterministic in the inputs, so resumable campaign jobs can
+/// recompute it from the job key alone.
+fn utilisation_period(spg: &Spg, pf: &Platform, utilisation: f64) -> f64 {
+    assert!(
+        utilisation > 0.0 && utilisation.is_finite(),
+        "utilisation must be positive and finite"
+    );
+    let capacity = pf.n_cores() as f64 * pf.power.max_freq();
+    spg.total_work() / (utilisation * capacity)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,7 +374,7 @@ mod tests {
         // An under-cap request fails off the cached length alone...
         assert!(matches!(
             inst.lattice(2),
-            Err(IdealError::LimitExceeded { cap: 2 })
+            Err(IdealError::LimitExceeded { cap: 2, found: 7 })
         ));
         // ...without evicting the cached success.
         assert!(Arc::ptr_eq(&inst.lattice(100).unwrap(), &ok));

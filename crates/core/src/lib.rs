@@ -56,15 +56,17 @@ pub mod random;
 pub mod refine;
 pub mod solver;
 pub mod solvers;
+pub mod sweep;
 
-pub use common::{Failure, HeuristicKind, Solution, ALL_HEURISTICS};
-pub use dpa1d::Dpa1dConfig;
+pub use common::{BudgetExceeded, BudgetPhase, Failure, HeuristicKind, Solution, ALL_HEURISTICS};
+pub use dpa1d::{Dpa1dConfig, TransitionSkeleton};
 pub use exact::{ExactConfig, PartitionRule};
 pub use greedy::greedy_opts;
 pub use instance::{Instance, SharedLattice};
 pub use portfolio::{Portfolio, PortfolioReport, Race, SolverRun};
 pub use refine::{refine, refine_with, RefineConfig};
 pub use solver::{SolveCtx, Solver, SolverRegistry};
+pub use sweep::{PeriodSweep, SolveOutcome, SweepAxis, SweepPoint, SweepReport};
 
 // Deprecated pre-0.2 free-function surface, re-exported for downstream
 // compatibility (each carries its own `#[deprecated]` note).

@@ -55,7 +55,7 @@ impl SolveCtx {
     /// solvers call this at entry (and between phases).
     pub fn check_budget(&self) -> Result<(), Failure> {
         if self.expired() {
-            Err(Failure::TooExpensive("wall-clock budget exhausted".into()))
+            Err(Failure::budget(crate::common::BudgetPhase::Deadline, 0, 0))
         } else {
             Ok(())
         }

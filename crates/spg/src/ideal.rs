@@ -32,13 +32,17 @@ pub enum IdealError {
     LimitExceeded {
         /// The cap that was exceeded.
         cap: usize,
+        /// Ideal count observed at abort (a lower bound on the true lattice
+        /// size when enumeration stopped early; the exact size when a
+        /// completed enumeration merely exceeds a smaller requested cap).
+        found: usize,
     },
 }
 
 impl std::fmt::Display for IdealError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            IdealError::LimitExceeded { cap } => {
+            IdealError::LimitExceeded { cap, .. } => {
                 write!(f, "ideal lattice exceeds the cap of {cap} ideals")
             }
         }
@@ -294,7 +298,10 @@ pub fn enumerate_ideals(spg: &Spg, cap: usize) -> Result<IdealLattice, IdealErro
             lat.hasse[k].1 = child.0;
             if inserted {
                 if lat.len() > cap {
-                    return Err(IdealError::LimitExceeded { cap });
+                    return Err(IdealError::LimitExceeded {
+                        cap,
+                        found: lat.len(),
+                    });
                 }
                 // Record the child's ready list: this level's stages minus
                 // `s`, plus the successors of `s` whose predecessors are now
@@ -396,7 +403,7 @@ mod tests {
         let branches: Vec<Spg> = (0..8).map(|_| uniform_chain(5)).collect();
         let g = parallel_many(&branches);
         match enumerate_ideals(&g, 50) {
-            Err(IdealError::LimitExceeded { cap: 50 }) => {}
+            Err(IdealError::LimitExceeded { cap: 50, found }) if found > 50 => {}
             other => panic!("expected LimitExceeded, got {:?}", other.map(|l| l.len())),
         }
     }

@@ -80,6 +80,13 @@ impl<T: Send> ParIter<T> {
     pub fn collect<C: FromIterator<T>>(self) -> C {
         self.items.into_iter().collect()
     }
+
+    /// Runs `f` over every item in parallel, discarding results (rayon's
+    /// `for_each`). Used with owned `&mut` chunk items for in-place
+    /// parallel writes.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        let _: Vec<()> = par_map_vec(self.items, f);
+    }
 }
 
 /// Conversion of an owned collection into a parallel pipeline.

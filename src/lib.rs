@@ -21,8 +21,10 @@
 //!   algorithms share; every algorithm (`Random`, `Greedy`, `DPA2D`,
 //!   `DPA1D`, `DPA2D1D`, the exhaustive exact solver, and the `Refined`
 //!   hill-climb combinator) implements [`prelude::Solver`]; a
-//!   [`prelude::Portfolio`] races any subset of them, and a
-//!   [`prelude::SolverRegistry`] resolves solvers by name.
+//!   [`prelude::Portfolio`] races any subset of them, a
+//!   [`prelude::PeriodSweep`] traces whole feasibility/energy curves over
+//!   a period or utilisation grid, and a [`prelude::SolverRegistry`]
+//!   resolves solvers by name.
 //!
 //! ## Quickstart
 //!
@@ -113,10 +115,44 @@
 //! ```
 //!
 //! The `xp campaign` command (crate `ea-bench`, module `campaign`) sweeps
-//! families × sizes × topologies × routings × solvers as a sharded,
-//! resumable job list with append-only JSONL results, and `xp bench-check`
-//! gates CI on the deterministic metrics of the committed `BENCH_*.json`
-//! baselines (wall-clock metrics are advisory).
+//! families × sizes × utilisations × topologies × routings × solvers as a
+//! sharded, resumable job list with append-only JSONL results, and
+//! `xp bench-check` gates CI on the deterministic metrics of the committed
+//! `BENCH_*.json` baselines (wall-clock metrics are advisory).
+//!
+//! ## Period sweeps
+//!
+//! The paper's central experiments are curves versus period tightness;
+//! 0.4 makes the whole curve one call. A [`prelude::PeriodSweep`] runs a
+//! solver list over a geometric or explicit grid of periods (or platform
+//! utilisations) against **one** instance, so the period-independent
+//! caches — most importantly `DPA1D`'s interned lattice and its
+//! transition skeleton — are built once for the whole curve, and sweep
+//! points fan out over the rayon pool:
+//!
+//! ```
+//! use spg_cmp::prelude::*;
+//!
+//! let app = spg::chain(&[1e8; 8], &[1e3; 7]);
+//! let inst = Instance::new(app, Platform::paper(2, 2), 1.0);
+//! // One decade, 8 points, all five heuristics per point.
+//! let grid = PeriodSweep::geometric(1.0, 0.1, 8);
+//! let report = PeriodSweep::over_periods(solvers::default_heuristics(), grid)
+//!     .seeded(2011)
+//!     .run(&inst);
+//! assert_eq!(report.points.len(), 8);
+//! // The per-solver feasibility frontier: tightest period still solved.
+//! for entry in report.frontier() {
+//!     assert!(entry.feasible_points > 0, "{} never succeeded", entry.solver);
+//! }
+//! // Energy curve of one solver, in grid order (None = failed there).
+//! let curve = report.energies("DPA1D");
+//! assert_eq!(curve.len(), 8);
+//! ```
+//!
+//! Every sweep point is bit-identical to a from-scratch solve at that
+//! period — sharing is a pure optimisation (pinned by `tests/sweep.rs`).
+//! `xp sweep` exposes the same engine on the CLI per workload family.
 //!
 //! ## Migrating from the 0.1 free functions
 //!
@@ -174,9 +210,10 @@ pub mod prelude {
     pub use ea_core::solvers;
     pub use ea_core::{greedy_opts, refine, refine_with};
     pub use ea_core::{
-        Dpa1dConfig, ExactConfig, Failure, HeuristicKind, Instance, PartitionRule, Portfolio,
-        PortfolioReport, Race, RefineConfig, SharedLattice, Solution, SolveCtx, Solver,
-        SolverRegistry, SolverRun, ALL_HEURISTICS,
+        BudgetExceeded, BudgetPhase, Dpa1dConfig, ExactConfig, Failure, HeuristicKind, Instance,
+        PartitionRule, PeriodSweep, Portfolio, PortfolioReport, Race, RefineConfig, SharedLattice,
+        Solution, SolveCtx, SolveOutcome, Solver, SolverRegistry, SolverRun, SweepAxis, SweepPoint,
+        SweepReport, TransitionSkeleton, ALL_HEURISTICS,
     };
     pub use spg::{self, FamilyKind, FamilyParams, Spg, SpgGenConfig, StageId, WorkloadSpec};
 

@@ -17,7 +17,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use cmp_platform::TopologyKind;
 use ea_bench::bench_check::{compare, parse_bench_metrics, Status};
-use ea_bench::campaign::{run_campaign, summary_json, CampaignSpec, JobRecord, Shard};
+use ea_bench::campaign::{
+    merge_shards, run_campaign, summary_json, CampaignSpec, JobRecord, Shard,
+};
 use spg::generate::families::FamilyKind;
 
 /// A fresh scratch directory per test invocation.
@@ -48,7 +50,7 @@ fn test_spec() -> CampaignSpec {
         routings: vec![None],
         solvers: vec!["greedy".into(), "random".into()],
         grid: (2, 2),
-        utilisation: 0.3,
+        utilisations: vec![0.3],
         width: 3,
         depth: 2,
     }
@@ -133,22 +135,27 @@ fn sharded_campaign_equals_unsharded() {
 
 #[test]
 fn resume_under_a_changed_spec_is_refused() {
-    // Job keys do not encode the utilisation or grid; the stream-file
-    // header does. Changing either under the same name + output dir must
-    // refuse to resume instead of silently mixing incompatible results.
+    // Job keys do not encode the grid; the stream-file header does.
+    // Changing it under the same name + output dir must refuse to resume
+    // instead of silently mixing incompatible results.
     let spec = test_spec();
     let dir = scratch("respec");
     run_campaign(&spec, &dir, Shard::default()).unwrap();
-
-    let mut retargeted = spec.clone();
-    retargeted.utilisation = 0.6;
-    let err = run_campaign(&retargeted, &dir, Shard::default()).unwrap_err();
-    assert!(err.contains("different campaign spec"), "{err}");
 
     let mut regridded = spec.clone();
     regridded.grid = (2, 3);
     let err = run_campaign(&regridded, &dir, Shard::default()).unwrap_err();
     assert!(err.contains("different campaign spec"), "{err}");
+
+    // The utilisation, by contrast, is a sweep axis encoded in the job
+    // keys since the u-axis schema bump: re-targeting it does not clash
+    // with the recorded stream, it just runs the (all-new) keys.
+    let mut retargeted = spec.clone();
+    retargeted.utilisations = vec![0.6];
+    let out = run_campaign(&retargeted, &dir, Shard::default()).unwrap();
+    assert_eq!(out.resumed, 0, "u=0.6 keys are disjoint from u=0.3 keys");
+    assert_eq!(out.fresh, 24);
+    assert!(out.records.iter().all(|r| r.key.contains("/u0.6/")));
 
     // The unchanged spec still resumes cleanly.
     let again = run_campaign(&spec, &dir, Shard::default()).unwrap();
@@ -176,7 +183,7 @@ fn campaign_records_carry_failures_as_data() {
     // campaign must record the failures rather than abort.
     let mut spec = test_spec();
     spec.name = "tight".into();
-    spec.utilisation = 50.0;
+    spec.utilisations = vec![50.0];
     spec.families = vec![FamilyKind::DeepChain];
     spec.sizes = vec![8];
     let dir = scratch("tight");
@@ -185,6 +192,7 @@ fn campaign_records_carry_failures_as_data() {
     for rec in &out.records {
         assert_eq!(rec.energy_j, None, "{}", rec.key);
         assert!(rec.failure.is_some(), "{}", rec.key);
+        assert_eq!(rec.utilisation, 50.0, "{}", rec.key);
     }
     let _ = fs::remove_dir_all(&dir);
 }
@@ -234,6 +242,126 @@ fn summary_is_bench_compatible_and_gates_like_bench_check() {
         .filter(|c| c.unit == "ms")
         .all(|c| c.status == Status::Advisory));
 
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn merge_shards_reassembles_the_unsharded_final() {
+    let spec = test_spec();
+    let full_dir = scratch("merge-ref");
+    let full = run_campaign(&spec, &full_dir, Shard::default()).unwrap();
+    let reference = fs::read(&full.final_path).unwrap();
+
+    // Three shards run "on different machines" (separate dirs), merged.
+    let mut inputs = Vec::new();
+    let mut shard_dirs = Vec::new();
+    for index in 0..3 {
+        let dir = scratch(&format!("merge-shard{index}"));
+        let out = run_campaign(&spec, &dir, Shard { index, count: 3 }).unwrap();
+        inputs.push(out.stream_path.clone());
+        shard_dirs.push(dir);
+    }
+    let merge_dir = scratch("merge-out");
+    let merged = merge_shards(&spec, &inputs, &merge_dir).unwrap();
+    assert_eq!(merged.records, 24);
+    assert_eq!(merged.per_input.iter().sum::<usize>(), 24);
+    assert_eq!(
+        fs::read(&merged.final_path).unwrap(),
+        reference,
+        "merged shard artifacts must equal the unsharded final file byte for byte"
+    );
+    // The merged summary parses like any committed BENCH file.
+    let metrics = parse_bench_metrics(&fs::read_to_string(&merged.summary_path).unwrap()).unwrap();
+    assert!(metrics.iter().any(|m| m.unit == "J"));
+
+    // Overlap: the same shard twice is rejected.
+    let overlap = vec![inputs[0].clone(), inputs[0].clone(), inputs[1].clone()];
+    let err = merge_shards(&spec, &overlap, &merge_dir).unwrap_err();
+    assert!(err.contains("overlapping"), "{err}");
+
+    // Missing: an incomplete shard set is rejected with the missing count.
+    let err = merge_shards(&spec, &inputs[..2], &merge_dir).unwrap_err();
+    assert!(err.contains("missing"), "{err}");
+
+    // Foreign: files from a different spec are rejected.
+    let mut other = spec.clone();
+    other.utilisations = vec![0.5];
+    let err = merge_shards(&other, &inputs, &merge_dir).unwrap_err();
+    assert!(err.contains("not in campaign"), "{err}");
+
+    // Fingerprint: the grid is not in the keys, only in the stream
+    // header — merging streams recorded on a different platform must be
+    // refused like the resume path refuses them.
+    let mut regridded = spec.clone();
+    regridded.grid = (2, 3);
+    let err = merge_shards(&regridded, &inputs, &merge_dir).unwrap_err();
+    assert!(err.contains("different campaign spec"), "{err}");
+
+    let _ = fs::remove_dir_all(&full_dir);
+    let _ = fs::remove_dir_all(&merge_dir);
+    for dir in shard_dirs {
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn utilisation_axis_expands_and_records_per_u_jobs() {
+    // Two utilisations double the job list, give disjoint key sets, and
+    // tighter u never yields lower energy for the same (workload, solver).
+    let mut spec = test_spec();
+    spec.name = "uaxis".into();
+    spec.families = vec![FamilyKind::DeepChain];
+    spec.sizes = vec![8];
+    spec.topologies = vec![TopologyKind::Mesh];
+    spec.utilisations = vec![0.2, 0.4];
+    let dir = scratch("uaxis");
+    let out = run_campaign(&spec, &dir, Shard::default()).unwrap();
+    assert_eq!(out.records.len(), 4, "1 family x 1 size x 2 u x 2 solvers");
+    for rec in &out.records {
+        assert!(rec.key.contains(&format!("/u{}/", rec.utilisation)));
+        assert!(rec.period_s > 0.0);
+    }
+    // Period halves when utilisation doubles (same workload).
+    let loose = out.records.iter().find(|r| r.utilisation == 0.2).unwrap();
+    let tight = out.records.iter().find(|r| r.utilisation == 0.4).unwrap();
+    assert!((loose.period_s / tight.period_s - 2.0).abs() < 1e-9);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn budget_failures_record_structured_telemetry() {
+    // DPA1D with its default caps on a high-elevation TGFF-mixed workload
+    // is the paper's §6.2.1 cost wall; at campaign scale the wall shows up
+    // as enumerate-phase budget records with cap and count — the fields
+    // the elevation-vs-cost plot reads straight from the JSONL.
+    let mut spec = test_spec();
+    spec.name = "wall".into();
+    spec.families = vec![FamilyKind::WideForkJoin];
+    spec.sizes = vec![40];
+    spec.width = 12;
+    spec.depth = 1;
+    spec.topologies = vec![TopologyKind::Mesh];
+    spec.solvers = vec!["dpa1d".into()];
+    let dir = scratch("wall");
+    let out = run_campaign(&spec, &dir, Shard::default()).unwrap();
+    let budget_recs: Vec<_> = out
+        .records
+        .iter()
+        .filter(|r| r.fail_phase.is_some())
+        .collect();
+    assert!(
+        !budget_recs.is_empty(),
+        "a 12-wide fork-join must blow DPA1D's ideal cap"
+    );
+    for rec in budget_recs {
+        assert_eq!(rec.fail_phase.as_deref(), Some("enumerate"));
+        assert_eq!(rec.fail_cap, Some(60_000));
+        assert!(rec.fail_count.unwrap() > 60_000);
+        // The structured fields survive the JSONL round trip.
+        let parsed = JobRecord::parse(&rec.canonical_line()).unwrap();
+        assert_eq!(parsed.fail_cap, rec.fail_cap);
+        assert_eq!(parsed.fail_count, rec.fail_count);
+    }
     let _ = fs::remove_dir_all(&dir);
 }
 
