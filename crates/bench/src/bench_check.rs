@@ -18,7 +18,10 @@
 //! Fresh values are recomputed lazily, once per source: the topology
 //! campaign for `topology/...` names, the campaign-realistic warm StreamIt
 //! portfolio for `energy/<workflow>/<solver>` and
-//! `streamit_portfolio/<workflow>` names.
+//! `streamit_portfolio/<workflow>` names, the decade sweep for
+//! `sweep/...` names, and the pool microbenchmark for `pool/...` names
+//! (whose checksums gate — parallel scheduling must stay a pure
+//! optimisation).
 
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
@@ -292,6 +295,14 @@ pub fn compute_fresh_metrics(
         }
     }
 
+    // Source 4: the pool microbenchmark (pool/... names). Checksums and
+    // the worker count gate; walls advise; the frozen pool/scoped_spawn/*
+    // baseline entries stay skipped (nothing can re-measure a removed
+    // implementation).
+    if needed.iter().any(|m| m.name.starts_with("pool/")) {
+        crate::pool_xp::fresh_pool_metrics(&mut fresh);
+    }
+
     fresh
 }
 
@@ -356,6 +367,7 @@ pub fn default_bench_files(repo_root: &Path) -> Vec<std::path::PathBuf> {
         "BENCH_topology.json",
         "BENCH_portfolio.json",
         "BENCH_sweep.json",
+        "BENCH_pool.json",
     ]
     .iter()
     .map(|f| repo_root.join(f))

@@ -37,6 +37,10 @@
 //!   bench-check   Perf-regression gate: recompute and compare against the
 //!                 committed BENCH_*.json (--bench, --tolerance); exits
 //!                 non-zero on a deterministic-metric regression
+//!   pool-bench    Work-stealing pool microbenchmark at a pinned worker
+//!                 count (dispatch latency, fan-out throughput,
+//!                 scheduling-independence checksums); writes
+//!                 BENCH_pool.json to --out
 //!   help          This usage text
 //!   all           The paper artifacts above, in order
 //! ```
@@ -54,7 +58,8 @@
 //! campaigns (default `mesh`, the paper's platform; a ring flattens the
 //! grid to `p·q` cores), and `--routing` overrides the backend's default
 //! routing policy (mesh → `xy`, torus/ring → `shortest`). The `topology`
-//! command ignores both (it sweeps all backends at their defaults);
+//! command ignores both (it sweeps all backends at their defaults) and
+//! writes `--out/BENCH_topology.json` next to its CSV;
 //! `smoke` honours both and exits non-zero on any end-to-end failure.
 //!
 //! `--solvers` filters the portfolio through `ea_core::SolverRegistry`
@@ -90,7 +95,7 @@ const USAGE: &str = "usage: xp <command> [--seed N] [--apps-per-point N] [--exac
 commands: table1 fig8 fig9 table2 fig10 fig11 fig12 fig13 table3 exact
           ablation-routing ablation-downgrade ablation-ebit
           ablation-speedrule ablation-refine topology smoke sweep
-          campaign campaign-merge bench-check help all";
+          campaign campaign-merge bench-check pool-bench help all";
 
 struct Opts {
     seed: u64,
@@ -341,6 +346,7 @@ fn main() {
         "campaign" => campaign_cmd(&opts),
         "campaign-merge" => campaign_merge_cmd(&opts),
         "bench-check" => bench_check_cmd(&opts),
+        "pool-bench" => pool_bench_cmd(&opts),
         "ablation-routing" => println!("{}", ablation::routing_text(12, opts.seed)),
         "ablation-downgrade" => println!("{}", ablation::downgrade_text(12, opts.seed)),
         "ablation-ebit" => println!("{}", ablation::ebit_text(12, opts.seed, &opts.solvers)),
@@ -460,6 +466,17 @@ fn topology_cmd(opts: &Opts) {
     ) {
         soft_fail(&format!("csv write failed: {e}"));
     }
+    // The topology/* gate entries. The committed BENCH_topology.json also
+    // carries the criterion evaluate_* timing entries — re-baselining
+    // merges those in from `cargo bench -p ea-bench` output.
+    let path = opts.out.join("BENCH_topology.json");
+    if let Err(e) = std::fs::create_dir_all(&opts.out)
+        .and_then(|_| std::fs::write(&path, topology_xp::topology_bench_json(&campaign)))
+    {
+        soft_fail(&format!("writing {}: {e}", path.display()));
+    } else {
+        println!("wrote {}", path.display());
+    }
 }
 
 fn smoke_cmd(opts: &Opts) {
@@ -565,6 +582,19 @@ fn campaign_cmd(opts: &Opts) {
             eprintln!("xp: campaign failed: {e}");
             exit(1);
         }
+    }
+}
+
+fn pool_bench_cmd(opts: &Opts) {
+    let b = ea_bench::pool_xp::pool_bench();
+    print!("{}", ea_bench::pool_xp::pool_bench_text(&b));
+    let path = opts.out.join("BENCH_pool.json");
+    if let Err(e) = std::fs::create_dir_all(&opts.out)
+        .and_then(|_| std::fs::write(&path, ea_bench::pool_xp::pool_bench_json(&b)))
+    {
+        soft_fail(&format!("writing {}: {e}", path.display()));
+    } else {
+        eprintln!("[pool-bench] wrote {}", path.display());
     }
 }
 

@@ -559,6 +559,11 @@ pub struct CampaignOutcome {
     pub final_path: PathBuf,
     /// The `BENCH_*.json`-compatible summary file.
     pub summary_path: PathBuf,
+    /// Worker-pool size the fresh jobs fanned out over
+    /// ([`rayon::current_num_threads`]) — recorded so a shard's wall time
+    /// can be interpreted, and so operators sizing `--shard I/M` splits
+    /// can see what one machine actually ran with.
+    pub workers: usize,
 }
 
 /// Runs (or resumes) one shard of a campaign, writing into `dir`.
@@ -724,6 +729,7 @@ pub fn run_campaign(
         stream_path,
         final_path,
         summary_path,
+        workers: rayon::current_num_threads(),
     })
 }
 
@@ -968,7 +974,8 @@ pub fn outcome_text(spec: &CampaignSpec, shard: Shard, outcome: &CampaignOutcome
         .filter(|r| r.energy_j.is_none())
         .count();
     format!(
-        "[campaign {}] shard {}/{}: {} jobs ({} resumed, {} fresh), {} infeasible\n\
+        "[campaign {}] shard {}/{}: {} jobs ({} resumed, {} fresh), {} infeasible, \
+         {} workers\n\
          [campaign {}] stream  {}\n\
          [campaign {}] final   {}\n\
          [campaign {}] summary {}",
@@ -979,6 +986,7 @@ pub fn outcome_text(spec: &CampaignSpec, shard: Shard, outcome: &CampaignOutcome
         outcome.resumed,
         outcome.fresh,
         failed,
+        outcome.workers,
         spec.name,
         outcome.stream_path.display(),
         spec.name,

@@ -32,6 +32,7 @@ pub mod bench_check;
 pub mod campaign;
 pub mod exact_xp;
 pub mod json;
+pub mod pool_xp;
 pub mod probe;
 pub mod random_xp;
 pub mod report;

@@ -141,6 +141,64 @@ pub fn topology_campaign(
     }
 }
 
+/// The `topology/...` entries of `BENCH_topology.json`: per-backend
+/// suite medians (best energy gates, portfolio wall advises) and the
+/// per-workflow gating energies — the exact names `bench-check`
+/// recomputes. The committed file also carries the criterion
+/// `evaluate_*` timing entries from `cargo bench -p ea-bench`; appending
+/// those is the re-baselining script's job (see README), not this
+/// function's.
+pub fn topology_bench_json(campaign: &TopologyCampaign) -> String {
+    use crate::json::fmt_f64;
+    use crate::report::median;
+
+    let mut entries = Vec::new();
+    let mut workflow_energies: Vec<Vec<(String, f64)>> = Vec::new();
+    for (k, kind) in TopologyKind::ALL.iter().enumerate() {
+        let mut energies = Vec::new();
+        let mut walls = Vec::new();
+        let mut per_wf = Vec::new();
+        for row in &campaign.rows {
+            if let Some(o) = &row.outcomes[k] {
+                per_wf.push((row.workflow.clone(), o.energy));
+                energies.push(o.energy);
+                walls.push(o.wall_s * 1e3);
+            }
+        }
+        workflow_energies.push(per_wf);
+        if let Some(med) = median(energies) {
+            entries.push(format!(
+                "    {{\n      \"name\": \"topology/streamit_median_best_energy/{kind}\",\n      \
+                 \"value\": {},\n      \"unit\": \"J\"\n    }}",
+                fmt_f64(med)
+            ));
+        }
+        if let Some(med) = median(walls) {
+            entries.push(format!(
+                "    {{\n      \"name\": \"topology/streamit_median_portfolio_wall/{kind}\",\n      \
+                 \"value\": {},\n      \"unit\": \"ms\"\n    }}",
+                fmt_f64(med)
+            ));
+        }
+    }
+    // Grouped by workflow, backends inner — the committed file's order.
+    for row in &campaign.rows {
+        for (k, kind) in TopologyKind::ALL.iter().enumerate() {
+            if let Some((wf, e)) = workflow_energies[k]
+                .iter()
+                .find(|(wf, _)| *wf == row.workflow)
+            {
+                entries.push(format!(
+                    "    {{\"name\": \"topology/energy/{wf}/{kind}\", \"value\": {}, \
+                     \"unit\": \"J\"}}",
+                    fmt_f64(*e)
+                ));
+            }
+        }
+    }
+    format!("{{\n  \"results\": [\n{}\n  ]\n}}\n", entries.join(",\n"))
+}
+
 /// Text table: per-workflow best energy (and winning solver) per backend,
 /// plus the torus/mesh energy ratio.
 pub fn topology_text(campaign: &TopologyCampaign) -> String {

@@ -64,15 +64,20 @@ pub struct Dpa1dConfig {
     pub edge_cap: usize,
     /// Minimum number of in-edges in a cardinality level for that level of
     /// the relaxation to fan out over rayon; narrower levels run inline,
-    /// so small instances never regress. The default is deliberately high:
-    /// the vendored rayon shim spawns scoped threads per call (~a quarter
-    /// millisecond per level) and the by-destination layered form trades
-    /// the sequential sweep's linear streaming for transposed random
-    /// access, so measured break-even sits near a million in-edges in a
-    /// single level — chains and the whole StreamIt suite stay on the
-    /// faster sequential single-pass sweep. Only the skeleton path
+    /// so small instances never regress. The vendored rayon shim now runs
+    /// a persistent work-stealing pool (dispatching a fan-out costs on the
+    /// order of a microsecond, versus a quarter millisecond of scoped
+    /// thread spawns before), so the break-even is set by the real work —
+    /// the by-destination layered form trades the sequential sweep's
+    /// linear streaming for transposed random access, which a few worker
+    /// threads repay once a level carries roughly ten thousand in-edges
+    /// (measured on the StreamIt-scale skeletons; see `BENCH_pool.json`
+    /// for the dispatch numbers behind it). Mid-size instances that the
+    /// old thread-spawn shim priced out of parallelism (the former default
+    /// sat at a million) now engage the pool. Only the skeleton path
     /// parallelises — the fallback materialisation path is always
-    /// sequential. (Tests force either order by setting this to 0 or
+    /// sequential — and a 1-worker pool keeps the sequential order
+    /// outright. (Tests force either order by setting this to 0 or
     /// `usize::MAX`; the results are bit-identical.)
     pub relax_par_threshold: usize,
 }
@@ -82,7 +87,7 @@ impl Default for Dpa1dConfig {
         Dpa1dConfig {
             ideal_cap: 60_000,
             edge_cap: 1_000_000,
-            relax_par_threshold: 1_000_000,
+            relax_par_threshold: 10_000,
         }
     }
 }
@@ -586,9 +591,11 @@ pub(crate) fn solve_chain_skeleton(
     let ecal = EcalTable::new(pf, period);
     let mut state = DpState::new(lattice.len(), width_of(spg, pf));
     // The by-destination layered form only pays when some level is wide
-    // enough to amortise the fan-out; otherwise the block-order sweep is
-    // both allocation-free and cache-friendlier.
-    if sk.has_parallel_level(cfg.relax_par_threshold) {
+    // enough to amortise the fan-out AND the pool actually has more than
+    // one worker; otherwise the block-order sweep is both allocation-free
+    // and cache-friendlier (and with one worker the layered form's
+    // transposed access pattern is pure loss).
+    if sk.has_parallel_level(cfg.relax_par_threshold) && rayon::current_num_threads() > 1 {
         relax_skeleton_par(&mut state, sk, &adm, &ecal, cfg.relax_par_threshold);
     } else {
         relax_skeleton_seq(&mut state, sk, &adm, &ecal);
@@ -1121,7 +1128,12 @@ mod tests {
                     relax_par_threshold: 0, // force the parallel path
                     ..cfg.clone()
                 };
-                let par = solve_chain_skeleton(g, &pf, period, &par_cfg, &lattice, &sk);
+                // A 2-worker pool keeps the forced-parallel leg meaningful
+                // on single-core machines (the solver falls back to the
+                // sequential order when only one worker is available).
+                let pool = rayon::ThreadPool::new(2);
+                let par =
+                    pool.install(|| solve_chain_skeleton(g, &pf, period, &par_cfg, &lattice, &sk));
                 match (&fresh, &seq, &par) {
                     (Ok(a), Ok(b), Ok(c)) => {
                         assert_eq!(a, b, "sequential skeleton diverged at T={period}");

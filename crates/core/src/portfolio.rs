@@ -199,7 +199,9 @@ impl Portfolio {
                 }
             }
             runs
-        } else if self.parallel && self.solvers.len() > 1 {
+        } else if self.parallel && self.solvers.len() > 1 && rayon::current_num_threads() > 1 {
+            // With one worker the fan-out would only add dispatch overhead
+            // and buffer shuffling; the plain loop is strictly better.
             self.solvers.par_iter().map(run_one).collect()
         } else {
             self.solvers.iter().map(run_one).collect()

@@ -148,11 +148,14 @@ impl PeriodSweep {
                 runs: report.runs,
             }
         };
-        let points: Vec<SweepPoint> = if self.parallel && resolved.len() > 1 {
-            resolved.par_iter().map(solve_point).collect()
-        } else {
-            resolved.iter().map(solve_point).collect()
-        };
+        let points: Vec<SweepPoint> =
+            if self.parallel && resolved.len() > 1 && rayon::current_num_threads() > 1 {
+                // A 1-worker pool runs points inline anyway; skip the fan-out
+                // plumbing entirely so sequential mode is the literal code path.
+                resolved.par_iter().map(solve_point).collect()
+            } else {
+                resolved.iter().map(solve_point).collect()
+            };
         SweepReport {
             axis: self.axis,
             solver_names: self.solver_names(),

@@ -1,0 +1,64 @@
+//! Scratch probe: per-fan-out dispatch overhead and item throughput of the
+//! shim at a fixed 4 workers (comparable across hosts and implementations;
+//! the scoped-spawn "before" numbers in BENCH_pool.json were taken with the
+//! old shim pinned to the same 4 workers).
+
+use rayon::prelude::*;
+use std::time::Instant;
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.total_cmp(b));
+    v[v.len() / 2]
+}
+
+fn main() {
+    let pool = rayon::ThreadPool::new(4);
+    pool.install(run_probe);
+}
+
+fn run_probe() {
+    // Warm up (first call may page in thread machinery).
+    for _ in 0..50 {
+        let _: Vec<()> = (0..4).into_par_iter().map(|_| ()).collect();
+    }
+
+    // Dispatch latency: empty 4-item fan-out, one item per worker.
+    let reps = 2000;
+    let samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            let _: Vec<()> = (0..4).into_par_iter().map(|_| ()).collect();
+            t0.elapsed().as_nanos() as f64
+        })
+        .collect();
+    println!("dispatch_empty_4item_ns median {}", median(samples));
+
+    // Small real fan-out: 64 items of ~1us spin work.
+    let spin = |i: usize| -> u64 {
+        let mut x = i as u64 | 1;
+        for _ in 0..600 {
+            x = x.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(7);
+        }
+        x
+    };
+    let samples: Vec<f64> = (0..500)
+        .map(|_| {
+            let t0 = Instant::now();
+            let v: Vec<u64> = (0..64).into_par_iter().map(spin).collect();
+            std::hint::black_box(v);
+            t0.elapsed().as_nanos() as f64
+        })
+        .collect();
+    println!("fanout_64x1us_ns median {}", median(samples));
+
+    // Per-item overhead: 100k trivial items.
+    let samples: Vec<f64> = (0..30)
+        .map(|_| {
+            let t0 = Instant::now();
+            let v: Vec<u32> = (0..100_000).into_par_iter().map(|i| i as u32 ^ 7).collect();
+            std::hint::black_box(v);
+            t0.elapsed().as_nanos() as f64 / 1e5
+        })
+        .collect();
+    println!("per_item_100k_ns median {}", median(samples));
+}

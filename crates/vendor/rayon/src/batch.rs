@@ -1,0 +1,298 @@
+//! Flat index fan-outs over the pool: the engine behind every `ParIter`
+//! combinator.
+//!
+//! A fan-out of `n` items shares one heap-allocated [`BatchShared`]: a
+//! lock-free claim cursor (items are claimed in chunks with a single
+//! `fetch_add` — the old shim's contended `Mutex<iter>` queue, replaced),
+//! a completed-items latch, and a first-panic slot. The caller queues up
+//! to `num_threads` small *runner* jobs (each loops claiming chunks until
+//! the cursor is exhausted) and then **participates itself**, draining the
+//! same cursor — so a fan-out submitted from inside a worker runs inline
+//! on the pool with zero new OS threads, and a small batch often finishes
+//! entirely in the caller before any worker wakes (this is where the
+//! ~μs dispatch latency comes from; see `BENCH_pool.json`).
+//!
+//! The caller returns as soon as the *items* are done — not the runner
+//! jobs. A runner that wakes late finds the cursor exhausted, drops its
+//! reference and exits; the last reference frees the batch. That is why
+//! the batch state is reference-counted rather than borrowed: stale
+//! runners may outlive the caller's stack frame, but they only ever touch
+//! the cursor and the refcount, never the (dead) closure — an item index
+//! below `n` can only be claimed while the caller is still blocked.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use crate::job::{JobHeader, JobRef, PanicSlot};
+use crate::registry::{self, current_worker_of, execute_job, Registry, LATCH_PARK};
+
+/// Shared state of one fan-out. `F: Fn(usize)` executes one item.
+struct BatchShared<F> {
+    /// Next unclaimed item index (claimed in `chunk`-sized strides).
+    cursor: AtomicUsize,
+    /// Completed (executed or panicked) item count; the caller's latch.
+    done: AtomicUsize,
+    n: usize,
+    chunk: usize,
+    /// Live references: one per queued runner job plus the caller.
+    refs: AtomicUsize,
+    func: F,
+    panic: PanicSlot,
+    mutex: Mutex<()>,
+    cond: Condvar,
+}
+
+/// A queued runner for one batch (boxed; freed by whoever executes it).
+#[repr(C)]
+struct RunnerJob<F> {
+    header: JobHeader,
+    state: *const BatchShared<F>,
+}
+
+unsafe fn runner_exec<F: Fn(usize)>(job: *mut JobHeader) {
+    let job = Box::from_raw(job as *mut RunnerJob<F>);
+    drain(&*job.state);
+    release(job.state);
+}
+
+/// Claims and executes chunks until the cursor is exhausted. Item panics
+/// are recorded (first wins) and draining *continues*: a poisoned item
+/// neither wedges the workers nor strands unclaimed items.
+fn drain<F: Fn(usize)>(state: &BatchShared<F>) {
+    loop {
+        let start = state.cursor.fetch_add(state.chunk, Ordering::Relaxed);
+        if start >= state.n {
+            return;
+        }
+        let end = (start + state.chunk).min(state.n);
+        for i in start..end {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (state.func)(i))) {
+                state.panic.record(payload);
+            }
+        }
+        finish_items(state, end - start);
+    }
+}
+
+/// Credits `count` completed items; the final credit wakes the caller.
+fn finish_items<F>(state: &BatchShared<F>, count: usize) {
+    // Release pairs with the caller's Acquire load: item results (e.g.
+    // writes into the output buffer) happen-before the caller observes
+    // completion.
+    let previous = state.done.fetch_add(count, Ordering::Release);
+    if previous + count == state.n {
+        // Notify under the mutex so a caller that checked `done` under the
+        // same mutex cannot miss the wakeup.
+        let _guard = state.mutex.lock().unwrap();
+        state.cond.notify_all();
+    }
+}
+
+unsafe fn release<F>(state: *const BatchShared<F>) {
+    if (*state).refs.fetch_sub(1, Ordering::AcqRel) == 1 {
+        drop(Box::from_raw(state as *mut BatchShared<F>));
+    }
+}
+
+/// Chunk stride: coarse enough that a trivial-item fan-out is not bound on
+/// cursor `fetch_add` traffic, fine enough that uneven item costs still
+/// balance across workers (≥ ~16 claims per worker).
+fn chunk_for(n: usize, threads: usize) -> usize {
+    (n / (threads * 16)).clamp(1, 1024)
+}
+
+/// Runs `func(0..n)` across the current registry's workers, blocking until
+/// every item completed and rethrowing the first item panic. The caller
+/// participates; nested calls from worker threads stay on the pool.
+///
+/// Precondition: `n >= 2` and the registry has ≥ 2 workers (single-thread
+/// and single-item cases take the plain sequential path in the callers —
+/// that keeps panic propagation natural and skips all allocation).
+pub(crate) fn par_execute<F: Fn(usize) + Sync>(registry: &Registry, n: usize, func: F) {
+    debug_assert!(n >= 2 && registry.num_threads() >= 2);
+    let threads = registry.num_threads();
+    let chunk = chunk_for(n, threads);
+    // No point queueing more runners than there are claimable chunks
+    // (minus the caller's own share) or workers.
+    let runners = threads.min(n.div_ceil(chunk)).max(1);
+
+    let state = Box::into_raw(Box::new(BatchShared {
+        cursor: AtomicUsize::new(0),
+        done: AtomicUsize::new(0),
+        n,
+        chunk,
+        refs: AtomicUsize::new(runners + 1),
+        func,
+        panic: PanicSlot::new(),
+        mutex: Mutex::new(()),
+        cond: Condvar::new(),
+    }));
+
+    for _ in 0..runners {
+        let job = Box::into_raw(Box::new(RunnerJob::<F> {
+            header: JobHeader {
+                exec: runner_exec::<F>,
+            },
+            state,
+        }));
+        registry.submit(JobRef(job as *mut JobHeader));
+    }
+    registry.notify(runners);
+
+    // SAFETY: `state` stays alive until the last `release`; the caller
+    // holds one of the references counted above.
+    unsafe {
+        drain(&*state);
+        wait_done(registry, &*state);
+        let panic = (*state).panic.take();
+        release(state);
+        if let Some(payload) = panic {
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Blocks until all items completed. A worker caller keeps executing other
+/// queued jobs while it waits (work-stealing wait — this is what lets
+/// nested fan-outs make progress without extra threads); an external
+/// caller parks on the batch condvar.
+fn wait_done<F>(registry: &Registry, state: &BatchShared<F>) {
+    if state.done.load(Ordering::Acquire) >= state.n {
+        return;
+    }
+    match current_worker_of(registry) {
+        Some(index) => loop {
+            if state.done.load(Ordering::Acquire) >= state.n {
+                return;
+            }
+            if let Some(job) = registry.find_work(Some(index)) {
+                execute_job(job);
+            } else {
+                let guard = state.mutex.lock().unwrap();
+                if state.done.load(Ordering::Acquire) >= state.n {
+                    return;
+                }
+                // Timed: stealable work can appear without this batch's
+                // condvar being notified.
+                let _ = state.cond.wait_timeout(guard, LATCH_PARK).unwrap();
+            }
+        },
+        None => {
+            let mut guard = state.mutex.lock().unwrap();
+            while state.done.load(Ordering::Acquire) < state.n {
+                // Untimed is sound (completion notifies under this mutex),
+                // but stay timed for uniform robustness.
+                guard = state.cond.wait_timeout(guard, LATCH_PARK).unwrap().0;
+            }
+        }
+    }
+}
+
+/// Raw-pointer capture that asserts cross-thread use is safe (each item
+/// index touches a disjoint element).
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// `SendPtr` — a bare `.0` would make Rust 2021's disjoint capture
+    /// grab the non-`Sync` raw pointer field itself.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// The number of workers fan-outs from this thread would use.
+pub(crate) fn effective_threads() -> usize {
+    registry::with_current(Registry::num_threads)
+}
+
+/// Parallel `map` over an owned batch, preserving input order. Falls back
+/// to plain sequential iteration for trivial sizes or a 1-thread pool.
+pub(crate) fn par_map_vec<T: Send, U: Send>(items: Vec<T>, f: impl Fn(T) -> U + Sync) -> Vec<U> {
+    let n = items.len();
+    if n <= 1 || effective_threads() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let mut items = items;
+    let mut out: Vec<std::mem::MaybeUninit<U>> = Vec::with_capacity(n);
+    // SAFETY: MaybeUninit needs no initialisation; length set so the
+    // parallel writers can address all n slots.
+    unsafe { out.set_len(n) };
+    let written: Vec<std::sync::atomic::AtomicBool> = (0..n)
+        .map(|_| std::sync::atomic::AtomicBool::new(false))
+        .collect();
+
+    let src = SendPtr(items.as_mut_ptr());
+    let dst = SendPtr(out.as_mut_ptr());
+    let written_ref = &written;
+    let f_ref = &f;
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        registry::with_current(|registry| {
+            par_execute(registry, n, |i| {
+                // SAFETY: index `i` is claimed exactly once across the
+                // whole fan-out, so the element read and the slot write
+                // are unaliased; the buffers outlive the blocking caller.
+                unsafe {
+                    let item = std::ptr::read(src.get().add(i));
+                    (*dst.get().add(i)).write(f_ref(item));
+                }
+                written_ref[i].store(true, Ordering::Release);
+            });
+        })
+    }));
+
+    // Every index was claimed and read out of `items` (draining continues
+    // past panics), so only the allocation remains to free.
+    // SAFETY: elements moved out; shrink to 0 so drop frees memory only.
+    unsafe { items.set_len(0) };
+    drop(items);
+
+    match result {
+        Ok(()) => {
+            // SAFETY: no panic ⇒ all n slots written and initialised.
+            let mut out = std::mem::ManuallyDrop::new(out);
+            unsafe { Vec::from_raw_parts(out.as_mut_ptr() as *mut U, n, out.capacity()) }
+        }
+        Err(payload) => {
+            // Drop the values that were produced before rethrowing; slots
+            // of panicked items were never written.
+            for (i, flag) in written.iter().enumerate() {
+                if flag.load(Ordering::Acquire) {
+                    // SAFETY: flag set ⇒ slot i initialised, dropped once.
+                    unsafe { out[i].assume_init_drop() };
+                }
+            }
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Parallel `for_each` over an owned batch (no result buffer).
+pub(crate) fn par_for_each_vec<T: Send>(items: Vec<T>, f: impl Fn(T) + Sync) {
+    let n = items.len();
+    if n <= 1 || effective_threads() <= 1 {
+        items.into_iter().for_each(f);
+        return;
+    }
+    let mut items = items;
+    let src = SendPtr(items.as_mut_ptr());
+    let f_ref = &f;
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        registry::with_current(|registry| {
+            par_execute(registry, n, |i| {
+                // SAFETY: as in `par_map_vec` — each index claimed once.
+                unsafe { f_ref(std::ptr::read(src.get().add(i))) };
+            });
+        })
+    }));
+    // SAFETY: all elements moved out (see par_map_vec).
+    unsafe { items.set_len(0) };
+    drop(items);
+    if let Err(payload) = result {
+        resume_unwind(payload);
+    }
+}

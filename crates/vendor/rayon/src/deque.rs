@@ -1,0 +1,250 @@
+//! A fixed-capacity Chase–Lev work-stealing deque.
+//!
+//! The owner pushes and pops at the *bottom* (LIFO, newest-first — keeps
+//! nested work hot in cache); thieves steal from the *top* (FIFO,
+//! oldest-first — steals the largest remaining chunks of older fan-outs).
+//! This is the classic algorithm from "Dynamic Circular Work-Stealing
+//! Deque" (Chase & Lev, SPAA'05) with the memory orderings of
+//! crossbeam-deque, minus the growable buffer: the ring has a fixed
+//! power-of-two capacity and `push` reports overflow instead of resizing,
+//! so no reclamation scheme is needed (the registry overflows to its
+//! injector queue, which is rare — a deque holds at most
+//! `nesting-depth × num-threads` jobs at once).
+//!
+//! Why a stale slot can never be stolen: `top` is a monotonically
+//! increasing counter CAS'd by every successful steal (and by the owner's
+//! pop of the final element), so the ABA hazard would require `top` to
+//! revisit an old value — impossible. A push can only overwrite the slot a
+//! pending thief has read if `bottom - top >= capacity`, which the
+//! overflow check refuses; any interleaving that frees the slot first
+//! advances `top`, making the thief's CAS fail.
+
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+
+use crate::job::{JobHeader, JobRef};
+
+/// Ring capacity (power of two). Each queued entry is one pointer.
+const CAPACITY: usize = 256;
+const MASK: usize = CAPACITY - 1;
+
+/// One worker's deque. Exactly one thread may call [`Deque::push`] /
+/// [`Deque::pop`] (the owner); any thread may call [`Deque::steal`].
+pub(crate) struct Deque {
+    /// Steal end: index of the oldest element. Only ever incremented.
+    top: AtomicIsize,
+    /// Owner end: index one past the newest element.
+    bottom: AtomicIsize,
+    slots: Box<[AtomicPtr<JobHeader>]>,
+}
+
+impl Deque {
+    pub(crate) fn new() -> Self {
+        Deque {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            slots: (0..CAPACITY)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+        }
+    }
+
+    /// Owner-only: queue a job at the bottom. Returns the job back on
+    /// overflow so the caller can route it to the injector instead.
+    pub(crate) fn push(&self, job: JobRef) -> Result<(), JobRef> {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        if b.wrapping_sub(t) >= CAPACITY as isize {
+            return Err(job);
+        }
+        self.slots[b as usize & MASK].store(job.0, Ordering::Relaxed);
+        // Publish the slot (and the job's contents, written before this
+        // call) to thieves that acquire-load `bottom`.
+        self.bottom.store(b.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Owner-only: take the newest job (LIFO).
+    pub(crate) fn pop(&self) -> Option<JobRef> {
+        let b = self.bottom.load(Ordering::Relaxed).wrapping_sub(1);
+        self.bottom.store(b, Ordering::Relaxed);
+        // Order the speculative bottom decrement before reading top, so a
+        // concurrent thief sees either the decrement or our CAS below.
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t > b {
+            // Deque was empty; restore.
+            self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+            return None;
+        }
+        let job = self.slots[b as usize & MASK].load(Ordering::Relaxed);
+        if t == b {
+            // Last element: race the thieves for it via `top`.
+            let won = self
+                .top
+                .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            self.bottom.store(b.wrapping_add(1), Ordering::Relaxed);
+            return won.then_some(JobRef(job));
+        }
+        Some(JobRef(job))
+    }
+
+    /// Any thread: take the oldest job (FIFO). Retries internally on CAS
+    /// races (another thief winning is global progress), returns `None`
+    /// only when the deque is observed empty.
+    pub(crate) fn steal(&self) -> Option<JobRef> {
+        loop {
+            let t = self.top.load(Ordering::Acquire);
+            fence(Ordering::SeqCst);
+            let b = self.bottom.load(Ordering::Acquire);
+            if t >= b {
+                return None;
+            }
+            let job = self.slots[t as usize & MASK].load(Ordering::Relaxed);
+            if self
+                .top
+                .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Some(JobRef(job));
+            }
+        }
+    }
+
+    /// Racy emptiness probe (used for sleep/wake heuristics only — never
+    /// for correctness decisions).
+    pub(crate) fn is_empty(&self) -> bool {
+        let t = self.top.load(Ordering::Acquire);
+        let b = self.bottom.load(Ordering::Acquire);
+        b <= t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobHeader;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// A test job that bumps a per-slot execution counter.
+    #[repr(C)]
+    struct CountJob {
+        header: JobHeader,
+        hits: Arc<Vec<AtomicUsize>>,
+        id: usize,
+    }
+
+    unsafe fn count_exec(job: *mut JobHeader) {
+        let job = Box::from_raw(job as *mut CountJob);
+        job.hits[job.id].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn count_job(hits: &Arc<Vec<AtomicUsize>>, id: usize) -> JobRef {
+        JobRef(Box::into_raw(Box::new(CountJob {
+            header: JobHeader { exec: count_exec },
+            hits: Arc::clone(hits),
+            id,
+        })) as *mut JobHeader)
+    }
+
+    #[test]
+    fn lifo_pop_fifo_steal() {
+        let hits: Arc<Vec<AtomicUsize>> = Arc::new((0..3).map(|_| AtomicUsize::new(0)).collect());
+        let d = Deque::new();
+        for id in 0..3 {
+            d.push(count_job(&hits, id)).unwrap();
+        }
+        // Thief takes the oldest, owner the newest.
+        unsafe { d.steal().unwrap().execute() };
+        unsafe { d.pop().unwrap().execute() };
+        unsafe { d.pop().unwrap().execute() };
+        assert!(d.pop().is_none());
+        assert!(d.steal().is_none());
+        for h in hits.iter() {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn overflow_reports_the_job_back() {
+        let hits: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..CAPACITY + 1).map(|_| AtomicUsize::new(0)).collect());
+        let d = Deque::new();
+        for id in 0..CAPACITY {
+            d.push(count_job(&hits, id)).unwrap();
+        }
+        let overflow = count_job(&hits, CAPACITY);
+        let rejected = d.push(overflow).unwrap_err();
+        unsafe { rejected.execute() };
+        while let Some(j) = d.pop() {
+            unsafe { j.execute() };
+        }
+        for h in hits.iter() {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    /// Owner pushes/pops while three thieves hammer `steal`: every job must
+    /// execute exactly once — the each-exactly-once invariant is the whole
+    /// point of the CAS discipline.
+    #[test]
+    fn stress_each_job_runs_exactly_once() {
+        const JOBS: usize = 20_000;
+        let hits: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..JOBS).map(|_| AtomicUsize::new(0)).collect());
+        let d = Arc::new(Deque::new());
+        let done = Arc::new(AtomicUsize::new(0));
+
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let d = Arc::clone(&d);
+                let done = Arc::clone(&done);
+                s.spawn(move || loop {
+                    if let Some(j) = d.steal() {
+                        unsafe { j.execute() };
+                        done.fetch_add(1, Ordering::Release);
+                    } else if d.is_empty() && done.load(Ordering::Acquire) >= JOBS {
+                        break;
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                });
+            }
+            // Owner: push in bursts, pop roughly half back.
+            let mut next = 0usize;
+            while next < JOBS {
+                for _ in 0..7 {
+                    if next >= JOBS {
+                        break;
+                    }
+                    if let Err(j) = d.push(count_job(&hits, next)) {
+                        // Ring full: run it inline, like the injector would.
+                        unsafe { j.execute() };
+                        done.fetch_add(1, Ordering::Release);
+                    }
+                    next += 1;
+                }
+                for _ in 0..3 {
+                    if let Some(j) = d.pop() {
+                        unsafe { j.execute() };
+                        done.fetch_add(1, Ordering::Release);
+                    }
+                }
+            }
+            // Drain what's left so the thieves can terminate.
+            while let Some(j) = d.pop() {
+                unsafe { j.execute() };
+                done.fetch_add(1, Ordering::Release);
+            }
+        });
+
+        for (id, h) in hits.iter().enumerate() {
+            assert_eq!(
+                h.load(Ordering::Relaxed),
+                1,
+                "job {id} ran a wrong number of times"
+            );
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Type-erased job pointers and the shared panic slot.
+//!
+//! Every unit of schedulable work is a concrete struct whose **first**
+//! field is a [`JobHeader`] (`#[repr(C)]`), so a thin `*mut JobHeader` can
+//! be queued in the lock-free deques and later dispatched through the
+//! header's `exec` function, which casts back to the concrete type. This
+//! avoids fat pointers (the deque slots are single `AtomicPtr`s) and any
+//! trait-object lifetime bounds: jobs that borrow caller stack frames are
+//! sound because their owners block until the job has run (see the module
+//! docs of `batch` and `scope` for the two ownership regimes).
+
+use std::any::Any;
+use std::sync::Mutex;
+
+/// Dispatch header embedded at offset 0 of every concrete job type.
+#[repr(C)]
+pub(crate) struct JobHeader {
+    /// Casts the pointer back to the concrete job and executes it. Must be
+    /// called exactly once per queued pointer, and must not unwind (each
+    /// implementation catches its closure's panic and records it).
+    pub(crate) exec: unsafe fn(*mut JobHeader),
+}
+
+/// A queued job pointer. Raw pointers are not `Send`, but a job pointer is
+/// only ever dereferenced by the single thread that dequeued it, and the
+/// pointee is kept alive until `exec` has run (batch jobs are
+/// reference-counted, scope jobs are owned boxes, stack jobs are pinned by
+/// a blocking caller).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct JobRef(pub(crate) *mut JobHeader);
+
+// SAFETY: see the type docs — ownership is transferred through the queue,
+// never shared; the queue itself synchronises the handoff.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Runs the job. Caller must be the unique dequeuer of this pointer.
+    pub(crate) unsafe fn execute(self) {
+        ((*self.0).exec)(self.0)
+    }
+}
+
+/// First-panic-wins slot shared by one batch or scope: concurrent item
+/// panics race, exactly one payload is kept and later rethrown at the
+/// caller (rayon semantics), the rest are dropped.
+pub(crate) struct PanicSlot {
+    slot: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl PanicSlot {
+    pub(crate) fn new() -> Self {
+        PanicSlot {
+            slot: Mutex::new(None),
+        }
+    }
+
+    /// Records a payload unless one is already held.
+    pub(crate) fn record(&self, payload: Box<dyn Any + Send>) {
+        let mut guard = self.slot.lock().unwrap();
+        guard.get_or_insert(payload);
+    }
+
+    /// Takes the recorded payload, if any.
+    pub(crate) fn take(&self) -> Option<Box<dyn Any + Send>> {
+        self.slot.lock().unwrap().take()
+    }
+}

@@ -1,0 +1,293 @@
+//! The persistent worker registry: N worker threads, one Chase–Lev deque
+//! each, a mutex-protected overflow injector, and a sleep/wake protocol.
+//!
+//! The **global** registry is built lazily on first use and lives for the
+//! process: its size comes from `RAYON_NUM_THREADS`, falling back to
+//! [`std::thread::available_parallelism`] (a failure there is reported on
+//! stderr once instead of silently degrading — and is always observable
+//! through [`crate::current_num_threads`]). Explicit [`crate::ThreadPool`]s
+//! own private registries that shut their workers down on drop.
+//!
+//! Job routing: a worker thread pushes to its own deque (cheap, lock-free,
+//! keeps nested fan-outs local — this is what makes nested `par_iter`
+//! calls run inline on the pool instead of spawning a second generation of
+//! OS threads); any other thread appends to the injector. Idle workers
+//! pop their own deque LIFO, then steal from random victims FIFO, then
+//! drain the injector, then park on a condvar. Parking uses a bounded
+//! timed wait as a belt-and-braces against the (narrow, benign) race
+//! between a sleeper's last work scan and its wait.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+use crate::deque::Deque;
+use crate::job::JobRef;
+
+/// Hard cap on worker count (a runaway `RAYON_NUM_THREADS` should not fork
+/// thousands of threads; deque sizing also assumes a modest thread count).
+const MAX_THREADS: usize = 128;
+
+/// How long an idle worker parks before rescanning on its own.
+const IDLE_PARK: Duration = Duration::from_millis(10);
+
+/// How long a blocked fan-out caller parks between work-stealing attempts.
+pub(crate) const LATCH_PARK: Duration = Duration::from_millis(1);
+
+pub(crate) struct Registry {
+    deques: Vec<Deque>,
+    injector: Mutex<VecDeque<JobRef>>,
+    /// Number of workers currently parked (or about to park) in
+    /// [`Registry::idle_wait`].
+    sleepers: AtomicUsize,
+    sleep_mutex: Mutex<()>,
+    sleep_cond: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Registry {
+    /// Builds a registry and spawns its workers. The returned handles are
+    /// joined by [`crate::ThreadPool::drop`]; the global registry leaks
+    /// its handles (workers live for the process).
+    pub(crate) fn start(n_threads: usize) -> (Arc<Registry>, Vec<std::thread::JoinHandle<()>>) {
+        let n = n_threads.clamp(1, MAX_THREADS);
+        let registry = Arc::new(Registry {
+            deques: (0..n).map(|_| Deque::new()).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            sleepers: AtomicUsize::new(0),
+            sleep_mutex: Mutex::new(()),
+            sleep_cond: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..n)
+            .map(|index| {
+                let reg = Arc::clone(&registry);
+                std::thread::Builder::new()
+                    .name(format!("rayon-shim-{index}"))
+                    .spawn(move || worker_main(reg, index))
+                    .expect("spawning pool worker")
+            })
+            .collect();
+        (registry, handles)
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// Queues a job: own deque if the current thread is a worker of this
+    /// registry, the injector otherwise (or on deque overflow). Always
+    /// follow with [`Registry::notify`].
+    pub(crate) fn submit(&self, job: JobRef) {
+        match current_worker_of(self) {
+            Some(index) => {
+                if let Err(job) = self.deques[index].push(job) {
+                    self.inject(job);
+                }
+            }
+            None => self.inject(job),
+        }
+    }
+
+    fn inject(&self, job: JobRef) {
+        self.injector.lock().unwrap().push_back(job);
+    }
+
+    /// Wakes parked workers after queueing `count` jobs.
+    pub(crate) fn notify(&self, count: usize) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.sleep_mutex.lock().unwrap();
+            if count == 1 {
+                self.sleep_cond.notify_one();
+            } else {
+                self.sleep_cond.notify_all();
+            }
+        }
+    }
+
+    /// Finds one queued job: own deque (LIFO), random-start steal sweep
+    /// (FIFO), then the injector. `own` is the caller's worker index in
+    /// this registry, if it is one of its workers.
+    pub(crate) fn find_work(&self, own: Option<usize>) -> Option<JobRef> {
+        if let Some(index) = own {
+            if let Some(job) = self.deques[index].pop() {
+                return Some(job);
+            }
+        }
+        let n = self.deques.len();
+        let start = steal_start(n);
+        for k in 0..n {
+            let victim = (start + k) % n;
+            if own == Some(victim) {
+                continue;
+            }
+            if let Some(job) = self.deques[victim].steal() {
+                return Some(job);
+            }
+        }
+        self.injector.lock().unwrap().pop_front()
+    }
+
+    /// Racy "is anything queued" probe for the sleep protocol.
+    fn has_work(&self) -> bool {
+        self.deques.iter().any(|d| !d.is_empty()) || !self.injector.lock().unwrap().is_empty()
+    }
+
+    /// Parks the calling worker until notified (or the bounded timeout).
+    fn idle_wait(&self) {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        // Last-chance scan *after* registering as a sleeper: a submitter
+        // that pushed before our increment is visible here; one that
+        // pushed after it sees `sleepers > 0` and notifies.
+        if !self.has_work() && !self.shutdown.load(Ordering::Acquire) {
+            let guard = self.sleep_mutex.lock().unwrap();
+            if !self.has_work() && !self.shutdown.load(Ordering::Acquire) {
+                let _ = self.sleep_cond.wait_timeout(guard, IDLE_PARK).unwrap();
+            }
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Initiates shutdown (explicit pools only) and wakes every worker.
+    pub(crate) fn terminate(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        let _guard = self.sleep_mutex.lock().unwrap();
+        self.sleep_cond.notify_all();
+    }
+}
+
+/// Worker main loop: run jobs until the registry shuts down and drains.
+fn worker_main(registry: Arc<Registry>, index: usize) {
+    WORKER.with(|w| w.set(Some((Arc::as_ptr(&registry), index))));
+    loop {
+        if let Some(job) = registry.find_work(Some(index)) {
+            execute_job(job);
+            continue;
+        }
+        if registry.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        registry.idle_wait();
+    }
+    WORKER.with(|w| w.set(None));
+}
+
+/// Runs one job, catching any panic that escapes it. Job `exec` impls
+/// record their closure's panic themselves, so a payload reaching this
+/// catch would indicate a bug in the shim — swallowing it here still keeps
+/// the worker alive for subsequent fan-outs (panic hygiene).
+pub(crate) fn execute_job(job: JobRef) {
+    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe { job.execute() }));
+}
+
+thread_local! {
+    /// `(registry, index)` of the worker owning this thread, if any.
+    static WORKER: std::cell::Cell<Option<(*const Registry, usize)>> =
+        const { std::cell::Cell::new(None) };
+    /// Registry override installed by [`crate::ThreadPool::install`].
+    static INSTALLED: std::cell::Cell<*const Registry> =
+        const { std::cell::Cell::new(std::ptr::null()) };
+    /// Per-thread xorshift state for the steal sweep's starting victim.
+    static STEAL_RNG: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Starting victim for a steal sweep: cheap per-thread xorshift so
+/// concurrent thieves fan out over different victims.
+fn steal_start(n: usize) -> usize {
+    STEAL_RNG.with(|c| {
+        let mut x = c.get();
+        if x == 0 {
+            // Seed from this thread's TLS cell address; any nonzero works.
+            x = (c as *const std::cell::Cell<u64> as usize as u64) | 1;
+        }
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        c.set(x);
+        (x as usize) % n.max(1)
+    })
+}
+
+/// The calling thread's worker index in `registry`, if it is one of its
+/// workers (a worker of a *different* pool is not).
+pub(crate) fn current_worker_of(registry: &Registry) -> Option<usize> {
+    WORKER.with(|w| match w.get() {
+        Some((ptr, index)) if std::ptr::eq(ptr, registry) => Some(index),
+        _ => None,
+    })
+}
+
+/// Global registry (lazily started).
+fn global() -> &'static Arc<Registry> {
+    static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let (registry, handles) = Registry::start(default_num_threads());
+        // Global workers live for the process; nothing joins them.
+        for h in handles {
+            drop(h);
+        }
+        registry
+    })
+}
+
+/// Worker count for the global registry: `RAYON_NUM_THREADS` (positive
+/// integers honoured, `0` or garbage ignored), else the machine's
+/// available parallelism, else 1 — loudly, not silently.
+pub(crate) fn default_num_threads() -> usize {
+    if let Ok(value) = std::env::var("RAYON_NUM_THREADS") {
+        match value.trim().parse::<usize>() {
+            Ok(n) if n > 0 => return n.min(MAX_THREADS),
+            _ => eprintln!(
+                "[rayon shim] ignoring unusable RAYON_NUM_THREADS={value:?} \
+                 (want a positive integer)"
+            ),
+        }
+    }
+    match std::thread::available_parallelism() {
+        Ok(p) => p.get().min(MAX_THREADS),
+        Err(e) => {
+            eprintln!(
+                "[rayon shim] available_parallelism() failed ({e}); running \
+                 with 1 worker — set RAYON_NUM_THREADS to override"
+            );
+            1
+        }
+    }
+}
+
+/// Runs `f` against the registry the calling context routes to: the
+/// enclosing [`crate::ThreadPool::install`], else the worker's own pool,
+/// else the global registry.
+pub(crate) fn with_current<R>(f: impl FnOnce(&Registry) -> R) -> R {
+    let installed = INSTALLED.with(|c| c.get());
+    if !installed.is_null() {
+        // SAFETY: `install` keeps the pool (and its Arc'd registry)
+        // borrowed for the whole closure, so the pointer outlives this use.
+        return f(unsafe { &*installed });
+    }
+    if let Some((ptr, _)) = WORKER.with(|w| w.get()) {
+        // SAFETY: a worker's registry outlives the worker thread — the
+        // worker itself holds an `Arc` until its main loop returns.
+        return f(unsafe { &*ptr });
+    }
+    f(global())
+}
+
+/// RAII guard for [`crate::ThreadPool::install`]'s registry override.
+pub(crate) struct InstallGuard {
+    previous: *const Registry,
+}
+
+impl InstallGuard {
+    pub(crate) fn new(registry: &Registry) -> InstallGuard {
+        let previous = INSTALLED.with(|c| c.replace(registry as *const Registry));
+        InstallGuard { previous }
+    }
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        INSTALLED.with(|c| c.set(self.previous));
+    }
+}

@@ -1,0 +1,280 @@
+//! `scope` and `join`: structured fan-outs over borrowed data.
+//!
+//! [`scope`] hands the closure a [`Scope`] whose `spawn`ed tasks may
+//! borrow anything outliving the `scope` call — sound because `scope`
+//! blocks until every spawned task (transitively) finished, exactly like
+//! rayon. [`join`] runs two closures potentially in parallel: the second
+//! is queued as a *stack* job while the first runs in the caller; if no
+//! worker stole it meanwhile, the caller pops it back and runs it inline
+//! (LIFO pop makes this the common case), so an un-stolen `join` costs two
+//! deque operations, not a thread handoff.
+//!
+//! Both primitives use work-stealing waits on worker threads: a blocked
+//! caller keeps executing other queued jobs, so nested parallelism never
+//! idles a worker or spawns an extra thread. Panics in spawned tasks are
+//! captured and the first payload is rethrown from the owning call.
+
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use crate::job::{JobHeader, JobRef, PanicSlot};
+use crate::registry::{self, current_worker_of, execute_job, Registry, LATCH_PARK};
+
+/// Completion latch + panic slot shared by one scope (lives on the
+/// `scope` caller's stack; all tasks finish before it unwinds).
+struct ScopeShared {
+    /// Spawned-but-unfinished task count.
+    pending: AtomicUsize,
+    panic: PanicSlot,
+    mutex: Mutex<()>,
+    cond: Condvar,
+}
+
+impl ScopeShared {
+    fn task_finished(&self) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = self.mutex.lock().unwrap();
+            self.cond.notify_all();
+        }
+    }
+}
+
+/// Spawn handle passed to the [`scope`] closure. The `'scope` lifetime
+/// ties every spawned closure's borrows to data outliving the scope.
+pub struct Scope<'scope> {
+    shared: *const ScopeShared,
+    registry: *const Registry,
+    marker: PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+// SAFETY: the raw pointers target the scope caller's stack frame and the
+// current registry, both of which outlive every spawned task (the scope
+// blocks until `pending == 0`). Handing `&Scope` to tasks on other
+// threads only exposes `spawn`, which touches those two pointees.
+unsafe impl Sync for Scope<'_> {}
+unsafe impl Send for Scope<'_> {}
+
+/// A spawned scope task: boxed closure + backlink to the scope latch.
+#[repr(C)]
+struct ScopeJob {
+    header: JobHeader,
+    shared: *const ScopeShared,
+    registry: *const Registry,
+    /// Erased to `'static`; really `'scope` (see module docs for why the
+    /// borrow is sound).
+    func: Option<Box<dyn FnOnce() + Send>>,
+}
+
+unsafe fn scope_job_exec(job: *mut JobHeader) {
+    let mut job = Box::from_raw(job as *mut ScopeJob);
+    let shared = &*job.shared;
+    if let Some(func) = job.func.take() {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(func)) {
+            shared.panic.record(payload);
+        }
+    }
+    shared.task_finished();
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queues `f` to run on the pool (or on any thread blocked in this
+    /// scope — whoever gets to it first). May borrow `'scope` data.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        // SAFETY: both pointees outlive the scope (module docs).
+        let shared = unsafe { &*self.shared };
+        let registry = unsafe { &*self.registry };
+        shared.pending.fetch_add(1, Ordering::AcqRel);
+        let task_scope = Scope {
+            shared: self.shared,
+            registry: self.registry,
+            marker: PhantomData,
+        };
+        let closure: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || f(&task_scope));
+        // SAFETY: lifetime erasure to store the closure in a queue that
+        // outlives `'scope`; the scope's completion latch guarantees the
+        // closure runs (and is dropped) before `'scope` data goes away.
+        let closure: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(closure) };
+        let job = Box::into_raw(Box::new(ScopeJob {
+            header: JobHeader {
+                exec: scope_job_exec,
+            },
+            shared: self.shared,
+            registry: self.registry,
+            func: Some(closure),
+        }));
+        registry.submit(JobRef(job as *mut JobHeader));
+        registry.notify(1);
+    }
+}
+
+/// Creates a scope for spawning borrowed-data tasks; returns `f`'s result
+/// after every spawned task (transitively) completed. The first panic of
+/// `f` or any task is rethrown here.
+pub fn scope<'scope, R>(f: impl FnOnce(&Scope<'scope>) -> R) -> R {
+    registry::with_current(|registry| {
+        let shared = ScopeShared {
+            pending: AtomicUsize::new(0),
+            panic: PanicSlot::new(),
+            mutex: Mutex::new(()),
+            cond: Condvar::new(),
+        };
+        let scope_handle = Scope {
+            shared: &shared,
+            registry,
+            marker: PhantomData,
+        };
+        // Even if `f` itself panics, every already-spawned task must
+        // finish before the stack frame (which they reference) unwinds.
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope_handle)));
+        wait_pending(registry, &shared);
+        match result {
+            Err(payload) => resume_unwind(payload),
+            Ok(value) => {
+                if let Some(payload) = shared.panic.take() {
+                    resume_unwind(payload);
+                }
+                value
+            }
+        }
+    })
+}
+
+/// Blocks until the scope latch clears, work-stealing on worker threads.
+fn wait_pending(registry: &Registry, shared: &ScopeShared) {
+    if shared.pending.load(Ordering::Acquire) == 0 {
+        return;
+    }
+    match current_worker_of(registry) {
+        Some(index) => loop {
+            if shared.pending.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            if let Some(job) = registry.find_work(Some(index)) {
+                execute_job(job);
+            } else {
+                let guard = shared.mutex.lock().unwrap();
+                if shared.pending.load(Ordering::Acquire) == 0 {
+                    return;
+                }
+                let _ = shared.cond.wait_timeout(guard, LATCH_PARK).unwrap();
+            }
+        },
+        None => {
+            let mut guard = shared.mutex.lock().unwrap();
+            while shared.pending.load(Ordering::Acquire) != 0 {
+                guard = shared.cond.wait_timeout(guard, LATCH_PARK).unwrap().0;
+            }
+        }
+    }
+}
+
+/// `join`'s queued second closure: lives on the `join` caller's stack
+/// (never freed by the queue — the caller blocks until `done`).
+#[repr(C)]
+struct StackJob<F, R> {
+    header: JobHeader,
+    func: Mutex<Option<F>>,
+    result: Mutex<Option<R>>,
+    panic: PanicSlot,
+    done: AtomicUsize,
+    mutex: Mutex<()>,
+    cond: Condvar,
+}
+
+unsafe fn stack_job_exec<F, R>(job: *mut JobHeader)
+where
+    F: FnOnce() -> R,
+{
+    let job = &*(job as *mut StackJob<F, R>);
+    if let Some(func) = job.func.lock().unwrap().take() {
+        match catch_unwind(AssertUnwindSafe(func)) {
+            Ok(value) => *job.result.lock().unwrap() = Some(value),
+            Err(payload) => job.panic.record(payload),
+        }
+    }
+    job.done.store(1, Ordering::Release);
+    let _guard = job.mutex.lock().unwrap();
+    job.cond.notify_all();
+}
+
+/// Runs `a` and `b`, potentially in parallel, returning both results.
+/// Rayon semantics: if either closure panics, the first payload is
+/// rethrown after both finished (a queued-but-unstarted `b` is executed by
+/// the waiting caller itself, so it always runs).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    registry::with_current(|registry| {
+        if registry.num_threads() <= 1 {
+            let ra = a();
+            return (ra, b());
+        }
+        let job = StackJob::<B, RB> {
+            header: JobHeader {
+                exec: stack_job_exec::<B, RB>,
+            },
+            func: Mutex::new(Some(b)),
+            result: Mutex::new(None),
+            panic: PanicSlot::new(),
+            done: AtomicUsize::new(0),
+            mutex: Mutex::new(()),
+            cond: Condvar::new(),
+        };
+        registry.submit(JobRef(&job as *const StackJob<B, RB> as *mut JobHeader));
+        registry.notify(1);
+
+        let ra = catch_unwind(AssertUnwindSafe(a));
+        // Wait for `b`: on a worker this pops our own deque first, so an
+        // un-stolen `b` runs inline right here.
+        wait_stack_job(registry, &job);
+
+        let rb_panic = job.panic.take();
+        match (ra, rb_panic) {
+            (Ok(ra), None) => {
+                let rb = job
+                    .result
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("join closure result");
+                (ra, rb)
+            }
+            (Err(payload), _) => resume_unwind(payload),
+            (Ok(_), Some(payload)) => resume_unwind(payload),
+        }
+    })
+}
+
+fn wait_stack_job<F, R>(registry: &Registry, job: &StackJob<F, R>) {
+    match current_worker_of(registry) {
+        Some(index) => loop {
+            if job.done.load(Ordering::Acquire) != 0 {
+                return;
+            }
+            if let Some(found) = registry.find_work(Some(index)) {
+                execute_job(found);
+            } else {
+                let guard = job.mutex.lock().unwrap();
+                if job.done.load(Ordering::Acquire) != 0 {
+                    return;
+                }
+                let _ = job.cond.wait_timeout(guard, LATCH_PARK).unwrap();
+            }
+        },
+        None => {
+            let mut guard = job.mutex.lock().unwrap();
+            while job.done.load(Ordering::Acquire) == 0 {
+                guard = job.cond.wait_timeout(guard, LATCH_PARK).unwrap().0;
+            }
+        }
+    }
+}

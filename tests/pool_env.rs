@@ -1,0 +1,21 @@
+//! Global-pool sizing contract: `RAYON_NUM_THREADS` must be honoured and
+//! [`rayon::current_num_threads`] must report the real worker count.
+//!
+//! Kept in its own integration-test binary on purpose: the global
+//! registry reads the environment exactly once, on first use, so this
+//! must be the *only* test in the process that touches it (other tests
+//! route everything through explicit `ThreadPool::install`s).
+
+#[test]
+fn global_pool_honours_rayon_num_threads() {
+    // Under the CI thread-count matrix the variable is already set;
+    // otherwise pin a value ourselves before the first global-pool use.
+    let expected = match std::env::var("RAYON_NUM_THREADS") {
+        Ok(v) => v.parse::<usize>().expect("matrix sets a positive integer"),
+        Err(_) => {
+            std::env::set_var("RAYON_NUM_THREADS", "3");
+            3
+        }
+    };
+    assert_eq!(rayon::current_num_threads(), expected);
+}

@@ -110,6 +110,10 @@ fn parallel_and_sequential_relaxation_agree_on_streamit() {
             ..Default::default()
         },
     };
+    // Run the forced-parallel leg on an explicit 2-worker pool so the
+    // comparison stays meaningful on single-core machines (with 1 worker
+    // the solver falls back to the sequential order by design).
+    let pool = rayon::ThreadPool::new(2);
     let mut compared = 0usize;
     for spec in STREAMIT_SPECS.iter() {
         let g = streamit_workflow(spec, SEED);
@@ -117,7 +121,7 @@ fn parallel_and_sequential_relaxation_agree_on_streamit() {
         for t in [hi, hi / 5.0] {
             let inst = Instance::new(g.clone(), pf.clone(), t);
             let a = seq.solve(&inst, &ctx);
-            let b = par.solve(&inst, &ctx);
+            let b = pool.install(|| par.solve(&inst, &ctx));
             match (a, b) {
                 (Ok(x), Ok(y)) => {
                     assert_eq!(
