@@ -204,9 +204,11 @@ impl<T> SendPtr<T> {
     }
 }
 
-/// The number of workers fan-outs from this thread would use.
+/// The number of workers fan-outs from this thread would use. Computed
+/// without starting the global pool (sizing is deterministic), so callers
+/// probing for a sequential fallback don't fork a worker fleet.
 pub(crate) fn effective_threads() -> usize {
-    registry::with_current(Registry::num_threads)
+    registry::current_size()
 }
 
 /// Parallel `map` over an owned batch, preserving input order. Falls back

@@ -23,9 +23,9 @@ pub(crate) struct JobHeader {
 
 /// A queued job pointer. Raw pointers are not `Send`, but a job pointer is
 /// only ever dereferenced by the single thread that dequeued it, and the
-/// pointee is kept alive until `exec` has run (batch jobs are
-/// reference-counted, scope jobs are owned boxes, stack jobs are pinned by
-/// a blocking caller).
+/// pointee is kept alive until `exec` has run (batch and join state is
+/// reference-counted, scope jobs are owned boxes backed by a
+/// reference-counted latch).
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct JobRef(pub(crate) *mut JobHeader);
 

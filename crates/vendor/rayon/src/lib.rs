@@ -190,6 +190,10 @@ impl Drop for ThreadPool {
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
+        // Workers exit on their first empty scan after shutdown, which can
+        // strand a stale batch runner in a queue; run the leftovers (cheap
+        // no-ops by then) so their allocations are released, not leaked.
+        self.registry.drain_queues();
     }
 }
 
@@ -453,6 +457,71 @@ mod tests {
     fn builder_builds_requested_size() {
         let pool = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
         assert_eq!(pool.current_num_threads(), 5);
+    }
+
+    /// Regression (REVIEW): the scope/join completion latches are heap-
+    /// allocated and reference-counted, so a finishing worker can still
+    /// lock/notify them after the caller observed completion and
+    /// returned. Hammer tiny scopes and joins — the racy window is the
+    /// gap between the finisher's counter update and its notify — so a
+    /// use-after-free in that teardown would crash (or trip ASan) here.
+    #[test]
+    fn scope_and_join_latch_teardown_stress() {
+        let pool = ThreadPool::new(4);
+        pool.install(|| {
+            for i in 0..2000usize {
+                let hit = AtomicUsize::new(0);
+                scope(|s| {
+                    s.spawn(|_| {
+                        hit.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+                assert_eq!(hit.load(Ordering::Relaxed), 1);
+                let (a, b) = join(|| i, || i + 1);
+                assert_eq!((a, b), (i, i + 1));
+            }
+        });
+    }
+
+    /// Same teardown stress from an *external* caller (parks on the latch
+    /// condvar instead of work-stealing): the global pool's workers finish
+    /// the tasks while the caller races them to return.
+    #[test]
+    fn scope_and_join_latch_teardown_stress_external_caller() {
+        for i in 0..500usize {
+            let hit = AtomicUsize::new(0);
+            scope(|s| {
+                s.spawn(|_| {
+                    hit.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+            assert_eq!(hit.load(Ordering::Relaxed), 1);
+            let (a, b) = join(|| i * 2, || i * 2 + 1);
+            assert_eq!((a, b), (i * 2, i * 2 + 1));
+        }
+    }
+
+    /// Idle workers park untimed; a fan-out after a quiet stretch must
+    /// still wake them through the sleep/wake handshake (this would hang,
+    /// not just slow down, if a wakeup could be missed).
+    #[test]
+    fn fanout_after_idle_period_completes() {
+        let pool = ThreadPool::new(3);
+        for round in 0..3 {
+            std::thread::sleep(std::time::Duration::from_millis(40));
+            pool.install(|| {
+                let start = std::time::Instant::now();
+                let _: Vec<()> = (0..2)
+                    .into_par_iter()
+                    .map(|_| std::thread::sleep(std::time::Duration::from_millis(20)))
+                    .collect();
+                // Two 20 ms sleeps overlapping proves a second worker woke.
+                assert!(
+                    start.elapsed() < std::time::Duration::from_millis(39),
+                    "round {round}: parked workers did not wake for new work"
+                );
+            });
+        }
     }
 
     /// Explicit pools are torn down on drop: workers exit and join.

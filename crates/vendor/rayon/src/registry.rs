@@ -13,12 +13,17 @@
 //! calls run inline on the pool instead of spawning a second generation of
 //! OS threads); any other thread appends to the injector. Idle workers
 //! pop their own deque LIFO, then steal from random victims FIFO, then
-//! drain the injector, then park on a condvar. Parking uses a bounded
-//! timed wait as a belt-and-braces against the (narrow, benign) race
-//! between a sleeper's last work scan and its wait.
+//! drain the injector, then park **untimed** on a condvar. The park cannot
+//! miss a job: a worker announces itself in `sleepers` and re-scans behind
+//! a `SeqCst` fence, while a submitter pushes its job and reads `sleepers`
+//! behind a matching `SeqCst` fence — in the total order of those fences,
+//! either the submitter sees the sleeper (and notifies under the sleep
+//! mutex, which the sleeper also checks under before waiting) or the
+//! sleeper's re-scan sees the job. So idle workers cost zero wakeups,
+//! instead of polling on a timeout.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
@@ -28,9 +33,6 @@ use crate::job::JobRef;
 /// Hard cap on worker count (a runaway `RAYON_NUM_THREADS` should not fork
 /// thousands of threads; deque sizing also assumes a modest thread count).
 const MAX_THREADS: usize = 128;
-
-/// How long an idle worker parks before rescanning on its own.
-const IDLE_PARK: Duration = Duration::from_millis(10);
 
 /// How long a blocked fan-out caller parks between work-stealing attempts.
 pub(crate) const LATCH_PARK: Duration = Duration::from_millis(1);
@@ -96,6 +98,10 @@ impl Registry {
 
     /// Wakes parked workers after queueing `count` jobs.
     pub(crate) fn notify(&self, count: usize) {
+        // Pairs with the fence in `idle_wait` (see there and the module
+        // docs): a sleeper registration this load misses implies the
+        // sleeper's post-fence re-scan sees the job pushed before this.
+        fence(Ordering::SeqCst);
         if self.sleepers.load(Ordering::SeqCst) > 0 {
             let _guard = self.sleep_mutex.lock().unwrap();
             if count == 1 {
@@ -134,26 +140,45 @@ impl Registry {
         self.deques.iter().any(|d| !d.is_empty()) || !self.injector.lock().unwrap().is_empty()
     }
 
-    /// Parks the calling worker until notified (or the bounded timeout).
+    /// Parks the calling worker until notified. Untimed, yet it cannot
+    /// miss a job (module docs): the increment + fence here pair with the
+    /// fence + `sleepers` load in [`Registry::notify`], so a submitter
+    /// either sees our registration and notifies under `sleep_mutex`
+    /// (which we hold between the final re-scan and the wait — no window),
+    /// or its pushed job is visible to the re-scan below and we never
+    /// wait. Spurious wakeups just return to the caller's scan loop.
     fn idle_wait(&self) {
         self.sleepers.fetch_add(1, Ordering::SeqCst);
-        // Last-chance scan *after* registering as a sleeper: a submitter
-        // that pushed before our increment is visible here; one that
-        // pushed after it sees `sleepers > 0` and notifies.
+        fence(Ordering::SeqCst);
         if !self.has_work() && !self.shutdown.load(Ordering::Acquire) {
             let guard = self.sleep_mutex.lock().unwrap();
             if !self.has_work() && !self.shutdown.load(Ordering::Acquire) {
-                let _ = self.sleep_cond.wait_timeout(guard, IDLE_PARK).unwrap();
+                let _unused = self.sleep_cond.wait(guard).unwrap();
             }
         }
         self.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
 
     /// Initiates shutdown (explicit pools only) and wakes every worker.
+    /// `shutdown` is set before taking the sleep mutex, so a worker either
+    /// sees it on its pre-wait check or is parked and gets this notify.
     pub(crate) fn terminate(&self) {
         self.shutdown.store(true, Ordering::Release);
         let _guard = self.sleep_mutex.lock().unwrap();
         self.sleep_cond.notify_all();
+    }
+
+    /// Executes every job still queued. Called by `ThreadPool::drop`
+    /// *after* the workers were joined (no concurrency left): a worker
+    /// exits on its first empty scan after shutdown, which can strand a
+    /// just-pushed stale batch runner in a deque or the injector — running
+    /// it here releases its boxed job and its `BatchShared` reference
+    /// instead of leaking them. Stale runners find their claim cursor
+    /// exhausted and return immediately, so this terminates.
+    pub(crate) fn drain_queues(&self) {
+        while let Some(job) = self.find_work(None) {
+            execute_job(job);
+        }
     }
 }
 
@@ -222,13 +247,40 @@ pub(crate) fn current_worker_of(registry: &Registry) -> Option<usize> {
 fn global() -> &'static Arc<Registry> {
     static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
     GLOBAL.get_or_init(|| {
-        let (registry, handles) = Registry::start(default_num_threads());
+        let (registry, handles) = Registry::start(global_size());
         // Global workers live for the process; nothing joins them.
         for h in handles {
             drop(h);
         }
         registry
     })
+}
+
+/// The global registry's worker count, computed (and cached — the env var
+/// is read once, like upstream) **without** starting the workers. `global`
+/// sizes itself from this same cache, so the answer never changes once the
+/// pool does start.
+fn global_size() -> usize {
+    static SIZE: OnceLock<usize> = OnceLock::new();
+    *SIZE.get_or_init(default_num_threads)
+}
+
+/// The worker count fan-outs from the calling context would use: the
+/// installed pool's, else the current worker's pool's, else the global
+/// pool's — with the global pool merely *sized*, not started. Callers use
+/// this for shard sizing and sequential-fallback guards, which must not
+/// fork a full worker fleet just to read a number.
+pub(crate) fn current_size() -> usize {
+    let installed = INSTALLED.with(|c| c.get());
+    if !installed.is_null() {
+        // SAFETY: see `with_current`.
+        return unsafe { (*installed).num_threads() };
+    }
+    if let Some((ptr, _)) = WORKER.with(|w| w.get()) {
+        // SAFETY: see `with_current`.
+        return unsafe { (*ptr).num_threads() };
+    }
+    global_size()
 }
 
 /// Worker count for the global registry: `RAYON_NUM_THREADS` (positive
@@ -289,5 +341,42 @@ impl InstallGuard {
 impl Drop for InstallGuard {
     fn drop(&mut self) {
         INSTALLED.with(|c| c.set(self.previous));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobHeader;
+
+    #[repr(C)]
+    struct FlagJob {
+        header: JobHeader,
+        flag: Arc<AtomicUsize>,
+    }
+
+    unsafe fn flag_exec(job: *mut JobHeader) {
+        let job = Box::from_raw(job as *mut FlagJob);
+        job.flag.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Regression (REVIEW): a job still queued when the workers exit must
+    /// be drained by `ThreadPool::drop`, not leaked. Simulate the stranded
+    /// state directly: shut a registry down, join its workers, queue a
+    /// job, and check `drain_queues` runs (and thereby frees) it.
+    #[test]
+    fn drain_queues_runs_jobs_stranded_by_shutdown() {
+        let (registry, handles) = Registry::start(2);
+        registry.terminate();
+        for h in handles {
+            let _ = h.join();
+        }
+        let ran = Arc::new(AtomicUsize::new(0));
+        registry.submit(JobRef(Box::into_raw(Box::new(FlagJob {
+            header: JobHeader { exec: flag_exec },
+            flag: Arc::clone(&ran),
+        })) as *mut JobHeader));
+        registry.drain_queues();
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
     }
 }

@@ -4,15 +4,26 @@
 //! borrow anything outliving the `scope` call — sound because `scope`
 //! blocks until every spawned task (transitively) finished, exactly like
 //! rayon. [`join`] runs two closures potentially in parallel: the second
-//! is queued as a *stack* job while the first runs in the caller; if no
+//! is queued as a heap job while the first runs in the caller; if no
 //! worker stole it meanwhile, the caller pops it back and runs it inline
-//! (LIFO pop makes this the common case), so an un-stolen `join` costs two
-//! deque operations, not a thread handoff.
+//! (LIFO pop makes this the common case), so an un-stolen `join` costs one
+//! allocation and two deque operations, not a thread handoff.
 //!
 //! Both primitives use work-stealing waits on worker threads: a blocked
 //! caller keeps executing other queued jobs, so nested parallelism never
 //! idles a worker or spawns an extra thread. Panics in spawned tasks are
 //! captured and the first payload is rethrown from the owning call.
+//!
+//! # Latch lifetime
+//!
+//! The completion latches ([`ScopeShared`], [`JoinJob`]) are heap-allocated
+//! and reference-counted like `batch::BatchShared`, **not** borrowed from
+//! the caller's stack. This is load-bearing for soundness: a finishing
+//! task decrements the pending counter (or sets `done`) and *then* locks
+//! the latch mutex to notify — by which time the blocked caller may
+//! already have observed completion and returned. The finisher's own
+//! reference keeps the mutex and condvar alive across that notify; the
+//! last reference (finisher or caller, whoever is later) frees the latch.
 
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -22,11 +33,14 @@ use std::sync::{Condvar, Mutex};
 use crate::job::{JobHeader, JobRef, PanicSlot};
 use crate::registry::{self, current_worker_of, execute_job, Registry, LATCH_PARK};
 
-/// Completion latch + panic slot shared by one scope (lives on the
-/// `scope` caller's stack; all tasks finish before it unwinds).
+/// Completion latch + panic slot shared by one scope (heap-allocated,
+/// reference-counted — see the module docs on latch lifetime).
 struct ScopeShared {
     /// Spawned-but-unfinished task count.
     pending: AtomicUsize,
+    /// Live references: the blocked `scope` caller plus one per queued
+    /// task whose `exec` has not yet returned.
+    refs: AtomicUsize,
     panic: PanicSlot,
     mutex: Mutex<()>,
     cond: Condvar,
@@ -35,9 +49,18 @@ struct ScopeShared {
 impl ScopeShared {
     fn task_finished(&self) {
         if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // The caller may observe `pending == 0` and return before we
+            // acquire this lock; our reference keeps the latch alive.
             let _guard = self.mutex.lock().unwrap();
             self.cond.notify_all();
         }
+    }
+}
+
+/// Drops one reference; the last one frees the latch.
+unsafe fn release_scope(shared: *const ScopeShared) {
+    if (*shared).refs.fetch_sub(1, Ordering::AcqRel) == 1 {
+        drop(Box::from_raw(shared as *mut ScopeShared));
     }
 }
 
@@ -49,10 +72,10 @@ pub struct Scope<'scope> {
     marker: PhantomData<fn(&'scope ()) -> &'scope ()>,
 }
 
-// SAFETY: the raw pointers target the scope caller's stack frame and the
-// current registry, both of which outlive every spawned task (the scope
-// blocks until `pending == 0`). Handing `&Scope` to tasks on other
-// threads only exposes `spawn`, which touches those two pointees.
+// SAFETY: `shared` is refcounted (alive until caller and all tasks
+// released it) and `registry` outlives every task it runs. Handing
+// `&Scope` to tasks on other threads only exposes `spawn`, which touches
+// those two pointees.
 unsafe impl Sync for Scope<'_> {}
 unsafe impl Send for Scope<'_> {}
 
@@ -69,13 +92,16 @@ struct ScopeJob {
 
 unsafe fn scope_job_exec(job: *mut JobHeader) {
     let mut job = Box::from_raw(job as *mut ScopeJob);
-    let shared = &*job.shared;
-    if let Some(func) = job.func.take() {
-        if let Err(payload) = catch_unwind(AssertUnwindSafe(func)) {
-            shared.panic.record(payload);
+    {
+        let shared = &*job.shared;
+        if let Some(func) = job.func.take() {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(func)) {
+                shared.panic.record(payload);
+            }
         }
+        shared.task_finished();
     }
-    shared.task_finished();
+    release_scope(job.shared);
 }
 
 impl<'scope> Scope<'scope> {
@@ -85,10 +111,15 @@ impl<'scope> Scope<'scope> {
     where
         F: FnOnce(&Scope<'scope>) + Send + 'scope,
     {
-        // SAFETY: both pointees outlive the scope (module docs).
+        // SAFETY: both pointees are alive — the scope caller still holds
+        // its latch reference, and the registry outlives the scope call.
         let shared = unsafe { &*self.shared };
         let registry = unsafe { &*self.registry };
         shared.pending.fetch_add(1, Ordering::AcqRel);
+        // The queued job owns one latch reference (released after its
+        // `task_finished`), so the latch outlives the job's notify even if
+        // the caller returns first.
+        shared.refs.fetch_add(1, Ordering::Relaxed);
         let task_scope = Scope {
             shared: self.shared,
             registry: self.registry,
@@ -117,25 +148,33 @@ impl<'scope> Scope<'scope> {
 /// `f` or any task is rethrown here.
 pub fn scope<'scope, R>(f: impl FnOnce(&Scope<'scope>) -> R) -> R {
     registry::with_current(|registry| {
-        let shared = ScopeShared {
+        let shared = Box::into_raw(Box::new(ScopeShared {
             pending: AtomicUsize::new(0),
+            refs: AtomicUsize::new(1),
             panic: PanicSlot::new(),
             mutex: Mutex::new(()),
             cond: Condvar::new(),
-        };
+        }));
         let scope_handle = Scope {
-            shared: &shared,
+            shared,
             registry,
             marker: PhantomData,
         };
         // Even if `f` itself panics, every already-spawned task must
-        // finish before the stack frame (which they reference) unwinds.
+        // finish before the scope returns (tasks borrow `'scope` data).
         let result = catch_unwind(AssertUnwindSafe(|| f(&scope_handle)));
-        wait_pending(registry, &shared);
+        // SAFETY: the caller's reference keeps `shared` alive through the
+        // wait and the panic take; `release_scope` may free it after.
+        let task_panic = unsafe {
+            wait_pending(registry, &*shared);
+            let task_panic = (*shared).panic.take();
+            release_scope(shared);
+            task_panic
+        };
         match result {
             Err(payload) => resume_unwind(payload),
             Ok(value) => {
-                if let Some(payload) = shared.panic.take() {
+                if let Some(payload) = task_panic {
                     resume_unwind(payload);
                 }
                 value
@@ -173,11 +212,13 @@ fn wait_pending(registry: &Registry, shared: &ScopeShared) {
     }
 }
 
-/// `join`'s queued second closure: lives on the `join` caller's stack
-/// (never freed by the queue — the caller blocks until `done`).
+/// `join`'s queued second closure + its completion latch (heap-allocated,
+/// reference-counted — see the module docs on latch lifetime).
 #[repr(C)]
-struct StackJob<F, R> {
+struct JoinJob<F, R> {
     header: JobHeader,
+    /// Live references: the blocked `join` caller plus the queued job.
+    refs: AtomicUsize,
     func: Mutex<Option<F>>,
     result: Mutex<Option<R>>,
     panic: PanicSlot,
@@ -186,20 +227,33 @@ struct StackJob<F, R> {
     cond: Condvar,
 }
 
-unsafe fn stack_job_exec<F, R>(job: *mut JobHeader)
+/// Drops one reference; the last one frees the job.
+unsafe fn release_join<F, R>(job: *const JoinJob<F, R>) {
+    if (*job).refs.fetch_sub(1, Ordering::AcqRel) == 1 {
+        drop(Box::from_raw(job as *mut JoinJob<F, R>));
+    }
+}
+
+unsafe fn join_job_exec<F, R>(job: *mut JobHeader)
 where
     F: FnOnce() -> R,
 {
-    let job = &*(job as *mut StackJob<F, R>);
-    if let Some(func) = job.func.lock().unwrap().take() {
-        match catch_unwind(AssertUnwindSafe(func)) {
-            Ok(value) => *job.result.lock().unwrap() = Some(value),
-            Err(payload) => job.panic.record(payload),
+    let ptr = job as *mut JoinJob<F, R>;
+    {
+        let job = &*ptr;
+        if let Some(func) = job.func.lock().unwrap().take() {
+            match catch_unwind(AssertUnwindSafe(func)) {
+                Ok(value) => *job.result.lock().unwrap() = Some(value),
+                Err(payload) => job.panic.record(payload),
+            }
         }
+        job.done.store(1, Ordering::Release);
+        // The caller may observe `done` and return before we acquire this
+        // lock; our reference keeps the latch alive (module docs).
+        let _guard = job.mutex.lock().unwrap();
+        job.cond.notify_all();
     }
-    job.done.store(1, Ordering::Release);
-    let _guard = job.mutex.lock().unwrap();
-    job.cond.notify_all();
+    release_join(ptr);
 }
 
 /// Runs `a` and `b`, potentially in parallel, returning both results.
@@ -218,43 +272,43 @@ where
             let ra = a();
             return (ra, b());
         }
-        let job = StackJob::<B, RB> {
+        let job = Box::into_raw(Box::new(JoinJob::<B, RB> {
             header: JobHeader {
-                exec: stack_job_exec::<B, RB>,
+                exec: join_job_exec::<B, RB>,
             },
+            refs: AtomicUsize::new(2),
             func: Mutex::new(Some(b)),
             result: Mutex::new(None),
             panic: PanicSlot::new(),
             done: AtomicUsize::new(0),
             mutex: Mutex::new(()),
             cond: Condvar::new(),
-        };
-        registry.submit(JobRef(&job as *const StackJob<B, RB> as *mut JobHeader));
+        }));
+        registry.submit(JobRef(job as *mut JobHeader));
         registry.notify(1);
 
         let ra = catch_unwind(AssertUnwindSafe(a));
-        // Wait for `b`: on a worker this pops our own deque first, so an
-        // un-stolen `b` runs inline right here.
-        wait_stack_job(registry, &job);
+        // SAFETY: the caller's reference keeps the job alive through the
+        // wait and the result/panic extraction; `release_join` may free it.
+        let (rb, rb_panic) = unsafe {
+            // Wait for `b`: on a worker this pops our own deque first, so
+            // an un-stolen `b` runs inline right here.
+            wait_join_job(registry, &*job);
+            let rb = (*job).result.lock().unwrap().take();
+            let rb_panic = (*job).panic.take();
+            release_join(job);
+            (rb, rb_panic)
+        };
 
-        let rb_panic = job.panic.take();
         match (ra, rb_panic) {
-            (Ok(ra), None) => {
-                let rb = job
-                    .result
-                    .lock()
-                    .unwrap()
-                    .take()
-                    .expect("join closure result");
-                (ra, rb)
-            }
+            (Ok(ra), None) => (ra, rb.expect("join closure result")),
             (Err(payload), _) => resume_unwind(payload),
             (Ok(_), Some(payload)) => resume_unwind(payload),
         }
     })
 }
 
-fn wait_stack_job<F, R>(registry: &Registry, job: &StackJob<F, R>) {
+fn wait_join_job<F, R>(registry: &Registry, job: &JoinJob<F, R>) {
     match current_worker_of(registry) {
         Some(index) => loop {
             if job.done.load(Ordering::Acquire) != 0 {
