@@ -32,9 +32,9 @@ use cmp_platform::{Platform, TopologyKind};
 use ea_core::{Instance, Portfolio, Solver};
 use spg::{streamit_workflow, Spg, STREAMIT_SPECS};
 
-use crate::json::Json;
 use crate::report::{fmt_table, median};
 use crate::topology_xp::topology_campaign;
+use ea_core::json::Json;
 
 /// One committed benchmark entry.
 #[derive(Debug, Clone, PartialEq)]
@@ -303,6 +303,19 @@ pub fn compute_fresh_metrics(
         crate::pool_xp::fresh_pool_metrics(&mut fresh);
     }
 
+    // Source 5: the serve benchmark (serve/... names) — a live daemon on a
+    // TCP loopback socket driven over the StreamIt suite. Energies, the
+    // warm/cold equality count, and cache counters gate (the serialized
+    // request order makes them deterministic); latencies advise; the byte
+    // figure carries an unknown unit and stays skipped. A socket failure
+    // leaves the metrics unmatched rather than aborting the whole check.
+    if needed.iter().any(|m| m.name.starts_with("serve/")) {
+        match crate::serve_xp::serve_bench(seed) {
+            Ok(b) => crate::serve_xp::fresh_serve_metrics(&b, &mut fresh),
+            Err(e) => eprintln!("bench-check: serve benchmark unavailable: {e}"),
+        }
+    }
+
     fresh
 }
 
@@ -368,6 +381,7 @@ pub fn default_bench_files(repo_root: &Path) -> Vec<std::path::PathBuf> {
         "BENCH_portfolio.json",
         "BENCH_sweep.json",
         "BENCH_pool.json",
+        "BENCH_serve.json",
     ]
     .iter()
     .map(|f| repo_root.join(f))

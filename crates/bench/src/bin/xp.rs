@@ -41,6 +41,17 @@
 //!                 count (dispatch latency, fan-out throughput,
 //!                 scheduling-independence checksums); writes
 //!                 BENCH_pool.json to --out
+//!   serve         Solve-as-a-service daemon on --socket PATH (Unix,
+//!                 default xp-serve.sock) or --tcp ADDR; --cache-bytes
+//!                 bounds the artifact cache, --deadline-ms sets the
+//!                 default per-request budget; blocks until a client
+//!                 sends {"op":"shutdown"} (see docs/serve-protocol.md)
+//!   client        Scripted serve-protocol session: connects to --socket/
+//!                 --tcp and sends each --request JSON in order, printing
+//!                 one response per line; error responses exit 1
+//!   serve-bench   Warm-vs-cold daemon benchmark over the StreamIt suite
+//!                 (boots a loopback server in-process); writes
+//!                 BENCH_serve.json to --out
 //!   help          This usage text
 //!   all           The paper artifacts above, in order
 //! ```
@@ -91,11 +102,14 @@ const USAGE: &str = "usage: xp <command> [--seed N] [--apps-per-point N] [--exac
                      [--routing xy|yx|shortest] [--out DIR] \
                      [--campaign smoke|nightly|FILE.json] [--shard I/M] \
                      [--input FILE]... [--bench FILE]... [--tolerance F] \
-                     [--points N] [--size N] [--suite streamit]
+                     [--points N] [--size N] [--suite streamit] \
+                     [--socket PATH] [--tcp ADDR] [--cache-bytes N] \
+                     [--deadline-ms N] [--request JSON]...
 commands: table1 fig8 fig9 table2 fig10 fig11 fig12 fig13 table3 exact
           ablation-routing ablation-downgrade ablation-ebit
           ablation-speedrule ablation-refine topology smoke sweep
-          campaign campaign-merge bench-check pool-bench help all";
+          campaign campaign-merge bench-check pool-bench
+          serve client serve-bench help all";
 
 struct Opts {
     seed: u64,
@@ -121,6 +135,16 @@ struct Opts {
     size: usize,
     /// Named suite selector (`xp sweep --suite streamit`).
     suite: Option<String>,
+    /// Unix socket path for `serve`/`client` (`--socket`).
+    socket: Option<PathBuf>,
+    /// TCP address for `serve`/`client` (`--tcp`, e.g. `127.0.0.1:7411`).
+    tcp: Option<String>,
+    /// Artifact-cache byte bound for `serve` (`--cache-bytes`).
+    cache_bytes: Option<usize>,
+    /// Default per-request deadline for `serve` (`--deadline-ms`).
+    deadline_ms: Option<u64>,
+    /// Request frames for `client` (`--request`, repeatable, in order).
+    request: Vec<String>,
 }
 
 impl Opts {
@@ -176,6 +200,11 @@ fn parse_opts(rest: &[String]) -> Opts {
         points: 8,
         size: 24,
         suite: None,
+        socket: None,
+        tcp: None,
+        cache_bytes: None,
+        deadline_ms: None,
+        request: Vec::new(),
     };
     let registry = SolverRegistry::with_defaults();
     let mut i = 0;
@@ -279,6 +308,31 @@ fn parse_opts(rest: &[String]) -> Opts {
             "--out" => {
                 opts.out = PathBuf::from(value(&mut i, flag));
             }
+            "--socket" => {
+                opts.socket = Some(PathBuf::from(value(&mut i, flag)));
+            }
+            "--tcp" => {
+                opts.tcp = Some(value(&mut i, flag));
+            }
+            "--cache-bytes" => {
+                let n: usize = value(&mut i, flag)
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--cache-bytes expects an integer"));
+                if n == 0 {
+                    usage_error("--cache-bytes must be at least 1");
+                }
+                opts.cache_bytes = Some(n);
+            }
+            "--deadline-ms" => {
+                opts.deadline_ms = Some(
+                    value(&mut i, flag)
+                        .parse()
+                        .unwrap_or_else(|_| usage_error("--deadline-ms expects an integer")),
+                );
+            }
+            "--request" => {
+                opts.request.push(value(&mut i, flag));
+            }
             other => usage_error(&format!("unknown flag '{other}'")),
         }
         i += 1;
@@ -347,6 +401,9 @@ fn main() {
         "campaign-merge" => campaign_merge_cmd(&opts),
         "bench-check" => bench_check_cmd(&opts),
         "pool-bench" => pool_bench_cmd(&opts),
+        "serve" => serve_cmd(&opts),
+        "client" => client_cmd(&opts),
+        "serve-bench" => serve_bench_cmd(&opts),
         "ablation-routing" => println!("{}", ablation::routing_text(12, opts.seed)),
         "ablation-downgrade" => println!("{}", ablation::downgrade_text(12, opts.seed)),
         "ablation-ebit" => println!("{}", ablation::ebit_text(12, opts.seed, &opts.solvers)),
@@ -595,6 +652,130 @@ fn pool_bench_cmd(opts: &Opts) {
         soft_fail(&format!("writing {}: {e}", path.display()));
     } else {
         eprintln!("[pool-bench] wrote {}", path.display());
+    }
+}
+
+/// Default Unix socket path when neither `--socket` nor `--tcp` is given.
+const DEFAULT_SOCKET: &str = "xp-serve.sock";
+
+/// Builds the daemon config from the serve flags.
+fn serve_config(opts: &Opts) -> ea_core::ServeConfig {
+    let mut cfg = ea_core::ServeConfig {
+        default_seed: opts.seed,
+        ..Default::default()
+    };
+    if let Some(bytes) = opts.cache_bytes {
+        cfg.cache_bytes = bytes;
+    }
+    cfg.default_deadline_ms = opts.deadline_ms;
+    cfg
+}
+
+fn serve_cmd(opts: &Opts) {
+    if opts.socket.is_some() && opts.tcp.is_some() {
+        usage_error("serve takes --socket or --tcp, not both");
+    }
+    let cfg = serve_config(opts);
+    let server = if let Some(addr) = &opts.tcp {
+        match ea_core::Server::bind_tcp(addr, cfg) {
+            Ok(s) => {
+                eprintln!(
+                    "[serve] listening on tcp {}",
+                    s.local_addr()
+                        .map_or_else(|| addr.clone(), |a| a.to_string())
+                );
+                s
+            }
+            Err(e) => {
+                eprintln!("xp: serve: binding {addr}: {e}");
+                exit(1);
+            }
+        }
+    } else {
+        let path = opts
+            .socket
+            .clone()
+            .unwrap_or_else(|| PathBuf::from(DEFAULT_SOCKET));
+        match ea_core::Server::bind_unix(&path, cfg) {
+            Ok(s) => {
+                eprintln!("[serve] listening on unix {}", path.display());
+                s
+            }
+            Err(e) => {
+                eprintln!("xp: serve: binding {}: {e}", path.display());
+                exit(1);
+            }
+        }
+    };
+    if let Err(e) = server.run() {
+        eprintln!("xp: serve: {e}");
+        exit(1);
+    }
+    eprintln!("[serve] shut down cleanly");
+}
+
+fn client_cmd(opts: &Opts) {
+    if opts.socket.is_some() && opts.tcp.is_some() {
+        usage_error("client takes --socket or --tcp, not both");
+    }
+    if opts.request.is_empty() {
+        usage_error("client needs at least one --request JSON");
+    }
+    // Parse every frame up front: a malformed --request is a usage error
+    // (exit 2) before anything goes over the wire.
+    let frames: Vec<ea_core::json::Json> = opts
+        .request
+        .iter()
+        .map(|raw| {
+            ea_core::json::Json::parse(raw)
+                .unwrap_or_else(|e| usage_error(&format!("--request is not valid JSON: {e}")))
+        })
+        .collect();
+    let mut client = if let Some(addr) = &opts.tcp {
+        ea_core::serve::Client::connect_tcp(addr.as_str())
+    } else {
+        let path = opts
+            .socket
+            .clone()
+            .unwrap_or_else(|| PathBuf::from(DEFAULT_SOCKET));
+        ea_core::serve::Client::connect_unix(&path)
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("xp: client: connect: {e}");
+        exit(1);
+    });
+    for frame in &frames {
+        match client.request(frame) {
+            Ok(resp) => {
+                println!("{resp}");
+                if resp.get("error").is_some() {
+                    soft_fail("server returned an error response");
+                }
+            }
+            Err(e) => {
+                eprintln!("xp: client: {e}");
+                exit(1);
+            }
+        }
+    }
+}
+
+fn serve_bench_cmd(opts: &Opts) {
+    let b = match ea_bench::serve_xp::serve_bench(opts.seed) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("xp: serve-bench: {e}");
+            exit(1);
+        }
+    };
+    print!("{}", ea_bench::serve_xp::serve_bench_text(&b));
+    let path = opts.out.join("BENCH_serve.json");
+    if let Err(e) = std::fs::create_dir_all(&opts.out)
+        .and_then(|_| std::fs::write(&path, ea_bench::serve_xp::serve_bench_json(&b)))
+    {
+        soft_fail(&format!("writing {}: {e}", path.display()));
+    } else {
+        eprintln!("[serve-bench] wrote {}", path.display());
     }
 }
 

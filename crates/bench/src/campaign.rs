@@ -42,9 +42,9 @@ use ea_core::{Instance, SolveCtx, Solver, SolverRegistry};
 use rayon::prelude::*;
 use spg::generate::families::{FamilyKind, FamilyParams, WorkloadSpec};
 
-use crate::json::{escape, fmt_f64, Json};
 use crate::report::median;
 use crate::topology_xp::make_platform;
+use ea_core::json::{escape, fmt_f64, Json};
 
 /// A declarative campaign: the cartesian sweep the engine expands.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,309 +1,8 @@
-//! Minimal JSON support for the campaign engine and the benchmark gate.
-//!
-//! The workspace is dependency-free by policy (see `crates/vendor/`), so
-//! the small amount of JSON this crate needs — append-only campaign
-//! records, and the committed `BENCH_*.json` files — is handled by a
-//! ~150-line recursive-descent parser and a couple of writers instead of
-//! `serde`. Numbers format through Rust's shortest-roundtrip `Display`,
-//! which is deterministic — the property the campaign's byte-identical
-//! resume guarantee rests on.
+//! Deprecated alias: the minimal JSON module moved to [`ea_core::json`]
+//! in 0.7 so the serve daemon can speak the wire protocol without
+//! depending on the benchmark crate. This module re-exports the moved
+//! items for downstream compatibility; new code should import
+//! `ea_core::json` (or `spg_cmp::json` through the facade).
 
-use std::collections::BTreeMap;
-use std::fmt::Write as _;
-
-/// A parsed JSON value. Objects keep insertion order out of scope — the
-/// consumers here look fields up by name.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`
-    Null,
-    /// `true` / `false`
-    Bool(bool),
-    /// Any JSON number.
-    Num(f64),
-    /// A string (escapes decoded).
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object.
-    Obj(BTreeMap<String, Json>),
-}
-
-impl Json {
-    /// Parses one JSON document (trailing whitespace allowed, nothing else).
-    pub fn parse(text: &str) -> Result<Json, String> {
-        let bytes = text.as_bytes();
-        let mut pos = 0usize;
-        let v = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing garbage at byte {pos}"));
-        }
-        Ok(v)
-    }
-
-    /// Object field access.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(m) => m.get(key),
-            _ => None,
-        }
-    }
-
-    /// The value as a number, if it is one.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(v) => Some(*v),
-            _ => None,
-        }
-    }
-
-    /// The value as a string, if it is one.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The value as an array, if it is one.
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(v) => Some(v),
-            _ => None,
-        }
-    }
-}
-
-fn skip_ws(b: &[u8], pos: &mut usize) {
-    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
-    if *pos < b.len() && b[*pos] == c {
-        *pos += 1;
-        Ok(())
-    } else {
-        Err(format!("expected '{}' at byte {}", c as char, *pos))
-    }
-}
-
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
-    skip_ws(b, pos);
-    match b.get(*pos) {
-        None => Err("unexpected end of input".into()),
-        Some(b'{') => {
-            *pos += 1;
-            let mut map = BTreeMap::new();
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&b'}') {
-                *pos += 1;
-                return Ok(Json::Obj(map));
-            }
-            loop {
-                skip_ws(b, pos);
-                let key = parse_string(b, pos)?;
-                skip_ws(b, pos);
-                expect(b, pos, b':')?;
-                let val = parse_value(b, pos)?;
-                map.insert(key, val);
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b'}') => {
-                        *pos += 1;
-                        return Ok(Json::Obj(map));
-                    }
-                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
-                }
-            }
-        }
-        Some(b'[') => {
-            *pos += 1;
-            let mut arr = Vec::new();
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&b']') {
-                *pos += 1;
-                return Ok(Json::Arr(arr));
-            }
-            loop {
-                arr.push(parse_value(b, pos)?);
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b']') => {
-                        *pos += 1;
-                        return Ok(Json::Arr(arr));
-                    }
-                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
-                }
-            }
-        }
-        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
-        Some(b't') => keyword(b, pos, "true", Json::Bool(true)),
-        Some(b'f') => keyword(b, pos, "false", Json::Bool(false)),
-        Some(b'n') => keyword(b, pos, "null", Json::Null),
-        Some(_) => parse_number(b, pos),
-    }
-}
-
-fn keyword(b: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
-    if b[*pos..].starts_with(word.as_bytes()) {
-        *pos += word.len();
-        Ok(value)
-    } else {
-        Err(format!("bad literal at byte {}", *pos))
-    }
-}
-
-fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
-    let start = *pos;
-    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
-        *pos += 1;
-    }
-    std::str::from_utf8(&b[start..*pos])
-        .ok()
-        .and_then(|s| s.parse::<f64>().ok())
-        .map(Json::Num)
-        .ok_or_else(|| format!("bad number at byte {start}"))
-}
-
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
-    expect(b, pos, b'"')?;
-    let mut out = String::new();
-    loop {
-        match b.get(*pos) {
-            None => return Err("unterminated string".into()),
-            Some(b'"') => {
-                *pos += 1;
-                return Ok(out);
-            }
-            Some(b'\\') => {
-                *pos += 1;
-                match b.get(*pos) {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'/') => out.push('/'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'r') => out.push('\r'),
-                    Some(b'b') => out.push('\u{8}'),
-                    Some(b'f') => out.push('\u{c}'),
-                    Some(b'u') => {
-                        let hex = b
-                            .get(*pos + 1..*pos + 5)
-                            .and_then(|h| std::str::from_utf8(h).ok())
-                            .and_then(|h| u32::from_str_radix(h, 16).ok())
-                            .ok_or_else(|| format!("bad \\u escape at byte {}", *pos))?;
-                        // Surrogate pairs are not needed for our own files;
-                        // map lone surrogates to the replacement character.
-                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
-                        *pos += 4;
-                    }
-                    _ => return Err(format!("bad escape at byte {}", *pos)),
-                }
-                *pos += 1;
-            }
-            Some(&c) => {
-                // Multi-byte UTF-8 sequences pass through unchanged.
-                let ch_len = utf8_len(c);
-                let s = std::str::from_utf8(&b[*pos..*pos + ch_len])
-                    .map_err(|_| format!("bad utf-8 at byte {}", *pos))?;
-                out.push_str(s);
-                *pos += ch_len;
-            }
-        }
-    }
-}
-
-fn utf8_len(first: u8) -> usize {
-    match first {
-        0x00..=0x7f => 1,
-        0xc0..=0xdf => 2,
-        0xe0..=0xef => 3,
-        _ => 4,
-    }
-}
-
-/// Escapes a string for embedding in JSON output (quotes not included).
-pub fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Formats an `f64` as a JSON number: shortest-roundtrip, with non-finite
-/// values mapped to `null` (JSON has no NaN/inf). Deterministic — equal
-/// bits always produce equal bytes.
-pub fn fmt_f64(v: f64) -> String {
-    if v.is_finite() {
-        let s = format!("{v}");
-        // `Display` prints integral floats without a dot; keep them valid
-        // JSON numbers as-is (1e30 etc. are fine too).
-        s
-    } else {
-        "null".to_string()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn parses_bench_file_shape() {
-        let doc = r#"{ "results": [
-            {"name": "a/b", "value": 1.5e-2, "unit": "J"},
-            {"name": "c", "median_ns": 123.25, "samples": 10}
-        ] }"#;
-        let v = Json::parse(doc).unwrap();
-        let results = v.get("results").unwrap().as_arr().unwrap();
-        assert_eq!(results.len(), 2);
-        assert_eq!(results[0].get("name").unwrap().as_str(), Some("a/b"));
-        assert_eq!(results[0].get("value").unwrap().as_f64(), Some(1.5e-2));
-        assert_eq!(results[1].get("median_ns").unwrap().as_f64(), Some(123.25));
-    }
-
-    #[test]
-    fn round_trips_escapes_and_numbers() {
-        let v = Json::parse(r#"{"s": "a\"b\\c\nd", "n": -1.25e-3, "t": true, "z": null}"#).unwrap();
-        assert_eq!(v.get("s").unwrap().as_str(), Some("a\"b\\c\nd"));
-        assert_eq!(v.get("n").unwrap().as_f64(), Some(-1.25e-3));
-        assert_eq!(v.get("t"), Some(&Json::Bool(true)));
-        assert_eq!(v.get("z"), Some(&Json::Null));
-        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
-    }
-
-    #[test]
-    fn rejects_garbage() {
-        assert!(Json::parse("{\"a\": 1").is_err()); // truncated
-        assert!(Json::parse("{} x").is_err()); // trailing
-        assert!(Json::parse("").is_err());
-    }
-
-    #[test]
-    fn f64_formatting_is_deterministic() {
-        assert_eq!(fmt_f64(0.017915296047672412), "0.017915296047672412");
-        assert_eq!(fmt_f64(2.0), "2");
-        assert_eq!(fmt_f64(f64::NAN), "null");
-        // Round-trip: parse(format(x)) == x bit-for-bit.
-        for &x in &[1.0 / 3.0, 1e-300, 123456.789, -0.0] {
-            let s = fmt_f64(x);
-            assert_eq!(s.parse::<f64>().unwrap().to_bits(), x.to_bits());
-        }
-    }
-}
+#[deprecated(since = "0.7.0", note = "moved to `ea_core::json`")]
+pub use ea_core::json::{escape, fmt_f64, obj, Json};

@@ -37,6 +37,7 @@ pub mod probe;
 pub mod random_xp;
 pub mod report;
 pub mod runner;
+pub mod serve_xp;
 pub mod streamit_xp;
 pub mod sweep_xp;
 pub mod topology_xp;

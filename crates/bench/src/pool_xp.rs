@@ -23,8 +23,8 @@ use std::time::Instant;
 
 use rayon::prelude::*;
 
-use crate::json::fmt_f64;
 use crate::report::{fmt_table, median};
+use ea_core::json::fmt_f64;
 
 /// Worker count every probe is pinned to (and the count the frozen
 /// scoped-spawn baseline was recorded at).

@@ -1,0 +1,391 @@
+//! The serve benchmark: warm-vs-cold latency through a live daemon.
+//!
+//! Boots an `ea_core::serve::Server` on a TCP loopback socket, then drives
+//! it with one serialized client over the full StreamIt suite (Table 1):
+//! for each flow, one **cold** solve (artifact cache empty for its
+//! fingerprints) followed by [`WARM_ROUNDS`] **warm** repeats of the very
+//! same request. The serialized, fixed request order makes every cache
+//! counter deterministic, so `BENCH_serve.json` can gate on energies,
+//! warm/cold equality, and hit/miss/eviction counts while latencies stay
+//! advisory (time units are machine-dependent).
+//!
+//! The energies double as an end-to-end check that the service reproduces
+//! the library: each flow solves at utilisation 0.5 on the paper's 4×4
+//! platform, i.e. the same `W / (0.5 · 16 · f_max)` period the offline
+//! `energy/` benchmarks use.
+
+use std::collections::HashMap;
+
+use ea_core::json::{fmt_f64, obj, Json};
+use ea_core::serve::{Client, ServeConfig, Server};
+use spg::STREAMIT_SPECS;
+
+use crate::report::{fmt_table, median};
+
+/// Warm repeats per flow after the cold solve.
+pub const WARM_ROUNDS: usize = 3;
+
+/// Utilisation every request solves at (matches the offline `energy/`
+/// benchmarks' `W / 8e9` period on the paper's 4×4 platform).
+pub const UTILISATION: f64 = 0.5;
+
+/// One flow's trip through the daemon.
+pub struct FlowServe {
+    /// StreamIt flow name (Table 1).
+    pub workflow: &'static str,
+    /// Best energy of the cold solve (`None` when no heuristic found a
+    /// valid mapping).
+    pub cold_energy: Option<f64>,
+    /// Best energy of the warm repeats (all repeats agree by
+    /// construction; asserted during the run).
+    pub warm_energy: Option<f64>,
+    /// Whether the final repeat reported `warm: true` (all three artifact
+    /// fingerprints hit; flows whose lattice overflows the ideal cap
+    /// legitimately stay cold).
+    pub warm_flag: bool,
+    /// Server-side wall time of the cold solve, milliseconds.
+    pub cold_ms: f64,
+    /// Median server-side wall time of the warm repeats, milliseconds.
+    pub warm_ms: f64,
+}
+
+impl FlowServe {
+    /// Warm and cold agree bit-for-bit (including agreeing to fail).
+    pub fn equal(&self) -> bool {
+        self.cold_energy == self.warm_energy
+    }
+}
+
+/// A latency summary parsed back out of the daemon's `stats` response.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencySummary {
+    /// Recorded requests.
+    pub count: f64,
+    /// Mean latency, milliseconds.
+    pub mean_ms: f64,
+    /// 50th percentile, milliseconds.
+    pub p50_ms: f64,
+    /// 99th percentile, milliseconds.
+    pub p99_ms: f64,
+    /// 99.9th percentile, milliseconds.
+    pub p999_ms: f64,
+    /// Exact maximum, milliseconds.
+    pub max_ms: f64,
+}
+
+/// Everything the serve benchmark measures.
+pub struct ServeBench {
+    /// Per-flow cold/warm results, suite order.
+    pub flows: Vec<FlowServe>,
+    /// Daemon-side distribution over solves whose artifacts all hit.
+    pub warm: LatencySummary,
+    /// Daemon-side distribution over every other solve.
+    pub cold: LatencySummary,
+    /// Artifact-cache lookup hits.
+    pub cache_hits: f64,
+    /// Artifact-cache lookup misses.
+    pub cache_misses: f64,
+    /// Artifacts evicted to respect the byte bound.
+    pub cache_evictions: f64,
+    /// Live cache entries at shutdown.
+    pub cache_entries: f64,
+    /// Live cache bytes at shutdown.
+    pub cache_bytes: f64,
+}
+
+impl ServeBench {
+    /// How many flows solved warm with bit-identical energy.
+    pub fn warm_cold_equal(&self) -> usize {
+        self.flows.iter().filter(|f| f.equal()).count()
+    }
+
+    /// Mean cold latency over mean warm latency (1.0 when degenerate).
+    pub fn warm_speedup(&self) -> f64 {
+        if self.warm.mean_ms > 0.0 && self.cold.mean_ms > 0.0 {
+            self.cold.mean_ms / self.warm.mean_ms
+        } else {
+            1.0
+        }
+    }
+}
+
+fn num(j: &Json, outer: &str, inner: &str) -> Result<f64, String> {
+    j.get(outer)
+        .and_then(|o| o.get(inner))
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("stats response missing {outer}.{inner}"))
+}
+
+fn summary(stats: &Json, which: &str) -> Result<LatencySummary, String> {
+    Ok(LatencySummary {
+        count: num(stats, which, "count")?,
+        mean_ms: num(stats, which, "mean_ms")?,
+        p50_ms: num(stats, which, "p50_ms")?,
+        p99_ms: num(stats, which, "p99_ms")?,
+        p999_ms: num(stats, which, "p999_ms")?,
+        max_ms: num(stats, which, "max_ms")?,
+    })
+}
+
+fn solve_request(workflow: &str, seed: u64) -> Json {
+    obj([
+        ("op", Json::from("solve")),
+        (
+            "workload",
+            obj([
+                ("streamit", Json::from(workflow)),
+                ("seed", Json::from(seed)),
+            ]),
+        ),
+        ("utilisation", Json::from(UTILISATION)),
+        ("seed", Json::from(seed)),
+    ])
+}
+
+/// Runs the daemon benchmark: boot, drive the suite, read `stats`, shut
+/// down, join. Errors are strings (socket failures, protocol surprises) —
+/// the caller decides whether they are soft or fatal.
+pub fn serve_bench(seed: u64) -> Result<ServeBench, String> {
+    let server = Server::bind_tcp("127.0.0.1:0", ServeConfig::default())
+        .map_err(|e| format!("bind: {e}"))?;
+    let addr = server
+        .local_addr()
+        .ok_or_else(|| "server has no local address".to_string())?;
+    let handle = std::thread::spawn(move || server.run());
+    let run = (|| -> Result<ServeBench, String> {
+        let mut client = Client::connect_tcp(addr).map_err(|e| format!("connect: {e}"))?;
+        let mut flows = Vec::with_capacity(STREAMIT_SPECS.len());
+        for spec in &STREAMIT_SPECS {
+            let req = solve_request(spec.name, seed);
+            let ask = |client: &mut Client| -> Result<(Option<f64>, bool, f64), String> {
+                let resp = client
+                    .request(&req)
+                    .map_err(|e| format!("{}: {e}", spec.name))?;
+                if let Some(err) = resp.get("error") {
+                    let kind = err.get("kind").and_then(Json::as_str).unwrap_or("?");
+                    if kind != "no_valid_mapping" {
+                        return Err(format!("{}: unexpected error kind {kind}", spec.name));
+                    }
+                    return Ok((None, false, 0.0));
+                }
+                let r = resp
+                    .get("result")
+                    .ok_or_else(|| format!("{}: response has no result", spec.name))?;
+                let energy = r.get("energy").and_then(Json::as_f64);
+                let warm = r.get("warm").and_then(Json::as_bool).unwrap_or(false);
+                let wall = r.get("wall_ms").and_then(Json::as_f64).unwrap_or(0.0);
+                Ok((energy, warm, wall))
+            };
+            let (cold_energy, cold_warm, cold_ms) = ask(&mut client)?;
+            if cold_warm {
+                return Err(format!("{}: first solve claimed to be warm", spec.name));
+            }
+            let mut warm_energy = None;
+            let mut warm_flag = false;
+            let mut warm_walls = Vec::with_capacity(WARM_ROUNDS);
+            for round in 0..WARM_ROUNDS {
+                let (energy, warm, wall) = ask(&mut client)?;
+                if round > 0 && energy != warm_energy {
+                    return Err(format!("{}: warm repeats disagree", spec.name));
+                }
+                warm_energy = energy;
+                warm_flag = warm;
+                warm_walls.push(wall);
+            }
+            flows.push(FlowServe {
+                workflow: spec.name,
+                cold_energy,
+                warm_energy,
+                warm_flag,
+                cold_ms,
+                warm_ms: median(warm_walls).unwrap_or(0.0),
+            });
+        }
+        let stats = client.stats().map_err(|e| format!("stats: {e}"))?;
+        let stats = stats
+            .get("result")
+            .cloned()
+            .ok_or_else(|| "stats response has no result".to_string())?;
+        let bench = ServeBench {
+            flows,
+            warm: summary(&stats, "warm")?,
+            cold: summary(&stats, "cold")?,
+            cache_hits: num(&stats, "cache", "hits")?,
+            cache_misses: num(&stats, "cache", "misses")?,
+            cache_evictions: num(&stats, "cache", "evictions")?,
+            cache_entries: num(&stats, "cache", "entries")?,
+            cache_bytes: num(&stats, "cache", "bytes")?,
+        };
+        client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+        Ok(bench)
+    })();
+    match handle.join() {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => return Err(format!("server exited with error: {e}")),
+        Err(_) => return Err("server thread panicked".to_string()),
+    }
+    run
+}
+
+/// Human-readable report.
+pub fn serve_bench_text(b: &ServeBench) -> String {
+    let rows: Vec<Vec<String>> = b
+        .flows
+        .iter()
+        .map(|f| {
+            vec![
+                f.workflow.to_string(),
+                f.cold_energy.map_or("fail".into(), |e| format!("{e:.4}")),
+                f.warm_energy.map_or("fail".into(), |e| format!("{e:.4}")),
+                if f.equal() { "yes" } else { "NO" }.to_string(),
+                if f.warm_flag { "yes" } else { "no" }.to_string(),
+                format!("{:.2}", f.cold_ms),
+                format!("{:.2}", f.warm_ms),
+            ]
+        })
+        .collect();
+    let mut out = fmt_table(
+        &format!(
+            "xp serve-bench — StreamIt suite through the daemon (u = {UTILISATION}, \
+             {WARM_ROUNDS} warm rounds)"
+        ),
+        &[
+            "workflow", "cold J", "warm J", "equal", "warm hit", "cold ms", "warm ms",
+        ],
+        &rows,
+    );
+    out.push_str(&format!(
+        "\nwarm == cold on {}/{} flows; warm speedup {:.2}x (cold mean {:.2} ms, warm mean {:.2} ms)\n",
+        b.warm_cold_equal(),
+        b.flows.len(),
+        b.warm_speedup(),
+        b.cold.mean_ms,
+        b.warm.mean_ms,
+    ));
+    out.push_str(&format!(
+        "cold p50/p99/p999 {:.2}/{:.2}/{:.2} ms over {} solves; warm {:.2}/{:.2}/{:.2} ms over {}\n",
+        b.cold.p50_ms,
+        b.cold.p99_ms,
+        b.cold.p999_ms,
+        b.cold.count,
+        b.warm.p50_ms,
+        b.warm.p99_ms,
+        b.warm.p999_ms,
+        b.warm.count,
+    ));
+    out.push_str(&format!(
+        "cache: {} hits, {} misses, {} evictions, {} entries / {} bytes live\n",
+        b.cache_hits, b.cache_misses, b.cache_evictions, b.cache_entries, b.cache_bytes,
+    ));
+    out
+}
+
+/// `BENCH_serve.json` payload. Energies, equality, and cache counters are
+/// deterministic (units `J`/`count` — gated); latencies and the byte
+/// figure are machine- or allocator-dependent (units `ms`/`speedup`/
+/// `bytes` — advisory or skipped by `bench-check`).
+pub fn serve_bench_json(b: &ServeBench) -> String {
+    let mut entries = Vec::new();
+    let mut push = |name: &str, value: String, unit: &str| {
+        entries.push(format!(
+            "    {{\"name\": \"{name}\", \"value\": {value}, \"unit\": \"{unit}\"}}"
+        ));
+    };
+    for f in &b.flows {
+        if let Some(e) = f.cold_energy {
+            push(&format!("serve/energy/{}", f.workflow), fmt_f64(e), "J");
+        }
+    }
+    push(
+        "serve/warm_cold_equal",
+        b.warm_cold_equal().to_string(),
+        "count",
+    );
+    push("serve/cache_hits", fmt_f64(b.cache_hits), "count");
+    push("serve/cache_misses", fmt_f64(b.cache_misses), "count");
+    push("serve/cache_evictions", fmt_f64(b.cache_evictions), "count");
+    push("serve/cache_entries", fmt_f64(b.cache_entries), "count");
+    push("serve/cache_bytes", fmt_f64(b.cache_bytes), "bytes");
+    push("serve/cold/p50", fmt_f64(b.cold.p50_ms), "ms");
+    push("serve/cold/p99", fmt_f64(b.cold.p99_ms), "ms");
+    push("serve/cold/p999", fmt_f64(b.cold.p999_ms), "ms");
+    push("serve/warm/p50", fmt_f64(b.warm.p50_ms), "ms");
+    push("serve/warm/p99", fmt_f64(b.warm.p99_ms), "ms");
+    push("serve/warm/p999", fmt_f64(b.warm.p999_ms), "ms");
+    push("serve/warm_speedup", fmt_f64(b.warm_speedup()), "speedup");
+    format!("{{\n  \"results\": [\n{}\n  ]\n}}\n", entries.join(",\n"))
+}
+
+/// Feeds serve metrics into `bench-check`'s fresh map (same names as
+/// [`serve_bench_json`]). Latency metrics are included — the checker
+/// classifies them advisory by their `ms`/`speedup` units. The byte
+/// figure is deliberately *omitted*: `Vec` capacities vary with allocator
+/// behaviour, and a metric with no fresh value stays skipped.
+pub fn fresh_serve_metrics(b: &ServeBench, fresh: &mut HashMap<String, f64>) {
+    for f in &b.flows {
+        if let Some(e) = f.cold_energy {
+            fresh.insert(format!("serve/energy/{}", f.workflow), e);
+        }
+    }
+    fresh.insert("serve/warm_cold_equal".into(), b.warm_cold_equal() as f64);
+    fresh.insert("serve/cache_hits".into(), b.cache_hits);
+    fresh.insert("serve/cache_misses".into(), b.cache_misses);
+    fresh.insert("serve/cache_evictions".into(), b.cache_evictions);
+    fresh.insert("serve/cache_entries".into(), b.cache_entries);
+    fresh.insert("serve/cold/p50".into(), b.cold.p50_ms);
+    fresh.insert("serve/cold/p99".into(), b.cold.p99_ms);
+    fresh.insert("serve/cold/p999".into(), b.cold.p999_ms);
+    fresh.insert("serve/warm/p50".into(), b.warm.p50_ms);
+    fresh.insert("serve/warm/p99".into(), b.warm.p99_ms);
+    fresh.insert("serve/warm/p999".into(), b.warm.p999_ms);
+    fresh.insert("serve/warm_speedup".into(), b.warm_speedup());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_wellformed() {
+        let b = ServeBench {
+            flows: vec![FlowServe {
+                workflow: "Beamformer",
+                cold_energy: Some(1.5),
+                warm_energy: Some(1.5),
+                warm_flag: true,
+                cold_ms: 2.0,
+                warm_ms: 1.0,
+            }],
+            warm: LatencySummary {
+                count: 3.0,
+                mean_ms: 1.0,
+                ..Default::default()
+            },
+            cold: LatencySummary {
+                count: 1.0,
+                mean_ms: 2.0,
+                ..Default::default()
+            },
+            cache_hits: 9.0,
+            cache_misses: 3.0,
+            cache_evictions: 0.0,
+            cache_entries: 3.0,
+            cache_bytes: 1024.0,
+        };
+        let text = serve_bench_json(&b);
+        let parsed = Json::parse(&text).expect("serve bench json must parse");
+        let results = parsed
+            .get("results")
+            .and_then(Json::as_arr)
+            .expect("results array");
+        assert!(results
+            .iter()
+            .any(|r| r.get("name").and_then(Json::as_str) == Some("serve/energy/Beamformer")));
+        assert!((b.warm_speedup() - 2.0).abs() < 1e-12);
+        assert_eq!(b.warm_cold_equal(), 1);
+        let mut fresh = HashMap::new();
+        fresh_serve_metrics(&b, &mut fresh);
+        assert_eq!(fresh["serve/warm_cold_equal"], 1.0);
+        assert_eq!(fresh["serve/energy/Beamformer"], 1.5);
+    }
+}

@@ -27,8 +27,8 @@ use ea_core::{Instance, Solver};
 use spg::generate::families::{FamilyKind, FamilyParams, WorkloadSpec};
 use spg::{streamit_workflow, Spg, STREAMIT_SPECS};
 
-use crate::json::fmt_f64;
 use crate::report::{fmt_table, median};
+use ea_core::json::fmt_f64;
 
 /// Points in the StreamIt decade benchmark sweep. Fixed — the committed
 /// `BENCH_sweep.json` metrics are defined at this resolution, and the

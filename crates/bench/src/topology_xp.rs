@@ -149,8 +149,8 @@ pub fn topology_campaign(
 /// those is the re-baselining script's job (see README), not this
 /// function's.
 pub fn topology_bench_json(campaign: &TopologyCampaign) -> String {
-    use crate::json::fmt_f64;
     use crate::report::median;
+    use ea_core::json::fmt_f64;
 
     let mut entries = Vec::new();
     let mut workflow_energies: Vec<Vec<(String, f64)>> = Vec::new();

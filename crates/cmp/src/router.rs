@@ -330,6 +330,14 @@ impl RouteTable {
         }
     }
 
+    /// Approximate resident size in bytes (offset and link arrays) —
+    /// input to byte-bounded artifact-cache accounting.
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.offsets.capacity() * std::mem::size_of::<u32>()
+            + self.links.capacity() * std::mem::size_of::<u32>()
+    }
+
     /// The policy the table was built for.
     #[inline]
     pub fn policy(&self) -> RoutePolicy {

@@ -220,6 +220,21 @@ impl TransitionSkeleton {
         self.blocks.len()
     }
 
+    /// Approximate resident size in bytes (all per-block and
+    /// per-transition arrays, including the transposed index) — input to
+    /// byte-bounded artifact-cache accounting.
+    pub fn size_bytes(&self) -> usize {
+        use std::mem::size_of;
+        size_of::<Self>()
+            + self.blocks.capacity() * size_of::<SkeletonBlock>()
+            + self.to.capacity() * size_of::<IdealId>()
+            + self.work.capacity() * size_of::<f64>()
+            + self.in_off.capacity() * size_of::<u32>()
+            + self.in_idx.capacity() * size_of::<u32>()
+            + self.in_block.capacity() * size_of::<u32>()
+            + self.level_off.capacity() * size_of::<u32>()
+    }
+
     /// Largest cluster stage count over all transitions.
     pub fn max_cluster_stages(&self) -> u32 {
         self.max_stages

@@ -47,6 +47,15 @@ pub struct SharedLattice {
     pub cuts: Vec<f64>,
 }
 
+impl SharedLattice {
+    /// Approximate resident size in bytes (interned lattice plus cut
+    /// volumes) — input to byte-bounded artifact-cache accounting.
+    pub fn size_bytes(&self) -> usize {
+        // `lattice.size_bytes()` already counts the lattice struct header.
+        self.lattice.size_bytes() + self.cuts.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
 /// Cached lattice state: the cap the last enumeration ran with, and its
 /// outcome. A success with `len ≤ cap'` answers any request with cap ≥ len;
 /// a `LimitExceeded` at cap `c` answers any request with cap ≤ `c`.
@@ -282,6 +291,55 @@ impl Instance {
         evaluate_with(&self.spg, &self.pf, mapping, self.period, table.as_deref())
     }
 
+    /// Peeks at the cached lattice without computing it: the successful
+    /// enumeration cached on this session, if any. The `serve` artifact
+    /// cache harvests warm artifacts through this after a solve.
+    pub fn cached_lattice(&self) -> Option<Arc<SharedLattice>> {
+        let slot = self.derived.lattice.lock().unwrap();
+        slot.as_ref()
+            .and_then(|(_, res)| res.as_ref().ok().cloned())
+    }
+
+    /// Peeks at the cached transition skeleton without building it.
+    pub fn cached_skeleton(&self) -> Option<Arc<TransitionSkeleton>> {
+        let slot = self.derived.skeleton.lock().unwrap();
+        slot.as_ref()
+            .and_then(|(_, res)| res.as_ref().ok().cloned())
+    }
+
+    /// Peeks at the cached route table for one policy without building it.
+    pub fn cached_route_table(&self, policy: RoutePolicy) -> Option<Arc<RouteTable>> {
+        self.derived.route_tables[policy.index()].get().cloned()
+    }
+
+    /// Seeds the lattice cache with an artifact computed on a previous
+    /// session over content-identical inputs (the `serve` daemon's warm
+    /// path). First write wins: an already-populated slot is left alone.
+    /// The seeded success answers any cap `>= lattice.len()` exactly like
+    /// a fresh enumeration would, so solves stay bit-identical.
+    pub fn seed_lattice(&self, shared: Arc<SharedLattice>) {
+        let mut slot = self.derived.lattice.lock().unwrap();
+        if slot.is_none() {
+            let len = shared.lattice.len();
+            *slot = Some((len, Ok(shared)));
+        }
+    }
+
+    /// Seeds the skeleton cache (see [`Instance::seed_lattice`]; a cached
+    /// success serves any edge cap, so the recorded cap is immaterial).
+    pub fn seed_skeleton(&self, skeleton: Arc<TransitionSkeleton>) {
+        let mut slot = self.derived.skeleton.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some((0, Ok(skeleton)));
+        }
+    }
+
+    /// Seeds the route-table cache for one policy (see
+    /// [`Instance::seed_lattice`]; first write wins).
+    pub fn seed_route_table(&self, policy: RoutePolicy, table: Arc<RouteTable>) {
+        let _ = self.derived.route_tables[policy.index()].set(table);
+    }
+
     /// The snake embedding of the grid: `snake_order()[k]` is the physical
     /// core at snake position `k`.
     pub fn snake_order(&self) -> &[CoreId] {
@@ -405,6 +463,56 @@ mod tests {
         assert!((light.period() - 4e8 / (0.5 * 4.0 * fmax)).abs() < 1e-12);
         // 10x the work at the same utilisation => 10x the period.
         assert!((heavy.period() / light.period() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peek_and_seed_roundtrip() {
+        let g = chain(&[1e6; 6], &[1e3; 5]);
+        let donor = Instance::new(g.clone(), Platform::paper(2, 2), 1.0);
+        assert!(donor.cached_lattice().is_none(), "peek must not compute");
+        let lat = donor.lattice(10_000).unwrap();
+        let table = donor.route_table(RoutePolicy::Xy);
+        assert!(Arc::ptr_eq(&donor.cached_lattice().unwrap(), &lat));
+        assert!(Arc::ptr_eq(
+            &donor.cached_route_table(RoutePolicy::Xy).unwrap(),
+            &table
+        ));
+        assert!(donor.cached_route_table(RoutePolicy::Yx).is_none());
+
+        // A fresh instance over content-identical inputs, seeded from the
+        // donor, answers from the seeded artifacts without recomputing.
+        let warm = Instance::new(g, Platform::paper(2, 2), 0.5);
+        warm.seed_lattice(Arc::clone(&lat));
+        warm.seed_route_table(RoutePolicy::Xy, Arc::clone(&table));
+        assert!(Arc::ptr_eq(&warm.lattice(10_000).unwrap(), &lat));
+        assert!(Arc::ptr_eq(&warm.route_table(RoutePolicy::Xy), &table));
+        // Cap semantics survive seeding: an under-cap request still fails.
+        assert!(matches!(
+            warm.lattice(2),
+            Err(IdealError::LimitExceeded { cap: 2, found: 7 })
+        ));
+        // First write wins: seeding over a populated slot is a no-op.
+        let other = Instance::new(chain(&[1e6; 6], &[1e3; 5]), Platform::paper(2, 2), 1.0)
+            .lattice(10_000)
+            .unwrap();
+        warm.seed_lattice(other);
+        assert!(Arc::ptr_eq(&warm.lattice(10_000).unwrap(), &lat));
+    }
+
+    #[test]
+    fn seeded_skeleton_short_circuits_build() {
+        let g = chain(&[1e6; 6], &[1e3; 5]);
+        let cfg = crate::dpa1d::Dpa1dConfig::default();
+        let donor = Instance::new(g.clone(), Platform::paper(2, 2), 1.0);
+        let sk = donor.transition_skeleton(&cfg).unwrap().unwrap();
+        assert!(Arc::ptr_eq(&donor.cached_skeleton().unwrap(), &sk));
+        assert!(sk.size_bytes() > 0);
+
+        let warm = Instance::new(g, Platform::paper(2, 2), 1.0);
+        assert!(warm.cached_skeleton().is_none());
+        warm.seed_skeleton(Arc::clone(&sk));
+        let served = warm.transition_skeleton(&cfg).unwrap().unwrap();
+        assert!(Arc::ptr_eq(&served, &sk), "seed must serve the build");
     }
 
     #[test]

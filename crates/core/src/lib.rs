@@ -51,9 +51,11 @@ pub mod dpa2d1d;
 pub mod exact;
 pub mod greedy;
 pub mod instance;
+pub mod json;
 pub mod portfolio;
 pub mod random;
 pub mod refine;
+pub mod serve;
 pub mod solver;
 pub mod solvers;
 pub mod sweep;
@@ -65,6 +67,7 @@ pub use greedy::greedy_opts;
 pub use instance::{Instance, SharedLattice};
 pub use portfolio::{Portfolio, PortfolioReport, Race, SolverRun};
 pub use refine::{refine, refine_with, RefineConfig};
+pub use serve::{ServeConfig, Server, Service};
 pub use solver::{SolveCtx, Solver, SolverRegistry};
 pub use sweep::{PeriodSweep, SolveOutcome, SweepAxis, SweepPoint, SweepReport};
 

@@ -1,0 +1,102 @@
+//! A blocking client for the serve protocol.
+//!
+//! One connection, one request in flight: the protocol is strictly
+//! request/response, so the client is a thin frame pump plus typed
+//! helpers. Applications needing pipelining open more connections — the
+//! daemon serves each on its own thread while solver work multiplexes
+//! onto the shared rayon pool.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+#[cfg(unix)]
+use std::path::Path;
+
+use crate::json::{obj, Json};
+
+use super::protocol::{read_frame, write_frame};
+
+enum StreamKind {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Read for StreamKind {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            StreamKind::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            StreamKind::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for StreamKind {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            StreamKind::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            StreamKind::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            StreamKind::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            StreamKind::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A connected serve-protocol client.
+pub struct Client {
+    stream: StreamKind,
+}
+
+impl Client {
+    /// Connects over TCP.
+    pub fn connect_tcp<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        Ok(Client {
+            stream: StreamKind::Tcp(TcpStream::connect(addr)?),
+        })
+    }
+
+    /// Connects over a Unix socket.
+    #[cfg(unix)]
+    pub fn connect_unix(path: &Path) -> io::Result<Client> {
+        Ok(Client {
+            stream: StreamKind::Unix(UnixStream::connect(path)?),
+        })
+    }
+
+    /// Sends one request frame and blocks for its response frame. A
+    /// server that hangs up before responding surfaces as
+    /// [`io::ErrorKind::UnexpectedEof`].
+    pub fn request(&mut self, msg: &Json) -> io::Result<Json> {
+        write_frame(&mut self.stream, msg)?;
+        read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            )
+        })
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> io::Result<Json> {
+        self.request(&obj([("op", Json::from("ping"))]))
+    }
+
+    /// Counter/histogram snapshot.
+    pub fn stats(&mut self) -> io::Result<Json> {
+        self.request(&obj([("op", Json::from("stats"))]))
+    }
+
+    /// Asks the daemon to stop accepting, drain, and exit.
+    pub fn shutdown(&mut self) -> io::Result<Json> {
+        self.request(&obj([("op", Json::from("shutdown"))]))
+    }
+}

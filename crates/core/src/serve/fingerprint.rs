@@ -1,0 +1,159 @@
+//! Content fingerprints for cache keys.
+//!
+//! The artifact cache (see [`super::cache`]) must key derived state by the
+//! *content* that determines it, not by how a request happened to spell the
+//! workload: two requests naming the same StreamIt workflow — or sending
+//! the same chain inline — must land on the same cache line. The
+//! fingerprint therefore hashes the canonical byte image of the data the
+//! artifact depends on:
+//!
+//! * a **workload** fingerprint covers stage count, weights, labels and
+//!   edges (the ideal lattice and cut volumes depend on nothing else);
+//! * a **platform** fingerprint covers the grid shape, topology, routing
+//!   policy, link parameters and the full DVFS table (route tables and the
+//!   transition skeleton depend on these).
+//!
+//! FNV-1a is used deliberately: it is dependency-free, byte-order stable,
+//! and collisions between the handful of artifacts a daemon holds are
+//! astronomically unlikely (and harmless to energy correctness only if
+//! absent — hence 64 bits, not 32). Floats are hashed by IEEE-754 bit
+//! pattern, so `-0.0 != 0.0` and every NaN payload is distinct; request
+//! decoding never produces non-finite values (the JSON layer rejects
+//! them), so this is exact equality on everything reachable.
+
+use cmp_platform::Platform;
+use spg::Spg;
+
+/// Incremental FNV-1a (64-bit) over a canonical byte stream.
+#[derive(Debug, Clone)]
+pub struct Fingerprint(u64);
+
+impl Fingerprint {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fingerprint(Self::OFFSET)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(Self::PRIME);
+        }
+        self
+    }
+
+    /// Absorbs a `u64` in little-endian byte order.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Absorbs an `f64` by IEEE-754 bit pattern.
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.u64(v.to_bits())
+    }
+
+    /// Absorbs a length-prefixed string (prefixing prevents ambiguity
+    /// between `("ab", "c")` and `("a", "bc")`).
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.u64(s.len() as u64).bytes(s.as_bytes())
+    }
+
+    /// The digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint::new()
+    }
+}
+
+/// Fingerprint of everything the ideal lattice and cut volumes depend on:
+/// stage count, weights, labels, and edges with volumes.
+pub fn workload_fingerprint(g: &Spg) -> u64 {
+    let mut h = Fingerprint::new();
+    h.u64(g.n() as u64);
+    for &w in g.weights() {
+        h.f64(w);
+    }
+    for l in g.labels() {
+        h.u64(l.x as u64).u64(l.y as u64);
+    }
+    h.u64(g.n_edges() as u64);
+    for e in g.edges() {
+        h.u64(e.src.0 as u64).u64(e.dst.0 as u64).f64(e.volume);
+    }
+    h.finish()
+}
+
+/// Fingerprint of everything route tables and the transition skeleton
+/// depend on: grid shape, topology, routing policy, link parameters, and
+/// the full DVFS table.
+pub fn platform_fingerprint(pf: &Platform) -> u64 {
+    let mut h = Fingerprint::new();
+    h.u64(pf.p as u64)
+        .u64(pf.q as u64)
+        .str(pf.topology.name())
+        .u64(pf.policy.index() as u64)
+        .f64(pf.bw)
+        .f64(pf.e_bit)
+        .f64(pf.p_leak_comm)
+        .f64(pf.power.p_leak);
+    for s in pf.power.speeds() {
+        h.f64(s.freq).f64(s.power);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmp_platform::{RoutePolicy, TopologyKind};
+
+    #[test]
+    fn same_content_same_fingerprint() {
+        let a = spg::streamit::streamit_suite(2011);
+        let b = spg::streamit::streamit_suite(2011);
+        for ((sa, ga), (sb, gb)) in a.iter().zip(&b) {
+            assert_eq!(sa.name, sb.name);
+            assert_eq!(
+                workload_fingerprint(ga),
+                workload_fingerprint(gb),
+                "{} must fingerprint identically across instantiations",
+                sa.name
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_workloads_distinct_fingerprints() {
+        let suite = spg::streamit::streamit_suite(2011);
+        let fps: std::collections::HashSet<u64> =
+            suite.iter().map(|(_, g)| workload_fingerprint(g)).collect();
+        assert_eq!(fps.len(), suite.len(), "12 workflows, 12 fingerprints");
+        // Weight perturbation changes the fingerprint.
+        let (_, g) = &suite[0];
+        let mut g2 = g.clone();
+        let mut w = g2.weights().to_vec();
+        w[1] += 1.0;
+        g2.set_weights(w);
+        assert_ne!(workload_fingerprint(g), workload_fingerprint(&g2));
+    }
+
+    #[test]
+    fn platform_fingerprint_covers_policy_and_topology() {
+        let base = Platform::paper(4, 4);
+        let snake = base.clone().with_policy(RoutePolicy::Snake);
+        let torus = Platform::paper_topology(TopologyKind::Torus, 4, 4);
+        let fp = platform_fingerprint(&base);
+        assert_eq!(fp, platform_fingerprint(&Platform::paper(4, 4)));
+        assert_ne!(fp, platform_fingerprint(&snake));
+        assert_ne!(fp, platform_fingerprint(&torus));
+        assert_ne!(fp, platform_fingerprint(&Platform::paper(2, 8)));
+    }
+}

@@ -1,0 +1,179 @@
+//! Log-bucketed latency histogram for the daemon's `stats` endpoint.
+//!
+//! Request latencies span five orders of magnitude (a warm ping is
+//! microseconds, a cold `DPA1D` solve on Filterbank is tens of
+//! milliseconds), so a linear histogram would either blur the fast end or
+//! explode in buckets. This histogram keeps 16 sub-buckets per power of
+//! two — ≤ 6.25 % relative quantisation error — in a flat `Vec<u64>`,
+//! recording in O(1) with no allocation. Percentile queries return the
+//! *lower edge* of the bucket holding the requested rank, which makes
+//! reported p50/p99/p999 deterministic for a given multiset of samples
+//! regardless of arrival order.
+
+/// Sub-buckets per octave; 16 keeps relative error under 1/16.
+const SUB: u64 = 16;
+/// log2(SUB): values below `SUB` get exact unit buckets.
+const SUB_BITS: u32 = 4;
+/// Bucket count covering the full `u64` range.
+const BUCKETS: usize = (SUB as usize) + (64 - SUB_BITS as usize) * SUB as usize;
+
+/// Flat bucket index of a sample. Values `< 16` map exactly; larger values
+/// map to octave `o = floor(log2 v)` and sub-bucket `(v >> (o-4)) & 15`,
+/// which tiles `[16, u64::MAX]` without gaps.
+fn bucket_of(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros();
+    let sub = (v >> (octave - SUB_BITS)) & (SUB - 1);
+    (SUB as usize) + ((octave - SUB_BITS) as usize) * SUB as usize + sub as usize
+}
+
+/// Lower edge (smallest sample value) of a bucket — the value percentile
+/// queries report.
+fn bucket_floor(b: usize) -> u64 {
+    if b < SUB as usize {
+        return b as u64;
+    }
+    let rel = b - SUB as usize;
+    let octave = (rel / SUB as usize) as u32 + SUB_BITS;
+    let sub = (rel % SUB as usize) as u64;
+    (1u64 << octave) + (sub << (octave - SUB_BITS))
+}
+
+/// A latency histogram over `u64` samples (the daemon records
+/// nanoseconds).
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.total += 1;
+        self.sum += v as u128;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recorded sample (exact, not bucketised).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded samples, 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), reported as the lower edge of
+    /// the bucket containing the sample of rank `ceil(q · count)`.
+    /// Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_floor(b);
+            }
+        }
+        bucket_floor(BUCKETS - 1)
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_tile_without_gaps() {
+        // Every bucket's floor maps back to that bucket, and floors are
+        // strictly increasing.
+        let mut prev = None;
+        for b in 0..BUCKETS {
+            let f = bucket_floor(b);
+            assert_eq!(bucket_of(f), b, "floor of bucket {b} maps back");
+            if let Some(p) = prev {
+                assert!(f > p, "floors strictly increase at bucket {b}");
+            }
+            prev = Some(f);
+        }
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in [3u64, 3, 7, 15] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.5), 3);
+        assert_eq!(h.percentile(1.0), 15);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn percentiles_are_order_independent_and_monotone() {
+        let samples: Vec<u64> = (0..1000).map(|i| (i * 2654435761u64) % 5_000_000).collect();
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for &s in &samples {
+            a.record(s);
+        }
+        for &s in samples.iter().rev() {
+            b.record(s);
+        }
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(a.percentile(q), b.percentile(q));
+        }
+        assert!(a.percentile(0.5) <= a.percentile(0.99));
+        assert!(a.percentile(0.99) <= a.percentile(0.999));
+        assert!(a.percentile(0.999) <= a.max());
+        // Bucketisation error is bounded by 1/16 of the value.
+        let exact_max: u64 = *samples.iter().max().unwrap();
+        let p100 = a.percentile(1.0);
+        assert!(p100 <= exact_max && exact_max - p100 <= exact_max / 16 + 1);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

@@ -1,0 +1,555 @@
+//! The wire protocol: length-prefixed JSON frames and request decoding.
+//!
+//! A frame is a 4-byte **big-endian** `u32` payload length followed by
+//! that many bytes of UTF-8 JSON (the dependency-free [`crate::json`]
+//! dialect — no NaN/Infinity, objects with string keys). Length-prefixing
+//! over a byte stream avoids any in-band delimiter scanning and makes torn
+//! frames (a peer dying mid-write) a *detected error* rather than a parse
+//! ambiguity: a clean EOF is only clean on a frame boundary.
+//!
+//! Every request is one JSON object with an `"op"` field; every response
+//! is `{"ok": true, "result": …}` or `{"ok": false, "error": {"kind": …,
+//! "message": …}}`. The full grammar is documented in
+//! `docs/serve-protocol.md`.
+
+use std::io::{self, Read, Write};
+use std::str::FromStr;
+
+use cmp_platform::{Platform, RoutePolicy, TopologyKind};
+use spg::generate::families::{FamilyKind, FamilyParams, WorkloadSpec};
+use spg::{Spg, STREAMIT_SPECS};
+
+use crate::common::Failure;
+use crate::json::{obj, Json};
+
+/// Hard cap on a frame payload; anything larger is a protocol error, not a
+/// memory commitment.
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// Writes one frame (length prefix + serialized JSON) and flushes.
+pub fn write_frame<W: Write>(w: &mut W, msg: &Json) -> io::Result<()> {
+    let body = msg.to_string();
+    if body.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "frame of {} bytes exceeds the {MAX_FRAME_BYTES}-byte cap",
+                body.len()
+            ),
+        ));
+    }
+    w.write_all(&(body.len() as u32).to_be_bytes())?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` means the peer closed the stream cleanly
+/// *on a frame boundary*; EOF anywhere else is a torn frame and surfaces
+/// as [`io::ErrorKind::UnexpectedEof`]. Oversized lengths and invalid
+/// JSON surface as [`io::ErrorKind::InvalidData`]. Read timeouts
+/// (`WouldBlock` / `TimedOut`) pass through untouched so callers can poll
+/// a shutdown flag between attempts.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Json>> {
+    let mut len_buf = [0u8; 4];
+    // First byte decides clean-EOF vs torn frame.
+    match r.read(&mut len_buf[..1]) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) => return Err(e),
+    }
+    r.read_exact(&mut len_buf[1..])?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    let text = std::str::from_utf8(&body).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame is not UTF-8: {e}"),
+        )
+    })?;
+    Json::parse(text).map(Some).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame is not valid JSON: {e}"),
+        )
+    })
+}
+
+/// How a request names its workload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadReq {
+    /// One of the 12 Table-1 StreamIt workflows, by name
+    /// (case-insensitive), instantiated at a seed.
+    Streamit {
+        /// Workflow name as printed in Table 1 (e.g. `"Beamformer"`).
+        name: String,
+        /// Instantiation seed (the suite default is 2011).
+        seed: u64,
+    },
+    /// A synthetic family member (`spg::generate`).
+    Family {
+        /// Which family.
+        family: FamilyKind,
+        /// Exact stage count.
+        n: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// An inline pipeline: `weights.len()` stages, `weights.len() - 1`
+    /// edges.
+    Chain {
+        /// Stage weights in cycles per data set.
+        weights: Vec<f64>,
+        /// Edge volumes in bytes per data set.
+        volumes: Vec<f64>,
+    },
+}
+
+impl WorkloadReq {
+    /// Decodes the `"workload"` member of a request.
+    pub fn from_json(v: &Json) -> Result<WorkloadReq, String> {
+        if let Some(name) = v.get("streamit").and_then(Json::as_str) {
+            let seed = opt_u64(v, "seed")?.unwrap_or(2011);
+            return Ok(WorkloadReq::Streamit {
+                name: name.to_string(),
+                seed,
+            });
+        }
+        if let Some(fam) = v.get("family").and_then(Json::as_str) {
+            let family = FamilyKind::from_str(fam)?;
+            let n = req_u64(v, "n")? as usize;
+            let seed = opt_u64(v, "seed")?.unwrap_or(0);
+            if n < 2 {
+                return Err(format!("family workloads need n >= 2, got {n}"));
+            }
+            return Ok(WorkloadReq::Family { family, n, seed });
+        }
+        if let Some(c) = v.get("chain") {
+            let weights = f64_array(c, "weights")?;
+            let volumes = f64_array(c, "volumes")?;
+            if weights.is_empty() || volumes.len() + 1 != weights.len() {
+                return Err(format!(
+                    "a chain of {} stages needs exactly {} volumes, got {}",
+                    weights.len(),
+                    weights.len().saturating_sub(1),
+                    volumes.len()
+                ));
+            }
+            return Ok(WorkloadReq::Chain { weights, volumes });
+        }
+        Err("workload must name one of \"streamit\", \"family\", or \"chain\"".to_string())
+    }
+
+    /// Builds the SPG. Deterministic: the same request always produces the
+    /// same graph (and therefore the same fingerprint).
+    pub fn instantiate(&self) -> Result<Spg, String> {
+        match self {
+            WorkloadReq::Streamit { name, seed } => {
+                let spec = STREAMIT_SPECS
+                    .iter()
+                    .find(|s| s.name.eq_ignore_ascii_case(name))
+                    .ok_or_else(|| format!("unknown StreamIt workflow '{name}'"))?;
+                Ok(spg::streamit::streamit_workflow(spec, *seed))
+            }
+            WorkloadReq::Family { family, n, seed } => {
+                Ok(WorkloadSpec::new(*family, FamilyParams::sized(*n), *seed).instantiate())
+            }
+            WorkloadReq::Chain { weights, volumes } => Ok(spg::chain(weights, volumes)),
+        }
+    }
+
+    /// Short human-readable tag (logs, responses).
+    pub fn describe(&self) -> String {
+        match self {
+            WorkloadReq::Streamit { name, .. } => format!("streamit:{name}"),
+            WorkloadReq::Family { family, n, seed } => {
+                format!("{}:n{n}:s{seed}", family.name())
+            }
+            WorkloadReq::Chain { weights, .. } => format!("chain:n{}", weights.len()),
+        }
+    }
+}
+
+/// The `"platform"` member of a request. Absent fields default to the
+/// paper's 4×4 mesh with XY routing.
+pub fn platform_from_json(v: Option<&Json>) -> Result<Platform, String> {
+    let Some(v) = v else {
+        return Ok(Platform::paper(4, 4));
+    };
+    let p = opt_u64(v, "p")?.unwrap_or(4) as u32;
+    let q = opt_u64(v, "q")?.unwrap_or(4) as u32;
+    if p == 0 || q == 0 {
+        return Err("platform dimensions must be positive".to_string());
+    }
+    let topology = match v.get("topology").and_then(Json::as_str) {
+        Some(s) => TopologyKind::from_str(s)?,
+        None => TopologyKind::Mesh,
+    };
+    let mut pf = Platform::paper_topology(topology, p, q);
+    if let Some(s) = v.get("routing").and_then(Json::as_str) {
+        pf = pf.with_policy(RoutePolicy::from_str(s)?);
+    }
+    Ok(pf)
+}
+
+/// The period bound: explicit seconds, or a platform utilisation in
+/// `(0, 1]` resolved to `T = W / (u · p·q · f_max)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PeriodReq {
+    /// Explicit period bound in seconds.
+    Period(f64),
+    /// Platform utilisation in `(0, 1]`.
+    Utilisation(f64),
+}
+
+impl PeriodReq {
+    /// Decodes the `"period"` / `"utilisation"` members (exactly one must
+    /// be present and positive).
+    pub fn from_json(v: &Json) -> Result<PeriodReq, String> {
+        match (
+            v.get("period").and_then(Json::as_f64),
+            v.get("utilisation").and_then(Json::as_f64),
+        ) {
+            (Some(t), None) if t > 0.0 => Ok(PeriodReq::Period(t)),
+            (None, Some(u)) if u > 0.0 && u <= 1.0 => Ok(PeriodReq::Utilisation(u)),
+            (Some(_), Some(_)) => Err("give either \"period\" or \"utilisation\", not both".into()),
+            (Some(_), None) => Err("\"period\" must be positive".into()),
+            (None, Some(_)) => Err("\"utilisation\" must be in (0, 1]".into()),
+            (None, None) => Err("a solve needs a \"period\" or a \"utilisation\"".into()),
+        }
+    }
+}
+
+/// A decoded `solve` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveReq {
+    /// The workload.
+    pub workload: WorkloadReq,
+    /// The platform.
+    pub platform: Platform,
+    /// The period bound.
+    pub period: PeriodReq,
+    /// Solver list as a registry CSV (`None` = the paper's five
+    /// heuristics).
+    pub solvers: Option<String>,
+    /// Portfolio base seed.
+    pub seed: Option<u64>,
+    /// Per-request wall-clock budget override in milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+/// A decoded `sweep` request: a `solve` at every grid value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReq {
+    /// The workload.
+    pub workload: WorkloadReq,
+    /// The platform.
+    pub platform: Platform,
+    /// `"period"` or `"utilisation"`: what `values` enumerates.
+    pub over_utilisation: bool,
+    /// The grid values.
+    pub values: Vec<f64>,
+    /// Solver CSV (`None` = heuristics).
+    pub solvers: Option<String>,
+    /// Sweep base seed.
+    pub seed: Option<u64>,
+    /// Per-request wall-clock budget override in milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+/// One decoded request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Counter/histogram snapshot.
+    Stats,
+    /// Stop accepting, drain in-flight work, exit.
+    Shutdown,
+    /// One portfolio solve.
+    Solve(SolveReq),
+    /// A period/utilisation sweep.
+    Sweep(SweepReq),
+}
+
+/// Decodes a request frame. All errors are `bad_request` material: the
+/// message is safe (and meant) to echo back to the client.
+pub fn parse_request(v: &Json) -> Result<Request, String> {
+    let op = v
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("request must carry a string \"op\"")?;
+    match op {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "solve" => {
+            let workload =
+                WorkloadReq::from_json(v.get("workload").ok_or("solve needs a \"workload\"")?)?;
+            Ok(Request::Solve(SolveReq {
+                workload,
+                platform: platform_from_json(v.get("platform"))?,
+                period: PeriodReq::from_json(v)?,
+                solvers: v.get("solvers").and_then(Json::as_str).map(String::from),
+                seed: opt_u64(v, "seed")?,
+                deadline_ms: opt_u64(v, "deadline_ms")?,
+            }))
+        }
+        "sweep" => {
+            let workload =
+                WorkloadReq::from_json(v.get("workload").ok_or("sweep needs a \"workload\"")?)?;
+            let over_utilisation = match v.get("axis").and_then(Json::as_str) {
+                Some("utilisation") | None => true,
+                Some("period") => false,
+                Some(other) => {
+                    return Err(format!(
+                        "unknown axis '{other}' (expected \"period\" or \"utilisation\")"
+                    ))
+                }
+            };
+            let values = f64_array(v, "values")?;
+            if values.is_empty() {
+                return Err("sweep needs at least one grid value".to_string());
+            }
+            if values
+                .iter()
+                .any(|&x| x <= 0.0 || (over_utilisation && x > 1.0))
+            {
+                return Err("sweep values must be positive (and <= 1 for utilisation)".to_string());
+            }
+            Ok(Request::Sweep(SweepReq {
+                workload,
+                platform: platform_from_json(v.get("platform"))?,
+                over_utilisation,
+                values,
+                solvers: v.get("solvers").and_then(Json::as_str).map(String::from),
+                seed: opt_u64(v, "seed")?,
+                deadline_ms: opt_u64(v, "deadline_ms")?,
+            }))
+        }
+        other => Err(format!(
+            "unknown op '{other}' (expected ping, stats, shutdown, solve, or sweep)"
+        )),
+    }
+}
+
+/// Wraps a result payload as a success frame.
+pub fn ok_response(result: Json) -> Json {
+    obj([("ok", Json::from(true)), ("result", result)])
+}
+
+/// Builds an error frame with a stable `kind` tag.
+pub fn error_response(kind: &str, message: &str) -> Json {
+    obj([
+        ("ok", Json::from(false)),
+        (
+            "error",
+            obj([("kind", Json::from(kind)), ("message", Json::from(message))]),
+        ),
+    ])
+}
+
+/// Maps a solver [`Failure`] to its structured error frame. Budget
+/// exhaustion keeps its phase/cap/count telemetry so clients can
+/// distinguish a deadline miss from a complexity cap.
+pub fn failure_response(f: &Failure) -> Json {
+    match f {
+        Failure::TooExpensive(b) => obj([
+            ("ok", Json::from(false)),
+            (
+                "error",
+                obj([
+                    ("kind", Json::from("too_expensive")),
+                    ("message", Json::from(f.to_string())),
+                    ("phase", Json::from(b.phase.name())),
+                    ("cap", Json::from(b.cap)),
+                    ("count", Json::from(b.count)),
+                ]),
+            ),
+        ]),
+        other => obj([
+            ("ok", Json::from(false)),
+            (
+                "error",
+                obj([
+                    ("kind", Json::from("no_valid_mapping")),
+                    ("message", Json::from(other.to_string())),
+                ]),
+            ),
+        ]),
+    }
+}
+
+fn opt_u64(v: &Json, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(j) => match j.as_f64() {
+            Some(x) if x >= 0.0 && x.fract() == 0.0 && x <= u64::MAX as f64 => Ok(Some(x as u64)),
+            _ => Err(format!("\"{key}\" must be a non-negative integer")),
+        },
+    }
+}
+
+fn req_u64(v: &Json, key: &str) -> Result<u64, String> {
+    opt_u64(v, key)?.ok_or_else(|| format!("missing required field \"{key}\""))
+}
+
+fn f64_array(v: &Json, key: &str) -> Result<Vec<f64>, String> {
+    let arr = v
+        .get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("\"{key}\" must be an array of numbers"))?;
+    arr.iter()
+        .map(|x| {
+            x.as_f64()
+                .ok_or_else(|| format!("\"{key}\" must contain only numbers"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(text: &str) -> Result<Request, String> {
+        parse_request(&Json::parse(text).unwrap())
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let msg = obj([("op", Json::from("ping")), ("x", Json::from(1.5))]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg).unwrap();
+        write_frame(&mut buf, &Json::from("second")).unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap(), Some(msg));
+        assert_eq!(read_frame(&mut r).unwrap(), Some(Json::from("second")));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF on boundary");
+    }
+
+    #[test]
+    fn torn_frames_are_detected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Json::from("payload")).unwrap();
+        for cut in 1..buf.len() {
+            let err = read_frame(&mut Cursor::new(&buf[..cut])).unwrap_err();
+            assert_eq!(
+                err.kind(),
+                io::ErrorKind::UnexpectedEof,
+                "truncation at byte {cut} must be a torn frame"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_and_garbage_frames_are_invalid_data() {
+        let mut buf = Vec::from((MAX_FRAME_BYTES as u32 + 1).to_be_bytes());
+        buf.extend_from_slice(b"xxxx");
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&4u32.to_be_bytes());
+        buf.extend_from_slice(b"{{{{");
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn parses_solve_request() {
+        let req = parse(
+            r#"{"op":"solve","workload":{"streamit":"Beamformer"},
+                "platform":{"p":4,"q":4,"topology":"mesh","routing":"xy"},
+                "utilisation":0.5,"solvers":"greedy,dpa1d","seed":7,"deadline_ms":200}"#,
+        )
+        .unwrap();
+        let Request::Solve(s) = req else {
+            panic!("expected solve")
+        };
+        assert_eq!(s.workload.describe(), "streamit:Beamformer");
+        assert_eq!(s.period, PeriodReq::Utilisation(0.5));
+        assert_eq!(s.solvers.as_deref(), Some("greedy,dpa1d"));
+        assert_eq!(s.deadline_ms, Some(200));
+        assert_eq!((s.platform.p, s.platform.q), (4, 4));
+        let g = s.workload.instantiate().unwrap();
+        assert_eq!(g.n(), 57, "Beamformer has 57 stages (Table 1)");
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse(r#"{"op":"solve"}"#).is_err());
+        assert!(parse(r#"{"op":"nope"}"#).is_err());
+        assert!(parse(r#"{"nop":"ping"}"#).is_err());
+        assert!(
+            parse(r#"{"op":"solve","workload":{"streamit":"Beamformer"}}"#)
+                .unwrap_err()
+                .contains("period")
+        );
+        assert!(parse(
+            r#"{"op":"solve","workload":{"streamit":"Beamformer"},"period":1.0,"utilisation":0.5}"#
+        )
+        .is_err());
+        assert!(parse(
+            r#"{"op":"solve","workload":{"chain":{"weights":[1.0,2.0],"volumes":[1.0,2.0]}},"period":1}"#
+        )
+        .unwrap_err()
+        .contains("volumes"));
+        assert!(parse(
+            r#"{"op":"solve","workload":{"streamit":"Beamformer"},"period":1,"deadline_ms":-5}"#
+        )
+        .is_err());
+        assert!(parse(r#"{"op":"sweep","workload":{"streamit":"FFT"},"values":[]}"#).is_err());
+        assert!(
+            parse(r#"{"op":"sweep","workload":{"streamit":"FFT"},"values":[0.2,1.5]}"#).is_err(),
+            "utilisation grid values above 1 are rejected"
+        );
+    }
+
+    #[test]
+    fn workload_instantiation_is_deterministic() {
+        let w = WorkloadReq::Family {
+            family: FamilyKind::WideForkJoin,
+            n: 24,
+            seed: 3,
+        };
+        let a = w.instantiate().unwrap();
+        let b = w.instantiate().unwrap();
+        assert_eq!(a.weights(), b.weights());
+        assert_eq!(a.n(), 24);
+        let unknown = WorkloadReq::Streamit {
+            name: "NotAFlow".into(),
+            seed: 0,
+        };
+        assert!(unknown.instantiate().is_err());
+    }
+
+    #[test]
+    fn failure_responses_carry_budget_telemetry() {
+        use crate::common::{BudgetExceeded, BudgetPhase};
+        let f = Failure::TooExpensive(BudgetExceeded {
+            phase: BudgetPhase::Deadline,
+            cap: 0,
+            count: 0,
+        });
+        let r = failure_response(&f);
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false));
+        let e = r.get("error").unwrap();
+        assert_eq!(e.get("kind").and_then(Json::as_str), Some("too_expensive"));
+        assert_eq!(e.get("phase").and_then(Json::as_str), Some("deadline"));
+        let f = Failure::NoValidMapping("tight".into());
+        let e2 = failure_response(&f);
+        assert_eq!(
+            e2.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("no_valid_mapping")
+        );
+    }
+}

@@ -1,0 +1,749 @@
+//! The daemon: sockets, connection threads, and the request service.
+//!
+//! The transport split is deliberate: [`Service`] is the pure
+//! frame-in/frame-out request handler (fully testable in-process, no
+//! sockets), and [`Server`] wires it to a Unix or TCP listener. Solve work
+//! itself fans out on the **global persistent rayon pool** via
+//! [`Portfolio`]; connection threads only parse, seed, dispatch, and
+//! harvest, so a daemon under concurrent clients still schedules solver
+//! work through one work-stealing pool instead of oversubscribing.
+//!
+//! ## Warm solves are bit-identical to cold solves
+//!
+//! The cache never stores *answers* — it stores the period-independent
+//! derived state ([`crate::SharedLattice`], [`crate::TransitionSkeleton`],
+//! [`cmp_platform::RouteTable`]) that an [`Instance`] would rebuild from
+//! scratch. A warm request seeds those artifacts into a fresh `Instance`
+//! whose content fingerprints match, and the solvers then run exactly the
+//! code they run cold, over structures that are value-equal by
+//! construction. Energies therefore agree bit-for-bit; only wall time
+//! changes. The integration suite asserts this across the StreamIt table.
+//!
+//! ## Shutdown discipline
+//!
+//! `shutdown` flips one flag. The accept loop stops admitting connections;
+//! each connection thread finishes the frame it is processing (a dispatch
+//! runs to completion — in-flight work is never cancelled), notices the
+//! flag at its next read timeout, and exits; [`Server::run`] joins them
+//! all before returning, then removes a Unix socket file it created.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+#[cfg(unix)]
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::instance::Instance;
+use crate::json::{obj, Json};
+use crate::portfolio::Portfolio;
+use crate::solver::SolverRegistry;
+
+use super::cache::{Artifact, ArtifactCache, ArtifactKey, CacheStats};
+use super::fingerprint::{platform_fingerprint, workload_fingerprint};
+use super::histogram::LatencyHistogram;
+use super::protocol::{
+    error_response, failure_response, ok_response, parse_request, read_frame, write_frame,
+    PeriodReq, Request, SolveReq, SweepReq,
+};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Byte bound on the artifact cache.
+    pub cache_bytes: usize,
+    /// Default per-request wall-clock budget (requests may override via
+    /// `deadline_ms`; `None` = unbounded).
+    pub default_deadline_ms: Option<u64>,
+    /// Portfolio base seed used when a request carries none.
+    pub default_seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            cache_bytes: 64 << 20,
+            default_deadline_ms: None,
+            default_seed: 2011,
+        }
+    }
+}
+
+/// How often idle connection reads and the accept loop re-check the
+/// shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// The transport-independent request service: parse → seed from cache →
+/// dispatch on the rayon pool → harvest → respond.
+pub struct Service {
+    cfg: ServeConfig,
+    registry: SolverRegistry,
+    cache: Mutex<ArtifactCache>,
+    shutdown: std::sync::atomic::AtomicBool,
+    requests: AtomicU64,
+    bad_requests: AtomicU64,
+    cold: Mutex<LatencyHistogram>,
+    warm: Mutex<LatencyHistogram>,
+}
+
+impl Service {
+    /// A fresh service with an empty cache and the default solver
+    /// registry.
+    pub fn new(cfg: ServeConfig) -> Self {
+        let cache = ArtifactCache::new(cfg.cache_bytes);
+        Service {
+            cfg,
+            registry: SolverRegistry::with_defaults(),
+            cache: Mutex::new(cache),
+            shutdown: std::sync::atomic::AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            bad_requests: AtomicU64::new(0),
+            cold: Mutex::new(LatencyHistogram::new()),
+            warm: Mutex::new(LatencyHistogram::new()),
+        }
+    }
+
+    /// Whether a `shutdown` request has been accepted.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Flips the shutdown flag (also reachable via the wire `shutdown`
+    /// op).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Artifact-cache counter snapshot.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().unwrap().stats()
+    }
+
+    /// Recent evictions, oldest first (see
+    /// [`ArtifactCache::eviction_log`]).
+    pub fn eviction_log(&self) -> Vec<ArtifactKey> {
+        self.cache.lock().unwrap().eviction_log().to_vec()
+    }
+
+    /// Handles one request frame and returns the response frame. Never
+    /// panics on malformed input — bad requests get a `bad_request` error
+    /// frame.
+    pub fn handle(&self, frame: &Json) -> Json {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let response = match parse_request(frame) {
+            Err(msg) => error_response("bad_request", &msg),
+            Ok(Request::Ping) => ok_response(obj([("pong", Json::from(true))])),
+            Ok(Request::Stats) => ok_response(self.stats_json()),
+            Ok(Request::Shutdown) => {
+                self.request_shutdown();
+                ok_response(obj([("shutting_down", Json::from(true))]))
+            }
+            Ok(Request::Solve(req)) => self.solve(&req),
+            Ok(Request::Sweep(req)) => self.sweep(&req),
+        };
+        // Count every bad_request, whether it failed at the frame, the
+        // request grammar, or resolution (unknown workload/solver).
+        let kind = response
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str);
+        if kind == Some("bad_request") {
+            self.bad_requests.fetch_add(1, Ordering::Relaxed);
+        }
+        response
+    }
+
+    /// The `stats` payload: request counters, cache counters, and
+    /// warm/cold latency distributions.
+    pub fn stats_json(&self) -> Json {
+        let cache = self.cache_stats();
+        let hist = |h: &Mutex<LatencyHistogram>| {
+            let h = h.lock().unwrap();
+            obj([
+                ("count", Json::from(h.count())),
+                ("mean_ms", Json::from(h.mean() / 1e6)),
+                ("p50_ms", Json::from(h.percentile(0.50) as f64 / 1e6)),
+                ("p99_ms", Json::from(h.percentile(0.99) as f64 / 1e6)),
+                ("p999_ms", Json::from(h.percentile(0.999) as f64 / 1e6)),
+                ("max_ms", Json::from(h.max() as f64 / 1e6)),
+            ])
+        };
+        obj([
+            (
+                "requests",
+                Json::from(self.requests.load(Ordering::Relaxed)),
+            ),
+            (
+                "bad_requests",
+                Json::from(self.bad_requests.load(Ordering::Relaxed)),
+            ),
+            (
+                "cache",
+                obj([
+                    ("hits", Json::from(cache.hits)),
+                    ("misses", Json::from(cache.misses)),
+                    ("evictions", Json::from(cache.evictions)),
+                    ("entries", Json::from(cache.entries)),
+                    ("bytes", Json::from(cache.bytes)),
+                    ("limit_bytes", Json::from(cache.limit_bytes)),
+                    ("hit_rate", Json::from(cache.hit_rate())),
+                ]),
+            ),
+            ("cold", hist(&self.cold)),
+            ("warm", hist(&self.warm)),
+        ])
+    }
+
+    /// Resolves a request's solver CSV against the registry (`None` = the
+    /// paper's five heuristics).
+    fn solvers_for(
+        &self,
+        csv: Option<&str>,
+    ) -> Result<Vec<Arc<dyn crate::solver::Solver>>, String> {
+        match csv {
+            Some(csv) => self.registry.parse_list(csv),
+            None => Ok(crate::solvers::default_heuristics()),
+        }
+    }
+
+    /// Builds the instance for a request and warm-seeds it from the
+    /// cache. Returns the instance, the three cache keys, and which of
+    /// them hit.
+    fn seeded_instance(
+        &self,
+        req_workload: spg::Spg,
+        req: &SolveReq,
+    ) -> (Instance, [ArtifactKey; 3], [bool; 3]) {
+        let wfp = workload_fingerprint(&req_workload);
+        let pfp = platform_fingerprint(&req.platform);
+        let policy = req.platform.policy;
+        let inst = match req.period {
+            PeriodReq::Period(t) => Instance::new(req_workload, req.platform.clone(), t),
+            PeriodReq::Utilisation(u) => {
+                Instance::for_utilisation(req_workload, req.platform.clone(), u)
+            }
+        };
+        let keys = [
+            ArtifactKey::Lattice { workload: wfp },
+            ArtifactKey::Skeleton {
+                workload: wfp,
+                platform: pfp,
+            },
+            ArtifactKey::Route {
+                platform: pfp,
+                policy: policy.index() as u8,
+            },
+        ];
+        let mut hits = [false; 3];
+        let mut cache = self.cache.lock().unwrap();
+        for (i, key) in keys.iter().enumerate() {
+            if let Some(artifact) = cache.get(key) {
+                hits[i] = true;
+                match artifact {
+                    Artifact::Lattice(l) => inst.seed_lattice(l),
+                    Artifact::Skeleton(s) => inst.seed_skeleton(s),
+                    Artifact::Route(r) => inst.seed_route_table(policy, r),
+                }
+            }
+        }
+        (inst, keys, hits)
+    }
+
+    /// Stores whichever artifacts a solve materialised that the cache did
+    /// not already hold.
+    fn harvest(&self, inst: &Instance, keys: &[ArtifactKey; 3], hits: &[bool; 3]) {
+        let policy = inst.platform().policy;
+        let mut cache = self.cache.lock().unwrap();
+        if !hits[0] {
+            if let Some(l) = inst.cached_lattice() {
+                cache.insert(keys[0], Artifact::Lattice(l));
+            }
+        }
+        if !hits[1] {
+            if let Some(s) = inst.cached_skeleton() {
+                cache.insert(keys[1], Artifact::Skeleton(s));
+            }
+        }
+        if !hits[2] {
+            if let Some(r) = inst.cached_route_table(policy) {
+                cache.insert(keys[2], Artifact::Route(r));
+            }
+        }
+    }
+
+    fn record_latency(&self, warm: bool, nanos: u64) {
+        let hist = if warm { &self.warm } else { &self.cold };
+        hist.lock().unwrap().record(nanos);
+    }
+
+    fn solve(&self, req: &SolveReq) -> Json {
+        let started = Instant::now();
+        let workload = match req.workload.instantiate() {
+            Ok(g) => g,
+            Err(msg) => return error_response("bad_request", &msg),
+        };
+        let solvers = match self.solvers_for(req.solvers.as_deref()) {
+            Ok(s) => s,
+            Err(msg) => return error_response("bad_request", &msg),
+        };
+        let (inst, keys, hits) = self.seeded_instance(workload, req);
+        let mut portfolio =
+            Portfolio::new(solvers).seeded(req.seed.unwrap_or(self.cfg.default_seed));
+        if let Some(ms) = req.deadline_ms.or(self.cfg.default_deadline_ms) {
+            portfolio = portfolio.with_budget(Duration::from_millis(ms));
+        }
+        let report = portfolio.run(&inst);
+        self.harvest(&inst, &keys, &hits);
+        let warm = hits.iter().all(|&h| h);
+        let elapsed_ns = started.elapsed().as_nanos() as u64;
+        self.record_latency(warm, elapsed_ns);
+
+        let cache_tags = obj([
+            ("lattice", Json::from(if hits[0] { "hit" } else { "miss" })),
+            ("skeleton", Json::from(if hits[1] { "hit" } else { "miss" })),
+            ("route", Json::from(if hits[2] { "hit" } else { "miss" })),
+        ]);
+        match report.best_run() {
+            Some(run) => {
+                let sol = run.result.as_ref().expect("best_run is a success");
+                ok_response(obj([
+                    ("workload", Json::from(req.workload.describe())),
+                    ("energy", Json::from(sol.energy())),
+                    ("solver", Json::from(run.name.clone())),
+                    ("active_cores", Json::from(sol.eval.active_cores)),
+                    ("max_cycle_time", Json::from(sol.eval.max_cycle_time)),
+                    ("period", Json::from(inst.period())),
+                    ("warm", Json::from(warm)),
+                    ("cache", cache_tags),
+                    ("wall_ms", Json::from(elapsed_ns as f64 / 1e6)),
+                ]))
+            }
+            None => {
+                // Every solver failed. Budget exhaustion dominates the
+                // report (it is actionable backpressure — retry with a
+                // longer deadline); otherwise the first failure speaks.
+                let errs: Vec<&crate::common::Failure> = report
+                    .runs
+                    .iter()
+                    .filter_map(|r| r.result.as_ref().err())
+                    .collect();
+                let failure = errs
+                    .iter()
+                    .find(|f| f.budget_exceeded().is_some())
+                    .or_else(|| errs.first());
+                match failure {
+                    Some(f) => failure_response(f),
+                    None => error_response("bad_request", "empty solver portfolio"),
+                }
+            }
+        }
+    }
+
+    fn sweep(&self, req: &SweepReq) -> Json {
+        let started = Instant::now();
+        let workload = match req.workload.instantiate() {
+            Ok(g) => g,
+            Err(msg) => return error_response("bad_request", &msg),
+        };
+        let solvers = match self.solvers_for(req.solvers.as_deref()) {
+            Ok(s) => s,
+            Err(msg) => return error_response("bad_request", &msg),
+        };
+        // A sweep is a solve per grid value sharing one seeded instance
+        // session (so the lattice/skeleton build — or cache hit — pays
+        // once), with the deadline covering the *whole* sweep.
+        let solve_shape = SolveReq {
+            workload: req.workload.clone(),
+            platform: req.platform.clone(),
+            period: PeriodReq::Period(1.0),
+            solvers: req.solvers.clone(),
+            seed: req.seed,
+            deadline_ms: req.deadline_ms,
+        };
+        let (base, keys, hits) = self.seeded_instance(workload, &solve_shape);
+        let deadline_at = req
+            .deadline_ms
+            .or(self.cfg.default_deadline_ms)
+            .and_then(|ms| started.checked_add(Duration::from_millis(ms)));
+        let seed = req.seed.unwrap_or(self.cfg.default_seed);
+        let mut points = Vec::with_capacity(req.values.len());
+        let mut exhausted: Option<crate::common::Failure> = None;
+        for &value in &req.values {
+            let period = if req.over_utilisation {
+                base.utilisation_period(value)
+            } else {
+                value
+            };
+            let inst = base.with_period(period);
+            let mut portfolio = Portfolio::new(solvers.clone()).seeded(seed);
+            if let Some(at) = deadline_at {
+                let remaining = at.saturating_duration_since(Instant::now());
+                portfolio = portfolio.with_budget(remaining);
+            }
+            let report = portfolio.run(&inst);
+            if exhausted.is_none() {
+                exhausted = report
+                    .runs
+                    .iter()
+                    .filter_map(|r| r.result.as_ref().err())
+                    .find(|f| f.budget_exceeded().is_some())
+                    .cloned();
+            }
+            let (energy, solver) = match report.best_run() {
+                Some(run) => (
+                    Json::from(run.energy().expect("best_run is a success")),
+                    Json::from(run.name.clone()),
+                ),
+                None => (Json::Null, Json::Null),
+            };
+            points.push(obj([
+                ("value", Json::from(value)),
+                ("period", Json::from(period)),
+                ("energy", energy),
+                ("solver", solver),
+            ]));
+        }
+        self.harvest(&base, &keys, &hits);
+        let warm = hits.iter().all(|&h| h);
+        let elapsed_ns = started.elapsed().as_nanos() as u64;
+        self.record_latency(warm, elapsed_ns);
+        // A sweep that lost points to the deadline still reports the grid
+        // (with null energies) — but flags the exhaustion structurally.
+        let mut fields = vec![
+            (
+                "axis",
+                Json::from(if req.over_utilisation {
+                    "utilisation"
+                } else {
+                    "period"
+                }),
+            ),
+            ("workload", Json::from(req.workload.describe())),
+            ("points", Json::from(points)),
+            ("warm", Json::from(warm)),
+            ("wall_ms", Json::from(elapsed_ns as f64 / 1e6)),
+        ];
+        if let Some(f) = &exhausted {
+            let budget = f.budget_exceeded().expect("filtered on budget_exceeded");
+            fields.push((
+                "deadline_exceeded",
+                obj([
+                    ("phase", Json::from(budget.phase.name())),
+                    ("cap", Json::from(budget.cap)),
+                    ("count", Json::from(budget.count)),
+                ]),
+            ));
+        }
+        let fields: Vec<(String, Json)> = fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        ok_response(Json::Obj(fields.into_iter().collect()))
+    }
+}
+
+/// A connected byte stream the daemon can serve: both socket families,
+/// unified over read timeouts.
+pub trait Conn: Read + Write + Send {
+    /// Sets the read timeout (used to poll the shutdown flag while idle).
+    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()>;
+}
+
+impl Conn for TcpStream {
+    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_read_timeout(self, dur)
+    }
+}
+
+#[cfg(unix)]
+impl Conn for UnixStream {
+    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        UnixStream::set_read_timeout(self, dur)
+    }
+}
+
+/// Serves one connection until the peer closes, a protocol error occurs,
+/// or shutdown is requested (public so integration tests can drive a
+/// service over an in-process socket pair).
+pub fn serve_connection<S: Conn>(service: &Service, stream: &mut S) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    loop {
+        match read_frame(stream) {
+            Ok(Some(frame)) => {
+                let response = service.handle(&frame);
+                if write_frame(stream, &response).is_err() {
+                    return;
+                }
+            }
+            Ok(None) => return,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if service.shutdown_requested() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Framing is lost; report and hang up.
+                let _ = write_frame(stream, &error_response("bad_request", &e.to_string()));
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+enum ListenerKind {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener, PathBuf),
+}
+
+/// The daemon: a listener plus a shared [`Service`].
+pub struct Server {
+    listener: ListenerKind,
+    service: Arc<Service>,
+}
+
+impl Server {
+    /// Binds a TCP listener (e.g. `"127.0.0.1:0"` for an ephemeral test
+    /// port).
+    pub fn bind_tcp(addr: &str, cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener: ListenerKind::Tcp(listener),
+            service: Arc::new(Service::new(cfg)),
+        })
+    }
+
+    /// Binds a Unix socket, replacing a stale socket file at `path` (the
+    /// daemon owns its path, as is conventional; a *live* daemon is still
+    /// protected because binding only races with an unlinked inode). The
+    /// file is removed again when [`Server::run`] returns.
+    #[cfg(unix)]
+    pub fn bind_unix(path: &Path, cfg: ServeConfig) -> io::Result<Server> {
+        if path.exists() {
+            std::fs::remove_file(path)?;
+        }
+        let listener = UnixListener::bind(path)?;
+        Ok(Server {
+            listener: ListenerKind::Unix(listener, path.to_path_buf()),
+            service: Arc::new(Service::new(cfg)),
+        })
+    }
+
+    /// The bound TCP address (`None` for Unix listeners).
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        match &self.listener {
+            ListenerKind::Tcp(l) => l.local_addr().ok(),
+            #[cfg(unix)]
+            ListenerKind::Unix(..) => None,
+        }
+    }
+
+    /// A handle to the shared service (tests use it to inspect cache
+    /// stats and request shutdown in-process).
+    pub fn service(&self) -> Arc<Service> {
+        Arc::clone(&self.service)
+    }
+
+    /// Runs the accept loop until shutdown, then joins every connection
+    /// thread (draining in-flight requests) before returning.
+    pub fn run(self) -> io::Result<()> {
+        match &self.listener {
+            ListenerKind::Tcp(l) => l.set_nonblocking(true)?,
+            #[cfg(unix)]
+            ListenerKind::Unix(l, _) => l.set_nonblocking(true)?,
+        }
+        let service = &self.service;
+        let result = std::thread::scope(|scope| -> io::Result<()> {
+            loop {
+                if service.shutdown_requested() {
+                    return Ok(());
+                }
+                let accepted = match &self.listener {
+                    ListenerKind::Tcp(l) => match l.accept() {
+                        Ok((s, _)) => {
+                            let _ = s.set_nonblocking(false);
+                            scope.spawn(move || {
+                                let mut s = s;
+                                serve_connection(service, &mut s);
+                            });
+                            Ok(())
+                        }
+                        Err(e) => Err(e),
+                    },
+                    #[cfg(unix)]
+                    ListenerKind::Unix(l, _) => match l.accept() {
+                        Ok((s, _)) => {
+                            let _ = s.set_nonblocking(false);
+                            scope.spawn(move || {
+                                let mut s = s;
+                                serve_connection(service, &mut s);
+                            });
+                            Ok(())
+                        }
+                        Err(e) => Err(e),
+                    },
+                };
+                if let Err(e) = accepted {
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::Interrupted
+                    {
+                        std::thread::sleep(POLL_INTERVAL / 10);
+                    } else {
+                        return Err(e);
+                    }
+                }
+            }
+        });
+        #[cfg(unix)]
+        if let ListenerKind::Unix(_, path) = &self.listener {
+            let _ = std::fs::remove_file(path);
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A low-elevation workload so `DPA1D` materialises its lattice and
+    /// skeleton within the default caps (high-elevation StreamIt flows
+    /// overflow the ideal cap and legitimately cache nothing).
+    fn solve_frame(seed: u64) -> Json {
+        Json::parse(&format!(
+            r#"{{"op":"solve","workload":{{"family":"deep-chain","n":12,"seed":1}},
+                 "platform":{{"p":2,"q":2}},"utilisation":0.5,
+                 "solvers":"greedy,dpa1d","seed":{seed}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn warm_solve_is_bit_identical_and_counted() {
+        let svc = Service::new(ServeConfig::default());
+        let cold = svc.handle(&solve_frame(7));
+        assert_eq!(cold.get("ok").and_then(Json::as_bool), Some(true));
+        let cold_r = cold.get("result").unwrap();
+        assert_eq!(cold_r.get("warm").and_then(Json::as_bool), Some(false));
+
+        let warm = svc.handle(&solve_frame(7));
+        let warm_r = warm.get("result").unwrap();
+        assert_eq!(
+            warm_r.get("warm").and_then(Json::as_bool),
+            Some(true),
+            "warm response: {warm}"
+        );
+        assert_eq!(
+            warm_r.get("energy").and_then(Json::as_f64),
+            cold_r.get("energy").and_then(Json::as_f64),
+            "warm energy must be bit-identical to cold"
+        );
+        let stats = svc.cache_stats();
+        assert_eq!(stats.entries, 3, "lattice + skeleton + route cached");
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.misses, 3);
+    }
+
+    #[test]
+    fn deadline_zero_is_structured_backpressure() {
+        let svc = Service::new(ServeConfig::default());
+        let frame = Json::parse(
+            r#"{"op":"solve","workload":{"streamit":"DCT"},"utilisation":0.5,"deadline_ms":0}"#,
+        )
+        .unwrap();
+        let resp = svc.handle(&frame);
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+        let err = resp.get("error").unwrap();
+        assert_eq!(
+            err.get("kind").and_then(Json::as_str),
+            Some("too_expensive")
+        );
+        assert_eq!(err.get("phase").and_then(Json::as_str), Some("deadline"));
+    }
+
+    #[test]
+    fn sweep_shares_the_session_and_reports_points() {
+        let svc = Service::new(ServeConfig::default());
+        let frame = Json::parse(
+            r#"{"op":"sweep","workload":{"family":"deep-chain","n":12,"seed":1},
+                "platform":{"p":2,"q":2},
+                "axis":"utilisation","values":[0.3,0.5],"solvers":"greedy,dpa1d"}"#,
+        )
+        .unwrap();
+        let resp = svc.handle(&frame);
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+        let points = resp
+            .get("result")
+            .and_then(|r| r.get("points"))
+            .and_then(Json::as_arr)
+            .unwrap();
+        assert_eq!(points.len(), 2);
+        for p in points {
+            assert!(p.get("energy").and_then(Json::as_f64).is_some());
+        }
+        // The sweep harvested its artifacts: a follow-up solve is warm.
+        let warm = svc.handle(&solve_frame(1));
+        assert_eq!(
+            warm.get("result")
+                .and_then(|r| r.get("warm"))
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn bad_requests_are_reported_not_panicked() {
+        let svc = Service::new(ServeConfig::default());
+        for text in [
+            r#"{"op":"solve"}"#,
+            r#"{"op":"solve","workload":{"streamit":"NotAFlow"},"period":1}"#,
+            r#"{"op":"solve","workload":{"streamit":"FFT"},"period":1,"solvers":"bogus"}"#,
+            r#"{}"#,
+        ] {
+            let resp = svc.handle(&Json::parse(text).unwrap());
+            assert_eq!(
+                resp.get("ok").and_then(Json::as_bool),
+                Some(false),
+                "{text}"
+            );
+            assert_eq!(
+                resp.get("error")
+                    .and_then(|e| e.get("kind"))
+                    .and_then(Json::as_str),
+                Some("bad_request"),
+                "{text}"
+            );
+        }
+        assert!(svc.stats_json().get("bad_requests").unwrap().as_f64() >= Some(4.0));
+    }
+
+    #[test]
+    fn stats_and_shutdown_flow() {
+        let svc = Service::new(ServeConfig::default());
+        let _ = svc.handle(&solve_frame(1));
+        let stats = svc.handle(&Json::parse(r#"{"op":"stats"}"#).unwrap());
+        let r = stats.get("result").unwrap();
+        assert_eq!(
+            r.get("cache")
+                .and_then(|c| c.get("entries"))
+                .and_then(Json::as_f64),
+            Some(3.0)
+        );
+        assert_eq!(
+            r.get("cold")
+                .and_then(|c| c.get("count"))
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+        assert!(!svc.shutdown_requested());
+        let bye = svc.handle(&Json::parse(r#"{"op":"shutdown"}"#).unwrap());
+        assert_eq!(bye.get("ok").and_then(Json::as_bool), Some(true));
+        assert!(svc.shutdown_requested());
+    }
+}

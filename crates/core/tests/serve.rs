@@ -1,0 +1,249 @@
+//! End-to-end tests for the serve subsystem: a real socket server under
+//! concurrent clients, warm/cold bit-identity across the StreamIt suite,
+//! deterministic LRU eviction replay, structured deadline backpressure,
+//! and shutdown draining in-flight work.
+
+use std::net::TcpStream;
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+
+use ea_core::json::{obj, Json};
+use ea_core::serve::{read_frame, write_frame, Client, ServeConfig, Server, Service};
+
+fn solve_frame(workload: Json, solvers: &str, extra: &[(&str, Json)]) -> Json {
+    let mut fields = vec![
+        ("op".to_string(), Json::from("solve")),
+        ("workload".to_string(), workload),
+        ("utilisation".to_string(), Json::from(0.5)),
+        ("solvers".to_string(), Json::from(solvers)),
+        ("seed".to_string(), Json::from(7u64)),
+    ];
+    for (k, v) in extra {
+        fields.push((k.to_string(), v.clone()));
+    }
+    Json::Obj(fields.into_iter().collect())
+}
+
+fn streamit(name: &str) -> Json {
+    obj([("streamit", Json::from(name))])
+}
+
+fn energy_bits(resp: &Json) -> Option<u64> {
+    resp.get("result")
+        .and_then(|r| r.get("energy"))
+        .and_then(Json::as_f64)
+        .map(f64::to_bits)
+}
+
+/// Warm solves reproduce cold energies bit-for-bit across the whole
+/// StreamIt suite — the cache stores solver inputs, never answers, so a
+/// hit can shift latency but not results.
+#[test]
+fn warm_solves_are_bit_identical_across_streamit() {
+    let service = Service::new(ServeConfig::default());
+    let mut warm_hits = 0usize;
+    for spec in &spg::STREAMIT_SPECS {
+        let req = solve_frame(streamit(spec.name), "greedy,dpa1d", &[]);
+        let cold = service.handle(&req);
+        let warm = service.handle(&req);
+        assert_eq!(
+            energy_bits(&cold),
+            energy_bits(&warm),
+            "{}: warm energy must match cold bit-for-bit",
+            spec.name
+        );
+        // Infeasible flows must fail identically too.
+        assert_eq!(
+            cold.get("ok").and_then(Json::as_bool),
+            warm.get("ok").and_then(Json::as_bool),
+            "{}: warm/cold feasibility must agree",
+            spec.name
+        );
+        if warm
+            .get("result")
+            .and_then(|r| r.get("warm"))
+            .and_then(Json::as_bool)
+            == Some(true)
+        {
+            warm_hits += 1;
+        }
+    }
+    assert!(
+        warm_hits >= 4,
+        "expected several flows to fit the artifact cache, got {warm_hits}"
+    );
+    let stats = service.cache_stats();
+    assert!(stats.hits > 0, "repeat requests must hit the cache");
+}
+
+/// Replaying the same request script into a fresh service evicts the same
+/// artifacts in the same order: LRU over a serialized request stream is
+/// deterministic.
+#[test]
+fn lru_eviction_replay_is_deterministic() {
+    let script: Vec<Json> = ["FFT", "TDE", "DES", "FFT", "TDE"]
+        .iter()
+        .map(|n| solve_frame(streamit(n), "greedy,dpa1d", &[]))
+        .collect();
+    let replay = || {
+        let service = Service::new(ServeConfig {
+            // Small enough that three flows' lattices cannot coexist.
+            cache_bytes: 4096,
+            ..ServeConfig::default()
+        });
+        for req in &script {
+            let resp = service.handle(req);
+            assert_eq!(
+                resp.get("ok").and_then(Json::as_bool),
+                Some(true),
+                "solve failed: {resp}"
+            );
+        }
+        (service.eviction_log(), service.cache_stats())
+    };
+    let (log_a, stats_a) = replay();
+    let (log_b, stats_b) = replay();
+    assert!(
+        stats_a.evictions > 0,
+        "the 4 KiB bound must force evictions (got {stats_a:?})"
+    );
+    assert_eq!(log_a, log_b, "same script must evict in the same order");
+    assert_eq!(
+        (stats_a.hits, stats_a.misses, stats_a.evictions),
+        (stats_b.hits, stats_b.misses, stats_b.evictions),
+        "cache counters must replay deterministically"
+    );
+}
+
+/// A zero deadline surfaces as structured `too_expensive` backpressure
+/// with the budget telemetry (phase/cap/count), not a generic error.
+#[test]
+fn deadline_maps_to_structured_too_expensive() {
+    let service = Service::new(ServeConfig::default());
+    let req = solve_frame(
+        streamit("Vocoder"),
+        "greedy,dpa1d",
+        &[("deadline_ms", Json::from(0u64))],
+    );
+    let resp = service.handle(&req);
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+    let err = resp.get("error").expect("error body");
+    assert_eq!(
+        err.get("kind").and_then(Json::as_str),
+        Some("too_expensive"),
+        "unexpected error: {resp}"
+    );
+    assert_eq!(err.get("phase").and_then(Json::as_str), Some("deadline"));
+    assert!(err.get("cap").and_then(Json::as_f64).is_some());
+    assert!(err.get("count").and_then(Json::as_f64).is_some());
+    // The per-request override beats the (unbounded) default, and a
+    // server-level default applies when the request carries none.
+    let service = Service::new(ServeConfig {
+        default_deadline_ms: Some(0),
+        ..ServeConfig::default()
+    });
+    let resp = service.handle(&solve_frame(streamit("Vocoder"), "greedy,dpa1d", &[]));
+    let kind = resp
+        .get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(Json::as_str);
+    assert_eq!(kind, Some("too_expensive"));
+}
+
+/// Several clients hammer one daemon with a mix of solves, pings, and
+/// stats; every solve of the same workload must return the same energy
+/// no matter which connection, ordering, or cache state produced it.
+#[test]
+fn concurrent_clients_agree_on_energies() {
+    let server = Server::bind_tcp("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap();
+    let service = server.service();
+    let daemon = thread::spawn(move || server.run().unwrap());
+
+    const CLIENTS: usize = 4;
+    const ROUNDS: usize = 3;
+    let flows = ["FFT", "TDE", "MPEG2-noparser"];
+    let (tx, rx) = mpsc::channel::<(String, u64)>();
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let tx = tx.clone();
+            thread::spawn(move || {
+                let mut client = Client::connect_tcp(addr).unwrap();
+                client.ping().unwrap();
+                for round in 0..ROUNDS {
+                    // Stagger flow order per client to mix cold/warm paths.
+                    for k in 0..flows.len() {
+                        let flow = flows[(c + round + k) % flows.len()];
+                        let resp = client
+                            .request(&solve_frame(streamit(flow), "greedy,dpa1d", &[]))
+                            .unwrap();
+                        let bits =
+                            energy_bits(&resp).unwrap_or_else(|| panic!("{flow} failed: {resp}"));
+                        tx.send((flow.to_string(), bits)).unwrap();
+                    }
+                    client.stats().unwrap();
+                }
+            })
+        })
+        .collect();
+    drop(tx);
+    let mut seen: std::collections::HashMap<String, u64> = Default::default();
+    for (flow, bits) in rx {
+        let prev = seen.entry(flow.clone()).or_insert(bits);
+        assert_eq!(*prev, bits, "{flow}: divergent energy across clients");
+    }
+    for w in workers {
+        w.join().unwrap();
+    }
+    assert_eq!(seen.len(), flows.len());
+    let stats = service.cache_stats();
+    assert!(stats.hits > 0, "concurrent repeats must share artifacts");
+
+    let mut control = Client::connect_tcp(addr).unwrap();
+    control.shutdown().unwrap();
+    daemon.join().unwrap();
+}
+
+/// Shutdown stops the accept loop but drains in-flight requests: a frame
+/// already on the wire still gets its full response before the daemon
+/// exits.
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let server = Server::bind_tcp("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap();
+    let daemon = thread::spawn(move || server.run().unwrap());
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    // Send the (slow) solve frame first, then trigger shutdown from a
+    // second connection while it is in flight.
+    write_frame(
+        &mut stream,
+        &solve_frame(streamit("Vocoder"), "greedy,dpa1d", &[]),
+    )
+    .unwrap();
+    let mut control = Client::connect_tcp(addr).unwrap();
+    control.shutdown().unwrap();
+    drop(control);
+
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let resp = read_frame(&mut stream)
+        .expect("in-flight request must not be torn by shutdown")
+        .expect("in-flight request must still be answered");
+    assert_eq!(
+        resp.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "drained response: {resp}"
+    );
+    assert!(energy_bits(&resp).is_some());
+
+    daemon.join().unwrap();
+    // After shutdown the port stops accepting (give the OS a beat).
+    thread::sleep(Duration::from_millis(50));
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
+        "daemon must stop listening after shutdown"
+    );
+}

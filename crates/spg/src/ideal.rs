@@ -136,6 +136,23 @@ impl IdealLattice {
         self.arena.len() / self.wps
     }
 
+    /// Approximate resident size in bytes: the word arena, the hash
+    /// buckets, the Hasse diagram, and the predecessor masks. Used for
+    /// byte-bounded artifact-cache accounting, so it only needs to track
+    /// the dominant allocations, not every last pointer.
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.arena.capacity() * std::mem::size_of::<u64>()
+            + self.buckets.capacity() * std::mem::size_of::<u32>()
+            + self.hasse.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.hasse_off.capacity() * std::mem::size_of::<u32>()
+            + self
+                .pred_masks
+                .iter()
+                .map(NodeSet::size_bytes)
+                .sum::<usize>()
+    }
+
     /// Whether the lattice is empty (never true for a valid SPG).
     pub fn is_empty(&self) -> bool {
         self.arena.is_empty()

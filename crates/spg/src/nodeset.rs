@@ -83,6 +83,16 @@ impl NodeSet {
         self.capacity as usize
     }
 
+    /// Approximate resident size in bytes (the set itself plus any heap
+    /// words) — input to cache byte accounting.
+    pub fn size_bytes(&self) -> usize {
+        let heap = match &self.repr {
+            Repr::Inline(_) => 0,
+            Repr::Heap(words) => words.capacity() * std::mem::size_of::<u64>(),
+        };
+        std::mem::size_of::<NodeSet>() + heap
+    }
+
     /// The backing words; only the low `capacity` bits are meaningful.
     #[inline]
     pub fn words(&self) -> &[u64] {

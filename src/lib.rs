@@ -154,6 +154,35 @@
 //! period — sharing is a pure optimisation (pinned by `tests/sweep.rs`).
 //! `xp sweep` exposes the same engine on the CLI per workload family.
 //!
+//! ## Solve-as-a-service
+//!
+//! 0.7 extends the same sharing across *processes*: `xp serve` keeps a
+//! daemon alive behind a Unix or TCP socket, with a byte-bounded LRU
+//! cache of the period-independent artifacts keyed by content
+//! fingerprints. Warm requests skip derived-state construction and stay
+//! bit-identical in energy — the cache holds solver inputs, never
+//! answers. The protocol is length-prefixed JSON
+//! (`docs/serve-protocol.md`); per-request `deadline_ms` budgets map to
+//! solver-level budgets with structured `too_expensive` backpressure.
+//! Embedding needs no sockets:
+//!
+//! ```
+//! use spg_cmp::json::Json;
+//! use spg_cmp::serve::{ServeConfig, Service};
+//!
+//! let service = Service::new(ServeConfig::default());
+//! let req = Json::parse(
+//!     r#"{"op":"solve","workload":{"streamit":"FFT"},"utilisation":0.5}"#,
+//! )
+//! .unwrap();
+//! let cold = service.handle(&req);
+//! let warm = service.handle(&req); // artifacts hit; energy is identical
+//! assert_eq!(
+//!     cold.get("result").and_then(|r| r.get("energy")),
+//!     warm.get("result").and_then(|r| r.get("energy")),
+//! );
+//! ```
+//!
 //! ## Migrating from the 0.1 free functions
 //!
 //! The pre-0.2 free functions remain as thin `#[deprecated]` shims; new
@@ -192,10 +221,24 @@
 //! | `evaluate(spg, pf, m, t)` | unchanged — or `inst.evaluate_mapping(&m)` / `evaluate_with(…, Some(&table))` for the route-table fast path |
 //! | `refine(…)` | unchanged (builds a local table) — or `refine_with(…, Some(&table))` |
 //! | `simulate(…)` | unchanged — or `simulate_with(…, Some(&table))` |
+//!
+//! ## Migrating from 0.6 (JSON moved into the core)
+//!
+//! 0.7 promotes the dependency-free JSON module from `ea_bench::json`
+//! into `ea_core::json` (re-exported here as [`json`]) so the serve
+//! protocol can use it without depending on the bench crate.
+//! `ea_bench::json` remains as a `#[deprecated]` re-export; swap
+//! `use ea_bench::json::...` for `use spg_cmp::json::...` (or
+//! `ea_core::json::...`) — names and behaviour are unchanged.
 
 pub use cmp_mapping as mapping;
 pub use cmp_platform as platform;
 pub use ea_core as heuristics;
+/// Dependency-free JSON support (moved from `ea_bench::json` in 0.7).
+pub use ea_core::json;
+/// Solve-as-a-service: the `xp serve` daemon's server, client, and
+/// artifact-cache building blocks.
+pub use ea_core::serve;
 pub use spg;
 
 /// Everything needed to build workloads, platforms and run the solvers.
