@@ -151,6 +151,7 @@ pub fn serve_bench(seed: u64) -> Result<ServeBench, String> {
     let addr = server
         .local_addr()
         .ok_or_else(|| "server has no local address".to_string())?;
+    let service = server.service();
     let handle = std::thread::spawn(move || server.run());
     let run = (|| -> Result<ServeBench, String> {
         let mut client = Client::connect_tcp(addr).map_err(|e| format!("connect: {e}"))?;
@@ -219,6 +220,10 @@ pub fn serve_bench(seed: u64) -> Result<ServeBench, String> {
         client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
         Ok(bench)
     })();
+    // The wire `shutdown` only fires on the success path; flip the flag
+    // unconditionally so a connect/request/stats error still stops the
+    // daemon instead of leaving join() blocked forever.
+    service.request_shutdown();
     match handle.join() {
         Ok(Ok(())) => {}
         Ok(Err(e)) => return Err(format!("server exited with error: {e}")),

@@ -50,5 +50,5 @@ pub use cache::{Artifact, ArtifactCache, ArtifactKey, CacheStats};
 pub use client::Client;
 pub use fingerprint::{platform_fingerprint, workload_fingerprint, Fingerprint};
 pub use histogram::LatencyHistogram;
-pub use protocol::{read_frame, write_frame, Request, MAX_FRAME_BYTES};
+pub use protocol::{read_frame, write_frame, FrameReader, Request, MAX_FRAME_BYTES};
 pub use server::{serve_connection, Conn, ServeConfig, Server, Service};

@@ -43,42 +43,110 @@ pub fn write_frame<W: Write>(w: &mut W, msg: &Json) -> io::Result<()> {
     w.flush()
 }
 
-/// Reads one frame. `Ok(None)` means the peer closed the stream cleanly
-/// *on a frame boundary*; EOF anywhere else is a torn frame and surfaces
-/// as [`io::ErrorKind::UnexpectedEof`]. Oversized lengths and invalid
-/// JSON surface as [`io::ErrorKind::InvalidData`]. Read timeouts
-/// (`WouldBlock` / `TimedOut`) pass through untouched so callers can poll
-/// a shutdown flag between attempts.
+/// Reads one frame from a **blocking** stream. `Ok(None)` means the peer
+/// closed the stream cleanly *on a frame boundary*; EOF anywhere else is
+/// a torn frame and surfaces as [`io::ErrorKind::UnexpectedEof`].
+/// Oversized lengths and invalid JSON surface as
+/// [`io::ErrorKind::InvalidData`].
+///
+/// On a stream with a read timeout this restarts from scratch each call,
+/// so a `WouldBlock`/`TimedOut` mid-frame would *discard* already-consumed
+/// bytes and desynchronise the framing. Timeout-polling loops must hold a
+/// persistent [`FrameReader`] instead.
 pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Json>> {
-    let mut len_buf = [0u8; 4];
-    // First byte decides clean-EOF vs torn frame.
-    match r.read(&mut len_buf[..1]) {
-        Ok(0) => return Ok(None),
-        Ok(_) => {}
-        Err(e) => return Err(e),
+    FrameReader::new().poll(r)
+}
+
+/// Incremental frame reader that survives read timeouts.
+///
+/// Partial progress — however much of the length prefix and body has
+/// arrived — is held in the reader across calls, so a
+/// `WouldBlock`/`TimedOut` simply propagates while the next
+/// [`FrameReader::poll`] resumes exactly where the stream paused. This is
+/// what lets a connection loop poll a shutdown flag between frames
+/// without corrupting a frame whose peer pauses mid-write (normal for
+/// large frames over TCP).
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    len_buf: [u8; 4],
+    len_got: usize,
+    body: Vec<u8>,
+    body_got: usize,
+}
+
+impl FrameReader {
+    /// A reader with no frame in progress.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
     }
-    r.read_exact(&mut len_buf[1..])?;
-    let len = u32::from_be_bytes(len_buf) as usize;
-    if len > MAX_FRAME_BYTES {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"),
-        ));
+
+    /// Whether part of an unfinished frame has been consumed. While true,
+    /// a read timeout means "the peer paused mid-frame", not "the
+    /// connection is idle".
+    pub fn mid_frame(&self) -> bool {
+        self.len_got > 0
     }
-    let mut body = vec![0u8; len];
-    r.read_exact(&mut body)?;
-    let text = std::str::from_utf8(&body).map_err(|e| {
-        io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame is not UTF-8: {e}"),
-        )
-    })?;
-    Json::parse(text).map(Some).map_err(|e| {
-        io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame is not valid JSON: {e}"),
-        )
-    })
+
+    /// Drives the current frame forward, returning it once complete. Same
+    /// result semantics as [`read_frame`]; additionally,
+    /// `WouldBlock`/`TimedOut` errors pass through with all progress
+    /// intact for the next call.
+    pub fn poll<R: Read>(&mut self, r: &mut R) -> io::Result<Option<Json>> {
+        while self.len_got < 4 {
+            // First byte decides clean-EOF vs torn frame.
+            match r.read(&mut self.len_buf[self.len_got..]) {
+                Ok(0) if self.len_got == 0 => return Ok(None),
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "peer closed mid-frame (torn length prefix)",
+                    ))
+                }
+                Ok(n) => self.len_got += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+            if self.len_got == 4 {
+                let len = u32::from_be_bytes(self.len_buf) as usize;
+                if len > MAX_FRAME_BYTES {
+                    *self = FrameReader::new();
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"),
+                    ));
+                }
+                self.body = vec![0u8; len];
+                self.body_got = 0;
+            }
+        }
+        while self.body_got < self.body.len() {
+            match r.read(&mut self.body[self.body_got..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "peer closed mid-frame (torn body)",
+                    ))
+                }
+                Ok(n) => self.body_got += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let body = std::mem::take(&mut self.body);
+        *self = FrameReader::new();
+        let text = std::str::from_utf8(&body).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame is not UTF-8: {e}"),
+            )
+        })?;
+        Json::parse(text).map(Some).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame is not valid JSON: {e}"),
+            )
+        })
+    }
 }
 
 /// How a request names its workload.
@@ -446,6 +514,61 @@ mod tests {
                 "truncation at byte {cut} must be a torn frame"
             );
         }
+    }
+
+    /// Yields at most one byte per read and a `WouldBlock` before every
+    /// byte — the worst-case slow peer over a stream with a read timeout.
+    struct Dribble<'a> {
+        data: &'a [u8],
+        pos: usize,
+        ready: bool,
+    }
+
+    impl Read for Dribble<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if !self.ready {
+                self.ready = true;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "stalled"));
+            }
+            self.ready = false;
+            let n = 1.min(buf.len()).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn frame_reader_preserves_progress_across_timeouts() {
+        let first = obj([("op", Json::from("ping"))]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &first).unwrap();
+        write_frame(&mut buf, &Json::from("second")).unwrap();
+        let mut stream = Dribble {
+            data: &buf,
+            pos: 0,
+            ready: false,
+        };
+        let mut reader = FrameReader::new();
+        let mut frames = Vec::new();
+        let mut stalls = 0usize;
+        loop {
+            match reader.poll(&mut stream) {
+                Ok(Some(frame)) => frames.push(frame),
+                Ok(None) => break,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    stalls += 1;
+                    assert!(
+                        stalls <= 2 * buf.len() + 2,
+                        "reader must make progress between stalls"
+                    );
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(frames, vec![first, Json::from("second")]);
+        assert!(stalls > 8, "the dribble stream must actually have stalled");
+        assert!(!reader.mid_frame(), "clean EOF leaves no frame in progress");
     }
 
     #[test]

@@ -46,7 +46,7 @@ use super::cache::{Artifact, ArtifactCache, ArtifactKey, CacheStats};
 use super::fingerprint::{platform_fingerprint, workload_fingerprint};
 use super::histogram::LatencyHistogram;
 use super::protocol::{
-    error_response, failure_response, ok_response, parse_request, read_frame, write_frame,
+    error_response, failure_response, ok_response, parse_request, write_frame, FrameReader,
     PeriodReq, Request, SolveReq, SweepReq,
 };
 
@@ -75,6 +75,22 @@ impl Default for ServeConfig {
 /// How often idle connection reads and the accept loop re-check the
 /// shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// How long a peer may stall *mid-frame* before the connection is dropped.
+/// The poll timeout alone never aborts a frame — a peer pausing between
+/// chunks of a large frame is normal TCP behaviour; only a stall this long
+/// counts as a dead or malicious peer.
+const FRAME_STALL_LIMIT: Duration = Duration::from_secs(30);
+
+/// Mid-frame stall allowance once shutdown has been requested: long
+/// enough for in-flight bytes on a healthy link to land, short enough
+/// that a stalled peer cannot hold the drain hostage.
+const SHUTDOWN_STALL_LIMIT: Duration = Duration::from_millis(500);
+
+/// How long a write may block on a peer that stops reading before the
+/// connection is dropped (keeps [`Server::run`]'s join from hanging on a
+/// full socket buffer).
+const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// The transport-independent request service: parse → seed from cache →
 /// dispatch on the rayon pool → harvest → respond.
@@ -450,11 +466,17 @@ impl Service {
 pub trait Conn: Read + Write + Send {
     /// Sets the read timeout (used to poll the shutdown flag while idle).
     fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()>;
+    /// Sets the write timeout (bounds how long a peer that stops reading
+    /// can block a connection thread).
+    fn set_write_timeout(&self, dur: Option<Duration>) -> io::Result<()>;
 }
 
 impl Conn for TcpStream {
     fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
         TcpStream::set_read_timeout(self, dur)
+    }
+    fn set_write_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_write_timeout(self, dur)
     }
 }
 
@@ -463,18 +485,46 @@ impl Conn for UnixStream {
     fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
         UnixStream::set_read_timeout(self, dur)
     }
+    fn set_write_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        UnixStream::set_write_timeout(self, dur)
+    }
+}
+
+/// Writes one response frame. A response that overflows the frame cap
+/// (e.g. a sweep over an enormous grid) is replaced by a structured
+/// `too_large` error frame — `write_frame` rejects oversized bodies
+/// *before* touching the stream, so framing stays intact and the
+/// connection stays usable. Returns `false` when the connection is dead.
+fn send_response<W: Write>(stream: &mut W, response: &Json) -> bool {
+    match write_frame(stream, response) {
+        Ok(()) => true,
+        Err(e) if e.kind() == io::ErrorKind::InvalidInput => {
+            write_frame(stream, &error_response("too_large", &e.to_string())).is_ok()
+        }
+        Err(_) => false,
+    }
 }
 
 /// Serves one connection until the peer closes, a protocol error occurs,
 /// or shutdown is requested (public so integration tests can drive a
 /// service over an in-process socket pair).
+///
+/// The read timeout only separates *frames*: between frames it is the
+/// shutdown-poll tick, but once a frame has started, timeouts keep the
+/// partially-read frame intact (via [`FrameReader`]) and reading resumes —
+/// bounded by a 30 s stall limit so a dead peer cannot pin the thread.
 pub fn serve_connection<S: Conn>(service: &Service, stream: &mut S) {
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let mut reader = FrameReader::new();
+    // First stall of the frame currently in progress, if any.
+    let mut stalled_since: Option<Instant> = None;
     loop {
-        match read_frame(stream) {
+        match reader.poll(stream) {
             Ok(Some(frame)) => {
+                stalled_since = None;
                 let response = service.handle(&frame);
-                if write_frame(stream, &response).is_err() {
+                if !send_response(stream, &response) {
                     return;
                 }
             }
@@ -482,8 +532,25 @@ pub fn serve_connection<S: Conn>(service: &Service, stream: &mut S) {
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
-                if service.shutdown_requested() {
-                    return;
+                if reader.mid_frame() {
+                    let since = *stalled_since.get_or_insert_with(Instant::now);
+                    let limit = if service.shutdown_requested() {
+                        SHUTDOWN_STALL_LIMIT
+                    } else {
+                        FRAME_STALL_LIMIT
+                    };
+                    if since.elapsed() >= limit {
+                        let _ = write_frame(
+                            stream,
+                            &error_response("bad_request", "frame stalled past the read deadline"),
+                        );
+                        return;
+                    }
+                } else {
+                    stalled_since = None;
+                    if service.shutdown_requested() {
+                        return;
+                    }
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
@@ -519,14 +586,34 @@ impl Server {
         })
     }
 
-    /// Binds a Unix socket, replacing a stale socket file at `path` (the
-    /// daemon owns its path, as is conventional; a *live* daemon is still
-    /// protected because binding only races with an unlinked inode). The
-    /// file is removed again when [`Server::run`] returns.
+    /// Binds a Unix socket, replacing a *stale* socket file at `path`. A
+    /// pre-existing socket is probed first: if a peer accepts the
+    /// connection, a live daemon owns the endpoint and binding refuses
+    /// with [`io::ErrorKind::AddrInUse`] rather than silently stealing
+    /// it; only a socket nobody answers on (a crashed daemon's leftover)
+    /// is unlinked. A non-socket file at `path` is never touched. The
+    /// socket file is removed again when [`Server::run`] returns.
     #[cfg(unix)]
     pub fn bind_unix(path: &Path, cfg: ServeConfig) -> io::Result<Server> {
-        if path.exists() {
-            std::fs::remove_file(path)?;
+        match std::fs::metadata(path) {
+            Ok(meta) => {
+                use std::os::unix::fs::FileTypeExt;
+                if !meta.file_type().is_socket() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AlreadyExists,
+                        format!("{} exists and is not a socket", path.display()),
+                    ));
+                }
+                if UnixStream::connect(path).is_ok() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AddrInUse,
+                        format!("{} is in use by a live daemon", path.display()),
+                    ));
+                }
+                std::fs::remove_file(path)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
         }
         let listener = UnixListener::bind(path)?;
         Ok(Server {
@@ -721,6 +808,28 @@ mod tests {
             );
         }
         assert!(svc.stats_json().get("bad_requests").unwrap().as_f64() >= Some(4.0));
+    }
+
+    #[test]
+    fn oversized_responses_become_structured_too_large_errors() {
+        use super::super::protocol::{read_frame, MAX_FRAME_BYTES};
+        let huge = ok_response(Json::from("x".repeat(MAX_FRAME_BYTES + 1)));
+        let mut wire = Vec::new();
+        assert!(
+            send_response(&mut wire, &huge),
+            "the connection must survive an oversized response"
+        );
+        let frame = read_frame(&mut std::io::Cursor::new(wire))
+            .unwrap()
+            .unwrap();
+        assert_eq!(frame.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            frame
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("too_large")
+        );
     }
 
     #[test]

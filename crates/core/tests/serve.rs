@@ -3,6 +3,7 @@
 //! deterministic LRU eviction replay, structured deadline backpressure,
 //! and shutdown draining in-flight work.
 
+use std::io::Write;
 use std::net::TcpStream;
 use std::sync::mpsc;
 use std::thread;
@@ -203,6 +204,89 @@ fn concurrent_clients_agree_on_energies() {
     let mut control = Client::connect_tcp(addr).unwrap();
     control.shutdown().unwrap();
     daemon.join().unwrap();
+}
+
+/// A client that pauses mid-frame for longer than the server's shutdown
+/// poll tick (100 ms) must not desynchronise the stream: the server keeps
+/// the partial frame and resumes, answering every request correctly.
+#[test]
+fn slow_mid_frame_writes_do_not_desync_the_stream() {
+    let server = Server::bind_tcp("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap();
+    let daemon = thread::spawn(move || server.run().unwrap());
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &obj([("op", Json::from("ping"))])).unwrap();
+    // Pause inside the length prefix, then inside the body — both splits
+    // land mid-frame, each pause longer than the server's poll interval.
+    for cut in [2, wire.len() - 3] {
+        stream.write_all(&wire[..cut]).unwrap();
+        stream.flush().unwrap();
+        thread::sleep(Duration::from_millis(250));
+        stream.write_all(&wire[cut..]).unwrap();
+        stream.flush().unwrap();
+        let resp = read_frame(&mut stream)
+            .expect("split frame must not desync the server")
+            .expect("split frame must still be answered");
+        assert_eq!(
+            resp.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "response: {resp}"
+        );
+    }
+    // The stream is still in sync: a whole request round-trips.
+    write_frame(&mut stream, &obj([("op", Json::from("stats"))])).unwrap();
+    let resp = read_frame(&mut stream).unwrap().unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+    drop(stream);
+
+    let mut control = Client::connect_tcp(addr).unwrap();
+    control.shutdown().unwrap();
+    daemon.join().unwrap();
+}
+
+/// `bind_unix` probes an existing socket before unlinking it: a live
+/// daemon keeps its endpoint (`AddrInUse`), a crashed daemon's stale file
+/// is replaced, and a non-socket file is never deleted.
+#[cfg(unix)]
+#[test]
+fn bind_unix_refuses_live_sockets_and_replaces_stale_ones() {
+    let dir = std::env::temp_dir().join(format!("xp-serve-bind-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("daemon.sock");
+
+    let server = Server::bind_unix(&path, ServeConfig::default()).unwrap();
+    let daemon = thread::spawn(move || server.run().unwrap());
+    let mut client = Client::connect_unix(&path).unwrap();
+    client.ping().unwrap();
+    let err = Server::bind_unix(&path, ServeConfig::default())
+        .err()
+        .expect("binding over a live daemon must fail");
+    assert_eq!(
+        err.kind(),
+        std::io::ErrorKind::AddrInUse,
+        "a second daemon must not steal a live socket"
+    );
+    client.shutdown().unwrap();
+    daemon.join().unwrap();
+    assert!(!path.exists(), "run() removes the socket file it created");
+
+    // A stale socket (listener gone, file left behind) is replaced.
+    drop(std::os::unix::net::UnixListener::bind(&path).unwrap());
+    assert!(path.exists());
+    let server = Server::bind_unix(&path, ServeConfig::default()).unwrap();
+    server.service().request_shutdown();
+    server.run().unwrap();
+
+    // A plain file at the path is refused, not unlinked.
+    std::fs::write(&path, b"not a socket").unwrap();
+    let err = Server::bind_unix(&path, ServeConfig::default())
+        .err()
+        .expect("binding over a plain file must fail");
+    assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists);
+    assert!(path.exists(), "a non-socket file must survive bind_unix");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Shutdown stops the accept loop but drains in-flight requests: a frame
