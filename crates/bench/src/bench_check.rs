@@ -19,9 +19,11 @@
 //! campaign for `topology/...` names, the campaign-realistic warm StreamIt
 //! portfolio for `energy/<workflow>/<solver>` and
 //! `streamit_portfolio/<workflow>` names, the decade sweep for
-//! `sweep/...` names, and the pool microbenchmark for `pool/...` names
+//! `sweep/...` names, the pool microbenchmark for `pool/...` names
 //! (whose checksums gate — parallel scheduling must stay a pure
-//! optimisation).
+//! optimisation), the loopback serve benchmark for `serve/...` names, and
+//! the dominance-pruning benchmark for `prune/...` names (pruned-vs-
+//! complete `DPA1D` decade sweeps; scan ratios and bound gaps gate).
 
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
@@ -316,6 +318,38 @@ pub fn compute_fresh_metrics(
         }
     }
 
+    // Source 6: the dominance-pruning benchmark (prune/... names).
+    // Energies, feasible-point counts, scan ratios, and bound gaps gate —
+    // the prune counters are deterministic order-independent sums — while
+    // the pruned/complete walls and their ratio advise.
+    if needed.iter().any(|m| m.name.starts_with("prune/")) {
+        let sweeps = crate::prune_xp::prune_bench(seed);
+        let mut unlocked = 0usize;
+        for s in &sweeps {
+            let prefix = format!("prune/{}", s.workload);
+            fresh.insert(
+                format!("{prefix}/feasible_points"),
+                s.feasible_points() as f64,
+            );
+            fresh.insert(
+                format!("{prefix}/complete_feasible_points"),
+                s.complete_feasible_points() as f64,
+            );
+            if let Some(med) = median(s.pruned_energies.iter().flatten().copied().collect()) {
+                fresh.insert(format!("{prefix}/median_energy"), med);
+            }
+            if let Some(ratio) = s.scan_ratio() {
+                fresh.insert(format!("{prefix}/scan_ratio"), ratio);
+            }
+            fresh.insert(format!("{prefix}/bound_gap_max"), s.bound_gap_max());
+            fresh.insert(format!("{prefix}/pruned_wall"), s.pruned_wall_ms);
+            fresh.insert(format!("{prefix}/complete_wall"), s.complete_wall_ms);
+            fresh.insert(format!("{prefix}/wall_ratio"), s.wall_ratio());
+            unlocked += s.complete_capped;
+        }
+        fresh.insert("prune/unlocked_points".into(), unlocked as f64);
+    }
+
     fresh
 }
 
@@ -382,6 +416,7 @@ pub fn default_bench_files(repo_root: &Path) -> Vec<std::path::PathBuf> {
         "BENCH_sweep.json",
         "BENCH_pool.json",
         "BENCH_serve.json",
+        "BENCH_prune.json",
     ]
     .iter()
     .map(|f| repo_root.join(f))

@@ -6,7 +6,7 @@
 //!              [--routing xy|yx|shortest] [--out DIR]
 //!              [--campaign smoke|nightly|FILE.json] [--shard I/M]
 //!              [--input FILE]... [--bench FILE]... [--tolerance F]
-//!              [--points N] [--size N] [--suite streamit]
+//!              [--points N] [--size N] [--suite streamit|prune]
 //!
 //! commands:
 //!   table1        Table 1  (StreamIt characteristics)
@@ -26,7 +26,10 @@
 //!   sweep         Utilisation sweeps per workload family (--points,
 //!                 --size; curves as CSV in --out), or the StreamIt decade
 //!                 benchmark with --suite streamit (writes BENCH_sweep.json
-//!                 to --out: amortized-vs-naive walls + per-point energies)
+//!                 to --out: amortized-vs-naive walls + per-point energies),
+//!                 or the dominance-pruning benchmark with --suite prune
+//!                 (pruned vs complete DPA1D over StreamIt + a ≥256-stage
+//!                 generated workload; writes BENCH_prune.json to --out)
 //!   campaign      Sharded resumable synthetic-family campaign (--campaign
 //!                 names a preset or a spec .json file, --shard; results as
 //!                 JSONL + BENCH summary in --out)
@@ -94,7 +97,7 @@ use cmp_platform::{Platform, RoutePolicy, TopologyKind};
 use ea_bench::campaign::{outcome_text, run_campaign, CampaignSpec, Shard};
 use ea_bench::random_xp::{self, RandomXpConfig};
 use ea_bench::streamit_xp::{self, CAMPAIGN_CSV_HEADERS};
-use ea_bench::{ablation, bench_check, exact_xp, report, sweep_xp, topology_xp};
+use ea_bench::{ablation, bench_check, exact_xp, prune_xp, report, sweep_xp, topology_xp};
 use ea_core::{Solver, SolverRegistry};
 
 const USAGE: &str = "usage: xp <command> [--seed N] [--apps-per-point N] [--exact-count N] \
@@ -102,7 +105,7 @@ const USAGE: &str = "usage: xp <command> [--seed N] [--apps-per-point N] [--exac
                      [--routing xy|yx|shortest] [--out DIR] \
                      [--campaign smoke|nightly|FILE.json] [--shard I/M] \
                      [--input FILE]... [--bench FILE]... [--tolerance F] \
-                     [--points N] [--size N] [--suite streamit] \
+                     [--points N] [--size N] [--suite streamit|prune] \
                      [--socket PATH] [--tcp ADDR] [--cache-bytes N] \
                      [--deadline-ms N] [--request JSON]...
 commands: table1 fig8 fig9 table2 fig10 fig11 fig12 fig13 table3 exact
@@ -133,7 +136,7 @@ struct Opts {
     points: usize,
     /// Workload stage count for family sweeps (`xp sweep --size`).
     size: usize,
-    /// Named suite selector (`xp sweep --suite streamit`).
+    /// Named suite selector (`xp sweep --suite streamit|prune`).
     suite: Option<String>,
     /// Unix socket path for `serve`/`client` (`--socket`).
     socket: Option<PathBuf>,
@@ -278,8 +281,10 @@ fn parse_opts(rest: &[String]) -> Opts {
             }
             "--suite" => {
                 let name = value(&mut i, flag);
-                if name != "streamit" {
-                    usage_error(&format!("unknown suite '{name}' (expected streamit)"));
+                if name != "streamit" && name != "prune" {
+                    usage_error(&format!(
+                        "unknown suite '{name}' (expected streamit or prune)"
+                    ));
                 }
                 opts.suite = Some(name);
             }
@@ -555,6 +560,22 @@ fn sweep_cmd(opts: &Opts) {
         let path = opts.out.join("BENCH_sweep.json");
         if let Err(e) = std::fs::create_dir_all(&opts.out)
             .and_then(|_| std::fs::write(&path, sweep_xp::sweep_bench_json(&sweeps)))
+        {
+            soft_fail(&format!("writing {}: {e}", path.display()));
+        } else {
+            eprintln!("[sweep] wrote {}", path.display());
+        }
+        return;
+    }
+    if opts.suite.as_deref() == Some("prune") {
+        // Dominance on vs off over StreamIt + the ≥256-stage generated
+        // workload; the BENCH_prune.json document the perf gate compares
+        // against.
+        let sweeps = prune_xp::prune_bench(opts.seed);
+        print!("{}", prune_xp::prune_bench_text(&sweeps));
+        let path = opts.out.join("BENCH_prune.json");
+        if let Err(e) = std::fs::create_dir_all(&opts.out)
+            .and_then(|_| std::fs::write(&path, prune_xp::prune_bench_json(&sweeps)))
         {
             soft_fail(&format!("writing {}: {e}", path.display()));
         } else {

@@ -407,6 +407,18 @@ pub struct JobRecord {
     pub fail_cap: Option<u64>,
     /// The count observed at abort.
     pub fail_count: Option<u64>,
+    /// `DPA1D` dominance telemetry ([`ea_core::PruneStats`]), recorded
+    /// verbatim when the winning solution carried it. All four fields are
+    /// deterministic in the job key (the counters are order-independent
+    /// sums), so they live in the canonical final file. Absent for other
+    /// solvers and for failures.
+    pub transitions_kept: Option<u64>,
+    /// Admitted transitions skipped by dominance pruning.
+    pub transitions_pruned: Option<u64>,
+    /// Largest per-ideal energy frontier observed.
+    pub frontier_max: Option<u64>,
+    /// Certified optimality gap ([`ea_core::PruneStats::bound_gap`]).
+    pub bound_gap: Option<f64>,
     /// Wall time of the solve call, milliseconds. Volatile: recorded in
     /// the stream file and the summary, **excluded** from the canonical
     /// final file (it would break byte-identical resume).
@@ -451,6 +463,20 @@ impl JobRecord {
                 escape(phase)
             ));
         }
+        // DPA1D prune telemetry rides along the same way: additive, only
+        // when the winning solution carried it.
+        if let (Some(kept), Some(pruned), Some(frontier), Some(gap)) = (
+            self.transitions_kept,
+            self.transitions_pruned,
+            self.frontier_max,
+            self.bound_gap,
+        ) {
+            s.push_str(&format!(
+                ",\"transitions_kept\":{kept},\"transitions_pruned\":{pruned},\
+                 \"frontier_max\":{frontier},\"bound_gap\":{}",
+                fmt_f64(gap)
+            ));
+        }
         s.push('}');
         s
     }
@@ -492,6 +518,10 @@ impl JobRecord {
             fail_phase: s("fail_phase"),
             fail_cap: opt_f("fail_cap").map(|x| x as u64),
             fail_count: opt_f("fail_count").map(|x| x as u64),
+            transitions_kept: opt_f("transitions_kept").map(|x| x as u64),
+            transitions_pruned: opt_f("transitions_pruned").map(|x| x as u64),
+            frontier_max: opt_f("frontier_max").map(|x| x as u64),
+            bound_gap: opt_f("bound_gap"),
             wall_ms: opt_f("wall_ms").unwrap_or(0.0),
         })
     }
@@ -890,11 +920,11 @@ fn run_job(job: &CampaignJob, p: u32, q: u32) -> JobRecord {
     let started = Instant::now();
     let result = job.solver.solve(&inst, &SolveCtx::new(job.workload.seed));
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
-    let (energy_j, failure, budget) = match result {
-        Ok(sol) => (Some(sol.energy()), None, None),
+    let (energy_j, failure, budget, prune) = match result {
+        Ok(sol) => (Some(sol.energy()), None, None, sol.prune),
         Err(f) => {
             let budget = f.budget_exceeded().copied();
-            (None, Some(f.to_string()), budget)
+            (None, Some(f.to_string()), budget, None)
         }
     };
     JobRecord {
@@ -913,6 +943,10 @@ fn run_job(job: &CampaignJob, p: u32, q: u32) -> JobRecord {
         fail_phase: budget.map(|b| b.phase.name().to_string()),
         fail_cap: budget.map(|b| b.cap),
         fail_count: budget.map(|b| b.count),
+        transitions_kept: prune.map(|p| p.transitions_kept),
+        transitions_pruned: prune.map(|p| p.transitions_pruned),
+        frontier_max: prune.map(|p| u64::from(p.frontier_max)),
+        bound_gap: prune.map(|p| p.bound_gap),
         wall_ms,
     }
 }
@@ -1067,6 +1101,10 @@ mod tests {
             fail_phase: None,
             fail_cap: None,
             fail_count: None,
+            transitions_kept: None,
+            transitions_pruned: None,
+            frontier_max: None,
+            bound_gap: None,
             wall_ms: 4.25,
         };
         let parsed = JobRecord::parse(&rec.stream_line()).unwrap();
@@ -1089,6 +1127,22 @@ mod tests {
         assert_eq!(
             JobRecord::parse(&fail.canonical_line()).unwrap().fail_cap,
             Some(7)
+        );
+        // A DPA1D success with prune telemetry round-trips verbatim.
+        let pruned = JobRecord {
+            solver: "DPA1D".into(),
+            transitions_kept: Some(1200),
+            transitions_pruned: Some(300),
+            frontier_max: Some(5),
+            bound_gap: Some(0.0),
+            ..rec.clone()
+        };
+        assert_eq!(JobRecord::parse(&pruned.stream_line()).unwrap(), pruned);
+        assert_eq!(
+            JobRecord::parse(&pruned.canonical_line())
+                .unwrap()
+                .transitions_pruned,
+            Some(300)
         );
         // A pre-u-axis line (no utilisation, no telemetry) still parses.
         let old = rec.canonical_line().replace(",\"utilisation\":0.3", "");

@@ -15,6 +15,7 @@
 //! | Mesh vs torus vs ring comparison | [`topology_xp`] | `topology` |
 //! | Per-backend end-to-end smoke (CI gate) | [`topology_xp`] | `smoke` |
 //! | Synthetic-family campaign engine | [`campaign`] | `campaign` |
+//! | Dominance-pruning decade benchmark | [`prune_xp`] | `sweep --suite prune` |
 //! | Perf-regression gate vs `BENCH_*.json` | [`bench_check`] | `bench-check` |
 //!
 //! The period bound per workload follows §6.1.3 exactly ([`probe`]): start
@@ -34,6 +35,7 @@ pub mod exact_xp;
 pub mod json;
 pub mod pool_xp;
 pub mod probe;
+pub mod prune_xp;
 pub mod random_xp;
 pub mod report;
 pub mod runner;

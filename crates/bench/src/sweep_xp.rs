@@ -43,7 +43,7 @@ const SWEEP_BENCH_SAMPLES: usize = 3;
 /// at 2× the XScale top frequency), doubled so the loose end is feasible
 /// for `DPA1D` wherever the lattice is tractable and the tight end crosses
 /// its feasibility frontier.
-fn sweep_anchor_period(g: &Spg) -> f64 {
+pub(crate) fn sweep_anchor_period(g: &Spg) -> f64 {
     2.0 * g.total_work() / (8.0 * 1e9)
 }
 
@@ -238,14 +238,21 @@ pub struct FamilySweep {
     pub report: SweepReport,
 }
 
-/// CSV headers for `xp sweep`'s family curves.
-pub const SWEEP_CSV_HEADERS: [&str; 6] = [
+/// CSV headers for `xp sweep`'s family curves. Failures are recorded
+/// structurally — the phase/cap/count triple of a budget abort
+/// ([`ea_core::BudgetExceeded`], the same fields campaign JSONL carries),
+/// with `infeasible` in `fail_phase` for plain no-valid-mapping failures —
+/// so capped points are machine-readable instead of free-text.
+pub const SWEEP_CSV_HEADERS: [&str; 9] = [
     "family",
     "n",
     "utilisation",
     "period_s",
     "solver",
     "energy_j",
+    "fail_phase",
+    "fail_cap",
+    "fail_count",
 ];
 
 /// Sweeps a utilisation grid for one seeded member of every workload
@@ -287,6 +294,17 @@ pub fn family_sweep_csv_rows(sweeps: &[FamilySweep]) -> Vec<Vec<String>> {
     for fs in sweeps {
         for p in &fs.report.points {
             for r in &p.runs {
+                let (fail_phase, fail_cap, fail_count) = match &r.result {
+                    Ok(_) => (String::new(), String::new(), String::new()),
+                    Err(f) => match f.budget_exceeded() {
+                        Some(b) => (
+                            b.phase.name().to_string(),
+                            b.cap.to_string(),
+                            b.count.to_string(),
+                        ),
+                        None => ("infeasible".into(), String::new(), String::new()),
+                    },
+                };
                 rows.push(vec![
                     fs.family.clone(),
                     fs.n.to_string(),
@@ -294,6 +312,9 @@ pub fn family_sweep_csv_rows(sweeps: &[FamilySweep]) -> Vec<Vec<String>> {
                     fmt_f64(p.period),
                     r.name.clone(),
                     r.energy().map_or("".into(), fmt_f64),
+                    fail_phase,
+                    fail_cap,
+                    fail_count,
                 ]);
             }
         }

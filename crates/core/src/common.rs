@@ -48,6 +48,32 @@ impl std::fmt::Display for HeuristicKind {
     }
 }
 
+/// State-reduction telemetry of a `DPA1D` solve (see
+/// [`crate::Dpa1dConfig::dominance`]): how much of the admitted transition
+/// system the dominance frontier actually relaxed, and — when
+/// [`crate::Dpa1dConfig::frontier_cap`] truncated an exact frontier — the
+/// certified energy bound gap the returned solution carries instead of a
+/// `TooExpensive` failure. Campaign JSONL rows and the serve daemon's
+/// `stats` response surface these fields verbatim.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PruneStats {
+    /// Admitted transitions the relaxation scanned.
+    pub transitions_kept: u64,
+    /// Admitted transitions skipped because every DP state of their source
+    /// ideal was dominance-pruned before its out-edges were scanned.
+    pub transitions_pruned: u64,
+    /// Largest per-ideal energy frontier observed (the strictly-improving
+    /// prefix-minima staircase over cluster counts within one ideal's DP
+    /// row).
+    pub frontier_max: u32,
+    /// Certified optimality gap: the true optimum is no more than
+    /// `bound_gap` below the returned energy. Non-zero only when
+    /// `frontier_cap` truncated an exact frontier (the truncated states'
+    /// completions are lower-bounded, not searched); `0.0` means the solve
+    /// is exact modulo dominance.
+    pub bound_gap: f64,
+}
+
 /// A validated mapping together with its evaluation.
 #[derive(Debug, Clone)]
 pub struct Solution {
@@ -55,6 +81,9 @@ pub struct Solution {
     pub mapping: Mapping,
     /// Its validated evaluation at the requested period.
     pub eval: Evaluation,
+    /// `DPA1D` state-reduction telemetry (`None` for every other solver,
+    /// and for `DPA1D` paths that never engage the dominance frontier).
+    pub prune: Option<PruneStats>,
 }
 
 impl Solution {
@@ -62,6 +91,14 @@ impl Solution {
     #[inline]
     pub fn energy(&self) -> f64 {
         self.eval.energy
+    }
+
+    /// The certified energy bound gap, when this solution was produced by
+    /// a frontier-truncated `DPA1D` solve (see [`PruneStats::bound_gap`]);
+    /// `0.0` for exact solutions.
+    #[inline]
+    pub fn bound_gap(&self) -> f64 {
+        self.prune.map_or(0.0, |p| p.bound_gap)
     }
 }
 
@@ -195,7 +232,11 @@ pub fn validated_with(
     table: Option<&RouteTable>,
 ) -> Result<Solution, Failure> {
     match evaluate_with(spg, pf, &mapping, period, table) {
-        Ok(eval) => Ok(Solution { mapping, eval }),
+        Ok(eval) => Ok(Solution {
+            mapping,
+            eval,
+            prune: None,
+        }),
         Err(e) => Err(Failure::NoValidMapping(e.to_string())),
     }
 }

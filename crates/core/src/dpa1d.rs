@@ -52,7 +52,9 @@ use cmp_platform::{snake_core, CoreId, Platform, RouteTable};
 use spg::ideal::{enumerate_ideals, IdealError, IdealId, IdealLattice};
 use spg::{NodeSet, Spg, StageId};
 
-use crate::common::{validated_with, BudgetPhase, Failure, Solution};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use crate::common::{validated_with, BudgetPhase, Failure, PruneStats, Solution};
 use crate::instance::SharedLattice;
 
 /// Complexity budgets for `DPA1D`.
@@ -80,6 +82,40 @@ pub struct Dpa1dConfig {
     /// outright. (Tests force either order by setting this to 0 or
     /// `usize::MAX`; the results are bit-identical.)
     pub relax_par_threshold: usize,
+    /// Enables the dominance state-reduction layer (new in 0.8; `true` by
+    /// default — set `false` to reproduce 0.7 semantics exactly, see the
+    /// README migration note). Two effects:
+    ///
+    /// 1. **Dominance pruning.** Once an ideal's DP row is final, every
+    ///    state strictly dominated within the row's Pareto frontier over
+    ///    `(energy, residual cluster capacity)` is dropped before the
+    ///    ideal's out-transitions are scanned: a slot that covers the same
+    ///    ideal at strictly higher energy *and* strictly fewer remaining
+    ///    clusters than an earlier slot cannot start a better completion
+    ///    (any completion of the dominated state applies verbatim to its
+    ///    dominator). Value-preserving by construction, so energies stay
+    ///    bit-identical to the unpruned relaxation; what it buys is a
+    ///    tighter relaxation window per source row (often one slot instead
+    ///    of the full cluster-count range).
+    /// 2. **The edge cap becomes a soundness-preserving bound.** With the
+    ///    layer on, `edge_cap` bounds only *materialised* structures (the
+    ///    cached skeleton and per-period transition arrays). An admitted
+    ///    set that overflows the cap no longer fails with `TooExpensive`:
+    ///    the skeleton path streams the admission scan over the prebuilt
+    ///    index, and the materialisation path falls back to a fused
+    ///    DFS+relax sweep that stores no transitions at all — same
+    ///    candidate order, bit-identical result, bounded memory.
+    pub dominance: bool,
+    /// Upper bound on the per-ideal Pareto frontier kept by the dominance
+    /// layer (`usize::MAX` = unbounded, the default; values below 1 are
+    /// clamped to 1). When an *exact* frontier is truncated, the dropped
+    /// states' completions are lower-bounded instead of searched and the
+    /// solve returns normally with a certified
+    /// [`PruneStats::bound_gap`] — the true optimum is guaranteed to lie
+    /// within `bound_gap` below the returned energy. Truncation keeps the
+    /// lowest-cluster-count frontier members, so it never costs
+    /// feasibility, only (boundedly) optimality.
+    pub frontier_cap: usize,
 }
 
 impl Default for Dpa1dConfig {
@@ -88,6 +124,8 @@ impl Default for Dpa1dConfig {
             ideal_cap: 60_000,
             edge_cap: 1_000_000,
             relax_par_threshold: 10_000,
+            dominance: true,
+            frontier_cap: usize::MAX,
         }
     }
 }
@@ -197,6 +235,14 @@ pub struct TransitionSkeleton {
     /// level-`L` ideal come from strictly earlier levels, so levels are
     /// the parallel relaxation's synchronisation points.
     level_off: Vec<u32>,
+    /// The loosest period this skeleton serves exactly: `INFINITY` for a
+    /// complete (work-uncapped) build, or the work-ceiling period of a
+    /// bounded build. Work strictly grows along every extension-DFS path,
+    /// so a build capped at the ceiling's work threshold contains *every*
+    /// transition any period `T ≤ ceiling` admits, in the same DFS order —
+    /// the admission pass at such a `T` is bit-identical to one over the
+    /// complete skeleton (and to fresh materialisation at `T`).
+    period_ceiling: f64,
 }
 
 impl std::fmt::Debug for TransitionSkeleton {
@@ -205,6 +251,7 @@ impl std::fmt::Debug for TransitionSkeleton {
             .field("blocks", &self.blocks.len())
             .field("transitions", &self.to.len())
             .field("levels", &(self.level_off.len().saturating_sub(1)))
+            .field("period_ceiling", &self.period_ceiling)
             .finish()
     }
 }
@@ -238,6 +285,26 @@ impl TransitionSkeleton {
     /// Largest cluster stage count over all transitions.
     pub fn max_cluster_stages(&self) -> u32 {
         self.max_stages
+    }
+
+    /// The loosest period this skeleton serves exactly (`INFINITY` for a
+    /// complete build; see [`TransitionSkeleton::serves`]).
+    pub fn period_ceiling(&self) -> f64 {
+        self.period_ceiling
+    }
+
+    /// Whether this is a complete (work-uncapped) build serving every
+    /// period, as opposed to a work-ceiling bounded build.
+    pub fn is_complete(&self) -> bool {
+        self.period_ceiling.is_infinite()
+    }
+
+    /// Whether an admission pass at `period` over this skeleton is exact —
+    /// i.e. bit-identical to fresh per-period materialisation. True for
+    /// every period of a complete build, and for `period ≤ ceiling` of a
+    /// bounded one.
+    pub fn serves(&self, period: f64) -> bool {
+        period <= self.period_ceiling
     }
 
     /// In-edge count of one cardinality level (`level_off[l]..level_off[l+1]`
@@ -278,18 +345,41 @@ impl TransitionSkeleton {
         n
     }
 
-    /// Builds the complete transition system over `lattice`. Fails (with
-    /// the materialise-phase budget payload) when the complete set exceeds
-    /// `edge_cap` — the caller falls back to per-period materialisation,
-    /// whose work cap keeps the per-call set smaller.
+    /// Whether a fresh materialisation at this period would have created
+    /// this source block at all: admissible cut AND at least one
+    /// work-feasible out-transition. This is the dominance layer's gate
+    /// for pruning the source row — fresh materialisation only ever
+    /// prunes rows whose block exists, and the telemetry pins parity
+    /// with it bit for bit. The scan short-circuits on the first
+    /// feasible transition (DFS emits single-stage extensions first, so
+    /// it is almost always the very first element).
+    fn block_live(&self, b: &SkeletonBlock, adm: &Admission, ec: &EcalTable) -> bool {
+        b.admissible(adm)
+            && self.work[b.range.start as usize..b.range.end as usize]
+                .iter()
+                .any(|&w| w <= adm.cap_work && ec.ecal(w).is_some())
+    }
+
+    /// Builds the transition system over `lattice`, complete
+    /// (`period_ceiling = INFINITY`) or bounded by a work-ceiling period.
+    /// Fails (with the materialise-phase budget payload) when the built set
+    /// exceeds `edge_cap` — the caller falls back to a tighter ceiling or
+    /// to per-period materialisation.
     fn build(
         spg: &Spg,
         pf: &Platform,
         lattice: &IdealLattice,
         cuts: &[f64],
         edge_cap: usize,
+        period_ceiling: f64,
     ) -> Result<TransitionSkeleton, Failure> {
         debug_assert_eq!(cuts.len(), lattice.len());
+        // A bounded build applies the ceiling period's admission thresholds
+        // at materialisation time: both are monotone in the period, so
+        // everything a tighter period admits survives, in DFS order.
+        let ceiling_adm = period_ceiling
+            .is_finite()
+            .then(|| Admission::new(pf, period_ceiling));
         let mut blocks: Vec<SkeletonBlock> = Vec::new();
         let mut to: Vec<IdealId> = Vec::new();
         let mut work: Vec<f64> = Vec::new();
@@ -298,15 +388,22 @@ impl TransitionSkeleton {
             spg,
             lattice,
             pred_masks: lattice.pred_masks(),
-            // Work-uncapped: the skeleton serves every period, so only the
-            // edge cap bounds it.
-            cap_work: f64::INFINITY,
+            // Complete builds are work-uncapped: the skeleton serves every
+            // period, so only the edge cap bounds it.
+            cap_work: ceiling_adm.as_ref().map_or(f64::INFINITY, |a| a.cap_work),
             stack: Vec::with_capacity(4 * spg.n()),
         };
         for from in lattice.ids() {
-            // No bandwidth filter either: a cut infeasible at one period is
-            // feasible at a looser one. The admission pass applies both
-            // thresholds per period.
+            // Complete builds keep every boundary (a cut infeasible at one
+            // period is feasible at a looser one; the admission pass applies
+            // both thresholds per period). A bounded build drops boundaries
+            // already overloaded at the ceiling — no served period can pass
+            // through them.
+            if let Some(a) = &ceiling_adm {
+                if from.idx() != 0 && cuts[from.idx()] > a.bw_cap {
+                    continue;
+                }
+            }
             ctx.stack.clear();
             ctx.stack
                 .extend(lattice.covers(from).iter().map(|&(s, _)| StageId(s)));
@@ -397,19 +494,50 @@ impl TransitionSkeleton {
             in_idx,
             in_block,
             level_off,
+            period_ceiling,
         })
     }
 }
 
-/// Builds the skeleton for a shared lattice (crate-internal constructor
-/// used by the `Instance` cache).
+/// Builds the complete (every-period) skeleton for a shared lattice
+/// (crate-internal constructor used by the `Instance` cache).
 pub(crate) fn build_skeleton(
     spg: &Spg,
     pf: &Platform,
     shared: &SharedLattice,
     edge_cap: usize,
 ) -> Result<TransitionSkeleton, Failure> {
-    TransitionSkeleton::build(spg, pf, &shared.lattice, &shared.cuts, edge_cap)
+    TransitionSkeleton::build(
+        spg,
+        pf,
+        &shared.lattice,
+        &shared.cuts,
+        edge_cap,
+        f64::INFINITY,
+    )
+}
+
+/// Builds a work-ceiling bounded skeleton: exact for every period up to
+/// `period_ceiling` (see [`TransitionSkeleton::serves`]), and typically far
+/// smaller than the complete set — the escape hatch when the complete build
+/// overflows the edge cap (e.g. `BitonicSort`'s ~4.2M complete transitions
+/// against the 1M default cap).
+pub(crate) fn build_skeleton_bounded(
+    spg: &Spg,
+    pf: &Platform,
+    shared: &SharedLattice,
+    edge_cap: usize,
+    period_ceiling: f64,
+) -> Result<TransitionSkeleton, Failure> {
+    debug_assert!(period_ceiling.is_finite() && period_ceiling > 0.0);
+    TransitionSkeleton::build(
+        spg,
+        pf,
+        &shared.lattice,
+        &shared.cuts,
+        edge_cap,
+        period_ceiling,
+    )
 }
 
 /// The period-dependent compute-energy table: cluster work → `Ecal`.
@@ -477,13 +605,24 @@ pub(crate) fn dpa1d_run(
     skeleton: Option<&TransitionSkeleton>,
     table: Option<&RouteTable>,
 ) -> Result<Solution, Failure> {
-    let chain = match (shared, skeleton) {
-        (Some(sh), Some(sk)) => solve_chain_skeleton(spg, pf, period, cfg, &sh.lattice, sk)?,
-        (Some(sh), None) => solve_chain_on(spg, pf, period, cfg, &sh.lattice, &sh.cuts)?,
+    let (chain, prune) = match (shared, skeleton) {
+        // A bounded skeleton is only exact up to its ceiling; a request
+        // beyond it (defensive — the `Instance` cache hands out serving
+        // skeletons only) falls back to per-period materialisation.
+        (Some(sh), Some(sk)) if sk.serves(period) => {
+            solve_chain_skeleton(spg, pf, period, cfg, &sh.lattice, sk)?
+        }
+        (Some(sh), _) => solve_chain_on(spg, pf, period, cfg, &sh.lattice, &sh.cuts)?,
         _ => solve_chain(spg, pf, period, cfg)?,
     };
-    build_snake_solution(spg, pf, period, &chain, table)
+    let mut sol = build_snake_solution(spg, pf, period, &chain, table)?;
+    sol.prune = prune;
+    Ok(sol)
 }
+
+/// A solved cluster chain together with the dominance layer's telemetry
+/// (`None` when `cfg.dominance` is off).
+pub(crate) type ChainSolve = (Vec<Vec<StageId>>, Option<PruneStats>);
 
 /// The optimal chain of clusters (at most `pf.n_cores()` of them) for the
 /// uni-directional uni-line configuration, enumerating the lattice locally.
@@ -493,7 +632,7 @@ pub(crate) fn solve_chain(
     pf: &Platform,
     period: f64,
     cfg: &Dpa1dConfig,
-) -> Result<Vec<Vec<StageId>>, Failure> {
+) -> Result<ChainSolve, Failure> {
     let lattice = enumerate_ideals(spg, cfg.ideal_cap).map_err(|e| lattice_failure(&e))?;
     // Per-ideal cut volumes (traffic on the uni-line link right after the
     // ideal). An ideal whose cut exceeds the bandwidth-period product can
@@ -525,10 +664,211 @@ impl Admission {
     }
 }
 
+/// Per-solve state of the dominance layer (see
+/// [`Dpa1dConfig::dominance`]). Interior mutability throughout: the
+/// parallel relaxation prunes each destination row inside the rayon task
+/// that owns it, so every counter is an atomic (sums and min/max are
+/// order-independent — the telemetry is bit-identical across thread
+/// counts, which the sweep equivalence tests pin).
+struct PruneCtx {
+    /// Per-ideal relaxation-window shrink (in cluster-count slots),
+    /// recorded when the row was pruned. Written exactly once, by the
+    /// block/task that finalised the row; read only when relaxing *out* of
+    /// the row, which is always at a strictly later point of the schedule.
+    saved: Vec<AtomicU32>,
+    /// Σ over relaxed transitions of their window span — the inner-loop
+    /// candidate relaxations actually performed.
+    kept: AtomicU64,
+    /// Σ over relaxed transitions of their source's window shrink — the
+    /// candidate relaxations dominance avoided.
+    pruned: AtomicU64,
+    /// Largest exact (pre-cap) per-ideal Pareto frontier observed.
+    frontier_max: AtomicU32,
+    /// Minimum completion lower bound over frontier-cap-truncated states,
+    /// as `f64` bits (non-negative floats order like their bit patterns,
+    /// so `fetch_min` on the bits is an atomic float min).
+    trunc_lb: AtomicU64,
+    /// Number of frontier-cap truncations (0 ⇒ the solve is exact and
+    /// `bound_gap` is 0).
+    truncated: AtomicU64,
+    frontier_cap: usize,
+    /// Cheapest energy per cycle over the speed grid — the work term of
+    /// the truncation lower bound.
+    min_epc: f64,
+    /// Leak energy of one cluster at this period.
+    leak: f64,
+    /// Residual work per ideal (`total_work − work_volume(ideal)`; see
+    /// [`Spg::work_volume`]). Only materialised when `frontier_cap` can
+    /// actually truncate (it costs `O(Σ|ideal|)` to fill).
+    residual: Vec<f64>,
+}
+
+impl PruneCtx {
+    fn new(
+        spg: &Spg,
+        lattice: &IdealLattice,
+        ec: &EcalTable,
+        frontier_cap: usize,
+        width: usize,
+    ) -> PruneCtx {
+        let cap = frontier_cap.max(1);
+        // A frontier never exceeds the row width, so a cap at least that
+        // wide can never truncate — skip the residual-work precompute.
+        let residual = if cap < width {
+            let total = spg.total_work();
+            lattice.iter().map(|s| total - spg.work_volume(s)).collect()
+        } else {
+            Vec::new()
+        };
+        PruneCtx {
+            saved: (0..lattice.len()).map(|_| AtomicU32::new(0)).collect(),
+            kept: AtomicU64::new(0),
+            pruned: AtomicU64::new(0),
+            frontier_max: AtomicU32::new(0),
+            trunc_lb: AtomicU64::new(f64::INFINITY.to_bits()),
+            truncated: AtomicU64::new(0),
+            frontier_cap: cap,
+            min_epc: ec
+                .speeds
+                .iter()
+                .map(|&(_, epc)| epc)
+                .fold(f64::INFINITY, f64::min),
+            leak: ec.leak,
+            residual,
+        }
+    }
+
+    /// Prunes the *finalised* DP row of ideal `f` down to its Pareto
+    /// frontier before the row's out-transitions are scanned. A slot is
+    /// dominated iff an earlier (lower cluster count) slot covers the same
+    /// ideal at strictly lower energy: any completion of the dominated
+    /// state is also a completion of the dominator — with clusters to
+    /// spare — at strictly lower total, so no DP optimum ever routes
+    /// through it. Ties are kept (pruning them would be value-preserving
+    /// too, but could flip first-arrival parent selection and break the
+    /// bit-identity contract with the unpruned relaxation). Beyond
+    /// `frontier_cap` kept slots, further frontier members are *truncated*:
+    /// dropped with their completions lower-bounded into the certified
+    /// `bound_gap` (keeping the lowest-`k` members preserves feasibility —
+    /// completions transfer down-`k` — so truncation can cost optimality,
+    /// never a solution).
+    fn prune_row(
+        &self,
+        f: usize,
+        hop: f64,
+        width: usize,
+        e_row: &mut [f64],
+        klo: &mut u16,
+        khi: &mut u16,
+    ) {
+        if f == 0 || *klo == u16::MAX {
+            return; // the empty ideal's pinned row, or an unreachable one
+        }
+        let lo = *klo as usize;
+        let hi = *khi as usize;
+        let relax_hi = hi.min(width - 2);
+        let old_span = if lo <= relax_hi { relax_hi - lo + 1 } else { 0 };
+        let mut best = f64::INFINITY;
+        let mut kept = 0usize;
+        let mut new_lo = u16::MAX;
+        let mut new_hi = 0u16;
+        for (k, v) in e_row.iter_mut().enumerate().take(hi + 1).skip(lo) {
+            if !v.is_finite() {
+                continue;
+            }
+            if *v > best {
+                *v = f64::INFINITY; // dominated
+                continue;
+            }
+            best = *v;
+            kept += 1;
+            if kept > self.frontier_cap {
+                // Any completion pays the hop out of `f`, at least one
+                // cluster's leak, and the residual work at no better than
+                // the cheapest energy-per-cycle.
+                let res = self.residual.get(f).copied().unwrap_or(0.0);
+                let lb = *v + hop + self.leak + res * self.min_epc;
+                self.trunc_lb.fetch_min(lb.to_bits(), Ordering::Relaxed);
+                self.truncated.fetch_add(1, Ordering::Relaxed);
+                *v = f64::INFINITY; // truncated
+                continue;
+            }
+            new_lo = new_lo.min(k as u16);
+            new_hi = new_hi.max(k as u16);
+        }
+        self.frontier_max
+            .fetch_max(kept.min(u32::MAX as usize) as u32, Ordering::Relaxed);
+        debug_assert_ne!(new_lo, u16::MAX, "a reachable row keeps its first slot");
+        *klo = new_lo;
+        *khi = new_hi;
+        let new_hi_r = (new_hi as usize).min(width - 2);
+        let new_span = if (new_lo as usize) <= new_hi_r {
+            new_hi_r - (new_lo as usize) + 1
+        } else {
+            0
+        };
+        self.saved[f].store((old_span - new_span) as u32, Ordering::Relaxed);
+    }
+
+    /// Accounts the relaxations out of source row `f`: `n` transitions were
+    /// relaxed over a window of `span` slots; each also *avoided* the
+    /// row's recorded window shrink.
+    fn count_source(&self, f: usize, n: u64, span: u64) {
+        if n == 0 {
+            return;
+        }
+        self.kept.fetch_add(n * span, Ordering::Relaxed);
+        let saved = self.saved[f].load(Ordering::Relaxed) as u64;
+        if saved > 0 {
+            self.pruned.fetch_add(n * saved, Ordering::Relaxed);
+        }
+    }
+
+    /// The recorded window shrink of source row `f` (0 until the row was
+    /// pruned; sources are always pruned strictly before their out-edges
+    /// are relaxed, in every relaxation order).
+    fn saved_of(&self, f: usize) -> u64 {
+        self.saved[f].load(Ordering::Relaxed) as u64
+    }
+
+    /// Accounts a batch of relaxations counted edge-by-edge (the parallel
+    /// order's per-destination accumulation): same products as
+    /// [`PruneCtx::count_source`], summed in a different association.
+    fn count_edges(&self, kept: u64, pruned: u64) {
+        if kept > 0 {
+            self.kept.fetch_add(kept, Ordering::Relaxed);
+        }
+        if pruned > 0 {
+            self.pruned.fetch_add(pruned, Ordering::Relaxed);
+        }
+    }
+
+    /// Folds the counters into the public telemetry. `best` is the DP
+    /// optimum of the solve; the certified gap covers every truncated
+    /// state's lower-bounded completions.
+    fn stats(&self, best: f64) -> PruneStats {
+        let bound_gap = if self.truncated.load(Ordering::Relaxed) > 0 {
+            let lb = f64::from_bits(self.trunc_lb.load(Ordering::Relaxed));
+            (best - lb).max(0.0)
+        } else {
+            0.0
+        };
+        PruneStats {
+            transitions_kept: self.kept.load(Ordering::Relaxed),
+            transitions_pruned: self.pruned.load(Ordering::Relaxed),
+            frontier_max: self.frontier_max.load(Ordering::Relaxed),
+            bound_gap,
+        }
+    }
+}
+
 /// The Theorem 1 dynamic program over an already-enumerated lattice with
 /// precomputed per-ideal cut volumes. Enforces `cfg.ideal_cap` on the given
 /// lattice too, so a shared over-cap lattice still fails this solver the
-/// way a local enumeration would.
+/// way a local enumeration would. When the per-period admitted set
+/// overflows the edge cap and the dominance layer is on, falls back to the
+/// fused streaming sweep instead of failing (see
+/// [`Dpa1dConfig::dominance`]).
 pub(crate) fn solve_chain_on(
     spg: &Spg,
     pf: &Platform,
@@ -536,13 +876,23 @@ pub(crate) fn solve_chain_on(
     cfg: &Dpa1dConfig,
     lattice: &IdealLattice,
     cuts: &[f64],
-) -> Result<Vec<Vec<StageId>>, Failure> {
+) -> Result<ChainSolve, Failure> {
     debug_assert_eq!(cuts.len(), lattice.len());
     check_ideal_cap(lattice, cfg)?;
     let adm = Admission::new(pf, period);
     let (blocks, transitions) =
-        materialize_transitions(spg, pf, period, lattice, cuts, &adm, cfg.edge_cap)?;
+        match materialize_transitions(spg, pf, period, lattice, cuts, &adm, cfg.edge_cap) {
+            Ok(bt) => bt,
+            Err(e) if cfg.dominance && is_materialise_overflow(&e) => {
+                return solve_chain_streaming(spg, pf, period, cfg, lattice, cuts, &adm);
+            }
+            Err(e) => return Err(e),
+        };
+    let ec = EcalTable::new(pf, period);
     let mut state = DpState::new(lattice.len(), width_of(spg, pf));
+    let pr = cfg
+        .dominance
+        .then(|| PruneCtx::new(spg, lattice, &ec, cfg.frontier_cap, state.width));
 
     // The transition DAG is topologically ordered by id (every extension
     // strictly grows the ideal, and ids are sorted by cardinality), so a
@@ -557,22 +907,136 @@ pub(crate) fn solve_chain_on(
     let width = state.width;
     let mut row = vec![f64::INFINITY; width];
     for b in &blocks {
-        let Some((lo, hi)) = state.window(b.from.idx()) else {
+        let f = b.from.idx();
+        if let Some(p) = &pr {
+            p.prune_row(
+                f,
+                b.hop,
+                width,
+                &mut state.e[f * width..(f + 1) * width],
+                &mut state.klo[f],
+                &mut state.khi[f],
+            );
+        }
+        let Some((lo, hi)) = state.window(f) else {
             continue;
         };
         // Snapshot the source row: `e` rows of later ideals are written
         // while this one is read, and the borrow is easier on a buffer.
-        let f = b.from.idx();
         row[lo..=hi].copy_from_slice(&state.e[f * width + lo..f * width + hi + 1]);
         let range = b.range.start as usize..b.range.end as usize;
+        let mut kept = 0u64;
         for (&to, &ecal) in transitions.to[range.clone()]
             .iter()
             .zip(&transitions.ecal[range])
         {
+            kept += 1;
             state.relax(to.idx(), b.from.0, b.hop + ecal, &row, lo, hi);
         }
+        if let Some(p) = &pr {
+            p.count_source(f, kept, (hi - lo + 1) as u64);
+        }
     }
-    state.backtrack(lattice)
+    finish_chain(&state, lattice, pr)
+}
+
+/// Whether a failure is the materialise-phase edge-cap overflow (the only
+/// budget failure the dominance layer is licensed to absorb).
+fn is_materialise_overflow(e: &Failure) -> bool {
+    matches!(
+        e.budget_exceeded(),
+        Some(b) if b.phase == BudgetPhase::Materialise
+    )
+}
+
+/// The materialisation-free relaxation: walks the per-period extension DFS
+/// exactly like [`materialize_transitions`] but relaxes every transition
+/// the moment the DFS produces it, storing none of them. The candidate
+/// sequence — and therefore every tie-break, window, and the returned
+/// chain — is bit-identical to materialise-then-relax; only the memory
+/// profile differs (DP rows instead of transition arrays). This is what
+/// makes the edge cap a *soundness-preserving* bound under the dominance
+/// layer: an admitted set past the cap costs time, not a `TooExpensive`
+/// failure.
+fn solve_chain_streaming(
+    spg: &Spg,
+    pf: &Platform,
+    period: f64,
+    cfg: &Dpa1dConfig,
+    lattice: &IdealLattice,
+    cuts: &[f64],
+    adm: &Admission,
+) -> Result<ChainSolve, Failure> {
+    let ec = EcalTable::new(pf, period);
+    let mut state = DpState::new(lattice.len(), width_of(spg, pf));
+    let pr = PruneCtx::new(spg, lattice, &ec, cfg.frontier_cap, state.width);
+    let width = state.width;
+    let mut row = vec![f64::INFINITY; width];
+    let mut ctx = ExtendCtx {
+        spg,
+        lattice,
+        pred_masks: lattice.pred_masks(),
+        cap_work: adm.cap_work,
+        stack: Vec::with_capacity(4 * spg.n()),
+    };
+    for from in lattice.ids() {
+        let f = from.idx();
+        if f != 0 && cuts[f] > adm.bw_cap {
+            continue; // outgoing link overloaded: unreachable boundary
+        }
+        let hop = if f == 0 { 0.0 } else { pf.hop_energy(cuts[f]) };
+        ctx.stack.clear();
+        ctx.stack
+            .extend(lattice.covers(from).iter().map(|&(s, _)| StageId(s)));
+        let hi_stack = ctx.stack.len();
+        // Prune/snapshot lazily at the first produced transition, so a
+        // source with no work-feasible extension is treated exactly like a
+        // block the materialised path never created.
+        let mut win: Option<(usize, usize)> = None;
+        let mut primed = false;
+        let mut kept = 0u64;
+        extend(&mut ctx, from, 0.0, 1, 0, hi_stack, &mut |to: IdealId,
+                                                          w: f64,
+                                                          _depth: u32|
+         -> bool {
+            let Some(ecal) = ec.ecal(w) else { return true };
+            if !primed {
+                primed = true;
+                pr.prune_row(
+                    f,
+                    hop,
+                    width,
+                    &mut state.e[f * width..(f + 1) * width],
+                    &mut state.klo[f],
+                    &mut state.khi[f],
+                );
+                win = state.window(f);
+                if let Some((lo, hi)) = win {
+                    row[lo..=hi].copy_from_slice(&state.e[f * width + lo..f * width + hi + 1]);
+                }
+            }
+            let Some((lo, hi)) = win else { return true };
+            kept += 1;
+            state.relax(to.idx(), from.0, hop + ecal, &row, lo, hi);
+            true
+        });
+        if let Some((lo, hi)) = win {
+            pr.count_source(f, kept, (hi - lo + 1) as u64);
+        }
+    }
+    finish_chain(&state, lattice, Some(pr))
+}
+
+/// Backtracks the relaxed state into a cluster chain and stamps the
+/// dominance telemetry (the certified bound gap prices off the DP optimum;
+/// the evaluator re-prices the chain within one ulp of it).
+fn finish_chain(
+    state: &DpState,
+    lattice: &IdealLattice,
+    pr: Option<PruneCtx>,
+) -> Result<ChainSolve, Failure> {
+    let (chain, best) = state.backtrack(lattice)?;
+    Ok((chain, pr.map(|p| p.stats(best))))
 }
 
 /// The same dynamic program off a prebuilt [`TransitionSkeleton`]: no
@@ -589,33 +1053,48 @@ pub(crate) fn solve_chain_skeleton(
     cfg: &Dpa1dConfig,
     lattice: &IdealLattice,
     sk: &TransitionSkeleton,
-) -> Result<Vec<Vec<StageId>>, Failure> {
+) -> Result<ChainSolve, Failure> {
     check_ideal_cap(lattice, cfg)?;
     let adm = Admission::new(pf, period);
-    // Enforce the edge cap on the *admitted* count, which is exactly what
-    // per-period materialisation would have produced (its DFS only visits
-    // work-feasible extensions).
-    let admitted = sk.admitted_count(&adm);
-    if admitted > cfg.edge_cap {
-        return Err(Failure::budget(
-            BudgetPhase::Materialise,
-            cfg.edge_cap,
-            admitted,
-        ));
+    if !cfg.dominance {
+        // Legacy (0.7) semantics: enforce the edge cap on the *admitted*
+        // count, which is exactly what per-period materialisation would
+        // have produced. With the dominance layer on the check is skipped:
+        // the admission scan streams over the already-materialised index,
+        // so an over-cap admitted count is time, not memory — the cap only
+        // bounds what gets built.
+        let admitted = sk.admitted_count(&adm);
+        if admitted > cfg.edge_cap {
+            return Err(Failure::budget(
+                BudgetPhase::Materialise,
+                cfg.edge_cap,
+                admitted,
+            ));
+        }
     }
     let ecal = EcalTable::new(pf, period);
     let mut state = DpState::new(lattice.len(), width_of(spg, pf));
+    let pr = cfg
+        .dominance
+        .then(|| PruneCtx::new(spg, lattice, &ecal, cfg.frontier_cap, state.width));
     // The by-destination layered form only pays when some level is wide
     // enough to amortise the fan-out AND the pool actually has more than
     // one worker; otherwise the block-order sweep is both allocation-free
     // and cache-friendlier (and with one worker the layered form's
     // transposed access pattern is pure loss).
     if sk.has_parallel_level(cfg.relax_par_threshold) && rayon::current_num_threads() > 1 {
-        relax_skeleton_par(&mut state, sk, &adm, &ecal, cfg.relax_par_threshold);
+        relax_skeleton_par(
+            &mut state,
+            sk,
+            &adm,
+            &ecal,
+            cfg.relax_par_threshold,
+            pr.as_ref(),
+        );
     } else {
-        relax_skeleton_seq(&mut state, sk, &adm, &ecal);
+        relax_skeleton_seq(&mut state, sk, &adm, &ecal, pr.as_ref());
     }
-    state.backtrack(lattice)
+    finish_chain(&state, lattice, pr)
 }
 
 /// Sequential single-pass sweep over the skeleton blocks with inline
@@ -625,6 +1104,7 @@ fn relax_skeleton_seq(
     sk: &TransitionSkeleton,
     adm: &Admission,
     ec: &EcalTable,
+    pr: Option<&PruneCtx>,
 ) {
     let width = state.width;
     let mut row = vec![f64::INFINITY; width];
@@ -632,12 +1112,32 @@ fn relax_skeleton_seq(
         if !b.admissible(adm) {
             continue;
         }
-        let Some((lo, hi)) = state.window(b.from.idx()) else {
+        let f = b.from.idx();
+        // The row is final here (all in-edges come from smaller ids), and
+        // its out-transitions are about to be scanned — the dominance
+        // layer's pruning point. Gated on `block_live`: a fresh build at
+        // this period materialises a block only when some out-transition
+        // is work-feasible, and it prunes exactly those rows — the
+        // telemetry parity pins depend on matching that. The parallel
+        // order prunes the same rows on the same finalised data (each
+        // inside the task that owns it), so decisions, windows, and
+        // counters agree bit for bit.
+        if let Some(p) = pr.filter(|_| sk.block_live(b, adm, ec)) {
+            p.prune_row(
+                f,
+                b.hop,
+                width,
+                &mut state.e[f * width..(f + 1) * width],
+                &mut state.klo[f],
+                &mut state.khi[f],
+            );
+        }
+        let Some((lo, hi)) = state.window(f) else {
             continue;
         };
-        let f = b.from.idx();
         row[lo..=hi].copy_from_slice(&state.e[f * width + lo..f * width + hi + 1]);
         let range = b.range.start as usize..b.range.end as usize;
+        let mut kept = 0u64;
         for (&to, &w) in sk.to[range.clone()].iter().zip(&sk.work[range]) {
             if w > adm.cap_work {
                 continue;
@@ -645,7 +1145,11 @@ fn relax_skeleton_seq(
             // The work threshold guarantees a feasible speed; be defensive
             // about rounding anyway and skip rather than panic.
             let Some(ecal) = ec.ecal(w) else { continue };
+            kept += 1;
             state.relax(to.idx(), b.from.0, b.hop + ecal, &row, lo, hi);
+        }
+        if let Some(p) = pr {
+            p.count_source(f, kept, (hi - lo + 1) as u64);
         }
     }
 }
@@ -673,10 +1177,23 @@ fn relax_skeleton_par(
     adm: &Admission,
     ec: &EcalTable,
     par_level_edges: usize,
+    pr: Option<&PruneCtx>,
 ) {
     use rayon::prelude::*;
 
     let width = state.width;
+    // Destination-side pruning needs each ideal's out-block (hop and
+    // liveness gate): the sequential sweep finds it by walking the blocks
+    // in order, the transposed order looks it up.
+    let block_of: Vec<u32> = if pr.is_some() {
+        let mut map = vec![u32::MAX; state.klo.len()];
+        for (bi, b) in sk.blocks.iter().enumerate() {
+            map[b.from.idx()] = bi as u32;
+        }
+        map
+    } else {
+        Vec::new()
+    };
     for lv in sk.level_off.windows(2).skip(1) {
         let (start, end) = (lv[0] as usize, lv[1] as usize);
         // Split every DP array at the level boundary: the finished prefix
@@ -702,6 +1219,8 @@ fn relax_skeleton_par(
             .collect();
         let relax_one = |(t, e_row, par_row, klo_t, khi_t): LevelTask<'_>| {
             let edges = sk.in_off[t] as usize..sk.in_off[t + 1] as usize;
+            let mut kept_n = 0u64;
+            let mut pruned_n = 0u64;
             for (&j, &bi) in sk.in_idx[edges.clone()].iter().zip(&sk.in_block[edges]) {
                 let b = &sk.blocks[bi as usize];
                 if !b.admissible(adm) {
@@ -721,6 +1240,14 @@ fn relax_skeleton_par(
                     continue;
                 }
                 let Some(ecal) = ec.ecal(w) else { continue };
+                if let Some(p) = pr {
+                    // The sequential order counts per *source* (n kept
+                    // transitions × its window span); counting the same
+                    // products edge-by-edge here sums to the identical
+                    // totals, in any task order.
+                    kept_n += (hi - lo + 1) as u64;
+                    pruned_n += p.saved_of(f);
+                }
                 let entry = b.hop + ecal;
                 for k in lo..=hi {
                     let cand = e_done[f * width + k] + entry;
@@ -731,6 +1258,21 @@ fn relax_skeleton_par(
                 }
                 *klo_t = (*klo_t).min(lo as u16 + 1);
                 *khi_t = (*khi_t).max(hi as u16 + 1);
+            }
+            if let Some(p) = pr {
+                p.count_edges(kept_n, pruned_n);
+                // This row is final once its last in-edge has relaxed:
+                // prune it here, inside the task that owns it, iff a
+                // fresh per-period build would have materialised its
+                // out-block (the same gate the sequential sweep applies
+                // when it reaches the block).
+                let bi = block_of[t];
+                if bi != u32::MAX {
+                    let b = &sk.blocks[bi as usize];
+                    if sk.block_live(b, adm, ec) {
+                        p.prune_row(t, b.hop, width, e_row, klo_t, khi_t);
+                    }
+                }
             }
         };
         if sk.level_edges(start, end) >= par_level_edges && end - start >= 2 {
@@ -819,12 +1361,13 @@ impl DpState {
 
     /// Picks the best cluster count for the full ideal and walks the
     /// parent chain back to the empty ideal; cluster members stream
-    /// straight out of the arena, no set is materialised.
-    fn backtrack(&self, lattice: &IdealLattice) -> Result<Vec<Vec<StageId>>, Failure> {
+    /// straight out of the arena, no set is materialised. Also returns
+    /// the DP optimum energy (the certified bound gap prices off it).
+    fn backtrack(&self, lattice: &IdealLattice) -> Result<(Vec<Vec<StageId>>, f64), Failure> {
         let width = self.width;
         let full = lattice.full_id().idx();
         let full_row = &self.e[full * width..(full + 1) * width];
-        let Some((k_best, _)) = full_row
+        let Some((k_best, &best)) = full_row
             .iter()
             .enumerate()
             .filter(|(_, v)| v.is_finite())
@@ -849,7 +1392,7 @@ impl DpState {
         }
         debug_assert_eq!(j, 0, "chain must end at the empty ideal");
         chain.reverse();
-        Ok(chain)
+        Ok((chain, best))
     }
 }
 
@@ -1084,7 +1627,7 @@ mod tests {
     fn chain_clusters_are_contiguous_prefix_partition() {
         let pf = Platform::paper(1, 4);
         let g = chain(&[0.5e9; 6], &[1e3; 5]);
-        let chain_sol = solve_chain(&g, &pf, 1.0, &Dpa1dConfig::default()).unwrap();
+        let (chain_sol, _) = solve_chain(&g, &pf, 1.0, &Dpa1dConfig::default()).unwrap();
         // Union of clusters in order must walk the chain front to back.
         let topo = g.topo_order();
         let flat: Vec<StageId> = chain_sol
@@ -1184,9 +1727,11 @@ mod tests {
             prev = n;
         }
         assert_eq!(prev, sk.n_transitions(), "a loose period admits all");
-        // A tiny edge cap fails the skeleton path with the admitted count.
+        // With the dominance layer off (legacy semantics), a tiny edge cap
+        // fails the skeleton path with the admitted count.
         let tight = Dpa1dConfig {
             edge_cap: 1,
+            dominance: false,
             ..cfg.clone()
         };
         let err = solve_chain_skeleton(&g, &pf, 1.0, &tight, &shared.lattice, &sk).unwrap_err();
@@ -1194,6 +1739,20 @@ mod tests {
         assert_eq!(b.phase, BudgetPhase::Materialise);
         assert_eq!(b.cap, 1);
         assert!(b.count > 1);
+        // With the dominance layer on, the same cap is a bound on what gets
+        // *built*, not a failure mode: the already-built skeleton streams
+        // through admission and yields the exact chain.
+        let (unc, _) = solve_chain_skeleton(&g, &pf, 1.0, &cfg, &shared.lattice, &sk).unwrap();
+        let tight_dom = Dpa1dConfig {
+            edge_cap: 1,
+            ..cfg.clone()
+        };
+        let (capped, stats) =
+            solve_chain_skeleton(&g, &pf, 1.0, &tight_dom, &shared.lattice, &sk).unwrap();
+        assert_eq!(unc, capped, "edge cap must not change the exact chain");
+        let stats = stats.unwrap();
+        assert_eq!(stats.bound_gap, 0.0, "uncapped frontier is exact");
+        assert!(stats.transitions_kept > 0);
     }
 
     /// The skeleton builder itself respects the edge cap (complete-set
@@ -1212,10 +1771,162 @@ mod tests {
         // A 30-chain has 31 ideals and C(31,2) = 465 transitions.
         let sk = build_skeleton(&g, &pf, &shared, 1_000_000).unwrap();
         assert_eq!(sk.n_transitions(), 465);
+        assert!(sk.is_complete() && sk.serves(f64::MAX));
         let err = build_skeleton(&g, &pf, &shared, 100).unwrap_err();
         let b = err.budget_exceeded().unwrap();
         assert_eq!(b.phase, BudgetPhase::Materialise);
         assert_eq!(b.cap, 100);
+        // A work-ceiling bounded build materialises only the ceiling's
+        // admitted set — it fits the cap the complete build overflows.
+        // cap_work = 3e6 ⇒ clusters of ≤ 3 stages ⇒ 3·30 − 3 = 87 ≤ 100.
+        let ceiling = 0.003;
+        let bounded = build_skeleton_bounded(&g, &pf, &shared, 100, ceiling).unwrap();
+        assert!(!bounded.is_complete());
+        assert!(bounded.serves(ceiling) && !bounded.serves(ceiling * 1.01));
+        assert!(bounded.n_transitions() < sk.n_transitions());
+    }
+
+    /// A bounded skeleton serves every period at or below its ceiling
+    /// bit-identically to the complete skeleton AND to fresh per-period
+    /// materialisation — results and telemetry both.
+    #[test]
+    fn bounded_skeleton_matches_fresh_below_ceiling() {
+        let branches: Vec<Spg> = (0..3)
+            .map(|i| chain(&[2e8 + i as f64, 3e8], &[1e4]))
+            .collect();
+        let g = spg::series(&chain(&[1e8, 2e8], &[1e4]), &parallel_many(&branches));
+        let pf = Platform::paper(2, 3);
+        let cfg = Dpa1dConfig::default();
+        let lattice = enumerate_ideals(&g, cfg.ideal_cap).unwrap();
+        let cuts: Vec<f64> = lattice.iter().map(|s| g.cut_volume(s)).collect();
+        let shared = SharedLattice {
+            lattice: enumerate_ideals(&g, cfg.ideal_cap).unwrap(),
+            cuts: cuts.clone(),
+        };
+        let complete = build_skeleton(&g, &pf, &shared, cfg.edge_cap).unwrap();
+        let ceiling = 0.5;
+        let bounded = build_skeleton_bounded(&g, &pf, &shared, cfg.edge_cap, ceiling).unwrap();
+        assert!(bounded.n_transitions() <= complete.n_transitions());
+        for period in [0.5, 0.2, 0.05, 0.01] {
+            let adm = Admission::new(&pf, period);
+            assert_eq!(
+                bounded.admitted_count(&adm),
+                complete.admitted_count(&adm),
+                "admitted sets must agree at T={period}"
+            );
+            let fresh = solve_chain_on(&g, &pf, period, &cfg, &lattice, &cuts);
+            let served = solve_chain_skeleton(&g, &pf, period, &cfg, &lattice, &bounded);
+            match (&fresh, &served) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "bounded skeleton diverged at T={period}"),
+                (Err(_), Err(_)) => {}
+                other => panic!("path outcomes diverged at T={period}: {other:?}"),
+            }
+        }
+    }
+
+    /// With dominance on, a materialise-overflow streams the relaxation
+    /// instead of failing, and matches the uncapped materialised solve —
+    /// results and telemetry — making the edge cap soundness-preserving.
+    #[test]
+    fn streaming_fallback_matches_materialised() {
+        // 6 cores: even the tight period's all-singleton chain stays
+        // feasible, so both legs exercise a real solve.
+        let g = chain(&[0.5e9; 6], &[1e5; 5]);
+        let pf = Platform::paper(2, 3);
+        let base = Dpa1dConfig::default();
+        let lattice = enumerate_ideals(&g, base.ideal_cap).unwrap();
+        let cuts: Vec<f64> = lattice.iter().map(|s| g.cut_volume(s)).collect();
+        for period in [1.0, 0.5] {
+            let full = solve_chain_on(&g, &pf, period, &base, &lattice, &cuts).unwrap();
+            let capped_cfg = Dpa1dConfig {
+                edge_cap: 1,
+                ..base.clone()
+            };
+            let capped = solve_chain_on(&g, &pf, period, &capped_cfg, &lattice, &cuts).unwrap();
+            assert_eq!(full, capped, "streaming diverged at T={period}");
+            // Dominance off keeps the 0.7 semantics: a hard budget failure.
+            let legacy = Dpa1dConfig {
+                edge_cap: 1,
+                dominance: false,
+                ..base.clone()
+            };
+            let err = solve_chain_on(&g, &pf, period, &legacy, &lattice, &cuts).unwrap_err();
+            assert_eq!(
+                err.budget_exceeded().unwrap().phase,
+                BudgetPhase::Materialise
+            );
+        }
+    }
+
+    /// Dominance pruning is value-preserving: the solved chain is
+    /// bit-identical with the layer on and off (only the telemetry
+    /// differs — off reports none).
+    #[test]
+    fn dominance_on_off_chains_agree() {
+        let graphs = [chain(&[0.5e9, 0.3e9, 0.7e9, 0.2e9], &[1e6, 5e6, 2e6]), {
+            let branches: Vec<Spg> = (0..3)
+                .map(|i| chain(&[2e8 + i as f64, 3e8], &[1e4]))
+                .collect();
+            spg::series(&chain(&[1e8, 2e8], &[1e4]), &parallel_many(&branches))
+        }];
+        let pf = Platform::paper(2, 3);
+        let off_cfg = Dpa1dConfig {
+            dominance: false,
+            ..Default::default()
+        };
+        for g in &graphs {
+            for period in [1.0, 0.5, 0.2, 0.05, 0.01] {
+                let on = solve_chain(g, &pf, period, &Dpa1dConfig::default());
+                let off = solve_chain(g, &pf, period, &off_cfg);
+                match (&on, &off) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a.0, b.0, "dominance changed the chain at T={period}");
+                        assert!(a.1.is_some() && b.1.is_none());
+                    }
+                    (Err(ea), Err(eb)) => assert_eq!(ea, eb),
+                    other => panic!("on/off outcomes diverged at T={period}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    /// `frontier_cap` truncation returns a solution with a certified gap
+    /// that contains the true optimum (from the uncapped solve), instead
+    /// of failing.
+    #[test]
+    fn frontier_cap_certifies_a_bound_gap() {
+        // Light stages at a loose period: many cluster counts are feasible
+        // per ideal and splitting lowers dynamic energy, so rows hold rich
+        // frontiers that a cap of 1 must truncate.
+        let g = chain(&[0.4e9; 4], &[1e3; 3]);
+        let pf = Platform::paper(2, 2);
+        let t = 1.0;
+        let exact = dpa1d_run(&g, &pf, t, &Dpa1dConfig::default(), None, None, None).unwrap();
+        let exact_stats = exact.prune.expect("dominance on by default");
+        assert!(
+            exact_stats.frontier_max >= 2,
+            "test instance must exercise a non-trivial frontier, got {exact_stats:?}"
+        );
+        assert_eq!(exact_stats.bound_gap, 0.0);
+        let capped_cfg = Dpa1dConfig {
+            frontier_cap: 1,
+            ..Default::default()
+        };
+        let capped = dpa1d_run(&g, &pf, t, &capped_cfg, None, None, None).unwrap();
+        let gap = capped.bound_gap();
+        assert!(gap >= 0.0);
+        // The capped solve prices a (possibly suboptimal) valid chain, so
+        // its energy is at least the optimum; the certificate says the
+        // optimum is no further than `gap` below it. One ulp of slack for
+        // the evaluator's re-pricing of the DP energies.
+        let slack = 1e-9 * exact.energy();
+        assert!(capped.energy() >= exact.energy() - slack);
+        assert!(
+            exact.energy() >= capped.energy() - gap - slack,
+            "certified gap must contain the true optimum: exact={}, capped={}, gap={gap}",
+            exact.energy(),
+            capped.energy()
+        );
     }
 
     use spg::Spg;

@@ -33,7 +33,7 @@ use spg::ideal::{enumerate_ideals, IdealError, IdealLattice};
 use spg::{Spg, StageId};
 
 use crate::common::Failure;
-use crate::dpa1d::{build_skeleton, Dpa1dConfig, TransitionSkeleton};
+use crate::dpa1d::{build_skeleton, build_skeleton_bounded, Dpa1dConfig, TransitionSkeleton};
 
 /// The interned ideal lattice of an instance together with the per-ideal
 /// cut volumes `DPA1D` prices its uni-line links with. Both are
@@ -68,12 +68,37 @@ type LatticeSlot = Mutex<Option<(usize, Result<Arc<SharedLattice>, IdealError>)>
 /// answers any request with cap ≤ `c` (the complete set is even larger).
 type SkeletonSlot = Mutex<Option<(usize, Result<Arc<TransitionSkeleton>, Failure>)>>;
 
+/// Cached work-ceiling bounded skeleton state (the fallback when the
+/// complete transition set overflows the edge cap): at most one built
+/// artifact — the loosest ceiling built so far, which serves every period
+/// at or below it — plus the most binding build *failure* observed.
+///
+/// The failure is keyed by both the edge cap it was attempted under and
+/// the ceiling it was attempted at: bounded builds are monotone in both,
+/// so a failure at `(cap, ceiling)` proves failure for any `cap' ≤ cap`
+/// at any `ceiling' ≥ ceiling` — and proves nothing about tighter
+/// ceilings. That keying is what lets a tighter sweep point retry (and
+/// succeed) after a looser point's build overflowed, where a bare
+/// "build failed once" flag would poison the whole session.
+#[derive(Default)]
+struct BoundedSkeleton {
+    built: Option<Arc<TransitionSkeleton>>,
+    /// `(edge_cap, ceiling)` of the most binding failed build: tightest
+    /// ceiling first, largest cap among equal ceilings.
+    failed: Option<(usize, f64)>,
+}
+
 /// Period-independent derived structures, shared between an instance and
 /// its [`Instance::with_period`] re-targets.
 #[derive(Default)]
 struct Derived {
     lattice: LatticeSlot,
     skeleton: SkeletonSlot,
+    bounded: Mutex<BoundedSkeleton>,
+    /// The loosest period a sweep over this instance intends to request
+    /// (see [`Instance::note_period_ceiling`]): bounded builds target it
+    /// so one artifact serves the whole grid. `0.0` until noted.
+    sweep_ceiling: Mutex<f64>,
     snake: OnceLock<Vec<CoreId>>,
     topo: OnceLock<Vec<StageId>>,
     /// One lazily built precomputed route table per [`RoutePolicy`]
@@ -236,12 +261,16 @@ impl Instance {
     ///
     /// Returns:
     ///
-    /// * `Ok(Some(_))` — the skeleton (cached or freshly built);
-    /// * `Ok(None)` — the *complete* transition set exceeds
-    ///   `cfg.edge_cap`, so no period-independent index exists within
-    ///   budget; callers fall back to per-period materialisation, whose
-    ///   work cap keeps the per-call set smaller (also cached: the build
-    ///   is not retried per period);
+    /// * `Ok(Some(_))` — a skeleton serving this session's period: the
+    ///   complete build when it fits `cfg.edge_cap`, else a work-ceiling
+    ///   bounded build targeting the loosest period the session is known
+    ///   to need (see [`Instance::note_period_ceiling`]) — exact for
+    ///   every period it [`TransitionSkeleton::serves`];
+    /// * `Ok(None)` — neither the complete set nor any candidate bounded
+    ///   build fits `cfg.edge_cap`; callers fall back to per-period
+    ///   materialisation (also cached: failures are keyed by the cap —
+    ///   and, for bounded builds, the ceiling — they were attempted
+    ///   under, so only genuinely new requests re-run a build);
     /// * `Err(_)` — lattice enumeration itself exceeded `cfg.ideal_cap`.
     pub fn transition_skeleton(
         &self,
@@ -250,17 +279,99 @@ impl Instance {
         let shared = self
             .lattice(cfg.ideal_cap)
             .map_err(|e| crate::dpa1d::lattice_failure(&e))?;
-        let mut slot = self.derived.skeleton.lock().unwrap();
-        if let Some((built_cap, res)) = slot.as_ref() {
-            match res {
-                Ok(sk) => return Ok(Some(Arc::clone(sk))),
-                Err(_) if cfg.edge_cap <= *built_cap => return Ok(None),
-                Err(_) => {}
+        {
+            let mut slot = self.derived.skeleton.lock().unwrap();
+            let known_overflow = match slot.as_ref() {
+                Some((_, Ok(sk))) => return Ok(Some(Arc::clone(sk))),
+                // A complete-build overflow at cap ≥ ours is proof ours
+                // overflows too; a *smaller* failed cap proves nothing, so
+                // fall through and (re)try the complete build.
+                Some((built_cap, Err(_))) => cfg.edge_cap <= *built_cap,
+                None => false,
+            };
+            if !known_overflow {
+                let res = build_skeleton(self.spg(), self.platform(), &shared, cfg.edge_cap)
+                    .map(Arc::new);
+                *slot = Some((cfg.edge_cap, res.clone()));
+                if let Ok(sk) = res {
+                    return Ok(Some(sk));
+                }
             }
         }
-        let res = build_skeleton(self.spg(), self.platform(), &shared, cfg.edge_cap).map(Arc::new);
-        *slot = Some((cfg.edge_cap, res.clone()));
-        Ok(res.ok())
+        // The complete set is over budget: fall back to a bounded build.
+        self.bounded_skeleton(cfg, &shared)
+    }
+
+    /// The work-ceiling bounded fallback of [`Instance::transition_skeleton`].
+    /// Candidate ceilings run loosest first — the sweep-grid hint (one
+    /// build serves the whole grid), then this session's own period — and
+    /// each is skipped when a recorded failure already proves it overflows
+    /// at this cap.
+    fn bounded_skeleton(
+        &self,
+        cfg: &Dpa1dConfig,
+        shared: &Arc<SharedLattice>,
+    ) -> Result<Option<Arc<TransitionSkeleton>>, Failure> {
+        let hint = *self.derived.sweep_ceiling.lock().unwrap();
+        let mut slot = self.derived.bounded.lock().unwrap();
+        if let Some(sk) = &slot.built {
+            if sk.serves(self.period) {
+                return Ok(Some(Arc::clone(sk)));
+            }
+        }
+        let loosest = hint.max(self.period);
+        let mut candidates = vec![loosest];
+        if self.period < loosest {
+            candidates.push(self.period);
+        }
+        for ceiling in candidates {
+            if let Some((fcap, fceil)) = slot.failed {
+                if cfg.edge_cap <= fcap && ceiling >= fceil {
+                    continue; // proven overflow at this cap and ceiling
+                }
+            }
+            match build_skeleton_bounded(self.spg(), self.platform(), shared, cfg.edge_cap, ceiling)
+            {
+                Ok(sk) => {
+                    let sk = Arc::new(sk);
+                    // Cache the loosest built artifact (it strictly
+                    // subsumes tighter ones); always serve the fresh one.
+                    if slot
+                        .built
+                        .as_ref()
+                        .is_none_or(|b| sk.period_ceiling() > b.period_ceiling())
+                    {
+                        slot.built = Some(Arc::clone(&sk));
+                    }
+                    return Ok(Some(sk));
+                }
+                Err(_) => {
+                    slot.failed = Some(match slot.failed {
+                        // Keep the tightest-ceiling record (it covers the
+                        // largest request region); merge caps on a tie.
+                        Some((fc, fceil)) if fceil < ceiling => (fc, fceil),
+                        Some((fc, fceil)) if fceil == ceiling => (fc.max(cfg.edge_cap), fceil),
+                        _ => (cfg.edge_cap, ceiling),
+                    });
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Records (max-accumulating) the loosest period this session — or a
+    /// [`Instance::with_period`] re-target sharing its caches — intends to
+    /// request. Period sweeps call this with their grid's loosest resolved
+    /// point before fanning out, so the first bounded skeleton build
+    /// targets a ceiling serving *every* point exactly (see
+    /// [`TransitionSkeleton::serves`]).
+    pub fn note_period_ceiling(&self, period: f64) {
+        if period.is_finite() && period > 0.0 {
+            let mut hint = self.derived.sweep_ceiling.lock().unwrap();
+            if period > *hint {
+                *hint = period;
+            }
+        }
     }
 
     /// The precomputed route table for one routing policy on this
@@ -300,11 +411,19 @@ impl Instance {
             .and_then(|(_, res)| res.as_ref().ok().cloned())
     }
 
-    /// Peeks at the cached transition skeleton without building it.
+    /// Peeks at the cached *complete* transition skeleton without building
+    /// it (bounded artifacts have their own peek,
+    /// [`Instance::cached_bounded_skeleton`]).
     pub fn cached_skeleton(&self) -> Option<Arc<TransitionSkeleton>> {
         let slot = self.derived.skeleton.lock().unwrap();
         slot.as_ref()
             .and_then(|(_, res)| res.as_ref().ok().cloned())
+    }
+
+    /// Peeks at the cached work-ceiling bounded skeleton (the loosest one
+    /// built on this session) without building it.
+    pub fn cached_bounded_skeleton(&self) -> Option<Arc<TransitionSkeleton>> {
+        self.derived.bounded.lock().unwrap().built.clone()
     }
 
     /// Peeks at the cached route table for one policy without building it.
@@ -325,12 +444,27 @@ impl Instance {
         }
     }
 
-    /// Seeds the skeleton cache (see [`Instance::seed_lattice`]; a cached
-    /// success serves any edge cap, so the recorded cap is immaterial).
+    /// Seeds the skeleton cache (see [`Instance::seed_lattice`]). Routes
+    /// by build kind: a complete artifact fills the complete slot (first
+    /// success wins, but it may replace a cached build *failure* — the
+    /// donor evidently built it under a larger cap); a bounded artifact
+    /// fills the bounded slot when it is looser than what is already
+    /// there. A cached success serves any edge cap, so no cap is recorded.
     pub fn seed_skeleton(&self, skeleton: Arc<TransitionSkeleton>) {
-        let mut slot = self.derived.skeleton.lock().unwrap();
-        if slot.is_none() {
-            *slot = Some((0, Ok(skeleton)));
+        if skeleton.is_complete() {
+            let mut slot = self.derived.skeleton.lock().unwrap();
+            if !matches!(slot.as_ref(), Some((_, Ok(_)))) {
+                *slot = Some((0, Ok(skeleton)));
+            }
+        } else {
+            let mut slot = self.derived.bounded.lock().unwrap();
+            if slot
+                .built
+                .as_ref()
+                .is_none_or(|b| skeleton.period_ceiling() > b.period_ceiling())
+            {
+                slot.built = Some(skeleton);
+            }
         }
     }
 
@@ -511,6 +645,96 @@ mod tests {
         let warm = Instance::new(g, Platform::paper(2, 2), 1.0);
         assert!(warm.cached_skeleton().is_none());
         warm.seed_skeleton(Arc::clone(&sk));
+        let served = warm.transition_skeleton(&cfg).unwrap().unwrap();
+        assert!(Arc::ptr_eq(&served, &sk), "seed must serve the build");
+    }
+
+    #[test]
+    fn bounded_fallback_after_complete_overflow() {
+        // 30-chain: the complete set (465 transitions) overflows an edge
+        // cap of 100, but the bounded build at the session period fits —
+        // the cache must fall through to it instead of giving up.
+        let g = chain(&[1e6; 30], &[1e3; 29]);
+        let cfg = crate::dpa1d::Dpa1dConfig {
+            edge_cap: 100,
+            ..Default::default()
+        };
+        let inst = Instance::new(g, Platform::paper(2, 2), 0.003);
+        let sk = inst.transition_skeleton(&cfg).unwrap().unwrap();
+        assert!(!sk.is_complete() && sk.serves(0.003));
+        assert!(
+            inst.cached_skeleton().is_none(),
+            "complete slot holds a failure"
+        );
+        assert!(Arc::ptr_eq(&inst.cached_bounded_skeleton().unwrap(), &sk));
+        // A tighter re-target is served from the same cached artifact.
+        let sk2 = inst
+            .with_period(0.001)
+            .transition_skeleton(&cfg)
+            .unwrap()
+            .unwrap();
+        assert!(Arc::ptr_eq(&sk, &sk2));
+    }
+
+    #[test]
+    fn bounded_failures_keyed_by_cap_and_ceiling() {
+        // A loose period's bounded build overflows the cap (its ceiling
+        // admits the whole complete set); a tighter request afterwards
+        // must retry at its own ceiling and succeed rather than inherit
+        // the failure — the regression this PR fixes.
+        let g = chain(&[1e6; 30], &[1e3; 29]);
+        let cfg = crate::dpa1d::Dpa1dConfig {
+            edge_cap: 100,
+            ..Default::default()
+        };
+        let loose = Instance::new(g, Platform::paper(2, 2), 0.03);
+        assert!(loose.transition_skeleton(&cfg).unwrap().is_none());
+        let sk = loose
+            .with_period(0.003)
+            .transition_skeleton(&cfg)
+            .unwrap()
+            .unwrap();
+        assert!(sk.serves(0.003));
+        // The loose request still answers `None` off the recorded failure
+        // (its ceiling is at least the failed one at the same cap).
+        assert!(loose.transition_skeleton(&cfg).unwrap().is_none());
+    }
+
+    #[test]
+    fn sweep_ceiling_hint_targets_one_build() {
+        let g = chain(&[1e6; 30], &[1e3; 29]);
+        let cfg = crate::dpa1d::Dpa1dConfig {
+            edge_cap: 100,
+            ..Default::default()
+        };
+        let inst = Instance::new(g, Platform::paper(2, 2), 0.001);
+        inst.note_period_ceiling(0.003);
+        let sk = inst.transition_skeleton(&cfg).unwrap().unwrap();
+        // Built at the noted grid ceiling, not the session period, so the
+        // same artifact serves every point of the sweep.
+        assert!(sk.serves(0.003));
+        let sk2 = inst
+            .with_period(0.003)
+            .transition_skeleton(&cfg)
+            .unwrap()
+            .unwrap();
+        assert!(Arc::ptr_eq(&sk, &sk2));
+    }
+
+    #[test]
+    fn seeded_bounded_skeleton_routes_to_bounded_slot() {
+        let g = chain(&[1e6; 30], &[1e3; 29]);
+        let cfg = crate::dpa1d::Dpa1dConfig {
+            edge_cap: 100,
+            ..Default::default()
+        };
+        let donor = Instance::new(g.clone(), Platform::paper(2, 2), 0.003);
+        let sk = donor.transition_skeleton(&cfg).unwrap().unwrap();
+        assert!(!sk.is_complete());
+        let warm = Instance::new(g, Platform::paper(2, 2), 0.003);
+        warm.seed_skeleton(Arc::clone(&sk));
+        assert!(warm.cached_skeleton().is_none());
+        assert!(Arc::ptr_eq(&warm.cached_bounded_skeleton().unwrap(), &sk));
         let served = warm.transition_skeleton(&cfg).unwrap().unwrap();
         assert!(Arc::ptr_eq(&served, &sk), "seed must serve the build");
     }

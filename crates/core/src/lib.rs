@@ -60,7 +60,9 @@ pub mod solver;
 pub mod solvers;
 pub mod sweep;
 
-pub use common::{BudgetExceeded, BudgetPhase, Failure, HeuristicKind, Solution, ALL_HEURISTICS};
+pub use common::{
+    BudgetExceeded, BudgetPhase, Failure, HeuristicKind, PruneStats, Solution, ALL_HEURISTICS,
+};
 pub use dpa1d::{Dpa1dConfig, TransitionSkeleton};
 pub use exact::{ExactConfig, PartitionRule};
 pub use greedy::greedy_opts;

@@ -99,7 +99,13 @@ pub fn refine_with(
             }
             if let Some((_, mapping)) = stage_best {
                 let eval = evaluate_with(spg, pf, &mapping, period, table).expect("just validated");
-                best = Solution { mapping, eval };
+                // A refined mapping is a fresh full evaluation: any prune
+                // telemetry of the starting solution no longer applies.
+                best = Solution {
+                    mapping,
+                    eval,
+                    prune: None,
+                };
                 improved = true;
             }
         }

@@ -43,11 +43,19 @@ pub enum ArtifactKey {
         workload: u64,
     },
     /// `DPA1D` transition skeleton for a workload on a platform.
+    ///
+    /// `ceiling` is the bit pattern of the skeleton's
+    /// [`TransitionSkeleton::period_ceiling`]
+    /// (`f64::INFINITY.to_bits()` for a complete skeleton), so bounded
+    /// and complete artifacts for the same workload/platform pair
+    /// coexist instead of shadowing each other.
     Skeleton {
         /// Workload fingerprint.
         workload: u64,
         /// [`super::fingerprint::platform_fingerprint`] of the platform.
         platform: u64,
+        /// `f64::to_bits` of the skeleton's period ceiling.
+        ceiling: u64,
     },
     /// Route table for a platform under one routing policy.
     Route {
@@ -73,8 +81,12 @@ impl std::fmt::Display for ArtifactKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ArtifactKey::Lattice { workload } => write!(f, "lattice/{workload:016x}"),
-            ArtifactKey::Skeleton { workload, platform } => {
-                write!(f, "skeleton/{workload:016x}/{platform:016x}")
+            ArtifactKey::Skeleton {
+                workload,
+                platform,
+                ceiling,
+            } => {
+                write!(f, "skeleton/{workload:016x}/{platform:016x}/{ceiling:016x}")
             }
             ArtifactKey::Route { platform, policy } => {
                 write!(f, "route/{platform:016x}/{policy}")
@@ -274,6 +286,7 @@ mod tests {
                 ArtifactKey::Skeleton {
                     workload: 1,
                     platform: 9,
+                    ceiling: f64::INFINITY.to_bits(),
                 },
                 Artifact::Skeleton(skeleton),
             ),

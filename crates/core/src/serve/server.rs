@@ -103,6 +103,16 @@ pub struct Service {
     bad_requests: AtomicU64,
     cold: Mutex<LatencyHistogram>,
     warm: Mutex<LatencyHistogram>,
+    /// `DPA1D` dominance telemetry aggregated over every winning solution
+    /// that carried [`crate::PruneStats`] (sums for the transition
+    /// counters, maxima for the frontier width and bound gap).
+    prune_kept: AtomicU64,
+    prune_pruned: AtomicU64,
+    prune_solves: AtomicU64,
+    prune_frontier_max: AtomicU64,
+    /// Largest certified bound gap observed, stored as `f64::to_bits`
+    /// (non-negative, so the bit pattern orders like the float).
+    prune_bound_gap_max: AtomicU64,
 }
 
 impl Service {
@@ -119,7 +129,26 @@ impl Service {
             bad_requests: AtomicU64::new(0),
             cold: Mutex::new(LatencyHistogram::new()),
             warm: Mutex::new(LatencyHistogram::new()),
+            prune_kept: AtomicU64::new(0),
+            prune_pruned: AtomicU64::new(0),
+            prune_solves: AtomicU64::new(0),
+            prune_frontier_max: AtomicU64::new(0),
+            prune_bound_gap_max: AtomicU64::new(0.0_f64.to_bits()),
         }
+    }
+
+    /// Folds one winning solution's prune telemetry into the `stats`
+    /// aggregates.
+    fn record_prune(&self, p: &crate::PruneStats) {
+        self.prune_kept
+            .fetch_add(p.transitions_kept, Ordering::Relaxed);
+        self.prune_pruned
+            .fetch_add(p.transitions_pruned, Ordering::Relaxed);
+        self.prune_solves.fetch_add(1, Ordering::Relaxed);
+        self.prune_frontier_max
+            .fetch_max(u64::from(p.frontier_max), Ordering::Relaxed);
+        self.prune_bound_gap_max
+            .fetch_max(p.bound_gap.to_bits(), Ordering::Relaxed);
     }
 
     /// Whether a `shutdown` request has been accepted.
@@ -210,6 +239,33 @@ impl Service {
             ),
             ("cold", hist(&self.cold)),
             ("warm", hist(&self.warm)),
+            (
+                "prune",
+                obj([
+                    (
+                        "solves",
+                        Json::from(self.prune_solves.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "transitions_kept",
+                        Json::from(self.prune_kept.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "transitions_pruned",
+                        Json::from(self.prune_pruned.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "frontier_max",
+                        Json::from(self.prune_frontier_max.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "bound_gap_max",
+                        Json::from(f64::from_bits(
+                            self.prune_bound_gap_max.load(Ordering::Relaxed),
+                        )),
+                    ),
+                ]),
+            ),
         ])
     }
 
@@ -247,6 +303,7 @@ impl Service {
             ArtifactKey::Skeleton {
                 workload: wfp,
                 platform: pfp,
+                ceiling: f64::INFINITY.to_bits(),
             },
             ArtifactKey::Route {
                 platform: pfp,
@@ -268,8 +325,37 @@ impl Service {
         (inst, keys, hits)
     }
 
+    /// Probes the cache for a **bounded** skeleton whose work ceiling is
+    /// `ceiling` (the period the request would build one under — see
+    /// [`crate::TransitionSkeleton::period_ceiling`]) and seeds it into
+    /// `inst` on a hit. Only called when the complete-skeleton key
+    /// missed; returns whether the bounded probe hit.
+    fn seed_bounded(&self, inst: &Instance, keys: &[ArtifactKey; 3], ceiling: f64) -> bool {
+        let ArtifactKey::Skeleton {
+            workload, platform, ..
+        } = keys[1]
+        else {
+            unreachable!("keys[1] is the skeleton key");
+        };
+        let key = ArtifactKey::Skeleton {
+            workload,
+            platform,
+            ceiling: ceiling.to_bits(),
+        };
+        let mut cache = self.cache.lock().unwrap();
+        match cache.get(&key) {
+            Some(Artifact::Skeleton(s)) => {
+                inst.seed_skeleton(s);
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Stores whichever artifacts a solve materialised that the cache did
-    /// not already hold.
+    /// not already hold. A bounded skeleton is keyed by the ceiling it was
+    /// actually built under, which may be looser than the probe ceiling
+    /// (the sweep hint wins).
     fn harvest(&self, inst: &Instance, keys: &[ArtifactKey; 3], hits: &[bool; 3]) {
         let policy = inst.platform().policy;
         let mut cache = self.cache.lock().unwrap();
@@ -282,6 +368,20 @@ impl Service {
             if let Some(s) = inst.cached_skeleton() {
                 cache.insert(keys[1], Artifact::Skeleton(s));
             }
+        }
+        if let Some(b) = inst.cached_bounded_skeleton() {
+            let ArtifactKey::Skeleton {
+                workload, platform, ..
+            } = keys[1]
+            else {
+                unreachable!("keys[1] is the skeleton key");
+            };
+            let key = ArtifactKey::Skeleton {
+                workload,
+                platform,
+                ceiling: b.period_ceiling().to_bits(),
+            };
+            cache.insert(key, Artifact::Skeleton(b));
         }
         if !hits[2] {
             if let Some(r) = inst.cached_route_table(policy) {
@@ -306,6 +406,10 @@ impl Service {
             Err(msg) => return error_response("bad_request", &msg),
         };
         let (inst, keys, hits) = self.seeded_instance(workload, req);
+        // A bounded skeleton built at exactly this period can stand in
+        // when no complete skeleton is cached (the complete build may
+        // overflow the edge cap for this workload entirely).
+        let bounded_hit = !hits[1] && self.seed_bounded(&inst, &keys, inst.period());
         let mut portfolio =
             Portfolio::new(solvers).seeded(req.seed.unwrap_or(self.cfg.default_seed));
         if let Some(ms) = req.deadline_ms.or(self.cfg.default_deadline_ms) {
@@ -313,19 +417,23 @@ impl Service {
         }
         let report = portfolio.run(&inst);
         self.harvest(&inst, &keys, &hits);
-        let warm = hits.iter().all(|&h| h);
+        let skeleton_hit = hits[1] || bounded_hit;
+        let warm = hits[0] && skeleton_hit && hits[2];
         let elapsed_ns = started.elapsed().as_nanos() as u64;
         self.record_latency(warm, elapsed_ns);
 
         let cache_tags = obj([
             ("lattice", Json::from(if hits[0] { "hit" } else { "miss" })),
-            ("skeleton", Json::from(if hits[1] { "hit" } else { "miss" })),
+            (
+                "skeleton",
+                Json::from(if skeleton_hit { "hit" } else { "miss" }),
+            ),
             ("route", Json::from(if hits[2] { "hit" } else { "miss" })),
         ]);
         match report.best_run() {
             Some(run) => {
                 let sol = run.result.as_ref().expect("best_run is a success");
-                ok_response(obj([
+                let mut fields = vec![
                     ("workload", Json::from(req.workload.describe())),
                     ("energy", Json::from(sol.energy())),
                     ("solver", Json::from(run.name.clone())),
@@ -335,7 +443,24 @@ impl Service {
                     ("warm", Json::from(warm)),
                     ("cache", cache_tags),
                     ("wall_ms", Json::from(elapsed_ns as f64 / 1e6)),
-                ]))
+                ];
+                if let Some(p) = sol.prune {
+                    self.record_prune(&p);
+                    fields.push(("bound_gap", Json::from(p.bound_gap)));
+                    fields.push((
+                        "prune",
+                        obj([
+                            ("transitions_kept", Json::from(p.transitions_kept)),
+                            ("transitions_pruned", Json::from(p.transitions_pruned)),
+                            ("frontier_max", Json::from(u64::from(p.frontier_max))),
+                        ]),
+                    ));
+                }
+                let fields: Vec<(String, Json)> = fields
+                    .into_iter()
+                    .map(|(k, v)| (k.to_string(), v))
+                    .collect();
+                ok_response(Json::Obj(fields.into_iter().collect()))
             }
             None => {
                 // Every solver failed. Budget exhaustion dominates the
@@ -380,6 +505,31 @@ impl Service {
             deadline_ms: req.deadline_ms,
         };
         let (base, keys, hits) = self.seeded_instance(workload, &solve_shape);
+        // Resolve the whole grid up front so the loosest period can (a)
+        // prime the bounded-skeleton ceiling hint — one bounded build then
+        // serves every tighter point — and (b) drive the warm-cache probe
+        // for a bounded artifact from an identical earlier sweep.
+        let periods: Vec<f64> = req
+            .values
+            .iter()
+            .map(|&value| {
+                if req.over_utilisation {
+                    base.utilisation_period(value)
+                } else {
+                    value
+                }
+            })
+            .collect();
+        let mut bounded_hit = false;
+        if let Some(loosest) = periods
+            .iter()
+            .copied()
+            .max_by(f64::total_cmp)
+            .filter(|t| t.is_finite() && *t > 0.0)
+        {
+            base.note_period_ceiling(loosest);
+            bounded_hit = !hits[1] && self.seed_bounded(&base, &keys, loosest);
+        }
         let deadline_at = req
             .deadline_ms
             .or(self.cfg.default_deadline_ms)
@@ -387,12 +537,7 @@ impl Service {
         let seed = req.seed.unwrap_or(self.cfg.default_seed);
         let mut points = Vec::with_capacity(req.values.len());
         let mut exhausted: Option<crate::common::Failure> = None;
-        for &value in &req.values {
-            let period = if req.over_utilisation {
-                base.utilisation_period(value)
-            } else {
-                value
-            };
+        for (&value, &period) in req.values.iter().zip(&periods) {
             let inst = base.with_period(period);
             let mut portfolio = Portfolio::new(solvers.clone()).seeded(seed);
             if let Some(at) = deadline_at {
@@ -408,22 +553,38 @@ impl Service {
                     .find(|f| f.budget_exceeded().is_some())
                     .cloned();
             }
-            let (energy, solver) = match report.best_run() {
-                Some(run) => (
-                    Json::from(run.energy().expect("best_run is a success")),
-                    Json::from(run.name.clone()),
-                ),
-                None => (Json::Null, Json::Null),
+            let (energy, solver, prune) = match report.best_run() {
+                Some(run) => {
+                    let sol = run.result.as_ref().expect("best_run is a success");
+                    (
+                        Json::from(sol.energy()),
+                        Json::from(run.name.clone()),
+                        sol.prune,
+                    )
+                }
+                None => (Json::Null, Json::Null, None),
             };
-            points.push(obj([
+            let mut fields = vec![
                 ("value", Json::from(value)),
                 ("period", Json::from(period)),
                 ("energy", energy),
                 ("solver", solver),
-            ]));
+            ];
+            if let Some(p) = prune {
+                self.record_prune(&p);
+                fields.push(("bound_gap", Json::from(p.bound_gap)));
+                fields.push(("transitions_kept", Json::from(p.transitions_kept)));
+                fields.push(("transitions_pruned", Json::from(p.transitions_pruned)));
+                fields.push(("frontier_max", Json::from(u64::from(p.frontier_max))));
+            }
+            let fields: Vec<(String, Json)> = fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect();
+            points.push(Json::Obj(fields.into_iter().collect()));
         }
         self.harvest(&base, &keys, &hits);
-        let warm = hits.iter().all(|&h| h);
+        let warm = hits[0] && (hits[1] || bounded_hit) && hits[2];
         let elapsed_ns = started.elapsed().as_nanos() as u64;
         self.record_latency(warm, elapsed_ns);
         // A sweep that lost points to the deadline still reports the grid
@@ -734,7 +895,9 @@ mod tests {
         let stats = svc.cache_stats();
         assert_eq!(stats.entries, 3, "lattice + skeleton + route cached");
         assert_eq!(stats.hits, 3);
-        assert_eq!(stats.misses, 3);
+        // Cold probes four keys (the complete-skeleton miss triggers a
+        // bounded-skeleton probe); warm hits the three live entries.
+        assert_eq!(stats.misses, 4);
     }
 
     #[test]

@@ -136,6 +136,20 @@ impl PeriodSweep {
                 SweepAxis::Utilisation => (v, base.utilisation_period(v)),
             })
             .collect();
+        // Announce the grid's loosest period before fanning out: the first
+        // `DPA1D` bounded-skeleton build then targets a work ceiling that
+        // serves *every* point of the sweep (see
+        // [`Instance::note_period_ceiling`]), instead of the first-solved
+        // point's — which under the rayon fan-out would be an arbitrary
+        // (though result-identical) choice.
+        if let Some(loosest) = resolved
+            .iter()
+            .map(|&(_, t)| t)
+            .max_by(f64::total_cmp)
+            .filter(|t| t.is_finite())
+        {
+            base.note_period_ceiling(loosest);
+        }
         let portfolio = Portfolio::new(self.solvers.clone())
             .seeded(self.seed)
             .parallel(false);

@@ -417,6 +417,16 @@ impl Spg {
             .map(|e| e.volume)
             .sum()
     }
+
+    /// The aggregated work `Σ w_i` over `i ∈ set` — the work-volume dual of
+    /// [`Spg::cut_volume`]. `DPA1D`'s dominance frontier prices a DP state
+    /// by the *residual* work `total_work() − work_volume(ideal)`, so both
+    /// are summed in ascending stage order: the value is a deterministic
+    /// function of the set, independent of how the chain reaching it was
+    /// built.
+    pub fn work_volume(&self, set: crate::nodeset::NodeSetRef<'_>) -> f64 {
+        set.iter().map(|i| self.weights[i]).sum()
+    }
 }
 
 #[cfg(test)]

@@ -154,6 +154,17 @@
 //! period — sharing is a pure optimisation (pinned by `tests/sweep.rs`).
 //! `xp sweep` exposes the same engine on the CLI per workload family.
 //!
+//! Since 0.8, `DPA1D` runs **dominance pruning** by default
+//! ([`prelude::Dpa1dConfig`]`::dominance`): a per-ideal Pareto frontier
+//! over the DP rows that skips transitions no optimal completion can
+//! extend, with ties kept so energies stay bit-identical to the complete
+//! relaxation. When a workload's complete transition system overflows the
+//! edge cap, the solver now builds a **work-ceiling skeleton** — bounded
+//! by the loosest period of the sweep — and streams the rest, so the cap
+//! is a soundness-preserving bound instead of a hard `TooExpensive`
+//! failure; `Dpa1dConfig::frontier_cap` optionally truncates frontiers
+//! and then certifies the result via [`prelude::Solution`]`::bound_gap`.
+//!
 //! ## Solve-as-a-service
 //!
 //! 0.7 extends the same sharing across *processes*: `xp serve` keeps a
@@ -230,6 +241,20 @@
 //! `ea_bench::json` remains as a `#[deprecated]` re-export; swap
 //! `use ea_bench::json::...` for `use spg_cmp::json::...` (or
 //! `ea_core::json::...`) — names and behaviour are unchanged.
+//!
+//! ## Migrating from 0.7 (dominance pruning, certified bounds)
+//!
+//! 0.8 adds the state-reduction layer to `DPA1D`. Energies are
+//! **bit-identical** wherever 0.7 produced one (pinned by
+//! `tests/prune.rs` and the committed baselines); what changed:
+//!
+//! | 0.7 | 0.8 |
+//! |---|---|
+//! | `Dpa1dConfig { ideal_cap, edge_cap, relax_par_threshold }` literals | add `dominance: bool` (default `true`) and `frontier_cap: usize` (default `usize::MAX`), or spread `..Dpa1dConfig::default()` |
+//! | `Solution { mapping, eval }` literals | add `prune: Option<PruneStats>` (`None` for non-`DPA1D` solvers; `validated` fills it) |
+//! | complete transition system over `edge_cap` ⇒ `Failure::TooExpensive(Materialise)` | a bounded work-ceiling skeleton + per-period streaming solve the point exactly; set `dominance: false` to restore the 0.7 hard failure |
+//! | no way to trade exactness for state | `frontier_cap: n` truncates each frontier to `n` states and returns a solution carrying a certified `Solution::bound_gap()` (the true optimum lies within the gap) instead of failing |
+//! | — | `PruneStats` telemetry (`transitions_kept` / `transitions_pruned` / `frontier_max` / `bound_gap`) on `Solution::prune`, surfaced as optional campaign-JSONL fields, in serve `solve`/`sweep` responses, and aggregated in the daemon's `stats.prune` object |
 
 pub use cmp_mapping as mapping;
 pub use cmp_platform as platform;
@@ -254,9 +279,9 @@ pub mod prelude {
     pub use ea_core::{greedy_opts, refine, refine_with};
     pub use ea_core::{
         BudgetExceeded, BudgetPhase, Dpa1dConfig, ExactConfig, Failure, HeuristicKind, Instance,
-        PartitionRule, PeriodSweep, Portfolio, PortfolioReport, Race, RefineConfig, SharedLattice,
-        Solution, SolveCtx, SolveOutcome, Solver, SolverRegistry, SolverRun, SweepAxis, SweepPoint,
-        SweepReport, TransitionSkeleton, ALL_HEURISTICS,
+        PartitionRule, PeriodSweep, Portfolio, PortfolioReport, PruneStats, Race, RefineConfig,
+        SharedLattice, Solution, SolveCtx, SolveOutcome, Solver, SolverRegistry, SolverRun,
+        SweepAxis, SweepPoint, SweepReport, TransitionSkeleton, ALL_HEURISTICS,
     };
     pub use spg::{self, FamilyKind, FamilyParams, Spg, SpgGenConfig, StageId, WorkloadSpec};
 
