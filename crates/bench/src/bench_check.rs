@@ -21,9 +21,12 @@
 //! `streamit_portfolio/<workflow>` names, the decade sweep for
 //! `sweep/...` names, the pool microbenchmark for `pool/...` names
 //! (whose checksums gate — parallel scheduling must stay a pure
-//! optimisation), the loopback serve benchmark for `serve/...` names, and
+//! optimisation), the loopback serve benchmark for `serve/...` names,
 //! the dominance-pruning benchmark for `prune/...` names (pruned-vs-
-//! complete `DPA1D` decade sweeps; scan ratios and bound gaps gate).
+//! complete `DPA1D` decade sweeps; scan ratios and bound gaps gate), and
+//! the fault-injection remap campaign for `incremental/...` names
+//! (delta-patched re-solve vs cold rebuild; energies, regrets and the
+//! speedup-median gate bit gate).
 
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
@@ -350,6 +353,17 @@ pub fn compute_fresh_metrics(
         fresh.insert("prune/unlocked_points".into(), unlocked as f64);
     }
 
+    // Source 7: the fault-injection remap campaign (incremental/...
+    // names). Energies, regrets, event counts, and the speedup-median
+    // gate bit gate (the seeded fault chain and the solvers are
+    // deterministic, and every remap solve is asserted bit-identical to
+    // its cold rebuild while the campaign runs); raw walls and per-
+    // workflow speedups advise.
+    if needed.iter().any(|m| m.name.starts_with("incremental/")) {
+        let campaigns = crate::incremental_xp::incremental_bench(seed);
+        crate::incremental_xp::fresh_incremental_metrics(&campaigns, &mut fresh);
+    }
+
     fresh
 }
 
@@ -417,6 +431,7 @@ pub fn default_bench_files(repo_root: &Path) -> Vec<std::path::PathBuf> {
         "BENCH_pool.json",
         "BENCH_serve.json",
         "BENCH_prune.json",
+        "BENCH_incremental.json",
     ]
     .iter()
     .map(|f| repo_root.join(f))

@@ -6,7 +6,8 @@
 //!              [--routing xy|yx|shortest] [--out DIR]
 //!              [--campaign smoke|nightly|FILE.json] [--shard I/M]
 //!              [--input FILE]... [--bench FILE]... [--tolerance F]
-//!              [--points N] [--size N] [--suite streamit|prune]
+//!              [--points N] [--size N] [--suite streamit|prune|incremental]
+//!              [--faults N]
 //!
 //! commands:
 //!   table1        Table 1  (StreamIt characteristics)
@@ -29,7 +30,11 @@
 //!                 to --out: amortized-vs-naive walls + per-point energies),
 //!                 or the dominance-pruning benchmark with --suite prune
 //!                 (pruned vs complete DPA1D over StreamIt + a ≥256-stage
-//!                 generated workload; writes BENCH_prune.json to --out)
+//!                 generated workload; writes BENCH_prune.json to --out),
+//!                 or the fault-injection remap campaign with --suite
+//!                 incremental (--faults events per workflow; incremental
+//!                 re-solve vs cold rebuild, bit-identity asserted; writes
+//!                 BENCH_incremental.json + incremental_events.jsonl)
 //!   campaign      Sharded resumable synthetic-family campaign (--campaign
 //!                 names a preset or a spec .json file, --shard; results as
 //!                 JSONL + BENCH summary in --out)
@@ -97,7 +102,9 @@ use cmp_platform::{Platform, RoutePolicy, TopologyKind};
 use ea_bench::campaign::{outcome_text, run_campaign, CampaignSpec, Shard};
 use ea_bench::random_xp::{self, RandomXpConfig};
 use ea_bench::streamit_xp::{self, CAMPAIGN_CSV_HEADERS};
-use ea_bench::{ablation, bench_check, exact_xp, prune_xp, report, sweep_xp, topology_xp};
+use ea_bench::{
+    ablation, bench_check, exact_xp, incremental_xp, prune_xp, report, sweep_xp, topology_xp,
+};
 use ea_core::{Solver, SolverRegistry};
 
 const USAGE: &str = "usage: xp <command> [--seed N] [--apps-per-point N] [--exact-count N] \
@@ -105,8 +112,8 @@ const USAGE: &str = "usage: xp <command> [--seed N] [--apps-per-point N] [--exac
                      [--routing xy|yx|shortest] [--out DIR] \
                      [--campaign smoke|nightly|FILE.json] [--shard I/M] \
                      [--input FILE]... [--bench FILE]... [--tolerance F] \
-                     [--points N] [--size N] [--suite streamit|prune] \
-                     [--socket PATH] [--tcp ADDR] [--cache-bytes N] \
+                     [--points N] [--size N] [--suite streamit|prune|incremental] \
+                     [--faults N] [--socket PATH] [--tcp ADDR] [--cache-bytes N] \
                      [--deadline-ms N] [--request JSON]...
 commands: table1 fig8 fig9 table2 fig10 fig11 fig12 fig13 table3 exact
           ablation-routing ablation-downgrade ablation-ebit
@@ -136,8 +143,11 @@ struct Opts {
     points: usize,
     /// Workload stage count for family sweeps (`xp sweep --size`).
     size: usize,
-    /// Named suite selector (`xp sweep --suite streamit|prune`).
+    /// Named suite selector (`xp sweep --suite streamit|prune|incremental`).
     suite: Option<String>,
+    /// Fault/edit events per workflow in the incremental remap campaign
+    /// (`xp sweep --suite incremental --faults N`).
+    faults: usize,
     /// Unix socket path for `serve`/`client` (`--socket`).
     socket: Option<PathBuf>,
     /// TCP address for `serve`/`client` (`--tcp`, e.g. `127.0.0.1:7411`).
@@ -203,6 +213,7 @@ fn parse_opts(rest: &[String]) -> Opts {
         points: 8,
         size: 24,
         suite: None,
+        faults: incremental_xp::INCREMENTAL_BENCH_EVENTS,
         socket: None,
         tcp: None,
         cache_bytes: None,
@@ -281,12 +292,20 @@ fn parse_opts(rest: &[String]) -> Opts {
             }
             "--suite" => {
                 let name = value(&mut i, flag);
-                if name != "streamit" && name != "prune" {
+                if name != "streamit" && name != "prune" && name != "incremental" {
                     usage_error(&format!(
-                        "unknown suite '{name}' (expected streamit or prune)"
+                        "unknown suite '{name}' (expected streamit, prune, or incremental)"
                     ));
                 }
                 opts.suite = Some(name);
+            }
+            "--faults" => {
+                opts.faults = value(&mut i, flag)
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--faults expects an integer"));
+                if opts.faults == 0 {
+                    usage_error("--faults must be at least 1");
+                }
             }
             "--tolerance" => {
                 let t: f64 = value(&mut i, flag)
@@ -564,6 +583,31 @@ fn sweep_cmd(opts: &Opts) {
             soft_fail(&format!("writing {}: {e}", path.display()));
         } else {
             eprintln!("[sweep] wrote {}", path.display());
+        }
+        return;
+    }
+    if opts.suite.as_deref() == Some("incremental") {
+        // The seeded fault-injection remap campaign: incremental re-solve
+        // on delta-patched instances vs cold rebuilds, and the
+        // BENCH_incremental.json document the perf gate compares against.
+        // The canonical per-event record (deterministic fields only)
+        // lands next to it for regression diffing.
+        let campaigns =
+            incremental_xp::incremental_campaign(&spg::STREAMIT_SPECS, opts.seed, opts.faults);
+        print!("{}", incremental_xp::incremental_bench_text(&campaigns));
+        let path = opts.out.join("BENCH_incremental.json");
+        if let Err(e) = std::fs::create_dir_all(&opts.out)
+            .and_then(|_| std::fs::write(&path, incremental_xp::incremental_bench_json(&campaigns)))
+        {
+            soft_fail(&format!("writing {}: {e}", path.display()));
+        } else {
+            eprintln!("[sweep] wrote {}", path.display());
+        }
+        let jsonl = opts.out.join("incremental_events.jsonl");
+        if let Err(e) = std::fs::write(&jsonl, incremental_xp::campaign_jsonl(&campaigns)) {
+            soft_fail(&format!("writing {}: {e}", jsonl.display()));
+        } else {
+            eprintln!("[sweep] wrote {}", jsonl.display());
         }
         return;
     }

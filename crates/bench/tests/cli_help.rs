@@ -1,0 +1,93 @@
+//! CLI surface smoke test: `xp help` must mention every registered
+//! command and every flag the argument parser accepts.
+//!
+//! The source of truth is `src/bin/xp.rs` itself — the test extracts the
+//! `"<command>" =>` arms of the dispatch match and the `"--flag" =>`
+//! arms of the option parser, so adding a command or flag without
+//! documenting it in the usage text fails here, not in a user's shell.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+use std::process::Command;
+
+/// Extracts the string literals used as `"<name>" =>` match arms.
+fn match_arm_names(source: &str, filter: impl Fn(&str) -> bool) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for line in source.lines() {
+        let trimmed = line.trim_start();
+        let Some(rest) = trimmed.strip_prefix('"') else {
+            continue;
+        };
+        let Some((name, after)) = rest.split_once('"') else {
+            continue;
+        };
+        if after.trim_start().starts_with("=>") && filter(name) {
+            names.insert(name.to_string());
+        }
+    }
+    names
+}
+
+fn is_command(name: &str) -> bool {
+    !name.is_empty()
+        && !name.starts_with('-')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+        // Campaign presets matched inside campaign_spec, not commands.
+        && name != "nightly"
+}
+
+fn is_flag(name: &str) -> bool {
+    name.starts_with("--") && name.len() > 2
+}
+
+#[test]
+fn help_covers_every_command_and_flag() {
+    let src_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("src/bin/xp.rs");
+    let source = std::fs::read_to_string(&src_path).expect("read xp.rs source");
+
+    let commands = match_arm_names(&source, is_command);
+    let flags = match_arm_names(&source, is_flag);
+    assert!(
+        commands.contains("sweep") && commands.contains("bench-check"),
+        "extraction must find the known commands, got: {commands:?}"
+    );
+    assert!(
+        flags.contains("--seed") && flags.contains("--faults"),
+        "extraction must find the known flags, got: {flags:?}"
+    );
+
+    let out = Command::new(env!("CARGO_BIN_EXE_xp"))
+        .arg("help")
+        .output()
+        .expect("run xp help");
+    assert!(out.status.success(), "xp help must exit 0");
+    let help = String::from_utf8(out.stdout).expect("utf-8 help text");
+
+    for cmd in &commands {
+        assert!(
+            help.contains(cmd),
+            "xp help does not mention registered command '{cmd}'"
+        );
+    }
+    for flag in &flags {
+        assert!(
+            help.contains(flag),
+            "xp help does not mention accepted flag '{flag}'"
+        );
+    }
+    // The `help` pseudo-command itself is listed.
+    assert!(help.contains("help"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xp"))
+        .arg("definitely-not-a-command")
+        .output()
+        .expect("run xp");
+    assert!(!out.status.success(), "unknown command must exit non-zero");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "error must carry the usage text");
+}

@@ -1,0 +1,246 @@
+//! Platform fault modelling: dead cores and dead links.
+//!
+//! A **core fault** kills a PE but leaves its router and attached links
+//! alive (the common manufacturing-defect / thermal-shutdown model), so
+//! routes are unaffected — only placement is. A **link fault** kills one
+//! physical link in both directions; policy routes that crossed it are
+//! detoured along the shortest alive path (deterministic BFS, see
+//! [`crate::Platform::route_visit`]).
+//!
+//! `docs/fault-model.md` documents the exact invalidation contract each
+//! fault kind implies for cached derived state.
+
+use crate::grid::{CoreId, Platform};
+
+/// A single platform fault, in grid coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// The PE at this core is dead. Its router and links stay alive.
+    Core(CoreId),
+    /// The physical link between two adjacent cores is dead in **both**
+    /// directions.
+    Link(CoreId, CoreId),
+}
+
+/// The set of faults applied to a [`Platform`]: dead core flat indices and
+/// dead directed-link indices, both kept sorted and deduplicated so equal
+/// fault sets compare equal regardless of injection order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultSet {
+    /// Flat indices (`u·q + v`) of dead cores, sorted ascending.
+    dead_cores: Vec<u32>,
+    /// Dense directed-link indices ([`Platform::link_index`]) of dead
+    /// links, sorted ascending. A link fault contributes both directions.
+    dead_links: Vec<u32>,
+}
+
+impl FaultSet {
+    /// An empty (healthy) fault set.
+    pub fn new() -> Self {
+        FaultSet::default()
+    }
+
+    /// Whether no fault is present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.dead_cores.is_empty() && self.dead_links.is_empty()
+    }
+
+    /// Whether the core with this flat index is dead.
+    #[inline]
+    pub fn core_dead(&self, flat: usize) -> bool {
+        !self.dead_cores.is_empty() && self.dead_cores.binary_search(&(flat as u32)).is_ok()
+    }
+
+    /// Whether the directed link with this dense index is dead.
+    #[inline]
+    pub fn link_dead(&self, link_index: usize) -> bool {
+        !self.dead_links.is_empty() && self.dead_links.binary_search(&(link_index as u32)).is_ok()
+    }
+
+    /// Sorted flat indices of dead cores.
+    pub fn dead_cores(&self) -> &[u32] {
+        &self.dead_cores
+    }
+
+    /// Sorted dense indices of dead directed links.
+    pub fn dead_links(&self) -> &[u32] {
+        &self.dead_links
+    }
+
+    /// Number of dead cores.
+    pub fn n_dead_cores(&self) -> usize {
+        self.dead_cores.len()
+    }
+
+    /// Marks a core dead by flat index (idempotent).
+    pub fn insert_core(&mut self, flat: u32) {
+        if let Err(pos) = self.dead_cores.binary_search(&flat) {
+            self.dead_cores.insert(pos, flat);
+        }
+    }
+
+    /// Marks a directed link dead by dense index (idempotent).
+    pub fn insert_link(&mut self, link_index: u32) {
+        if let Err(pos) = self.dead_links.binary_search(&link_index) {
+            self.dead_links.insert(pos, link_index);
+        }
+    }
+}
+
+impl Platform {
+    /// This platform with one more fault applied (out-of-place; the
+    /// existing fault set is extended). Link faults kill both directions.
+    ///
+    /// # Panics
+    /// Panics if the core is off-grid or the link endpoints are not
+    /// topology-adjacent.
+    pub fn with_fault(&self, fault: Fault) -> Platform {
+        let mut pf = self.clone();
+        match fault {
+            Fault::Core(c) => {
+                assert!(pf.contains(c), "faulted core {c:?} off the grid");
+                pf.faults.insert_core(c.flat(pf.q) as u32);
+            }
+            Fault::Link(a, b) => {
+                let fwd = pf.link_index(crate::topology::DirLink { from: a, to: b }) as u32;
+                let back = pf.link_index(crate::topology::DirLink { from: b, to: a }) as u32;
+                pf.faults.insert_link(fwd);
+                pf.faults.insert_link(back);
+            }
+        }
+        pf
+    }
+
+    /// Shorthand for [`Platform::with_fault`] with [`Fault::Core`].
+    pub fn with_core_fault(&self, c: CoreId) -> Platform {
+        self.with_fault(Fault::Core(c))
+    }
+
+    /// Shorthand for [`Platform::with_fault`] with [`Fault::Link`].
+    pub fn with_link_fault(&self, a: CoreId, b: CoreId) -> Platform {
+        self.with_fault(Fault::Link(a, b))
+    }
+
+    /// This platform with every fault cleared (the healthy twin; its
+    /// fingerprint keys fault-invariant cached artifacts).
+    pub fn fault_free(&self) -> Platform {
+        let mut pf = self.clone();
+        pf.faults = FaultSet::default();
+        pf
+    }
+
+    /// Whether any fault is present.
+    #[inline]
+    pub fn is_faulted(&self) -> bool {
+        !self.faults.is_empty()
+    }
+
+    /// Whether any **link** fault is present (core faults leave routing
+    /// untouched, so route generation only branches on this).
+    #[inline]
+    pub fn has_link_faults(&self) -> bool {
+        !self.faults.dead_links().is_empty()
+    }
+
+    /// Whether this core's PE is alive (its router always is).
+    #[inline]
+    pub fn core_alive(&self, c: CoreId) -> bool {
+        !self.faults.core_dead(c.flat(self.q))
+    }
+
+    /// All cores with a live PE, in row-major order (identical to
+    /// [`Platform::cores`] on a healthy platform).
+    pub fn alive_cores(&self) -> impl Iterator<Item = CoreId> + '_ {
+        self.cores().filter(move |c| self.core_alive(*c))
+    }
+
+    /// Number of cores with a live PE.
+    pub fn n_alive_cores(&self) -> usize {
+        self.n_cores() - self.faults.n_dead_cores()
+    }
+
+    /// Whether the directed link is alive (false only under link faults).
+    #[inline]
+    pub fn link_alive(&self, l: crate::topology::DirLink) -> bool {
+        !self.faults.link_dead(self.link_index(l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::DirLink;
+
+    fn c(u: u32, v: u32) -> CoreId {
+        CoreId { u, v }
+    }
+
+    #[test]
+    fn fault_set_injection_order_is_canonical() {
+        let pf = Platform::paper(3, 3);
+        let a = pf.with_core_fault(c(2, 1)).with_core_fault(c(0, 0));
+        let b = pf.with_core_fault(c(0, 0)).with_core_fault(c(2, 1));
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn core_fault_kills_pe_not_router() {
+        let pf = Platform::paper(3, 3).with_core_fault(c(1, 1));
+        assert!(!pf.core_alive(c(1, 1)));
+        assert!(pf.core_alive(c(0, 1)));
+        assert_eq!(pf.n_alive_cores(), 8);
+        assert_eq!(pf.alive_cores().count(), 8);
+        // Links through the dead core's router still work.
+        assert!(pf.link_alive(DirLink {
+            from: c(1, 0),
+            to: c(1, 1)
+        }));
+        assert!(!pf.has_link_faults());
+    }
+
+    #[test]
+    fn link_fault_kills_both_directions() {
+        let pf = Platform::paper(3, 3).with_link_fault(c(0, 0), c(0, 1));
+        assert!(!pf.link_alive(DirLink {
+            from: c(0, 0),
+            to: c(0, 1)
+        }));
+        assert!(!pf.link_alive(DirLink {
+            from: c(0, 1),
+            to: c(0, 0)
+        }));
+        assert!(pf.link_alive(DirLink {
+            from: c(0, 1),
+            to: c(0, 2)
+        }));
+        assert!(pf.has_link_faults());
+        assert_eq!(pf.n_alive_cores(), 9);
+    }
+
+    #[test]
+    fn fault_free_restores_equality() {
+        let pf = Platform::paper(2, 2);
+        let hurt = pf
+            .with_core_fault(c(0, 1))
+            .with_link_fault(c(0, 0), c(1, 0));
+        assert!(hurt.is_faulted());
+        assert_eq!(hurt.fault_free(), pf);
+        assert!(!pf.is_faulted());
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_adjacent_link_fault_panics() {
+        let _ = Platform::paper(3, 3).with_link_fault(c(0, 0), c(2, 2));
+    }
+
+    #[test]
+    fn alive_cores_row_major_on_healthy_platform() {
+        let pf = Platform::paper(3, 4);
+        let all: Vec<_> = pf.cores().collect();
+        let alive: Vec<_> = pf.alive_cores().collect();
+        assert_eq!(all, alive);
+    }
+}

@@ -1,6 +1,7 @@
 //! The CMP grid description (paper §3.2), generalised over the pluggable
 //! interconnect backends of [`crate::topology`].
 
+use crate::fault::FaultSet;
 use crate::power::PowerModel;
 use crate::router::RoutePolicy;
 use crate::topology::{Neighbours, TopoBackend, Topology, TopologyKind};
@@ -65,6 +66,9 @@ pub struct Platform {
     /// paper's platform uses [`RoutePolicy::Xy`]; torus/ring default to
     /// [`RoutePolicy::Shortest`] so their wrap links actually pay off).
     pub policy: RoutePolicy,
+    /// Dead cores and links (empty on a healthy platform — see
+    /// [`crate::fault`]).
+    pub faults: FaultSet,
 }
 
 impl Platform {
@@ -97,6 +101,7 @@ impl Platform {
                 TopologyKind::Mesh => RoutePolicy::Xy,
                 TopologyKind::Torus | TopologyKind::Ring => RoutePolicy::Shortest,
             },
+            faults: FaultSet::default(),
         }
     }
 
@@ -170,6 +175,9 @@ impl Platform {
         Platform {
             p,
             q,
+            // Fault indices are flat per-shape coordinates; they do not
+            // survive a reshape.
+            faults: FaultSet::default(),
             ..self.clone()
         }
     }

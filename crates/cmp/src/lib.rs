@@ -23,12 +23,14 @@
 //! columns); the paper's `C_{u,v}` with 1-based indices maps to
 //! `CoreId { u: u-1, v: v-1 }`.
 
+pub mod fault;
 pub mod grid;
 pub mod power;
 pub mod router;
 pub mod routing;
 pub mod topology;
 
+pub use fault::{Fault, FaultSet};
 pub use grid::{CoreId, Platform};
 pub use power::{PowerModel, Speed};
 pub use router::{

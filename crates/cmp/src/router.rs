@@ -248,7 +248,33 @@ impl Platform {
     /// Visits every hop of the `policy` route from `from` to `to` on this
     /// platform (static dispatch; the generation hot path behind
     /// [`RouteTable::build`] and the mapping evaluator's fallback).
+    ///
+    /// On a platform with **link faults** the policy route is checked
+    /// against the dead-link set first: clean routes are emitted verbatim,
+    /// routes crossing a dead link are replaced by a deterministic
+    /// shortest alive detour (BFS in direction-slot order), and pairs with
+    /// no alive path emit **nothing** — the evaluator treats a zero-hop
+    /// route between distinct cores as unroutable.
     pub fn route_visit(
+        &self,
+        policy: RoutePolicy,
+        from: CoreId,
+        to: CoreId,
+        mut f: impl FnMut(DirLink),
+    ) {
+        if !self.has_link_faults() {
+            self.policy_route_visit(policy, from, to, f);
+            return;
+        }
+        let (path, _detoured) = self.faulted_route(policy, from, to);
+        for l in path {
+            f(l);
+        }
+    }
+
+    /// The fault-oblivious policy route (what [`Platform::route_visit`]
+    /// emits on a healthy platform).
+    fn policy_route_visit(
         &self,
         policy: RoutePolicy,
         from: CoreId,
@@ -263,6 +289,78 @@ impl Platform {
                 snake_route_visit(self, snake_index(self, from), snake_index(self, to), f)
             }
         }
+    }
+
+    /// The route from `from` to `to` under this platform's link faults:
+    /// the policy route when it avoids every dead link, else a
+    /// deterministic shortest alive detour (empty when `to` is
+    /// unreachable). The flag reports whether a detour replaced the
+    /// policy route.
+    ///
+    /// Detours depend only on (topology, fault set, endpoints): BFS
+    /// explores neighbours in fixed direction-slot order (east, west,
+    /// south, north) and keeps the first parent that discovers each core,
+    /// so the returned equal-length path is unique for a given fault set.
+    pub(crate) fn faulted_route(
+        &self,
+        policy: RoutePolicy,
+        from: CoreId,
+        to: CoreId,
+    ) -> (Vec<DirLink>, bool) {
+        let mut path = Vec::new();
+        self.policy_route_visit(policy, from, to, |l| path.push(l));
+        if path.iter().all(|l| self.link_alive(*l)) {
+            return (path, false);
+        }
+        (self.bfs_detour(from, to), true)
+    }
+
+    /// Deterministic BFS over alive links; empty when unreachable.
+    fn bfs_detour(&self, from: CoreId, to: CoreId) -> Vec<DirLink> {
+        let topo = self.topo();
+        let n = self.n_cores();
+        let mut parent: Vec<Option<CoreId>> = vec![None; n];
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[from.flat(self.q)] = true;
+        queue.push_back(from);
+        'bfs: while let Some(cur) = queue.pop_front() {
+            for dir in 0..4 {
+                let Some(next) = topo.step(cur, dir) else {
+                    continue;
+                };
+                let flat = next.flat(self.q);
+                if seen[flat]
+                    || !self.link_alive(DirLink {
+                        from: cur,
+                        to: next,
+                    })
+                {
+                    continue;
+                }
+                seen[flat] = true;
+                parent[flat] = Some(cur);
+                if next == to {
+                    break 'bfs;
+                }
+                queue.push_back(next);
+            }
+        }
+        if !seen[to.flat(self.q)] {
+            return Vec::new();
+        }
+        let mut rev = Vec::new();
+        let mut cur = to;
+        while cur != from {
+            let prev = parent[cur.flat(self.q)].expect("BFS parents reach the source");
+            rev.push(DirLink {
+                from: prev,
+                to: cur,
+            });
+            cur = prev;
+        }
+        rev.reverse();
+        rev
     }
 
     /// A boxed [`Router`] for one policy on this platform, for callers that
@@ -300,23 +398,44 @@ pub struct RouteTable {
     offsets: Vec<u32>,
     /// Concatenated link indices of all routes, row-major by `(src, dst)`.
     links: Vec<u32>,
+    /// The dead directed-link set the table was built under (sorted; empty
+    /// on a healthy platform). Routes are **core**-fault-independent, so
+    /// only link faults participate in [`RouteTable::matches_platform`].
+    dead_links: Vec<u32>,
+    /// Per `(src, dst)` cell: whether the stored route is a BFS detour
+    /// rather than the policy route. Detours are tie-break-sensitive to
+    /// the whole fault set, so [`RouteTable::patched`] always regenerates
+    /// them; empty means "no cell detoured" (the healthy fast path).
+    detoured: Vec<bool>,
 }
 
 impl RouteTable {
     /// Builds the table for one platform and policy by running the policy's
-    /// route visitor over every ordered core pair.
+    /// route visitor over every ordered core pair (fault-aware: on a
+    /// platform with link faults, stored routes are the alive detours).
     pub fn build(pf: &Platform, policy: RoutePolicy) -> RouteTable {
         let n = pf.n_cores();
         let mut offsets = Vec::with_capacity(n * n + 1);
         let mut links = Vec::new();
+        let mut detoured = Vec::new();
+        let faulted = pf.has_link_faults();
+        if faulted {
+            detoured.reserve(n * n);
+        }
         offsets.push(0u32);
         for src in 0..n {
             let from = CoreId::from_flat(src, pf.q);
             for dst in 0..n {
                 let to = CoreId::from_flat(dst, pf.q);
-                pf.route_visit(policy, from, to, |l| {
-                    links.push(pf.link_index(l) as u32);
-                });
+                if faulted {
+                    let (path, det) = pf.faulted_route(policy, from, to);
+                    links.extend(path.iter().map(|l| pf.link_index(*l) as u32));
+                    detoured.push(det);
+                } else {
+                    pf.route_visit(policy, from, to, |l| {
+                        links.push(pf.link_index(l) as u32);
+                    });
+                }
                 offsets.push(links.len() as u32);
             }
         }
@@ -327,6 +446,70 @@ impl RouteTable {
             topology: pf.topology,
             offsets,
             links,
+            dead_links: pf.faults.dead_links().to_vec(),
+            detoured,
+        }
+    }
+
+    /// Delta-patches this table onto a platform with a **different link
+    /// fault set**: pairs whose stored route is the policy route and
+    /// avoids every newly dead link are copied verbatim; detoured or
+    /// newly-broken pairs are regenerated under the new fault set. The
+    /// result is bit-identical to `RouteTable::build(pf, policy)` — a
+    /// clean policy route is exactly what a cold build would store, and
+    /// everything else is recomputed from scratch.
+    ///
+    /// # Panics
+    /// Panics when the platform shape/topology differs or the policy
+    /// mismatches — patching only makes sense across fault sets.
+    pub fn patched(&self, pf: &Platform) -> RouteTable {
+        assert!(
+            self.p == pf.p && self.q == pf.q && self.topology == pf.topology,
+            "route-table patch across different platform shapes"
+        );
+        let n = pf.n_cores();
+        let mut offsets = Vec::with_capacity(n * n + 1);
+        let mut links = Vec::with_capacity(self.links.len());
+        let mut detoured = Vec::new();
+        let faulted = pf.has_link_faults();
+        if faulted {
+            detoured.reserve(n * n);
+        }
+        offsets.push(0u32);
+        for src in 0..n {
+            let from = CoreId::from_flat(src, pf.q);
+            for dst in 0..n {
+                let to = CoreId::from_flat(dst, pf.q);
+                let cell = src * n + dst;
+                let was_detoured = self.detoured.get(cell).copied().unwrap_or(false);
+                let span = self.links_between(src, dst);
+                let clean = !was_detoured && span.iter().all(|&l| !pf.faults.link_dead(l as usize));
+                if clean {
+                    links.extend_from_slice(span);
+                    if faulted {
+                        detoured.push(false);
+                    }
+                } else if faulted {
+                    let (path, det) = pf.faulted_route(self.policy, from, to);
+                    links.extend(path.iter().map(|l| pf.link_index(*l) as u32));
+                    detoured.push(det);
+                } else {
+                    pf.route_visit(self.policy, from, to, |l| {
+                        links.push(pf.link_index(l) as u32);
+                    });
+                }
+                offsets.push(links.len() as u32);
+            }
+        }
+        RouteTable {
+            policy: self.policy,
+            p: pf.p,
+            q: pf.q,
+            topology: pf.topology,
+            offsets,
+            links,
+            dead_links: pf.faults.dead_links().to_vec(),
+            detoured,
         }
     }
 
@@ -336,6 +519,8 @@ impl RouteTable {
         std::mem::size_of::<Self>()
             + self.offsets.capacity() * std::mem::size_of::<u32>()
             + self.links.capacity() * std::mem::size_of::<u32>()
+            + self.dead_links.capacity() * std::mem::size_of::<u32>()
+            + self.detoured.capacity()
     }
 
     /// The policy the table was built for.
@@ -350,14 +535,21 @@ impl RouteTable {
         (self.p * self.q) as usize
     }
 
-    /// Whether the table was built for this platform's exact shape and
-    /// topology. Consumers (the evaluator, the simulator) fall back to
-    /// hop-by-hop route generation when this is false — a table from a
-    /// same-core-count but differently shaped platform (e.g. 4×4 vs 2×8)
-    /// would silently map link indices onto the wrong physical links.
+    /// Whether the table was built for this platform's exact shape,
+    /// topology, and **link** fault set. Consumers (the evaluator, the
+    /// simulator) fall back to hop-by-hop route generation when this is
+    /// false — a table from a same-core-count but differently shaped
+    /// platform (e.g. 4×4 vs 2×8) would silently map link indices onto
+    /// the wrong physical links, and one built under other link faults
+    /// would route over dead links. Core faults are deliberately not
+    /// compared: routers outlive their PEs, so routes are core-fault-
+    /// independent.
     #[inline]
     pub fn matches_platform(&self, pf: &Platform) -> bool {
-        self.p == pf.p && self.q == pf.q && self.topology == pf.topology
+        self.p == pf.p
+            && self.q == pf.q
+            && self.topology == pf.topology
+            && self.dead_links == pf.faults.dead_links()
     }
 
     /// The packed link-index span of the route from flat core `src` to flat
@@ -479,6 +671,70 @@ mod tests {
                         assert_eq!(table.hops(src, dst), direct.len());
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn link_fault_detours_are_valid_shortest_alive_paths() {
+        let pf = Platform::paper(3, 3).with_link_fault(c(0, 0), c(0, 1));
+        for policy in RoutePolicy::ALL {
+            for src in 0..pf.n_cores() {
+                for dst in 0..pf.n_cores() {
+                    let (ca, cb) = (CoreId::from_flat(src, pf.q), CoreId::from_flat(dst, pf.q));
+                    let mut path = Vec::new();
+                    pf.route_visit(policy, ca, cb, |l| path.push(l));
+                    validate_route(&pf, ca, cb, &path).unwrap();
+                    assert!(path.iter().all(|l| pf.link_alive(*l)), "{ca:?}->{cb:?}");
+                }
+            }
+        }
+        // The broken pair itself detours: one dead mesh link costs a
+        // 2-extra-hop dogleg.
+        let mut hops = 0;
+        pf.route_visit(RoutePolicy::Xy, c(0, 0), c(0, 1), |_| hops += 1);
+        assert_eq!(hops, 3);
+    }
+
+    #[test]
+    fn unreachable_pair_emits_no_hops() {
+        // Sever core (0,0) of a 1x2 ring-free mesh entirely.
+        let pf = Platform::paper(1, 2).with_link_fault(c(0, 0), c(0, 1));
+        let mut hops = 0;
+        pf.route_visit(RoutePolicy::Xy, c(0, 0), c(0, 1), |_| hops += 1);
+        assert_eq!(hops, 0);
+    }
+
+    #[test]
+    fn core_faults_leave_routes_and_tables_untouched() {
+        let pf = Platform::paper(3, 3);
+        let hurt = pf.with_core_fault(c(1, 1));
+        for policy in RoutePolicy::ALL {
+            let clean = RouteTable::build(&pf, policy);
+            let faulted = RouteTable::build(&hurt, policy);
+            assert_eq!(clean, faulted);
+            assert!(clean.matches_platform(&hurt));
+        }
+    }
+
+    #[test]
+    fn patched_table_is_bit_identical_to_cold_build() {
+        let base = Platform::paper(3, 3);
+        let f1 = base.with_link_fault(c(0, 0), c(0, 1));
+        let f2 = f1.with_link_fault(c(1, 1), c(2, 1));
+        for policy in RoutePolicy::ALL {
+            let t_base = RouteTable::build(&base, policy);
+            // Healthy -> faulted, faulted -> more faulted, faulted -> healed.
+            for (from_tab, to_pf) in [
+                (&t_base, &f1),
+                (&RouteTable::build(&f1, policy), &f2),
+                (&RouteTable::build(&f2, policy), &base),
+            ] {
+                let patched = from_tab.patched(to_pf);
+                let cold = RouteTable::build(to_pf, policy);
+                assert_eq!(patched, cold, "{policy:?}");
+                assert!(patched.matches_platform(to_pf));
+                assert!(!from_tab.matches_platform(to_pf));
             }
         }
     }

@@ -1283,9 +1283,10 @@ fn relax_skeleton_par(
     }
 }
 
-/// `k ∈ 0..width` clusters: at most one per core, never more than stages.
+/// `k ∈ 0..width` clusters: at most one per **alive** core, never more
+/// than stages (alive = all cores on a healthy platform).
 fn width_of(spg: &Spg, pf: &Platform) -> usize {
-    pf.n_cores().min(spg.n()) + 1
+    pf.n_alive_cores().min(spg.n()) + 1
 }
 
 fn check_ideal_cap(lattice: &IdealLattice, cfg: &Dpa1dConfig) -> Result<(), Failure> {
@@ -1405,8 +1406,20 @@ pub(crate) fn build_snake_solution(
     table: Option<&RouteTable>,
 ) -> Result<Solution, Failure> {
     let mut alloc = vec![CoreId { u: 0, v: 0 }; spg.n()];
+    // Clusters land on consecutive *alive* snake positions (the identity
+    // on a healthy platform); dead cores are skipped, their routers still
+    // carry the snake traffic through.
+    let spots: Vec<CoreId> = (0..pf.n_cores())
+        .map(|i| snake_core(pf, i))
+        .filter(|c| pf.core_alive(*c))
+        .collect();
+    if chain.len() > spots.len() {
+        return Err(Failure::NoValidMapping(
+            "more clusters than alive cores".into(),
+        ));
+    }
     for (pos, cluster) in chain.iter().enumerate() {
-        let core = snake_core(pf, pos);
+        let core = spots[pos];
         for &s in cluster {
             alloc[s.idx()] = core;
         }

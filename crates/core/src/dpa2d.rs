@@ -50,6 +50,13 @@ pub(crate) fn dpa2d_run(
     period: f64,
     table: Option<&RouteTable>,
 ) -> Result<Solution, Failure> {
+    if pf.is_faulted() {
+        // The nested column DP assumes a full rectangular grid; other
+        // solvers in the portfolio cover faulted platforms.
+        return Err(Failure::NoValidMapping(
+            "DPA2D does not support faulted platforms".into(),
+        ));
+    }
     let alloc = dpa2d_alloc(spg, pf, period)?;
     let speed = assign_min_speeds(spg, pf, &alloc, period)
         .ok_or_else(|| Failure::NoValidMapping("speed assignment failed".into()))?;

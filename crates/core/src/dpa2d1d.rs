@@ -37,6 +37,13 @@ pub(crate) fn dpa2d1d_run(
     period: f64,
     table: Option<&RouteTable>,
 ) -> Result<Solution, Failure> {
+    if pf.is_faulted() {
+        // The virtual 1×r platform cannot express faults at physical
+        // coordinates; other solvers cover faulted platforms.
+        return Err(Failure::NoValidMapping(
+            "DPA2D1D does not support faulted platforms".into(),
+        ));
+    }
     let r = pf.n_cores() as u32;
     let virt = pf.reshaped(1, r);
     let valloc = dpa2d_alloc(spg, &virt, period)?;

@@ -197,7 +197,11 @@ fn try_partition(
         }
     }
     // Count placements r·(r-1)·…·(r-k+1) up front.
-    let r = pf.n_cores();
+    let cores: Vec<CoreId> = pf.alive_cores().collect();
+    let r = cores.len();
+    if k > r {
+        return;
+    }
     let mut count: u64 = 1;
     for j in 0..k {
         count = count.saturating_mul((r - j) as u64);
@@ -208,7 +212,6 @@ fn try_partition(
         // practice.
         return;
     }
-    let cores: Vec<CoreId> = pf.cores().collect();
     let mut chosen: Vec<usize> = Vec::with_capacity(k);
     let mut used = vec![false; r];
     place_blocks(

@@ -94,7 +94,7 @@ fn greedy_at_speed(
 ) -> Option<Solution> {
     let n = spg.n();
     let freq = pf.power.speed(k).freq;
-    let cap = period * freq * (1.0 + 1e-12);
+    let cap_alive = period * freq * (1.0 + 1e-12);
     let n_cores = pf.n_cores();
 
     let mut pending: Vec<Vec<Pending>> = vec![Vec::new(); n_cores];
@@ -118,6 +118,9 @@ fn greedy_at_speed(
     for core in wavefront {
         let f = core.flat(pf.q);
         let mut work = 0.0f64;
+        // A dead core places nothing (negative cap can never admit a
+        // stage) but still forwards its pending stages east/south.
+        let cap = if pf.core_alive(core) { cap_alive } else { -1.0 };
         // Greedy placement passes: repeatedly place the largest-volume
         // pending stage that is ready and fits.
         loop {

@@ -28,9 +28,9 @@
 use std::sync::{Arc, Mutex, OnceLock};
 
 use cmp_mapping::{evaluate_with, Evaluation, Mapping, MappingError};
-use cmp_platform::{snake_core, CoreId, Platform, RoutePolicy, RouteTable};
+use cmp_platform::{snake_core, CoreId, Fault, Platform, RoutePolicy, RouteTable};
 use spg::ideal::{enumerate_ideals, IdealError, IdealLattice};
-use spg::{Spg, StageId};
+use spg::{Edit, Spg, StageId};
 
 use crate::common::Failure;
 use crate::dpa1d::{build_skeleton, build_skeleton_bounded, Dpa1dConfig, TransitionSkeleton};
@@ -80,7 +80,7 @@ type SkeletonSlot = Mutex<Option<(usize, Result<Arc<TransitionSkeleton>, Failure
 /// ceilings. That keying is what lets a tighter sweep point retry (and
 /// succeed) after a looser point's build overflowed, where a bare
 /// "build failed once" flag would poison the whole session.
-#[derive(Default)]
+#[derive(Default, Clone)]
 struct BoundedSkeleton {
     built: Option<Arc<TransitionSkeleton>>,
     /// `(edge_cap, ceiling)` of the most binding failed build: tightest
@@ -521,6 +521,150 @@ impl Instance {
             .copied()
             .try_fold(0usize, |acc, k| k.map(|k| acc.max(k)))
     }
+
+    /// A certified lower bound on the energy of *any* valid mapping of
+    /// this instance — the anytime mode's certificate (see
+    /// `docs/fault-model.md`):
+    ///
+    /// * dynamic compute: every cycle costs at least the best
+    ///   energy-per-cycle over the DVFS ladder, so
+    ///   `E_dyn ≥ W · min_k(P_k / f_k)`;
+    /// * compute leakage: a core runs at most `T · f_max` cycles per
+    ///   period, so at least `⌈W / (T · f_max)⌉` cores (and never fewer
+    ///   than one) are enrolled, each paying `P_leak · T`;
+    /// * communication: dynamic energy is non-negative and the
+    ///   communication leakage `P_leak^(comm) · T` is paid by every
+    ///   mapping.
+    ///
+    /// The bound is deterministic in the instance alone (no solve needed),
+    /// so `E_anytime − bound_gap ≤ E_opt ≤ E_anytime` holds for any
+    /// solution whose `bound_gap` is `E_anytime` minus this value.
+    pub fn energy_lower_bound(&self) -> f64 {
+        let w = self.spg.total_work();
+        let power = &self.pf.power;
+        let epc_min = (0..power.m())
+            .map(|k| {
+                let s = power.speed(k);
+                s.power / s.freq
+            })
+            .fold(f64::INFINITY, f64::min);
+        let k_min = if w > 0.0 {
+            (w / (self.period * power.max_freq())).ceil().max(1.0)
+        } else {
+            1.0
+        };
+        w * epc_min + k_min * power.p_leak * self.period + self.pf.p_leak_comm * self.period
+    }
+
+    /// A session for the same workload on the **faulted** platform,
+    /// delta-patching the cached derived state instead of discarding it
+    /// (see `docs/fault-model.md` for the full invalidation matrix):
+    ///
+    /// * the ideal lattice, transition skeletons, snake/topological
+    ///   orders, sweep-ceiling hint, and per-stage speed table are all
+    ///   fault-invariant — shared or copied as-is;
+    /// * on a **core** fault every built route table is reused verbatim
+    ///   (routers outlive their PEs, so routes never change);
+    /// * on a **link** fault every built route table is delta-patched
+    ///   ([`RouteTable::patched`]) — bit-identical to a cold rebuild on
+    ///   the faulted platform.
+    ///
+    /// Solves on the patched session are bit-identical in energy to cold
+    /// solves on `Instance::new(spg, pf.with_fault(fault), period)`.
+    pub fn with_fault(&self, fault: Fault) -> Instance {
+        let pf = Arc::new(self.pf.with_fault(fault));
+        let patch_routes = pf.faults.dead_links() != self.pf.faults.dead_links();
+        let derived = Derived {
+            lattice: Mutex::new(self.derived.lattice.lock().unwrap().clone()),
+            skeleton: Mutex::new(self.derived.skeleton.lock().unwrap().clone()),
+            bounded: Mutex::new(self.derived.bounded.lock().unwrap().clone()),
+            sweep_ceiling: Mutex::new(*self.derived.sweep_ceiling.lock().unwrap()),
+            snake: self.derived.snake.clone(),
+            topo: self.derived.topo.clone(),
+            route_tables: Default::default(),
+        };
+        for (i, slot) in self.derived.route_tables.iter().enumerate() {
+            if let Some(t) = slot.get() {
+                let table = if patch_routes {
+                    Arc::new(t.patched(&pf))
+                } else {
+                    Arc::clone(t)
+                };
+                let _ = derived.route_tables[i].set(table);
+            }
+        }
+        Instance {
+            spg: Arc::clone(&self.spg),
+            pf,
+            period: self.period,
+            derived: Arc::new(derived),
+            min_speeds: self.min_speeds.clone(),
+        }
+    }
+
+    /// A session for the **edited** workload on the same platform,
+    /// delta-patching the cached derived state (see `docs/fault-model.md`):
+    ///
+    /// * [`Edit`]s are structure-preserving, so the interned lattice
+    ///   *structure* survives every edit: a weight retune shares the whole
+    ///   [`SharedLattice`] (cut volumes are weight-independent), a volume
+    ///   edit clones the structure and recomputes the cut volumes — in
+    ///   cold enumeration order, so they are bit-identical to a rebuild;
+    /// * transition skeletons are invalidated (their per-transition work
+    ///   sums and admission thresholds are value-derived) and rebuilt
+    ///   lazily from the reused lattice;
+    /// * route tables, snake/topological orders, and the sweep-ceiling
+    ///   hint are workload-independent or structure-only — copied;
+    /// * the per-stage speed table survives volume edits and is dropped on
+    ///   weight retunes.
+    ///
+    /// Solves on the patched session are bit-identical in energy to cold
+    /// solves on `Instance::new(spg.with_edit(edit), pf, period)`.
+    pub fn with_edit(&self, edit: &Edit) -> Instance {
+        let spg = Arc::new(self.spg.with_edit(edit));
+        let lattice = {
+            let slot = self.derived.lattice.lock().unwrap();
+            match slot.as_ref() {
+                Some((cap, Ok(sh))) if edit.changes_volumes() => {
+                    // Same structure, new per-ideal cut volumes — computed
+                    // ideal by ideal exactly as a cold enumeration would.
+                    let lattice = sh.lattice.clone();
+                    let cuts = lattice.iter().map(|s| spg.cut_volume(s)).collect();
+                    Some((*cap, Ok(Arc::new(SharedLattice { lattice, cuts }))))
+                }
+                // Weight retunes leave the lattice untouched; enumeration
+                // *failures* are structure-only proofs, valid either way.
+                other => other.cloned(),
+            }
+        };
+        let derived = Derived {
+            lattice: Mutex::new(lattice),
+            // Skeleton blocks embed value-derived work sums and admission
+            // thresholds: rebuilt lazily from the reused lattice.
+            skeleton: Mutex::new(None),
+            bounded: Mutex::new(BoundedSkeleton::default()),
+            sweep_ceiling: Mutex::new(*self.derived.sweep_ceiling.lock().unwrap()),
+            snake: self.derived.snake.clone(),
+            topo: self.derived.topo.clone(),
+            route_tables: Default::default(),
+        };
+        for (i, slot) in self.derived.route_tables.iter().enumerate() {
+            if let Some(t) = slot.get() {
+                let _ = derived.route_tables[i].set(Arc::clone(t));
+            }
+        }
+        Instance {
+            spg,
+            pf: Arc::clone(&self.pf),
+            period: self.period,
+            derived: Arc::new(derived),
+            min_speeds: if edit.changes_volumes() {
+                self.min_speeds.clone()
+            } else {
+                OnceLock::new()
+            },
+        }
+    }
 }
 
 /// `T = W / (u · p·q · f_max)`: the time the whole platform needs for one
@@ -737,6 +881,120 @@ mod tests {
         assert!(Arc::ptr_eq(&warm.cached_bounded_skeleton().unwrap(), &sk));
         let served = warm.transition_skeleton(&cfg).unwrap().unwrap();
         assert!(Arc::ptr_eq(&served, &sk), "seed must serve the build");
+    }
+
+    #[test]
+    fn with_fault_reuses_fault_invariant_artifacts() {
+        let g = chain(&[1e6; 6], &[1e3; 5]);
+        let inst = Instance::new(g, Platform::paper(2, 2), 1.0);
+        let lat = inst.lattice(10_000).unwrap();
+        let sk = inst
+            .transition_skeleton(&crate::dpa1d::Dpa1dConfig::default())
+            .unwrap()
+            .unwrap();
+        let xy = inst.route_table(RoutePolicy::Xy);
+
+        // Core fault: everything survives, route tables byte-for-byte.
+        let core_hurt = inst.with_fault(cmp_platform::Fault::Core(CoreId { u: 1, v: 1 }));
+        assert!(!core_hurt.platform().core_alive(CoreId { u: 1, v: 1 }));
+        assert!(Arc::ptr_eq(&core_hurt.lattice(10_000).unwrap(), &lat));
+        assert!(Arc::ptr_eq(&core_hurt.cached_skeleton().unwrap(), &sk));
+        assert!(Arc::ptr_eq(
+            &core_hurt.cached_route_table(RoutePolicy::Xy).unwrap(),
+            &xy
+        ));
+
+        // Link fault: lattice/skeleton survive, route tables are patched
+        // bit-identically to a cold build on the faulted platform.
+        let link_hurt = inst.with_fault(cmp_platform::Fault::Link(
+            CoreId { u: 0, v: 0 },
+            CoreId { u: 0, v: 1 },
+        ));
+        assert!(Arc::ptr_eq(&link_hurt.lattice(10_000).unwrap(), &lat));
+        assert!(Arc::ptr_eq(&link_hurt.cached_skeleton().unwrap(), &sk));
+        let patched = link_hurt.cached_route_table(RoutePolicy::Xy).unwrap();
+        let cold = RouteTable::build(link_hurt.platform(), RoutePolicy::Xy);
+        assert_eq!(*patched, cold);
+        // Unbuilt policies stay unbuilt — patching is lazy per slot.
+        assert!(link_hurt.cached_route_table(RoutePolicy::Yx).is_none());
+    }
+
+    #[test]
+    fn with_edit_lattice_reuse_matches_cold_rebuild() {
+        let g = chain(&[1e6; 6], &[1e3; 5]);
+        let inst = Instance::new(g.clone(), Platform::paper(2, 2), 1.0);
+        let lat = inst.lattice(10_000).unwrap();
+        let order = inst.spg().topo_order();
+
+        // Weight retune: the whole shared lattice (cuts included) is
+        // reused by pointer.
+        let retune = spg::Edit::Retune {
+            stage: order[2],
+            work: 2e6,
+        };
+        let tuned = inst.with_edit(&retune);
+        assert_eq!(tuned.spg().weight(order[2]), 2e6);
+        assert!(Arc::ptr_eq(&tuned.lattice(10_000).unwrap(), &lat));
+
+        // Volume edit: structure reused, cuts recomputed — equal to a
+        // cold enumeration on the edited graph.
+        let revol = spg::Edit::SetVolume {
+            edge: spg::EdgeId(2),
+            volume: 7e3,
+        };
+        let edited = inst.with_edit(&revol);
+        let warm = edited.lattice(10_000).unwrap();
+        assert!(!Arc::ptr_eq(&warm, &lat));
+        let cold = Instance::new(g.with_edit(&revol), Platform::paper(2, 2), 1.0)
+            .lattice(10_000)
+            .unwrap();
+        assert_eq!(warm.cuts, cold.cuts);
+        assert_eq!(warm.lattice.len(), cold.lattice.len());
+
+        // Skeletons are invalidated on edits (value-derived work sums).
+        let cfg = crate::dpa1d::Dpa1dConfig::default();
+        let _ = inst.transition_skeleton(&cfg).unwrap().unwrap();
+        assert!(inst.with_edit(&retune).cached_skeleton().is_none());
+    }
+
+    #[test]
+    fn patched_solves_match_cold_solves() {
+        use crate::solver::{SolveCtx, Solver};
+        let g = chain(&[2e8, 3e8, 1e8, 4e8], &[1e4, 2e4, 5e3]);
+        let pf = Platform::paper(2, 2);
+        let inst = Instance::new(g.clone(), pf.clone(), 1.0);
+        let ctx = SolveCtx::new(7);
+        // Warm the caches before patching.
+        let _ = crate::solvers::Greedy::default().solve(&inst, &ctx);
+
+        let fault = cmp_platform::Fault::Core(CoreId { u: 0, v: 0 });
+        let warm = inst.with_fault(fault);
+        let cold = Instance::new(g.clone(), pf.with_fault(fault), 1.0);
+        for s in crate::solvers::default_heuristics() {
+            let a = s.solve(&warm, &ctx);
+            let b = s.solve(&cold, &ctx);
+            match (a, b) {
+                (Ok(x), Ok(y)) => assert_eq!(x.energy(), y.energy(), "{}", s.name()),
+                (Err(_), Err(_)) => {}
+                (x, y) => panic!("{}: warm {x:?} vs cold {y:?}", s.name()),
+            }
+        }
+
+        let edit = spg::Edit::Retune {
+            stage: g.topo_order()[1],
+            work: 5e8,
+        };
+        let warm = inst.with_edit(&edit);
+        let cold = Instance::new(g.with_edit(&edit), pf, 1.0);
+        for s in crate::solvers::default_heuristics() {
+            let a = s.solve(&warm, &ctx);
+            let b = s.solve(&cold, &ctx);
+            match (a, b) {
+                (Ok(x), Ok(y)) => assert_eq!(x.energy(), y.energy(), "{}", s.name()),
+                (Err(_), Err(_)) => {}
+                (x, y) => panic!("{}: warm {x:?} vs cold {y:?}", s.name()),
+            }
+        }
     }
 
     #[test]

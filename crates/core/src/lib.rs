@@ -44,6 +44,8 @@
 //! The pre-0.2 free functions (`run_heuristic`, `dpa1d`, `exact`, …) remain
 //! as thin `#[deprecated]` shims over the same implementations.
 
+#![warn(missing_docs)]
+
 pub mod common;
 pub mod dpa1d;
 pub mod dpa2d;

@@ -110,6 +110,7 @@ pub struct Portfolio {
     race: Race,
     seed: u64,
     budget: Option<Duration>,
+    anytime: bool,
 }
 
 impl Portfolio {
@@ -121,6 +122,7 @@ impl Portfolio {
             race: Race::BestEnergy,
             seed: 0,
             budget: None,
+            anytime: false,
         }
     }
 
@@ -160,6 +162,17 @@ impl Portfolio {
         self
     }
 
+    /// Enables anytime mode: when every solver fails and at least one hit
+    /// a budget ([`Failure::TooExpensive`]), the portfolio appends one
+    /// un-budgeted `Greedy` rescue run (named `"Anytime(Greedy)"`) and
+    /// certifies its energy with a [`crate::PruneStats::bound_gap`]
+    /// against [`Instance::energy_lower_bound`] — the caller gets a
+    /// mapping plus a bracket on the optimum instead of a bare failure.
+    pub fn anytime(mut self, yes: bool) -> Self {
+        self.anytime = yes;
+        self
+    }
+
     /// The solver set, in portfolio order.
     pub fn solvers(&self) -> &[Arc<dyn Solver>] {
         &self.solvers
@@ -176,7 +189,11 @@ impl Portfolio {
         let deadline = self.budget.and_then(|b| started.checked_add(b));
         let run_one = |s: &Arc<dyn Solver>| -> SolverRun {
             let seed = solver_seed(self.seed, s.name());
-            let ctx = SolveCtx { seed, deadline };
+            let ctx = SolveCtx {
+                seed,
+                deadline,
+                anytime: self.anytime,
+            };
             let t0 = Instant::now();
             let result = s.solve(inst, &ctx);
             SolverRun {
@@ -207,6 +224,15 @@ impl Portfolio {
             self.solvers.iter().map(run_one).collect()
         };
 
+        let mut runs = runs;
+        let starved = runs.iter().all(|r| r.result.is_err())
+            && runs
+                .iter()
+                .any(|r| matches!(r.result, Err(Failure::TooExpensive(_))));
+        if self.anytime && starved {
+            runs.push(self.anytime_rescue(inst));
+        }
+
         let best = match self.race {
             Race::BestEnergy => runs
                 .iter()
@@ -220,6 +246,35 @@ impl Portfolio {
             runs,
             best,
             wall: started.elapsed(),
+        }
+    }
+
+    /// The anytime rescue run: un-budgeted `Greedy`, with the gap to the
+    /// instance's certified energy lower bound stamped as `bound_gap`
+    /// (`E_rescue − bound_gap ≤ E_opt ≤ E_rescue`).
+    fn anytime_rescue(&self, inst: &Instance) -> SolverRun {
+        use crate::common::PruneStats;
+        let name = "Anytime(Greedy)";
+        let seed = solver_seed(self.seed, name);
+        let ctx = SolveCtx {
+            seed,
+            anytime: true,
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        let mut result = crate::solvers::Greedy::default().solve(inst, &ctx);
+        if let Ok(sol) = &mut result {
+            let gap = (sol.energy() - inst.energy_lower_bound()).max(0.0);
+            sol.prune = Some(PruneStats {
+                bound_gap: gap,
+                ..Default::default()
+            });
+        }
+        SolverRun {
+            name: name.to_string(),
+            seed,
+            result,
+            wall: t0.elapsed(),
         }
     }
 }
@@ -318,5 +373,55 @@ mod tests {
             .runs
             .iter()
             .all(|r| matches!(r.result, Err(Failure::TooExpensive(_)))));
+    }
+
+    #[test]
+    fn anytime_rescues_a_starved_portfolio() {
+        let i = inst();
+        let report = Portfolio::heuristics()
+            .with_budget(Duration::ZERO)
+            .anytime(true)
+            .run(&i);
+        let best = report.best_run().expect("anytime mode yields a mapping");
+        assert_eq!(best.name, "Anytime(Greedy)");
+        let sol = best.result.as_ref().unwrap();
+        let gap = sol.bound_gap();
+        assert!(sol.prune.is_some(), "rescue stamps a certified gap");
+        assert!(gap >= 0.0 && gap.is_finite());
+        // The certificate reconstructs the instance lower bound.
+        let lb = sol.energy() - gap;
+        assert!((lb - i.energy_lower_bound()).abs() <= 1e-9 * i.energy_lower_bound());
+        // Determinism: the rescue draws its seed like any portfolio member.
+        let again = Portfolio::heuristics()
+            .with_budget(Duration::ZERO)
+            .anytime(true)
+            .run(&i);
+        assert_eq!(signature(&report), signature(&again));
+    }
+
+    #[test]
+    fn anytime_bound_brackets_the_exact_optimum() {
+        // Small enough for Exact: the certified interval
+        // [E_any − gap, E_any] must contain the exact optimum.
+        let i = Instance::new(chain(&[2e8; 4], &[5e4; 3]), Platform::paper(2, 2), 0.5);
+        let exact = crate::solvers::Exact::default()
+            .solve(&i, &SolveCtx::new(0))
+            .expect("exact solves the small instance");
+        let report = Portfolio::heuristics()
+            .with_budget(Duration::ZERO)
+            .anytime(true)
+            .run(&i);
+        let sol = report.best_run().unwrap().result.as_ref().unwrap();
+        let gap = sol.bound_gap();
+        assert!(sol.energy() - gap <= exact.energy() * (1.0 + 1e-12));
+        assert!(exact.energy() <= sol.energy() * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn anytime_is_inert_when_solvers_succeed() {
+        let i = inst();
+        let plain = Portfolio::heuristics().seeded(9).run(&i);
+        let any = Portfolio::heuristics().seeded(9).anytime(true).run(&i);
+        assert_eq!(signature(&plain), signature(&any));
     }
 }

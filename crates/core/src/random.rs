@@ -71,11 +71,12 @@ fn random_once<R: Rng>(
     table: Option<&RouteTable>,
 ) -> Option<Solution> {
     let (clusters, speeds) = random_partition(spg, pf, period, rng)?;
-    if clusters.len() > pf.n_cores() {
+    // Random one-to-one placement of clusters onto cores with a live PE
+    // (identical to all cores, in identical order, on a healthy platform).
+    let mut cores: Vec<CoreId> = pf.alive_cores().collect();
+    if clusters.len() > cores.len() {
         return None;
     }
-    // Random one-to-one placement of clusters onto cores.
-    let mut cores: Vec<CoreId> = pf.cores().collect();
     cores.shuffle(rng);
     let mut alloc = vec![CoreId { u: 0, v: 0 }; spg.n()];
     let mut speed = vec![None; pf.n_cores()];

@@ -68,7 +68,7 @@ pub fn refine_with(
     table: Option<&RouteTable>,
 ) -> Solution {
     let mut best = start.clone();
-    let cores: Vec<CoreId> = pf.cores().collect();
+    let cores: Vec<CoreId> = pf.alive_cores().collect();
     for _pass in 0..cfg.max_passes {
         let mut improved = false;
         for s in spg.stages() {

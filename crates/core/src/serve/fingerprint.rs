@@ -91,11 +91,10 @@ pub fn workload_fingerprint(g: &Spg) -> u64 {
     h.finish()
 }
 
-/// Fingerprint of everything route tables and the transition skeleton
-/// depend on: grid shape, topology, routing policy, link parameters, and
-/// the full DVFS table.
-pub fn platform_fingerprint(pf: &Platform) -> u64 {
-    let mut h = Fingerprint::new();
+/// Absorbs everything *every* platform-derived artifact depends on: grid
+/// shape, topology, routing policy, link parameters, and the full DVFS
+/// table — the healthy-platform content, faults excluded.
+fn hash_platform_base(h: &mut Fingerprint, pf: &Platform) {
     h.u64(pf.p as u64)
         .u64(pf.q as u64)
         .str(pf.topology.name())
@@ -106,6 +105,52 @@ pub fn platform_fingerprint(pf: &Platform) -> u64 {
         .f64(pf.power.p_leak);
     for s in pf.power.speeds() {
         h.f64(s.freq).f64(s.power);
+    }
+}
+
+/// Fingerprint of the full platform content: the healthy base (grid
+/// shape, topology, routing policy, link parameters, DVFS table) plus the
+/// fault set (length-prefixed sorted dead-core and dead-link indices), so
+/// a faulted platform never aliases its healthy twin.
+pub fn platform_fingerprint(pf: &Platform) -> u64 {
+    let mut h = Fingerprint::new();
+    hash_platform_base(&mut h, pf);
+    h.u64(pf.faults.dead_cores().len() as u64);
+    for &c in pf.faults.dead_cores() {
+        h.u64(c as u64);
+    }
+    h.u64(pf.faults.dead_links().len() as u64);
+    for &l in pf.faults.dead_links() {
+        h.u64(l as u64);
+    }
+    h.finish()
+}
+
+/// The *fault-stripped* platform fingerprint: what the healthy twin would
+/// hash to. This keys fault-invariant artifacts — the `DPA1D` transition
+/// skeleton ignores faults entirely (placement handles them), so a
+/// faulted request warm-hits the skeleton a healthy solve materialised
+/// (see `docs/fault-model.md`).
+pub fn fault_free_platform_fingerprint(pf: &Platform) -> u64 {
+    let mut h = Fingerprint::new();
+    hash_platform_base(&mut h, pf);
+    h.u64(0).u64(0);
+    h.finish()
+}
+
+/// The *core-fault-stripped* platform fingerprint: base content plus only
+/// the link faults. This keys route tables — core faults leave every
+/// router and link alive, so routes (and their tables) are shared across
+/// core-fault siblings; link faults genuinely reroute and get their own
+/// entry (derived by [`cmp_platform::RouteTable::patched`] when a
+/// link-fault sibling is cached).
+pub fn route_platform_fingerprint(pf: &Platform) -> u64 {
+    let mut h = Fingerprint::new();
+    hash_platform_base(&mut h, pf);
+    h.u64(0);
+    h.u64(pf.faults.dead_links().len() as u64);
+    for &l in pf.faults.dead_links() {
+        h.u64(l as u64);
     }
     h.finish()
 }
@@ -143,6 +188,54 @@ mod tests {
         w[1] += 1.0;
         g2.set_weights(w);
         assert_ne!(workload_fingerprint(g), workload_fingerprint(&g2));
+    }
+
+    #[test]
+    fn fault_fingerprints_split_the_right_way() {
+        use cmp_platform::CoreId;
+        let base = Platform::paper(3, 3);
+        let a = CoreId { u: 0, v: 0 };
+        let b = CoreId { u: 0, v: 1 };
+        let core_hurt = base.with_core_fault(b);
+        let link_hurt = base.with_link_fault(a, b);
+        // Full fingerprints: every fault distinct from healthy and each other.
+        let fps = [
+            platform_fingerprint(&base),
+            platform_fingerprint(&core_hurt),
+            platform_fingerprint(&link_hurt),
+        ];
+        assert_eq!(
+            fps.iter().collect::<std::collections::HashSet<_>>().len(),
+            3
+        );
+        // Fault-stripped: all three agree (skeleton sharing).
+        assert_eq!(
+            fault_free_platform_fingerprint(&core_hurt),
+            platform_fingerprint(&base)
+        );
+        assert_eq!(
+            fault_free_platform_fingerprint(&link_hurt),
+            platform_fingerprint(&base)
+        );
+        // Route fingerprints: blind to core faults, sensitive to link faults.
+        assert_eq!(
+            route_platform_fingerprint(&core_hurt),
+            platform_fingerprint(&base)
+        );
+        assert_eq!(
+            route_platform_fingerprint(&link_hurt),
+            platform_fingerprint(&link_hurt)
+        );
+        assert_ne!(
+            route_platform_fingerprint(&link_hurt),
+            platform_fingerprint(&base)
+        );
+        // A core fault on top of a link fault routes like the link fault alone.
+        let both = link_hurt.with_core_fault(CoreId { u: 2, v: 2 });
+        assert_eq!(
+            route_platform_fingerprint(&both),
+            platform_fingerprint(&link_hurt)
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use std::io::{self, Read, Write};
 use std::str::FromStr;
 
-use cmp_platform::{Platform, RoutePolicy, TopologyKind};
+use cmp_platform::{CoreId, Platform, RoutePolicy, Topology, TopologyKind};
 use spg::generate::families::{FamilyKind, FamilyParams, WorkloadSpec};
 use spg::{Spg, STREAMIT_SPECS};
 
@@ -245,7 +245,10 @@ impl WorkloadReq {
 }
 
 /// The `"platform"` member of a request. Absent fields default to the
-/// paper's 4×4 mesh with XY routing.
+/// paper's 4×4 mesh with XY routing. The optional `"faults"` member
+/// injects dead cores (`"cores": [[u,v], …]`) and dead links
+/// (`"links": [[u1,v1,u2,v2], …]`, endpoints topology-adjacent); see
+/// `docs/fault-model.md` for the semantics.
 pub fn platform_from_json(v: Option<&Json>) -> Result<Platform, String> {
     let Some(v) = v else {
         return Ok(Platform::paper(4, 4));
@@ -262,6 +265,77 @@ pub fn platform_from_json(v: Option<&Json>) -> Result<Platform, String> {
     let mut pf = Platform::paper_topology(topology, p, q);
     if let Some(s) = v.get("routing").and_then(Json::as_str) {
         pf = pf.with_policy(RoutePolicy::from_str(s)?);
+    }
+    if let Some(f) = v.get("faults") {
+        pf = apply_faults(pf, f)?;
+    }
+    Ok(pf)
+}
+
+/// Decodes one core coordinate out of a faults array entry.
+fn core_at(pf: &Platform, coords: &[Json], at: usize, what: &str) -> Result<CoreId, String> {
+    let grab = |i: usize| -> Result<u32, String> {
+        coords
+            .get(i)
+            .and_then(Json::as_f64)
+            .filter(|x| *x >= 0.0 && x.fract() == 0.0 && *x <= u32::MAX as f64)
+            .map(|x| x as u32)
+            .ok_or_else(|| format!("{what} coordinates must be non-negative integers"))
+    };
+    let c = CoreId {
+        u: grab(at)?,
+        v: grab(at + 1)?,
+    };
+    if !pf.contains(c) {
+        return Err(format!(
+            "{what} core ({}, {}) is off the {}x{} grid",
+            c.u, c.v, pf.p, pf.q
+        ));
+    }
+    Ok(c)
+}
+
+/// Applies a request's `"faults"` member to a platform, validating every
+/// coordinate (the library fault constructors panic on bad input; the
+/// wire layer must reject it as a `bad_request` instead).
+fn apply_faults(mut pf: Platform, f: &Json) -> Result<Platform, String> {
+    if let Some(cores) = f.get("cores") {
+        let cores = cores
+            .as_arr()
+            .ok_or("\"faults.cores\" must be an array of [u, v] pairs")?;
+        for entry in cores {
+            let pair = entry
+                .as_arr()
+                .filter(|a| a.len() == 2)
+                .ok_or("each dead core must be a [u, v] pair")?;
+            let c = core_at(&pf, pair, 0, "dead")?;
+            pf = pf.with_core_fault(c);
+        }
+    }
+    if let Some(links) = f.get("links") {
+        let links = links
+            .as_arr()
+            .ok_or("\"faults.links\" must be an array of [u1, v1, u2, v2] quads")?;
+        for entry in links {
+            let quad = entry
+                .as_arr()
+                .filter(|a| a.len() == 4)
+                .ok_or("each dead link must be a [u1, v1, u2, v2] quad")?;
+            let a = core_at(&pf, quad, 0, "dead-link")?;
+            let b = core_at(&pf, quad, 2, "dead-link")?;
+            let topo = pf.topo();
+            let adjacent = (0..4).any(|dir| topo.step(a, dir) == Some(b));
+            if !adjacent {
+                return Err(format!(
+                    "dead link ({}, {})-({}, {}) does not join topology-adjacent cores",
+                    a.u, a.v, b.u, b.v
+                ));
+            }
+            pf = pf.with_link_fault(a, b);
+        }
+    }
+    if pf.n_alive_cores() == 0 {
+        return Err("faults leave no alive core".to_string());
     }
     Ok(pf)
 }
@@ -310,6 +384,10 @@ pub struct SolveReq {
     pub seed: Option<u64>,
     /// Per-request wall-clock budget override in milliseconds.
     pub deadline_ms: Option<u64>,
+    /// Anytime mode: a deadline-starved portfolio returns its rescue
+    /// mapping with a certified bound gap instead of `too_expensive`
+    /// (see [`crate::Portfolio::anytime`]).
+    pub anytime: bool,
 }
 
 /// A decoded `sweep` request: a `solve` at every grid value.
@@ -329,6 +407,8 @@ pub struct SweepReq {
     pub seed: Option<u64>,
     /// Per-request wall-clock budget override in milliseconds.
     pub deadline_ms: Option<u64>,
+    /// Anytime mode, as on [`SolveReq::anytime`].
+    pub anytime: bool,
 }
 
 /// One decoded request frame.
@@ -367,6 +447,7 @@ pub fn parse_request(v: &Json) -> Result<Request, String> {
                 solvers: v.get("solvers").and_then(Json::as_str).map(String::from),
                 seed: opt_u64(v, "seed")?,
                 deadline_ms: opt_u64(v, "deadline_ms")?,
+                anytime: opt_bool(v, "anytime")?.unwrap_or(false),
             }))
         }
         "sweep" => {
@@ -399,6 +480,7 @@ pub fn parse_request(v: &Json) -> Result<Request, String> {
                 solvers: v.get("solvers").and_then(Json::as_str).map(String::from),
                 seed: opt_u64(v, "seed")?,
                 deadline_ms: opt_u64(v, "deadline_ms")?,
+                anytime: opt_bool(v, "anytime")?.unwrap_or(false),
             }))
         }
         other => Err(format!(
@@ -461,6 +543,16 @@ fn opt_u64(v: &Json, key: &str) -> Result<Option<u64>, String> {
             Some(x) if x >= 0.0 && x.fract() == 0.0 && x <= u64::MAX as f64 => Ok(Some(x as u64)),
             _ => Err(format!("\"{key}\" must be a non-negative integer")),
         },
+    }
+}
+
+fn opt_bool(v: &Json, key: &str) -> Result<Option<bool>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(j) => j
+            .as_bool()
+            .map(Some)
+            .ok_or_else(|| format!("\"{key}\" must be a boolean")),
     }
 }
 
@@ -603,6 +695,38 @@ mod tests {
         assert_eq!((s.platform.p, s.platform.q), (4, 4));
         let g = s.workload.instantiate().unwrap();
         assert_eq!(g.n(), 57, "Beamformer has 57 stages (Table 1)");
+    }
+
+    #[test]
+    fn parses_faults_and_anytime() {
+        let req = parse(
+            r#"{"op":"solve","workload":{"streamit":"FFT"},
+                "platform":{"p":3,"q":3,"faults":{"cores":[[1,1]],"links":[[0,0,0,1]]}},
+                "utilisation":0.5,"anytime":true}"#,
+        )
+        .unwrap();
+        let Request::Solve(s) = req else {
+            panic!("expected solve")
+        };
+        assert!(s.anytime);
+        assert!(s.platform.is_faulted());
+        assert!(s.platform.has_link_faults());
+        assert_eq!(s.platform.n_alive_cores(), 8);
+        // Torus wrap links are adjacent there but not on a mesh.
+        assert!(parse(
+            r#"{"op":"solve","workload":{"streamit":"FFT"},
+                "platform":{"p":3,"q":3,"faults":{"links":[[0,0,0,2]]}},"period":1}"#
+        )
+        .is_err());
+        assert!(parse(
+            r#"{"op":"solve","workload":{"streamit":"FFT"},
+                "platform":{"p":3,"q":3,"topology":"torus","faults":{"links":[[0,0,0,2]]}},"period":1}"#
+        )
+        .is_ok());
+        assert!(parse(
+            r#"{"op":"solve","workload":{"streamit":"FFT"},"period":1,"anytime":"yes"}"#
+        )
+        .is_err());
     }
 
     #[test]

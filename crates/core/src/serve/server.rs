@@ -43,7 +43,10 @@ use crate::portfolio::Portfolio;
 use crate::solver::SolverRegistry;
 
 use super::cache::{Artifact, ArtifactCache, ArtifactKey, CacheStats};
-use super::fingerprint::{platform_fingerprint, workload_fingerprint};
+use super::fingerprint::{
+    fault_free_platform_fingerprint, platform_fingerprint, route_platform_fingerprint,
+    workload_fingerprint,
+};
 use super::histogram::LatencyHistogram;
 use super::protocol::{
     error_response, failure_response, ok_response, parse_request, write_frame, FrameReader,
@@ -282,15 +285,32 @@ impl Service {
     }
 
     /// Builds the instance for a request and warm-seeds it from the
-    /// cache. Returns the instance, the three cache keys, and which of
-    /// them hit.
+    /// cache. Returns the instance, the three cache keys, which of them
+    /// hit, and whether a missed route table was *derived* by patching a
+    /// cached healthy sibling.
+    ///
+    /// Fault-aware keying (see `docs/fault-model.md`): the skeleton key
+    /// uses the fault-stripped platform fingerprint (the transition
+    /// skeleton ignores faults), the route key strips only core faults
+    /// (core faults leave routing untouched), and a link-faulted route
+    /// miss falls back to patching the healthy table via
+    /// [`cmp_platform::RouteTable::patched`] — so a warm daemon stays
+    /// warm across faults instead of rebuilding from scratch.
     fn seeded_instance(
         &self,
         req_workload: spg::Spg,
         req: &SolveReq,
-    ) -> (Instance, [ArtifactKey; 3], [bool; 3]) {
+    ) -> (Instance, [ArtifactKey; 3], [bool; 3], bool) {
         let wfp = workload_fingerprint(&req_workload);
         let pfp = platform_fingerprint(&req.platform);
+        let (skeleton_pfp, route_pfp) = if req.platform.is_faulted() {
+            (
+                fault_free_platform_fingerprint(&req.platform),
+                route_platform_fingerprint(&req.platform),
+            )
+        } else {
+            (pfp, pfp)
+        };
         let policy = req.platform.policy;
         let inst = match req.period {
             PeriodReq::Period(t) => Instance::new(req_workload, req.platform.clone(), t),
@@ -302,11 +322,11 @@ impl Service {
             ArtifactKey::Lattice { workload: wfp },
             ArtifactKey::Skeleton {
                 workload: wfp,
-                platform: pfp,
+                platform: skeleton_pfp,
                 ceiling: f64::INFINITY.to_bits(),
             },
             ArtifactKey::Route {
-                platform: pfp,
+                platform: route_pfp,
                 policy: policy.index() as u8,
             },
         ];
@@ -322,7 +342,18 @@ impl Service {
                 }
             }
         }
-        (inst, keys, hits)
+        let mut route_patched = false;
+        if !hits[2] && req.platform.has_link_faults() {
+            let healthy_key = ArtifactKey::Route {
+                platform: fault_free_platform_fingerprint(&req.platform),
+                policy: policy.index() as u8,
+            };
+            if let Some(Artifact::Route(t)) = cache.get(&healthy_key) {
+                inst.seed_route_table(policy, Arc::new(t.patched(&req.platform)));
+                route_patched = true;
+            }
+        }
+        (inst, keys, hits, route_patched)
     }
 
     /// Probes the cache for a **bounded** skeleton whose work ceiling is
@@ -405,20 +436,22 @@ impl Service {
             Ok(s) => s,
             Err(msg) => return error_response("bad_request", &msg),
         };
-        let (inst, keys, hits) = self.seeded_instance(workload, req);
+        let (inst, keys, hits, route_patched) = self.seeded_instance(workload, req);
         // A bounded skeleton built at exactly this period can stand in
         // when no complete skeleton is cached (the complete build may
         // overflow the edge cap for this workload entirely).
         let bounded_hit = !hits[1] && self.seed_bounded(&inst, &keys, inst.period());
-        let mut portfolio =
-            Portfolio::new(solvers).seeded(req.seed.unwrap_or(self.cfg.default_seed));
+        let mut portfolio = Portfolio::new(solvers)
+            .seeded(req.seed.unwrap_or(self.cfg.default_seed))
+            .anytime(req.anytime);
         if let Some(ms) = req.deadline_ms.or(self.cfg.default_deadline_ms) {
             portfolio = portfolio.with_budget(Duration::from_millis(ms));
         }
         let report = portfolio.run(&inst);
         self.harvest(&inst, &keys, &hits);
         let skeleton_hit = hits[1] || bounded_hit;
-        let warm = hits[0] && skeleton_hit && hits[2];
+        let route_hit = hits[2] || route_patched;
+        let warm = hits[0] && skeleton_hit && route_hit;
         let elapsed_ns = started.elapsed().as_nanos() as u64;
         self.record_latency(warm, elapsed_ns);
 
@@ -428,7 +461,16 @@ impl Service {
                 "skeleton",
                 Json::from(if skeleton_hit { "hit" } else { "miss" }),
             ),
-            ("route", Json::from(if hits[2] { "hit" } else { "miss" })),
+            (
+                "route",
+                Json::from(if hits[2] {
+                    "hit"
+                } else if route_patched {
+                    "patched"
+                } else {
+                    "miss"
+                }),
+            ),
         ]);
         match report.best_run() {
             Some(run) => {
@@ -503,8 +545,9 @@ impl Service {
             solvers: req.solvers.clone(),
             seed: req.seed,
             deadline_ms: req.deadline_ms,
+            anytime: req.anytime,
         };
-        let (base, keys, hits) = self.seeded_instance(workload, &solve_shape);
+        let (base, keys, hits, route_patched) = self.seeded_instance(workload, &solve_shape);
         // Resolve the whole grid up front so the loosest period can (a)
         // prime the bounded-skeleton ceiling hint — one bounded build then
         // serves every tighter point — and (b) drive the warm-cache probe
@@ -539,7 +582,9 @@ impl Service {
         let mut exhausted: Option<crate::common::Failure> = None;
         for (&value, &period) in req.values.iter().zip(&periods) {
             let inst = base.with_period(period);
-            let mut portfolio = Portfolio::new(solvers.clone()).seeded(seed);
+            let mut portfolio = Portfolio::new(solvers.clone())
+                .seeded(seed)
+                .anytime(req.anytime);
             if let Some(at) = deadline_at {
                 let remaining = at.saturating_duration_since(Instant::now());
                 portfolio = portfolio.with_budget(remaining);
@@ -584,7 +629,7 @@ impl Service {
             points.push(Json::Obj(fields.into_iter().collect()));
         }
         self.harvest(&base, &keys, &hits);
-        let warm = hits[0] && (hits[1] || bounded_hit) && hits[2];
+        let warm = hits[0] && (hits[1] || bounded_hit) && (hits[2] || route_patched);
         let elapsed_ns = started.elapsed().as_nanos() as u64;
         self.record_latency(warm, elapsed_ns);
         // A sweep that lost points to the deadline still reports the grid
@@ -898,6 +943,125 @@ mod tests {
         // Cold probes four keys (the complete-skeleton miss triggers a
         // bounded-skeleton probe); warm hits the three live entries.
         assert_eq!(stats.misses, 4);
+    }
+
+    /// The same workload/platform/solvers as [`solve_frame`], with faults.
+    fn faulted_frame(faults: &str) -> Json {
+        Json::parse(&format!(
+            r#"{{"op":"solve","workload":{{"family":"deep-chain","n":12,"seed":1}},
+                 "platform":{{"p":2,"q":2,"faults":{faults}}},"utilisation":0.5,
+                 "solvers":"greedy,dpa1d","seed":7}}"#
+        ))
+        .unwrap()
+    }
+
+    fn result_of(resp: &Json) -> &Json {
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+        resp.get("result").unwrap()
+    }
+
+    #[test]
+    fn warm_daemon_stays_warm_across_faults() {
+        let svc = Service::new(ServeConfig::default());
+        let _ = result_of(&svc.handle(&solve_frame(7)));
+
+        // Core fault: every artifact is fault-invariant, so the solve is
+        // fully warm — and bit-identical to a cold solve of the same
+        // faulted request on a fresh daemon.
+        let core = result_of(&svc.handle(&faulted_frame(r#"{"cores":[[1,1]]}"#))).clone();
+        assert_eq!(core.get("warm").and_then(Json::as_bool), Some(true));
+        let tags = core.get("cache").unwrap();
+        assert_eq!(tags.get("skeleton").and_then(Json::as_str), Some("hit"));
+        assert_eq!(tags.get("route").and_then(Json::as_str), Some("hit"));
+        let fresh = Service::new(ServeConfig::default());
+        let cold = result_of(&fresh.handle(&faulted_frame(r#"{"cores":[[1,1]]}"#))).clone();
+        assert_eq!(cold.get("warm").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            core.get("energy").and_then(Json::as_f64),
+            cold.get("energy").and_then(Json::as_f64),
+            "warm faulted solve must be bit-identical to cold faulted solve"
+        );
+
+        // Link fault: the route table is *patched* from the cached healthy
+        // sibling rather than rebuilt; the solve still counts as warm.
+        let link = result_of(&svc.handle(&faulted_frame(r#"{"links":[[0,0,0,1]]}"#))).clone();
+        assert_eq!(link.get("warm").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            link.get("cache")
+                .unwrap()
+                .get("route")
+                .and_then(Json::as_str),
+            Some("patched")
+        );
+        // The patched table was harvested under its own key: an identical
+        // follow-up hits it directly, at the same energy.
+        let again = result_of(&svc.handle(&faulted_frame(r#"{"links":[[0,0,0,1]]}"#))).clone();
+        assert_eq!(
+            again
+                .get("cache")
+                .unwrap()
+                .get("route")
+                .and_then(Json::as_str),
+            Some("hit")
+        );
+        assert_eq!(
+            again.get("energy").and_then(Json::as_f64),
+            link.get("energy").and_then(Json::as_f64)
+        );
+        let fresh = Service::new(ServeConfig::default());
+        let cold = result_of(&fresh.handle(&faulted_frame(r#"{"links":[[0,0,0,1]]}"#))).clone();
+        assert_eq!(
+            link.get("energy").and_then(Json::as_f64),
+            cold.get("energy").and_then(Json::as_f64),
+            "patched-route solve must be bit-identical to cold faulted solve"
+        );
+    }
+
+    #[test]
+    fn fault_requests_are_validated_not_panicked() {
+        let svc = Service::new(ServeConfig::default());
+        for faults in [
+            r#"{"cores":[[9,9]]}"#,
+            r#"{"cores":[[0]]}"#,
+            r#"{"links":[[0,0,1,1]]}"#,
+            r#"{"links":[[0,0,0,1,0]]}"#,
+            r#"{"cores":[[0,0],[0,1],[1,0],[1,1]]}"#,
+        ] {
+            let resp = svc.handle(&faulted_frame(faults));
+            assert_eq!(
+                resp.get("ok").and_then(Json::as_bool),
+                Some(false),
+                "{faults} must be rejected"
+            );
+            assert_eq!(
+                resp.get("error")
+                    .and_then(|e| e.get("kind"))
+                    .and_then(Json::as_str),
+                Some("bad_request"),
+                "{faults}"
+            );
+        }
+    }
+
+    #[test]
+    fn anytime_converts_backpressure_into_a_certified_mapping() {
+        let svc = Service::new(ServeConfig::default());
+        let frame = Json::parse(
+            r#"{"op":"solve","workload":{"family":"deep-chain","n":12,"seed":1},
+                "platform":{"p":2,"q":2},"utilisation":0.5,
+                "deadline_ms":0,"anytime":true}"#,
+        )
+        .unwrap();
+        let resp = svc.handle(&frame);
+        let r = result_of(&resp);
+        assert_eq!(
+            r.get("solver").and_then(Json::as_str),
+            Some("Anytime(Greedy)")
+        );
+        let gap = r.get("bound_gap").and_then(Json::as_f64).unwrap();
+        assert!(gap.is_finite() && gap >= 0.0);
+        let energy = r.get("energy").and_then(Json::as_f64).unwrap();
+        assert!(energy > gap, "the certified lower bound must be positive");
     }
 
     #[test]

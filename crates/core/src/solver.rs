@@ -27,6 +27,14 @@ pub struct SolveCtx {
     pub seed: u64,
     /// Optional wall-clock deadline.
     pub deadline: Option<Instant>,
+    /// Anytime mode: when the deadline (or a complexity budget) would
+    /// force a bare [`Failure::TooExpensive`], the caller prefers the
+    /// best-known mapping with a certified energy bound instead. Today the
+    /// [`crate::Portfolio`] honours this by rescuing a deadline-starved
+    /// run with an un-budgeted `Greedy` pass whose
+    /// [`crate::PruneStats::bound_gap`] certifies the distance to
+    /// [`crate::Instance::energy_lower_bound`].
+    pub anytime: bool,
 }
 
 impl SolveCtx {
@@ -34,7 +42,7 @@ impl SolveCtx {
     pub fn new(seed: u64) -> Self {
         SolveCtx {
             seed,
-            deadline: None,
+            ..Default::default()
         }
     }
 
@@ -43,6 +51,7 @@ impl SolveCtx {
         SolveCtx {
             seed,
             deadline: Instant::now().checked_add(budget),
+            ..Default::default()
         }
     }
 
@@ -227,6 +236,7 @@ mod tests {
         let ctx = SolveCtx {
             seed: 0,
             deadline: Some(Instant::now() - Duration::from_millis(1)),
+            ..Default::default()
         };
         assert!(ctx.expired());
         assert!(matches!(ctx.check_budget(), Err(Failure::TooExpensive(_))));

@@ -355,6 +355,7 @@ mod tests {
         let ctx = SolveCtx {
             seed: 0,
             deadline: Some(std::time::Instant::now() - std::time::Duration::from_millis(1)),
+            ..Default::default()
         };
         for s in default_heuristics() {
             assert!(matches!(

@@ -51,6 +51,27 @@ pub enum MappingError {
         /// Human-readable detail.
         detail: String,
     },
+    /// A stage is allocated onto a core whose PE is dead.
+    DeadCore {
+        /// The offending stage index.
+        stage: usize,
+        /// The dead core.
+        core: CoreId,
+    },
+    /// A route crosses a dead link (only reachable via
+    /// [`crate::RouteSpec::Custom`] paths — policy routes detour).
+    DeadLink {
+        /// The offending application edge.
+        edge: EdgeId,
+        /// The dead link the route crosses.
+        link: DirLink,
+    },
+    /// No alive route connects an edge's endpoint cores (link faults have
+    /// disconnected them).
+    Unroutable {
+        /// The offending application edge.
+        edge: EdgeId,
+    },
 }
 
 impl std::fmt::Display for MappingError {
@@ -73,6 +94,15 @@ impl std::fmt::Display for MappingError {
             }
             MappingError::BadRoute { edge, detail } => {
                 write!(f, "bad route for {edge:?}: {detail}")
+            }
+            MappingError::DeadCore { stage, core } => {
+                write!(f, "stage {stage} mapped onto dead core {core:?}")
+            }
+            MappingError::DeadLink { edge, link } => {
+                write!(f, "route for {edge:?} crosses dead link {link:?}")
+            }
+            MappingError::Unroutable { edge } => {
+                write!(f, "no alive route for {edge:?}")
             }
         }
     }
@@ -209,6 +239,9 @@ pub fn evaluate_with(
         if !pf.contains(c) {
             return Err(MappingError::CoreOutOfRange { stage: i });
         }
+        if !pf.core_alive(c) {
+            return Err(MappingError::DeadCore { stage: i, core: c });
+        }
     }
     if !is_dag_partition(spg, &mapping.alloc) {
         return Err(MappingError::NotDagPartition);
@@ -250,20 +283,43 @@ pub fn evaluate_with(
     let table =
         table.filter(|t| Some(t.policy()) == mapping.routes.policy() && t.matches_platform(pf));
     let mut link_loads = LinkLoads::new(pf);
+    let faulted_links = pf.has_link_faults();
     if let Some(t) = table {
-        for e in spg.edges() {
+        for (k, e) in spg.edges().iter().enumerate() {
             let src = mapping.alloc[e.src.idx()].flat(pf.q);
             let dst = mapping.alloc[e.dst.idx()].flat(pf.q);
-            for &li in t.links_between(src, dst) {
+            let span = t.links_between(src, dst);
+            // A fault-aware table stores an empty route exactly when link
+            // faults disconnected the pair (see `Platform::route_visit`).
+            if span.is_empty() && src != dst {
+                return Err(MappingError::Unroutable {
+                    edge: EdgeId(k as u32),
+                });
+            }
+            for &li in span {
                 link_loads.add_index(li as usize, e.volume);
             }
         }
     } else {
         for (k, e) in spg.edges().iter().enumerate() {
             let eid = EdgeId(k as u32);
+            let mut hops = 0usize;
+            let mut dead: Option<DirLink> = None;
             mapping
-                .for_each_route_hop(pf, spg, eid, |link| link_loads.add(pf, link, e.volume))
+                .for_each_route_hop(pf, spg, eid, |link| {
+                    hops += 1;
+                    if faulted_links && dead.is_none() && !pf.link_alive(link) {
+                        dead = Some(link);
+                    }
+                    link_loads.add(pf, link, e.volume)
+                })
                 .map_err(|detail| MappingError::BadRoute { edge: eid, detail })?;
+            if let Some(link) = dead {
+                return Err(MappingError::DeadLink { edge: eid, link });
+            }
+            if hops == 0 && mapping.alloc[e.src.idx()] != mapping.alloc[e.dst.idx()] {
+                return Err(MappingError::Unroutable { edge: eid });
+            }
         }
     }
     let mut comm_dynamic = 0.0;

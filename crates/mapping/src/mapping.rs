@@ -98,6 +98,17 @@ impl Mapping {
         if from == to {
             return Ok(Vec::new());
         }
+        // Under link faults, policy routes detour around dead links (see
+        // `Platform::route_visit`); an unreachable pair yields an empty
+        // path, which the evaluator rejects as unroutable.
+        if pf.has_link_faults() {
+            if let Some(policy) = self.routes.policy() {
+                let mut path = Vec::new();
+                pf.route_visit(policy, from, to, |l| path.push(l));
+                debug_assert!(path.is_empty() || validate_route(pf, from, to, &path).is_ok());
+                return Ok(path);
+            }
+        }
         let path = match &self.routes {
             RouteSpec::Xy(order) => xy_route(from, to, *order),
             RouteSpec::Snake => snake_route(pf, snake_index(pf, from), snake_index(pf, to)),
@@ -130,6 +141,13 @@ impl Mapping {
         let (from, to) = (self.alloc[edge.src.idx()], self.alloc[edge.dst.idx()]);
         if from == to {
             return Ok(());
+        }
+        // Same fault-aware dispatch as `Mapping::route_of`.
+        if pf.has_link_faults() {
+            if let Some(policy) = self.routes.policy() {
+                pf.route_visit(policy, from, to, f);
+                return Ok(());
+            }
         }
         match &self.routes {
             RouteSpec::Xy(order) => xy_route_visit(from, to, *order, f),

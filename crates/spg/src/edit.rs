@@ -1,0 +1,120 @@
+//! Structure-preserving workload edits.
+//!
+//! Production streaming workloads get *retuned* far more often than they
+//! get restructured: a stage's measured cycle count drifts after a code
+//! change, or a compression tweak moves an edge's byte volume. Both leave
+//! the SP-tree — and therefore the enumerated ideal lattice's *structure*
+//! — untouched, which is what makes incremental re-solve possible:
+//! `ea_core::Instance::with_edit` reuses every structure-keyed cached
+//! artifact and recomputes only the value-derived ones (see
+//! `docs/fault-model.md` for the exact invalidation matrix).
+
+use crate::graph::{EdgeId, Spg, StageId};
+
+/// A local, structure-preserving edit of one SPG parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Edit {
+    /// Reset one stage's work requirement (cycles per data set).
+    Retune {
+        /// The stage to retune.
+        stage: StageId,
+        /// Its new work in cycles (finite, non-negative).
+        work: f64,
+    },
+    /// Reset one edge's communication volume (bytes per data set).
+    SetVolume {
+        /// The edge to retarget.
+        edge: EdgeId,
+        /// Its new volume in bytes (finite, non-negative).
+        volume: f64,
+    },
+}
+
+impl Edit {
+    /// Whether this edit changes edge volumes (and therefore every cached
+    /// cut volume), as opposed to stage weights only.
+    pub fn changes_volumes(&self) -> bool {
+        matches!(self, Edit::SetVolume { .. })
+    }
+}
+
+impl Spg {
+    /// A copy of this graph with one [`Edit`] applied. The graph structure
+    /// (stages, edges, SP-tree shape) is untouched, so all
+    /// structure-derived state of the original remains valid for the copy.
+    ///
+    /// # Panics
+    /// Panics when the stage/edge is out of range or the new value is not
+    /// finite and non-negative (via the weight/volume setters).
+    pub fn with_edit(&self, edit: &Edit) -> Spg {
+        let mut g = self.clone();
+        match *edit {
+            Edit::Retune { stage, work } => {
+                let mut w = g.weights().to_vec();
+                assert!(stage.idx() < w.len(), "retuned stage out of range");
+                w[stage.idx()] = work;
+                g.set_weights(w);
+            }
+            Edit::SetVolume { edge, volume } => {
+                let mut v: Vec<f64> = g.edges().iter().map(|e| e.volume).collect();
+                assert!(edge.idx() < v.len(), "edited edge out of range");
+                v[edge.idx()] = volume;
+                g.set_volumes(v);
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compose::chain;
+
+    #[test]
+    fn retune_changes_one_weight_only() {
+        let g = chain(&[1.0, 2.0, 3.0], &[10.0, 20.0]);
+        let order = g.topo_order();
+        let e = g.with_edit(&Edit::Retune {
+            stage: order[1],
+            work: 9.0,
+        });
+        assert_eq!(e.weight(order[1]), 9.0);
+        assert_eq!(e.weight(order[0]), g.weight(order[0]));
+        assert_eq!(e.n(), g.n());
+        assert_eq!(e.total_work(), 1.0 + 9.0 + 3.0);
+        // Volumes untouched.
+        assert_eq!(
+            e.edges().iter().map(|x| x.volume).collect::<Vec<_>>(),
+            g.edges().iter().map(|x| x.volume).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn set_volume_changes_one_edge_only() {
+        let g = chain(&[1.0, 2.0, 3.0], &[10.0, 20.0]);
+        let e = g.with_edit(&Edit::SetVolume {
+            edge: EdgeId(1),
+            volume: 5.0,
+        });
+        assert_eq!(e.edge(EdgeId(1)).volume, 5.0);
+        assert_eq!(e.edge(EdgeId(0)).volume, g.edge(EdgeId(0)).volume);
+        assert_eq!(e.weights(), g.weights());
+        assert!(Edit::SetVolume {
+            edge: EdgeId(1),
+            volume: 5.0
+        }
+        .changes_volumes());
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_weight_rejected() {
+        let g = chain(&[1.0, 2.0], &[10.0]);
+        let order = g.topo_order();
+        let _ = g.with_edit(&Edit::Retune {
+            stage: order[0],
+            work: -1.0,
+        });
+    }
+}

@@ -90,6 +90,11 @@ fn bucket_of(h: u64, table_len: usize) -> usize {
 /// The enumerated ideal lattice of an SPG: an interning arena over all
 /// ideals, grouped by cardinality in increasing order (BFS layers). Id 0 is
 /// the empty ideal, the last id is the full stage set.
+///
+/// `Clone` exists for incremental workload edits (`Instance::with_edit`):
+/// the lattice's *structure* only depends on the SP graph's shape, so a
+/// weight/volume edit clones it and recomputes the derived cut volumes.
+#[derive(Clone)]
 pub struct IdealLattice {
     /// Flat word arena; ideal `i` occupies `words[i*wps .. (i+1)*wps]`.
     arena: Vec<u64>,

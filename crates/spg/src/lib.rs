@@ -27,6 +27,7 @@
 
 pub mod compose;
 pub mod dot;
+pub mod edit;
 pub mod generate;
 pub mod graph;
 pub mod ideal;
@@ -35,6 +36,7 @@ pub mod recognize;
 pub mod streamit;
 
 pub use compose::{base, chain, parallel, parallel_many, series, series_many};
+pub use edit::Edit;
 pub use generate::{
     generate_family, random_spg, FamilyKind, FamilyParams, SpgGenConfig, WorkloadSpec,
 };

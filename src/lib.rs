@@ -194,6 +194,53 @@
 //! );
 //! ```
 //!
+//! ## Incremental re-solve under faults and edits
+//!
+//! 0.9 makes the session **patchable**: when the platform degrades or
+//! the workload is retuned, [`prelude::Instance::with_fault`] and
+//! [`prelude::Instance::with_edit`] delta-patch the cached derived state
+//! instead of discarding it. Core faults reuse every artifact verbatim
+//! (routers outlive their PEs), link faults patch only the broken
+//! route-table pairs, and structure-preserving [`prelude::Edit`]s keep
+//! the enumerated lattice. Patched solves are **bit-identical** in
+//! energy to cold solves on the equivalently rebuilt instance — the full
+//! invalidation matrix lives in `docs/fault-model.md`, and
+//! `docs/architecture.md` maps the whole pipeline:
+//!
+//! ```
+//! use spg_cmp::prelude::*;
+//!
+//! let app = spg::chain(&[1e8; 8], &[1e3; 7]);
+//! let inst = Instance::new(app.clone(), Platform::paper(4, 4), 0.2);
+//! let _warm = Portfolio::heuristics().seeded(7).run(&inst); // builds caches
+//!
+//! // Core (1,2) burns out: remap on the surviving cached state.
+//! let dead = CoreId { u: 1, v: 2 };
+//! let remap = Portfolio::heuristics()
+//!     .seeded(7)
+//!     .run(&inst.with_fault(Fault::Core(dead)));
+//! // Bit-identical to a cold solve on the faulted platform.
+//! let cold = Portfolio::heuristics()
+//!     .seeded(7)
+//!     .run(&Instance::new(app, Platform::paper(4, 4).with_fault(Fault::Core(dead)), 0.2));
+//! assert_eq!(
+//!     remap.best_solution().map(|s| s.energy()),
+//!     cold.best_solution().map(|s| s.energy()),
+//! );
+//! ```
+//!
+//! Deadline-starved portfolios can opt into **anytime mode**
+//! (`Portfolio::anytime(true)`, or `"anytime": true` on the serve wire):
+//! instead of bare `too_expensive` backpressure the portfolio appends an
+//! un-budgeted `Greedy` rescue and certifies its energy against
+//! [`prelude::Instance::energy_lower_bound`], so
+//! `E_anytime − bound_gap ≤ E_opt ≤ E_anytime`. The serve daemon keys
+//! its cache fault-aware (skeletons strip all faults, routes strip core
+//! faults), so a warm daemon stays warm across faults; `xp sweep
+//! --suite incremental` measures remap-vs-cold latency over a seeded
+//! StreamIt fault campaign and gates the ≥2× median speedup in
+//! `BENCH_incremental.json`.
+//!
 //! ## Migrating from the 0.1 free functions
 //!
 //! The pre-0.2 free functions remain as thin `#[deprecated]` shims; new
@@ -272,8 +319,8 @@ pub mod prelude {
         evaluate, evaluate_with, latency, latency_lower_bound, Evaluation, Mapping, RouteSpec,
     };
     pub use cmp_platform::{
-        CoreId, Platform, PowerModel, RouteOrder, RoutePolicy, RouteTable, Router, Speed, Topology,
-        TopologyKind,
+        CoreId, Fault, FaultSet, Platform, PowerModel, RouteOrder, RoutePolicy, RouteTable, Router,
+        Speed, Topology, TopologyKind,
     };
     pub use ea_core::solvers;
     pub use ea_core::{greedy_opts, refine, refine_with};
@@ -283,7 +330,9 @@ pub mod prelude {
         SharedLattice, Solution, SolveCtx, SolveOutcome, Solver, SolverRegistry, SolverRun,
         SweepAxis, SweepPoint, SweepReport, TransitionSkeleton, ALL_HEURISTICS,
     };
-    pub use spg::{self, FamilyKind, FamilyParams, Spg, SpgGenConfig, StageId, WorkloadSpec};
+    pub use spg::{
+        self, EdgeId, Edit, FamilyKind, FamilyParams, Spg, SpgGenConfig, StageId, WorkloadSpec,
+    };
 
     // Deprecated 0.1 surface, kept importable so downstream code compiles
     // (with deprecation warnings) while migrating.

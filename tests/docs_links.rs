@@ -1,0 +1,128 @@
+//! Markdown link checker: every intra-repo link in `docs/*.md` and
+//! `README.md` must resolve to an existing file. Dead documentation
+//! links fail the build (CI runs this with the rest of the test suite).
+
+use std::path::PathBuf;
+
+/// Extracts inline markdown link targets `[text](target)` from one line.
+/// Good enough for this repo's docs: no nested parens in targets, no
+/// reference-style links.
+fn link_targets(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b']' && i + 1 < bytes.len() && bytes[i + 1] == b'(' {
+            if let Some(end) = line[i + 2..].find(')') {
+                out.push(line[i + 2..i + 2 + end].to_string());
+                i += 2 + end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Whether a target is an intra-repo file link this test should resolve.
+fn checkable(target: &str) -> Option<&str> {
+    if target.starts_with("http://")
+        || target.starts_with("https://")
+        || target.starts_with("mailto:")
+        || target.starts_with('#')
+        || target.is_empty()
+    {
+        return None;
+    }
+    // Strip a fragment (`file.md#section`): only the file part must exist.
+    Some(target.split('#').next().unwrap_or(target))
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn doc_files() -> Vec<PathBuf> {
+    let root = repo_root();
+    let mut files = vec![root.join("README.md")];
+    let docs = root.join("docs");
+    let entries = std::fs::read_dir(&docs).expect("docs/ directory exists");
+    for entry in entries {
+        let path = entry.expect("readable docs/ entry").path();
+        if path.extension().is_some_and(|e| e == "md") {
+            files.push(path);
+        }
+    }
+    files.sort();
+    files
+}
+
+#[test]
+fn intra_repo_doc_links_resolve() {
+    let mut checked = 0usize;
+    let mut dead = Vec::new();
+    for file in doc_files() {
+        let text = std::fs::read_to_string(&file)
+            .unwrap_or_else(|e| panic!("reading {}: {e}", file.display()));
+        let base = file.parent().expect("doc file has a parent directory");
+        let mut in_code_fence = false;
+        for (ln, line) in text.lines().enumerate() {
+            if line.trim_start().starts_with("```") {
+                in_code_fence = !in_code_fence;
+                continue;
+            }
+            if in_code_fence {
+                continue;
+            }
+            for target in link_targets(line) {
+                let Some(rel) = checkable(&target) else {
+                    continue;
+                };
+                checked += 1;
+                if !base.join(rel).exists() {
+                    dead.push(format!("{}:{}: {target}", file.display(), ln + 1));
+                }
+            }
+        }
+    }
+    assert!(
+        checked >= 5,
+        "expected to find at least a handful of intra-repo links, found {checked} — \
+         did the extractor break?"
+    );
+    assert!(
+        dead.is_empty(),
+        "dead intra-repo documentation links:\n{}",
+        dead.join("\n")
+    );
+}
+
+#[test]
+fn docs_directory_has_the_expected_pages() {
+    let names: Vec<String> = doc_files()
+        .iter()
+        .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+        .collect();
+    for required in [
+        "README.md",
+        "architecture.md",
+        "fault-model.md",
+        "serve-protocol.md",
+    ] {
+        assert!(
+            names.iter().any(|n| n == required),
+            "documentation page {required} is missing (have: {names:?})"
+        );
+    }
+}
+
+#[test]
+fn link_extractor_handles_the_shapes_we_use() {
+    assert_eq!(
+        link_targets("see [a](x.md) and [b](y.md#frag)"),
+        vec!["x.md", "y.md#frag"]
+    );
+    assert_eq!(checkable("https://example.com"), None);
+    assert_eq!(checkable("#anchor"), None);
+    assert_eq!(checkable("docs/x.md#frag"), Some("docs/x.md"));
+}
