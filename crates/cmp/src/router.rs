@@ -523,6 +523,87 @@ impl RouteTable {
             + self.detoured.capacity()
     }
 
+    /// Serialises the table into a self-contained little-endian byte image
+    /// for artifact-cache spill files (policy and topology travel as their
+    /// dense `ALL` indices). [`RouteTable::from_bytes`] reverses it.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        use spg::wire;
+        let mut out = Vec::with_capacity(32 + self.offsets.len() * 4 + self.links.len() * 4);
+        out.push(self.policy.index() as u8);
+        out.push(
+            crate::topology::TopologyKind::ALL
+                .iter()
+                .position(|&t| t == self.topology)
+                .expect("shipped topology kind") as u8,
+        );
+        wire::put_u32(&mut out, self.p);
+        wire::put_u32(&mut out, self.q);
+        wire::put_u32_slice(&mut out, &self.offsets);
+        wire::put_u32_slice(&mut out, &self.links);
+        wire::put_u32_slice(&mut out, &self.dead_links);
+        wire::put_u64(&mut out, self.detoured.len() as u64);
+        out.extend(self.detoured.iter().map(|&d| d as u8));
+        out
+    }
+
+    /// Decodes a byte image produced by [`RouteTable::to_bytes`],
+    /// re-validating the structural invariants (offset table covering
+    /// `n²+1` monotone cells ending at the link count), so corrupted spill
+    /// files yield `Err` rather than a table that panics on lookup.
+    pub fn from_bytes(bytes: &[u8]) -> Result<RouteTable, String> {
+        use spg::wire;
+        let mut pos = 0usize;
+        let policy_idx = wire::take(bytes, &mut pos, 1)?[0] as usize;
+        let topo_idx = wire::take(bytes, &mut pos, 1)?[0] as usize;
+        let policy = *RoutePolicy::ALL
+            .get(policy_idx)
+            .ok_or_else(|| format!("unknown route policy index {policy_idx}"))?;
+        let topology = *crate::topology::TopologyKind::ALL
+            .get(topo_idx)
+            .ok_or_else(|| format!("unknown topology index {topo_idx}"))?;
+        let p = wire::get_u32(bytes, &mut pos)?;
+        let q = wire::get_u32(bytes, &mut pos)?;
+        let offsets = wire::get_u32_slice(bytes, &mut pos)?;
+        let links = wire::get_u32_slice(bytes, &mut pos)?;
+        let dead_links = wire::get_u32_slice(bytes, &mut pos)?;
+        let n_det = wire::get_len(bytes, &mut pos, 1)?;
+        let detoured: Vec<bool> = wire::take(bytes, &mut pos, n_det)?
+            .iter()
+            .map(|&b| b != 0)
+            .collect();
+        if pos != bytes.len() {
+            return Err(format!(
+                "{} trailing bytes after route-table image",
+                bytes.len() - pos
+            ));
+        }
+        let n = p as usize * q as usize;
+        if n == 0 {
+            return Err("route table for an empty grid".into());
+        }
+        if offsets.len() != n * n + 1
+            || offsets.windows(2).any(|w| w[0] > w[1])
+            || offsets.last().copied().unwrap_or(0) as usize != links.len()
+        {
+            return Err("offset table is not a monotone cover of the link list".into());
+        }
+        // Healthy tables carry no detour flags at all; faulted tables flag
+        // every cell.
+        if !detoured.is_empty() && detoured.len() != n * n {
+            return Err("detour flag count disagrees with the grid".into());
+        }
+        Ok(RouteTable {
+            policy,
+            p,
+            q,
+            topology,
+            offsets,
+            links,
+            dead_links,
+            detoured,
+        })
+    }
+
     /// The policy the table was built for.
     #[inline]
     pub fn policy(&self) -> RoutePolicy {
@@ -592,6 +673,47 @@ mod tests {
             assert_eq!(RoutePolicy::ALL[p.index()], p);
         }
         assert!("spiral".parse::<RoutePolicy>().is_err());
+    }
+
+    #[test]
+    fn route_table_byte_image_round_trips_exactly() {
+        // Cover every policy, a non-mesh topology, and a link-faulted
+        // platform (dead links + detour flags populated).
+        let platforms = [
+            Platform::paper(4, 4),
+            Platform::paper_topology(TopologyKind::Torus, 3, 4),
+            Platform::paper(3, 3).with_link_fault(c(0, 0), c(0, 1)),
+        ];
+        for pf in &platforms {
+            for policy in RoutePolicy::ALL {
+                let table = RouteTable::build(pf, policy);
+                let bytes = table.to_bytes();
+                let back = RouteTable::from_bytes(&bytes).unwrap();
+                assert_eq!(back.policy(), table.policy());
+                assert_eq!(back.matches_platform(pf), table.matches_platform(pf));
+                for s in 0..table.n_cores() {
+                    for d in 0..table.n_cores() {
+                        assert_eq!(back.links_between(s, d), table.links_between(s, d));
+                    }
+                }
+                assert_eq!(back.detoured, table.detoured);
+                assert_eq!(back.to_bytes(), bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_route_table_images_are_rejected() {
+        let bytes = RouteTable::build(&Platform::paper(2, 2), RoutePolicy::Xy).to_bytes();
+        for cut in [0, 1, 5, bytes.len() / 2, bytes.len() - 1] {
+            assert!(RouteTable::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        let mut bad_policy = bytes.clone();
+        bad_policy[0] = 9;
+        assert!(RouteTable::from_bytes(&bad_policy).is_err());
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(RouteTable::from_bytes(&padded).is_err());
     }
 
     #[test]

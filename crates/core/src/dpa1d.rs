@@ -307,6 +307,129 @@ impl TransitionSkeleton {
         period <= self.period_ceiling
     }
 
+    /// Serialises the skeleton into a self-contained little-endian byte
+    /// image for artifact-cache spill files; floats (cut volumes, cluster
+    /// work, the period ceiling) travel as IEEE-754 bit patterns, so a
+    /// reloaded skeleton admits bit-identically.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        use spg::wire;
+        let mut out = Vec::with_capacity(64 + self.to.len() * 16);
+        wire::put_u64(&mut out, self.blocks.len() as u64);
+        for b in &self.blocks {
+            wire::put_u32(&mut out, b.from.0);
+            wire::put_f64(&mut out, b.cut);
+            wire::put_f64(&mut out, b.hop);
+            wire::put_f64(&mut out, b.wmin);
+            wire::put_f64(&mut out, b.wmax);
+            wire::put_u32(&mut out, b.range.start);
+            wire::put_u32(&mut out, b.range.end);
+        }
+        wire::put_u64(&mut out, self.to.len() as u64);
+        for t in &self.to {
+            wire::put_u32(&mut out, t.0);
+        }
+        wire::put_f64_slice(&mut out, &self.work);
+        wire::put_u32(&mut out, self.max_stages);
+        wire::put_u32_slice(&mut out, &self.in_off);
+        wire::put_u32_slice(&mut out, &self.in_idx);
+        wire::put_u32_slice(&mut out, &self.in_block);
+        wire::put_u32_slice(&mut out, &self.level_off);
+        wire::put_f64(&mut out, self.period_ceiling);
+        out
+    }
+
+    /// Decodes a byte image produced by [`TransitionSkeleton::to_bytes`],
+    /// re-validating every index the relaxation later slices with (block
+    /// ranges, the transposed index, level boundaries), so a corrupted
+    /// spill file yields `Err`, never an out-of-bounds panic mid-DP.
+    pub fn from_bytes(bytes: &[u8]) -> Result<TransitionSkeleton, String> {
+        use spg::wire;
+        let mut pos = 0usize;
+        let n_blocks = wire::get_len(bytes, &mut pos, 44)?;
+        let mut blocks = Vec::with_capacity(n_blocks);
+        for _ in 0..n_blocks {
+            let from = IdealId(wire::get_u32(bytes, &mut pos)?);
+            let cut = wire::get_f64(bytes, &mut pos)?;
+            let hop = wire::get_f64(bytes, &mut pos)?;
+            let wmin = wire::get_f64(bytes, &mut pos)?;
+            let wmax = wire::get_f64(bytes, &mut pos)?;
+            let start = wire::get_u32(bytes, &mut pos)?;
+            let end = wire::get_u32(bytes, &mut pos)?;
+            blocks.push(SkeletonBlock {
+                from,
+                cut,
+                hop,
+                wmin,
+                wmax,
+                range: start..end,
+            });
+        }
+        let n_to = wire::get_len(bytes, &mut pos, 4)?;
+        let mut to = Vec::with_capacity(n_to);
+        for _ in 0..n_to {
+            to.push(IdealId(wire::get_u32(bytes, &mut pos)?));
+        }
+        let work = wire::get_f64_slice(bytes, &mut pos)?;
+        let max_stages = wire::get_u32(bytes, &mut pos)?;
+        let in_off = wire::get_u32_slice(bytes, &mut pos)?;
+        let in_idx = wire::get_u32_slice(bytes, &mut pos)?;
+        let in_block = wire::get_u32_slice(bytes, &mut pos)?;
+        let level_off = wire::get_u32_slice(bytes, &mut pos)?;
+        let period_ceiling = wire::get_f64(bytes, &mut pos)?;
+        if pos != bytes.len() {
+            return Err(format!(
+                "{} trailing bytes after skeleton image",
+                bytes.len() - pos
+            ));
+        }
+        let n_tr = to.len();
+        if work.len() != n_tr {
+            return Err("work array disagrees with the transition count".into());
+        }
+        if blocks
+            .iter()
+            .any(|b| b.range.start > b.range.end || b.range.end as usize > n_tr)
+        {
+            return Err("block range exceeds the transition arrays".into());
+        }
+        let n_ideals = in_off.len().saturating_sub(1);
+        if in_off.is_empty()
+            || in_off.windows(2).any(|w| w[0] > w[1])
+            || in_off.last().copied().unwrap_or(0) as usize != in_idx.len()
+        {
+            return Err("transposed offsets are not a monotone cover".into());
+        }
+        if in_idx.len() != n_tr || in_block.len() != n_tr {
+            return Err("transposed index disagrees with the transition count".into());
+        }
+        if in_idx.iter().any(|&i| i as usize >= n_tr)
+            || in_block.iter().any(|&b| b as usize >= blocks.len().max(1))
+        {
+            return Err("transposed entry references an out-of-range transition".into());
+        }
+        if level_off.windows(2).any(|w| w[0] > w[1])
+            || level_off.last().copied().unwrap_or(0) as usize > n_ideals
+        {
+            return Err("level boundaries exceed the ideal count".into());
+        }
+        if to.iter().any(|t| t.idx() >= n_ideals)
+            || blocks.iter().any(|b| b.from.idx() >= n_ideals.max(1))
+        {
+            return Err("transition references an out-of-range ideal".into());
+        }
+        Ok(TransitionSkeleton {
+            blocks,
+            to,
+            work,
+            max_stages,
+            in_off,
+            in_idx,
+            in_block,
+            level_off,
+            period_ceiling,
+        })
+    }
+
     /// In-edge count of one cardinality level (`level_off[l]..level_off[l+1]`
     /// ideal ids): destinations in a level are contiguous, and the
     /// transposed index is grouped by destination id, so the level's edges

@@ -54,6 +54,36 @@ impl SharedLattice {
         // `lattice.size_bytes()` already counts the lattice struct header.
         self.lattice.size_bytes() + self.cuts.capacity() * std::mem::size_of::<f64>()
     }
+
+    /// Serialises lattice and cut volumes into a self-contained
+    /// little-endian byte image for artifact-cache spill files.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let lat = self.lattice.to_bytes();
+        let mut out = Vec::with_capacity(lat.len() + self.cuts.len() * 8 + 16);
+        spg::wire::put_u64(&mut out, lat.len() as u64);
+        out.extend_from_slice(&lat);
+        spg::wire::put_f64_slice(&mut out, &self.cuts);
+        out
+    }
+
+    /// Decodes a byte image produced by [`SharedLattice::to_bytes`],
+    /// re-validating that the cut array covers every ideal.
+    pub fn from_bytes(bytes: &[u8]) -> Result<SharedLattice, String> {
+        let mut pos = 0usize;
+        let lat_len = spg::wire::get_len(bytes, &mut pos, 1)?;
+        let lattice = IdealLattice::from_bytes(spg::wire::take(bytes, &mut pos, lat_len)?)?;
+        let cuts = spg::wire::get_f64_slice(bytes, &mut pos)?;
+        if pos != bytes.len() {
+            return Err(format!(
+                "{} trailing bytes after lattice image",
+                bytes.len() - pos
+            ));
+        }
+        if cuts.len() != lattice.len() {
+            return Err("cut volume count disagrees with the ideal count".into());
+        }
+        Ok(SharedLattice { lattice, cuts })
+    }
 }
 
 /// Cached lattice state: the cap the last enumeration ran with, and its

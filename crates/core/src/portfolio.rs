@@ -224,7 +224,88 @@ impl Portfolio {
             self.solvers.iter().map(run_one).collect()
         };
 
-        let mut runs = runs;
+        self.finish_runs(inst, runs, started)
+    }
+
+    /// Runs several `(portfolio, instance)` jobs as **one** fan-out wave:
+    /// every `(job, solver)` pair becomes one task in a single
+    /// `par_iter`, so a batch of k requests saturates the worker pool
+    /// instead of launching k competing fan-outs (the serve scheduler's
+    /// whole point — see [`crate::serve::scheduler`]).
+    ///
+    /// Each job's report is **identical to what its own
+    /// [`Portfolio::run`] would produce** (same per-solver seeds, same
+    /// anytime-rescue and winner rules — the tail is literally shared
+    /// code), with two deliberate deviations that cannot move energies:
+    /// wall times reflect the batch, and every job's deadline anchors at
+    /// the batch start rather than its own `run` call (callers that care
+    /// pre-anchor the budget at request arrival).
+    ///
+    /// [`Race::FirstFeasible`]'s sequential short-circuit does not apply
+    /// — all solvers run, as in any parallel mode, and the winner is
+    /// unchanged.
+    pub fn run_batch(jobs: &[(&Portfolio, &Instance)]) -> Vec<PortfolioReport> {
+        let started = Instant::now();
+        let deadlines: Vec<Option<Instant>> = jobs
+            .iter()
+            .map(|(p, _)| p.budget.and_then(|b| started.checked_add(b)))
+            .collect();
+        // Flatten to (job, solver) pairs; par_iter preserves input order,
+        // so regrouping by job index restores portfolio order exactly.
+        let tasks: Vec<(usize, usize)> = jobs
+            .iter()
+            .enumerate()
+            .flat_map(|(j, (p, _))| (0..p.solvers.len()).map(move |s| (j, s)))
+            .collect();
+        let run_one = |&(j, s): &(usize, usize)| -> (usize, SolverRun) {
+            let (p, inst) = jobs[j];
+            let solver = &p.solvers[s];
+            let seed = solver_seed(p.seed, solver.name());
+            let ctx = SolveCtx {
+                seed,
+                deadline: deadlines[j],
+                anytime: p.anytime,
+            };
+            let t0 = Instant::now();
+            let result = solver.solve(inst, &ctx);
+            (
+                j,
+                SolverRun {
+                    name: solver.name().to_string(),
+                    seed,
+                    result,
+                    wall: t0.elapsed(),
+                },
+            )
+        };
+        let parallel = jobs.iter().any(|(p, _)| p.parallel)
+            && tasks.len() > 1
+            && rayon::current_num_threads() > 1;
+        let flat: Vec<(usize, SolverRun)> = if parallel {
+            tasks.par_iter().map(run_one).collect()
+        } else {
+            tasks.iter().map(run_one).collect()
+        };
+        let mut per_job: Vec<Vec<SolverRun>> = jobs.iter().map(|_| Vec::new()).collect();
+        for (j, run) in flat {
+            per_job[j].push(run);
+        }
+        jobs.iter()
+            .zip(per_job)
+            .map(|((p, inst), runs)| p.finish_runs(inst, runs, started))
+            .collect()
+    }
+
+    /// The shared tail of [`Portfolio::run`] and [`Portfolio::run_batch`]:
+    /// anytime rescue, winner selection, report assembly. Keeping this in
+    /// one place is what makes batched reports bit-identical to unbatched
+    /// ones.
+    fn finish_runs(
+        &self,
+        inst: &Instance,
+        mut runs: Vec<SolverRun>,
+        started: Instant,
+    ) -> PortfolioReport {
         let starved = runs.iter().all(|r| r.result.is_err())
             && runs
                 .iter()
@@ -415,6 +496,38 @@ mod tests {
         let gap = sol.bound_gap();
         assert!(sol.energy() - gap <= exact.energy() * (1.0 + 1e-12));
         assert!(exact.energy() <= sol.energy() * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn run_batch_matches_individual_runs_exactly() {
+        let a = inst();
+        let b = Instance::new(chain(&[3e8; 6], &[2e4; 5]), Platform::paper(2, 2), 0.5);
+        let pa = Portfolio::heuristics().seeded(7);
+        let pb = Portfolio::heuristics().seeded(11).anytime(true);
+        let batch = Portfolio::run_batch(&[(&pa, &a), (&pb, &b), (&pa, &a)]);
+        assert_eq!(batch.len(), 3);
+        let solo_a = pa.run(&a);
+        let solo_b = pb.run(&b);
+        assert_eq!(signature(&batch[0]), signature(&solo_a));
+        assert_eq!(signature(&batch[1]), signature(&solo_b));
+        assert_eq!(signature(&batch[2]), signature(&solo_a));
+        assert_eq!(batch[0].best, solo_a.best);
+        assert_eq!(batch[1].best, solo_b.best);
+        assert_eq!(
+            batch[0].best_energy(),
+            solo_a.best_energy(),
+            "batched energies must be bit-identical to unbatched"
+        );
+        // A starved anytime job inside a batch still gets its rescue.
+        let starved = Portfolio::heuristics()
+            .with_budget(Duration::ZERO)
+            .anytime(true);
+        let rescued = Portfolio::run_batch(&[(&starved, &a)]);
+        assert_eq!(
+            rescued[0].best_run().unwrap().name,
+            "Anytime(Greedy)",
+            "rescue applies inside run_batch"
+        );
     }
 
     #[test]

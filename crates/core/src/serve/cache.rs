@@ -106,6 +106,17 @@ pub enum Artifact {
     Route(Arc<RouteTable>),
 }
 
+impl std::fmt::Debug for Artifact {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self {
+            Artifact::Lattice(_) => "Lattice",
+            Artifact::Skeleton(_) => "Skeleton",
+            Artifact::Route(_) => "Route",
+        };
+        write!(f, "Artifact::{kind}({} bytes)", self.size_bytes())
+    }
+}
+
 impl Artifact {
     /// Approximate heap footprint, charged against the cache bound.
     pub fn size_bytes(&self) -> usize {
@@ -199,14 +210,25 @@ impl ArtifactCache {
         }
     }
 
+    /// Looks up presence **without** bumping recency or the hit/miss
+    /// counters — the admission controller's service-time predictor probes
+    /// a request's keys before the request is accepted, and a shed request
+    /// must leave neither LRU order nor the deterministic counter sequence
+    /// behind.
+    pub fn contains(&self, key: &ArtifactKey) -> bool {
+        self.map.contains_key(key)
+    }
+
     /// Inserts an artifact (no-op if the key is already live — the first
     /// materialisation wins, matching the seed-slot semantics on
     /// [`crate::Instance`]), then evicts least-recently-used entries
     /// until the byte bound holds. An artifact larger than the whole
-    /// bound is evicted immediately; the insert still counts.
-    pub fn insert(&mut self, key: ArtifactKey, artifact: Artifact) {
+    /// bound is evicted immediately; the insert still counts. Returns
+    /// whether the artifact was newly inserted (the write-behind spill
+    /// trigger; a first-write-wins no-op must not re-spill).
+    pub fn insert(&mut self, key: ArtifactKey, artifact: Artifact) -> bool {
         if self.map.contains_key(&key) {
-            return;
+            return false;
         }
         self.tick += 1;
         let bytes = artifact.size_bytes();
@@ -231,6 +253,7 @@ impl ArtifactCache {
             }
             self.eviction_log.push(oldest);
         }
+        true
     }
 
     /// Live entry count.

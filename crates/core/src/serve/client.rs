@@ -57,10 +57,13 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects over TCP.
+    /// Connects over TCP (with `TCP_NODELAY`: frames are written whole,
+    /// so Nagle could only delay the next request behind a stale ACK).
     pub fn connect_tcp<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
         Ok(Client {
-            stream: StreamKind::Tcp(TcpStream::connect(addr)?),
+            stream: StreamKind::Tcp(stream),
         })
     }
 

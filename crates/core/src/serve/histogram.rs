@@ -5,10 +5,14 @@
 //! milliseconds), so a linear histogram would either blur the fast end or
 //! explode in buckets. This histogram keeps 16 sub-buckets per power of
 //! two — ≤ 6.25 % relative quantisation error — in a flat `Vec<u64>`,
-//! recording in O(1) with no allocation. Percentile queries return the
-//! *lower edge* of the bucket holding the requested rank, which makes
-//! reported p50/p99/p999 deterministic for a given multiset of samples
-//! regardless of arrival order.
+//! recording in O(1) with no allocation. Percentile queries locate the
+//! bucket holding the requested rank and **interpolate linearly within
+//! it** (assuming the bucket's samples spread uniformly): without the
+//! interpolation every rank landing in one bucket reports the same lower
+//! edge, which collapses the tail — a daemon whose warm solves cluster
+//! inside a single ~6 % bucket would report `p99 == p999` no matter how
+//! the tail actually looks. Interpolated or not, the answer depends only
+//! on the multiset of samples, never on arrival order.
 
 /// Sub-buckets per octave; 16 keeps relative error under 1/16.
 const SUB: u64 = 16;
@@ -39,6 +43,16 @@ fn bucket_floor(b: usize) -> u64 {
     let octave = (rel / SUB as usize) as u32 + SUB_BITS;
     let sub = (rel % SUB as usize) as u64;
     (1u64 << octave) + (sub << (octave - SUB_BITS))
+}
+
+/// Width of a bucket (distance to the next bucket's floor); saturates on
+/// the last bucket, whose upper edge exceeds `u64::MAX`.
+fn bucket_width(b: usize) -> u64 {
+    if b < SUB as usize {
+        return 1;
+    }
+    let octave = ((b - SUB as usize) / SUB as usize) as u32 + SUB_BITS;
+    1u64 << (octave - SUB_BITS)
 }
 
 /// A latency histogram over `u64` samples (the daemon records
@@ -89,9 +103,16 @@ impl LatencyHistogram {
         }
     }
 
-    /// The `q`-quantile (`q` in `[0, 1]`), reported as the lower edge of
-    /// the bucket containing the sample of rank `ceil(q · count)`.
-    /// Returns 0 when empty.
+    /// The `q`-quantile (`q` in `[0, 1]`): the bucket containing the
+    /// sample of rank `ceil(q · count)` is located, then the value is
+    /// interpolated linearly inside it — a bucket holding `c` samples is
+    /// treated as `c` evenly spaced points starting at its lower edge. The
+    /// result is clamped to the exact recorded maximum, so `p100` never
+    /// overshoots. Returns 0 when empty.
+    ///
+    /// Interpolation is what keeps tail percentiles apart when they land
+    /// in one bucket: two ranks inside a bucket of width `w` report values
+    /// `w / c` apart instead of both reporting the lower edge.
     pub fn percentile(&self, q: f64) -> u64 {
         if self.total == 0 {
             return 0;
@@ -99,12 +120,18 @@ impl LatencyHistogram {
         let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
         let mut seen = 0u64;
         for (b, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return bucket_floor(b);
+            if c == 0 {
+                continue;
             }
+            if seen + c >= rank {
+                let width = bucket_width(b);
+                let into = rank - seen - 1; // 0-based rank inside the bucket
+                let lerp = (width as u128 * into as u128 / c as u128) as u64;
+                return bucket_floor(b).saturating_add(lerp).min(self.max);
+            }
+            seen += c;
         }
-        bucket_floor(BUCKETS - 1)
+        self.max
     }
 }
 
@@ -167,6 +194,49 @@ mod tests {
         let exact_max: u64 = *samples.iter().max().unwrap();
         let p100 = a.percentile(1.0);
         assert!(p100 <= exact_max && exact_max - p100 <= exact_max / 16 + 1);
+    }
+
+    #[test]
+    fn tail_percentiles_interpolate_within_buckets() {
+        // A known multiset with a deliberately clustered tail:
+        //   980 × 100    (bucket floor 100, width 4)
+        //    15 × 1000   (bucket floor 992, width 32)
+        //     5 × 10000  (bucket floor 9728, width 512)
+        let mut h = LatencyHistogram::new();
+        for _ in 0..980 {
+            h.record(100);
+        }
+        for _ in 0..15 {
+            h.record(1000);
+        }
+        for _ in 0..5 {
+            h.record(10_000);
+        }
+        assert_eq!(h.count(), 1000);
+        // rank 500 in the 980-sample bucket: 100 + 4·499/980 = 102.
+        assert_eq!(h.percentile(0.50), 102);
+        // rank 990 → 10th of 15 in the 992-bucket: 992 + 32·9/15 = 1011.
+        assert_eq!(h.percentile(0.99), 1011);
+        // rank 999 → 4th of 5 in the 9728-bucket: 9728 + 512·3/5 = 10035,
+        // clamped to the exact recorded max.
+        assert_eq!(h.percentile(0.999), 10_000);
+        assert_ne!(h.percentile(0.99), h.percentile(0.999));
+    }
+
+    #[test]
+    fn ranks_inside_one_bucket_no_longer_collapse() {
+        // All mass inside one wide bucket (floor 983040, width 32768): the
+        // pre-interpolation histogram reported the same lower edge for
+        // every percentile here.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let (p50, p999) = (h.percentile(0.5), h.percentile(0.999));
+        assert!(p50 < p999, "p50 {p50} must sit below p999 {p999}");
+        assert_eq!(p999, 1_000_000, "tail clamps to the exact max");
+        // Interpolation error stays inside the bucket's 1/16 bound.
+        assert!(1_000_000 - p50 <= 1_000_000 / 16 + 1);
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! * [`fingerprint`] — content hashes that key the cache;
 //! * [`cache`] — the byte-bounded LRU over shared artifacts;
 //! * [`histogram`] — log-bucketed latencies for `stats` (p50/p99/p999);
+//! * [`spill`] — versioned, checksummed cache persistence (`--cache-dir`);
+//! * [`scheduler`] — the batched solve queue and admission controller;
 //! * [`server`] — the [`Service`] request handler and socket [`Server`];
 //! * [`client`] — a blocking [`Client`].
 //!
@@ -44,11 +46,15 @@ pub mod client;
 pub mod fingerprint;
 pub mod histogram;
 pub mod protocol;
+pub mod scheduler;
 pub mod server;
+pub mod spill;
 
 pub use cache::{Artifact, ArtifactCache, ArtifactKey, CacheStats};
 pub use client::Client;
 pub use fingerprint::{platform_fingerprint, workload_fingerprint, Fingerprint};
 pub use histogram::LatencyHistogram;
 pub use protocol::{read_frame, write_frame, FrameReader, Request, MAX_FRAME_BYTES};
-pub use server::{serve_connection, Conn, ServeConfig, Server, Service};
+pub use scheduler::SchedulerStats;
+pub use server::{serve_connection, Conn, ServeConfig, Server, Service, ServiceCore};
+pub use spill::SpillStats;

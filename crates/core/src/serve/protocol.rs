@@ -38,8 +38,13 @@ pub fn write_frame<W: Write>(w: &mut W, msg: &Json) -> io::Result<()> {
             ),
         ));
     }
-    w.write_all(&(body.len() as u32).to_be_bytes())?;
-    w.write_all(body.as_bytes())?;
+    // One buffer, one write: a short prefix write followed by a short
+    // body write is the classic Nagle + delayed-ACK stall on TCP
+    // transports — coalescing keeps each frame to a single segment.
+    let mut wire = Vec::with_capacity(4 + body.len());
+    wire.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    wire.extend_from_slice(body.as_bytes());
+    w.write_all(&wire)?;
     w.flush()
 }
 
@@ -501,6 +506,35 @@ pub fn error_response(kind: &str, message: &str) -> Json {
         (
             "error",
             obj([("kind", Json::from(kind)), ("message", Json::from(message))]),
+        ),
+    ])
+}
+
+/// Builds the `overloaded` error frame admission control sheds with: the
+/// predicted queue wait that triggered the shed, the depth of the queue at
+/// decision time, and a `retry_after_ms` hint (the predicted wait, rounded
+/// up to at least one millisecond) telling the client when capacity is
+/// likely to exist again.
+pub fn overloaded_response(predicted_wait_ns: u64, queue_depth: u64) -> Json {
+    let retry_after_ms = predicted_wait_ns.div_ceil(1_000_000).max(1);
+    let message = format!(
+        "shed by admission control: predicted queue wait {:.3} ms exceeds the request deadline or the queue is full",
+        predicted_wait_ns as f64 / 1e6
+    );
+    obj([
+        ("ok", Json::from(false)),
+        (
+            "error",
+            obj([
+                ("kind", Json::from("overloaded")),
+                ("message", Json::from(message.as_str())),
+                ("retry_after_ms", Json::from(retry_after_ms)),
+                (
+                    "predicted_wait_ms",
+                    Json::from(predicted_wait_ns as f64 / 1e6),
+                ),
+                ("queue_depth", Json::from(queue_depth)),
+            ]),
         ),
     ])
 }

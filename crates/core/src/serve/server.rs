@@ -2,11 +2,31 @@
 //!
 //! The transport split is deliberate: [`Service`] is the pure
 //! frame-in/frame-out request handler (fully testable in-process, no
-//! sockets), and [`Server`] wires it to a Unix or TCP listener. Solve work
-//! itself fans out on the **global persistent rayon pool** via
-//! [`Portfolio`]; connection threads only parse, seed, dispatch, and
-//! harvest, so a daemon under concurrent clients still schedules solver
-//! work through one work-stealing pool instead of oversubscribing.
+//! sockets), and [`Server`] wires it to a Unix or TCP listener.
+//!
+//! ## The batched hot path
+//!
+//! Connection threads do not dispatch solves themselves. They parse,
+//! validate, fingerprint, and **enqueue** onto the scheduler's bounded
+//! `SolveQueue`, then block on a response channel.
+//! One scheduler thread drains the queue in batches: identical requests
+//! (same full request fingerprint) are coalesced single-flight — solved
+//! once, the frame fanned to every waiter — and the distinct ones run as
+//! **one** [`Portfolio::run_batch`] wave over the global rayon pool, so
+//! eight concurrent clients saturate the workers instead of launching
+//! eight competing fan-outs. Admission control sheds at enqueue time
+//! (structured `overloaded` frame with `retry_after_ms`) when the
+//! predicted queue wait would blow the request's deadline. `sweep`
+//! requests keep the direct path — they are already one long batch
+//! internally — as does every solve when `batching` is disabled.
+//!
+//! ## Cache persistence
+//!
+//! With [`ServeConfig::cache_dir`] set, every artifact the cache accepts
+//! is also spilled to disk write-behind (outside the cache lock), and
+//! [`Service::new`] reloads the directory — validated and checksummed,
+//! corrupt or version-skewed files skipped — so a restarted daemon
+//! answers its first request warm. See [`super::spill`].
 //!
 //! ## Warm solves are bit-identical to cold solves
 //!
@@ -32,26 +52,30 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 #[cfg(unix)]
-use std::path::{Path, PathBuf};
+use std::path::Path;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::instance::Instance;
 use crate::json::{obj, Json};
-use crate::portfolio::Portfolio;
+use crate::portfolio::{Portfolio, PortfolioReport};
 use crate::solver::SolverRegistry;
 
 use super::cache::{Artifact, ArtifactCache, ArtifactKey, CacheStats};
 use super::fingerprint::{
     fault_free_platform_fingerprint, platform_fingerprint, route_platform_fingerprint,
-    workload_fingerprint,
+    workload_fingerprint, Fingerprint,
 };
 use super::histogram::LatencyHistogram;
 use super::protocol::{
-    error_response, failure_response, ok_response, parse_request, write_frame, FrameReader,
-    PeriodReq, Request, SolveReq, SweepReq,
+    error_response, failure_response, ok_response, overloaded_response, parse_request, write_frame,
+    FrameReader, PeriodReq, Request, SolveReq, SweepReq,
 };
+use super::scheduler::{Admission, SchedulerStats, SolveJob, SolveQueue};
+use super::spill::{self, SpillStats};
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -63,6 +87,18 @@ pub struct ServeConfig {
     pub default_deadline_ms: Option<u64>,
     /// Portfolio base seed used when a request carries none.
     pub default_seed: u64,
+    /// Cache-persistence directory: artifacts spill here write-behind on
+    /// insert and reload (validated, checksummed, tolerant of corrupt or
+    /// version-skewed files) at startup, so a restarted daemon starts
+    /// warm. `None` disables persistence.
+    pub cache_dir: Option<PathBuf>,
+    /// Route solves through the batched scheduler (on by default).
+    /// Disabling it restores dispatch-per-connection-thread — useful only
+    /// for comparison benchmarks.
+    pub batching: bool,
+    /// Bound on queued solve jobs; admits beyond it are shed with an
+    /// `overloaded` frame.
+    pub queue_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +107,9 @@ impl Default for ServeConfig {
             cache_bytes: 64 << 20,
             default_deadline_ms: None,
             default_seed: 2011,
+            cache_dir: None,
+            batching: true,
+            queue_cap: 1024,
         }
     }
 }
@@ -95,17 +134,129 @@ const SHUTDOWN_STALL_LIMIT: Duration = Duration::from_millis(500);
 /// full socket buffer).
 const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// The transport-independent request service: parse → seed from cache →
-/// dispatch on the rayon pool → harvest → respond.
+/// How many jobs the scheduler thread drains per batch. Bounds the width
+/// of one [`Portfolio::run_batch`] wave; a drain never blocks waiting to
+/// fill the batch, so the cap only matters under real backlog.
+const SCHED_BATCH_CAP: usize = 32;
+
+/// The transport-independent request service: parse → admit → batch →
+/// seed from cache → dispatch on the rayon pool → harvest → respond.
+///
+/// `Service` is a thin owning handle: the state lives in [`ServiceCore`]
+/// behind an `Arc` shared with the scheduler thread, and `Deref` forwards
+/// every method. Dropping the handle requests shutdown, drains the queue,
+/// and joins the scheduler.
 pub struct Service {
+    core: Arc<ServiceCore>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Service {
+    /// A fresh service with the default solver registry. The cache starts
+    /// empty unless [`ServeConfig::cache_dir`] points at a spill
+    /// directory, in which case every loadable artifact is re-seeded
+    /// (through the normal insert path, so hit/miss counters stay zero).
+    /// With [`ServeConfig::batching`] on, this also spawns the scheduler
+    /// thread.
+    pub fn new(cfg: ServeConfig) -> Self {
+        let mut cache = ArtifactCache::new(cfg.cache_bytes);
+        let mut spill_stats = SpillStats::default();
+        if let Some(dir) = &cfg.cache_dir {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("xp serve: cannot create cache dir {}: {e}", dir.display());
+            }
+            spill_stats = spill::load_dir(dir, &mut cache);
+        }
+        let (queue_cap, batching) = (cfg.queue_cap, cfg.batching);
+        let core = Arc::new(ServiceCore {
+            cfg,
+            registry: SolverRegistry::with_defaults(),
+            cache: Mutex::new(cache),
+            queue: SolveQueue::new(queue_cap),
+            shutdown: std::sync::atomic::AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            bad_requests: AtomicU64::new(0),
+            cold: Mutex::new(LatencyHistogram::new()),
+            warm: Mutex::new(LatencyHistogram::new()),
+            spill_loaded: spill_stats.loaded,
+            spill_skipped: spill_stats.skipped,
+            spilled: AtomicU64::new(0),
+            spill_errors: AtomicU64::new(0),
+            prune_kept: AtomicU64::new(0),
+            prune_pruned: AtomicU64::new(0),
+            prune_solves: AtomicU64::new(0),
+            prune_frontier_max: AtomicU64::new(0),
+            prune_bound_gap_max: AtomicU64::new(0.0_f64.to_bits()),
+        });
+        let worker = if batching {
+            let w = Arc::clone(&core);
+            Some(
+                std::thread::Builder::new()
+                    .name("xp-serve-scheduler".into())
+                    .spawn(move || w.scheduler_loop())
+                    .expect("spawn the scheduler thread"),
+            )
+        } else {
+            None
+        };
+        Service {
+            core,
+            worker: Mutex::new(worker),
+        }
+    }
+}
+
+impl std::ops::Deref for Service {
+    type Target = ServiceCore;
+    fn deref(&self) -> &ServiceCore {
+        &self.core
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        // Closing the queue wakes the scheduler, which drains whatever is
+        // already queued (answering every waiter) and exits.
+        self.core.request_shutdown();
+        if let Some(worker) = self.worker.lock().unwrap().take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// A solve ready to run: the cache-seeded instance plus the configured
+/// portfolio, with the hit bookkeeping the response frame reports. The
+/// split lets the batched and direct paths share all preparation and
+/// response code (which is what keeps their energies bit-identical).
+struct PreparedSolve {
+    inst: Instance,
+    keys: [ArtifactKey; 3],
+    hits: [bool; 3],
+    route_patched: bool,
+    bounded_hit: bool,
+    portfolio: Portfolio,
+}
+
+/// The service state proper — everything [`Service`] methods touch,
+/// shared between connection threads and the scheduler thread.
+pub struct ServiceCore {
     cfg: ServeConfig,
     registry: SolverRegistry,
     cache: Mutex<ArtifactCache>,
+    queue: SolveQueue,
     shutdown: std::sync::atomic::AtomicBool,
     requests: AtomicU64,
     bad_requests: AtomicU64,
     cold: Mutex<LatencyHistogram>,
     warm: Mutex<LatencyHistogram>,
+    /// Artifacts reloaded from the spill directory at startup.
+    spill_loaded: u64,
+    /// Spill files skipped at startup (corrupt, truncated, version skew).
+    spill_skipped: u64,
+    /// Artifacts spilled write-behind since startup.
+    spilled: AtomicU64,
+    /// Spill writes that failed (disk full, permissions, …).
+    spill_errors: AtomicU64,
     /// `DPA1D` dominance telemetry aggregated over every winning solution
     /// that carried [`crate::PruneStats`] (sums for the transition
     /// counters, maxima for the frontier width and bound gap).
@@ -118,25 +269,12 @@ pub struct Service {
     prune_bound_gap_max: AtomicU64,
 }
 
-impl Service {
-    /// A fresh service with an empty cache and the default solver
-    /// registry.
-    pub fn new(cfg: ServeConfig) -> Self {
-        let cache = ArtifactCache::new(cfg.cache_bytes);
-        Service {
-            cfg,
-            registry: SolverRegistry::with_defaults(),
-            cache: Mutex::new(cache),
-            shutdown: std::sync::atomic::AtomicBool::new(false),
-            requests: AtomicU64::new(0),
-            bad_requests: AtomicU64::new(0),
-            cold: Mutex::new(LatencyHistogram::new()),
-            warm: Mutex::new(LatencyHistogram::new()),
-            prune_kept: AtomicU64::new(0),
-            prune_pruned: AtomicU64::new(0),
-            prune_solves: AtomicU64::new(0),
-            prune_frontier_max: AtomicU64::new(0),
-            prune_bound_gap_max: AtomicU64::new(0.0_f64.to_bits()),
+impl ServiceCore {
+    /// The scheduler thread body: drain → coalesce → batch-solve →
+    /// respond, until shutdown drains the queue dry.
+    fn scheduler_loop(&self) {
+        while let Some(jobs) = self.queue.next_batch(SCHED_BATCH_CAP) {
+            self.run_batch_jobs(jobs);
         }
     }
 
@@ -160,9 +298,18 @@ impl Service {
     }
 
     /// Flips the shutdown flag (also reachable via the wire `shutdown`
-    /// op).
+    /// op) and tells the scheduler to drain and exit. Solves arriving
+    /// after the drain finishes run inline on their connection thread —
+    /// no request is ever lost to the race.
     pub fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        self.queue.close();
+    }
+
+    /// Scheduler counter snapshot (queue depth, batches, coalesced and
+    /// shed jobs).
+    pub fn scheduler_stats(&self) -> SchedulerStats {
+        self.queue.stats()
     }
 
     /// Artifact-cache counter snapshot.
@@ -189,7 +336,7 @@ impl Service {
                 self.request_shutdown();
                 ok_response(obj([("shutting_down", Json::from(true))]))
             }
-            Ok(Request::Solve(req)) => self.solve(&req),
+            Ok(Request::Solve(req)) => self.dispatch_solve(req),
             Ok(Request::Sweep(req)) => self.sweep(&req),
         };
         // Count every bad_request, whether it failed at the frame, the
@@ -242,6 +389,28 @@ impl Service {
             ),
             ("cold", hist(&self.cold)),
             ("warm", hist(&self.warm)),
+            ("scheduler", {
+                let s = self.queue.stats();
+                obj([
+                    ("queue_depth", Json::from(s.queue_depth)),
+                    ("batches", Json::from(s.batches)),
+                    ("batched_requests", Json::from(s.batched_requests)),
+                    ("deduped", Json::from(s.deduped)),
+                    ("shed", Json::from(s.shed)),
+                ])
+            }),
+            (
+                "spill",
+                obj([
+                    ("loaded", Json::from(self.spill_loaded)),
+                    ("skipped", Json::from(self.spill_skipped)),
+                    ("spilled", Json::from(self.spilled.load(Ordering::Relaxed))),
+                    (
+                        "errors",
+                        Json::from(self.spill_errors.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
             (
                 "prune",
                 obj([
@@ -284,6 +453,83 @@ impl Service {
         }
     }
 
+    /// The three cache keys a solve request probes, with fault-aware
+    /// keying (see [`ServiceCore::seeded_instance`]).
+    fn request_keys(workload: &spg::Spg, req: &SolveReq) -> [ArtifactKey; 3] {
+        let wfp = workload_fingerprint(workload);
+        let pfp = platform_fingerprint(&req.platform);
+        let (skeleton_pfp, route_pfp) = if req.platform.is_faulted() {
+            (
+                fault_free_platform_fingerprint(&req.platform),
+                route_platform_fingerprint(&req.platform),
+            )
+        } else {
+            (pfp, pfp)
+        };
+        [
+            ArtifactKey::Lattice { workload: wfp },
+            ArtifactKey::Skeleton {
+                workload: wfp,
+                platform: skeleton_pfp,
+                ceiling: f64::INFINITY.to_bits(),
+            },
+            ArtifactKey::Route {
+                platform: route_pfp,
+                policy: req.platform.policy.index() as u8,
+            },
+        ]
+    }
+
+    /// Admission-control service-time estimate in nanoseconds: the warm
+    /// median when every cache key for this request is resident, the cold
+    /// median otherwise; 0 (admit) when the matching histogram has no
+    /// history yet. The probe uses [`ArtifactCache::contains`], which
+    /// touches neither the hit/miss counters nor LRU recency — admission
+    /// must not perturb the deterministic counter sequences the bench
+    /// pins.
+    fn estimate_solve_ns(&self, workload: &spg::Spg, req: &SolveReq) -> u64 {
+        let keys = Self::request_keys(workload, req);
+        let resident = {
+            let cache = self.cache.lock().unwrap();
+            keys.iter().all(|k| cache.contains(k))
+        };
+        let hist = if resident { &self.warm } else { &self.cold };
+        let hist = hist.lock().unwrap();
+        hist.percentile(0.5)
+    }
+
+    /// The full request-identity fingerprint used for single-flight
+    /// coalescing: workload content, platform content (faults included),
+    /// period request, resolved solver names, resolved seed, resolved
+    /// deadline, and the anytime flag. Two jobs with equal fingerprints
+    /// are guaranteed to produce identical response frames (energies are
+    /// deterministic in all of the above), so one solve may answer both.
+    fn request_fingerprint(
+        &self,
+        workload: &spg::Spg,
+        req: &SolveReq,
+        solvers: &[Arc<dyn crate::solver::Solver>],
+    ) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.u64(workload_fingerprint(workload));
+        fp.u64(platform_fingerprint(&req.platform));
+        match req.period {
+            PeriodReq::Period(t) => fp.u64(0).f64(t),
+            PeriodReq::Utilisation(u) => fp.u64(1).f64(u),
+        };
+        fp.u64(solvers.len() as u64);
+        for s in solvers {
+            fp.str(s.name());
+        }
+        fp.u64(req.seed.unwrap_or(self.cfg.default_seed));
+        match req.deadline_ms.or(self.cfg.default_deadline_ms) {
+            Some(ms) => fp.u64(1).u64(ms),
+            None => fp.u64(0),
+        };
+        fp.u64(req.anytime as u64);
+        fp.finish()
+    }
+
     /// Builds the instance for a request and warm-seeds it from the
     /// cache. Returns the instance, the three cache keys, which of them
     /// hit, and whether a missed route table was *derived* by patching a
@@ -301,16 +547,7 @@ impl Service {
         req_workload: spg::Spg,
         req: &SolveReq,
     ) -> (Instance, [ArtifactKey; 3], [bool; 3], bool) {
-        let wfp = workload_fingerprint(&req_workload);
-        let pfp = platform_fingerprint(&req.platform);
-        let (skeleton_pfp, route_pfp) = if req.platform.is_faulted() {
-            (
-                fault_free_platform_fingerprint(&req.platform),
-                route_platform_fingerprint(&req.platform),
-            )
-        } else {
-            (pfp, pfp)
-        };
+        let keys = Self::request_keys(&req_workload, req);
         let policy = req.platform.policy;
         let inst = match req.period {
             PeriodReq::Period(t) => Instance::new(req_workload, req.platform.clone(), t),
@@ -318,18 +555,6 @@ impl Service {
                 Instance::for_utilisation(req_workload, req.platform.clone(), u)
             }
         };
-        let keys = [
-            ArtifactKey::Lattice { workload: wfp },
-            ArtifactKey::Skeleton {
-                workload: wfp,
-                platform: skeleton_pfp,
-                ceiling: f64::INFINITY.to_bits(),
-            },
-            ArtifactKey::Route {
-                platform: route_pfp,
-                policy: policy.index() as u8,
-            },
-        ];
         let mut hits = [false; 3];
         let mut cache = self.cache.lock().unwrap();
         for (i, key) in keys.iter().enumerate() {
@@ -386,18 +611,33 @@ impl Service {
     /// Stores whichever artifacts a solve materialised that the cache did
     /// not already hold. A bounded skeleton is keyed by the ceiling it was
     /// actually built under, which may be looser than the probe ceiling
-    /// (the sweep hint wins).
-    fn harvest(&self, inst: &Instance, keys: &[ArtifactKey; 3], hits: &[bool; 3]) {
+    /// (the sweep hint wins). Returns the artifacts that were **newly
+    /// inserted** so the caller can spill them write-behind, outside the
+    /// cache lock — even an entry the LRU immediately evicts is worth
+    /// spilling, because the disk tier is what makes a restart warm.
+    fn harvest(
+        &self,
+        inst: &Instance,
+        keys: &[ArtifactKey; 3],
+        hits: &[bool; 3],
+    ) -> Vec<(ArtifactKey, Artifact)> {
         let policy = inst.platform().policy;
+        let mut fresh = Vec::new();
         let mut cache = self.cache.lock().unwrap();
         if !hits[0] {
             if let Some(l) = inst.cached_lattice() {
-                cache.insert(keys[0], Artifact::Lattice(l));
+                let a = Artifact::Lattice(l);
+                if cache.insert(keys[0], a.clone()) {
+                    fresh.push((keys[0], a));
+                }
             }
         }
         if !hits[1] {
             if let Some(s) = inst.cached_skeleton() {
-                cache.insert(keys[1], Artifact::Skeleton(s));
+                let a = Artifact::Skeleton(s);
+                if cache.insert(keys[1], a.clone()) {
+                    fresh.push((keys[1], a));
+                }
             }
         }
         if let Some(b) = inst.cached_bounded_skeleton() {
@@ -412,11 +652,40 @@ impl Service {
                 platform,
                 ceiling: b.period_ceiling().to_bits(),
             };
-            cache.insert(key, Artifact::Skeleton(b));
+            let a = Artifact::Skeleton(b);
+            if cache.insert(key, a.clone()) {
+                fresh.push((key, a));
+            }
         }
         if !hits[2] {
             if let Some(r) = inst.cached_route_table(policy) {
-                cache.insert(keys[2], Artifact::Route(r));
+                let a = Artifact::Route(r);
+                if cache.insert(keys[2], a.clone()) {
+                    fresh.push((keys[2], a));
+                }
+            }
+        }
+        drop(cache);
+        fresh
+    }
+
+    /// Write-behind spill of freshly inserted artifacts (no-op without a
+    /// [`ServeConfig::cache_dir`]). Failures are counted and logged, never
+    /// fatal — persistence is an optimisation, not a correctness
+    /// dependency.
+    fn spill_fresh(&self, fresh: &[(ArtifactKey, Artifact)]) {
+        let Some(dir) = &self.cfg.cache_dir else {
+            return;
+        };
+        for (key, artifact) in fresh {
+            match spill::spill(dir, key, artifact) {
+                Ok(()) => {
+                    self.spilled.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    self.spill_errors.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("xp serve: failed to spill {key}: {e}");
+                }
             }
         }
     }
@@ -426,8 +695,16 @@ impl Service {
         hist.lock().unwrap().record(nanos);
     }
 
-    fn solve(&self, req: &SolveReq) -> Json {
-        let started = Instant::now();
+    /// Routes a decoded solve. With batching on, the request is
+    /// validated, fingerprinted, estimated, and enqueued; the connection
+    /// thread then blocks on the response channel while the scheduler
+    /// thread does the work. Shed requests get the structured
+    /// `overloaded` frame without ever touching the queue.
+    fn dispatch_solve(&self, req: SolveReq) -> Json {
+        if !self.cfg.batching {
+            return self.solve(&req);
+        }
+        let arrival = Instant::now();
         let workload = match req.workload.instantiate() {
             Ok(g) => g,
             Err(msg) => return error_response("bad_request", &msg),
@@ -436,6 +713,142 @@ impl Service {
             Ok(s) => s,
             Err(msg) => return error_response("bad_request", &msg),
         };
+        let est_ns = self.estimate_solve_ns(&workload, &req);
+        let dedup = self.request_fingerprint(&workload, &req, &solvers);
+        let deadline_ns = req
+            .deadline_ms
+            .or(self.cfg.default_deadline_ms)
+            .map(|ms| ms.saturating_mul(1_000_000));
+        let (tx, rx) = mpsc::channel();
+        let job = SolveJob {
+            req,
+            workload,
+            solvers,
+            dedup,
+            est_ns,
+            deadline_ns,
+            arrival,
+            tx,
+        };
+        match self.queue.admit(job) {
+            Admission::Queued => rx.recv().unwrap_or_else(|_| {
+                error_response("overloaded", "the solve scheduler terminated unexpectedly")
+            }),
+            Admission::Shed {
+                predicted_wait_ns,
+                queue_depth,
+            } => overloaded_response(predicted_wait_ns, queue_depth),
+            Admission::Draining(job) => self.solve_job(*job),
+        }
+    }
+
+    /// Executes one drained batch: group identical requests
+    /// (single-flight), prepare each distinct one, run them all as one
+    /// [`Portfolio::run_batch`] wave, then fan each response to its
+    /// waiters. Coalesced waiters receive a byte-identical clone of the
+    /// leader's frame (including `wall_ms` — they shared the solve, so
+    /// they share its latency sample too).
+    fn run_batch_jobs(&self, jobs: Vec<SolveJob>) {
+        let total = jobs.len() as u64;
+        let mut groups: Vec<(SolveJob, Vec<mpsc::Sender<Json>>)> = Vec::new();
+        for job in jobs {
+            match groups.iter_mut().find(|(lead, _)| lead.dedup == job.dedup) {
+                Some((_, extras)) => extras.push(job.tx),
+                None => groups.push((job, Vec::new())),
+            }
+        }
+        let deduped = total - groups.len() as u64;
+        // Leaders prepare in parallel: cold preparation (lattice and
+        // skeleton construction) dominates a cold solve, and the
+        // per-request dispatch path gets it concurrently for free on its
+        // connection threads — a serial loop here would hand that
+        // advantage back. Cache inserts only happen at finish time, so
+        // concurrent prepares see exactly the same cache state a
+        // sequential loop would.
+        let prepared: Vec<_> = {
+            use rayon::prelude::*;
+            groups
+                .into_par_iter()
+                .map(|(job, extras)| {
+                    let SolveJob {
+                        req,
+                        workload,
+                        solvers,
+                        arrival,
+                        tx,
+                        ..
+                    } = job;
+                    let p = self.prepare_solve(workload, solvers, &req, arrival);
+                    (p, req, arrival, tx, extras)
+                })
+                .collect()
+        };
+        let reports: Vec<PortfolioReport> = {
+            let pairs: Vec<(&Portfolio, &Instance)> = prepared
+                .iter()
+                .map(|(p, ..)| (&p.portfolio, &p.inst))
+                .collect();
+            match pairs.as_slice() {
+                // A batch of one is exactly a plain run; skip the
+                // flattening (identical report either way).
+                [(portfolio, inst)] => vec![portfolio.run(inst)],
+                _ => Portfolio::run_batch(&pairs),
+            }
+        };
+        for ((p, req, arrival, tx, extras), report) in prepared.iter().zip(&reports) {
+            let response = self.finish_solve(p, report, req, *arrival);
+            for extra in extras {
+                let _ = extra.send(response.clone());
+            }
+            let _ = tx.send(response);
+        }
+        self.queue.batch_done(total, deduped);
+    }
+
+    /// Runs one job inline (the post-shutdown drain path).
+    fn solve_job(&self, job: SolveJob) -> Json {
+        let SolveJob {
+            req,
+            workload,
+            solvers,
+            arrival,
+            ..
+        } = job;
+        let p = self.prepare_solve(workload, solvers, &req, arrival);
+        let report = p.portfolio.run(&p.inst);
+        self.finish_solve(&p, &report, &req, arrival)
+    }
+
+    /// The direct, unbatched solve path (`batching: false`), kept
+    /// behaviourally identical to the batched one: both share
+    /// [`ServiceCore::prepare_solve`] and [`ServiceCore::finish_solve`],
+    /// so energies agree bit-for-bit.
+    fn solve(&self, req: &SolveReq) -> Json {
+        let arrival = Instant::now();
+        let workload = match req.workload.instantiate() {
+            Ok(g) => g,
+            Err(msg) => return error_response("bad_request", &msg),
+        };
+        let solvers = match self.solvers_for(req.solvers.as_deref()) {
+            Ok(s) => s,
+            Err(msg) => return error_response("bad_request", &msg),
+        };
+        let p = self.prepare_solve(workload, solvers, req, arrival);
+        let report = p.portfolio.run(&p.inst);
+        self.finish_solve(&p, &report, req, arrival)
+    }
+
+    /// Everything a solve needs before the portfolio runs: the
+    /// cache-seeded instance and a configured portfolio whose wall-clock
+    /// budget is **anchored at request arrival** — a job that waited in
+    /// the queue has its wait charged against its own deadline.
+    fn prepare_solve(
+        &self,
+        workload: spg::Spg,
+        solvers: Vec<Arc<dyn crate::solver::Solver>>,
+        req: &SolveReq,
+        arrival: Instant,
+    ) -> PreparedSolve {
         let (inst, keys, hits, route_patched) = self.seeded_instance(workload, req);
         // A bounded skeleton built at exactly this period can stand in
         // when no complete skeleton is cached (the complete build may
@@ -445,15 +858,40 @@ impl Service {
             .seeded(req.seed.unwrap_or(self.cfg.default_seed))
             .anytime(req.anytime);
         if let Some(ms) = req.deadline_ms.or(self.cfg.default_deadline_ms) {
-            portfolio = portfolio.with_budget(Duration::from_millis(ms));
+            if let Some(deadline_at) = arrival.checked_add(Duration::from_millis(ms)) {
+                portfolio =
+                    portfolio.with_budget(deadline_at.saturating_duration_since(Instant::now()));
+            }
         }
-        let report = portfolio.run(&inst);
-        self.harvest(&inst, &keys, &hits);
-        let skeleton_hit = hits[1] || bounded_hit;
-        let route_hit = hits[2] || route_patched;
-        let warm = hits[0] && skeleton_hit && route_hit;
-        let elapsed_ns = started.elapsed().as_nanos() as u64;
+        PreparedSolve {
+            inst,
+            keys,
+            hits,
+            route_patched,
+            bounded_hit,
+            portfolio,
+        }
+    }
+
+    /// The tail of a solve: harvest and spill fresh artifacts, record the
+    /// arrival-to-response latency, build the response frame.
+    fn finish_solve(
+        &self,
+        p: &PreparedSolve,
+        report: &PortfolioReport,
+        req: &SolveReq,
+        arrival: Instant,
+    ) -> Json {
+        let fresh = self.harvest(&p.inst, &p.keys, &p.hits);
+        self.spill_fresh(&fresh);
+        let skeleton_hit = p.hits[1] || p.bounded_hit;
+        let route_hit = p.hits[2] || p.route_patched;
+        let warm = p.hits[0] && skeleton_hit && route_hit;
+        let elapsed_ns = arrival.elapsed().as_nanos() as u64;
         self.record_latency(warm, elapsed_ns);
+        let inst = &p.inst;
+        let hits = &p.hits;
+        let route_patched = p.route_patched;
 
         let cache_tags = obj([
             ("lattice", Json::from(if hits[0] { "hit" } else { "miss" })),
@@ -628,7 +1066,8 @@ impl Service {
                 .collect();
             points.push(Json::Obj(fields.into_iter().collect()));
         }
-        self.harvest(&base, &keys, &hits);
+        let fresh = self.harvest(&base, &keys, &hits);
+        self.spill_fresh(&fresh);
         let warm = hits[0] && (hits[1] || bounded_hit) && (hits[2] || route_patched);
         let elapsed_ns = started.elapsed().as_nanos() as u64;
         self.record_latency(warm, elapsed_ns);
@@ -861,6 +1300,10 @@ impl Server {
                     ListenerKind::Tcp(l) => match l.accept() {
                         Ok((s, _)) => {
                             let _ = s.set_nonblocking(false);
+                            // Frames are written whole; Nagle only adds
+                            // latency between a response and the client's
+                            // next request.
+                            let _ = s.set_nodelay(true);
                             scope.spawn(move || {
                                 let mut s = s;
                                 serve_connection(service, &mut s);
@@ -1157,6 +1600,154 @@ mod tests {
                 .and_then(Json::as_str),
             Some("too_large")
         );
+    }
+
+    #[test]
+    fn batched_identical_requests_are_coalesced_single_flight() {
+        // Drive run_batch_jobs directly (batching off, so no scheduler
+        // thread competes) for a deterministic grouping assertion.
+        let svc = Service::new(ServeConfig {
+            batching: false,
+            ..ServeConfig::default()
+        });
+        let frame = solve_frame(7);
+        let Ok(Request::Solve(req)) = parse_request(&frame) else {
+            panic!("fixture must parse as a solve");
+        };
+        let make_job = |req: &SolveReq| {
+            let workload = req.workload.instantiate().unwrap();
+            let solvers = svc.solvers_for(req.solvers.as_deref()).unwrap();
+            let dedup = svc.request_fingerprint(&workload, req, &solvers);
+            let (tx, rx) = mpsc::channel();
+            (
+                SolveJob {
+                    req: req.clone(),
+                    workload,
+                    solvers,
+                    dedup,
+                    est_ns: 0,
+                    deadline_ns: None,
+                    arrival: Instant::now(),
+                    tx,
+                },
+                rx,
+            )
+        };
+        let (j1, rx1) = make_job(&req);
+        let (j2, rx2) = make_job(&req);
+        let mut distinct = req.clone();
+        distinct.seed = Some(99);
+        let (j3, rx3) = make_job(&distinct);
+        svc.run_batch_jobs(vec![j1, j2, j3]);
+        let a = rx1.recv().unwrap();
+        let b = rx2.recv().unwrap();
+        let c = rx3.recv().unwrap();
+        assert_eq!(
+            a.to_string(),
+            b.to_string(),
+            "coalesced waiters get byte-identical frames"
+        );
+        assert_eq!(c.get("ok").and_then(Json::as_bool), Some(true), "{c}");
+        let s = svc.scheduler_stats();
+        assert_eq!(
+            (s.batches, s.batched_requests, s.deduped),
+            (1, 3, 1),
+            "two identical + one distinct job: one batch, one coalesce"
+        );
+        // Single-flight means the deduped job never touched the cache:
+        // two cold probe sequences (both groups prepare before either
+        // harvests), not three.
+        assert_eq!(
+            svc.cache_stats().misses,
+            4 + 4,
+            "two prepared groups, no third probe"
+        );
+    }
+
+    #[test]
+    fn zero_capacity_queue_sheds_with_structured_overloaded() {
+        let svc = Service::new(ServeConfig {
+            queue_cap: 0,
+            ..ServeConfig::default()
+        });
+        let resp = svc.handle(&solve_frame(7));
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(false));
+        let err = resp.get("error").unwrap();
+        assert_eq!(err.get("kind").and_then(Json::as_str), Some("overloaded"));
+        assert!(
+            err.get("retry_after_ms").and_then(Json::as_f64).unwrap() >= 1.0,
+            "shed frames carry a retry hint: {resp}"
+        );
+        assert_eq!(err.get("queue_depth").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(svc.scheduler_stats().shed, 1);
+        // A shed is backpressure, not a client error.
+        assert_eq!(
+            svc.stats_json().get("bad_requests").and_then(Json::as_f64),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn solves_after_shutdown_drain_run_inline() {
+        let svc = Service::new(ServeConfig::default());
+        let _ = svc.handle(&Json::parse(r#"{"op":"shutdown"}"#).unwrap());
+        // Whether the job beats the drain (queued, worker solves it) or
+        // loses the race (bounced back, solved inline), it must succeed.
+        let resp = svc.handle(&solve_frame(7));
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp}");
+    }
+
+    #[test]
+    fn cache_dir_restart_serves_first_request_warm() {
+        let dir = std::env::temp_dir().join(format!("xp-serve-restart-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = || ServeConfig {
+            cache_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        };
+        let spill_field = |svc: &Service, field: &str| {
+            svc.stats_json()
+                .get("spill")
+                .and_then(|s| s.get(field))
+                .and_then(Json::as_f64)
+        };
+        let cold_energy = {
+            let svc = Service::new(cfg());
+            assert_eq!(spill_field(&svc, "loaded"), Some(0.0));
+            let cold = svc.handle(&solve_frame(7));
+            let r = cold.get("result").unwrap();
+            assert_eq!(r.get("warm").and_then(Json::as_bool), Some(false));
+            assert_eq!(
+                spill_field(&svc, "spilled"),
+                Some(3.0),
+                "lattice + skeleton + route spilled write-behind"
+            );
+            assert_eq!(spill_field(&svc, "errors"), Some(0.0));
+            r.get("energy").and_then(Json::as_f64).unwrap()
+        };
+        // "Restart": a fresh service over the same directory.
+        let svc = Service::new(cfg());
+        assert_eq!(spill_field(&svc, "loaded"), Some(3.0));
+        assert_eq!(spill_field(&svc, "skipped"), Some(0.0));
+        let warm = svc.handle(&solve_frame(7));
+        let r = warm.get("result").unwrap();
+        assert_eq!(
+            r.get("warm").and_then(Json::as_bool),
+            Some(true),
+            "a restarted daemon must serve its first request warm: {warm}"
+        );
+        assert_eq!(
+            r.get("energy").and_then(Json::as_f64),
+            Some(cold_energy),
+            "reloaded artifacts must reproduce bit-identical energies"
+        );
+        let stats = svc.cache_stats();
+        assert_eq!(
+            stats.misses, 0,
+            "zero lattice/skeleton/route misses after a warm restart"
+        );
+        assert_eq!(stats.hits, 3);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! End-to-end tests for the serve subsystem: a real socket server under
 //! concurrent clients, warm/cold bit-identity across the StreamIt suite,
 //! deterministic LRU eviction replay, structured deadline backpressure,
-//! and shutdown draining in-flight work.
+//! shutdown draining in-flight work, cache-persistence tolerance, and
+//! batched-vs-per-request equivalence.
 
 use std::io::Write;
 use std::net::TcpStream;
+use std::path::PathBuf;
 use std::sync::mpsc;
 use std::thread;
 use std::time::Duration;
@@ -35,6 +37,24 @@ fn energy_bits(resp: &Json) -> Option<u64> {
         .and_then(|r| r.get("energy"))
         .and_then(Json::as_f64)
         .map(f64::to_bits)
+}
+
+/// A throwaway spill directory under the system temp dir.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xp-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Reads a counter out of a `stats` response, e.g. `spill.skipped`.
+fn stat(service: &Service, outer: &str, inner: &str) -> f64 {
+    let resp = service.handle(&obj([("op", Json::from("stats"))]));
+    resp.get("result")
+        .and_then(|r| r.get(outer))
+        .and_then(|o| o.get(inner))
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("stats missing {outer}.{inner}: {resp}"))
 }
 
 /// Warm solves reproduce cold energies bit-for-bit across the whole
@@ -330,4 +350,157 @@ fn shutdown_drains_in_flight_requests() {
         TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
         "daemon must stop listening after shutdown"
     );
+}
+
+/// A spill directory poisoned with garbage and version-skewed files must
+/// not break startup: bad files are skipped (and counted), good solves
+/// proceed, and fresh artifacts still spill next to the junk.
+#[test]
+fn corrupt_and_version_skewed_spill_files_are_tolerated() {
+    let dir = scratch_dir("poisoned");
+    // Not even the magic.
+    std::fs::write(dir.join("garbage.xpa"), b"this is not an artifact").unwrap();
+    // Right magic, wrong version: a daemon from the future.
+    let mut skewed = Vec::new();
+    skewed.extend_from_slice(b"XPARTIFS");
+    skewed.extend_from_slice(&999u32.to_le_bytes());
+    skewed.extend_from_slice(&[0u8; 64]);
+    std::fs::write(dir.join("lattice-0000000000000000.xpa"), &skewed).unwrap();
+    // A non-spill file is not load_dir's business at all.
+    std::fs::write(dir.join("README.txt"), b"hands off").unwrap();
+
+    let service = Service::new(ServeConfig {
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    assert_eq!(stat(&service, "spill", "loaded"), 0.0);
+    assert_eq!(
+        stat(&service, "spill", "skipped"),
+        2.0,
+        "both bad .xpa files are skipped, the .txt is ignored"
+    );
+
+    // The daemon is healthy: a solve succeeds and spills write-behind.
+    let resp = service.handle(&solve_frame(streamit("FFT"), "greedy,dpa1d", &[]));
+    assert_eq!(
+        resp.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "solve must survive a poisoned spill dir: {resp}"
+    );
+    assert!(
+        stat(&service, "spill", "spilled") >= 1.0,
+        "fresh artifacts must still spill"
+    );
+    assert_eq!(stat(&service, "spill", "errors"), 0.0);
+    drop(service);
+
+    // A restart loads what the solve spilled and re-skips the junk.
+    let reborn = Service::new(ServeConfig {
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    assert!(stat(&reborn, "spill", "loaded") >= 1.0);
+    assert_eq!(stat(&reborn, "spill", "skipped"), 2.0);
+    drop(reborn);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A solve drained during shutdown still spills its artifacts: the
+/// write-behind happens on the inline path too, so a daemon that goes
+/// down mid-request leaves a warm disk tier behind.
+#[test]
+fn draining_shutdown_still_spills_artifacts() {
+    let dir = scratch_dir("drain-spill");
+    let cfg = ServeConfig {
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind_tcp("127.0.0.1:0", cfg).unwrap();
+    let addr = server.local_addr().unwrap();
+    let daemon = thread::spawn(move || server.run().unwrap());
+
+    // The solve goes on the wire first; shutdown races it from a second
+    // connection, so it completes on the drain (or inline) path.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write_frame(
+        &mut stream,
+        &solve_frame(streamit("FFT"), "greedy,dpa1d", &[]),
+    )
+    .unwrap();
+    let mut control = Client::connect_tcp(addr).unwrap();
+    control.shutdown().unwrap();
+    drop(control);
+
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let resp = read_frame(&mut stream).unwrap().unwrap();
+    assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true));
+    let drained_bits = energy_bits(&resp).expect("drained solve must carry an energy");
+    daemon.join().unwrap();
+
+    let spilled: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some("xpa"))
+        .collect();
+    assert!(
+        !spilled.is_empty(),
+        "the drained solve must leave spill files behind"
+    );
+
+    // And they make the next daemon warm, with the same answer.
+    let reborn = Service::new(ServeConfig {
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    assert!(stat(&reborn, "spill", "loaded") >= 1.0);
+    let warm = reborn.handle(&solve_frame(streamit("FFT"), "greedy,dpa1d", &[]));
+    assert_eq!(
+        energy_bits(&warm),
+        Some(drained_bits),
+        "the reloaded artifacts must reproduce the drained solve bit-for-bit"
+    );
+    assert_eq!(
+        warm.get("result")
+            .and_then(|r| r.get("warm"))
+            .and_then(Json::as_bool),
+        Some(true),
+        "first post-restart solve must be warm: {warm}"
+    );
+    drop(reborn);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The batched scheduler and per-request dispatch are interchangeable in
+/// results: same flows, same seeds, bit-identical energies and
+/// feasibility — batching shifts latency, never answers.
+#[test]
+fn batched_and_unbatched_services_agree_bit_for_bit() {
+    let batched = Service::new(ServeConfig::default());
+    let direct = Service::new(ServeConfig {
+        batching: false,
+        ..ServeConfig::default()
+    });
+    for flow in ["FFT", "TDE", "Vocoder", "MPEG2-noparser"] {
+        let req = solve_frame(streamit(flow), "greedy,dpa1d", &[]);
+        let a = batched.handle(&req);
+        let b = direct.handle(&req);
+        assert_eq!(
+            energy_bits(&a),
+            energy_bits(&b),
+            "{flow}: batched and per-request energies must match bit-for-bit"
+        );
+        assert_eq!(
+            a.get("ok").and_then(Json::as_bool),
+            b.get("ok").and_then(Json::as_bool),
+            "{flow}: feasibility must agree"
+        );
+    }
+    let sched = batched.scheduler_stats();
+    assert!(
+        sched.batches >= 4,
+        "the batched service must have routed solves through the scheduler (got {sched:?})"
+    );
+    assert_eq!(direct.scheduler_stats().batches, 0);
 }

@@ -23,6 +23,7 @@
 
 use crate::graph::{Spg, StageId};
 use crate::nodeset::{NodeSet, NodeSetRef};
+use crate::wire;
 
 /// Why ideal enumeration failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -256,6 +257,108 @@ impl IdealLattice {
         }
     }
 
+    /// Serialises the lattice into a self-contained little-endian byte
+    /// image for artifact-cache spill files. Every field — including the
+    /// open-addressing table — is stored verbatim, so
+    /// [`IdealLattice::from_bytes`] reconstructs a structurally identical
+    /// lattice (same ids, same Hasse order, same bucket layout) without
+    /// re-running enumeration.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.arena.len() * 8);
+        wire::put_u64_slice(&mut out, &self.arena);
+        wire::put_u64(&mut out, self.wps as u64);
+        wire::put_u64(&mut out, self.capacity as u64);
+        wire::put_u32_slice(&mut out, &self.buckets);
+        wire::put_u64(&mut out, self.hasse.len() as u64);
+        for &(s, c) in &self.hasse {
+            wire::put_u32(&mut out, s);
+            wire::put_u32(&mut out, c);
+        }
+        wire::put_u32_slice(&mut out, &self.hasse_off);
+        wire::put_u64(&mut out, self.pred_masks.len() as u64);
+        for m in &self.pred_masks {
+            wire::put_u64(&mut out, m.capacity() as u64);
+            wire::put_u64_slice(&mut out, m.words());
+        }
+        out
+    }
+
+    /// Decodes a byte image produced by [`IdealLattice::to_bytes`].
+    ///
+    /// Decoding is defensive — every length is bounds-checked against the
+    /// remaining input and the cross-field invariants (arena a multiple of
+    /// the word stride, power-of-two bucket table, monotone Hasse offsets)
+    /// are re-validated — so a truncated or corrupted spill file yields an
+    /// `Err`, never a panic or an inconsistent lattice.
+    pub fn from_bytes(bytes: &[u8]) -> Result<IdealLattice, String> {
+        let mut pos = 0usize;
+        let arena = wire::get_u64_slice(bytes, &mut pos)?;
+        let wps = wire::get_u64(bytes, &mut pos)? as usize;
+        let capacity = wire::get_u64(bytes, &mut pos)? as usize;
+        let buckets = wire::get_u32_slice(bytes, &mut pos)?;
+        let n_hasse = wire::get_len(bytes, &mut pos, 8)?;
+        let mut hasse = Vec::with_capacity(n_hasse);
+        for _ in 0..n_hasse {
+            let s = wire::get_u32(bytes, &mut pos)?;
+            let c = wire::get_u32(bytes, &mut pos)?;
+            hasse.push((s, c));
+        }
+        let hasse_off = wire::get_u32_slice(bytes, &mut pos)?;
+        let n_masks = wire::get_len(bytes, &mut pos, 9)?;
+        let mut pred_masks = Vec::with_capacity(n_masks);
+        for _ in 0..n_masks {
+            let cap = wire::get_u64(bytes, &mut pos)? as usize;
+            let words = wire::get_u64_slice(bytes, &mut pos)?;
+            if cap.div_ceil(64).max(1) != words.len() {
+                return Err("predecessor mask word count disagrees with capacity".into());
+            }
+            pred_masks.push(NodeSet::from_words(&words, cap));
+        }
+        if pos != bytes.len() {
+            return Err(format!(
+                "{} trailing bytes after lattice image",
+                bytes.len() - pos
+            ));
+        }
+        if wps == 0 || wps != capacity.div_ceil(64).max(1) {
+            return Err("word stride disagrees with capacity".into());
+        }
+        if arena.len() % wps != 0 {
+            return Err("arena length is not a multiple of the word stride".into());
+        }
+        let len = arena.len() / wps;
+        if !buckets.len().is_power_of_two() || buckets.len() * 3 < (len + 1) * 4 {
+            return Err("bucket table is not a valid open-addressing table".into());
+        }
+        if buckets.iter().any(|&b| b as usize > len) {
+            return Err("bucket entry exceeds ideal count".into());
+        }
+        if hasse_off.len() != len + 1
+            || hasse_off.windows(2).any(|w| w[0] > w[1])
+            || hasse_off.last().copied().unwrap_or(0) as usize != hasse.len()
+        {
+            return Err("Hasse offsets are not a monotone cover of the Hasse list".into());
+        }
+        if hasse
+            .iter()
+            .any(|&(s, c)| s as usize >= capacity.max(1) || c as usize >= len)
+        {
+            return Err("Hasse entry references an out-of-range stage or ideal".into());
+        }
+        if pred_masks.len() != capacity {
+            return Err("predecessor mask count disagrees with stage count".into());
+        }
+        Ok(IdealLattice {
+            arena,
+            wps,
+            capacity,
+            buckets,
+            hasse,
+            hasse_off,
+            pred_masks,
+        })
+    }
+
     /// Doubles the table and re-seats every id (arena is untouched).
     fn grow(&mut self) {
         let new_len = self.buckets.len() * 2;
@@ -448,6 +551,50 @@ mod tests {
         let mut not_ideal = NodeSet::new(g.n());
         not_ideal.insert(g.sink().idx());
         assert_eq!(lat.id_of(not_ideal.as_set()), None);
+    }
+
+    #[test]
+    fn byte_image_round_trips_exactly() {
+        let g = series(
+            &parallel_many(&[uniform_chain(3), uniform_chain(4)]),
+            &uniform_chain(3),
+        );
+        let lat = enumerate_ideals(&g, 100_000).unwrap();
+        let bytes = lat.to_bytes();
+        let back = IdealLattice::from_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), lat.len());
+        assert_eq!(back.capacity, lat.capacity);
+        for id in lat.ids() {
+            assert_eq!(back.get(id).words(), lat.get(id).words());
+            assert_eq!(back.covers(id), lat.covers(id));
+            // The interning table must survive too: lookups by value work.
+            assert_eq!(back.id_of(lat.get(id)), Some(id));
+        }
+        assert_eq!(back.pred_masks.len(), lat.pred_masks.len());
+        // Re-encoding is bit-stable.
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn corrupt_byte_images_are_rejected() {
+        let g = uniform_chain(5);
+        let lat = enumerate_ideals(&g, 1000).unwrap();
+        let bytes = lat.to_bytes();
+        // Truncation at every boundary errors instead of panicking.
+        for cut in [0, 1, 8, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                IdealLattice::from_bytes(&bytes[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
+        // Trailing garbage is rejected.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(IdealLattice::from_bytes(&padded).is_err());
+        // An absurd arena length prefix is rejected before allocating.
+        let mut huge = bytes.clone();
+        huge[..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(IdealLattice::from_bytes(&huge).is_err());
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod ideal;
 pub mod nodeset;
 pub mod recognize;
 pub mod streamit;
+pub mod wire;
 
 pub use compose::{base, chain, parallel, parallel_many, series, series_many};
 pub use edit::Edit;

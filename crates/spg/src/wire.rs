@@ -1,0 +1,198 @@
+//! Minimal little-endian binary codec for artifact spill files.
+//!
+//! The serve daemon's persistent artifact cache (`ea_core::serve`) writes
+//! derived state — ideal lattices, transition skeletons, route tables — to
+//! disk and reads it back across restarts. Each owning crate serialises its
+//! own types (dependencies point strictly downward, so the formats cannot
+//! live in the daemon), but they all share this codec so the framing rules
+//! are written once:
+//!
+//! * all integers are **little-endian**, floats travel as IEEE-754 bit
+//!   patterns;
+//! * every variable-length field is length-prefixed (`u64` element count);
+//! * decoding is **total**: every read is bounds-checked against the
+//!   remaining input and length prefixes are validated against a
+//!   per-element minimum size *before* allocating, so a truncated or
+//!   corrupted file yields `Err`, never a panic or an OOM allocation.
+//!
+//! This is deliberately not a general serialisation framework: no schema
+//! evolution, no endian negotiation, no nested containers. Spill files are
+//! versioned at the envelope level (`ea_core::serve::spill`) and a version
+//! bump simply invalidates old files.
+
+/// Appends a `u32` in little-endian order.
+#[inline]
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` in little-endian order.
+#[inline]
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64` as its IEEE-754 bit pattern.
+#[inline]
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// Appends a length-prefixed `u32` slice.
+pub fn put_u32_slice(out: &mut Vec<u8>, vs: &[u32]) {
+    put_u64(out, vs.len() as u64);
+    for &v in vs {
+        put_u32(out, v);
+    }
+}
+
+/// Appends a length-prefixed `u64` slice.
+pub fn put_u64_slice(out: &mut Vec<u8>, vs: &[u64]) {
+    put_u64(out, vs.len() as u64);
+    for &v in vs {
+        put_u64(out, v);
+    }
+}
+
+/// Appends a length-prefixed `f64` slice (bit patterns).
+pub fn put_f64_slice(out: &mut Vec<u8>, vs: &[f64]) {
+    put_u64(out, vs.len() as u64);
+    for &v in vs {
+        put_f64(out, v);
+    }
+}
+
+/// Takes `n` bytes starting at `*pos`, advancing the cursor.
+#[inline]
+pub fn take<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], String> {
+    let end = pos
+        .checked_add(n)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| format!("truncated input: need {n} bytes at offset {pos}"))?;
+    let s = &bytes[*pos..end];
+    *pos = end;
+    Ok(s)
+}
+
+/// Reads a little-endian `u32`.
+#[inline]
+pub fn get_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, String> {
+    let s = take(bytes, pos, 4)?;
+    Ok(u32::from_le_bytes(s.try_into().expect("4-byte slice")))
+}
+
+/// Reads a little-endian `u64`.
+#[inline]
+pub fn get_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, String> {
+    let s = take(bytes, pos, 8)?;
+    Ok(u64::from_le_bytes(s.try_into().expect("8-byte slice")))
+}
+
+/// Reads an `f64` from its bit pattern.
+#[inline]
+pub fn get_f64(bytes: &[u8], pos: &mut usize) -> Result<f64, String> {
+    Ok(f64::from_bits(get_u64(bytes, pos)?))
+}
+
+/// Reads a `u64` element count and validates it against the remaining
+/// input assuming each element occupies at least `elem_bytes` bytes — the
+/// guard that keeps a corrupted length prefix from driving a huge
+/// allocation before the per-element reads would fail anyway.
+pub fn get_len(bytes: &[u8], pos: &mut usize, elem_bytes: usize) -> Result<usize, String> {
+    let n = get_u64(bytes, pos)?;
+    let remaining = bytes.len() - *pos;
+    if (n as u128) * (elem_bytes.max(1) as u128) > remaining as u128 {
+        return Err(format!(
+            "length prefix {n} exceeds the {remaining} remaining bytes"
+        ));
+    }
+    Ok(n as usize)
+}
+
+/// Reads a length-prefixed `u32` slice.
+pub fn get_u32_slice(bytes: &[u8], pos: &mut usize) -> Result<Vec<u32>, String> {
+    let n = get_len(bytes, pos, 4)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(get_u32(bytes, pos)?);
+    }
+    Ok(out)
+}
+
+/// Reads a length-prefixed `u64` slice.
+pub fn get_u64_slice(bytes: &[u8], pos: &mut usize) -> Result<Vec<u64>, String> {
+    let n = get_len(bytes, pos, 8)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(get_u64(bytes, pos)?);
+    }
+    Ok(out)
+}
+
+/// Reads a length-prefixed `f64` slice (bit patterns).
+pub fn get_f64_slice(bytes: &[u8], pos: &mut usize) -> Result<Vec<f64>, String> {
+    let n = get_len(bytes, pos, 8)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(get_f64(bytes, pos)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 0xdead_beef);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_f64(&mut buf, -0.0);
+        put_f64(&mut buf, f64::INFINITY);
+        let mut pos = 0;
+        assert_eq!(get_u32(&buf, &mut pos).unwrap(), 0xdead_beef);
+        assert_eq!(get_u64(&buf, &mut pos).unwrap(), u64::MAX - 1);
+        // -0.0 must survive by bit pattern, not by value.
+        assert_eq!(
+            get_f64(&buf, &mut pos).unwrap().to_bits(),
+            (-0.0f64).to_bits()
+        );
+        assert_eq!(get_f64(&buf, &mut pos).unwrap(), f64::INFINITY);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn slices_round_trip() {
+        let mut buf = Vec::new();
+        put_u32_slice(&mut buf, &[1, 2, 3]);
+        put_u64_slice(&mut buf, &[]);
+        put_f64_slice(&mut buf, &[0.5, -1.25]);
+        let mut pos = 0;
+        assert_eq!(get_u32_slice(&buf, &mut pos).unwrap(), vec![1, 2, 3]);
+        assert_eq!(get_u64_slice(&buf, &mut pos).unwrap(), Vec::<u64>::new());
+        assert_eq!(get_f64_slice(&buf, &mut pos).unwrap(), vec![0.5, -1.25]);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn truncated_input_errors_instead_of_panicking() {
+        let mut buf = Vec::new();
+        put_u32_slice(&mut buf, &[7, 8, 9]);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert!(
+                get_u32_slice(&buf[..cut], &mut pos).is_err(),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, u64::MAX); // claims 2^64-1 elements
+        let mut pos = 0;
+        assert!(get_u64_slice(&buf, &mut pos).is_err());
+    }
+}
